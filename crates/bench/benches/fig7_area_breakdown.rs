@@ -1,0 +1,50 @@
+//! Figure 7: SoC area breakdown of the evaluated GPU designs.
+
+use virgo::{DesignKind, GpuConfig};
+use virgo_bench::print_table;
+use virgo_energy::{AreaModel, Component};
+
+fn main() {
+    let model = AreaModel::default_16nm();
+    let designs = [DesignKind::VoltaStyle, DesignKind::HopperStyle, DesignKind::Virgo];
+    let mut rows = Vec::new();
+    let mut totals = Vec::new();
+    for design in designs {
+        let config = GpuConfig::for_design(design);
+        let report = model.estimate(&config.area_params());
+        totals.push((design, report.total_mm2()));
+        for (component, mm2) in report.breakdown() {
+            if *mm2 > 0.0 {
+                let label = if *component == Component::CoreIssue {
+                    "Vortex Core".to_string()
+                } else {
+                    component.name().to_string()
+                };
+                rows.push(vec![
+                    design.name().to_string(),
+                    label,
+                    format!("{mm2:.3}"),
+                    format!("{:.1}%", report.fraction(*component) * 100.0),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Figure 7: SoC area breakdown",
+        &["Design", "Component", "Area (mm^2)", "Share"],
+        &rows,
+    );
+
+    let volta = totals[0].1;
+    println!("\nTotals:");
+    for (design, total) in &totals {
+        println!(
+            "  {:>14}: {:.3} mm^2 ({:+.1}% vs Volta-style)",
+            design.name(),
+            total,
+            (total / volta - 1.0) * 100.0
+        );
+    }
+    println!("\nPaper reference (Figure 7): Virgo is 0.1% smaller than the Volta-style SoC and");
+    println!("3.0% larger than the Hopper-style SoC; the L1 caches and Vortex cores dominate.");
+}

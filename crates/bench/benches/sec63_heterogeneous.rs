@@ -1,0 +1,63 @@
+//! Section 6.3: two heterogeneous matrix units in one cluster, running two
+//! differently-sized GEMMs in parallel versus serially.
+
+use virgo::{Gpu, GpuConfig};
+use virgo_bench::{pct, print_table, MAX_CYCLES};
+use virgo_kernels::{build_heterogeneous_parallel, build_heterogeneous_serial};
+
+fn main() {
+    let config = GpuConfig::virgo_heterogeneous();
+    let peak = config.peak_macs_per_cycle() as f64;
+
+    // Parallel: both GEMMs run concurrently on their own matrix units.
+    let parallel_kernel = build_heterogeneous_parallel(&config);
+    let parallel = Gpu::new(config.clone())
+        .run(&parallel_kernel, MAX_CYCLES)
+        .expect("parallel heterogeneous run");
+
+    // Serial: the two GEMMs run back to back on the same configuration.
+    let (large, small) = build_heterogeneous_serial(&config);
+    let mut gpu = Gpu::new(config);
+    let serial_large = gpu.run(&large, MAX_CYCLES).expect("serial large GEMM");
+    let serial_small = gpu.run(&small, MAX_CYCLES).expect("serial small GEMM");
+
+    let parallel_cycles = parallel.cycles().get();
+    let serial_cycles = serial_large.cycles().get() + serial_small.cycles().get();
+    let total_macs = (large.info.total_macs + small.info.total_macs) as f64;
+
+    let parallel_util = total_macs / (parallel_cycles as f64 * peak);
+    let serial_util = total_macs / (serial_cycles as f64 * peak);
+
+    let parallel_energy = parallel.power().total_energy_uj();
+    let serial_energy =
+        serial_large.power().total_energy_uj() + serial_small.power().total_energy_uj();
+    // Power normalized per FLOP: energy per MAC is the size-independent view.
+    let parallel_energy_per_mac = parallel_energy / total_macs;
+    let serial_energy_per_mac = serial_energy / total_macs;
+
+    let rows = vec![
+        vec![
+            "Parallel".to_string(),
+            parallel_cycles.to_string(),
+            pct(parallel_util),
+            format!("{:.3} pJ/MAC", parallel_energy_per_mac * 1e6),
+        ],
+        vec![
+            "Serial".to_string(),
+            serial_cycles.to_string(),
+            pct(serial_util),
+            format!("{:.3} pJ/MAC", serial_energy_per_mac * 1e6),
+        ],
+    ];
+    print_table(
+        "Section 6.3: heterogeneous matrix units (256^3 GEMM on 16x16 unit + 128^3 GEMM on 8x8 unit)",
+        &["Schedule", "Cycles", "MAC utilization", "Energy per MAC"],
+        &rows,
+    );
+    println!(
+        "\nPower-per-FLOP overhead of the parallel schedule: {:+.1}% (paper: +4.3%)",
+        (parallel_energy_per_mac / serial_energy_per_mac - 1.0) * 100.0
+    );
+    println!("Paper reference (Section 6.3): 59.5% utilization in parallel vs 59.7% serial —");
+    println!("running both units concurrently costs almost nothing, demonstrating scalability.");
+}

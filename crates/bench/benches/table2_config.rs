@@ -1,0 +1,51 @@
+//! Table 2: the hardware configuration of the evaluated GPU designs.
+
+use virgo::{DesignKind, GpuConfig};
+use virgo_bench::print_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = DesignKind::all()
+        .iter()
+        .map(|&design| {
+            let cfg = GpuConfig::for_design(design);
+            let units = match design {
+                DesignKind::Virgo => cfg.matrix_units.len() as u32,
+                _ => cfg.cores,
+            };
+            let macs_per_unit = cfg.peak_macs_per_cycle() / u64::from(units.max(1));
+            vec![
+                design.name().to_string(),
+                cfg.cores.to_string(),
+                format!("{}x{}", cfg.core.warps, cfg.core.lanes),
+                format!("{} KiB", cfg.smem.capacity_bytes / 1024),
+                format!("{}x{}", cfg.smem.banks, cfg.smem.subbanks),
+                units.to_string(),
+                macs_per_unit.to_string(),
+                cfg.peak_macs_per_cycle().to_string(),
+                if design.has_dma() { "yes" } else { "no" }.to_string(),
+                cfg.matrix_units
+                    .first()
+                    .map(|u| format!("{} KiB", u.accumulator_bytes / 1024))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 2: hardware configuration of the evaluated GPU designs",
+        &[
+            "Design",
+            "Cores",
+            "Warps x Lanes",
+            "SMEM",
+            "Banks x Subbanks",
+            "Matrix units",
+            "MACs/unit",
+            "MACs/cluster",
+            "DMA",
+            "Accum mem",
+        ],
+        &rows,
+    );
+    println!("\nAll designs expose 256 FP16 MACs per cluster (iso-throughput comparison), a");
+    println!("128 KiB shared memory, 16 KiB L1I/L1D per core, a 512 KiB L2 and a 400 MHz clock.");
+}

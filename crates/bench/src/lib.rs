@@ -1,0 +1,177 @@
+//! Shared experiment harness for the benchmark targets that regenerate the
+//! paper's tables and figures.
+//!
+//! Every bench target (`cargo bench -p virgo-bench --bench <name>`) uses the
+//! helpers here to build the kernels, run them on the right GPU
+//! configurations (in parallel across designs, via `crossbeam` scoped
+//! threads) and print the rows/series the paper reports. The benches use
+//! `harness = false`, so `cargo bench` simply executes them as programs; the
+//! single `micro_criterion` target additionally provides Criterion-based
+//! micro-benchmarks of the simulator itself.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use parking_lot::Mutex;
+use virgo::{DesignKind, Gpu, GpuConfig, SimReport};
+use virgo_kernels::{build_flash_attention, build_gemm, AttentionShape, GemmShape};
+
+/// Cycle budget used for every simulation; generous enough for the largest
+/// (1024³ Volta-style) run.
+pub const MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Runs the GEMM kernel for `shape` on the given design point.
+///
+/// # Panics
+///
+/// Panics if the simulation does not complete (which would indicate a kernel
+/// generation bug, not a user error).
+pub fn run_gemm(design: DesignKind, shape: GemmShape) -> SimReport {
+    let config = GpuConfig::for_design(design);
+    let kernel = build_gemm(&config, shape);
+    Gpu::new(config)
+        .run(&kernel, MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{design} GEMM {shape} failed: {e}"))
+}
+
+/// Runs the GEMM kernel for `shape` on every design point, in parallel.
+/// Results are returned in [`DesignKind::all`] order.
+pub fn run_gemm_all_designs(shape: GemmShape) -> Vec<(DesignKind, SimReport)> {
+    run_parallel(DesignKind::all().to_vec(), move |design| {
+        (design, run_gemm(design, shape))
+    })
+}
+
+/// Runs the FlashAttention-3 kernel (paper configuration) on a design point
+/// using its FP32 configuration.
+///
+/// # Panics
+///
+/// Panics if the design point is not Virgo or Ampere-style, or the simulation
+/// does not complete.
+pub fn run_flash_attention(design: DesignKind) -> SimReport {
+    let config = GpuConfig::for_design(design).to_fp32();
+    let kernel = build_flash_attention(&config, AttentionShape::paper_default());
+    Gpu::new(config)
+        .run(&kernel, MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{design} FlashAttention failed: {e}"))
+}
+
+/// Runs `job` over `items` on scoped worker threads, preserving input order.
+pub fn run_parallel<T, R, F>(items: Vec<T>, job: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let results = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (index, item) in items.into_iter().enumerate() {
+            let results = &results;
+            let job = &job;
+            scope.spawn(move |_| {
+                let value = job(item);
+                results.lock().push((index, value));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(index, _)| *index);
+    collected.into_iter().map(|(_, value)| value).collect()
+}
+
+/// Prints a fixed-width table with a title, headers and rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a milliwatt value.
+pub fn mw(value: f64) -> String {
+    format!("{value:.1} mW")
+}
+
+/// Formats a microjoule value.
+pub fn uj(value: f64) -> String {
+    format!("{value:.1} uJ")
+}
+
+/// Reads the GEMM sizes to sweep from the `VIRGO_GEMM_SIZES` environment
+/// variable (comma-separated), defaulting to the paper's 256/512/1024.
+///
+/// Setting e.g. `VIRGO_GEMM_SIZES=256` makes the long benches fast for smoke
+/// testing.
+pub fn gemm_sizes_from_env() -> Vec<GemmShape> {
+    match std::env::var("VIRGO_GEMM_SIZES") {
+        Ok(value) => value
+            .split(',')
+            .filter_map(|s| s.trim().parse::<u32>().ok())
+            .map(GemmShape::square)
+            .collect(),
+        Err(_) => GemmShape::paper_sizes().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_runner_preserves_order() {
+        let out = run_parallel(vec![3u64, 1, 2], |x| x * 10);
+        assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.661), "66.1%");
+        assert_eq!(mw(123.45), "123.5 mW");
+        assert_eq!(uj(7.0), "7.0 uJ");
+    }
+
+    #[test]
+    fn default_gemm_sizes_match_paper() {
+        std::env::remove_var("VIRGO_GEMM_SIZES");
+        let sizes = gemm_sizes_from_env();
+        assert_eq!(sizes.len(), 3);
+        assert_eq!(sizes[0], GemmShape::square(256));
+    }
+
+    #[test]
+    fn small_gemm_runs_on_every_design() {
+        // A reduced-size smoke test of the full simulation pipeline.
+        let shape = GemmShape { m: 128, n: 128, k: 128 };
+        for design in DesignKind::all() {
+            let report = run_gemm(design, shape);
+            assert!(report.cycles().get() > 0, "{design}");
+            assert!(report.performed_macs() > 0, "{design}");
+        }
+    }
+}

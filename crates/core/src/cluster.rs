@@ -1,0 +1,527 @@
+//! The cluster: SIMT cores plus the cluster-level devices they share.
+
+use virgo_gemmini::{GemminiCommand, GemminiUnit};
+use virgo_isa::{DeviceId, Kernel, MmioCommand, WgmmaOp};
+use virgo_mem::{
+    AccumulatorMemory, Coalescer, DmaEngine, DmaTransfer, GlobalMemory, SharedMemory,
+};
+use virgo_sim::Cycle;
+use virgo_simt::{ClusterPort, ClusterSynchronizer, CoreStats, SimtCore};
+use virgo_tensor::{OperandDecoupledUnit, TightlyCoupledUnit};
+
+use crate::config::{DesignKind, GpuConfig};
+
+/// Miscellaneous cluster-level event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// MMIO register writes routed over the cluster interconnect.
+    pub mmio_writes: u64,
+    /// MMIO writes rejected because the target device queue was full.
+    pub mmio_rejects: u64,
+    /// Asynchronous operations (DMA transfers and matrix commands) launched.
+    pub async_ops_launched: u64,
+    /// Asynchronous operations completed.
+    pub async_ops_completed: u64,
+}
+
+/// Everything in the cluster that is *not* a SIMT core: memories,
+/// matrix units, DMA, synchronizer and the MMIO/async-tracking glue.
+///
+/// This struct implements [`ClusterPort`], the service interface the cores
+/// program against.
+#[derive(Debug)]
+pub struct ClusterDevices {
+    design: DesignKind,
+    /// The cluster shared memory.
+    pub smem: SharedMemory,
+    /// The global memory hierarchy (L1s, L2, DRAM).
+    pub gmem: GlobalMemory,
+    /// Per-core memory coalescers.
+    coalescers: Vec<Coalescer>,
+    /// The cluster-wide barrier synchronizer.
+    pub synchronizer: ClusterSynchronizer,
+    /// The cluster DMA engine, when the design has one.
+    pub dma: Option<DmaEngine>,
+    /// Per-core tightly-coupled tensor units (Volta/Ampere-style).
+    pub tightly_units: Vec<TightlyCoupledUnit>,
+    /// Per-core operand-decoupled tensor units (Hopper-style).
+    pub decoupled_units: Vec<OperandDecoupledUnit>,
+    /// Cluster-level disaggregated matrix units (Virgo).
+    pub gemmini_units: Vec<GemminiUnit>,
+    /// Accumulator memories, one per disaggregated unit.
+    pub accumulators: Vec<AccumulatorMemory>,
+    /// Outstanding asynchronous cluster operations (DMA + matrix commands).
+    async_outstanding: u32,
+    /// Monotonic tag source for DMA transfers.
+    next_dma_tag: u64,
+    stats: ClusterStats,
+}
+
+impl ClusterDevices {
+    /// Builds the device complement for a configuration, sized for
+    /// `participants` warps taking part in cluster barriers.
+    pub fn new(config: &GpuConfig, participants: u64) -> Self {
+        let cores = config.cores as usize;
+        let (tightly_units, decoupled_units) = match config.design {
+            DesignKind::VoltaStyle | DesignKind::AmpereStyle => (
+                (0..cores)
+                    .map(|_| TightlyCoupledUnit::new(config.tightly))
+                    .collect(),
+                Vec::new(),
+            ),
+            DesignKind::HopperStyle => (
+                Vec::new(),
+                (0..cores)
+                    .map(|_| OperandDecoupledUnit::new(config.decoupled))
+                    .collect(),
+            ),
+            DesignKind::Virgo => (Vec::new(), Vec::new()),
+        };
+        let gemmini_units: Vec<GemminiUnit> = config
+            .matrix_units
+            .iter()
+            .map(|spec| GemminiUnit::new(spec.gemmini))
+            .collect();
+        let accumulators = config
+            .matrix_units
+            .iter()
+            .map(|spec| AccumulatorMemory::new(spec.accumulator_bytes, 64))
+            .collect();
+        let line_bytes = u64::from(config.global_memory().l1.line_bytes);
+
+        ClusterDevices {
+            design: config.design,
+            smem: SharedMemory::new(config.smem),
+            gmem: GlobalMemory::new(config.global_memory()),
+            coalescers: (0..cores).map(|_| Coalescer::new(line_bytes)).collect(),
+            synchronizer: ClusterSynchronizer::new(participants.max(1)),
+            dma: config.design.has_dma().then(|| DmaEngine::new(config.dma)),
+            tightly_units,
+            decoupled_units,
+            gemmini_units,
+            accumulators,
+            async_outstanding: 0,
+            next_dma_tag: 0,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Which design point these devices implement.
+    pub fn design(&self) -> DesignKind {
+        self.design
+    }
+
+    /// Cluster-level event counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// Aggregated coalescer statistics across cores.
+    pub fn coalescer_ops(&self) -> u64 {
+        self.coalescers.iter().map(|c| c.stats().line_requests).sum()
+    }
+
+    /// Outstanding asynchronous operations, exposed for reports.
+    pub fn async_outstanding(&self) -> u32 {
+        self.async_outstanding
+    }
+
+    /// Advances every cluster device by one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        // DMA engine.
+        if let Some(dma) = &mut self.dma {
+            let completed = dma.tick(
+                now,
+                &mut self.gmem,
+                &mut self.smem,
+                self.accumulators.first_mut(),
+            );
+            for _ in &completed {
+                self.async_outstanding = self.async_outstanding.saturating_sub(1);
+                self.stats.async_ops_completed += 1;
+            }
+        }
+        // Disaggregated matrix units.
+        for (unit, acc) in self
+            .gemmini_units
+            .iter_mut()
+            .zip(self.accumulators.iter_mut())
+        {
+            let completed = unit.tick(now, &mut self.smem, acc);
+            for _ in 0..completed {
+                self.async_outstanding = self.async_outstanding.saturating_sub(1);
+                self.stats.async_ops_completed += 1;
+            }
+        }
+        // Operand-decoupled tensor units.
+        for unit in &mut self.decoupled_units {
+            unit.tick(now, &mut self.smem);
+        }
+    }
+
+    /// True when every asynchronous engine has drained.
+    pub fn quiescent(&self) -> bool {
+        self.async_outstanding == 0
+            && self.dma.as_ref().map_or(true, DmaEngine::is_idle)
+            && self.gemmini_units.iter().all(|u| !u.busy())
+            && self.decoupled_units.iter().all(|u| u.pending() == 0)
+    }
+
+    fn submit_dma(&mut self, cmd: &virgo_isa::DmaCopyCmd, exec_count: u64) -> bool {
+        let Some(dma) = &mut self.dma else {
+            // A design without a DMA engine silently drops the command; the
+            // kernels generated for such designs never issue one.
+            return true;
+        };
+        let transfer = DmaTransfer {
+            src_region: cmd.src.region,
+            src_addr: cmd.src.addr.eval(exec_count),
+            dst_region: cmd.dst.region,
+            dst_addr: cmd.dst.addr.eval(exec_count),
+            bytes: cmd.bytes,
+            tag: self.next_dma_tag,
+        };
+        match dma.submit(transfer) {
+            Ok(()) => {
+                self.next_dma_tag += 1;
+                self.async_outstanding += 1;
+                self.stats.async_ops_launched += 1;
+                true
+            }
+            Err(_) => {
+                self.stats.mmio_rejects += 1;
+                false
+            }
+        }
+    }
+
+    fn submit_matrix(&mut self, unit: u8, cmd: &virgo_isa::MatrixComputeCmd, exec_count: u64) -> bool {
+        let Some(target) = self.gemmini_units.get_mut(unit as usize) else {
+            return true;
+        };
+        if target.try_submit(GemminiCommand::resolve(cmd, exec_count)) {
+            self.async_outstanding += 1;
+            self.stats.async_ops_launched += 1;
+            true
+        } else {
+            self.stats.mmio_rejects += 1;
+            false
+        }
+    }
+}
+
+impl ClusterPort for ClusterDevices {
+    fn shared_access(&mut self, now: Cycle, _core: u32, lane_addrs: &[u64], write: bool) -> Cycle {
+        self.smem.access_simt(now, lane_addrs, write).done
+    }
+
+    fn global_access(
+        &mut self,
+        now: Cycle,
+        core: u32,
+        lane_addrs: &[u64],
+        bytes_per_lane: u32,
+        write: bool,
+    ) -> Cycle {
+        let line_requests = self.coalescers[core as usize].coalesce(lane_addrs, bytes_per_lane);
+        let line_bytes = self.coalescers[core as usize].line_bytes();
+        let mut done = now;
+        for line in line_requests {
+            done = done.max(self.gmem.access_from_core(now, core as usize, line, line_bytes, write));
+        }
+        done
+    }
+
+    fn try_hmma(&mut self, now: Cycle, core: u32, macs: u32) -> bool {
+        self.tightly_units
+            .get_mut(core as usize)
+            .map_or(false, |unit| unit.try_step(now, macs))
+    }
+
+    fn try_wgmma(&mut self, _now: Cycle, core: u32, op: &WgmmaOp, exec_count: u64) -> bool {
+        self.decoupled_units
+            .get_mut(core as usize)
+            .map_or(false, |unit| unit.try_enqueue(op, exec_count))
+    }
+
+    fn wgmma_pending(&self, core: u32) -> u32 {
+        self.decoupled_units
+            .get(core as usize)
+            .map_or(0, OperandDecoupledUnit::pending)
+    }
+
+    fn mmio_write(
+        &mut self,
+        _now: Cycle,
+        _core: u32,
+        device: DeviceId,
+        cmd: &MmioCommand,
+        exec_count: u64,
+    ) -> bool {
+        self.stats.mmio_writes += 1;
+        match (device, cmd) {
+            (DeviceId::Dma(_), MmioCommand::DmaCopy(copy)) => self.submit_dma(copy, exec_count),
+            (DeviceId::MatrixUnit(idx), MmioCommand::MatrixCompute(compute)) => {
+                self.submit_matrix(idx, compute, exec_count)
+            }
+            // A mismatched command (e.g. a compute command written to the DMA
+            // engine) is accepted and ignored, like a store to a reserved
+            // MMIO register.
+            _ => true,
+        }
+    }
+
+    fn async_outstanding(&self) -> u32 {
+        self.async_outstanding
+    }
+
+    fn barrier_arrive(&mut self, id: u8, warp_global_id: u32) -> u64 {
+        self.synchronizer.arrive(id, warp_global_id)
+    }
+
+    fn barrier_passed(&self, id: u8, ticket: u64) -> bool {
+        self.synchronizer.passed(id, ticket)
+    }
+}
+
+/// One GPU cluster: the SIMT cores plus their shared devices.
+#[derive(Debug)]
+pub struct Cluster {
+    config: GpuConfig,
+    cores: Vec<SimtCore>,
+    devices: ClusterDevices,
+}
+
+impl Cluster {
+    /// Builds a cluster and loads `kernel` onto it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel assigns a warp to a core index outside the
+    /// configuration.
+    pub fn new(config: GpuConfig, kernel: &Kernel) -> Self {
+        let devices = ClusterDevices::new(&config, kernel.warps.len() as u64);
+        let mut cores: Vec<SimtCore> = (0..config.cores)
+            .map(|id| SimtCore::new(config.core, id))
+            .collect();
+        for (index, warp) in kernel.warps.iter().enumerate() {
+            assert!(
+                (warp.core as usize) < cores.len(),
+                "kernel assigns warp to core {} but the cluster has {} cores",
+                warp.core,
+                cores.len()
+            );
+            cores[warp.core as usize].assign_warp(index as u32, &warp.program);
+        }
+        Cluster {
+            config,
+            cores,
+            devices,
+        }
+    }
+
+    /// The configuration the cluster was built from.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// The cluster devices (memories, matrix units, DMA, synchronizer).
+    pub fn devices(&self) -> &ClusterDevices {
+        &self.devices
+    }
+
+    /// The SIMT cores.
+    pub fn cores(&self) -> &[SimtCore] {
+        &self.cores
+    }
+
+    /// Aggregated core statistics across the cluster.
+    pub fn core_stats(&self) -> CoreStats {
+        let mut total = CoreStats::default();
+        for core in &self.cores {
+            total.merge(&core.stats());
+        }
+        total
+    }
+
+    /// Advances the whole cluster by one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        self.devices.tick(now);
+        for core in &mut self.cores {
+            core.tick(now, &mut self.devices);
+        }
+    }
+
+    /// True when every core has retired its warps and every asynchronous
+    /// engine has drained.
+    pub fn finished(&self) -> bool {
+        self.cores.iter().all(SimtCore::all_finished) && self.devices.quiescent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use virgo_isa::{
+        AddrExpr, DataType, DmaCopyCmd, KernelInfo, LaneAccess, MemLoc, ProgramBuilder,
+        WarpAssignment, WarpOp,
+    };
+
+    fn kernel_with(core: u32, build: impl FnOnce(&mut ProgramBuilder)) -> Kernel {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        Kernel::new(
+            KernelInfo::new("test", 0, DataType::Fp16),
+            vec![WarpAssignment::new(core, 0, Arc::new(b.build()))],
+        )
+    }
+
+    fn run(cluster: &mut Cluster, limit: u64) -> u64 {
+        for cycle in 0..limit {
+            if cluster.finished() {
+                return cycle;
+            }
+            cluster.tick(Cycle::new(cycle));
+        }
+        limit
+    }
+
+    #[test]
+    fn simple_kernel_runs_to_completion() {
+        let kernel = kernel_with(0, |b| {
+            b.op_n(16, WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+        });
+        let mut cluster = Cluster::new(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, 10_000);
+        assert!(cycles < 10_000);
+        assert_eq!(cluster.core_stats().instrs_issued, 16);
+    }
+
+    #[test]
+    fn shared_and_global_accesses_reach_the_memories() {
+        let access = LaneAccess::contiguous_words(AddrExpr::fixed(0), 8);
+        let kernel = kernel_with(0, |b| {
+            b.op(WarpOp::LoadGlobal { access });
+            b.op(WarpOp::StoreShared { access });
+            b.op(WarpOp::WaitLoads);
+        });
+        let mut cluster = Cluster::new(GpuConfig::ampere_style(), &kernel);
+        run(&mut cluster, 100_000);
+        assert!(cluster.devices().gmem.stats().l1_accesses > 0);
+        assert!(cluster.devices().smem.stats().words_written > 0);
+        assert!(cluster.devices().coalescer_ops() > 0);
+    }
+
+    #[test]
+    fn dma_command_completes_and_fence_releases() {
+        let cmd = MmioCommand::DmaCopy(DmaCopyCmd::new(
+            MemLoc::global(0u64),
+            MemLoc::shared(0u64),
+            4096,
+        ));
+        let kernel = kernel_with(0, |b| {
+            b.op(WarpOp::MmioWrite { device: DeviceId::DMA0, cmd });
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+        });
+        let mut cluster = Cluster::new(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, 1_000_000);
+        assert!(cycles < 1_000_000, "kernel must finish");
+        assert!(cycles > 200, "DMA of 4 KiB cannot be instantaneous");
+        let stats = cluster.devices().stats();
+        assert_eq!(stats.async_ops_launched, 1);
+        assert_eq!(stats.async_ops_completed, 1);
+        assert_eq!(cluster.devices().async_outstanding(), 0);
+    }
+
+    #[test]
+    fn matrix_compute_command_runs_on_gemmini() {
+        let cmd = MmioCommand::MatrixCompute(virgo_isa::MatrixComputeCmd {
+            a: AddrExpr::fixed(0),
+            b: AddrExpr::fixed(64 * 1024),
+            acc_addr: 0,
+            m: 64,
+            n: 64,
+            k: 64,
+            accumulate: false,
+            dtype: DataType::Fp16,
+        });
+        let kernel = kernel_with(0, |b| {
+            b.op(WarpOp::MmioWrite { device: DeviceId::MATRIX0, cmd });
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+        });
+        let mut cluster = Cluster::new(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, 1_000_000);
+        assert!(cycles < 1_000_000);
+        let gemmini = &cluster.devices().gemmini_units[0];
+        assert_eq!(gemmini.stats().commands, 1);
+        assert_eq!(gemmini.stats().macs, 64 * 64 * 64);
+        // The fence made the core wait for the unit: runtime at least the
+        // ideal compute time of 64³/256 = 1024 cycles.
+        assert!(cycles >= 1024, "finished too early: {cycles}");
+    }
+
+    #[test]
+    fn hmma_steps_drive_the_tightly_coupled_unit() {
+        let kernel = kernel_with(0, |b| {
+            b.op_n(8, WarpOp::HmmaStep { macs: 64, rf_reads: 4, rf_writes: 2 });
+        });
+        let mut cluster = Cluster::new(GpuConfig::volta_style(), &kernel);
+        run(&mut cluster, 100_000);
+        let unit = &cluster.devices().tightly_units[0];
+        assert_eq!(unit.stats().steps, 8);
+        assert_eq!(unit.stats().macs, 8 * 64);
+    }
+
+    #[test]
+    fn wgmma_ops_drive_the_decoupled_unit() {
+        let op = WgmmaOp {
+            a: AddrExpr::fixed(0),
+            b: AddrExpr::fixed(0x8000),
+            m: 16,
+            n: 16,
+            k: 32,
+            dtype: DataType::Fp16,
+        };
+        let kernel = kernel_with(0, |b| {
+            b.op(WarpOp::WgmmaInit(op));
+            b.op(WarpOp::WgmmaWait);
+        });
+        let mut cluster = Cluster::new(GpuConfig::hopper_style(), &kernel);
+        let cycles = run(&mut cluster, 100_000);
+        let unit = &cluster.devices().decoupled_units[0];
+        assert_eq!(unit.stats().ops, 1);
+        assert!(cycles >= 128, "wgmma wait must cover the compute time");
+    }
+
+    #[test]
+    fn barrier_synchronizes_warps_across_cores() {
+        let program = {
+            let mut b = ProgramBuilder::new();
+            b.op(WarpOp::Barrier { id: 0 });
+            b.op(WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+            Arc::new(b.build())
+        };
+        let kernel = Kernel::new(
+            KernelInfo::new("barrier", 0, DataType::Fp16),
+            vec![
+                WarpAssignment::new(0, 0, Arc::clone(&program)),
+                WarpAssignment::new(1, 0, Arc::clone(&program)),
+            ],
+        );
+        let mut cluster = Cluster::new(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, 10_000);
+        assert!(cycles < 10_000);
+        assert_eq!(cluster.devices().synchronizer.release_events(), 1);
+        assert_eq!(cluster.core_stats().barrier_arrivals, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigns warp to core")]
+    fn kernel_targeting_missing_core_panics() {
+        let kernel = kernel_with(12, |b| {
+            b.op(WarpOp::Nop);
+        });
+        let _ = Cluster::new(GpuConfig::hopper_style(), &kernel);
+    }
+}

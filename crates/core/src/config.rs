@@ -1,0 +1,340 @@
+//! GPU configuration and the four evaluated design points.
+
+use virgo_energy::AreaParams;
+use virgo_gemmini::GemminiConfig;
+use virgo_isa::DataType;
+use virgo_mem::{DmaConfig, GlobalMemoryConfig, SmemConfig};
+use virgo_sim::Frequency;
+use virgo_simt::CoreConfig;
+use virgo_tensor::{DecoupledConfig, TightlyCoupledConfig};
+
+/// The matrix-unit integration styles compared in the paper (Section 2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignKind {
+    /// Tightly-coupled matrix unit fed from the register file (Volta-style).
+    VoltaStyle,
+    /// Tightly-coupled matrix unit plus a cluster DMA engine (Ampere-style).
+    AmpereStyle,
+    /// Operand-decoupled matrix unit reading operands from shared memory
+    /// (Hopper-style).
+    HopperStyle,
+    /// Physically disaggregated, cluster-level matrix unit (Virgo).
+    Virgo,
+}
+
+impl DesignKind {
+    /// All design points in the order used by the paper's tables.
+    pub fn all() -> [DesignKind; 4] {
+        [
+            DesignKind::VoltaStyle,
+            DesignKind::AmpereStyle,
+            DesignKind::HopperStyle,
+            DesignKind::Virgo,
+        ]
+    }
+
+    /// Display name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignKind::VoltaStyle => "Volta-style",
+            DesignKind::AmpereStyle => "Ampere-style",
+            DesignKind::HopperStyle => "Hopper-style",
+            DesignKind::Virgo => "Virgo",
+        }
+    }
+
+    /// True for the designs that include a cluster DMA engine.
+    pub fn has_dma(self) -> bool {
+        !matches!(self, DesignKind::VoltaStyle)
+    }
+
+    /// True for the designs with per-core, core-coupled tensor units.
+    pub fn is_core_coupled(self) -> bool {
+        !matches!(self, DesignKind::Virgo)
+    }
+}
+
+impl std::fmt::Display for DesignKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Specification of one disaggregated matrix unit instance (Virgo only).
+///
+/// The heterogeneous configuration of Section 6.3 instantiates two units with
+/// different array sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixUnitSpec {
+    /// The systolic array configuration.
+    pub gemmini: GemminiConfig,
+    /// Private accumulator SRAM capacity in bytes.
+    pub accumulator_bytes: u64,
+}
+
+impl MatrixUnitSpec {
+    /// The Table 2 Virgo FP16 unit: 16×16 array, 32 KiB accumulator.
+    pub fn default_fp16() -> Self {
+        MatrixUnitSpec {
+            gemmini: GemminiConfig::fp16_16x16(),
+            accumulator_bytes: 32 * 1024,
+        }
+    }
+
+    /// The Table 2 Virgo FP32 unit: 8×8 array, 32 KiB accumulator.
+    pub fn default_fp32() -> Self {
+        MatrixUnitSpec {
+            gemmini: GemminiConfig::fp32_8x8(),
+            accumulator_bytes: 32 * 1024,
+        }
+    }
+
+    /// The smaller secondary unit of the Section 6.3 heterogeneous study.
+    pub fn small_fp16() -> Self {
+        MatrixUnitSpec {
+            gemmini: GemminiConfig::fp16_8x8(),
+            accumulator_bytes: 16 * 1024,
+        }
+    }
+}
+
+/// Full configuration of one simulated GPU (one cluster plus the memory
+/// system behind it), following Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Which integration style this GPU implements.
+    pub design: DesignKind,
+    /// Number of SIMT cores in the cluster.
+    pub cores: u32,
+    /// Per-core microarchitecture.
+    pub core: CoreConfig,
+    /// Shared-memory configuration.
+    pub smem: SmemConfig,
+    /// Cluster DMA configuration (instantiated only when the design has one).
+    pub dma: DmaConfig,
+    /// Tightly-coupled tensor core configuration (Volta/Ampere-style).
+    pub tightly: TightlyCoupledConfig,
+    /// Operand-decoupled tensor core configuration (Hopper-style).
+    pub decoupled: DecoupledConfig,
+    /// Disaggregated matrix units (Virgo; usually exactly one).
+    pub matrix_units: Vec<MatrixUnitSpec>,
+    /// Operand data type the matrix units are configured for.
+    pub dtype: DataType,
+    /// SoC clock.
+    pub frequency: Frequency,
+}
+
+impl GpuConfig {
+    /// The Volta-style baseline: 8 cores, per-core tightly-coupled tensor
+    /// units, no DMA. The shared memory uses the 2× banking noted in
+    /// Section 6.1.3.
+    pub fn volta_style() -> Self {
+        GpuConfig {
+            design: DesignKind::VoltaStyle,
+            cores: 8,
+            core: CoreConfig::vortex_default(),
+            smem: SmemConfig::double_banked(),
+            dma: DmaConfig::default(),
+            tightly: TightlyCoupledConfig { macs_per_cycle: 32 },
+            decoupled: DecoupledConfig::default(),
+            matrix_units: Vec::new(),
+            dtype: DataType::Fp16,
+            frequency: Frequency::VIRGO_SOC,
+        }
+    }
+
+    /// The Ampere-style baseline: Volta-style plus a cluster DMA engine.
+    pub fn ampere_style() -> Self {
+        GpuConfig {
+            design: DesignKind::AmpereStyle,
+            ..Self::volta_style()
+        }
+    }
+
+    /// The Hopper-style baseline: 4 cores with operand-decoupled tensor
+    /// units (64 MACs each) and a cluster DMA engine. The shared memory uses
+    /// 16 subbanks per bank so each bank can serve the units' 64-byte operand
+    /// reads in a single cycle.
+    pub fn hopper_style() -> Self {
+        GpuConfig {
+            design: DesignKind::HopperStyle,
+            cores: 4,
+            smem: SmemConfig::virgo_cluster(),
+            decoupled: DecoupledConfig {
+                macs_per_cycle: 64,
+                smem_read_bytes: 64,
+                ..DecoupledConfig::default()
+            },
+            matrix_units: Vec::new(),
+            ..Self::volta_style()
+        }
+    }
+
+    /// The Virgo design: 8 cores plus one disaggregated 16×16 FP16 matrix
+    /// unit with a 32 KiB accumulator memory.
+    pub fn virgo() -> Self {
+        GpuConfig {
+            design: DesignKind::Virgo,
+            cores: 8,
+            smem: SmemConfig::virgo_cluster(),
+            matrix_units: vec![MatrixUnitSpec::default_fp16()],
+            ..Self::volta_style()
+        }
+    }
+
+    /// The heterogeneous Virgo configuration of Section 6.3: one 16×16 unit
+    /// and one 8×8 unit sharing the cluster.
+    pub fn virgo_heterogeneous() -> Self {
+        GpuConfig {
+            matrix_units: vec![MatrixUnitSpec::default_fp16(), MatrixUnitSpec::small_fp16()],
+            ..Self::virgo()
+        }
+    }
+
+    /// The configuration for a given design point, at Table 2 defaults.
+    pub fn for_design(design: DesignKind) -> Self {
+        match design {
+            DesignKind::VoltaStyle => Self::volta_style(),
+            DesignKind::AmpereStyle => Self::ampere_style(),
+            DesignKind::HopperStyle => Self::hopper_style(),
+            DesignKind::Virgo => Self::virgo(),
+        }
+    }
+
+    /// Converts a configuration to its FP32 variant (used by the
+    /// FlashAttention-3 evaluation, Section 5.3): the per-unit MAC counts
+    /// halve and the Virgo array shrinks to 8×8.
+    #[must_use]
+    pub fn to_fp32(&self) -> Self {
+        let mut cfg = self.clone();
+        cfg.dtype = DataType::Fp32;
+        cfg.tightly.macs_per_cycle = 16;
+        cfg.decoupled.macs_per_cycle = 32;
+        if !cfg.matrix_units.is_empty() {
+            cfg.matrix_units = vec![MatrixUnitSpec::default_fp32()];
+        }
+        cfg
+    }
+
+    /// Peak matrix multiply-accumulate throughput of the cluster in MACs per
+    /// cycle — the denominator of the Table 3 utilization metric.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        match self.design {
+            DesignKind::VoltaStyle | DesignKind::AmpereStyle => {
+                u64::from(self.cores) * u64::from(self.tightly.macs_per_cycle)
+            }
+            DesignKind::HopperStyle => {
+                u64::from(self.cores) * u64::from(self.decoupled.macs_per_cycle)
+            }
+            DesignKind::Virgo => self
+                .matrix_units
+                .iter()
+                .map(|u| u.gemmini.macs_per_cycle())
+                .sum(),
+        }
+    }
+
+    /// Global memory configuration derived from the core count.
+    pub fn global_memory(&self) -> GlobalMemoryConfig {
+        GlobalMemoryConfig::default_soc(self.cores)
+    }
+
+    /// Area-model parameters for this configuration (Figure 7).
+    pub fn area_params(&self) -> AreaParams {
+        let accum_kib: u64 = self
+            .matrix_units
+            .iter()
+            .map(|u| u.accumulator_bytes / 1024)
+            .sum();
+        AreaParams {
+            cores: self.cores,
+            l1_kib_per_core: 32,
+            l2_kib: 512,
+            smem_kib: (self.smem.capacity_bytes / 1024) as u32,
+            regfile_kib_per_core: self.core.regfile_kib,
+            matrix_macs: self.peak_macs_per_cycle() as u32,
+            accum_kib: accum_kib as u32,
+            has_dma: self.design.has_dma(),
+            smem_wide_port: !self.design.is_core_coupled()
+                || self.design == DesignKind::HopperStyle,
+        }
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::virgo()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_designs_have_matching_presets() {
+        for design in DesignKind::all() {
+            let cfg = GpuConfig::for_design(design);
+            assert_eq!(cfg.design, design);
+        }
+    }
+
+    #[test]
+    fn all_designs_have_equal_peak_macs() {
+        // Table 2: every configuration has 256 FP16 MACs per cluster so the
+        // comparison is iso-throughput.
+        for design in DesignKind::all() {
+            let cfg = GpuConfig::for_design(design);
+            assert_eq!(cfg.peak_macs_per_cycle(), 256, "{design}");
+        }
+    }
+
+    #[test]
+    fn dma_presence_follows_design() {
+        assert!(!DesignKind::VoltaStyle.has_dma());
+        assert!(DesignKind::AmpereStyle.has_dma());
+        assert!(DesignKind::HopperStyle.has_dma());
+        assert!(DesignKind::Virgo.has_dma());
+    }
+
+    #[test]
+    fn hopper_has_four_cores_others_eight() {
+        assert_eq!(GpuConfig::hopper_style().cores, 4);
+        assert_eq!(GpuConfig::volta_style().cores, 8);
+        assert_eq!(GpuConfig::virgo().cores, 8);
+    }
+
+    #[test]
+    fn virgo_has_exactly_one_matrix_unit_by_default() {
+        assert_eq!(GpuConfig::virgo().matrix_units.len(), 1);
+        assert!(GpuConfig::volta_style().matrix_units.is_empty());
+        assert_eq!(GpuConfig::virgo_heterogeneous().matrix_units.len(), 2);
+    }
+
+    #[test]
+    fn fp32_variant_halves_mac_rates() {
+        let fp32 = GpuConfig::ampere_style().to_fp32();
+        assert_eq!(fp32.dtype, DataType::Fp32);
+        assert_eq!(fp32.peak_macs_per_cycle(), 128);
+        let virgo32 = GpuConfig::virgo().to_fp32();
+        assert_eq!(virgo32.peak_macs_per_cycle(), 64);
+    }
+
+    #[test]
+    fn area_params_reflect_configuration() {
+        let params = GpuConfig::virgo().area_params();
+        assert_eq!(params.cores, 8);
+        assert_eq!(params.accum_kib, 32);
+        assert!(params.has_dma);
+        assert!(params.smem_wide_port);
+        let volta = GpuConfig::volta_style().area_params();
+        assert_eq!(volta.accum_kib, 0);
+        assert!(!volta.has_dma);
+    }
+
+    #[test]
+    fn design_names_match_paper_terms() {
+        assert_eq!(DesignKind::Virgo.to_string(), "Virgo");
+        assert_eq!(DesignKind::HopperStyle.to_string(), "Hopper-style");
+    }
+}

@@ -1,0 +1,53 @@
+//! The Virgo GPU cluster simulator.
+//!
+//! This crate assembles the substrates of the workspace — SIMT cores
+//! (`virgo-simt`), the banked shared memory, caches, DRAM and DMA
+//! (`virgo-mem`), the core-coupled tensor units (`virgo-tensor`), the
+//! disaggregated cluster-level matrix unit (`virgo-gemmini`) and the
+//! energy/area models (`virgo-energy`) — into the four GPU design points the
+//! paper evaluates:
+//!
+//! * **Volta-style** — tightly-coupled tensor cores, no DMA,
+//! * **Ampere-style** — tightly-coupled tensor cores plus a cluster DMA,
+//! * **Hopper-style** — operand-decoupled tensor cores plus a cluster DMA,
+//! * **Virgo** — a single disaggregated matrix unit at the cluster level.
+//!
+//! The main entry point is [`Gpu`]: configure it with a [`GpuConfig`] preset,
+//! hand it a [`Kernel`](virgo_isa::Kernel) built by `virgo-kernels`, and it
+//! returns a [`SimReport`] containing the cycle count, MAC utilization,
+//! per-component active power and energy, and the raw event statistics the
+//! paper's tables and figures are derived from.
+//!
+//! # Example
+//!
+//! ```
+//! use virgo::{DesignKind, Gpu, GpuConfig};
+//! use virgo_isa::{DataType, Kernel, KernelInfo, ProgramBuilder, WarpAssignment, WarpOp};
+//! use std::sync::Arc;
+//!
+//! // A trivial kernel: one warp executing a few ALU instructions.
+//! let mut b = ProgramBuilder::new();
+//! b.op_n(8, WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+//! let program = Arc::new(b.build());
+//! let kernel = Kernel::new(
+//!     KernelInfo::new("smoke", 0, DataType::Fp16),
+//!     vec![WarpAssignment::new(0, 0, program)],
+//! );
+//!
+//! let mut gpu = Gpu::new(GpuConfig::for_design(DesignKind::Virgo));
+//! let report = gpu.run(&kernel, 10_000).expect("kernel finishes");
+//! assert!(report.cycles().get() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod config;
+pub mod report;
+pub mod run;
+
+pub use cluster::{Cluster, ClusterDevices};
+pub use config::{DesignKind, GpuConfig, MatrixUnitSpec};
+pub use report::SimReport;
+pub use run::{Gpu, SimError};

@@ -1,0 +1,384 @@
+//! Simulation reports: cycles, utilization, energy, power and area.
+
+use virgo_energy::{
+    AreaModel, AreaReport, Component, EnergyEvent, EnergyLedger, EnergyTable, MatrixSubcomponent,
+    PowerReport,
+};
+use virgo_isa::KernelInfo;
+use virgo_mem::{DmaStats, DramStats, GlobalMemoryStats, SmemStats};
+use virgo_sim::{Cycle, Frequency, Ratio};
+use virgo_simt::CoreStats;
+
+use crate::cluster::{Cluster, ClusterStats};
+use crate::config::DesignKind;
+
+/// The result of simulating one kernel on one GPU configuration.
+///
+/// A report bundles the raw event statistics together with the derived
+/// quantities the paper's evaluation uses: cycle count, MAC utilization
+/// (Table 3), per-component active power (Figures 8–10), matrix-unit energy
+/// breakdown (Figure 11), shared-memory read footprint (Table 4) and the SoC
+/// area breakdown (Figure 7).
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    design: DesignKind,
+    kernel_name: String,
+    cycles: Cycle,
+    frequency: Frequency,
+    kernel_macs: u64,
+    performed_macs: u64,
+    peak_macs_per_cycle: u64,
+    core_stats: CoreStats,
+    smem_stats: SmemStats,
+    gmem_stats: GlobalMemoryStats,
+    dram_stats: DramStats,
+    dma_stats: Option<DmaStats>,
+    cluster_stats: ClusterStats,
+    power: PowerReport,
+    area: AreaReport,
+}
+
+impl SimReport {
+    /// Builds a report from a finished cluster.
+    pub(crate) fn from_cluster(cluster: &Cluster, info: &KernelInfo, cycles: Cycle) -> Self {
+        let config = cluster.config();
+        let devices = cluster.devices();
+        let core_stats = cluster.core_stats();
+
+        let performed_macs = devices
+            .tightly_units
+            .iter()
+            .map(|u| u.stats().macs)
+            .chain(devices.decoupled_units.iter().map(|u| u.stats().macs))
+            .chain(devices.gemmini_units.iter().map(|u| u.stats().macs))
+            .sum();
+
+        let ledger = build_ledger(cluster, &core_stats);
+        let table = EnergyTable::default_16nm();
+        let power = PowerReport::from_ledger(&ledger, &table, cycles, config.frequency);
+        let area = AreaModel::default_16nm().estimate(&config.area_params());
+
+        SimReport {
+            design: config.design,
+            kernel_name: info.name.clone(),
+            cycles,
+            frequency: config.frequency,
+            kernel_macs: info.total_macs,
+            performed_macs,
+            peak_macs_per_cycle: config.peak_macs_per_cycle(),
+            core_stats,
+            smem_stats: devices.smem.stats(),
+            gmem_stats: devices.gmem.stats(),
+            dram_stats: devices.gmem.dram_stats(),
+            dma_stats: devices.dma.as_ref().map(|d| d.stats()),
+            cluster_stats: devices.stats(),
+            power,
+            area,
+        }
+    }
+
+    /// The design point that ran the kernel.
+    pub fn design(&self) -> DesignKind {
+        self.design
+    }
+
+    /// The kernel's name.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel_name
+    }
+
+    /// Simulated cycles from kernel launch to completion.
+    pub fn cycles(&self) -> Cycle {
+        self.cycles
+    }
+
+    /// Simulated runtime in seconds at the SoC clock.
+    pub fn runtime_seconds(&self) -> f64 {
+        self.frequency.cycles_to_seconds(self.cycles)
+    }
+
+    /// Multiply-accumulates actually performed by the matrix units.
+    pub fn performed_macs(&self) -> u64 {
+        self.performed_macs
+    }
+
+    /// Multiply-accumulates the kernel was expected to perform.
+    pub fn kernel_macs(&self) -> u64 {
+        self.kernel_macs
+    }
+
+    /// MAC utilization — the Table 3 metric: performed MACs divided by the
+    /// cluster's peak MAC capacity over the runtime.
+    pub fn mac_utilization(&self) -> Ratio {
+        Ratio::new(
+            self.performed_macs as f64,
+            self.cycles.as_f64() * self.peak_macs_per_cycle as f64,
+        )
+    }
+
+    /// Total instructions retired by the SIMT cores (excluding fence polls).
+    pub fn instructions_retired(&self) -> u64 {
+        self.core_stats.instrs_issued
+    }
+
+    /// Busy-register polls issued inside `virgo_fence` loops.
+    pub fn fence_poll_instructions(&self) -> u64 {
+        self.core_stats.fence_poll_instrs
+    }
+
+    /// Cycles during which at least one warp was spinning in `virgo_fence`
+    /// (Section 4.5.1's synchronization-overhead metric).
+    pub fn fence_wait_cycles(&self) -> u64 {
+        self.core_stats.fence_wait_cycles
+    }
+
+    /// The shared-memory read footprint in bytes (Table 4).
+    pub fn smem_read_footprint_bytes(&self) -> u64 {
+        self.smem_stats.bytes_read
+    }
+
+    /// Aggregated SIMT-core statistics.
+    pub fn core_stats(&self) -> &CoreStats {
+        &self.core_stats
+    }
+
+    /// Shared-memory statistics.
+    pub fn smem_stats(&self) -> &SmemStats {
+        &self.smem_stats
+    }
+
+    /// Global-memory (cache hierarchy) statistics.
+    pub fn gmem_stats(&self) -> &GlobalMemoryStats {
+        &self.gmem_stats
+    }
+
+    /// DRAM interface statistics.
+    pub fn dram_stats(&self) -> &DramStats {
+        &self.dram_stats
+    }
+
+    /// DMA statistics, when the design has a DMA engine.
+    pub fn dma_stats(&self) -> Option<&DmaStats> {
+        self.dma_stats.as_ref()
+    }
+
+    /// Cluster-level (MMIO / async tracking) statistics.
+    pub fn cluster_stats(&self) -> &ClusterStats {
+        &self.cluster_stats
+    }
+
+    /// The active power / energy report (Figures 8–11).
+    pub fn power(&self) -> &PowerReport {
+        &self.power
+    }
+
+    /// The SoC area breakdown (Figure 7).
+    pub fn area(&self) -> &AreaReport {
+        &self.area
+    }
+
+    /// Total active energy in millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.power.total_energy_mj()
+    }
+
+    /// Total SoC active power in milliwatts.
+    pub fn active_power_mw(&self) -> f64 {
+        self.power.active_power_mw()
+    }
+}
+
+/// Converts the event counters of every cluster component into an energy
+/// ledger.
+fn build_ledger(cluster: &Cluster, core_stats: &CoreStats) -> EnergyLedger {
+    let devices = cluster.devices();
+    let mut ledger = EnergyLedger::new();
+
+    // SIMT cores (Figure 10 stages). Register reads are part of the issue /
+    // operand-collection stage; register writes are charged to writeback,
+    // matching the paper's attribution of register-file power.
+    ledger.record(
+        Component::CoreIssue,
+        EnergyEvent::InstrIssued,
+        core_stats.instrs_issued + core_stats.fence_poll_instrs,
+    );
+    ledger.record(Component::CoreIssue, EnergyEvent::RegRead, core_stats.rf_reads);
+    ledger.record(Component::CoreWriteback, EnergyEvent::RegWrite, core_stats.rf_writes);
+    ledger.record(
+        Component::CoreWriteback,
+        EnergyEvent::Writeback,
+        core_stats.writebacks,
+    );
+    ledger.record(Component::CoreAlu, EnergyEvent::AluOp, core_stats.alu_lane_ops);
+    ledger.record(Component::CoreFpu, EnergyEvent::FpuOp, core_stats.fpu_lane_ops);
+    ledger.record(Component::CoreLsu, EnergyEvent::LsuOp, core_stats.lsu_lane_ops);
+    ledger.record(
+        Component::CoreLsu,
+        EnergyEvent::CoalescerOp,
+        devices.coalescer_ops(),
+    );
+    ledger.record(
+        Component::CoreOther,
+        EnergyEvent::BarrierEvent,
+        core_stats.barrier_arrivals + devices.synchronizer.release_events(),
+    );
+    ledger.record(
+        Component::CoreOther,
+        EnergyEvent::MmioAccess,
+        core_stats.fence_poll_instrs,
+    );
+
+    // Instruction fetch: one L1I line access per group of issued
+    // instructions, plus the data-side cache traffic.
+    let gmem = devices.gmem.stats();
+    ledger.record(
+        Component::L1Cache,
+        EnergyEvent::L1Access,
+        core_stats.icache_accesses + gmem.l1_accesses,
+    );
+    ledger.record(Component::L1Cache, EnergyEvent::L1Fill, gmem.l1_misses);
+    ledger.record(Component::L2Cache, EnergyEvent::L2Access, gmem.l2_accesses);
+    let dram = devices.gmem.dram_stats();
+    ledger.record(Component::DmaOther, EnergyEvent::DramBurst, dram.bursts);
+
+    // Shared memory.
+    let smem = devices.smem.stats();
+    ledger.record(
+        Component::SharedMem,
+        EnergyEvent::SmemWordAccess,
+        smem.words_read + smem.words_written,
+    );
+    ledger.record(
+        Component::SharedMem,
+        EnergyEvent::SmemConflict,
+        smem.conflict_cycles,
+    );
+
+    // DMA engine and MMIO plumbing.
+    if let Some(dma) = &devices.dma {
+        ledger.record(Component::DmaOther, EnergyEvent::DmaBeat, dma.stats().beats);
+    }
+    ledger.record(
+        Component::DmaOther,
+        EnergyEvent::MmioAccess,
+        devices.stats().mmio_writes,
+    );
+
+    // Tightly-coupled tensor units (Volta/Ampere-style).
+    for unit in &devices.tightly_units {
+        let s = unit.stats();
+        ledger.record_matrix(MatrixSubcomponent::PeArray, EnergyEvent::MacTreePe, s.macs);
+        ledger.record_matrix(
+            MatrixSubcomponent::OperandBuffer,
+            EnergyEvent::OperandBufferAccess,
+            s.operand_buffer_words,
+        );
+        ledger.record_matrix(
+            MatrixSubcomponent::ResultBuffer,
+            EnergyEvent::ResultBufferAccess,
+            s.result_buffer_words,
+        );
+        ledger.record_matrix(
+            MatrixSubcomponent::Control,
+            EnergyEvent::MatrixControl,
+            s.control_events,
+        );
+    }
+
+    // Operand-decoupled tensor units (Hopper-style). Their accumulator
+    // traffic hits the core register file.
+    for unit in &devices.decoupled_units {
+        let s = unit.stats();
+        ledger.record_matrix(MatrixSubcomponent::PeArray, EnergyEvent::MacTreePe, s.macs);
+        ledger.record_matrix(
+            MatrixSubcomponent::OperandBuffer,
+            EnergyEvent::OperandBufferAccess,
+            s.operand_buffer_words,
+        );
+        ledger.record_matrix(
+            MatrixSubcomponent::ResultBuffer,
+            EnergyEvent::ResultBufferAccess,
+            s.result_buffer_words,
+        );
+        ledger.record_matrix(
+            MatrixSubcomponent::Control,
+            EnergyEvent::MatrixControl,
+            s.control_events,
+        );
+        ledger.record(Component::CoreIssue, EnergyEvent::RegRead, s.rf_accum_reads);
+        ledger.record(Component::CoreWriteback, EnergyEvent::RegWrite, s.rf_accum_writes);
+    }
+
+    // Disaggregated matrix units (Virgo).
+    for unit in &devices.gemmini_units {
+        let s = unit.stats();
+        ledger.record_matrix(MatrixSubcomponent::PeArray, EnergyEvent::MacSystolic, s.macs);
+        ledger.record_matrix(
+            MatrixSubcomponent::SmemInterface,
+            EnergyEvent::OperandBufferAccess,
+            s.smem_words_read,
+        );
+        ledger.record_matrix(
+            MatrixSubcomponent::AccumMem,
+            EnergyEvent::AccumWordAccess,
+            s.accum_words_read + s.accum_words_written,
+        );
+        ledger.record_matrix(
+            MatrixSubcomponent::Control,
+            EnergyEvent::MatrixControl,
+            s.control_events,
+        );
+    }
+
+    ledger
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::run::Gpu;
+    use std::sync::Arc;
+    use virgo_isa::{DataType, Kernel, ProgramBuilder, WarpAssignment, WarpOp};
+
+    fn trivial_kernel(macs_claimed: u64) -> Kernel {
+        let mut b = ProgramBuilder::new();
+        b.op_n(32, WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+        Kernel::new(
+            KernelInfo::new("alu-only", macs_claimed, DataType::Fp16),
+            vec![WarpAssignment::new(0, 0, Arc::new(b.build()))],
+        )
+    }
+
+    #[test]
+    fn report_exposes_basic_quantities() {
+        let mut gpu = Gpu::new(GpuConfig::virgo());
+        let report = gpu.run(&trivial_kernel(0), 100_000).unwrap();
+        assert_eq!(report.design(), DesignKind::Virgo);
+        assert_eq!(report.kernel_name(), "alu-only");
+        assert_eq!(report.instructions_retired(), 32);
+        assert!(report.cycles().get() >= 32);
+        assert!(report.runtime_seconds() > 0.0);
+        assert!(report.total_energy_mj() > 0.0);
+        assert!(report.active_power_mw() > 0.0);
+        assert!(report.area().total_mm2() > 0.0);
+    }
+
+    #[test]
+    fn utilization_is_zero_without_matrix_work() {
+        let mut gpu = Gpu::new(GpuConfig::virgo());
+        let report = gpu.run(&trivial_kernel(1000), 100_000).unwrap();
+        assert_eq!(report.performed_macs(), 0);
+        assert_eq!(report.mac_utilization().as_percent(), 0.0);
+    }
+
+    #[test]
+    fn core_energy_dominates_for_alu_only_kernel() {
+        let mut gpu = Gpu::new(GpuConfig::virgo());
+        let report = gpu.run(&trivial_kernel(0), 100_000).unwrap();
+        let core = report.power().core_energy_uj();
+        let total = report.power().total_energy_uj();
+        assert!(core > 0.0);
+        assert!(core / total > 0.5, "core fraction {}", core / total);
+    }
+}

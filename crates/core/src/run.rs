@@ -1,0 +1,158 @@
+//! The top-level GPU object and simulation driver.
+
+use std::fmt;
+
+use virgo_isa::Kernel;
+use virgo_sim::Cycle;
+
+use crate::cluster::Cluster;
+use crate::config::GpuConfig;
+use crate::report::SimReport;
+
+/// Errors returned by [`Gpu::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The kernel did not finish within the cycle budget — usually a
+    /// deadlocked synchronization pattern (mismatched barriers or a fence on
+    /// an operation that was never launched).
+    Timeout {
+        /// The cycle budget that was exhausted.
+        limit: u64,
+    },
+    /// The kernel uses no warps.
+    EmptyKernel,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout { limit } => {
+                write!(f, "kernel did not finish within {limit} cycles")
+            }
+            SimError::EmptyKernel => write!(f, "kernel has no warps"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A simulated GPU (one cluster plus its memory system) at a fixed
+/// configuration.
+///
+/// Each [`Gpu::run`] builds a fresh cluster (cold caches, idle engines) so
+/// runs are independent and reproducible.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    config: GpuConfig,
+}
+
+impl Gpu {
+    /// Creates a GPU with the given configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        Gpu { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Simulates `kernel` to completion, up to `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] if the kernel has not finished within
+    /// `max_cycles`, and [`SimError::EmptyKernel`] if the kernel contains no
+    /// warps.
+    pub fn run(&mut self, kernel: &Kernel, max_cycles: u64) -> Result<SimReport, SimError> {
+        if kernel.warps.is_empty() {
+            return Err(SimError::EmptyKernel);
+        }
+        let mut cluster = Cluster::new(self.config.clone(), kernel);
+        let mut cycle = 0u64;
+        while cycle < max_cycles {
+            if cluster.finished() {
+                return Ok(SimReport::from_cluster(
+                    &cluster,
+                    &kernel.info,
+                    Cycle::new(cycle),
+                ));
+            }
+            cluster.tick(Cycle::new(cycle));
+            cycle += 1;
+        }
+        if cluster.finished() {
+            Ok(SimReport::from_cluster(
+                &cluster,
+                &kernel.info,
+                Cycle::new(cycle),
+            ))
+        } else {
+            Err(SimError::Timeout { limit: max_cycles })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DesignKind, GpuConfig};
+    use std::sync::Arc;
+    use virgo_isa::{DataType, KernelInfo, ProgramBuilder, WarpAssignment, WarpOp};
+
+    fn kernel(ops: u32) -> Kernel {
+        let mut b = ProgramBuilder::new();
+        b.op_n(ops, WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+        Kernel::new(
+            KernelInfo::new("k", 0, DataType::Fp16),
+            vec![WarpAssignment::new(0, 0, Arc::new(b.build()))],
+        )
+    }
+
+    #[test]
+    fn run_returns_report_for_finishing_kernel() {
+        let mut gpu = Gpu::new(GpuConfig::for_design(DesignKind::AmpereStyle));
+        let report = gpu.run(&kernel(4), 1000).unwrap();
+        assert_eq!(report.instructions_retired(), 4);
+    }
+
+    #[test]
+    fn empty_kernel_is_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::virgo());
+        let empty = Kernel::new(KernelInfo::new("none", 0, DataType::Fp16), Vec::new());
+        assert_eq!(gpu.run(&empty, 100).unwrap_err(), SimError::EmptyKernel);
+    }
+
+    #[test]
+    fn deadlocked_kernel_times_out() {
+        // A single warp waiting at a two-participant barrier never finishes.
+        let mut b = ProgramBuilder::new();
+        b.op(WarpOp::Barrier { id: 0 });
+        let lonely = Kernel::new(
+            KernelInfo::new("deadlock", 0, DataType::Fp16),
+            vec![
+                WarpAssignment::new(0, 0, Arc::new(b.build())),
+                WarpAssignment::new(0, 1, Arc::new(ProgramBuilder::new().build())),
+            ],
+        );
+        let mut gpu = Gpu::new(GpuConfig::virgo());
+        let result = gpu.run(&lonely, 2000);
+        assert_eq!(result.unwrap_err(), SimError::Timeout { limit: 2000 });
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let mut gpu = Gpu::new(GpuConfig::virgo());
+        let a = gpu.run(&kernel(64), 100_000).unwrap();
+        let b = gpu.run(&kernel(64), 100_000).unwrap();
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.instructions_retired(), b.instructions_retired());
+        assert!((a.total_energy_mj() - b.total_energy_mj()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(SimError::Timeout { limit: 5 }.to_string().contains("5 cycles"));
+        assert!(SimError::EmptyKernel.to_string().contains("no warps"));
+    }
+}

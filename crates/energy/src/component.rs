@@ -1,0 +1,230 @@
+//! Hardware components used as energy/power/area accounting buckets.
+//!
+//! The granularity follows the paper's breakdown figures: Figure 9 splits the
+//! SoC into L2 cache, L1 cache, shared memory, Vortex core, accumulator
+//! memory, matrix unit and "DMA & other"; Figure 10 further splits the Vortex
+//! core into pipeline stages; Figure 11 splits the matrix unit internally.
+
+/// A component of the GPU SoC, at the granularity of the paper's power
+/// breakdown figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// The shared last-level (L2) cache.
+    L2Cache,
+    /// Per-core L1 instruction and data caches.
+    L1Cache,
+    /// The cluster shared memory (scratchpad) including its interconnect.
+    SharedMem,
+    /// SIMT core: instruction issue (fetch, decode, scoreboard, warp
+    /// scheduler, operand collection / register file access).
+    CoreIssue,
+    /// SIMT core: integer ALU datapath.
+    CoreAlu,
+    /// SIMT core: floating-point datapath.
+    CoreFpu,
+    /// SIMT core: load/store unit and memory coalescer.
+    CoreLsu,
+    /// SIMT core: writeback stage.
+    CoreWriteback,
+    /// SIMT core: everything else (branch handling, CSR, synchronization).
+    CoreOther,
+    /// The disaggregated matrix unit's private accumulator SRAM.
+    AccumMem,
+    /// The matrix unit (tensor core or systolic array) datapath and buffers.
+    MatrixUnit,
+    /// Cluster DMA engine, MMIO plumbing and remaining SoC glue.
+    DmaOther,
+}
+
+impl Component {
+    /// Every distinct component, in report order.
+    pub fn all() -> [Component; 12] {
+        [
+            Component::L2Cache,
+            Component::L1Cache,
+            Component::SharedMem,
+            Component::CoreIssue,
+            Component::CoreAlu,
+            Component::CoreFpu,
+            Component::CoreLsu,
+            Component::CoreWriteback,
+            Component::CoreOther,
+            Component::AccumMem,
+            Component::MatrixUnit,
+            Component::DmaOther,
+        ]
+    }
+
+    /// True when the component is one of the SIMT core pipeline stages
+    /// (the "Vortex Core" group of Figure 9).
+    pub fn is_core(self) -> bool {
+        matches!(
+            self,
+            Component::CoreIssue
+                | Component::CoreAlu
+                | Component::CoreFpu
+                | Component::CoreLsu
+                | Component::CoreWriteback
+                | Component::CoreOther
+        )
+    }
+
+    /// Display name matching the labels used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::L2Cache => "L2 Cache",
+            Component::L1Cache => "L1 Cache",
+            Component::SharedMem => "Shared Mem",
+            Component::CoreIssue => "Core: Issue",
+            Component::CoreAlu => "Core: ALU",
+            Component::CoreFpu => "Core: FPU",
+            Component::CoreLsu => "Core: LSU",
+            Component::CoreWriteback => "Core: Writeback",
+            Component::CoreOther => "Core: Other",
+            Component::AccumMem => "Accum Mem",
+            Component::MatrixUnit => "Matrix Unit",
+            Component::DmaOther => "DMA & Other",
+        }
+    }
+
+    /// The coarse SoC-level group (Figure 9 granularity) this component
+    /// belongs to; core pipeline stages all map to "Vortex Core".
+    pub fn soc_group(self) -> &'static str {
+        if self.is_core() {
+            "Vortex Core"
+        } else {
+            self.name()
+        }
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The SIMT-core pipeline stages of the Figure 10 breakdown.
+///
+/// This is a convenience projection of the `Core*` variants of [`Component`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreStage {
+    /// Instruction issue, scheduling and register file access.
+    Issue,
+    /// Integer ALU.
+    Alu,
+    /// Floating-point unit.
+    Fpu,
+    /// Load/store unit.
+    Lsu,
+    /// Writeback.
+    Writeback,
+    /// Remaining core logic.
+    Other,
+}
+
+impl CoreStage {
+    /// All stages in Figure 10 order.
+    pub fn all() -> [CoreStage; 6] {
+        [
+            CoreStage::Issue,
+            CoreStage::Alu,
+            CoreStage::Fpu,
+            CoreStage::Lsu,
+            CoreStage::Writeback,
+            CoreStage::Other,
+        ]
+    }
+
+    /// The corresponding SoC component.
+    pub fn component(self) -> Component {
+        match self {
+            CoreStage::Issue => Component::CoreIssue,
+            CoreStage::Alu => Component::CoreAlu,
+            CoreStage::Fpu => Component::CoreFpu,
+            CoreStage::Lsu => Component::CoreLsu,
+            CoreStage::Writeback => Component::CoreWriteback,
+            CoreStage::Other => Component::CoreOther,
+        }
+    }
+}
+
+/// Internal subcomponents of a matrix unit, used for the Figure 11 energy
+/// breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MatrixSubcomponent {
+    /// The processing elements: dot-product units (tensor cores) or the
+    /// systolic array (Virgo).
+    PeArray,
+    /// Operand staging buffers of core-coupled tensor cores.
+    OperandBuffer,
+    /// Result staging buffers of core-coupled tensor cores.
+    ResultBuffer,
+    /// The shared-memory interface of the disaggregated unit.
+    SmemInterface,
+    /// The accumulator memory of the disaggregated unit.
+    AccumMem,
+    /// Sequencing / control logic.
+    Control,
+}
+
+impl MatrixSubcomponent {
+    /// Display name matching Figure 11's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            MatrixSubcomponent::PeArray => "PE Array",
+            MatrixSubcomponent::OperandBuffer => "Operands Buffer",
+            MatrixSubcomponent::ResultBuffer => "Result Buffer",
+            MatrixSubcomponent::SmemInterface => "SMEM Interface",
+            MatrixSubcomponent::AccumMem => "Accum Mem",
+            MatrixSubcomponent::Control => "Control",
+        }
+    }
+}
+
+impl std::fmt::Display for MatrixSubcomponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_stage_components_are_core() {
+        for stage in CoreStage::all() {
+            assert!(stage.component().is_core());
+        }
+    }
+
+    #[test]
+    fn non_core_components_are_not_core() {
+        assert!(!Component::L2Cache.is_core());
+        assert!(!Component::MatrixUnit.is_core());
+        assert!(!Component::AccumMem.is_core());
+    }
+
+    #[test]
+    fn soc_group_merges_core_stages() {
+        assert_eq!(Component::CoreAlu.soc_group(), "Vortex Core");
+        assert_eq!(Component::CoreIssue.soc_group(), "Vortex Core");
+        assert_eq!(Component::L1Cache.soc_group(), "L1 Cache");
+    }
+
+    #[test]
+    fn all_components_have_unique_names() {
+        let names: Vec<_> = Component::all().iter().map(|c| c.name()).collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(names.len(), deduped.len());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Component::SharedMem.to_string(), "Shared Mem");
+        assert_eq!(MatrixSubcomponent::PeArray.to_string(), "PE Array");
+    }
+}

@@ -1,0 +1,161 @@
+//! The taxonomy of energy-consuming events recorded by the timing model.
+
+/// A single countable hardware activity with an associated per-event energy.
+///
+/// Events are deliberately fine-grained and hardware-oriented (per word, per
+/// lane-operation, per burst) so that the same table applies to all four
+/// design points, keeping comparisons apples-to-apples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EnergyEvent {
+    /// One instruction passing through fetch/decode/scoreboard/warp scheduler.
+    InstrIssued,
+    /// One 32-bit register file read (per lane).
+    RegRead,
+    /// One 32-bit register file write (per lane).
+    RegWrite,
+    /// One integer ALU lane-operation.
+    AluOp,
+    /// One floating-point lane-operation (an FMA counts as two).
+    FpuOp,
+    /// One load/store lane-operation handled by the LSU (address generation,
+    /// queue management).
+    LsuOp,
+    /// One instruction writeback.
+    Writeback,
+    /// One 32-bit word read or written in the shared memory.
+    SmemWordAccess,
+    /// One shared-memory bank-conflict replay cycle.
+    SmemConflict,
+    /// One L1 cache access (tag + data).
+    L1Access,
+    /// One L1 cache line fill or eviction.
+    L1Fill,
+    /// One L2 cache access.
+    L2Access,
+    /// One DRAM burst (32 bytes) transferred.
+    DramBurst,
+    /// One multiply-accumulate in a tree-reduction dot-product unit
+    /// (separate multiplier and adder, as in Tensor Cores).
+    MacTreePe,
+    /// One multiply-accumulate in a fused systolic processing element.
+    MacSystolic,
+    /// One 32-bit word staged through a tensor core operand buffer.
+    OperandBufferAccess,
+    /// One 32-bit word staged through a tensor core result buffer.
+    ResultBufferAccess,
+    /// One 32-bit word read or written in the accumulator SRAM.
+    AccumWordAccess,
+    /// One 32-byte beat moved by the DMA engine.
+    DmaBeat,
+    /// One MMIO register access over the cluster interconnect.
+    MmioAccess,
+    /// One control/sequencing step inside a matrix unit (FSM transition,
+    /// HMMA step sequencing, wgmma address generation).
+    MatrixControl,
+    /// One coalescer lookup/merge operation.
+    CoalescerOp,
+    /// One cluster synchronizer barrier event.
+    BarrierEvent,
+}
+
+impl EnergyEvent {
+    /// Every event kind, used to size dense tables.
+    pub const ALL: [EnergyEvent; 23] = [
+        EnergyEvent::InstrIssued,
+        EnergyEvent::RegRead,
+        EnergyEvent::RegWrite,
+        EnergyEvent::AluOp,
+        EnergyEvent::FpuOp,
+        EnergyEvent::LsuOp,
+        EnergyEvent::Writeback,
+        EnergyEvent::SmemWordAccess,
+        EnergyEvent::SmemConflict,
+        EnergyEvent::L1Access,
+        EnergyEvent::L1Fill,
+        EnergyEvent::L2Access,
+        EnergyEvent::DramBurst,
+        EnergyEvent::MacTreePe,
+        EnergyEvent::MacSystolic,
+        EnergyEvent::OperandBufferAccess,
+        EnergyEvent::ResultBufferAccess,
+        EnergyEvent::AccumWordAccess,
+        EnergyEvent::DmaBeat,
+        EnergyEvent::MmioAccess,
+        EnergyEvent::MatrixControl,
+        EnergyEvent::CoalescerOp,
+        EnergyEvent::BarrierEvent,
+    ];
+
+    /// A dense index for table lookups.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|e| *e == self)
+            .expect("event present in ALL")
+    }
+
+    /// Short lower-case name used in traces and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnergyEvent::InstrIssued => "instr_issued",
+            EnergyEvent::RegRead => "reg_read",
+            EnergyEvent::RegWrite => "reg_write",
+            EnergyEvent::AluOp => "alu_op",
+            EnergyEvent::FpuOp => "fpu_op",
+            EnergyEvent::LsuOp => "lsu_op",
+            EnergyEvent::Writeback => "writeback",
+            EnergyEvent::SmemWordAccess => "smem_word",
+            EnergyEvent::SmemConflict => "smem_conflict",
+            EnergyEvent::L1Access => "l1_access",
+            EnergyEvent::L1Fill => "l1_fill",
+            EnergyEvent::L2Access => "l2_access",
+            EnergyEvent::DramBurst => "dram_burst",
+            EnergyEvent::MacTreePe => "mac_tree",
+            EnergyEvent::MacSystolic => "mac_systolic",
+            EnergyEvent::OperandBufferAccess => "operand_buffer",
+            EnergyEvent::ResultBufferAccess => "result_buffer",
+            EnergyEvent::AccumWordAccess => "accum_word",
+            EnergyEvent::DmaBeat => "dma_beat",
+            EnergyEvent::MmioAccess => "mmio_access",
+            EnergyEvent::MatrixControl => "matrix_control",
+            EnergyEvent::CoalescerOp => "coalescer_op",
+            EnergyEvent::BarrierEvent => "barrier_event",
+        }
+    }
+}
+
+impl std::fmt::Display for EnergyEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_events_have_unique_indices() {
+        let indices: HashSet<usize> = EnergyEvent::ALL.iter().map(|e| e.index()).collect();
+        assert_eq!(indices.len(), EnergyEvent::ALL.len());
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, event) in EnergyEvent::ALL.iter().enumerate() {
+            assert_eq!(event.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<&str> = EnergyEvent::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), EnergyEvent::ALL.len());
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(EnergyEvent::MacSystolic.to_string(), "mac_systolic");
+    }
+}

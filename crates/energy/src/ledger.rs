@@ -1,0 +1,219 @@
+//! The energy ledger: per-component event counts.
+
+use std::collections::BTreeMap;
+
+use crate::component::{Component, MatrixSubcomponent};
+use crate::event::EnergyEvent;
+use crate::table::EnergyTable;
+
+/// Accumulates event counts per SoC component (and, for matrix units, per
+/// internal subcomponent) during a simulation.
+///
+/// The ledger is purely additive, so per-module ledgers can be merged into a
+/// cluster- or SoC-level ledger at the end of a run.
+///
+/// # Example
+///
+/// ```
+/// use virgo_energy::{Component, EnergyEvent, EnergyLedger, EnergyTable};
+///
+/// let mut a = EnergyLedger::new();
+/// a.record(Component::CoreAlu, EnergyEvent::AluOp, 10);
+/// let mut b = EnergyLedger::new();
+/// b.record(Component::CoreAlu, EnergyEvent::AluOp, 5);
+/// a.merge(&b);
+/// assert_eq!(a.count(Component::CoreAlu, EnergyEvent::AluOp), 15);
+///
+/// let table = EnergyTable::default_16nm();
+/// assert!(a.component_energy_pj(&table, Component::CoreAlu) > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyLedger {
+    counts: BTreeMap<(Component, EnergyEvent), u64>,
+    matrix_counts: BTreeMap<(MatrixSubcomponent, EnergyEvent), u64>,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` occurrences of `event` attributed to `component`.
+    pub fn record(&mut self, component: Component, event: EnergyEvent, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry((component, event)).or_insert(0) += count;
+    }
+
+    /// Records `count` occurrences of `event` attributed to a matrix-unit
+    /// subcomponent. The events are **also** added to the SoC-level
+    /// [`Component::MatrixUnit`] (or [`Component::AccumMem`] for accumulator
+    /// accesses) bucket so that SoC totals remain consistent.
+    pub fn record_matrix(
+        &mut self,
+        sub: MatrixSubcomponent,
+        event: EnergyEvent,
+        count: u64,
+    ) {
+        if count == 0 {
+            return;
+        }
+        *self.matrix_counts.entry((sub, event)).or_insert(0) += count;
+        let soc_component = match sub {
+            MatrixSubcomponent::AccumMem => Component::AccumMem,
+            _ => Component::MatrixUnit,
+        };
+        self.record(soc_component, event, count);
+    }
+
+    /// Returns the recorded count for one `(component, event)` pair.
+    pub fn count(&self, component: Component, event: EnergyEvent) -> u64 {
+        self.counts.get(&(component, event)).copied().unwrap_or(0)
+    }
+
+    /// Returns the recorded count for one matrix subcomponent/event pair.
+    pub fn matrix_count(&self, sub: MatrixSubcomponent, event: EnergyEvent) -> u64 {
+        self.matrix_counts.get(&(sub, event)).copied().unwrap_or(0)
+    }
+
+    /// Total events recorded for a component across all event kinds.
+    pub fn component_events(&self, component: Component) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((c, _), _)| *c == component)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Adds every count of `other` into `self`.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (&key, &count) in &other.counts {
+            *self.counts.entry(key).or_insert(0) += count;
+        }
+        for (&key, &count) in &other.matrix_counts {
+            *self.matrix_counts.entry(key).or_insert(0) += count;
+        }
+    }
+
+    /// Energy attributed to `component` in picojoules under `table`.
+    pub fn component_energy_pj(&self, table: &EnergyTable, component: Component) -> f64 {
+        self.counts
+            .iter()
+            .filter(|((c, _), _)| *c == component)
+            .map(|((_, e), &n)| table.energy_pj(*e) * n as f64)
+            .sum()
+    }
+
+    /// Energy attributed to a matrix subcomponent in picojoules.
+    pub fn matrix_energy_pj(&self, table: &EnergyTable, sub: MatrixSubcomponent) -> f64 {
+        self.matrix_counts
+            .iter()
+            .filter(|((s, _), _)| *s == sub)
+            .map(|((_, e), &n)| table.energy_pj(*e) * n as f64)
+            .sum()
+    }
+
+    /// Total SoC energy in picojoules under `table`.
+    pub fn total_energy_pj(&self, table: &EnergyTable) -> f64 {
+        Component::all()
+            .iter()
+            .map(|&c| self.component_energy_pj(table, c))
+            .sum()
+    }
+
+    /// Per-component energy breakdown in picojoules, in report order.
+    pub fn breakdown_pj(&self, table: &EnergyTable) -> Vec<(Component, f64)> {
+        Component::all()
+            .iter()
+            .map(|&c| (c, self.component_energy_pj(table, c)))
+            .collect()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty() && self.matrix_counts.is_empty()
+    }
+
+    /// Iterates over all `(component, event, count)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, EnergyEvent, u64)> + '_ {
+        self.counts.iter().map(|(&(c, e), &n)| (c, e, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count_roundtrip() {
+        let mut l = EnergyLedger::new();
+        assert!(l.is_empty());
+        l.record(Component::L1Cache, EnergyEvent::L1Access, 7);
+        l.record(Component::L1Cache, EnergyEvent::L1Access, 3);
+        assert_eq!(l.count(Component::L1Cache, EnergyEvent::L1Access), 10);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn zero_counts_are_not_stored() {
+        let mut l = EnergyLedger::new();
+        l.record(Component::L2Cache, EnergyEvent::L2Access, 0);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = EnergyLedger::new();
+        a.record(Component::CoreIssue, EnergyEvent::InstrIssued, 100);
+        let mut b = EnergyLedger::new();
+        b.record(Component::CoreIssue, EnergyEvent::InstrIssued, 50);
+        b.record(Component::CoreFpu, EnergyEvent::FpuOp, 25);
+        a.merge(&b);
+        assert_eq!(a.count(Component::CoreIssue, EnergyEvent::InstrIssued), 150);
+        assert_eq!(a.count(Component::CoreFpu, EnergyEvent::FpuOp), 25);
+    }
+
+    #[test]
+    fn matrix_events_propagate_to_soc_bucket() {
+        let mut l = EnergyLedger::new();
+        l.record_matrix(MatrixSubcomponent::PeArray, EnergyEvent::MacSystolic, 1000);
+        l.record_matrix(MatrixSubcomponent::AccumMem, EnergyEvent::AccumWordAccess, 64);
+        assert_eq!(
+            l.matrix_count(MatrixSubcomponent::PeArray, EnergyEvent::MacSystolic),
+            1000
+        );
+        // PE MACs land in the MatrixUnit SoC bucket, accumulator accesses in
+        // the AccumMem bucket (Figure 9 vs Figure 11 granularity).
+        assert_eq!(l.count(Component::MatrixUnit, EnergyEvent::MacSystolic), 1000);
+        assert_eq!(l.count(Component::AccumMem, EnergyEvent::AccumWordAccess), 64);
+    }
+
+    #[test]
+    fn energy_computation_uses_table() {
+        let mut l = EnergyLedger::new();
+        l.record(Component::CoreAlu, EnergyEvent::AluOp, 10);
+        let table = EnergyTable::default_16nm();
+        let expected = 10.0 * table.energy_pj(EnergyEvent::AluOp);
+        assert!((l.component_energy_pj(&table, Component::CoreAlu) - expected).abs() < 1e-9);
+        assert!((l.total_energy_pj(&table) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_covers_all_components() {
+        let l = EnergyLedger::new();
+        let table = EnergyTable::default_16nm();
+        let breakdown = l.breakdown_pj(&table);
+        assert_eq!(breakdown.len(), Component::all().len());
+        assert!(breakdown.iter().all(|(_, e)| *e == 0.0));
+    }
+
+    #[test]
+    fn component_events_sums_over_event_kinds() {
+        let mut l = EnergyLedger::new();
+        l.record(Component::SharedMem, EnergyEvent::SmemWordAccess, 5);
+        l.record(Component::SharedMem, EnergyEvent::SmemConflict, 2);
+        assert_eq!(l.component_events(Component::SharedMem), 7);
+    }
+}

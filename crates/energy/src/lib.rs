@@ -1,0 +1,59 @@
+//! Energy, power and area models for the Virgo GPU simulator.
+//!
+//! The paper evaluates *active power* (nominal package power minus idle
+//! power) and active energy, measured with Cadence Joules on a commercial
+//! 16 nm netlist. A commercial PDK is not reproducible, so this crate models
+//! the same quantity bottom-up: every hardware component records *events*
+//! (instructions issued, register-file words read, MACs performed, SRAM words
+//! accessed, DRAM bursts, ...), and a per-event energy table converts event
+//! counts to energy. Because the per-event costs are held constant across the
+//! four design points, every relative comparison in the paper's evaluation is
+//! driven purely by the event counts — which is exactly the paper's own
+//! argument for why Virgo wins (Section 6.1.2: the savings come from
+//! instruction processing and operand delivery, not the matrix unit itself).
+//!
+//! The crate also provides:
+//!
+//! * [`AreaModel`] — a per-component area estimate reproducing the SoC area
+//!   breakdown of Figure 7,
+//! * [`scaling`] — the analytical model behind Table 1 (NVIDIA datacenter GPU
+//!   generational scaling and CUTLASS kernel occupancy).
+//!
+//! # Example
+//!
+//! ```
+//! use virgo_energy::{Component, EnergyEvent, EnergyLedger, EnergyTable, PowerReport};
+//! use virgo_sim::{Cycle, Frequency};
+//!
+//! let mut ledger = EnergyLedger::new();
+//! ledger.record(Component::CoreIssue, EnergyEvent::InstrIssued, 1_000_000);
+//! ledger.record(Component::MatrixUnit, EnergyEvent::MacSystolic, 16_000_000);
+//!
+//! let table = EnergyTable::default_16nm();
+//! let report = PowerReport::from_ledger(
+//!     &ledger,
+//!     &table,
+//!     Cycle::new(100_000),
+//!     Frequency::VIRGO_SOC,
+//! );
+//! assert!(report.total_energy_uj() > 0.0);
+//! assert!(report.active_power_mw() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod component;
+pub mod event;
+pub mod ledger;
+pub mod power;
+pub mod scaling;
+pub mod table;
+
+pub use area::{AreaModel, AreaParams, AreaReport};
+pub use component::{Component, CoreStage, MatrixSubcomponent};
+pub use event::EnergyEvent;
+pub use ledger::EnergyLedger;
+pub use power::PowerReport;
+pub use table::EnergyTable;

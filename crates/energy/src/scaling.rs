@@ -1,0 +1,209 @@
+//! The analytical model behind Table 1: NVIDIA datacenter GPU scaling trends
+//! and CUTLASS GEMM kernel occupancy.
+//!
+//! Table 1 of the paper is a motivation table assembled from public datasheet
+//! numbers (V100 / A100 / H100 whitepapers) and from profiling CUTLASS GEMM
+//! kernels. The profiling hardware is not reproducible here, so this module
+//! recomputes the derived columns analytically:
+//!
+//! * relative Tensor-FP16 and CUDA-FP32 throughput across generations,
+//! * estimated multiply-accumulate units per Tensor Core
+//!   (`FLOPS / (2 × clock × tensor core count)`),
+//! * warp occupancy given a kernel's register usage and the per-SM register
+//!   file capacity.
+
+/// Public specification of one datacenter GPU generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name ("V100", "A100", "H100").
+    pub name: &'static str,
+    /// Architecture name ("Volta", "Ampere", "Hopper").
+    pub architecture: &'static str,
+    /// Dense FP16 Tensor Core throughput in TFLOPS.
+    pub tensor_fp16_tflops: f64,
+    /// FP32 CUDA core throughput in TFLOPS.
+    pub cuda_fp32_tflops: f64,
+    /// Number of Tensor Cores on the die.
+    pub tensor_cores: u32,
+    /// Boost clock in GHz.
+    pub boost_clock_ghz: f64,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Maximum warps resident per SM.
+    pub max_warps_per_sm: u32,
+    /// Threads per warp.
+    pub threads_per_warp: u32,
+    /// Representative register usage (registers per thread) of the
+    /// highest-FLOPS CUTLASS GEMM kernels profiled in the paper.
+    pub cutlass_regs_per_thread: u32,
+}
+
+/// The three GPU generations of Table 1.
+pub fn datacenter_gpus() -> Vec<GpuSpec> {
+    vec![
+        GpuSpec {
+            name: "V100",
+            architecture: "Volta",
+            tensor_fp16_tflops: 125.0,
+            cuda_fp32_tflops: 15.7,
+            tensor_cores: 640,
+            boost_clock_ghz: 1.530,
+            registers_per_sm: 65_536,
+            max_warps_per_sm: 64,
+            threads_per_warp: 32,
+            cutlass_regs_per_thread: 224,
+        },
+        GpuSpec {
+            name: "A100",
+            architecture: "Ampere",
+            tensor_fp16_tflops: 312.0,
+            cuda_fp32_tflops: 19.5,
+            tensor_cores: 432,
+            boost_clock_ghz: 1.410,
+            registers_per_sm: 65_536,
+            max_warps_per_sm: 64,
+            threads_per_warp: 32,
+            cutlass_regs_per_thread: 221,
+        },
+        GpuSpec {
+            name: "H100",
+            architecture: "Hopper",
+            tensor_fp16_tflops: 989.0,
+            cuda_fp32_tflops: 67.0,
+            tensor_cores: 528,
+            boost_clock_ghz: 1.830,
+            registers_per_sm: 65_536,
+            max_warps_per_sm: 64,
+            threads_per_warp: 32,
+            cutlass_regs_per_thread: 168,
+        },
+    ]
+}
+
+impl GpuSpec {
+    /// Estimated multiply-accumulate units per Tensor Core, derived from
+    /// throughput and clock: `FLOPS = 2 × MACs × cores × clock`.
+    pub fn macs_per_tensor_core(&self) -> f64 {
+        let flops = self.tensor_fp16_tflops * 1e12;
+        flops / (2.0 * f64::from(self.tensor_cores) * self.boost_clock_ghz * 1e9)
+    }
+
+    /// Warp occupancy achievable for a kernel using
+    /// `regs_per_thread` registers, limited only by register capacity.
+    ///
+    /// Occupancy is the ratio of resident warps (register-limited) to the
+    /// architectural maximum.
+    pub fn occupancy_for_registers(&self, regs_per_thread: u32) -> f64 {
+        if regs_per_thread == 0 {
+            return 1.0;
+        }
+        let regs_per_warp = regs_per_thread * self.threads_per_warp;
+        let resident_warps = (self.registers_per_sm / regs_per_warp).min(self.max_warps_per_sm);
+        f64::from(resident_warps) / f64::from(self.max_warps_per_sm)
+    }
+
+    /// Warp occupancy of the profiled CUTLASS GEMM kernels.
+    pub fn cutlass_occupancy(&self) -> f64 {
+        self.occupancy_for_registers(self.cutlass_regs_per_thread)
+    }
+}
+
+/// One row of the regenerated Table 1, normalized to the first (Volta) entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// GPU name.
+    pub name: &'static str,
+    /// Architecture name.
+    pub architecture: &'static str,
+    /// Tensor FP16 throughput relative to Volta.
+    pub tensor_fp16_rel: f64,
+    /// CUDA FP32 throughput relative to Volta.
+    pub cuda_fp32_rel: f64,
+    /// Tensor Core count relative to Volta.
+    pub tensor_cores_rel: f64,
+    /// Estimated MACs per Tensor Core (absolute).
+    pub macs_per_tc: f64,
+    /// CUTLASS register usage per thread.
+    pub register_usage: u32,
+    /// CUTLASS warp occupancy (fraction).
+    pub occupancy: f64,
+}
+
+/// Regenerates Table 1 from the public specifications.
+pub fn scaling_table() -> Vec<ScalingRow> {
+    let gpus = datacenter_gpus();
+    let base = gpus.first().expect("at least one GPU").clone();
+    gpus.iter()
+        .map(|g| ScalingRow {
+            name: g.name,
+            architecture: g.architecture,
+            tensor_fp16_rel: g.tensor_fp16_tflops / base.tensor_fp16_tflops,
+            cuda_fp32_rel: g.cuda_fp32_tflops / base.cuda_fp32_tflops,
+            tensor_cores_rel: f64::from(g.tensor_cores) / f64::from(base.tensor_cores),
+            macs_per_tc: g.macs_per_tensor_core(),
+            register_usage: g.cutlass_regs_per_thread,
+            occupancy: g.cutlass_occupancy(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_throughput_outgrows_cuda_throughput() {
+        // Table 1's headline trend: Tensor FP16 grows faster than CUDA FP32.
+        let rows = scaling_table();
+        let hopper = rows.iter().find(|r| r.architecture == "Hopper").unwrap();
+        assert!(hopper.tensor_fp16_rel > hopper.cuda_fp32_rel);
+        assert!(hopper.tensor_fp16_rel > 7.0, "paper reports 7.9x");
+    }
+
+    #[test]
+    fn tensor_core_count_does_not_grow() {
+        let rows = scaling_table();
+        for row in &rows {
+            assert!(row.tensor_cores_rel <= 1.0 + 1e-9, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn macs_per_tensor_core_grow_monotonically() {
+        // Table 1: 64 → 256 → 512 MACs per Tensor Core across generations.
+        let gpus = datacenter_gpus();
+        let macs: Vec<f64> = gpus.iter().map(|g| g.macs_per_tensor_core()).collect();
+        assert!(macs[0] < macs[1] && macs[1] < macs[2]);
+        assert!((macs[0] - 64.0).abs() / 64.0 < 0.05, "V100 ≈ 64, got {}", macs[0]);
+        assert!((macs[1] - 256.0).abs() / 256.0 < 0.05, "A100 ≈ 256, got {}", macs[1]);
+        assert!((macs[2] - 512.0).abs() / 512.0 < 0.05, "H100 ≈ 512, got {}", macs[2]);
+    }
+
+    #[test]
+    fn cutlass_occupancy_is_low_across_generations() {
+        // Table 1: 12.5%, 10.0%, 14.1% occupancy — high register usage limits
+        // occupancy to well under 20% everywhere.
+        for gpu in datacenter_gpus() {
+            let occ = gpu.cutlass_occupancy();
+            assert!(occ < 0.20, "{}: {occ}", gpu.name);
+            assert!(occ > 0.05, "{}: {occ}", gpu.name);
+        }
+    }
+
+    #[test]
+    fn occupancy_improves_when_register_usage_drops() {
+        let gpus = datacenter_gpus();
+        let hopper = gpus.iter().find(|g| g.architecture == "Hopper").unwrap();
+        assert!(hopper.occupancy_for_registers(64) > hopper.occupancy_for_registers(255));
+        assert_eq!(hopper.occupancy_for_registers(0), 1.0);
+    }
+
+    #[test]
+    fn occupancy_is_capped_by_max_warps() {
+        let gpus = datacenter_gpus();
+        let v100 = &gpus[0];
+        // Tiny register usage: register file supports more warps than the
+        // architectural maximum, so occupancy caps at 100%.
+        assert_eq!(v100.occupancy_for_registers(1), 1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The per-event energy table.
+
+use crate::event::EnergyEvent;
+
+/// Energy cost per event, in picojoules.
+///
+/// The default table ([`EnergyTable::default_16nm`]) is calibrated to
+/// published 16 nm-class estimates for arithmetic and SRAM access energy
+/// (Horowitz ISSCC'14-style numbers scaled from 45 nm, Gemmini and tensor
+/// core literature). Absolute values carry large uncertainty; what matters
+/// for reproducing the paper's conclusions is that the *same* table is used
+/// for every design point, so that relative power and energy differences are
+/// driven exclusively by event counts.
+///
+/// # Example
+///
+/// ```
+/// use virgo_energy::{EnergyEvent, EnergyTable};
+///
+/// let table = EnergyTable::default_16nm();
+/// // A fused systolic MAC is cheaper than a tree-reduction MAC
+/// // (Section 6.1.2 of the paper).
+/// assert!(table.energy_pj(EnergyEvent::MacSystolic) < table.energy_pj(EnergyEvent::MacTreePe));
+///
+/// // Tables can be customized for sensitivity studies.
+/// let hot_rf = table.with_override(EnergyEvent::RegRead, 5.0);
+/// assert_eq!(hot_rf.energy_pj(EnergyEvent::RegRead), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyTable {
+    pj: [f64; EnergyEvent::ALL.len()],
+}
+
+impl EnergyTable {
+    /// The default 16 nm-class calibration used throughout the evaluation.
+    pub fn default_16nm() -> Self {
+        let mut pj = [0.0; EnergyEvent::ALL.len()];
+        let mut set = |event: EnergyEvent, value: f64| pj[event.index()] = value;
+
+        // Core instruction processing: fetch, decode, scoreboard lookup and
+        // warp-scheduler arbitration for one instruction.
+        set(EnergyEvent::InstrIssued, 9.0);
+        // Register file: multi-ported, banked SRAM/flop array; per 32-bit
+        // access per lane.
+        set(EnergyEvent::RegRead, 1.1);
+        set(EnergyEvent::RegWrite, 1.4);
+        // Datapaths, per lane-op.
+        set(EnergyEvent::AluOp, 0.5);
+        set(EnergyEvent::FpuOp, 1.3);
+        set(EnergyEvent::LsuOp, 1.0);
+        set(EnergyEvent::Writeback, 1.6);
+        // On-chip SRAMs, per 32-bit word.
+        set(EnergyEvent::SmemWordAccess, 1.0);
+        set(EnergyEvent::SmemConflict, 0.4);
+        set(EnergyEvent::AccumWordAccess, 0.55);
+        // Caches: per access / fill, amortized over a 32-byte line segment.
+        set(EnergyEvent::L1Access, 3.2);
+        set(EnergyEvent::L1Fill, 6.0);
+        set(EnergyEvent::L2Access, 9.0);
+        // DRAM interface energy attributable to the SoC (PHY + controller)
+        // per 32-byte burst.
+        set(EnergyEvent::DramBurst, 40.0);
+        // Matrix arithmetic. Tensor-core style tree PEs use separate
+        // multipliers and adders; the systolic array uses fused
+        // multiply-add units (Section 6.1.2).
+        set(EnergyEvent::MacTreePe, 0.62);
+        set(EnergyEvent::MacSystolic, 0.54);
+        // Tensor-core staging buffers, per 32-bit word.
+        set(EnergyEvent::OperandBufferAccess, 0.35);
+        set(EnergyEvent::ResultBufferAccess, 0.35);
+        // Data movement engines.
+        set(EnergyEvent::DmaBeat, 1.8);
+        set(EnergyEvent::MmioAccess, 2.0);
+        set(EnergyEvent::MatrixControl, 1.2);
+        set(EnergyEvent::CoalescerOp, 0.6);
+        set(EnergyEvent::BarrierEvent, 2.5);
+
+        EnergyTable { pj }
+    }
+
+    /// Returns the energy of one `event` in picojoules.
+    pub fn energy_pj(&self, event: EnergyEvent) -> f64 {
+        self.pj[event.index()]
+    }
+
+    /// Returns a copy of the table with one event's energy replaced.
+    #[must_use]
+    pub fn with_override(&self, event: EnergyEvent, pj: f64) -> Self {
+        let mut out = self.clone();
+        out.pj[event.index()] = pj;
+        out
+    }
+
+    /// Returns a copy of the table with every entry scaled by `factor`,
+    /// modelling a uniformly better or worse process corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let mut out = self.clone();
+        for v in &mut out.pj {
+            *v *= factor;
+        }
+        out
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        EnergyTable::default_16nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_has_positive_entries() {
+        let t = EnergyTable::default_16nm();
+        for event in EnergyEvent::ALL {
+            assert!(t.energy_pj(event) > 0.0, "{event} must have energy");
+        }
+    }
+
+    #[test]
+    fn override_changes_only_one_entry() {
+        let base = EnergyTable::default_16nm();
+        let modified = base.with_override(EnergyEvent::DramBurst, 99.0);
+        assert_eq!(modified.energy_pj(EnergyEvent::DramBurst), 99.0);
+        for event in EnergyEvent::ALL {
+            if event != EnergyEvent::DramBurst {
+                assert_eq!(base.energy_pj(event), modified.energy_pj(event));
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_multiplies_everything() {
+        let base = EnergyTable::default_16nm();
+        let scaled = base.scaled(2.0);
+        for event in EnergyEvent::ALL {
+            assert!((scaled.energy_pj(event) - 2.0 * base.energy_pj(event)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = EnergyTable::default_16nm().scaled(0.0);
+    }
+
+    #[test]
+    fn systolic_mac_cheaper_than_tree_mac() {
+        let t = EnergyTable::default_16nm();
+        assert!(t.energy_pj(EnergyEvent::MacSystolic) < t.energy_pj(EnergyEvent::MacTreePe));
+    }
+
+    #[test]
+    fn memory_hierarchy_energy_ordering() {
+        // Accesses should get more expensive as we move away from the core.
+        let t = EnergyTable::default_16nm();
+        assert!(t.energy_pj(EnergyEvent::RegRead) < t.energy_pj(EnergyEvent::L1Access));
+        assert!(t.energy_pj(EnergyEvent::L1Access) < t.energy_pj(EnergyEvent::L2Access));
+        assert!(t.energy_pj(EnergyEvent::L2Access) < t.energy_pj(EnergyEvent::DramBurst));
+    }
+}

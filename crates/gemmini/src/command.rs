@@ -1,0 +1,107 @@
+//! Resolved commands accepted by the disaggregated matrix unit.
+
+use virgo_isa::{DataType, MatrixComputeCmd};
+
+/// A fully-resolved matrix multiply-accumulate command, as latched into the
+/// unit's memory-mapped control registers.
+///
+/// Unlike [`MatrixComputeCmd`], whose operand addresses are expressions over
+/// the issuing instruction's execution count (to express double buffering),
+/// a `GemminiCommand` has concrete byte addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemminiCommand {
+    /// Shared-memory byte address of the A operand tile (row-major `m × k`).
+    pub a_addr: u64,
+    /// Shared-memory byte address of the B operand tile (row-major `k × n`).
+    pub b_addr: u64,
+    /// Accumulator-memory byte address of the output tile.
+    pub acc_addr: u64,
+    /// Output rows.
+    pub m: u32,
+    /// Output columns.
+    pub n: u32,
+    /// Reduction dimension.
+    pub k: u32,
+    /// Accumulate onto existing accumulator contents instead of overwriting.
+    pub accumulate: bool,
+    /// Operand element type.
+    pub dtype: DataType,
+}
+
+impl GemminiCommand {
+    /// Resolves a kernel-level command for a given execution count of the
+    /// issuing MMIO write.
+    pub fn resolve(cmd: &MatrixComputeCmd, exec_count: u64) -> Self {
+        GemminiCommand {
+            a_addr: cmd.a.eval(exec_count),
+            b_addr: cmd.b.eval(exec_count),
+            acc_addr: cmd.acc_addr,
+            m: cmd.m,
+            n: cmd.n,
+            k: cmd.k,
+            accumulate: cmd.accumulate,
+            dtype: cmd.dtype,
+        }
+    }
+
+    /// Total multiply-accumulates in this command.
+    pub fn mac_ops(&self) -> u64 {
+        u64::from(self.m) * u64::from(self.n) * u64::from(self.k)
+    }
+
+    /// Bytes of the A tile.
+    pub fn a_bytes(&self) -> u64 {
+        u64::from(self.m) * u64::from(self.k) * u64::from(self.dtype.bytes())
+    }
+
+    /// Bytes of the B tile.
+    pub fn b_bytes(&self) -> u64 {
+        u64::from(self.k) * u64::from(self.n) * u64::from(self.dtype.bytes())
+    }
+
+    /// Bytes of the FP32 output tile in the accumulator memory.
+    pub fn output_bytes(&self) -> u64 {
+        u64::from(self.m) * u64::from(self.n) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virgo_isa::AddrExpr;
+
+    fn base_cmd() -> MatrixComputeCmd {
+        MatrixComputeCmd {
+            a: AddrExpr::double_buffered(0, 0x8000),
+            b: AddrExpr::double_buffered(0x10000, 0x4000),
+            acc_addr: 0,
+            m: 128,
+            n: 64,
+            k: 128,
+            accumulate: true,
+            dtype: DataType::Fp16,
+        }
+    }
+
+    #[test]
+    fn resolve_applies_execution_count() {
+        let cmd = base_cmd();
+        let even = GemminiCommand::resolve(&cmd, 0);
+        let odd = GemminiCommand::resolve(&cmd, 1);
+        assert_eq!(even.a_addr, 0);
+        assert_eq!(odd.a_addr, 0x8000);
+        assert_eq!(even.b_addr, 0x10000);
+        assert_eq!(odd.b_addr, 0x14000);
+        assert_eq!(even.m, 128);
+        assert!(even.accumulate);
+    }
+
+    #[test]
+    fn byte_counts_match_tile_geometry() {
+        let g = GemminiCommand::resolve(&base_cmd(), 0);
+        assert_eq!(g.mac_ops(), 128 * 64 * 128);
+        assert_eq!(g.a_bytes(), 128 * 128 * 2);
+        assert_eq!(g.b_bytes(), 128 * 64 * 2);
+        assert_eq!(g.output_bytes(), 128 * 64 * 4);
+    }
+}

@@ -1,0 +1,438 @@
+//! The Gemmini-derived systolic matrix unit and its coarse-grain FSM.
+
+use virgo_mem::{AccumulatorMemory, SharedMemory};
+use virgo_sim::{BoundedQueue, Cycle};
+
+use crate::command::GemminiCommand;
+
+/// Configuration of one disaggregated matrix unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemminiConfig {
+    /// Systolic array dimension (16 for the FP16 configuration of Table 2,
+    /// 8 for FP32). The array performs `dim × dim` MACs per cycle.
+    pub dim: u32,
+    /// Width of each shared-memory read issued by the streaming FSM, in
+    /// bytes (`4 × dim` in the paper's interconnect).
+    pub smem_read_bytes: u64,
+    /// Depth of the MMIO command queue.
+    pub queue_depth: usize,
+}
+
+impl GemminiConfig {
+    /// The Table 2 FP16 configuration: a 16×16 array reading 64-byte words.
+    pub fn fp16_16x16() -> Self {
+        GemminiConfig {
+            dim: 16,
+            smem_read_bytes: 64,
+            queue_depth: 4,
+        }
+    }
+
+    /// The Table 2 FP32 configuration: an 8×8 array.
+    pub fn fp32_8x8() -> Self {
+        GemminiConfig {
+            dim: 8,
+            smem_read_bytes: 32,
+            queue_depth: 4,
+        }
+    }
+
+    /// A smaller unit used by the heterogeneous configuration of Section 6.3.
+    pub fn fp16_8x8() -> Self {
+        GemminiConfig {
+            dim: 8,
+            smem_read_bytes: 32,
+            queue_depth: 4,
+        }
+    }
+
+    /// Peak multiply-accumulates per cycle.
+    pub fn macs_per_cycle(&self) -> u64 {
+        u64::from(self.dim) * u64::from(self.dim)
+    }
+
+    /// Pipeline fill/drain latency of the array in cycles.
+    pub fn fill_latency(&self) -> u64 {
+        2 * u64::from(self.dim)
+    }
+}
+
+impl Default for GemminiConfig {
+    fn default() -> Self {
+        GemminiConfig::fp16_16x16()
+    }
+}
+
+/// Event counters for one disaggregated matrix unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GemminiStats {
+    /// Commands completed.
+    pub commands: u64,
+    /// Multiply-accumulate operations performed.
+    pub macs: u64,
+    /// 32-bit words read from shared memory by the streaming FSM.
+    pub smem_words_read: u64,
+    /// 32-bit words written to the accumulator memory.
+    pub accum_words_written: u64,
+    /// 32-bit words read back from the accumulator memory (when
+    /// accumulating onto a previous tile).
+    pub accum_words_read: u64,
+    /// FSM control events (one per column block plus one per command).
+    pub control_events: u64,
+    /// Cycles the array spent computing.
+    pub busy_cycles: u64,
+    /// Cycles lost to array fill/drain at block boundaries.
+    pub fill_drain_cycles: u64,
+}
+
+/// Execution state of the command currently in the FSM.
+#[derive(Debug, Clone, Copy)]
+struct ActiveCommand {
+    cmd: GemminiCommand,
+    /// Column blocks of `dim` output columns.
+    total_blocks: u32,
+    /// Index of the column block currently streaming.
+    block: u32,
+    /// Cycles executed within the current block.
+    cycle_in_block: u64,
+    /// Cycles one block takes (compute + fill/drain).
+    block_cycles: u64,
+    /// Operand bytes that must be streamed per block.
+    block_bytes: u64,
+    /// Operand bytes already requested for the current block.
+    bytes_issued: u64,
+}
+
+/// One disaggregated (Virgo-style) matrix unit instance.
+///
+/// # Example
+///
+/// ```
+/// use virgo_gemmini::{GemminiCommand, GemminiConfig, GemminiUnit};
+/// use virgo_isa::DataType;
+/// use virgo_mem::{AccumulatorMemory, SharedMemory, SmemConfig};
+/// use virgo_sim::Cycle;
+///
+/// let mut unit = GemminiUnit::new(GemminiConfig::fp16_16x16());
+/// let mut smem = SharedMemory::new(SmemConfig::virgo_cluster());
+/// let mut acc = AccumulatorMemory::default_virgo();
+/// let cmd = GemminiCommand {
+///     a_addr: 0, b_addr: 0x10000, acc_addr: 0,
+///     m: 32, n: 32, k: 32, accumulate: false, dtype: DataType::Fp16,
+/// };
+/// assert!(unit.try_submit(cmd));
+/// let mut cycle = 0;
+/// while unit.busy() {
+///     unit.tick(Cycle::new(cycle), &mut smem, &mut acc);
+///     cycle += 1;
+/// }
+/// assert_eq!(unit.stats().macs, 32 * 32 * 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GemminiUnit {
+    config: GemminiConfig,
+    queue: BoundedQueue<GemminiCommand>,
+    active: Option<ActiveCommand>,
+    stats: GemminiStats,
+}
+
+impl GemminiUnit {
+    /// Creates an idle matrix unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the systolic dimension is zero.
+    pub fn new(config: GemminiConfig) -> Self {
+        assert!(config.dim > 0, "systolic array dimension must be non-zero");
+        GemminiUnit {
+            queue: BoundedQueue::new(config.queue_depth),
+            config,
+            active: None,
+            stats: GemminiStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GemminiConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> GemminiStats {
+        self.stats
+    }
+
+    /// Number of commands accepted but not yet completed.
+    pub fn pending(&self) -> u32 {
+        (self.queue.len() + usize::from(self.active.is_some())) as u32
+    }
+
+    /// True while the unit has queued or in-flight work — the value of the
+    /// memory-mapped busy register the cores poll in `virgo_fence`.
+    pub fn busy(&self) -> bool {
+        self.pending() > 0
+    }
+
+    /// Attempts to latch a command into the MMIO command registers.
+    /// Returns `false` when the command queue is full.
+    pub fn try_submit(&mut self, cmd: GemminiCommand) -> bool {
+        self.queue.push(cmd).is_ok()
+    }
+
+    /// Advances the FSM by one cycle; returns the number of commands that
+    /// completed this cycle (0 or 1).
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        smem: &mut SharedMemory,
+        accmem: &mut AccumulatorMemory,
+    ) -> u32 {
+        if self.active.is_none() {
+            if let Some(cmd) = self.queue.pop() {
+                self.active = Some(self.start_command(cmd));
+            }
+        }
+        let Some(mut active) = self.active else {
+            return 0;
+        };
+
+        // Stream operands: keep the issued bytes ahead of the proportional
+        // demand of the compute schedule, one wide read per cycle at most.
+        let demand = active.block_bytes * (active.cycle_in_block + 1) / active.block_cycles.max(1);
+        if active.bytes_issued < demand.min(active.block_bytes) {
+            let chunk = self
+                .config
+                .smem_read_bytes
+                .min(active.block_bytes - active.bytes_issued);
+            // A-tile bytes stream repeatedly; the B block is fetched once at
+            // the head of the block. Reads are spread across the A and B
+            // regions so they land in their respective banks.
+            let b_block_bytes = active.cmd.b_bytes() / u64::from(active.total_blocks).max(1);
+            let addr = if active.bytes_issued < b_block_bytes {
+                active.cmd.b_addr + u64::from(active.block) * b_block_bytes + active.bytes_issued
+            } else {
+                active.cmd.a_addr + (active.bytes_issued - b_block_bytes) % active.cmd.a_bytes().max(1)
+            };
+            smem.access_wide(now, addr, chunk, false);
+            self.stats.smem_words_read += chunk.div_ceil(4);
+            active.bytes_issued += chunk;
+        }
+
+        // Advance the compute schedule.
+        active.cycle_in_block += 1;
+        if active.cycle_in_block < self.config.fill_latency() {
+            self.stats.fill_drain_cycles += 1;
+        } else {
+            self.stats.busy_cycles += 1;
+        }
+
+        let mut completed = 0;
+        if active.cycle_in_block >= active.block_cycles {
+            // Column block finished: drain the output columns into the
+            // accumulator memory (read-modify-write when accumulating).
+            let out_bytes =
+                u64::from(active.cmd.m) * u64::from(self.config.dim).min(u64::from(active.cmd.n)) * 4;
+            let acc_addr = active.cmd.acc_addr
+                + u64::from(active.block) * out_bytes % accmem.capacity_bytes().max(1);
+            if active.cmd.accumulate {
+                accmem.access(now, acc_addr.min(accmem.capacity_bytes() - out_bytes.min(accmem.capacity_bytes())), out_bytes, false);
+                self.stats.accum_words_read += out_bytes / 4;
+            }
+            accmem.access(
+                now,
+                acc_addr.min(accmem.capacity_bytes() - out_bytes.min(accmem.capacity_bytes())),
+                out_bytes,
+                true,
+            );
+            self.stats.accum_words_written += out_bytes / 4;
+            self.stats.control_events += 1;
+
+            active.block += 1;
+            active.cycle_in_block = 0;
+            active.bytes_issued = 0;
+            if active.block >= active.total_blocks {
+                // Command complete.
+                self.stats.commands += 1;
+                self.stats.macs += active.cmd.mac_ops();
+                self.stats.control_events += 1;
+                self.active = None;
+                completed = 1;
+                return completed;
+            }
+        }
+
+        self.active = Some(active);
+        completed
+    }
+
+    /// Builds the execution schedule for a freshly-latched command.
+    fn start_command(&self, cmd: GemminiCommand) -> ActiveCommand {
+        let dim = u64::from(self.config.dim);
+        let total_blocks = cmd.n.div_ceil(self.config.dim).max(1);
+        // Weight-stationary schedule: each column block holds `dim` output
+        // columns stationary while the full A tile streams through, so one
+        // block takes m·k / dim compute cycles plus the array fill/drain.
+        let compute_cycles = (u64::from(cmd.m) * u64::from(cmd.k)).div_ceil(dim).max(1);
+        let block_cycles = compute_cycles + self.config.fill_latency();
+        // Operand traffic per block: the whole A tile plus this block's
+        // columns of B.
+        let block_bytes = cmd.a_bytes() + cmd.b_bytes() / u64::from(total_blocks);
+        ActiveCommand {
+            cmd,
+            total_blocks,
+            block: 0,
+            cycle_in_block: 0,
+            block_cycles,
+            block_bytes,
+            bytes_issued: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virgo_isa::DataType;
+    use virgo_mem::SmemConfig;
+
+    fn setup() -> (GemminiUnit, SharedMemory, AccumulatorMemory) {
+        (
+            GemminiUnit::new(GemminiConfig::fp16_16x16()),
+            SharedMemory::new(SmemConfig::virgo_cluster()),
+            AccumulatorMemory::default_virgo(),
+        )
+    }
+
+    fn cmd(m: u32, n: u32, k: u32, accumulate: bool) -> GemminiCommand {
+        GemminiCommand {
+            a_addr: 0,
+            b_addr: 64 * 1024,
+            acc_addr: 0,
+            m,
+            n,
+            k,
+            accumulate,
+            dtype: DataType::Fp16,
+        }
+    }
+
+    fn run_to_idle(
+        unit: &mut GemminiUnit,
+        smem: &mut SharedMemory,
+        acc: &mut AccumulatorMemory,
+        limit: u64,
+    ) -> u64 {
+        for cycle in 0..limit {
+            unit.tick(Cycle::new(cycle), smem, acc);
+            if !unit.busy() {
+                return cycle + 1;
+            }
+        }
+        limit
+    }
+
+    #[test]
+    fn command_completes_with_correct_mac_count() {
+        let (mut unit, mut smem, mut acc) = setup();
+        assert!(unit.try_submit(cmd(128, 64, 128, false)));
+        assert!(unit.busy());
+        let cycles = run_to_idle(&mut unit, &mut smem, &mut acc, 100_000);
+        assert_eq!(unit.stats().commands, 1);
+        assert_eq!(unit.stats().macs, 128 * 64 * 128);
+        // Ideal compute time is m·n·k / 256 = 4096 cycles; fill/drain and
+        // streaming overheads put the real figure somewhat above that but
+        // well below 2x.
+        assert!(cycles >= 4096, "too fast: {cycles}");
+        assert!(cycles < 8192, "too slow: {cycles}");
+    }
+
+    #[test]
+    fn high_utilization_for_large_tiles() {
+        let (mut unit, mut smem, mut acc) = setup();
+        unit.try_submit(cmd(128, 64, 128, false));
+        let cycles = run_to_idle(&mut unit, &mut smem, &mut acc, 100_000);
+        let util = unit.stats().macs as f64 / (cycles as f64 * 256.0);
+        assert!(util > 0.80, "utilization {util}");
+    }
+
+    #[test]
+    fn operand_streaming_reads_a_per_block_and_b_once() {
+        let (mut unit, mut smem, mut acc) = setup();
+        unit.try_submit(cmd(128, 64, 128, false));
+        run_to_idle(&mut unit, &mut smem, &mut acc, 100_000);
+        let expected_bytes = {
+            let a = 128 * 128 * 2u64;
+            let b = 128 * 64 * 2u64;
+            let blocks = 64 / 16;
+            a * blocks + b
+        };
+        let read_bytes = unit.stats().smem_words_read * 4;
+        let ratio = read_bytes as f64 / expected_bytes as f64;
+        assert!((0.95..1.05).contains(&ratio), "read {read_bytes}, expected {expected_bytes}");
+    }
+
+    #[test]
+    fn accumulate_mode_reads_back_previous_partials() {
+        let (mut unit, mut smem, mut acc) = setup();
+        unit.try_submit(cmd(32, 32, 32, false));
+        run_to_idle(&mut unit, &mut smem, &mut acc, 100_000);
+        let writes_only = unit.stats();
+        assert_eq!(writes_only.accum_words_read, 0);
+        assert!(writes_only.accum_words_written > 0);
+
+        let (mut unit2, mut smem2, mut acc2) = setup();
+        unit2.try_submit(cmd(32, 32, 32, true));
+        run_to_idle(&mut unit2, &mut smem2, &mut acc2, 100_000);
+        assert_eq!(
+            unit2.stats().accum_words_read,
+            unit2.stats().accum_words_written
+        );
+    }
+
+    #[test]
+    fn commands_queue_and_run_in_order() {
+        let (mut unit, mut smem, mut acc) = setup();
+        assert!(unit.try_submit(cmd(32, 32, 32, false)));
+        assert!(unit.try_submit(cmd(32, 32, 32, true)));
+        assert_eq!(unit.pending(), 2);
+        run_to_idle(&mut unit, &mut smem, &mut acc, 100_000);
+        assert_eq!(unit.stats().commands, 2);
+        assert_eq!(unit.pending(), 0);
+    }
+
+    #[test]
+    fn queue_depth_is_bounded() {
+        let mut unit = GemminiUnit::new(GemminiConfig {
+            queue_depth: 1,
+            ..GemminiConfig::fp16_16x16()
+        });
+        assert!(unit.try_submit(cmd(16, 16, 16, false)));
+        assert!(!unit.try_submit(cmd(16, 16, 16, false)));
+    }
+
+    #[test]
+    fn smaller_array_takes_proportionally_longer() {
+        let big = {
+            let (mut unit, mut smem, mut acc) = setup();
+            unit.try_submit(cmd(64, 64, 64, false));
+            run_to_idle(&mut unit, &mut smem, &mut acc, 1_000_000)
+        };
+        let small = {
+            let mut unit = GemminiUnit::new(GemminiConfig::fp16_8x8());
+            let mut smem = SharedMemory::new(SmemConfig::virgo_cluster());
+            let mut acc = AccumulatorMemory::default_virgo();
+            unit.try_submit(cmd(64, 64, 64, false));
+            run_to_idle(&mut unit, &mut smem, &mut acc, 1_000_000)
+        };
+        // A 8×8 array has 4x fewer MACs; expect roughly 3-5x longer runtime.
+        assert!(small as f64 > big as f64 * 2.5, "big {big}, small {small}");
+    }
+
+    #[test]
+    fn idle_tick_does_nothing() {
+        let (mut unit, mut smem, mut acc) = setup();
+        assert_eq!(unit.tick(Cycle::new(0), &mut smem, &mut acc), 0);
+        assert!(!unit.busy());
+        assert_eq!(unit.stats().commands, 0);
+    }
+}

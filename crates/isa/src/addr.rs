@@ -1,0 +1,259 @@
+//! Address expressions and per-lane access patterns.
+//!
+//! Kernels are loop structured, so a single static instruction executes many
+//! times with different addresses (streaming over the K dimension, alternating
+//! double buffers, ...). [`AddrExpr`] captures the address as a function of
+//! the instruction's *execution count*, which the warp tracks per static
+//! instruction.
+
+/// Memory regions addressable by kernels and DMA commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemRegion {
+    /// Off-chip global memory, reached through the L1/L2 cache hierarchy.
+    Global,
+    /// The cluster-local software-managed shared memory (scratchpad).
+    Shared,
+    /// The private accumulator SRAM inside the disaggregated matrix unit.
+    Accumulator,
+}
+
+impl MemRegion {
+    /// Returns a short lower-case name, used in traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemRegion::Global => "global",
+            MemRegion::Shared => "shared",
+            MemRegion::Accumulator => "accumulator",
+        }
+    }
+}
+
+/// A byte address as a function of how many times the owning static
+/// instruction has already executed.
+///
+/// The effective address for the `e`-th execution (`e` starting at 0) is:
+///
+/// ```text
+/// base + (e % modulo) * stride        (modulo > 0)
+/// base +  e           * stride        (modulo == 0)
+/// ```
+///
+/// `modulo == 2` models double buffering in shared memory; `modulo == 0`
+/// models streaming over fresh global-memory tiles.
+///
+/// # Example
+///
+/// ```
+/// use virgo_isa::AddrExpr;
+///
+/// let stream = AddrExpr::streaming(0x1000, 256);
+/// assert_eq!(stream.eval(0), 0x1000);
+/// assert_eq!(stream.eval(3), 0x1000 + 3 * 256);
+///
+/// let pingpong = AddrExpr::double_buffered(0x0, 0x800);
+/// assert_eq!(pingpong.eval(0), 0x0);
+/// assert_eq!(pingpong.eval(1), 0x800);
+/// assert_eq!(pingpong.eval(2), 0x0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrExpr {
+    /// Base byte address for the first execution.
+    pub base: u64,
+    /// Byte stride applied per execution index.
+    pub stride: u64,
+    /// Modulo applied to the execution index; zero disables the modulo.
+    pub modulo: u32,
+}
+
+impl AddrExpr {
+    /// An address that is the same on every execution.
+    pub const fn fixed(base: u64) -> Self {
+        AddrExpr {
+            base,
+            stride: 0,
+            modulo: 0,
+        }
+    }
+
+    /// An address that advances by `stride` bytes on every execution.
+    pub const fn streaming(base: u64, stride: u64) -> Self {
+        AddrExpr {
+            base,
+            stride,
+            modulo: 0,
+        }
+    }
+
+    /// An address that alternates between two buffers (`base`, `base +
+    /// offset`) on successive executions — the classic double-buffering
+    /// pattern of software-pipelined GEMM kernels.
+    pub const fn double_buffered(base: u64, offset: u64) -> Self {
+        AddrExpr {
+            base,
+            stride: offset,
+            modulo: 2,
+        }
+    }
+
+    /// An address cycling through `count` buffers spaced `stride` bytes apart.
+    pub const fn rotating(base: u64, stride: u64, count: u32) -> Self {
+        AddrExpr {
+            base,
+            stride,
+            modulo: count,
+        }
+    }
+
+    /// Evaluates the address for the `exec_count`-th execution of the
+    /// instruction (starting at zero).
+    pub fn eval(&self, exec_count: u64) -> u64 {
+        let idx = if self.modulo == 0 {
+            exec_count
+        } else {
+            exec_count % u64::from(self.modulo)
+        };
+        self.base + idx * self.stride
+    }
+}
+
+impl From<u64> for AddrExpr {
+    fn from(base: u64) -> Self {
+        AddrExpr::fixed(base)
+    }
+}
+
+/// A per-lane SIMT memory access pattern.
+///
+/// Each active lane `i` of the warp accesses
+/// `addr.eval(e) + i * lane_stride` for `bytes_per_lane` bytes, where `e` is
+/// the execution count of the static instruction.
+///
+/// # Example
+///
+/// ```
+/// use virgo_isa::{AddrExpr, LaneAccess};
+///
+/// // 8 lanes each loading a consecutive 4-byte word: a fully coalescable
+/// // 32-byte access.
+/// let a = LaneAccess::contiguous_words(AddrExpr::fixed(0x100), 8);
+/// assert_eq!(a.lane_addr(0, 0), 0x100);
+/// assert_eq!(a.lane_addr(7, 0), 0x100 + 28);
+/// assert_eq!(a.total_bytes(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneAccess {
+    /// Address of lane 0 as a function of execution count.
+    pub addr: AddrExpr,
+    /// Byte distance between consecutive lanes.
+    pub lane_stride: u32,
+    /// Bytes accessed by each lane.
+    pub bytes_per_lane: u32,
+    /// Number of active lanes participating in the access.
+    pub active_lanes: u32,
+}
+
+impl LaneAccess {
+    /// A fully-coalescable access: `lanes` lanes each touching a consecutive
+    /// 4-byte word.
+    pub fn contiguous_words(addr: AddrExpr, lanes: u32) -> Self {
+        LaneAccess {
+            addr,
+            lane_stride: 4,
+            bytes_per_lane: 4,
+            active_lanes: lanes,
+        }
+    }
+
+    /// A strided access where consecutive lanes are `lane_stride` bytes apart.
+    pub fn strided(addr: AddrExpr, lane_stride: u32, bytes_per_lane: u32, lanes: u32) -> Self {
+        LaneAccess {
+            addr,
+            lane_stride,
+            bytes_per_lane,
+            active_lanes: lanes,
+        }
+    }
+
+    /// Byte address accessed by `lane` on the `exec_count`-th execution.
+    pub fn lane_addr(&self, lane: u32, exec_count: u64) -> u64 {
+        self.addr.eval(exec_count) + u64::from(lane) * u64::from(self.lane_stride)
+    }
+
+    /// Total bytes moved by one execution of the access across all lanes.
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.bytes_per_lane) * u64::from(self.active_lanes)
+    }
+
+    /// True when the lanes of this access form one contiguous, word-aligned
+    /// region — the case the memory coalescer merges into a single wide
+    /// request.
+    pub fn is_coalescable(&self) -> bool {
+        self.lane_stride == self.bytes_per_lane && self.bytes_per_lane % 4 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_address_ignores_execution_count() {
+        let a = AddrExpr::fixed(0x42);
+        for e in 0..10 {
+            assert_eq!(a.eval(e), 0x42);
+        }
+    }
+
+    #[test]
+    fn streaming_address_advances_linearly() {
+        let a = AddrExpr::streaming(100, 10);
+        assert_eq!(a.eval(0), 100);
+        assert_eq!(a.eval(5), 150);
+    }
+
+    #[test]
+    fn double_buffered_address_alternates() {
+        let a = AddrExpr::double_buffered(0, 64);
+        assert_eq!(a.eval(0), 0);
+        assert_eq!(a.eval(1), 64);
+        assert_eq!(a.eval(10), 0);
+        assert_eq!(a.eval(11), 64);
+    }
+
+    #[test]
+    fn rotating_address_cycles() {
+        let a = AddrExpr::rotating(1000, 100, 4);
+        assert_eq!(a.eval(0), 1000);
+        assert_eq!(a.eval(3), 1300);
+        assert_eq!(a.eval(4), 1000);
+    }
+
+    #[test]
+    fn addr_expr_from_u64_is_fixed() {
+        let a: AddrExpr = 0xdead_u64.into();
+        assert_eq!(a, AddrExpr::fixed(0xdead));
+    }
+
+    #[test]
+    fn lane_access_geometry() {
+        let a = LaneAccess::contiguous_words(AddrExpr::fixed(0), 8);
+        assert!(a.is_coalescable());
+        assert_eq!(a.total_bytes(), 32);
+        assert_eq!(a.lane_addr(3, 0), 12);
+    }
+
+    #[test]
+    fn strided_lane_access_is_not_coalescable() {
+        let a = LaneAccess::strided(AddrExpr::fixed(0), 128, 4, 8);
+        assert!(!a.is_coalescable());
+        assert_eq!(a.lane_addr(2, 0), 256);
+        assert_eq!(a.total_bytes(), 32);
+    }
+
+    #[test]
+    fn mem_region_names() {
+        assert_eq!(MemRegion::Global.name(), "global");
+        assert_eq!(MemRegion::Shared.name(), "shared");
+        assert_eq!(MemRegion::Accumulator.name(), "accumulator");
+    }
+}

@@ -1,0 +1,164 @@
+//! Kernel descriptions: the set of warp programs launched onto a cluster.
+
+use std::sync::Arc;
+
+use crate::program::Program;
+
+/// Numeric element type of matrix operands.
+///
+/// The paper evaluates FP16 configurations for the GEMM kernels and FP32
+/// configurations for FlashAttention-3 (Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 16-bit IEEE 754 half precision.
+    Fp16,
+    /// 32-bit IEEE 754 single precision.
+    Fp32,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            DataType::Fp16 => 2,
+            DataType::Fp32 => 4,
+        }
+    }
+
+    /// Short lower-case name used in reports ("fp16" / "fp32").
+    pub const fn name(self) -> &'static str {
+        match self {
+            DataType::Fp16 => "fp16",
+            DataType::Fp32 => "fp32",
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Metadata describing a kernel, used for utilization accounting and reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelInfo {
+    /// Human-readable kernel name (e.g. `"gemm_virgo_256"`).
+    pub name: String,
+    /// Total multiply-accumulate operations the kernel performs. MAC
+    /// utilization (Table 3) is `total_macs / (cycles × peak MACs/cycle)`.
+    pub total_macs: u64,
+    /// Operand element type.
+    pub dtype: DataType,
+}
+
+impl KernelInfo {
+    /// Creates kernel metadata.
+    pub fn new(name: impl Into<String>, total_macs: u64, dtype: DataType) -> Self {
+        KernelInfo {
+            name: name.into(),
+            total_macs,
+            dtype,
+        }
+    }
+}
+
+/// One warp's program and its placement within the cluster.
+#[derive(Debug, Clone)]
+pub struct WarpAssignment {
+    /// Index of the SIMT core within the cluster this warp runs on.
+    pub core: u32,
+    /// Hardware warp slot within the core.
+    pub warp: u32,
+    /// The program the warp executes.
+    pub program: Arc<Program>,
+}
+
+impl WarpAssignment {
+    /// Creates a warp assignment.
+    pub fn new(core: u32, warp: u32, program: Arc<Program>) -> Self {
+        WarpAssignment { core, warp, program }
+    }
+}
+
+/// A kernel: the collection of warp programs launched onto one cluster
+/// (one thread block in the Virgo programming model, where the thread block
+/// spans all cores of the cluster).
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel metadata.
+    pub info: KernelInfo,
+    /// Per-warp programs and placements.
+    pub warps: Vec<WarpAssignment>,
+}
+
+impl Kernel {
+    /// Creates a kernel from metadata and warp assignments.
+    pub fn new(info: KernelInfo, warps: Vec<WarpAssignment>) -> Self {
+        Kernel { info, warps }
+    }
+
+    /// Total dynamic instructions across every warp of the kernel.
+    pub fn dynamic_instructions(&self) -> u64 {
+        self.warps.iter().map(|w| w.program.dynamic_len()).sum()
+    }
+
+    /// Number of distinct cores used by the kernel's warps.
+    pub fn cores_used(&self) -> usize {
+        let mut cores: Vec<u32> = self.warps.iter().map(|w| w.core).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        cores.len()
+    }
+
+    /// Warps assigned to a particular core.
+    pub fn warps_on_core(&self, core: u32) -> impl Iterator<Item = &WarpAssignment> {
+        self.warps.iter().filter(move |w| w.core == core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::op::WarpOp;
+
+    fn tiny_program(ops: u32) -> Arc<Program> {
+        let mut b = ProgramBuilder::new();
+        b.op_n(ops, WarpOp::Nop);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn data_type_sizes() {
+        assert_eq!(DataType::Fp16.bytes(), 2);
+        assert_eq!(DataType::Fp32.bytes(), 4);
+        assert_eq!(DataType::Fp16.to_string(), "fp16");
+        assert_eq!(DataType::Fp32.to_string(), "fp32");
+    }
+
+    #[test]
+    fn kernel_aggregates_dynamic_instructions() {
+        let info = KernelInfo::new("test", 1000, DataType::Fp16);
+        let kernel = Kernel::new(
+            info,
+            vec![
+                WarpAssignment::new(0, 0, tiny_program(3)),
+                WarpAssignment::new(0, 1, tiny_program(5)),
+                WarpAssignment::new(1, 0, tiny_program(7)),
+            ],
+        );
+        assert_eq!(kernel.dynamic_instructions(), 15);
+        assert_eq!(kernel.cores_used(), 2);
+        assert_eq!(kernel.warps_on_core(0).count(), 2);
+        assert_eq!(kernel.warps_on_core(1).count(), 1);
+        assert_eq!(kernel.warps_on_core(7).count(), 0);
+    }
+
+    #[test]
+    fn kernel_info_holds_mac_count() {
+        let info = KernelInfo::new("gemm", 256 * 256 * 256, DataType::Fp16);
+        assert_eq!(info.total_macs, 16_777_216);
+        assert_eq!(info.name, "gemm");
+    }
+}

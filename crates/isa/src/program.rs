@@ -1,0 +1,340 @@
+//! Loop-structured warp programs and their execution cursor.
+//!
+//! A [`Program`] is a tree of [`ProgramItem`]s: plain operations and counted
+//! loops. This keeps the memory footprint proportional to the *static* kernel
+//! size while the simulator still observes every *dynamic* instruction. A
+//! [`ProgramCursor`] walks the tree in execution order, maintaining the loop
+//! iteration state.
+
+use std::sync::Arc;
+
+use crate::op::{OpId, WarpOp};
+
+/// One node of a loop-structured program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramItem {
+    /// A single static operation with its program-unique id.
+    Op {
+        /// Identifier used for per-instruction execution counters.
+        id: OpId,
+        /// The operation itself.
+        op: WarpOp,
+    },
+    /// A counted loop over a nested body.
+    Loop {
+        /// Number of iterations; zero-iteration loops are skipped entirely.
+        count: u64,
+        /// The loop body.
+        body: Vec<ProgramItem>,
+    },
+}
+
+/// A complete per-warp program.
+///
+/// Programs are constructed through [`ProgramBuilder`](crate::ProgramBuilder)
+/// and shared between warps via `Arc` (all warps of a collaborative kernel
+/// typically run the same program at different base addresses, but nothing
+/// requires that).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    items: Vec<ProgramItem>,
+    num_ops: u32,
+}
+
+impl Program {
+    /// Creates a program from raw items.
+    ///
+    /// Prefer [`ProgramBuilder`](crate::ProgramBuilder), which assigns
+    /// [`OpId`]s automatically; this constructor is used by the builder and
+    /// by tests that need full control.
+    pub fn from_items(items: Vec<ProgramItem>, num_ops: u32) -> Self {
+        Program { items, num_ops }
+    }
+
+    /// The empty program; a warp running it retires immediately.
+    pub fn empty() -> Self {
+        Program::default()
+    }
+
+    /// Number of *static* operations in the program (loop bodies counted
+    /// once). This is the size of the per-warp execution-counter table.
+    pub fn static_len(&self) -> u32 {
+        self.num_ops
+    }
+
+    /// Top-level items of the program tree.
+    pub fn items(&self) -> &[ProgramItem] {
+        &self.items
+    }
+
+    /// Number of *dynamic* operations the program will execute (loop bodies
+    /// multiplied by their trip counts).
+    pub fn dynamic_len(&self) -> u64 {
+        fn count(items: &[ProgramItem]) -> u64 {
+            items
+                .iter()
+                .map(|item| match item {
+                    ProgramItem::Op { .. } => 1,
+                    ProgramItem::Loop { count: c, body } => c * count(body),
+                })
+                .sum()
+        }
+        count(&self.items)
+    }
+
+    /// Creates a cursor positioned before the first dynamic operation.
+    pub fn cursor(self: &Arc<Self>) -> ProgramCursor {
+        ProgramCursor::new(Arc::clone(self))
+    }
+}
+
+/// One frame of the cursor's loop stack.
+#[derive(Debug, Clone)]
+struct Frame {
+    /// Index into the item list of this nesting level.
+    index: usize,
+    /// Remaining iterations of the enclosing loop (meaningful for frames
+    /// above the root).
+    remaining: u64,
+}
+
+/// A cursor that yields the dynamic operation stream of a [`Program`].
+///
+/// The cursor owns an `Arc` of the program, so warps can be moved freely.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use virgo_isa::{ProgramBuilder, WarpOp};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.repeat(3, |b| {
+///     b.op(WarpOp::Nop);
+/// });
+/// let program = Arc::new(b.build());
+/// let mut cursor = program.cursor();
+/// let mut n = 0;
+/// while cursor.next_op().is_some() {
+///     n += 1;
+/// }
+/// assert_eq!(n, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramCursor {
+    program: Arc<Program>,
+    /// Stack of loop frames; the root frame walks `program.items`.
+    stack: Vec<Frame>,
+    done: bool,
+}
+
+impl ProgramCursor {
+    fn new(program: Arc<Program>) -> Self {
+        let done = program.items.is_empty();
+        ProgramCursor {
+            program,
+            stack: vec![Frame {
+                index: 0,
+                remaining: 1,
+            }],
+            done,
+        }
+    }
+
+    /// True when every dynamic operation has been yielded.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Returns the next dynamic operation, or `None` when the program has
+    /// finished.
+    ///
+    /// The returned operation is copied out of the program tree (operations
+    /// are small `Copy` values), together with its static [`OpId`].
+    pub fn next_op(&mut self) -> Option<(OpId, WarpOp)> {
+        if self.done {
+            return None;
+        }
+        loop {
+            // Resolve the item list of the current frame.
+            let depth = self.stack.len() - 1;
+            let items_len = self.current_items_len(depth);
+            let frame_index = self.stack[depth].index;
+
+            if frame_index >= items_len {
+                // Finished this item list: either retry the loop body or pop.
+                if depth == 0 {
+                    self.done = true;
+                    return None;
+                }
+                let frame = &mut self.stack[depth];
+                frame.remaining -= 1;
+                if frame.remaining > 0 {
+                    frame.index = 0;
+                    continue;
+                }
+                self.stack.pop();
+                let parent = self.stack.last_mut().expect("root frame always present");
+                parent.index += 1;
+                continue;
+            }
+
+            // Inspect the item at the current position.
+            let (is_loop, count) = {
+                let item = self.item_at(depth, frame_index);
+                match item {
+                    ProgramItem::Op { id, op } => {
+                        let result = (*id, *op);
+                        self.stack[depth].index += 1;
+                        return Some(result);
+                    }
+                    ProgramItem::Loop { count, .. } => (true, *count),
+                }
+            };
+            debug_assert!(is_loop);
+            if count == 0 {
+                self.stack[depth].index += 1;
+            } else {
+                self.stack.push(Frame {
+                    index: 0,
+                    remaining: count,
+                });
+            }
+        }
+    }
+
+    fn current_items_len(&self, depth: usize) -> usize {
+        self.items_for_depth(depth).len()
+    }
+
+    fn item_at(&self, depth: usize, index: usize) -> &ProgramItem {
+        &self.items_for_depth(depth)[index]
+    }
+
+    /// Walks the frame stack to find the item slice for `depth`.
+    fn items_for_depth(&self, depth: usize) -> &[ProgramItem] {
+        let mut items: &[ProgramItem] = &self.program.items;
+        for level in 1..=depth {
+            let parent_index = self.stack[level - 1].index;
+            match &items[parent_index] {
+                ProgramItem::Loop { body, .. } => items = body,
+                ProgramItem::Op { .. } => unreachable!("frame above an op"),
+            }
+        }
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn collect(program: Program) -> Vec<&'static str> {
+        let program = Arc::new(program);
+        let mut cursor = program.cursor();
+        let mut out = Vec::new();
+        while let Some((_, op)) = cursor.next_op() {
+            out.push(op.mnemonic());
+        }
+        out
+    }
+
+    #[test]
+    fn empty_program_yields_nothing() {
+        let program = Arc::new(Program::empty());
+        let mut cursor = program.cursor();
+        assert!(cursor.is_done() || cursor.next_op().is_none());
+        assert!(cursor.is_done());
+        assert_eq!(program.dynamic_len(), 0);
+    }
+
+    #[test]
+    fn flat_program_yields_in_order() {
+        let mut b = ProgramBuilder::new();
+        b.op(WarpOp::Nop);
+        b.op(WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+        b.op(WarpOp::WaitLoads);
+        let mnemonics = collect(b.build());
+        assert_eq!(mnemonics, vec!["nop", "alu", "waitcnt"]);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let mut b = ProgramBuilder::new();
+        b.repeat(3, |b| {
+            b.op(WarpOp::Nop);
+            b.repeat(2, |b| {
+                b.op(WarpOp::Alu { rf_reads: 0, rf_writes: 0 });
+            });
+        });
+        let program = b.build();
+        assert_eq!(program.dynamic_len(), 3 * (1 + 2));
+        let mnemonics = collect(program);
+        assert_eq!(mnemonics.len(), 9);
+        assert_eq!(mnemonics[0], "nop");
+        assert_eq!(mnemonics[1], "alu");
+        assert_eq!(mnemonics[2], "alu");
+        assert_eq!(mnemonics[3], "nop");
+    }
+
+    #[test]
+    fn zero_trip_loops_are_skipped() {
+        let mut b = ProgramBuilder::new();
+        b.op(WarpOp::Nop);
+        b.repeat(0, |b| {
+            b.op(WarpOp::WaitLoads);
+        });
+        b.op(WarpOp::Nop);
+        let program = b.build();
+        assert_eq!(program.dynamic_len(), 2);
+        assert_eq!(collect(program), vec!["nop", "nop"]);
+    }
+
+    #[test]
+    fn op_ids_are_unique_and_dense() {
+        let mut b = ProgramBuilder::new();
+        b.op(WarpOp::Nop);
+        b.repeat(5, |b| {
+            b.op(WarpOp::Nop);
+            b.op(WarpOp::Nop);
+        });
+        let program = Arc::new(b.build());
+        assert_eq!(program.static_len(), 3);
+        let mut cursor = program.cursor();
+        let mut seen = Vec::new();
+        while let Some((id, _)) = cursor.next_op() {
+            seen.push(id.index());
+        }
+        assert_eq!(seen.len(), 11);
+        assert!(seen.iter().all(|&i| i < 3));
+        // The two loop-body ops repeat with stable ids.
+        assert_eq!(seen[1], seen[3]);
+        assert_eq!(seen[2], seen[4]);
+    }
+
+    #[test]
+    fn trailing_ops_after_loop_execute() {
+        let mut b = ProgramBuilder::new();
+        b.repeat(2, |b| {
+            b.op(WarpOp::Nop);
+        });
+        b.op(WarpOp::Barrier { id: 0 });
+        assert_eq!(collect(b.build()), vec!["nop", "nop", "vx.bar"]);
+    }
+
+    #[test]
+    fn deeply_nested_loop_counts() {
+        let mut b = ProgramBuilder::new();
+        b.repeat(2, |b| {
+            b.repeat(2, |b| {
+                b.repeat(2, |b| {
+                    b.op(WarpOp::Nop);
+                });
+            });
+        });
+        let program = b.build();
+        assert_eq!(program.dynamic_len(), 8);
+        assert_eq!(collect(program).len(), 8);
+    }
+}

@@ -1,0 +1,70 @@
+//! FlashAttention-3 forward-pass kernels (Sections 4.5 and 6.2).
+//!
+//! The kernel fuses the two GEMMs of self-attention (`S = Q·Kᵀ` and
+//! `O += P·V`) with the online-softmax computation. The paper evaluates FP32
+//! configurations of Virgo and the Ampere-style baseline:
+//!
+//! * On **Virgo** the two GEMMs map to the cluster-level matrix unit as
+//!   asynchronous commands while every warp of the cluster computes the
+//!   softmax (with a 2nd-order Taylor approximation of `exp`) on the SIMT
+//!   cores, synchronized with `virgo_fence` and cluster-wide barriers
+//!   (Listing 1 of the paper).
+//! * On the **Ampere-style** baseline the kernel uses warp specialization
+//!   with ping-pong scheduling: half the warps of each core drive the
+//!   tightly-coupled tensor core with synchronous `HMMA` steps while the
+//!   other half computes softmax, alternating roles each iteration.
+
+pub mod ampere;
+pub mod virgo;
+
+use ::virgo::{DesignKind, GpuConfig};
+use virgo_isa::Kernel;
+
+use crate::workload::AttentionShape;
+
+/// Builds the FlashAttention-3 kernel for `config`'s design point.
+///
+/// # Panics
+///
+/// Panics if the design point is not one of the two evaluated in the paper
+/// (Virgo and Ampere-style), or if the shape is not tileable by the 64×64
+/// block used by the mapping.
+pub fn build_flash_attention(config: &GpuConfig, shape: AttentionShape) -> Kernel {
+    match config.design {
+        DesignKind::Virgo => virgo::build(config, shape),
+        DesignKind::AmpereStyle => ampere::build(config, shape),
+        other => panic!("FlashAttention-3 is evaluated on Virgo and Ampere-style designs, not {other}"),
+    }
+}
+
+/// Row/column block size used by both mappings.
+pub(crate) const BLOCK: u32 = 64;
+
+/// Number of floating-point operations the online softmax performs per
+/// element of the score tile: running max, 2nd-order Taylor exponential
+/// (two fused multiply-adds), running sum and rescale.
+pub(crate) const SOFTMAX_FLOPS_PER_ELEM: u32 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virgo_and_ampere_kernels_build() {
+        let shape = AttentionShape::paper_default();
+        let virgo = build_flash_attention(&GpuConfig::virgo().to_fp32(), shape);
+        let ampere = build_flash_attention(&GpuConfig::ampere_style().to_fp32(), shape);
+        assert_eq!(virgo.info.total_macs, shape.gemm_mac_ops());
+        assert_eq!(ampere.info.total_macs, shape.gemm_mac_ops());
+        assert!(virgo.dynamic_instructions() < ampere.dynamic_instructions());
+    }
+
+    #[test]
+    #[should_panic(expected = "FlashAttention-3 is evaluated")]
+    fn unsupported_design_panics() {
+        let _ = build_flash_attention(
+            &GpuConfig::hopper_style().to_fp32(),
+            AttentionShape::paper_default(),
+        );
+    }
+}

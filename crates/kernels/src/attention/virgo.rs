@@ -1,0 +1,263 @@
+//! FlashAttention-3 mapped to Virgo (Listing 1 of the paper).
+
+use std::sync::Arc;
+
+use virgo::GpuConfig;
+use virgo_isa::{
+    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, LaneAccess, MatrixComputeCmd, MemLoc,
+    MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
+};
+
+use crate::workload::AttentionShape;
+
+use super::{BLOCK, SOFTMAX_FLOPS_PER_ELEM};
+
+/// Global-memory bases for the Q, K, V and O matrices.
+const GLOBAL_Q: u64 = 0x4000_0000;
+const GLOBAL_K: u64 = 0x5000_0000;
+const GLOBAL_V: u64 = 0x6000_0000;
+const GLOBAL_O: u64 = 0x7000_0000;
+
+/// Shared-memory layout (FP32 64×64 tiles are 16 KiB each): Q, double
+/// buffered K and V, double buffered S/P score tiles, and the O staging tile.
+const SMEM_Q: u64 = 0x0;
+const SMEM_K0: u64 = 0x4000;
+const SMEM_KV_STRIDE: u64 = 0x4000;
+const SMEM_V0: u64 = 0xC000;
+const SMEM_S0: u64 = 0x1_4000;
+const SMEM_S_STRIDE: u64 = 0x4000;
+const SMEM_O: u64 = 0x1_C000;
+
+/// Accumulator-memory layout: the S score tile and the O output accumulator.
+const ACC_S: u64 = 0;
+const ACC_O: u64 = 16 * 1024;
+
+/// Builds the Virgo FlashAttention-3 forward kernel.
+///
+/// # Panics
+///
+/// Panics if the sequence length or head dimension is not a multiple of the
+/// 64-element block.
+pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
+    assert!(
+        shape.seq_len % BLOCK == 0 && shape.head_dim % BLOCK == 0,
+        "attention shape {shape} not tileable by {BLOCK}"
+    );
+    let dtype = config.dtype;
+    let elem = u64::from(dtype.bytes());
+    let lanes = config.core.lanes;
+    let total_warps = u64::from(config.cores) * u64::from(config.core.warps);
+
+    let row_blocks = u64::from(shape.seq_len / BLOCK) * u64::from(shape.heads * shape.batch);
+    let col_blocks = u64::from(shape.seq_len / BLOCK);
+    let tile_bytes = u64::from(BLOCK) * u64::from(shape.head_dim) * elem;
+    let score_bytes = u64::from(BLOCK) * u64::from(BLOCK) * 4;
+
+    let dma = |src: MemLoc, dst: MemLoc, bytes: u64| WarpOp::MmioWrite {
+        device: DeviceId::DMA0,
+        cmd: MmioCommand::DmaCopy(DmaCopyCmd::new(src, dst, bytes)),
+    };
+    let compute = |a: AddrExpr, b: AddrExpr, acc_addr: u64, k: u32, accumulate: bool| {
+        WarpOp::MmioWrite {
+            device: DeviceId::MATRIX0,
+            cmd: MmioCommand::MatrixCompute(MatrixComputeCmd {
+                a,
+                b,
+                acc_addr,
+                m: BLOCK,
+                n: BLOCK,
+                k,
+                accumulate,
+                dtype,
+            }),
+        }
+    };
+
+    // ---- Orchestrator warp (core 0, warp 0) --------------------------------
+    let mut orch = ProgramBuilder::new();
+    orch.repeat(row_blocks, |b| {
+        // Load the Q row block and the first K/V column blocks.
+        b.op(dma(
+            MemLoc::global(AddrExpr::streaming(GLOBAL_Q, tile_bytes)),
+            MemLoc::shared(AddrExpr::fixed(SMEM_Q)),
+            tile_bytes,
+        ));
+        b.op(dma(
+            MemLoc::global(AddrExpr::streaming(GLOBAL_K, tile_bytes)),
+            MemLoc::shared(AddrExpr::double_buffered(SMEM_K0, SMEM_KV_STRIDE)),
+            tile_bytes,
+        ));
+        b.op(dma(
+            MemLoc::global(AddrExpr::streaming(GLOBAL_V, tile_bytes)),
+            MemLoc::shared(AddrExpr::double_buffered(SMEM_V0, SMEM_KV_STRIDE)),
+            tile_bytes,
+        ));
+        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+
+        // Inner loop over K/V column blocks (Listing 1).
+        b.repeat(col_blocks, |b| {
+            // Block until all of the previous iteration's asynchronous
+            // operations have completed, then synchronize the cluster.
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            b.op(WarpOp::Barrier { id: 0 });
+            // GEMM-2: O += P·V (previous iteration's probability tile).
+            b.op(compute(
+                AddrExpr::double_buffered(SMEM_S0, SMEM_S_STRIDE),
+                AddrExpr::double_buffered(SMEM_V0, SMEM_KV_STRIDE),
+                ACC_O,
+                shape.head_dim,
+                true,
+            ));
+            // GEMM-1: S = Q·Kᵀ for this iteration.
+            b.op(compute(
+                AddrExpr::fixed(SMEM_Q),
+                AddrExpr::double_buffered(SMEM_K0, SMEM_KV_STRIDE),
+                ACC_S,
+                shape.head_dim,
+                false,
+            ));
+            // Prefetch the next K and V column blocks.
+            b.op(dma(
+                MemLoc::global(AddrExpr::streaming(GLOBAL_K, tile_bytes)),
+                MemLoc::shared(AddrExpr::double_buffered(SMEM_K0, SMEM_KV_STRIDE)),
+                tile_bytes,
+            ));
+            b.op(dma(
+                MemLoc::global(AddrExpr::streaming(GLOBAL_V, tile_bytes)),
+                MemLoc::shared(AddrExpr::double_buffered(SMEM_V0, SMEM_KV_STRIDE)),
+                tile_bytes,
+            ));
+            // Wait for GEMM-1 (all but the two most recent DMAs), then drain
+            // the fresh score tile into shared memory for the softmax warps.
+            b.op(WarpOp::FenceAsync { max_outstanding: 2 });
+            b.op(dma(
+                MemLoc::accumulator(AddrExpr::fixed(ACC_S)),
+                MemLoc::shared(AddrExpr::double_buffered(SMEM_S0, SMEM_S_STRIDE)),
+                score_bytes,
+            ));
+            b.op(WarpOp::Barrier { id: 1 });
+        });
+
+        // Epilogue: write the accumulated O row block to global memory.
+        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+        b.op(dma(
+            MemLoc::accumulator(AddrExpr::fixed(ACC_O)),
+            MemLoc::global(AddrExpr::streaming(GLOBAL_O, tile_bytes)),
+            tile_bytes,
+        ));
+        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+        b.op(WarpOp::Barrier { id: 2 });
+    });
+    let orchestrator = Arc::new(orch.build());
+
+    // ---- Softmax warps ------------------------------------------------------
+    // Every warp processes its slice of the 64×64 score tile: running row
+    // max, 2nd-order Taylor exponential, running sum, and the rescale of the
+    // output tile.
+    let elems = u64::from(BLOCK) * u64::from(BLOCK);
+    let elems_per_warp = elems / total_warps;
+    let vector_iters = (elems_per_warp / u64::from(lanes)).max(1);
+    let build_softmax = |warp_index: u64| {
+        let mut p = ProgramBuilder::new();
+        p.repeat(row_blocks, |b| {
+            b.repeat(col_blocks, |b| {
+                b.op(WarpOp::Barrier { id: 0 });
+                // Online softmax over this warp's slice of S.
+                for i in 0..vector_iters {
+                    let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
+                    b.op(WarpOp::LoadShared {
+                        access: LaneAccess::contiguous_words(
+                            AddrExpr::double_buffered(SMEM_S0 + offset, SMEM_S_STRIDE),
+                            lanes,
+                        ),
+                    });
+                    b.op(WarpOp::WaitLoads);
+                    b.op_n(
+                        SOFTMAX_FLOPS_PER_ELEM,
+                        WarpOp::Fpu { rf_reads: 2, rf_writes: 1, flops_per_lane: 1 },
+                    );
+                    b.op(WarpOp::StoreShared {
+                        access: LaneAccess::contiguous_words(
+                            AddrExpr::double_buffered(SMEM_S0 + offset, SMEM_S_STRIDE),
+                            lanes,
+                        ),
+                    });
+                }
+                // Rescale this warp's slice of the O staging tile by the
+                // updated row statistics.
+                for i in 0..vector_iters {
+                    let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
+                    b.op(WarpOp::LoadShared {
+                        access: LaneAccess::contiguous_words(
+                            AddrExpr::fixed(SMEM_O + offset),
+                            lanes,
+                        ),
+                    });
+                    b.op(WarpOp::WaitLoads);
+                    b.op(WarpOp::Fpu { rf_reads: 2, rf_writes: 1, flops_per_lane: 2 });
+                    b.op(WarpOp::StoreShared {
+                        access: LaneAccess::contiguous_words(
+                            AddrExpr::fixed(SMEM_O + offset),
+                            lanes,
+                        ),
+                    });
+                }
+                b.op(WarpOp::Barrier { id: 1 });
+            });
+            b.op(WarpOp::Barrier { id: 2 });
+        });
+        Arc::new(p.build())
+    };
+
+    let mut warps = Vec::new();
+    for core in 0..config.cores {
+        for warp in 0..config.core.warps {
+            let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
+            let program = if warp_index == 0 {
+                Arc::clone(&orchestrator)
+            } else {
+                build_softmax(warp_index)
+            };
+            warps.push(WarpAssignment::new(core, warp, program));
+        }
+    }
+
+    Kernel::new(
+        KernelInfo::new(format!("flash_attention_virgo_{shape}"), shape.gemm_mac_ops(), dtype),
+        warps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_commands_cover_both_gemms() {
+        let shape = AttentionShape::paper_default();
+        let kernel = build(&GpuConfig::virgo().to_fp32(), shape);
+        let mut macs = 0u64;
+        let mut cursor = kernel.warps[0].program.cursor();
+        while let Some((_, op)) = cursor.next_op() {
+            if let WarpOp::MmioWrite { device: DeviceId::MatrixUnit(_), cmd } = op {
+                if let Some(c) = cmd.as_matrix_compute() {
+                    macs += c.mac_ops();
+                }
+            }
+        }
+        assert_eq!(macs, shape.gemm_mac_ops());
+    }
+
+    #[test]
+    fn softmax_warps_do_fpu_work() {
+        let kernel = build(&GpuConfig::virgo().to_fp32(), AttentionShape::paper_default());
+        let mut cursor = kernel.warps[10].program.cursor();
+        let mut fpu = 0u64;
+        while let Some((_, op)) = cursor.next_op() {
+            if matches!(op, WarpOp::Fpu { .. }) {
+                fpu += 1;
+            }
+        }
+        assert!(fpu > 0);
+    }
+}

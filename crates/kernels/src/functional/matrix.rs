@@ -1,0 +1,218 @@
+//! Dense matrices and the tiled GEMM reference.
+
+use virgo_sim::SplitMix64;
+
+/// A dense row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with deterministic pseudo-random values in
+    /// `[-1, 1)`.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        let mut rng = SplitMix64::new(seed);
+        for v in &mut m.data {
+            *v = rng.next_f32_signed();
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, value: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Naive `O(n³)` matrix multiplication: `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must match");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a * rhs.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Largest absolute element-wise difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shapes must match"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Computes `A · B` with the same thread-block tiling the Virgo kernel uses:
+/// the output is partitioned into `tile_m × tile_n` tiles, each accumulated
+/// over `tile_k`-wide K chunks (the order of floating-point accumulation
+/// matches the kernel's double-buffered K loop).
+///
+/// # Panics
+///
+/// Panics if the matrix dimensions are not divisible by the tile sizes.
+pub fn tiled_gemm(a: &Matrix, b: &Matrix, tile_m: usize, tile_n: usize, tile_k: usize) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must match");
+    assert!(
+        a.rows() % tile_m == 0 && b.cols() % tile_n == 0 && a.cols() % tile_k == 0,
+        "dimensions must be divisible by the tile sizes"
+    );
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for tm in (0..a.rows()).step_by(tile_m) {
+        for tn in (0..b.cols()).step_by(tile_n) {
+            // The accumulator tile lives in the matrix unit's accumulator
+            // memory across the K loop.
+            let mut acc = vec![0.0f32; tile_m * tile_n];
+            for tk in (0..a.cols()).step_by(tile_k) {
+                for i in 0..tile_m {
+                    for k in 0..tile_k {
+                        let a_val = a.get(tm + i, tk + k);
+                        for j in 0..tile_n {
+                            acc[i * tile_n + j] += a_val * b.get(tk + k, tn + j);
+                        }
+                    }
+                }
+            }
+            for i in 0..tile_m {
+                for j in 0..tile_n {
+                    c.set(tm + i, tn + j, acc[i * tile_n + j]);
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_matmul_identity() {
+        let mut eye = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            eye.set(i, i, 1.0);
+        }
+        let a = Matrix::random(4, 4, 1);
+        let prod = a.matmul(&eye);
+        assert!(a.max_abs_diff(&prod) < 1e-6);
+    }
+
+    #[test]
+    fn tiled_gemm_matches_naive() {
+        let a = Matrix::random(64, 32, 2);
+        let b = Matrix::random(32, 48, 3);
+        let naive = a.matmul(&b);
+        let tiled = tiled_gemm(&a, &b, 16, 16, 8);
+        assert!(naive.max_abs_diff(&tiled) < 1e-4);
+    }
+
+    #[test]
+    fn tiled_gemm_with_virgo_tile_shape() {
+        // The Virgo thread-block tile ratio (128:64:128) scaled down 8x.
+        let a = Matrix::random(32, 32, 4);
+        let b = Matrix::random(32, 16, 5);
+        let naive = a.matmul(&b);
+        let tiled = tiled_gemm(&a, &b, 16, 8, 16);
+        assert!(naive.max_abs_diff(&tiled) < 1e-4);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::random(5, 9, 6);
+        assert!(a.max_abs_diff(&a.transposed().transposed()) < 1e-9);
+    }
+
+    #[test]
+    fn random_matrices_are_deterministic_per_seed() {
+        assert_eq!(Matrix::random(8, 8, 7), Matrix::random(8, 8, 7));
+        assert!(Matrix::random(8, 8, 7).max_abs_diff(&Matrix::random(8, 8, 8)) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_access_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.get(2, 0);
+    }
+}

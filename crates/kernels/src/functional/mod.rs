@@ -1,0 +1,16 @@
+//! Functional (numerical) reference model.
+//!
+//! The cycle-level simulator is trace-free: it models timing and energy but
+//! carries no matrix data. This module implements the *same tilings and
+//! schedules* the kernels use — thread-block tiling with K-accumulation for
+//! GEMM, and block-wise online softmax with a 2nd-order Taylor exponential
+//! for FlashAttention — over real `f32` data, and validates them against
+//! naive references. This separates "is the mapping algorithmically correct"
+//! from "how long does it take", the classic functional/timing split of
+//! trace-driven simulators.
+
+pub mod flash;
+pub mod matrix;
+
+pub use flash::{flash_attention_blocked, naive_attention, taylor_exp2};
+pub use matrix::{tiled_gemm, Matrix};

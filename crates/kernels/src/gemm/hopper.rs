@@ -1,0 +1,209 @@
+//! The Hopper-style GEMM kernel: asynchronous `wgmma` operations with
+//! operands in shared memory (Section 5.1.3).
+
+use std::sync::Arc;
+
+use virgo::GpuConfig;
+use virgo_isa::{
+    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, LaneAccess, MemLoc, MmioCommand,
+    ProgramBuilder, WarpAssignment, WarpOp, WgmmaOp,
+};
+
+use crate::workload::GemmShape;
+
+use super::{GLOBAL_A, GLOBAL_B, GLOBAL_C};
+
+/// Thread-block tile M dimension.
+pub const TILE_M: u32 = 64;
+/// Thread-block tile N dimension.
+pub const TILE_N: u32 = 128;
+/// Thread-block K chunk.
+pub const TILE_K: u32 = 32;
+/// Per-warp `wgmma` tile (Section 5.1.3: the 1 KiB register budget holds a
+/// single 16×16 FP32 accumulator; the K extent is 32).
+pub const WGMMA: (u32, u32, u32) = (16, 16, 32);
+
+/// Shared-memory layout: double-buffered A and B tiles.
+const SMEM_A0: u64 = 0x0;
+const SMEM_A_STRIDE: u64 = 0x1000; // 4 KiB per A buffer (64×32 fp16)
+const SMEM_B0: u64 = 0x8000;
+const SMEM_B_STRIDE: u64 = 0x2000; // 8 KiB per B buffer (32×128 fp16)
+
+/// Builds the Hopper-style GEMM kernel.
+///
+/// The cluster DMA stages the operand tiles into shared memory; each warp
+/// then initiates one asynchronous `wgmma` per K chunk, letting the unit's
+/// access frontend stream the operands while the warp waits on
+/// `wgmma.wait_group` before the next iteration.
+///
+/// # Panics
+///
+/// Panics if the shape is not divisible by the 64×128×32 thread-block tile.
+pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
+    assert!(
+        shape.m % TILE_M == 0 && shape.n % TILE_N == 0 && shape.k % TILE_K == 0,
+        "GEMM shape {shape} not divisible by the {TILE_M}x{TILE_N}x{TILE_K} tile"
+    );
+    let out_tiles = u64::from(shape.m / TILE_M) * u64::from(shape.n / TILE_N);
+    let kt = u64::from(shape.k / TILE_K);
+    let dtype = config.dtype;
+    let elem = u64::from(dtype.bytes());
+    let lanes = config.core.lanes;
+
+    let a_tile_bytes = u64::from(TILE_M) * u64::from(TILE_K) * elem;
+    let b_tile_bytes = u64::from(TILE_K) * u64::from(TILE_N) * elem;
+
+    let total_warps = u64::from(config.cores) * u64::from(config.core.warps);
+    // 64×128 outputs over 16×16 warp tiles = 32 warp tiles, exactly one per
+    // warp in the 4-core Hopper-style cluster.
+    let warp_tiles = u64::from(TILE_M / WGMMA.0) * u64::from(TILE_N / WGMMA.1);
+    let tiles_per_warp = warp_tiles.div_ceil(total_warps).max(1);
+
+    let dma_tile_loads = |b: &mut ProgramBuilder| {
+        for (global, smem_base, smem_stride, bytes) in [
+            (GLOBAL_A, SMEM_A0, SMEM_A_STRIDE, a_tile_bytes),
+            (GLOBAL_B, SMEM_B0, SMEM_B_STRIDE, b_tile_bytes),
+        ] {
+            b.op(WarpOp::MmioWrite {
+                device: DeviceId::DMA0,
+                cmd: MmioCommand::DmaCopy(DmaCopyCmd::new(
+                    MemLoc::global(AddrExpr::streaming(global, bytes)),
+                    MemLoc::shared(AddrExpr::double_buffered(smem_base, smem_stride)),
+                    bytes,
+                )),
+            });
+        }
+    };
+
+    let build_program = |leader: bool, warp_index: u64| {
+        let mut p = ProgramBuilder::new();
+        p.repeat(out_tiles, |b| {
+            // The leader stages the first K chunk before the pipelined loop.
+            if leader {
+                dma_tile_loads(b);
+            }
+            b.repeat(kt, |b| {
+                if leader {
+                    // Wait for this iteration's operands, then prefetch the
+                    // next chunk so the TMA-style copy overlaps with the
+                    // wgmma work of this iteration.
+                    b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                    dma_tile_loads(b);
+                }
+                b.op(WarpOp::Barrier { id: 0 });
+
+                // Each warp initiates its asynchronous wgmma operation(s) on
+                // its slice of the shared-memory tiles, then waits for the
+                // group to drain before reusing the buffer.
+                b.repeat(tiles_per_warp, |b| {
+                    b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+                    b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+                    let a_slice = SMEM_A0
+                        + (warp_index % u64::from(TILE_M / WGMMA.0))
+                            * u64::from(WGMMA.0 * TILE_K) * elem;
+                    let b_slice = SMEM_B0
+                        + (warp_index / u64::from(TILE_M / WGMMA.0))
+                            * u64::from(WGMMA.1 * TILE_K) * elem;
+                    b.op(WarpOp::WgmmaInit(WgmmaOp {
+                        a: AddrExpr::double_buffered(a_slice, SMEM_A_STRIDE),
+                        b: AddrExpr::double_buffered(b_slice, SMEM_B_STRIDE),
+                        m: WGMMA.0,
+                        n: WGMMA.1,
+                        k: WGMMA.2,
+                        dtype,
+                    }));
+                });
+                b.op(WarpOp::WgmmaWait);
+                b.op(WarpOp::Barrier { id: 1 });
+            });
+
+            // Epilogue: each warp writes its 16×16 FP32 accumulator tile from
+            // the register file to global memory.
+            let c_words = u64::from(WGMMA.0) * u64::from(WGMMA.1) * tiles_per_warp;
+            let c_stores = (c_words / u64::from(lanes)) as u32;
+            for s in 0..c_stores {
+                b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+                b.op(WarpOp::StoreGlobal {
+                    access: LaneAccess::contiguous_words(
+                        AddrExpr::streaming(
+                            GLOBAL_C + warp_index * c_words * 4 + u64::from(s) * u64::from(lanes) * 4,
+                            u64::from(TILE_M) * u64::from(TILE_N) * 4,
+                        ),
+                        lanes,
+                    ),
+                });
+            }
+            b.op(WarpOp::Barrier { id: 1 });
+        });
+        Arc::new(p.build())
+    };
+
+    let mut warps = Vec::new();
+    for core in 0..config.cores {
+        for warp in 0..config.core.warps {
+            let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
+            let leader = core == 0 && warp == 0;
+            warps.push(WarpAssignment::new(
+                core,
+                warp,
+                build_program(leader, warp_index),
+            ));
+        }
+    }
+
+    Kernel::new(
+        KernelInfo::new(format!("gemm_hopper_{shape}"), shape.mac_ops(), dtype),
+        warps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wgmma_macs_cover_the_whole_problem() {
+        let shape = GemmShape::square(256);
+        let config = GpuConfig::hopper_style();
+        let kernel = build(&config, shape);
+        let mut total = 0u64;
+        for warp in &kernel.warps {
+            let mut cursor = warp.program.cursor();
+            while let Some((_, op)) = cursor.next_op() {
+                if let WarpOp::WgmmaInit(op) = op {
+                    total += op.mac_ops();
+                }
+            }
+        }
+        assert_eq!(total, shape.mac_ops());
+    }
+
+    #[test]
+    fn only_the_leader_warp_programs_the_dma() {
+        let kernel = build(&GpuConfig::hopper_style(), GemmShape::square(256));
+        let has_dma = |i: usize| {
+            let mut cursor = kernel.warps[i].program.cursor();
+            while let Some((_, op)) = cursor.next_op() {
+                if matches!(op, WarpOp::MmioWrite { .. }) {
+                    return true;
+                }
+            }
+            false
+        };
+        assert!(has_dma(0));
+        assert!(!has_dma(1));
+        assert!(!has_dma(31));
+    }
+
+    #[test]
+    fn instruction_count_sits_between_virgo_and_volta() {
+        let shape = GemmShape::square(256);
+        let hopper = build(&GpuConfig::hopper_style(), shape).dynamic_instructions();
+        let volta =
+            super::super::coupled::build(&GpuConfig::volta_style(), shape, false)
+                .dynamic_instructions();
+        let virgo = super::super::virgo::build(&GpuConfig::virgo(), shape).dynamic_instructions();
+        assert!(virgo < hopper, "virgo {virgo} < hopper {hopper}");
+        assert!(hopper < volta, "hopper {hopper} < volta {volta}");
+    }
+}

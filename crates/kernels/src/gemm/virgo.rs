@@ -1,0 +1,212 @@
+//! The Virgo GEMM kernel: MMIO-orchestrated, DMA-fed, cluster-level matrix
+//! unit (Section 4.4).
+
+use std::sync::Arc;
+
+use virgo::GpuConfig;
+use virgo_isa::{
+    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, MatrixComputeCmd, MemLoc, MmioCommand,
+    ProgramBuilder, WarpAssignment, WarpOp,
+};
+
+use crate::workload::GemmShape;
+
+use super::{GLOBAL_A, GLOBAL_B, GLOBAL_C};
+
+/// Thread-block tile exposed by the matrix unit (Section 4.4.1).
+pub const TILE_M: u32 = 128;
+/// Thread-block tile N dimension.
+pub const TILE_N: u32 = 64;
+/// Thread-block tile K dimension.
+pub const TILE_K: u32 = 128;
+
+/// Shared-memory double-buffer base addresses for the A and B tiles.
+const SMEM_A0: u64 = 0x0;
+const SMEM_A_STRIDE: u64 = 0x8000; // 32 KiB per A buffer
+const SMEM_B0: u64 = 0x1_0000;
+const SMEM_B_STRIDE: u64 = 0x4000; // 16 KiB per B buffer
+
+/// Builds the Virgo GEMM kernel for `shape`.
+///
+/// One warp per cluster acts as the orchestrator: it programs the DMA engine
+/// and the matrix unit through MMIO and issues the `virgo_fence` polls. Every
+/// other warp participates in the cluster-wide barriers, mirroring the
+/// collaborative-execution model of Section 4.2 (in a pure GEMM they have no
+/// per-element work, since both data movement and compute are offloaded).
+///
+/// # Panics
+///
+/// Panics if the shape is not divisible by the 128×64×128 thread-block tile.
+pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
+    assert!(
+        shape.m % TILE_M == 0 && shape.n % TILE_N == 0 && shape.k % TILE_K == 0,
+        "GEMM shape {shape} not divisible by the {TILE_M}x{TILE_N}x{TILE_K} tile"
+    );
+    let tiles_m = u64::from(shape.m / TILE_M);
+    let tiles_n = u64::from(shape.n / TILE_N);
+    let out_tiles = tiles_m * tiles_n;
+    let kt = u64::from(shape.k / TILE_K);
+    let dtype = config.dtype;
+    let elem = u64::from(dtype.bytes());
+
+    let a_tile_bytes = u64::from(TILE_M) * u64::from(TILE_K) * elem;
+    let b_tile_bytes = u64::from(TILE_K) * u64::from(TILE_N) * elem;
+    let c_tile_bytes = u64::from(TILE_M) * u64::from(TILE_N) * 4;
+
+    // Addresses: the operand tiles stream through global memory (distinct
+    // addresses per execution, so cache and DRAM behaviour is realistic) and
+    // ping-pong between two shared-memory buffers.
+    let dma_a = |stride: u64| {
+        MmioCommand::DmaCopy(DmaCopyCmd::new(
+            MemLoc::global(AddrExpr::streaming(GLOBAL_A, stride)),
+            MemLoc::shared(AddrExpr::double_buffered(SMEM_A0, SMEM_A_STRIDE)),
+            a_tile_bytes,
+        ))
+    };
+    let dma_b = |stride: u64| {
+        MmioCommand::DmaCopy(DmaCopyCmd::new(
+            MemLoc::global(AddrExpr::streaming(GLOBAL_B, stride)),
+            MemLoc::shared(AddrExpr::double_buffered(SMEM_B0, SMEM_B_STRIDE)),
+            b_tile_bytes,
+        ))
+    };
+    let compute = |accumulate: bool| {
+        MmioCommand::MatrixCompute(MatrixComputeCmd {
+            a: AddrExpr::double_buffered(SMEM_A0, SMEM_A_STRIDE),
+            b: AddrExpr::double_buffered(SMEM_B0, SMEM_B_STRIDE),
+            acc_addr: 0,
+            m: TILE_M,
+            n: TILE_N,
+            k: TILE_K,
+            accumulate,
+            dtype,
+        })
+    };
+    let dma_store_c = MmioCommand::DmaCopy(DmaCopyCmd::new(
+        MemLoc::accumulator(AddrExpr::fixed(0)),
+        MemLoc::global(AddrExpr::streaming(GLOBAL_C, c_tile_bytes)),
+        c_tile_bytes,
+    ));
+
+    let mmio = |cmd: MmioCommand| WarpOp::MmioWrite {
+        device: match cmd {
+            MmioCommand::DmaCopy(_) => DeviceId::DMA0,
+            MmioCommand::MatrixCompute(_) => DeviceId::MATRIX0,
+        },
+        cmd,
+    };
+
+    // ---- Orchestrator warp -------------------------------------------------
+    let mut orch = ProgramBuilder::new();
+    orch.repeat(out_tiles, |b| {
+        // Prologue: fetch the first K-tile of A and B.
+        b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+        b.op(mmio(dma_a(a_tile_bytes)));
+        b.op(mmio(dma_b(b_tile_bytes)));
+        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+        // First compute overwrites the accumulator; prefetch the next tile
+        // while it runs.
+        b.op(mmio(compute(false)));
+        if kt > 1 {
+            b.op(mmio(dma_a(a_tile_bytes)));
+            b.op(mmio(dma_b(b_tile_bytes)));
+        }
+        // Steady-state software pipeline: wait for the previous compute and
+        // prefetch, launch this iteration's compute, prefetch the next tile.
+        if kt > 2 {
+            b.repeat(kt - 2, |b| {
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                b.op(WarpOp::Barrier { id: 0 });
+                b.op(mmio(compute(true)));
+                b.op(mmio(dma_a(a_tile_bytes)));
+                b.op(mmio(dma_b(b_tile_bytes)));
+            });
+        }
+        // Final K iteration: no further prefetch.
+        if kt > 1 {
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            b.op(WarpOp::Barrier { id: 0 });
+            b.op(mmio(compute(true)));
+        }
+        // Epilogue: drain the accumulator tile to global memory. The store is
+        // left asynchronous so it overlaps with the next output tile's
+        // prologue DMA loads; the fence at the top of the next tile (and the
+        // cluster drain at kernel end) provides the required ordering before
+        // the accumulator is overwritten.
+        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+        b.op(mmio(dma_store_c));
+        b.op(WarpOp::Barrier { id: 1 });
+    });
+    let orchestrator = Arc::new(orch.build());
+
+    // ---- Follower warps ----------------------------------------------------
+    // Followers join the per-K-iteration barrier (issued `kt - 1` times per
+    // output tile for kt > 1) and the per-tile epilogue barrier.
+    let inner_barriers = if kt > 1 { kt - 1 } else { 0 };
+    let mut foll = ProgramBuilder::new();
+    foll.repeat(out_tiles, |b| {
+        b.repeat(inner_barriers, |b| {
+            b.op(WarpOp::Barrier { id: 0 });
+        });
+        b.op(WarpOp::Barrier { id: 1 });
+    });
+    let follower = Arc::new(foll.build());
+
+    let mut warps = Vec::new();
+    for core in 0..config.cores {
+        for warp in 0..config.core.warps {
+            let program = if core == 0 && warp == 0 {
+                Arc::clone(&orchestrator)
+            } else {
+                Arc::clone(&follower)
+            };
+            warps.push(WarpAssignment::new(core, warp, program));
+        }
+    }
+
+    Kernel::new(
+        KernelInfo::new(format!("gemm_virgo_{shape}"), shape.mac_ops(), dtype),
+        warps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_structure_matches_tiling() {
+        let config = GpuConfig::virgo();
+        let shape = GemmShape::square(256);
+        let kernel = build(&config, shape);
+        assert_eq!(kernel.warps.len(), 64);
+        assert_eq!(kernel.cores_used(), 8);
+        // 2×4 output tiles, each with a 2-iteration K loop.
+        let orchestrator = &kernel.warps[0].program;
+        // Orchestrator issues one matrix compute per (tile, k) pair.
+        let computes = 2 * 4 * 2;
+        // Count MMIO matrix commands in the dynamic stream.
+        let mut cursor = orchestrator.cursor();
+        let mut count = 0;
+        while let Some((_, op)) = cursor.next_op() {
+            if let WarpOp::MmioWrite { device: DeviceId::MatrixUnit(_), .. } = op {
+                count += 1;
+            }
+        }
+        assert_eq!(count, computes);
+    }
+
+    #[test]
+    fn single_k_iteration_shape_is_supported() {
+        let config = GpuConfig::virgo();
+        let shape = GemmShape { m: 128, n: 64, k: 128 };
+        let kernel = build(&config, shape);
+        assert!(kernel.dynamic_instructions() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_shape_is_rejected() {
+        let _ = build(&GpuConfig::virgo(), GemmShape { m: 100, n: 64, k: 128 });
+    }
+}

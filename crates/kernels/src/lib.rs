@@ -1,0 +1,31 @@
+//! GEMM and FlashAttention-3 kernels for the Virgo GPU model, plus the
+//! functional reference model used to validate the mappings numerically.
+//!
+//! The paper evaluates two workloads (Section 5.3):
+//!
+//! * **GEMM** at 256³, 512³ and 1024³ in FP16, with kernels independently
+//!   optimized for each design point (Volta-style, Ampere-style,
+//!   Hopper-style, Virgo), and
+//! * **FlashAttention-3** forward pass (sequence length 1024, head dimension
+//!   64, one head, batch 1) in FP32, mapped to Virgo and to the Ampere-style
+//!   baseline.
+//!
+//! The [`gemm`] and [`attention`] modules generate the per-warp instruction
+//! streams (as [`virgo_isa::Kernel`]s) that the cycle-level simulator
+//! executes; the [`functional`] module implements the same tilings over real
+//! matrices so the mappings can be checked against naive references.
+//! [`hetero`] builds the dual-matrix-unit workload of Section 6.3.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attention;
+pub mod functional;
+pub mod gemm;
+pub mod hetero;
+pub mod workload;
+
+pub use attention::build_flash_attention;
+pub use gemm::build_gemm;
+pub use hetero::{build_heterogeneous_parallel, build_heterogeneous_serial};
+pub use workload::{AttentionShape, GemmShape};

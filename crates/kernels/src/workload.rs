@@ -1,0 +1,114 @@
+//! Workload shapes evaluated in the paper.
+
+/// The dimensions of one GEMM problem: `C[m×n] += A[m×k] · B[k×n]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of A and C.
+    pub m: u32,
+    /// Columns of B and C.
+    pub n: u32,
+    /// Columns of A / rows of B.
+    pub k: u32,
+}
+
+impl GemmShape {
+    /// A square GEMM of side `n` (the paper evaluates 256, 512 and 1024).
+    pub const fn square(n: u32) -> Self {
+        GemmShape { m: n, n, k: n }
+    }
+
+    /// The three GEMM sizes of Table 3.
+    pub fn paper_sizes() -> [GemmShape; 3] {
+        [
+            GemmShape::square(256),
+            GemmShape::square(512),
+            GemmShape::square(1024),
+        ]
+    }
+
+    /// Total multiply-accumulate operations of the problem.
+    pub const fn mac_ops(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// A short label such as `"256x256x256"`.
+    pub fn label(&self) -> String {
+        format!("{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+impl std::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+/// The shape of one self-attention forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttentionShape {
+    /// Sequence length.
+    pub seq_len: u32,
+    /// Head dimension.
+    pub head_dim: u32,
+    /// Number of attention heads.
+    pub heads: u32,
+    /// Batch size.
+    pub batch: u32,
+}
+
+impl AttentionShape {
+    /// The configuration evaluated in Section 6.2: sequence length 1024,
+    /// head dimension 64, a single head, batch size 1.
+    pub const fn paper_default() -> Self {
+        AttentionShape {
+            seq_len: 1024,
+            head_dim: 64,
+            heads: 1,
+            batch: 1,
+        }
+    }
+
+    /// Multiply-accumulates in the two GEMMs of one head (`Q·Kᵀ` and `P·V`).
+    pub const fn gemm_mac_ops(&self) -> u64 {
+        let per_head =
+            2 * self.seq_len as u64 * self.seq_len as u64 * self.head_dim as u64;
+        per_head * self.heads as u64 * self.batch as u64
+    }
+}
+
+impl std::fmt::Display for AttentionShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seq={} d={} heads={} batch={}",
+            self.seq_len, self.head_dim, self.heads, self.batch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_gemm_mac_count() {
+        let s = GemmShape::square(256);
+        assert_eq!(s.mac_ops(), 256 * 256 * 256);
+        assert_eq!(s.label(), "256x256x256");
+        assert_eq!(s.to_string(), "256x256x256");
+    }
+
+    #[test]
+    fn paper_sizes_are_increasing() {
+        let sizes = GemmShape::paper_sizes();
+        assert!(sizes[0].mac_ops() < sizes[1].mac_ops());
+        assert!(sizes[1].mac_ops() < sizes[2].mac_ops());
+    }
+
+    #[test]
+    fn attention_macs_cover_both_gemms() {
+        let a = AttentionShape::paper_default();
+        assert_eq!(a.gemm_mac_ops(), 2 * 1024 * 1024 * 64);
+        assert_eq!(a.to_string(), "seq=1024 d=64 heads=1 batch=1");
+    }
+}

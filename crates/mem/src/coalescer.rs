@@ -1,0 +1,159 @@
+//! The SIMT memory coalescer (Section 3.2.3).
+//!
+//! Vortex originally lacked hardware memory coalescing; the paper adds a
+//! coalescing unit between the core and the L1 cache that merges per-lane
+//! scalar accesses into cache-line-sized requests. The model here performs
+//! the same merge: given the lane addresses of one warp memory instruction it
+//! returns the distinct cache-line requests to send to the L1.
+
+/// Event counters for the coalescer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalescerStats {
+    /// Warp memory instructions processed.
+    pub warp_accesses: u64,
+    /// Lane addresses examined.
+    pub lane_accesses: u64,
+    /// Coalesced line requests produced.
+    pub line_requests: u64,
+}
+
+impl CoalescerStats {
+    /// Average number of lane accesses merged into each line request.
+    pub fn merge_factor(&self) -> f64 {
+        if self.line_requests == 0 {
+            0.0
+        } else {
+            self.lane_accesses as f64 / self.line_requests as f64
+        }
+    }
+}
+
+/// The memory coalescing unit.
+///
+/// # Example
+///
+/// ```
+/// use virgo_mem::Coalescer;
+///
+/// let mut c = Coalescer::new(32);
+/// // Eight consecutive words: a single 32-byte line request.
+/// let addrs: Vec<u64> = (0..8).map(|i| i * 4).collect();
+/// assert_eq!(c.coalesce(&addrs, 4).len(), 1);
+/// // Eight words strided by 128 bytes: eight separate requests.
+/// let strided: Vec<u64> = (0..8).map(|i| i * 128).collect();
+/// assert_eq!(c.coalesce(&strided, 4).len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Coalescer {
+    line_bytes: u64,
+    stats: CoalescerStats,
+}
+
+impl Coalescer {
+    /// Creates a coalescer producing requests of `line_bytes` granularity
+    /// (the L1 line size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    pub fn new(line_bytes: u64) -> Self {
+        assert!(line_bytes > 0, "line size must be non-zero");
+        Coalescer {
+            line_bytes,
+            stats: CoalescerStats::default(),
+        }
+    }
+
+    /// The coalescing granularity in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CoalescerStats {
+        self.stats
+    }
+
+    /// Merges the per-lane byte addresses of one warp memory instruction into
+    /// the distinct line-aligned requests they require. Lane accesses of
+    /// `bytes_per_lane` bytes that straddle a line boundary generate requests
+    /// for both lines.
+    pub fn coalesce(&mut self, lane_addrs: &[u64], bytes_per_lane: u32) -> Vec<u64> {
+        self.stats.warp_accesses += 1;
+        self.stats.lane_accesses += lane_addrs.len() as u64;
+
+        let mut lines: Vec<u64> = Vec::with_capacity(lane_addrs.len());
+        for &addr in lane_addrs {
+            let first = addr / self.line_bytes;
+            let last = (addr + u64::from(bytes_per_lane).max(1) - 1) / self.line_bytes;
+            for line in first..=last {
+                lines.push(line);
+            }
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        self.stats.line_requests += lines.len() as u64;
+        lines.iter().map(|l| l * self.line_bytes).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_warp_access_fully_coalesces() {
+        let mut c = Coalescer::new(32);
+        let addrs: Vec<u64> = (0..8).map(|i| 0x1000 + i * 4).collect();
+        let lines = c.coalesce(&addrs, 4);
+        assert_eq!(lines, vec![0x1000]);
+        assert!((c.stats().merge_factor() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contiguous_access_spanning_two_lines() {
+        let mut c = Coalescer::new(32);
+        let addrs: Vec<u64> = (0..16).map(|i| i * 4).collect();
+        let lines = c.coalesce(&addrs, 4);
+        assert_eq!(lines, vec![0, 32]);
+    }
+
+    #[test]
+    fn strided_access_does_not_coalesce() {
+        let mut c = Coalescer::new(32);
+        let addrs: Vec<u64> = (0..8).map(|i| i * 256).collect();
+        assert_eq!(c.coalesce(&addrs, 4).len(), 8);
+    }
+
+    #[test]
+    fn straddling_lane_access_touches_both_lines() {
+        let mut c = Coalescer::new(32);
+        let lines = c.coalesce(&[30], 4);
+        assert_eq!(lines, vec![0, 32]);
+    }
+
+    #[test]
+    fn duplicate_lane_addresses_merge() {
+        let mut c = Coalescer::new(32);
+        let lines = c.coalesce(&[0, 0, 0, 0], 4);
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate_across_calls() {
+        let mut c = Coalescer::new(32);
+        c.coalesce(&[0, 4], 4);
+        c.coalesce(&[64, 68], 4);
+        let s = c.stats();
+        assert_eq!(s.warp_accesses, 2);
+        assert_eq!(s.lane_accesses, 4);
+        assert_eq!(s.line_requests, 2);
+    }
+
+    #[test]
+    fn empty_access_produces_no_requests() {
+        let mut c = Coalescer::new(32);
+        assert!(c.coalesce(&[], 4).is_empty());
+        assert_eq!(c.stats().merge_factor(), 0.0);
+    }
+}

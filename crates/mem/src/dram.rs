@@ -1,0 +1,189 @@
+//! A bandwidth- and latency-limited DRAM model.
+
+use virgo_sim::Cycle;
+
+/// Configuration of the DRAM interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Fixed access latency in cycles (row activation, controller queueing).
+    pub latency: u64,
+    /// Sustained bandwidth in bytes per SoC cycle.
+    pub bytes_per_cycle: u64,
+    /// Burst granularity in bytes; every transfer is rounded up to bursts.
+    pub burst_bytes: u64,
+}
+
+impl DramConfig {
+    /// A DDR-class interface matched to the 400 MHz SoC: 32 bytes/cycle
+    /// (≈ 12.8 GB/s) with 100-cycle latency.
+    pub fn default_soc() -> Self {
+        DramConfig {
+            latency: 100,
+            bytes_per_cycle: 32,
+            burst_bytes: 32,
+        }
+    }
+}
+
+/// Event counters for the DRAM interface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Number of read requests served.
+    pub reads: u64,
+    /// Number of write requests served.
+    pub writes: u64,
+    /// Total bytes transferred (after rounding to bursts).
+    pub bytes: u64,
+    /// Total 32-byte bursts transferred.
+    pub bursts: u64,
+}
+
+/// The DRAM model: a single channel with fixed latency and finite bandwidth.
+///
+/// Requests occupy the channel back-to-back; a request issued while the
+/// channel is busy is serialized behind the earlier ones.
+///
+/// # Example
+///
+/// ```
+/// use virgo_mem::{DramConfig, DramModel};
+/// use virgo_sim::Cycle;
+///
+/// let mut dram = DramModel::new(DramConfig::default_soc());
+/// let done = dram.access(Cycle::new(0), 256, false);
+/// // 256 bytes at 32 B/cycle occupies 8 cycles after the 100-cycle latency.
+/// assert_eq!(done, Cycle::new(108));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    config: DramConfig,
+    /// Cycle at which the channel becomes free.
+    busy_until: Cycle,
+    stats: DramStats,
+}
+
+impl DramModel {
+    /// Creates an idle DRAM channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured bandwidth or burst size is zero.
+    pub fn new(config: DramConfig) -> Self {
+        assert!(config.bytes_per_cycle > 0, "bandwidth must be non-zero");
+        assert!(config.burst_bytes > 0, "burst size must be non-zero");
+        DramModel {
+            config,
+            busy_until: Cycle::ZERO,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Cycle at which the channel next becomes free.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// Performs a transfer of `bytes` starting no earlier than `now`,
+    /// returning the completion cycle.
+    pub fn access(&mut self, now: Cycle, bytes: u64, write: bool) -> Cycle {
+        let bursts = bytes.div_ceil(self.config.burst_bytes).max(1);
+        let rounded = bursts * self.config.burst_bytes;
+        let transfer_cycles = rounded.div_ceil(self.config.bytes_per_cycle).max(1);
+
+        // Data transfer starts when the channel is free; the fixed latency
+        // overlaps with queueing only up to the channel-free point.
+        let start = now.max(self.busy_until);
+        let done = start.plus(self.config.latency + transfer_cycles);
+        self.busy_until = start.plus(transfer_cycles);
+
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.stats.bytes += rounded;
+        self.stats.bursts += bursts;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> DramModel {
+        DramModel::new(DramConfig {
+            latency: 10,
+            bytes_per_cycle: 8,
+            burst_bytes: 32,
+        })
+    }
+
+    #[test]
+    fn single_access_latency_plus_transfer() {
+        let mut d = dram();
+        let done = d.access(Cycle::new(0), 32, false);
+        assert_eq!(done, Cycle::new(10 + 4));
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().bytes, 32);
+    }
+
+    #[test]
+    fn small_access_rounds_to_burst() {
+        let mut d = dram();
+        d.access(Cycle::new(0), 4, true);
+        assert_eq!(d.stats().bytes, 32);
+        assert_eq!(d.stats().bursts, 1);
+        assert_eq!(d.stats().writes, 1);
+    }
+
+    #[test]
+    fn back_to_back_accesses_serialize() {
+        let mut d = dram();
+        let first = d.access(Cycle::new(0), 64, false);
+        let second = d.access(Cycle::new(0), 64, false);
+        assert_eq!(first, Cycle::new(10 + 8));
+        // Second transfer waits for the first to release the channel.
+        assert_eq!(second, Cycle::new(8 + 10 + 8));
+        assert!(d.busy_until() == Cycle::new(16));
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut d = dram();
+        d.access(Cycle::new(0), 32, false);
+        let done = d.access(Cycle::new(1000), 32, false);
+        assert_eq!(done, Cycle::new(1000 + 10 + 4));
+    }
+
+    #[test]
+    fn bandwidth_limits_throughput() {
+        let mut d = dram();
+        let mut last = Cycle::ZERO;
+        for _ in 0..100 {
+            last = d.access(Cycle::ZERO, 32, false);
+        }
+        // 100 bursts × 4 cycles each = 400 cycles of bus occupancy.
+        assert!(last.get() >= 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = DramModel::new(DramConfig {
+            latency: 1,
+            bytes_per_cycle: 0,
+            burst_bytes: 32,
+        });
+    }
+}

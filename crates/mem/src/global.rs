@@ -1,0 +1,232 @@
+//! The global memory hierarchy: per-core L1 caches, shared L2, DRAM.
+
+use virgo_sim::Cycle;
+
+use crate::cache::{Cache, CacheConfig};
+use crate::dram::{DramConfig, DramModel, DramStats};
+
+/// Configuration of the global memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalMemoryConfig {
+    /// Per-core L1 data cache.
+    pub l1: CacheConfig,
+    /// Shared L2 cache.
+    pub l2: CacheConfig,
+    /// DRAM interface.
+    pub dram: DramConfig,
+    /// Number of SIMT cores (each gets a private L1).
+    pub cores: u32,
+}
+
+impl GlobalMemoryConfig {
+    /// The Table 2 configuration for a given core count.
+    pub fn default_soc(cores: u32) -> Self {
+        GlobalMemoryConfig {
+            l1: CacheConfig::l1_16k(),
+            l2: CacheConfig::l2_512k(),
+            dram: DramConfig::default_soc(),
+            cores,
+        }
+    }
+}
+
+/// Aggregated statistics for the global memory hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalMemoryStats {
+    /// L1 accesses summed over all cores.
+    pub l1_accesses: u64,
+    /// L1 misses summed over all cores.
+    pub l1_misses: u64,
+    /// L2 accesses (from L1 misses and DMA traffic).
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Bytes moved by DMA transfers through the L2.
+    pub dma_bytes: u64,
+}
+
+/// The global memory hierarchy shared by the cluster.
+///
+/// # Example
+///
+/// ```
+/// use virgo_mem::{GlobalMemory, GlobalMemoryConfig};
+/// use virgo_sim::Cycle;
+///
+/// let mut gmem = GlobalMemory::new(GlobalMemoryConfig::default_soc(8));
+/// let cold = gmem.access_from_core(Cycle::new(0), 0, 0x1000, 32, false);
+/// let warm = gmem.access_from_core(cold, 0, 0x1000, 32, false);
+/// assert!(warm - cold < cold, "L1 hit must be much faster than the cold miss");
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalMemory {
+    config: GlobalMemoryConfig,
+    l1: Vec<Cache>,
+    l2: Cache,
+    dram: DramModel,
+    stats: GlobalMemoryStats,
+}
+
+impl GlobalMemory {
+    /// Creates the hierarchy with cold caches.
+    pub fn new(config: GlobalMemoryConfig) -> Self {
+        let l1 = (0..config.cores).map(|_| Cache::new(config.l1)).collect();
+        GlobalMemory {
+            config,
+            l1,
+            l2: Cache::new(config.l2),
+            dram: DramModel::new(config.dram),
+            stats: GlobalMemoryStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GlobalMemoryConfig {
+        &self.config
+    }
+
+    /// Aggregated statistics (L1/L2); DRAM statistics are available via
+    /// [`GlobalMemory::dram_stats`].
+    pub fn stats(&self) -> GlobalMemoryStats {
+        self.stats
+    }
+
+    /// DRAM interface statistics.
+    pub fn dram_stats(&self) -> DramStats {
+        self.dram.stats()
+    }
+
+    /// Serves one line-granular access from `core` (produced by the memory
+    /// coalescer), returning the completion cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access_from_core(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        line_addr: u64,
+        bytes: u64,
+        write: bool,
+    ) -> Cycle {
+        assert!(core < self.l1.len(), "core index {core} out of range");
+        self.stats.l1_accesses += 1;
+        let l1_latency = self.l1[core].latency();
+        if self.l1[core].access(line_addr).is_hit() {
+            return now.plus(l1_latency);
+        }
+        self.stats.l1_misses += 1;
+        self.stats.l2_accesses += 1;
+        let l2_latency = self.l2.latency();
+        if self.l2.access(line_addr).is_hit() {
+            return now.plus(l1_latency + l2_latency);
+        }
+        self.stats.l2_misses += 1;
+        let dram_done = self.dram.access(now.plus(l1_latency + l2_latency), bytes, write);
+        dram_done
+    }
+
+    /// Serves a bulk DMA transfer that bypasses the L1 caches and streams
+    /// through the L2 in line-sized chunks, returning the completion cycle.
+    pub fn dma_access(&mut self, now: Cycle, addr: u64, bytes: u64, write: bool) -> Cycle {
+        if bytes == 0 {
+            return now;
+        }
+        self.stats.dma_bytes += bytes;
+        let line = u64::from(self.config.l2.line_bytes);
+        let first = addr / line;
+        let last = (addr + bytes - 1) / line;
+        let mut missed_bytes = 0u64;
+        for l in first..=last {
+            self.stats.l2_accesses += 1;
+            if !self.l2.access(l * line).is_hit() {
+                self.stats.l2_misses += 1;
+                missed_bytes += line;
+            }
+        }
+        let l2_time = now.plus(self.l2.latency() + (last - first + 1) / 4);
+        if missed_bytes == 0 {
+            l2_time
+        } else {
+            self.dram.access(l2_time, missed_bytes, write)
+        }
+    }
+
+    /// L1 hit rate of one core, for reports and tests.
+    pub fn l1_hit_rate(&self, core: usize) -> f64 {
+        self.l1.get(core).map(|c| c.stats().hit_rate()).unwrap_or(0.0)
+    }
+
+    /// L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        self.l2.stats().hit_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gmem() -> GlobalMemory {
+        GlobalMemory::new(GlobalMemoryConfig::default_soc(2))
+    }
+
+    #[test]
+    fn l1_hit_is_fast() {
+        let mut g = gmem();
+        let cold = g.access_from_core(Cycle::new(0), 0, 0, 32, false);
+        assert!(cold.get() > 100, "cold miss reaches DRAM");
+        let warm = g.access_from_core(cold, 0, 0, 32, false);
+        assert_eq!(warm - cold, Cycle::new(2));
+        assert_eq!(g.stats().l1_accesses, 2);
+        assert_eq!(g.stats().l1_misses, 1);
+    }
+
+    #[test]
+    fn l1s_are_private_per_core() {
+        let mut g = gmem();
+        g.access_from_core(Cycle::new(0), 0, 0, 32, false);
+        // Core 1 misses its own L1 but hits in the shared L2.
+        let done = g.access_from_core(Cycle::new(1000), 1, 0, 32, false);
+        assert_eq!(done, Cycle::new(1000 + 2 + 12));
+        assert_eq!(g.stats().l2_accesses, 2);
+        assert_eq!(g.stats().l2_misses, 1);
+    }
+
+    #[test]
+    fn dma_access_bypasses_l1() {
+        let mut g = gmem();
+        let done = g.dma_access(Cycle::new(0), 0, 1024, false);
+        assert!(done.get() > 100);
+        assert_eq!(g.stats().l1_accesses, 0);
+        assert_eq!(g.stats().dma_bytes, 1024);
+        // A later DMA of the same region hits in L2 and avoids DRAM.
+        let warm = g.dma_access(done, 0, 1024, false);
+        assert!(warm - done < Cycle::new(50));
+    }
+
+    #[test]
+    fn zero_byte_dma_is_a_noop() {
+        let mut g = gmem();
+        assert_eq!(g.dma_access(Cycle::new(7), 0, 0, false), Cycle::new(7));
+        assert_eq!(g.stats().dma_bytes, 0);
+    }
+
+    #[test]
+    fn hit_rates_reported() {
+        let mut g = gmem();
+        g.access_from_core(Cycle::new(0), 0, 0, 32, false);
+        g.access_from_core(Cycle::new(0), 0, 0, 32, false);
+        assert!((g.l1_hit_rate(0) - 0.5).abs() < 1e-12);
+        assert_eq!(g.l1_hit_rate(9), 0.0);
+        assert!(g.l2_hit_rate() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_index_panics() {
+        let mut g = gmem();
+        let _ = g.access_from_core(Cycle::new(0), 5, 0, 32, false);
+    }
+}

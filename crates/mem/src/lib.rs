@@ -1,0 +1,45 @@
+//! Memory system for the Virgo GPU model.
+//!
+//! The components in this crate implement the cluster memory system described
+//! in Section 3.2 of the paper:
+//!
+//! * [`SharedMemory`] — the cluster-local scratchpad with two-dimensional
+//!   banking (banks × subbanks), wide matrix-unit ports that split requests
+//!   into word-sized sub-requests, priority for wide requests, and separate
+//!   read/write paths,
+//! * [`AccumulatorMemory`] — the single-banked SRAM private to the
+//!   disaggregated matrix unit,
+//! * [`Cache`] / [`GlobalMemory`] — per-core L1 caches, the shared L2 and the
+//!   DRAM model behind them,
+//! * [`Coalescer`] — the SIMT memory coalescer added to the Vortex core
+//!   (Section 3.2.3),
+//! * [`DmaEngine`] — the MMIO-programmed cluster DMA engine that moves tiles
+//!   between global memory, shared memory and the accumulator memory
+//!   (Section 3.2.4).
+//!
+//! # Modelling style
+//!
+//! All components use a *latency/occupancy* timing model: a request is
+//! presented once, the component computes how long it occupies the relevant
+//! resources (bank cycles, DRAM bus cycles, ...) given its current state, and
+//! returns the completion cycle. Each component keeps event counters that the
+//! SoC model later converts into energy via `virgo-energy`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accmem;
+pub mod cache;
+pub mod coalescer;
+pub mod dma;
+pub mod dram;
+pub mod global;
+pub mod smem;
+
+pub use accmem::{AccumulatorMemory, AccumulatorStats};
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use coalescer::{Coalescer, CoalescerStats};
+pub use dma::{DmaConfig, DmaEngine, DmaStats, DmaTransfer};
+pub use dram::{DramConfig, DramModel, DramStats};
+pub use global::{GlobalMemory, GlobalMemoryConfig, GlobalMemoryStats};
+pub use smem::{SharedMemory, SmemConfig, SmemStats};

@@ -1,0 +1,382 @@
+//! The cluster shared memory with two-dimensional banking (Section 3.2.1).
+//!
+//! The shared memory must serve two very different request shapes
+//! concurrently:
+//!
+//! * narrow 4-byte accesses from the individual SIMT lanes of every core, and
+//! * wide `4·n`-byte accesses from the matrix units (where `n` is the systolic
+//!   array dimension or operand-buffer width).
+//!
+//! The paper's design partitions the address space across *banks* (one wide
+//! port each) and *subbanks* (one word each per cycle), splits wide requests
+//! into word-sized sub-requests distributed over the subbanks of a single
+//! bank, prioritizes wide requests so the matrix unit runs at full throughput,
+//! and serializes unaligned SIMT accesses into a single lane before the
+//! crossbar. This model reproduces those arbitration rules with a
+//! latency/occupancy approach and keeps the counters needed for the Table 4
+//! footprint comparison and the shared-memory energy numbers.
+
+use virgo_sim::Cycle;
+
+/// Configuration of the shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmemConfig {
+    /// Total capacity in bytes (128 KiB in Table 2).
+    pub capacity_bytes: u64,
+    /// Number of banks (4 in Table 2). Each bank has one wide port.
+    pub banks: u32,
+    /// Number of subbanks per bank (8–16 in Table 2). Each subbank serves one
+    /// 4-byte word per cycle.
+    pub subbanks: u32,
+    /// Access latency in cycles once a request wins arbitration.
+    pub latency: u64,
+}
+
+impl SmemConfig {
+    /// The baseline Table 2 configuration: 128 KiB, 4 banks × 8 subbanks.
+    pub fn default_cluster() -> Self {
+        SmemConfig {
+            capacity_bytes: 128 * 1024,
+            banks: 4,
+            subbanks: 8,
+            latency: 2,
+        }
+    }
+
+    /// The Virgo configuration with 16 subbanks per bank, matching the
+    /// 64-byte wide accesses of the 16×16 systolic array.
+    pub fn virgo_cluster() -> Self {
+        SmemConfig {
+            subbanks: 16,
+            ..Self::default_cluster()
+        }
+    }
+
+    /// A configuration with doubled banking, used for the Volta/Ampere-style
+    /// baselines (Section 6.1.3 notes their shared-memory bandwidth had to be
+    /// scaled 2× to avoid bottlenecking the tensor cores).
+    pub fn double_banked() -> Self {
+        SmemConfig {
+            banks: 8,
+            ..Self::default_cluster()
+        }
+    }
+
+    /// Bytes covered by one bank.
+    pub fn bank_bytes(&self) -> u64 {
+        self.capacity_bytes / u64::from(self.banks)
+    }
+
+    /// Peak bandwidth in bytes per cycle (all banks × all subbanks × 4 B).
+    pub fn peak_bytes_per_cycle(&self) -> u64 {
+        u64::from(self.banks) * u64::from(self.subbanks) * 4
+    }
+}
+
+/// Event counters for the shared memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmemStats {
+    /// 32-bit words read (SIMT and wide ports combined).
+    pub words_read: u64,
+    /// 32-bit words written.
+    pub words_written: u64,
+    /// Bytes read — the Table 4 "shared memory read footprint".
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// SIMT warp accesses served.
+    pub simt_accesses: u64,
+    /// Wide (matrix unit / DMA) accesses served.
+    pub wide_accesses: u64,
+    /// Extra cycles spent replaying bank/subbank conflicts.
+    pub conflict_cycles: u64,
+    /// Unaligned SIMT lane accesses serialized before the crossbar.
+    pub unaligned_serialized: u64,
+}
+
+/// Completion information for one shared-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmemAccess {
+    /// Cycle at which the data is available (loads) or committed (stores).
+    pub done: Cycle,
+    /// Cycles the access occupied its bank(s) beyond the first.
+    pub conflict_cycles: u64,
+}
+
+/// The banked shared memory.
+///
+/// # Example
+///
+/// ```
+/// use virgo_mem::{SharedMemory, SmemConfig};
+/// use virgo_sim::Cycle;
+///
+/// let mut smem = SharedMemory::new(SmemConfig::default_cluster());
+/// // Eight lanes reading consecutive words from one bank: conflict-free.
+/// let addrs: Vec<u64> = (0..8).map(|i| i * 4).collect();
+/// let access = smem.access_simt(Cycle::new(0), &addrs, false);
+/// assert_eq!(access.conflict_cycles, 0);
+/// assert!(smem.stats().bytes_read >= 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    config: SmemConfig,
+    /// Per-bank cycle at which the bank's ports are next free.
+    bank_busy_until: Vec<Cycle>,
+    stats: SmemStats,
+}
+
+impl SharedMemory {
+    /// Creates an idle shared memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero banks or subbanks.
+    pub fn new(config: SmemConfig) -> Self {
+        assert!(config.banks > 0, "shared memory needs at least one bank");
+        assert!(config.subbanks > 0, "shared memory needs at least one subbank");
+        SharedMemory {
+            config,
+            bank_busy_until: vec![Cycle::ZERO; config.banks as usize],
+            stats: SmemStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SmemConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SmemStats {
+        self.stats
+    }
+
+    /// Bank index holding `addr`.
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr / self.config.bank_bytes()) % u64::from(self.config.banks)) as usize
+    }
+
+    /// Subbank index within a bank holding `addr`.
+    pub fn subbank_of(&self, addr: u64) -> usize {
+        ((addr / 4) % u64::from(self.config.subbanks)) as usize
+    }
+
+    /// Serves one warp's SIMT lane accesses (4 bytes per lane).
+    ///
+    /// Lanes mapping to the same subbank of the same bank with different word
+    /// addresses conflict and replay over extra cycles. Unaligned lane
+    /// addresses are serialized one per cycle (Section 3.2.1's area
+    /// optimization).
+    pub fn access_simt(&mut self, now: Cycle, lane_addrs: &[u64], write: bool) -> SmemAccess {
+        self.stats.simt_accesses += 1;
+        if lane_addrs.is_empty() {
+            return SmemAccess {
+                done: now.plus(self.config.latency),
+                conflict_cycles: 0,
+            };
+        }
+
+        let subbank_slots = (self.config.banks * self.config.subbanks) as usize;
+        let mut per_subbank: Vec<Vec<u64>> = vec![Vec::new(); subbank_slots];
+        let mut unaligned = 0u64;
+        for &addr in lane_addrs {
+            if addr % 4 != 0 {
+                unaligned += 1;
+                continue;
+            }
+            let slot = self.bank_of(addr) * self.config.subbanks as usize + self.subbank_of(addr);
+            let word = addr / 4;
+            if !per_subbank[slot].contains(&word) {
+                per_subbank[slot].push(word);
+            }
+        }
+        self.stats.unaligned_serialized += unaligned;
+
+        // Conflict-free case: each subbank serves one word per cycle, so the
+        // extra cycles are the worst-case subbank queue depth minus one, plus
+        // one cycle per serialized unaligned access.
+        let max_depth = per_subbank.iter().map(|v| v.len() as u64).max().unwrap_or(0);
+        let conflict_cycles = max_depth.saturating_sub(1) + unaligned;
+
+        // The access occupies every bank it touches.
+        let mut start = now;
+        let banks_touched: Vec<usize> = {
+            let mut b: Vec<usize> = lane_addrs.iter().map(|&a| self.bank_of(a)).collect();
+            b.sort_unstable();
+            b.dedup();
+            b
+        };
+        for &bank in &banks_touched {
+            start = start.max(self.bank_busy_until[bank]);
+        }
+        let busy_cycles = 1 + conflict_cycles;
+        for &bank in &banks_touched {
+            self.bank_busy_until[bank] = start.plus(busy_cycles);
+        }
+
+        let words = lane_addrs.len() as u64;
+        let bytes = words * 4;
+        if write {
+            self.stats.words_written += words;
+            self.stats.bytes_written += bytes;
+        } else {
+            self.stats.words_read += words;
+            self.stats.bytes_read += bytes;
+        }
+        self.stats.conflict_cycles += conflict_cycles;
+
+        SmemAccess {
+            done: start.plus(busy_cycles + self.config.latency),
+            conflict_cycles,
+        }
+    }
+
+    /// Serves one wide access from a matrix unit or the DMA engine.
+    ///
+    /// The request is split into 4-byte sub-requests distributed over the
+    /// subbanks of the bank holding `addr`; `subbanks` words are served per
+    /// cycle. Wide requests have priority at the bank, which the
+    /// latency/occupancy model approximates by letting them claim the bank
+    /// from its current busy point.
+    pub fn access_wide(&mut self, now: Cycle, addr: u64, bytes: u64, write: bool) -> SmemAccess {
+        self.stats.wide_accesses += 1;
+        let words = bytes.div_ceil(4).max(1);
+        let cycles = words.div_ceil(u64::from(self.config.subbanks)).max(1);
+        let bank = self.bank_of(addr);
+        let start = now.max(self.bank_busy_until[bank]);
+        self.bank_busy_until[bank] = start.plus(cycles);
+
+        if write {
+            self.stats.words_written += words;
+            self.stats.bytes_written += words * 4;
+        } else {
+            self.stats.words_read += words;
+            self.stats.bytes_read += words * 4;
+        }
+
+        SmemAccess {
+            done: start.plus(cycles + self.config.latency),
+            conflict_cycles: cycles - 1,
+        }
+    }
+
+    /// Cycle at which `bank` is next free; used by tests and by the matrix
+    /// unit FSM to pace its streaming.
+    pub fn bank_free_at(&self, bank: usize) -> Cycle {
+        self.bank_busy_until[bank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smem() -> SharedMemory {
+        SharedMemory::new(SmemConfig::default_cluster())
+    }
+
+    #[test]
+    fn geometry_of_default_config() {
+        let cfg = SmemConfig::default_cluster();
+        assert_eq!(cfg.bank_bytes(), 32 * 1024);
+        assert_eq!(cfg.peak_bytes_per_cycle(), 4 * 8 * 4);
+        let s = SharedMemory::new(cfg);
+        assert_eq!(s.bank_of(0), 0);
+        assert_eq!(s.bank_of(32 * 1024), 1);
+        assert_eq!(s.bank_of(127 * 1024), 3);
+        assert_eq!(s.subbank_of(0), 0);
+        assert_eq!(s.subbank_of(4), 1);
+        assert_eq!(s.subbank_of(32), 0);
+    }
+
+    #[test]
+    fn conflict_free_simt_access_takes_one_bank_cycle() {
+        let mut s = smem();
+        let addrs: Vec<u64> = (0..8).map(|i| i * 4).collect();
+        let a = s.access_simt(Cycle::new(0), &addrs, false);
+        assert_eq!(a.conflict_cycles, 0);
+        assert_eq!(a.done, Cycle::new(1 + 2));
+    }
+
+    #[test]
+    fn same_subbank_accesses_conflict() {
+        let mut s = smem();
+        // All lanes hit subbank 0 of bank 0 with different words
+        // (stride = subbanks × 4 bytes = 32).
+        let addrs: Vec<u64> = (0..8).map(|i| i * 32).collect();
+        let a = s.access_simt(Cycle::new(0), &addrs, false);
+        assert_eq!(a.conflict_cycles, 7);
+        assert_eq!(s.stats().conflict_cycles, 7);
+    }
+
+    #[test]
+    fn broadcast_of_same_word_does_not_conflict() {
+        let mut s = smem();
+        let addrs = vec![64u64; 8];
+        let a = s.access_simt(Cycle::new(0), &addrs, false);
+        assert_eq!(a.conflict_cycles, 0);
+    }
+
+    #[test]
+    fn unaligned_accesses_serialize() {
+        let mut s = smem();
+        let addrs = vec![1u64, 5, 9];
+        let a = s.access_simt(Cycle::new(0), &addrs, false);
+        assert_eq!(a.conflict_cycles, 3);
+        assert_eq!(s.stats().unaligned_serialized, 3);
+    }
+
+    #[test]
+    fn wide_access_uses_subbank_parallelism() {
+        let mut s = smem();
+        // 64 bytes = 16 words over 8 subbanks = 2 bank cycles.
+        let a = s.access_wide(Cycle::new(0), 0, 64, false);
+        assert_eq!(a.conflict_cycles, 1);
+        assert_eq!(a.done, Cycle::new(2 + 2));
+        assert_eq!(s.stats().wide_accesses, 1);
+        assert_eq!(s.stats().words_read, 16);
+    }
+
+    #[test]
+    fn wide_and_simt_accesses_to_same_bank_serialize() {
+        let mut s = smem();
+        s.access_wide(Cycle::new(0), 0, 128, false); // occupies bank 0 for 4 cycles
+        let addrs: Vec<u64> = (0..8).map(|i| i * 4).collect();
+        let a = s.access_simt(Cycle::new(0), &addrs, false);
+        assert!(a.done.get() > 3, "SIMT access must wait for the wide access");
+    }
+
+    #[test]
+    fn accesses_to_different_banks_proceed_in_parallel() {
+        let mut s = smem();
+        s.access_wide(Cycle::new(0), 0, 128, false);
+        // Bank 1 starts at 32 KiB and is still free.
+        let a = s.access_wide(Cycle::new(0), 32 * 1024, 32, false);
+        assert_eq!(a.done, Cycle::new(1 + 2));
+    }
+
+    #[test]
+    fn read_footprint_accumulates_bytes(){
+        let mut s = smem();
+        s.access_wide(Cycle::new(0), 0, 256, false);
+        s.access_wide(Cycle::new(0), 0, 256, true);
+        assert_eq!(s.stats().bytes_read, 256);
+        assert_eq!(s.stats().bytes_written, 256);
+    }
+
+    #[test]
+    fn virgo_config_serves_64_bytes_in_one_cycle() {
+        let mut s = SharedMemory::new(SmemConfig::virgo_cluster());
+        let a = s.access_wide(Cycle::new(0), 0, 64, false);
+        assert_eq!(a.conflict_cycles, 0);
+    }
+
+    #[test]
+    fn empty_simt_access_is_harmless() {
+        let mut s = smem();
+        let a = s.access_simt(Cycle::new(5), &[], false);
+        assert_eq!(a.done, Cycle::new(7));
+        assert_eq!(s.stats().words_read, 0);
+    }
+}

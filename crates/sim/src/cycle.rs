@@ -1,0 +1,270 @@
+//! Simulated-time types: [`Cycle`] counts and clock [`Frequency`].
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A count of clock cycles in the simulated machine.
+///
+/// `Cycle` is a thin newtype over `u64` used everywhere a *duration or point
+/// in simulated time* is meant, so that cycle counts cannot be silently mixed
+/// with unrelated integers (element counts, byte counts, ...).
+///
+/// # Example
+///
+/// ```
+/// use virgo_sim::Cycle;
+///
+/// let start = Cycle::new(100);
+/// let end = start + Cycle::new(32);
+/// assert_eq!(end.get(), 132);
+/// assert_eq!((end - start).get(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero cycle, i.e. the beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle count from a raw `u64`.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `self` advanced by `n` cycles.
+    #[inline]
+    pub const fn plus(self, n: u64) -> Self {
+        Cycle(self.0 + n)
+    }
+
+    /// Saturating subtraction: returns `self - other`, or zero if `other`
+    /// is later than `self`.
+    #[inline]
+    pub const fn saturating_sub(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the larger of two cycle counts.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the cycle count as an `f64`, for ratio computations.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self` (cycle underflow).
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> Self {
+        c.0
+    }
+}
+
+/// A clock frequency, used to convert cycle counts into wall-clock time and
+/// energy into power.
+///
+/// The synthesized Virgo SoC in the paper runs at 400 MHz in a 16 nm process;
+/// [`Frequency::VIRGO_SOC`] captures that default.
+///
+/// # Example
+///
+/// ```
+/// use virgo_sim::{Cycle, Frequency};
+///
+/// let f = Frequency::VIRGO_SOC;
+/// assert_eq!(f.as_hz(), 400_000_000);
+/// // One thousand cycles at 400 MHz is 2.5 microseconds.
+/// assert!((f.cycles_to_seconds(Cycle::new(1000)) - 2.5e-6).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frequency {
+    hz: u64,
+}
+
+impl Frequency {
+    /// The 400 MHz clock used for the synthesized Virgo SoC in the paper.
+    pub const VIRGO_SOC: Frequency = Frequency { hz: 400_000_000 };
+
+    /// Creates a frequency from a value in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    pub fn from_hz(hz: u64) -> Self {
+        assert!(hz > 0, "clock frequency must be non-zero");
+        Frequency { hz }
+    }
+
+    /// Creates a frequency from a value in megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn from_mhz(mhz: u64) -> Self {
+        Self::from_hz(mhz * 1_000_000)
+    }
+
+    /// Returns the frequency in hertz.
+    #[inline]
+    pub fn as_hz(self) -> u64 {
+        self.hz
+    }
+
+    /// Returns the frequency in megahertz as a floating-point value.
+    #[inline]
+    pub fn as_mhz(self) -> f64 {
+        self.hz as f64 / 1e6
+    }
+
+    /// Returns the duration of one clock period in seconds.
+    #[inline]
+    pub fn period_seconds(self) -> f64 {
+        1.0 / self.hz as f64
+    }
+
+    /// Converts a cycle count into seconds of simulated time.
+    #[inline]
+    pub fn cycles_to_seconds(self, cycles: Cycle) -> f64 {
+        cycles.as_f64() * self.period_seconds()
+    }
+}
+
+impl Default for Frequency {
+    fn default() -> Self {
+        Frequency::VIRGO_SOC
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} MHz", self.as_mhz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic_roundtrips() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(3);
+        assert_eq!((a + b).get(), 13);
+        assert_eq!((a - b).get(), 7);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.get(), 13);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn cycle_saturating_sub_clamps_to_zero() {
+        let a = Cycle::new(3);
+        let b = Cycle::new(10);
+        assert_eq!(a.saturating_sub(b), Cycle::ZERO);
+        assert_eq!(b.saturating_sub(a), Cycle::new(7));
+    }
+
+    #[test]
+    fn cycle_sum_and_max() {
+        let total: Cycle = [1u64, 2, 3].iter().map(|&x| Cycle::new(x)).sum();
+        assert_eq!(total, Cycle::new(6));
+        assert_eq!(Cycle::new(4).max(Cycle::new(9)), Cycle::new(9));
+    }
+
+    #[test]
+    fn cycle_conversions() {
+        let c: Cycle = 42u64.into();
+        let raw: u64 = c.into();
+        assert_eq!(raw, 42);
+        assert_eq!(format!("{c}"), "42 cycles");
+    }
+
+    #[test]
+    fn frequency_constructors_agree() {
+        assert_eq!(Frequency::from_mhz(400), Frequency::VIRGO_SOC);
+        assert_eq!(Frequency::from_hz(1_000_000).as_mhz(), 1.0);
+        assert_eq!(format!("{}", Frequency::VIRGO_SOC), "400 MHz");
+    }
+
+    #[test]
+    fn frequency_time_conversion() {
+        let f = Frequency::from_mhz(100);
+        assert!((f.period_seconds() - 1e-8).abs() < 1e-20);
+        assert!((f.cycles_to_seconds(Cycle::new(100)) - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_rejected() {
+        let _ = Frequency::from_hz(0);
+    }
+
+    #[test]
+    fn default_frequency_is_soc_clock() {
+        assert_eq!(Frequency::default(), Frequency::VIRGO_SOC);
+    }
+}

@@ -1,0 +1,41 @@
+//! Cycle-stepped simulation substrate for the Virgo GPU model.
+//!
+//! This crate contains the small, dependency-free building blocks shared by
+//! every other crate in the workspace:
+//!
+//! * [`Cycle`] and [`Frequency`] — strongly-typed simulated time,
+//! * [`stats`] — counters and derived statistics used for utilization and
+//!   energy accounting,
+//! * [`pipe`] — latency pipes and bounded queues used to model pipelined
+//!   hardware structures (caches, DRAM, execution units),
+//! * [`rng`] — a tiny deterministic pseudo-random generator used where the
+//!   model needs arbitrary-but-reproducible choices.
+//!
+//! The whole simulator is *cycle stepped*: every hardware component exposes a
+//! `tick`-style method that advances it by one clock cycle. There is no global
+//! event queue and no wall-clock dependence, so simulations are exactly
+//! reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use virgo_sim::{Cycle, Frequency};
+//!
+//! let clk = Frequency::from_mhz(400);
+//! let elapsed = Cycle::new(4_000_000);
+//! // 4M cycles at 400 MHz is 10 ms of simulated time.
+//! assert!((clk.cycles_to_seconds(elapsed) - 0.01).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cycle;
+pub mod pipe;
+pub mod rng;
+pub mod stats;
+
+pub use cycle::{Cycle, Frequency};
+pub use pipe::{BoundedQueue, DelayPipe};
+pub use rng::SplitMix64;
+pub use stats::{Counter, Ratio, RunningStats};

@@ -1,0 +1,637 @@
+//! The SIMT core: warp scheduling, instruction issue, execution pipelines.
+
+use std::sync::Arc;
+
+use virgo_isa::{LaneAccess, Program, WarpOp};
+use virgo_sim::Cycle;
+
+use crate::config::CoreConfig;
+use crate::port::ClusterPort;
+use crate::stats::CoreStats;
+use crate::warp::{BlockReason, WarpContext};
+
+/// One SIMT core of the cluster.
+///
+/// The core executes the warps assigned to it, issuing up to
+/// `issue_width` instructions per cycle subject to functional-unit
+/// availability (ALU/FPU/LSU/tensor), the load/store queue capacity, and the
+/// blocking semantics of synchronization operations. Everything outside the
+/// core — memories, matrix units, DMA, barriers — is reached through the
+/// [`ClusterPort`] passed to [`SimtCore::tick`].
+#[derive(Debug)]
+pub struct SimtCore {
+    config: CoreConfig,
+    core_id: u32,
+    warps: Vec<WarpContext>,
+    stats: CoreStats,
+    /// Round-robin pointer for warp scheduling fairness.
+    next_warp: usize,
+}
+
+impl SimtCore {
+    /// Creates a core with no warps assigned.
+    pub fn new(config: CoreConfig, core_id: u32) -> Self {
+        SimtCore {
+            config,
+            core_id,
+            warps: Vec::new(),
+            stats: CoreStats::default(),
+            next_warp: 0,
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Index of this core within the cluster.
+    pub fn core_id(&self) -> u32 {
+        self.core_id
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Assigns a warp running `program` to the core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core already holds its full complement of hardware
+    /// warps.
+    pub fn assign_warp(&mut self, global_id: u32, program: &Arc<Program>) {
+        assert!(
+            (self.warps.len() as u32) < self.config.warps,
+            "core {} already has {} warps",
+            self.core_id,
+            self.warps.len()
+        );
+        self.warps.push(WarpContext::new(global_id, program));
+    }
+
+    /// Number of warps assigned.
+    pub fn warp_count(&self) -> usize {
+        self.warps.len()
+    }
+
+    /// True once every assigned warp has finished.
+    pub fn all_finished(&self) -> bool {
+        self.warps.iter().all(|w| w.is_finished())
+    }
+
+    /// Advances the core by one cycle.
+    pub fn tick(&mut self, now: Cycle, port: &mut dyn ClusterPort) {
+        self.stats.total_cycles += 1;
+        if self.warps.is_empty() {
+            self.stats.idle_cycles += 1;
+            return;
+        }
+
+        self.retire_and_unblock(now, port);
+        let issued = self.issue(now, port);
+
+        if issued > 0 {
+            self.stats.active_cycles += 1;
+        } else if self.warps.iter().any(|w| w.is_runnable()) {
+            self.stats.stall_cycles += 1;
+        } else {
+            self.stats.idle_cycles += 1;
+        }
+    }
+
+    /// Retires completed loads and releases warps whose blocking condition
+    /// has been satisfied.
+    fn retire_and_unblock(&mut self, now: Cycle, port: &mut dyn ClusterPort) {
+        let mut fence_waiting = false;
+        for warp in &mut self.warps {
+            warp.retire_loads(now);
+            let Some(reason) = warp.block_reason() else {
+                continue;
+            };
+            match reason {
+                BlockReason::Loads => {
+                    if warp.loads_in_flight() == 0 {
+                        warp.unblock();
+                    }
+                }
+                BlockReason::Barrier { id, ticket } => {
+                    if port.barrier_passed(id, ticket) {
+                        warp.unblock();
+                    }
+                }
+                BlockReason::WgmmaDrain => {
+                    if port.wgmma_pending(self.core_id) == 0 {
+                        warp.unblock();
+                    }
+                }
+                BlockReason::Fence { max_outstanding } => {
+                    if port.async_outstanding() <= max_outstanding {
+                        warp.unblock();
+                    } else {
+                        fence_waiting = true;
+                        if warp.fence_poll_due(now, self.config.fence_poll_interval) {
+                            self.stats.fence_poll_instrs += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if fence_waiting {
+            self.stats.fence_wait_cycles += 1;
+        }
+    }
+
+    /// Attempts to issue up to `issue_width` instructions; returns how many
+    /// were issued.
+    fn issue(&mut self, now: Cycle, port: &mut dyn ClusterPort) -> u32 {
+        let mut issued = 0u32;
+        let mut alu_slots = self.config.alu_units;
+        let mut fpu_slots = self.config.fpu_units;
+        let mut lsu_slots = self.config.lsu_width;
+
+        let warp_count = self.warps.len();
+        let mut scanned = 0;
+        let mut index = self.next_warp % warp_count;
+
+        while issued < self.config.issue_width && scanned < warp_count {
+            scanned += 1;
+            let current = index;
+            index = (index + 1) % warp_count;
+
+            if !self.warps[current].is_runnable() {
+                continue;
+            }
+            let Some((op_id, op)) = self.warps[current].peek() else {
+                continue;
+            };
+            let exec_count = self.warps[current].exec_count(op_id);
+
+            match op {
+                // Synchronization pseudo-operations: resolved without
+                // consuming an issue slot or issue energy.
+                WarpOp::WaitLoads => {
+                    if self.warps[current].loads_in_flight() == 0 {
+                        self.warps[current].consume();
+                    } else {
+                        self.warps[current].block(BlockReason::Loads);
+                    }
+                    continue;
+                }
+                WarpOp::WgmmaWait => {
+                    if port.wgmma_pending(self.core_id) == 0 {
+                        self.warps[current].consume();
+                    } else {
+                        self.warps[current].block(BlockReason::WgmmaDrain);
+                    }
+                    continue;
+                }
+                WarpOp::Barrier { id } => {
+                    let global_id = self.warps[current].global_id;
+                    let ticket = port.barrier_arrive(id, global_id);
+                    self.stats.barrier_arrivals += 1;
+                    // The vx_bar instruction itself occupies an issue slot.
+                    self.stats.instrs_issued += 1;
+                    self.warps[current].consume();
+                    self.warps[current].block(BlockReason::Barrier { id, ticket });
+                    continue;
+                }
+                WarpOp::FenceAsync { max_outstanding } => {
+                    // The first busy-register poll of the fence is an issued
+                    // load instruction; subsequent polls while blocked are
+                    // accounted separately as fence_poll_instrs.
+                    self.stats.instrs_issued += 1;
+                    self.warps[current].consume();
+                    if port.async_outstanding() > max_outstanding {
+                        self.warps[current].block(BlockReason::Fence { max_outstanding });
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+
+            // Real instructions below need an issue slot and possibly a
+            // functional unit.
+            let ok = match op {
+                WarpOp::Alu { .. } => {
+                    if alu_slots == 0 {
+                        false
+                    } else {
+                        alu_slots -= 1;
+                        self.stats.alu_lane_ops += u64::from(self.config.lanes);
+                        true
+                    }
+                }
+                WarpOp::Fpu { flops_per_lane, .. } => {
+                    if fpu_slots == 0 {
+                        false
+                    } else {
+                        fpu_slots -= 1;
+                        self.stats.fpu_lane_ops +=
+                            u64::from(self.config.lanes) * u64::from(flops_per_lane.max(1));
+                        true
+                    }
+                }
+                WarpOp::LoadGlobal { access } | WarpOp::LoadShared { access } => {
+                    if lsu_slots == 0
+                        || self.warps[current].loads_in_flight()
+                            >= self.config.lsq_entries as usize
+                    {
+                        false
+                    } else {
+                        lsu_slots -= 1;
+                        let shared = matches!(op, WarpOp::LoadShared { .. });
+                        let done =
+                            self.memory_access(now, port, &access, exec_count, shared, false);
+                        self.warps[current].push_load(done);
+                        self.stats.lsu_lane_ops += u64::from(access.active_lanes);
+                        true
+                    }
+                }
+                WarpOp::StoreGlobal { access } | WarpOp::StoreShared { access } => {
+                    if lsu_slots == 0 {
+                        false
+                    } else {
+                        lsu_slots -= 1;
+                        let shared = matches!(op, WarpOp::StoreShared { .. });
+                        let _ = self.memory_access(now, port, &access, exec_count, shared, true);
+                        self.stats.lsu_lane_ops += u64::from(access.active_lanes);
+                        true
+                    }
+                }
+                WarpOp::HmmaStep { macs, .. } => {
+                    if port.try_hmma(now, self.core_id, macs) {
+                        self.stats.hmma_steps += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                WarpOp::WgmmaInit(wgmma) => {
+                    if port.try_wgmma(now, self.core_id, &wgmma, exec_count) {
+                        self.stats.wgmma_ops += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                WarpOp::MmioWrite { device, cmd } => {
+                    if port.mmio_write(now, self.core_id, device, &cmd, exec_count) {
+                        self.stats.mmio_writes += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                WarpOp::Nop => true,
+                // Handled above.
+                WarpOp::WaitLoads
+                | WarpOp::WgmmaWait
+                | WarpOp::Barrier { .. }
+                | WarpOp::FenceAsync { .. } => unreachable!("blocking ops handled earlier"),
+            };
+
+            if ok {
+                self.warps[current].consume();
+                self.account_issue(&op);
+                issued += 1;
+                self.next_warp = index;
+            }
+        }
+        issued
+    }
+
+    /// Issues one warp memory access through the cluster port and returns its
+    /// completion cycle.
+    fn memory_access(
+        &mut self,
+        now: Cycle,
+        port: &mut dyn ClusterPort,
+        access: &LaneAccess,
+        exec_count: u64,
+        shared: bool,
+        write: bool,
+    ) -> Cycle {
+        let lane_addrs: Vec<u64> = (0..access.active_lanes)
+            .map(|lane| access.lane_addr(lane, exec_count))
+            .collect();
+        if shared {
+            port.shared_access(now, self.core_id, &lane_addrs, write)
+        } else {
+            port.global_access(now, self.core_id, &lane_addrs, access.bytes_per_lane, write)
+        }
+    }
+
+    /// Updates per-instruction statistics after a successful issue.
+    fn account_issue(&mut self, op: &WarpOp) {
+        self.stats.instrs_issued += 1;
+        if self.stats.instrs_issued % u64::from(self.config.instrs_per_icache_access.max(1)) == 0 {
+            self.stats.icache_accesses += 1;
+        }
+        let lanes = u64::from(self.config.lanes);
+        self.stats.rf_reads += u64::from(op.rf_reads()) * lanes;
+        let writes = u64::from(op.rf_writes()) * lanes;
+        self.stats.rf_writes += writes;
+        if writes > 0 {
+            self.stats.writebacks += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virgo_isa::{AddrExpr, DeviceId, MmioCommand, ProgramBuilder, WgmmaOp};
+
+    /// A permissive test double for the cluster services.
+    #[derive(Debug, Default)]
+    struct FakePort {
+        shared_calls: u32,
+        global_calls: u32,
+        hmma_calls: u32,
+        hmma_busy: bool,
+        wgmma_calls: u32,
+        wgmma_pending: u32,
+        mmio_calls: u32,
+        async_outstanding: u32,
+        barrier_arrivals: u32,
+        barrier_open: bool,
+        mem_latency: u64,
+    }
+
+    impl ClusterPort for FakePort {
+        fn shared_access(&mut self, now: Cycle, _core: u32, _lanes: &[u64], _write: bool) -> Cycle {
+            self.shared_calls += 1;
+            now.plus(self.mem_latency)
+        }
+        fn global_access(
+            &mut self,
+            now: Cycle,
+            _core: u32,
+            _lanes: &[u64],
+            _bytes: u32,
+            _write: bool,
+        ) -> Cycle {
+            self.global_calls += 1;
+            now.plus(self.mem_latency)
+        }
+        fn try_hmma(&mut self, _now: Cycle, _core: u32, _macs: u32) -> bool {
+            if self.hmma_busy {
+                false
+            } else {
+                self.hmma_calls += 1;
+                true
+            }
+        }
+        fn try_wgmma(&mut self, _now: Cycle, _core: u32, _op: &WgmmaOp, _exec: u64) -> bool {
+            self.wgmma_calls += 1;
+            true
+        }
+        fn wgmma_pending(&self, _core: u32) -> u32 {
+            self.wgmma_pending
+        }
+        fn mmio_write(
+            &mut self,
+            _now: Cycle,
+            _core: u32,
+            _device: DeviceId,
+            _cmd: &MmioCommand,
+            _exec: u64,
+        ) -> bool {
+            self.mmio_calls += 1;
+            true
+        }
+        fn async_outstanding(&self) -> u32 {
+            self.async_outstanding
+        }
+        fn barrier_arrive(&mut self, _id: u8, _warp: u32) -> u64 {
+            self.barrier_arrivals += 1;
+            0
+        }
+        fn barrier_passed(&self, _id: u8, _ticket: u64) -> bool {
+            self.barrier_open
+        }
+    }
+
+    fn core_with_program(build: impl FnOnce(&mut ProgramBuilder)) -> SimtCore {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let program = Arc::new(b.build());
+        let mut core = SimtCore::new(CoreConfig::vortex_default(), 0);
+        core.assign_warp(0, &program);
+        core
+    }
+
+    fn run(core: &mut SimtCore, port: &mut FakePort, max_cycles: u64) -> u64 {
+        for cycle in 0..max_cycles {
+            if core.all_finished() {
+                return cycle;
+            }
+            core.tick(Cycle::new(cycle), port);
+        }
+        max_cycles
+    }
+
+    #[test]
+    fn issues_alu_instructions_one_per_cycle() {
+        let mut core = core_with_program(|b| {
+            b.op_n(10, WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+        });
+        let mut port = FakePort::default();
+        let cycles = run(&mut core, &mut port, 1000);
+        assert_eq!(core.stats().instrs_issued, 10);
+        assert!(cycles >= 10, "single-issue core needs >= 10 cycles, took {cycles}");
+        assert_eq!(core.stats().alu_lane_ops, 10 * 8);
+        assert_eq!(core.stats().rf_reads, 10 * 2 * 8);
+        assert_eq!(core.stats().rf_writes, 10 * 8);
+    }
+
+    #[test]
+    fn wait_loads_blocks_until_memory_returns() {
+        let access = LaneAccess::contiguous_words(AddrExpr::fixed(0), 8);
+        let mut core = core_with_program(|b| {
+            b.op(WarpOp::LoadShared { access });
+            b.op(WarpOp::WaitLoads);
+            b.op(WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+        });
+        let mut port = FakePort {
+            mem_latency: 50,
+            ..Default::default()
+        };
+        let cycles = run(&mut core, &mut port, 1000);
+        assert!(cycles >= 50, "ALU must wait for the 50-cycle load, took {cycles}");
+        assert_eq!(port.shared_calls, 1);
+        assert_eq!(core.stats().instrs_issued, 2);
+    }
+
+    #[test]
+    fn multiple_warps_hide_memory_latency() {
+        let access = LaneAccess::contiguous_words(AddrExpr::fixed(0), 8);
+        let program = {
+            let mut b = ProgramBuilder::new();
+            b.repeat(4, |b| {
+                b.op(WarpOp::LoadShared { access });
+                b.op(WarpOp::WaitLoads);
+                b.op(WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+            });
+            Arc::new(b.build())
+        };
+        let run_with_warps = |count: u32| -> u64 {
+            let mut core = SimtCore::new(CoreConfig::vortex_default(), 0);
+            for w in 0..count {
+                core.assign_warp(w, &program);
+            }
+            let mut port = FakePort {
+                mem_latency: 20,
+                ..Default::default()
+            };
+            let mut cycle = 0;
+            while !core.all_finished() && cycle < 10_000 {
+                core.tick(Cycle::new(cycle), &mut port);
+                cycle += 1;
+            }
+            cycle
+        };
+        let one = run_with_warps(1);
+        let four = run_with_warps(4);
+        // Four warps do 4x the work in much less than 4x the time.
+        assert!(four < one * 3, "one warp: {one}, four warps: {four}");
+    }
+
+    #[test]
+    fn hmma_structural_hazard_stalls_warp() {
+        let mut core = core_with_program(|b| {
+            b.op(WarpOp::HmmaStep { macs: 64, rf_reads: 4, rf_writes: 2 });
+        });
+        let mut port = FakePort {
+            hmma_busy: true,
+            ..Default::default()
+        };
+        for cycle in 0..10 {
+            core.tick(Cycle::new(cycle), &mut port);
+        }
+        assert_eq!(core.stats().hmma_steps, 0);
+        assert!(!core.all_finished());
+        // Unit frees up: the step issues.
+        port.hmma_busy = false;
+        for cycle in 10..20 {
+            core.tick(Cycle::new(cycle), &mut port);
+        }
+        assert_eq!(core.stats().hmma_steps, 1);
+        assert!(core.all_finished());
+    }
+
+    #[test]
+    fn barrier_blocks_until_released() {
+        let mut core = core_with_program(|b| {
+            b.op(WarpOp::Barrier { id: 0 });
+            b.op(WarpOp::Nop);
+        });
+        let mut port = FakePort::default();
+        for cycle in 0..5 {
+            core.tick(Cycle::new(cycle), &mut port);
+        }
+        assert!(!core.all_finished());
+        assert_eq!(port.barrier_arrivals, 1);
+        port.barrier_open = true;
+        for cycle in 5..10 {
+            core.tick(Cycle::new(cycle), &mut port);
+        }
+        assert!(core.all_finished());
+        assert_eq!(core.stats().barrier_arrivals, 1);
+    }
+
+    #[test]
+    fn fence_blocks_and_polls_until_async_done() {
+        let mut core = core_with_program(|b| {
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            b.op(WarpOp::Nop);
+        });
+        let mut port = FakePort {
+            async_outstanding: 2,
+            ..Default::default()
+        };
+        for cycle in 0..100 {
+            core.tick(Cycle::new(cycle), &mut port);
+        }
+        assert!(!core.all_finished());
+        assert!(core.stats().fence_poll_instrs > 0);
+        assert!(core.stats().fence_wait_cycles > 50);
+        port.async_outstanding = 0;
+        for cycle in 100..110 {
+            core.tick(Cycle::new(cycle), &mut port);
+        }
+        assert!(core.all_finished());
+    }
+
+    #[test]
+    fn wgmma_wait_blocks_until_unit_drains() {
+        let op = WgmmaOp {
+            a: AddrExpr::fixed(0),
+            b: AddrExpr::fixed(0x800),
+            m: 16,
+            n: 16,
+            k: 32,
+            dtype: virgo_isa::DataType::Fp16,
+        };
+        let mut core = core_with_program(|b| {
+            b.op(WarpOp::WgmmaInit(op));
+            b.op(WarpOp::WgmmaWait);
+        });
+        let mut port = FakePort {
+            wgmma_pending: 1,
+            ..Default::default()
+        };
+        for cycle in 0..10 {
+            core.tick(Cycle::new(cycle), &mut port);
+        }
+        assert_eq!(core.stats().wgmma_ops, 1);
+        assert!(!core.all_finished());
+        port.wgmma_pending = 0;
+        for cycle in 10..20 {
+            core.tick(Cycle::new(cycle), &mut port);
+        }
+        assert!(core.all_finished());
+    }
+
+    #[test]
+    fn mmio_write_issues_through_port() {
+        let cmd = MmioCommand::DmaCopy(virgo_isa::DmaCopyCmd::new(
+            virgo_isa::MemLoc::global(0u64),
+            virgo_isa::MemLoc::shared(0u64),
+            1024,
+        ));
+        let mut core = core_with_program(|b| {
+            b.op(WarpOp::MmioWrite { device: DeviceId::DMA0, cmd });
+        });
+        let mut port = FakePort::default();
+        run(&mut core, &mut port, 100);
+        assert_eq!(port.mmio_calls, 1);
+        assert_eq!(core.stats().mmio_writes, 1);
+    }
+
+    #[test]
+    fn idle_and_active_cycle_accounting() {
+        let mut core = core_with_program(|b| {
+            b.op(WarpOp::Nop);
+        });
+        let mut port = FakePort::default();
+        core.tick(Cycle::new(0), &mut port); // issues the nop
+        core.tick(Cycle::new(1), &mut port); // nothing left: idle
+        let s = core.stats();
+        assert_eq!(s.active_cycles, 1);
+        assert_eq!(s.idle_cycles, 1);
+        assert_eq!(s.total_cycles, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has")]
+    fn over_assigning_warps_panics() {
+        let program = Arc::new(ProgramBuilder::new().build());
+        let mut core = SimtCore::new(CoreConfig::vortex_default(), 0);
+        for w in 0..9 {
+            core.assign_warp(w, &program);
+        }
+    }
+}

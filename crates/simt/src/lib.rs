@@ -1,0 +1,35 @@
+//! The SIMT core model for the Virgo GPU simulator.
+//!
+//! This crate models the Vortex-derived SIMT core of the paper (Section 5.2):
+//! a multi-warp, in-order core with a warp scheduler, a banked register file,
+//! two integer ALUs and one FPU per lane, a load/store unit behind a memory
+//! coalescer, and hooks for the matrix units of the different design points.
+//!
+//! The core is deliberately decoupled from the rest of the cluster through
+//! the [`ClusterPort`] trait: shared-memory accesses, global-memory accesses,
+//! tensor-core operations, MMIO commands to the disaggregated matrix unit and
+//! the DMA engine, and cluster-wide barriers are all services the cluster
+//! provides. This mirrors the physical structure of the paper's design —
+//! and keeps the core reusable across the Volta/Ampere/Hopper/Virgo design
+//! points, which differ only in which services exist behind the port.
+//!
+//! The crate also provides the [`ClusterSynchronizer`] (Section 3.3), the
+//! lightweight barrier unit that lets warps across different cores of the
+//! cluster synchronize.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod core;
+pub mod port;
+pub mod stats;
+pub mod synchronizer;
+pub mod warp;
+
+pub use config::CoreConfig;
+pub use core::SimtCore;
+pub use port::ClusterPort;
+pub use stats::CoreStats;
+pub use synchronizer::ClusterSynchronizer;
+pub use warp::{BlockReason, WarpContext};

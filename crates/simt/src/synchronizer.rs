@@ -1,0 +1,163 @@
+//! The cluster-wide synchronizer (Section 3.3).
+//!
+//! The synchronizer interfaces with the warp scheduler of every core in the
+//! cluster. When the designated warps reach a barrier instruction, each warp
+//! sends an arrival to the synchronizer; once every participant of that
+//! barrier has arrived, the barrier "generation" advances and all waiting
+//! warps are released. Multiple independent barriers (distinguished by id)
+//! can be in flight, and each barrier can be reused across loop iterations —
+//! hence the generation counter.
+
+use std::collections::BTreeMap;
+
+/// State of one barrier id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct BarrierState {
+    /// Completed generations of this barrier.
+    generation: u64,
+    /// Arrivals seen in the current generation.
+    arrived: u64,
+}
+
+/// The cluster-wide barrier synchronizer.
+///
+/// # Example
+///
+/// ```
+/// use virgo_simt::ClusterSynchronizer;
+///
+/// let mut sync = ClusterSynchronizer::new(2);
+/// let t0 = sync.arrive(0, 0);
+/// assert!(!sync.passed(0, t0));
+/// let t1 = sync.arrive(0, 1);
+/// assert!(sync.passed(0, t0));
+/// assert!(sync.passed(0, t1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterSynchronizer {
+    /// Number of warps that must arrive to release a barrier.
+    participants: u64,
+    barriers: BTreeMap<u8, BarrierState>,
+    /// Total arrival events (for energy accounting).
+    arrivals: u64,
+    /// Total releases.
+    releases: u64,
+}
+
+impl ClusterSynchronizer {
+    /// Creates a synchronizer expecting `participants` warps per barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is zero.
+    pub fn new(participants: u64) -> Self {
+        assert!(participants > 0, "a barrier needs at least one participant");
+        ClusterSynchronizer {
+            participants,
+            barriers: BTreeMap::new(),
+            arrivals: 0,
+            releases: 0,
+        }
+    }
+
+    /// Number of participants required to release each barrier.
+    pub fn participants(&self) -> u64 {
+        self.participants
+    }
+
+    /// Registers the arrival of a warp at barrier `id`. Returns the
+    /// generation "ticket" the warp should wait on via
+    /// [`ClusterSynchronizer::passed`].
+    pub fn arrive(&mut self, id: u8, _warp_global_id: u32) -> u64 {
+        self.arrivals += 1;
+        let state = self.barriers.entry(id).or_default();
+        let ticket = state.generation;
+        state.arrived += 1;
+        if state.arrived >= self.participants {
+            state.arrived = 0;
+            state.generation += 1;
+            self.releases += 1;
+        }
+        ticket
+    }
+
+    /// True once the generation `ticket` of barrier `id` has been released.
+    pub fn passed(&self, id: u8, ticket: u64) -> bool {
+        self.barriers
+            .get(&id)
+            .map_or(false, |state| state.generation > ticket)
+    }
+
+    /// Total arrival events observed (for energy accounting).
+    pub fn arrival_events(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Total barrier releases performed.
+    pub fn release_events(&self) -> u64 {
+        self.releases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_releases_when_all_arrive() {
+        let mut s = ClusterSynchronizer::new(3);
+        let t0 = s.arrive(1, 0);
+        let t1 = s.arrive(1, 1);
+        assert!(!s.passed(1, t0));
+        assert!(!s.passed(1, t1));
+        let t2 = s.arrive(1, 2);
+        assert!(s.passed(1, t0) && s.passed(1, t1) && s.passed(1, t2));
+        assert_eq!(s.release_events(), 1);
+        assert_eq!(s.arrival_events(), 3);
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let mut s = ClusterSynchronizer::new(2);
+        let a0 = s.arrive(0, 0);
+        let a1 = s.arrive(0, 1);
+        assert!(s.passed(0, a0) && s.passed(0, a1));
+        // Second use of the same barrier id.
+        let b0 = s.arrive(0, 0);
+        assert!(!s.passed(0, b0));
+        let b1 = s.arrive(0, 1);
+        assert!(s.passed(0, b0) && s.passed(0, b1));
+        assert_eq!(s.release_events(), 2);
+    }
+
+    #[test]
+    fn independent_barrier_ids_do_not_interfere() {
+        let mut s = ClusterSynchronizer::new(2);
+        let t_a = s.arrive(0, 0);
+        let t_b = s.arrive(1, 1);
+        assert!(!s.passed(0, t_a));
+        assert!(!s.passed(1, t_b));
+        s.arrive(0, 1);
+        assert!(s.passed(0, t_a));
+        assert!(!s.passed(1, t_b));
+    }
+
+    #[test]
+    fn single_participant_barrier_releases_immediately() {
+        let mut s = ClusterSynchronizer::new(1);
+        let t = s.arrive(0, 0);
+        assert!(s.passed(0, t));
+    }
+
+    #[test]
+    #[should_panic(expected = "participant")]
+    fn zero_participants_rejected() {
+        let _ = ClusterSynchronizer::new(0);
+    }
+
+    #[test]
+    fn unknown_barrier_never_passes() {
+        let s = ClusterSynchronizer::new(2);
+        assert!(!s.passed(9, 0));
+    }
+}

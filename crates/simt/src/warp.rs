@@ -1,0 +1,231 @@
+//! Per-warp execution state.
+
+use std::sync::Arc;
+
+use virgo_isa::{OpId, Program, ProgramCursor, WarpOp};
+use virgo_sim::Cycle;
+
+/// Why a warp is currently unable to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Waiting for all outstanding loads to write back (`WaitLoads`).
+    Loads,
+    /// Waiting at a cluster barrier for the given generation ticket.
+    Barrier {
+        /// Barrier id.
+        id: u8,
+        /// Generation ticket returned by the synchronizer.
+        ticket: u64,
+    },
+    /// Waiting for the core's operand-decoupled tensor unit to drain.
+    WgmmaDrain,
+    /// Spinning in `virgo_fence(max_outstanding)`.
+    Fence {
+        /// Maximum number of asynchronous operations allowed to remain.
+        max_outstanding: u32,
+    },
+}
+
+/// The dynamic state of one hardware warp.
+#[derive(Debug, Clone)]
+pub struct WarpContext {
+    /// Cluster-unique warp id (used for barrier arrival bookkeeping).
+    pub global_id: u32,
+    cursor: ProgramCursor,
+    /// Per-static-instruction execution counts, indexed by [`OpId`].
+    exec_counts: Vec<u64>,
+    /// The next operation to issue, if already fetched from the cursor.
+    pending: Option<(OpId, WarpOp)>,
+    /// Completion cycles of outstanding loads.
+    outstanding_loads: Vec<Cycle>,
+    /// Why the warp is blocked, if it is.
+    block: Option<BlockReason>,
+    /// Cycle at which the warp last emitted a fence poll.
+    last_fence_poll: Cycle,
+}
+
+impl WarpContext {
+    /// Creates a warp positioned at the start of `program`.
+    pub fn new(global_id: u32, program: &Arc<Program>) -> Self {
+        WarpContext {
+            global_id,
+            cursor: program.cursor(),
+            exec_counts: vec![0; program.static_len() as usize],
+            pending: None,
+            outstanding_loads: Vec::new(),
+            block: None,
+            last_fence_poll: Cycle::ZERO,
+        }
+    }
+
+    /// Returns the next operation to issue without consuming it, fetching
+    /// from the program cursor if necessary.
+    pub fn peek(&mut self) -> Option<(OpId, WarpOp)> {
+        if self.pending.is_none() {
+            self.pending = self.cursor.next_op();
+        }
+        self.pending
+    }
+
+    /// Consumes the pending operation (after it has issued or been resolved)
+    /// and increments its execution counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no pending operation.
+    pub fn consume(&mut self) -> (OpId, WarpOp) {
+        let (id, op) = self.pending.take().expect("consume without pending op");
+        self.exec_counts[id.index()] += 1;
+        // Eagerly prefetch the next operation so that `is_finished` reflects
+        // the program end as soon as the last instruction retires.
+        self.pending = self.cursor.next_op();
+        (id, op)
+    }
+
+    /// Execution count of the pending operation (how many times it has
+    /// already executed), used to evaluate address expressions.
+    pub fn exec_count(&self, id: OpId) -> u64 {
+        self.exec_counts[id.index()]
+    }
+
+    /// Registers an outstanding load completing at `done`.
+    pub fn push_load(&mut self, done: Cycle) {
+        self.outstanding_loads.push(done);
+    }
+
+    /// Retires loads whose completion cycle has passed; returns how many.
+    pub fn retire_loads(&mut self, now: Cycle) -> usize {
+        let before = self.outstanding_loads.len();
+        self.outstanding_loads.retain(|&done| done > now);
+        before - self.outstanding_loads.len()
+    }
+
+    /// Number of loads still in flight.
+    pub fn loads_in_flight(&self) -> usize {
+        self.outstanding_loads.len()
+    }
+
+    /// Marks the warp blocked for `reason`.
+    pub fn block(&mut self, reason: BlockReason) {
+        self.block = Some(reason);
+    }
+
+    /// Clears the blocked state.
+    pub fn unblock(&mut self) {
+        self.block = None;
+    }
+
+    /// The current block reason, if any.
+    pub fn block_reason(&self) -> Option<BlockReason> {
+        self.block
+    }
+
+    /// True when the warp can attempt to issue this cycle.
+    pub fn is_runnable(&self) -> bool {
+        self.block.is_none() && !self.is_finished()
+    }
+
+    /// True when the warp has executed its whole program, drained its
+    /// outstanding loads and is not waiting on any synchronization event.
+    pub fn is_finished(&self) -> bool {
+        self.block.is_none()
+            && self.pending.is_none()
+            && self.cursor.is_done()
+            && self.outstanding_loads.is_empty()
+    }
+
+    /// Records a fence poll at `now`; returns true when a new poll should be
+    /// charged (at most one per `interval` cycles).
+    pub fn fence_poll_due(&mut self, now: Cycle, interval: u32) -> bool {
+        if now.saturating_sub(self.last_fence_poll).get() >= u64::from(interval.max(1)) {
+            self.last_fence_poll = now;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virgo_isa::ProgramBuilder;
+
+    fn warp_with(ops: u32) -> WarpContext {
+        let mut b = ProgramBuilder::new();
+        b.op_n(ops, WarpOp::Nop);
+        WarpContext::new(0, &Arc::new(b.build()))
+    }
+
+    #[test]
+    fn peek_then_consume_walks_program() {
+        let mut w = warp_with(2);
+        assert!(w.peek().is_some());
+        w.consume();
+        assert!(w.peek().is_some());
+        w.consume();
+        assert!(w.peek().is_none());
+        assert!(w.is_finished());
+    }
+
+    #[test]
+    fn exec_counts_increment_per_consume() {
+        let mut b = ProgramBuilder::new();
+        b.repeat(3, |b| {
+            b.op(WarpOp::Nop);
+        });
+        let mut w = WarpContext::new(0, &Arc::new(b.build()));
+        for expected in 0..3 {
+            let (id, _) = w.peek().unwrap();
+            assert_eq!(w.exec_count(id), expected);
+            w.consume();
+        }
+        assert!(w.is_finished());
+    }
+
+    #[test]
+    fn loads_block_completion_until_retired() {
+        let mut w = warp_with(1);
+        w.peek();
+        w.consume();
+        w.push_load(Cycle::new(10));
+        assert!(!w.is_finished());
+        assert_eq!(w.retire_loads(Cycle::new(5)), 0);
+        assert_eq!(w.loads_in_flight(), 1);
+        assert_eq!(w.retire_loads(Cycle::new(10)), 1);
+        assert!(w.is_finished());
+    }
+
+    #[test]
+    fn block_and_unblock_toggle_runnability() {
+        let mut w = warp_with(1);
+        assert!(w.is_runnable());
+        w.block(BlockReason::Loads);
+        assert!(!w.is_runnable());
+        assert_eq!(w.block_reason(), Some(BlockReason::Loads));
+        w.unblock();
+        assert!(w.is_runnable());
+    }
+
+    #[test]
+    fn finished_warp_is_not_runnable() {
+        let w = warp_with(0);
+        assert!(w.is_finished());
+        assert!(!w.is_runnable());
+    }
+
+    #[test]
+    fn fence_poll_rate_limited() {
+        let mut w = warp_with(1);
+        assert!(w.fence_poll_due(Cycle::new(8), 8));
+        assert!(!w.fence_poll_due(Cycle::new(12), 8));
+        assert!(w.fence_poll_due(Cycle::new(16), 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "consume without pending")]
+    fn consume_without_peek_panics() {
+        let mut w = warp_with(1);
+        let _ = w.consume();
+    }
+}

@@ -1,0 +1,25 @@
+//! Core-coupled matrix units for the Virgo GPU model.
+//!
+//! This crate implements the two families of *core-coupled* matrix units the
+//! paper uses as baselines (Section 5.1):
+//!
+//! * [`TightlyCoupledUnit`] — the Volta-style (and, with a cluster DMA,
+//!   Ampere-style) tensor core: a SIMD dot-product unit driven by synchronous
+//!   `HMMA` set/step instructions whose operands and accumulators move
+//!   through the core's register file,
+//! * [`OperandDecoupledUnit`] — the Hopper-style tensor core: a decoupled
+//!   access/execute unit that fetches operand tiles directly from the cluster
+//!   shared memory (`wgmma`-style asynchronous operation) while still
+//!   accumulating into the register file.
+//!
+//! Both units are instantiated once per SIMT core by the cluster model; the
+//! disaggregated cluster-level unit lives in the `virgo-gemmini` crate.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod decoupled;
+pub mod tightly;
+
+pub use decoupled::{DecoupledConfig, DecoupledStats, OperandDecoupledUnit};
+pub use tightly::{TightlyCoupledStats, TightlyCoupledUnit, TightlyCoupledConfig};

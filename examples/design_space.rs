@@ -1,0 +1,49 @@
+//! A small design-space exploration enabled by the disaggregated
+//! architecture: sweep the systolic-array dimension of the Virgo matrix unit
+//! and observe utilization, runtime and energy on a fixed GEMM.
+//!
+//! Run with `cargo run --release -p virgo-bench --example design_space`.
+
+use virgo::{Gpu, GpuConfig, MatrixUnitSpec};
+use virgo_bench::{pct, print_table, MAX_CYCLES};
+use virgo_gemmini::GemminiConfig;
+use virgo_kernels::{build_gemm, GemmShape};
+
+fn main() {
+    let shape = GemmShape::square(256);
+    let mut rows = Vec::new();
+
+    for dim in [8u32, 16, 32] {
+        let mut config = GpuConfig::virgo();
+        config.matrix_units = vec![MatrixUnitSpec {
+            gemmini: GemminiConfig {
+                dim,
+                smem_read_bytes: u64::from(dim) * 4,
+                queue_depth: 4,
+            },
+            accumulator_bytes: 32 * 1024,
+        }];
+        let kernel = build_gemm(&config, shape);
+        let peak = config.peak_macs_per_cycle();
+        let report = Gpu::new(config)
+            .run(&kernel, MAX_CYCLES)
+            .expect("sweep point completes");
+        rows.push(vec![
+            format!("{dim}x{dim}"),
+            peak.to_string(),
+            report.cycles().get().to_string(),
+            pct(report.mac_utilization().as_fraction()),
+            format!("{:.1} mW", report.active_power_mw()),
+            format!("{:.3} mJ", report.total_energy_mj()),
+        ]);
+    }
+
+    print_table(
+        &format!("Virgo systolic-array size sweep, GEMM {shape}"),
+        &["Array", "Peak MACs/cycle", "Cycles", "MAC util", "Power", "Energy"],
+        &rows,
+    );
+    println!("\nBecause the matrix unit is disaggregated from the SIMT cores, scaling the");
+    println!("array does not touch the core microarchitecture or the register file — the");
+    println!("scalability argument at the heart of the paper.");
+}

@@ -1,0 +1,56 @@
+//! Fused FlashAttention-3 forward pass on Virgo versus the Ampere-style
+//! baseline, plus a numerical check of the blocked online-softmax algorithm.
+//!
+//! Run with `cargo run --release -p virgo-bench --example flash_attention [SEQ]`
+//! (default sequence length 512; the paper evaluates 1024).
+
+use virgo::{DesignKind, Gpu, GpuConfig};
+use virgo_bench::{pct, print_table};
+use virgo_kernels::functional::{flash_attention_blocked, naive_attention, Matrix};
+use virgo_kernels::{build_flash_attention, AttentionShape};
+
+fn main() {
+    let seq_len: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let shape = AttentionShape {
+        seq_len,
+        head_dim: 64,
+        heads: 1,
+        batch: 1,
+    };
+
+    // Numerical sanity check of the mapping: the blocked online-softmax
+    // computation matches a naive attention reference.
+    let q = Matrix::random(64, 64, 1);
+    let k = Matrix::random(64, 64, 2);
+    let v = Matrix::random(64, 64, 3);
+    let diff = naive_attention(&q, &k, &v).max_abs_diff(&flash_attention_blocked(&q, &k, &v, 16));
+    println!("functional check: blocked vs naive attention max |diff| = {diff:.4}");
+
+    let mut rows = Vec::new();
+    for design in [DesignKind::AmpereStyle, DesignKind::Virgo] {
+        let config = GpuConfig::for_design(design).to_fp32();
+        let kernel = build_flash_attention(&config, shape);
+        let report = Gpu::new(config)
+            .run(&kernel, 2_000_000_000)
+            .expect("attention kernel completes");
+        rows.push(vec![
+            design.name().to_string(),
+            report.cycles().get().to_string(),
+            pct(report.mac_utilization().as_fraction()),
+            format!("{:.1} mW", report.active_power_mw()),
+            format!("{:.1} uJ", report.power().total_energy_uj()),
+            format!("{:.1} uJ", report.power().core_energy_uj()),
+        ]);
+    }
+    print_table(
+        &format!("FlashAttention-3 forward, {shape}"),
+        &["Design", "Cycles", "MAC util", "Power", "Energy", "Core energy"],
+        &rows,
+    );
+    println!("\nThe disaggregated matrix unit lets a single warp launch both GEMMs and then");
+    println!("spend its issue slots on softmax, which is why Virgo's utilization and energy");
+    println!("are so much better than the warp-specialized Ampere-style mapping.");
+}

@@ -1,0 +1,49 @@
+//! Compare the four matrix-unit integration styles on one GEMM problem.
+//!
+//! Run with `cargo run --release -p virgo-bench --example gemm_comparison [N]`
+//! where `N` is the (square) GEMM size, default 256.
+
+use virgo::DesignKind;
+use virgo_bench::{mw, pct, print_table, run_gemm_all_designs};
+use virgo_kernels::GemmShape;
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let shape = GemmShape::square(n);
+    println!("Simulating GEMM {shape} on all four designs (this runs them in parallel)...");
+
+    let results = run_gemm_all_designs(shape);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(design, r)| {
+            vec![
+                design.name().to_string(),
+                r.cycles().get().to_string(),
+                pct(r.mac_utilization().as_fraction()),
+                r.instructions_retired().to_string(),
+                mw(r.active_power_mw()),
+                format!("{:.3} mJ", r.total_energy_mj()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("GEMM {shape}: design-point comparison"),
+        &["Design", "Cycles", "MAC util", "Instructions", "Power", "Energy"],
+        &rows,
+    );
+
+    let virgo = &results.iter().find(|(d, _)| *d == DesignKind::Virgo).unwrap().1;
+    let ampere = &results
+        .iter()
+        .find(|(d, _)| *d == DesignKind::AmpereStyle)
+        .unwrap()
+        .1;
+    println!(
+        "\nVirgo uses {:.1}% of the Ampere-style energy and {:.2}% of its instructions.",
+        virgo.total_energy_mj() / ampere.total_energy_mj() * 100.0,
+        virgo.instructions_retired() as f64 / ampere.instructions_retired() as f64 * 100.0
+    );
+}

@@ -1,0 +1,50 @@
+//! Two heterogeneous matrix units in one cluster (Section 6.3): a 256³ GEMM
+//! on the 16×16 unit runs concurrently with a 128³ GEMM on the 8×8 unit.
+//!
+//! Run with `cargo run --release -p virgo-bench --example heterogeneous_units`.
+
+use virgo::{Gpu, GpuConfig};
+use virgo_bench::{pct, print_table, MAX_CYCLES};
+use virgo_kernels::{build_heterogeneous_parallel, build_heterogeneous_serial};
+
+fn main() {
+    let config = GpuConfig::virgo_heterogeneous();
+    println!(
+        "cluster with {} matrix units, {} total MACs/cycle",
+        config.matrix_units.len(),
+        config.peak_macs_per_cycle()
+    );
+    let peak = config.peak_macs_per_cycle() as f64;
+
+    let parallel_kernel = build_heterogeneous_parallel(&config);
+    let parallel = Gpu::new(config.clone())
+        .run(&parallel_kernel, MAX_CYCLES)
+        .expect("parallel run");
+
+    let (large, small) = build_heterogeneous_serial(&config);
+    let mut gpu = Gpu::new(config);
+    let serial_a = gpu.run(&large, MAX_CYCLES).expect("serial large run");
+    let serial_b = gpu.run(&small, MAX_CYCLES).expect("serial small run");
+
+    let macs = (large.info.total_macs + small.info.total_macs) as f64;
+    let serial_cycles = serial_a.cycles().get() + serial_b.cycles().get();
+    let rows = vec![
+        vec![
+            "parallel".into(),
+            parallel.cycles().get().to_string(),
+            pct(macs / (parallel.cycles().get() as f64 * peak)),
+        ],
+        vec![
+            "serial".into(),
+            serial_cycles.to_string(),
+            pct(macs / (serial_cycles as f64 * peak)),
+        ],
+    ];
+    print_table(
+        "Heterogeneous matrix units: parallel vs serial execution",
+        &["Schedule", "Cycles", "Cluster MAC utilization"],
+        &rows,
+    );
+    println!("\nRunning the two GEMMs concurrently should cost almost no utilization —");
+    println!("the disaggregated units share only the shared-memory interconnect and DMA.");
+}

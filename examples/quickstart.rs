@@ -1,0 +1,41 @@
+//! Quickstart: simulate a small GEMM on the Virgo design and print the
+//! headline metrics.
+//!
+//! Run with `cargo run --release -p virgo-bench --example quickstart`.
+
+use virgo::{Gpu, GpuConfig};
+use virgo_kernels::{build_gemm, GemmShape};
+
+fn main() {
+    // 1. Pick a hardware configuration. `GpuConfig::virgo()` is the paper's
+    //    Table 2 configuration: 8 Vortex-style SIMT cores plus one
+    //    disaggregated 16x16 FP16 matrix unit at the cluster level.
+    let config = GpuConfig::virgo();
+
+    // 2. Build a kernel. The kernel generators in `virgo-kernels` produce the
+    //    per-warp instruction streams of a GEMM optimized for this design.
+    let shape = GemmShape::square(256);
+    let kernel = build_gemm(&config, shape);
+    println!(
+        "kernel `{}`: {} warps, {} dynamic instructions",
+        kernel.info.name,
+        kernel.warps.len(),
+        kernel.dynamic_instructions()
+    );
+
+    // 3. Simulate and inspect the report.
+    let mut gpu = Gpu::new(config);
+    let report = gpu.run(&kernel, 100_000_000).expect("kernel completes");
+
+    println!("cycles            : {}", report.cycles().get());
+    println!("runtime           : {:.3} ms", report.runtime_seconds() * 1e3);
+    println!("MAC utilization   : {}", report.mac_utilization());
+    println!("instructions      : {}", report.instructions_retired());
+    println!("active power      : {:.1} mW", report.active_power_mw());
+    println!("active energy     : {:.3} mJ", report.total_energy_mj());
+    println!(
+        "SMEM read footprint: {:.2} MiB",
+        report.smem_read_footprint_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    println!("SoC area          : {:.2} mm^2", report.area().total_mm2());
+}

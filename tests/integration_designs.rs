@@ -1,0 +1,129 @@
+//! Cross-crate integration tests of the design-point configurations (Table 2,
+//! Figure 7) and property-based tests of the ISA program structures.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use virgo::{DesignKind, GpuConfig};
+use virgo_energy::{AreaModel, Component};
+use virgo_isa::{ProgramBuilder, WarpOp};
+
+#[test]
+fn every_design_exposes_256_fp16_macs_per_cluster() {
+    for design in DesignKind::all() {
+        assert_eq!(
+            GpuConfig::for_design(design).peak_macs_per_cycle(),
+            256,
+            "{design}"
+        );
+    }
+}
+
+#[test]
+fn table2_configuration_invariants() {
+    let virgo = GpuConfig::virgo();
+    assert_eq!(virgo.cores, 8);
+    assert_eq!(virgo.core.warps, 8);
+    assert_eq!(virgo.core.lanes, 8);
+    assert_eq!(virgo.smem.capacity_bytes, 128 * 1024);
+    assert_eq!(virgo.matrix_units[0].gemmini.dim, 16);
+    assert_eq!(virgo.matrix_units[0].accumulator_bytes, 32 * 1024);
+
+    let hopper = GpuConfig::hopper_style();
+    assert_eq!(hopper.cores, 4);
+    assert_eq!(hopper.decoupled.macs_per_cycle, 64);
+
+    let volta = GpuConfig::volta_style();
+    assert_eq!(volta.tightly.macs_per_cycle, 32);
+    assert!(!volta.design.has_dma());
+}
+
+#[test]
+fn area_comparison_matches_figure7_shape() {
+    // Figure 7: Virgo's SoC is essentially area-neutral versus the
+    // Volta-style SoC (-0.1% in the paper) and slightly larger than the
+    // Hopper-style SoC (+3.0%), with L1 caches and cores dominating.
+    let model = AreaModel::default_16nm();
+    let volta = model.estimate(&GpuConfig::volta_style().area_params());
+    let hopper = model.estimate(&GpuConfig::hopper_style().area_params());
+    let virgo = model.estimate(&GpuConfig::virgo().area_params());
+
+    let ratio_volta = virgo.total_mm2() / volta.total_mm2();
+    assert!((0.9..1.1).contains(&ratio_volta), "virgo/volta area {ratio_volta}");
+    assert!(virgo.total_mm2() > hopper.total_mm2(), "Virgo has more cores than Hopper-style");
+
+    let l1 = virgo.component_mm2(Component::L1Cache);
+    let matrix = virgo.component_mm2(Component::MatrixUnit);
+    assert!(l1 > matrix, "L1 flop arrays dominate the matrix unit area");
+}
+
+#[test]
+fn fp32_configurations_halve_matrix_throughput() {
+    for design in [DesignKind::AmpereStyle, DesignKind::Virgo] {
+        let fp16 = GpuConfig::for_design(design);
+        let fp32 = fp16.to_fp32();
+        assert!(fp32.peak_macs_per_cycle() <= fp16.peak_macs_per_cycle() / 2, "{design}");
+    }
+}
+
+proptest! {
+    /// The dynamic length computed statically always matches the number of
+    /// operations the cursor actually yields, for arbitrary loop structures.
+    #[test]
+    fn cursor_yields_exactly_dynamic_len(
+        outer in 0u64..6,
+        inner in 0u64..6,
+        pre_ops in 0u32..4,
+        body_ops in 0u32..4,
+        post_ops in 0u32..4,
+    ) {
+        let mut builder = ProgramBuilder::new();
+        builder.op_n(pre_ops, WarpOp::Nop);
+        builder.repeat(outer, |b| {
+            b.op_n(body_ops, WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+            b.repeat(inner, |b| {
+                b.op(WarpOp::Nop);
+            });
+        });
+        builder.op_n(post_ops, WarpOp::Nop);
+        let program = Arc::new(builder.build());
+        let mut cursor = program.cursor();
+        let mut yielded = 0u64;
+        while cursor.next_op().is_some() {
+            yielded += 1;
+        }
+        prop_assert_eq!(yielded, program.dynamic_len());
+        let expected = u64::from(pre_ops)
+            + outer * (u64::from(body_ops) + inner)
+            + u64::from(post_ops);
+        prop_assert_eq!(yielded, expected);
+    }
+
+    /// Address expressions with a modulo never leave their buffer window.
+    #[test]
+    fn double_buffered_addresses_stay_in_two_buffers(
+        base in 0u64..1_000_000,
+        stride in 1u64..100_000,
+        exec in 0u64..10_000,
+    ) {
+        let addr = virgo_isa::AddrExpr::double_buffered(base, stride);
+        let value = addr.eval(exec);
+        prop_assert!(value == base || value == base + stride);
+        prop_assert_eq!(addr.eval(exec), addr.eval(exec + 2));
+    }
+
+    /// Coalescing never produces more line requests than lane accesses and
+    /// always covers every accessed byte.
+    #[test]
+    fn coalescer_output_is_bounded_and_covering(
+        addrs in proptest::collection::vec(0u64..65_536, 1..16),
+    ) {
+        let mut coalescer = virgo_mem::Coalescer::new(32);
+        let lines = coalescer.coalesce(&addrs, 4);
+        prop_assert!(lines.len() <= addrs.len() * 2);
+        for &addr in &addrs {
+            let covered = lines.iter().any(|&line| addr >= line && addr < line + 32)
+                || lines.iter().any(|&line| addr + 3 >= line && addr + 3 < line + 32);
+            prop_assert!(covered, "address {addr} not covered");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration tests of the energy/power accounting, including
+//! property-based tests of the ledger invariants.
+
+use proptest::prelude::*;
+use virgo::{DesignKind, Gpu, GpuConfig};
+use virgo_energy::{Component, EnergyEvent, EnergyLedger, EnergyTable, PowerReport};
+use virgo_kernels::{build_gemm, GemmShape};
+use virgo_sim::{Cycle, Frequency};
+
+fn run(design: DesignKind, n: u32) -> virgo::SimReport {
+    let config = GpuConfig::for_design(design);
+    let kernel = build_gemm(&config, GemmShape::square(n));
+    Gpu::new(config)
+        .run(&kernel, 200_000_000)
+        .unwrap_or_else(|e| panic!("{design}: {e}"))
+}
+
+#[test]
+fn component_energies_sum_to_total() {
+    for design in DesignKind::all() {
+        let report = run(design, 128);
+        let sum: f64 = report
+            .power()
+            .energy_breakdown_uj()
+            .iter()
+            .map(|(_, e)| e)
+            .sum();
+        let total = report.power().total_energy_uj();
+        assert!(
+            (sum - total).abs() < 1e-6 * total.max(1.0),
+            "{design}: sum {sum} vs total {total}"
+        );
+    }
+}
+
+#[test]
+fn power_is_energy_divided_by_runtime() {
+    let report = run(DesignKind::Virgo, 128);
+    let expected = report.power().total_energy_uj() / report.runtime_seconds() * 1e-3;
+    assert!((report.active_power_mw() - expected).abs() < 1e-6 * expected);
+}
+
+#[test]
+fn virgo_core_energy_is_far_below_the_core_coupled_designs() {
+    // The central energy claim of the paper: the savings come from the SIMT
+    // core (instruction processing + register file), not the matrix unit.
+    let ampere = run(DesignKind::AmpereStyle, 256);
+    let virgo = run(DesignKind::Virgo, 256);
+    assert!(
+        virgo.power().core_energy_uj() < ampere.power().core_energy_uj() * 0.2,
+        "virgo core {} uJ vs ampere core {} uJ",
+        virgo.power().core_energy_uj(),
+        ampere.power().core_energy_uj()
+    );
+    // Matrix-unit energy stays in the same ballpark across designs
+    // (Figure 11): within 2x of each other.
+    let v = virgo.power().matrix_total_energy_uj();
+    let a = ampere.power().matrix_total_energy_uj();
+    assert!(v < a * 2.0 && a < v * 2.0, "virgo {v} uJ vs ampere {a} uJ");
+}
+
+#[test]
+fn virgo_total_energy_beats_every_baseline() {
+    let virgo = run(DesignKind::Virgo, 256).total_energy_mj();
+    for design in [DesignKind::VoltaStyle, DesignKind::AmpereStyle, DesignKind::HopperStyle] {
+        let baseline = run(design, 256).total_energy_mj();
+        assert!(
+            virgo < baseline,
+            "virgo {virgo} mJ must be below {design} {baseline} mJ"
+        );
+    }
+}
+
+proptest! {
+    /// Merging ledgers is additive: energy(a ∪ b) = energy(a) + energy(b).
+    #[test]
+    fn ledger_merge_is_additive(counts in proptest::collection::vec(0u64..10_000, 8)) {
+        let table = EnergyTable::default_16nm();
+        let events = [
+            EnergyEvent::InstrIssued,
+            EnergyEvent::RegRead,
+            EnergyEvent::SmemWordAccess,
+            EnergyEvent::MacSystolic,
+        ];
+        let mut a = EnergyLedger::new();
+        let mut b = EnergyLedger::new();
+        for (i, &count) in counts.iter().enumerate() {
+            let event = events[i % events.len()];
+            let component = if i % 2 == 0 { Component::CoreIssue } else { Component::MatrixUnit };
+            if i < counts.len() / 2 {
+                a.record(component, event, count);
+            } else {
+                b.record(component, event, count);
+            }
+        }
+        let ea = a.total_energy_pj(&table);
+        let eb = b.total_energy_pj(&table);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert!((merged.total_energy_pj(&table) - (ea + eb)).abs() < 1e-6);
+    }
+
+    /// Active power scales inversely with runtime for a fixed ledger.
+    #[test]
+    fn power_scales_inversely_with_cycles(count in 1u64..1_000_000, cycles in 1u64..10_000_000) {
+        let mut ledger = EnergyLedger::new();
+        ledger.record(Component::CoreIssue, EnergyEvent::InstrIssued, count);
+        let table = EnergyTable::default_16nm();
+        let short = PowerReport::from_ledger(&ledger, &table, Cycle::new(cycles), Frequency::VIRGO_SOC);
+        let long = PowerReport::from_ledger(&ledger, &table, Cycle::new(cycles * 2), Frequency::VIRGO_SOC);
+        prop_assert!((short.total_energy_uj() - long.total_energy_uj()).abs() < 1e-9);
+        prop_assert!((short.active_power_mw() - 2.0 * long.active_power_mw()).abs() < 1e-6 * short.active_power_mw());
+    }
+
+    /// Energy is monotone in event counts: recording more events never
+    /// reduces any component's energy.
+    #[test]
+    fn energy_is_monotone_in_counts(base in 0u64..100_000, extra in 1u64..100_000) {
+        let table = EnergyTable::default_16nm();
+        let mut small = EnergyLedger::new();
+        small.record(Component::SharedMem, EnergyEvent::SmemWordAccess, base);
+        let mut large = EnergyLedger::new();
+        large.record(Component::SharedMem, EnergyEvent::SmemWordAccess, base + extra);
+        prop_assert!(
+            large.component_energy_pj(&table, Component::SharedMem)
+                > small.component_energy_pj(&table, Component::SharedMem) - 1e-9
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration tests: GEMM kernels running end-to-end on every
+//! design point, checking the qualitative claims of the paper's evaluation
+//! at reduced problem sizes (so the suite stays fast in debug builds).
+
+use virgo::{DesignKind, Gpu, GpuConfig};
+use virgo_kernels::{build_gemm, GemmShape};
+
+/// Runs one GEMM on one design and returns the report.
+fn run(design: DesignKind, n: u32) -> virgo::SimReport {
+    let config = GpuConfig::for_design(design);
+    let kernel = build_gemm(&config, GemmShape::square(n));
+    Gpu::new(config)
+        .run(&kernel, 200_000_000)
+        .unwrap_or_else(|e| panic!("{design}: {e}"))
+}
+
+#[test]
+fn all_designs_complete_a_small_gemm() {
+    for design in DesignKind::all() {
+        let report = run(design, 128);
+        assert!(report.cycles().get() > 0, "{design}");
+        assert_eq!(
+            report.performed_macs(),
+            128 * 128 * 128,
+            "{design} must perform every MAC of the problem"
+        );
+    }
+}
+
+#[test]
+fn utilization_ordering_matches_table3() {
+    // Table 3's qualitative ordering: Virgo > Hopper-style > Ampere-style >=
+    // Volta-style (at equal cluster MAC throughput).
+    let volta = run(DesignKind::VoltaStyle, 256);
+    let ampere = run(DesignKind::AmpereStyle, 256);
+    let hopper = run(DesignKind::HopperStyle, 256);
+    let virgo = run(DesignKind::Virgo, 256);
+
+    let u = |r: &virgo::SimReport| r.mac_utilization().as_fraction();
+    assert!(u(&virgo) > u(&hopper), "virgo {} vs hopper {}", u(&virgo), u(&hopper));
+    assert!(u(&hopper) > u(&ampere), "hopper {} vs ampere {}", u(&hopper), u(&ampere));
+    assert!(
+        u(&ampere) >= u(&volta) * 0.95,
+        "ampere {} should not be below volta {}",
+        u(&ampere),
+        u(&volta)
+    );
+    assert!(u(&virgo) > 0.5, "virgo utilization {}", u(&virgo));
+}
+
+#[test]
+fn virgo_retires_a_tiny_fraction_of_instructions() {
+    // Section 6.1.1: Virgo's larger operation granularity shrinks the
+    // retired-instruction count by orders of magnitude.
+    let volta = run(DesignKind::VoltaStyle, 256);
+    let hopper = run(DesignKind::HopperStyle, 256);
+    let virgo = run(DesignKind::Virgo, 256);
+    let ratio_volta = virgo.instructions_retired() as f64 / volta.instructions_retired() as f64;
+    let ratio_hopper = virgo.instructions_retired() as f64 / hopper.instructions_retired() as f64;
+    assert!(ratio_volta < 0.02, "Virgo/Volta instruction ratio {ratio_volta}");
+    assert!(ratio_hopper < 0.15, "Virgo/Hopper instruction ratio {ratio_hopper}");
+}
+
+#[test]
+fn smem_footprint_ordering_matches_table4() {
+    // Table 4: tightly-coupled > operand-decoupled > disaggregated.
+    let ampere = run(DesignKind::AmpereStyle, 256);
+    let hopper = run(DesignKind::HopperStyle, 256);
+    let virgo = run(DesignKind::Virgo, 256);
+    assert!(
+        ampere.smem_read_footprint_bytes() > hopper.smem_read_footprint_bytes(),
+        "tightly-coupled {} vs operand-decoupled {}",
+        ampere.smem_read_footprint_bytes(),
+        hopper.smem_read_footprint_bytes()
+    );
+    assert!(
+        hopper.smem_read_footprint_bytes() > virgo.smem_read_footprint_bytes(),
+        "operand-decoupled {} vs disaggregated {}",
+        hopper.smem_read_footprint_bytes(),
+        virgo.smem_read_footprint_bytes()
+    );
+    // Virgo's absolute footprint: A re-read once per 16-wide column block
+    // plus B once, per 128x64x128 command (2.25 MiB in the paper).
+    let mib = virgo.smem_read_footprint_bytes() as f64 / (1024.0 * 1024.0);
+    assert!((1.5..3.5).contains(&mib), "virgo footprint {mib} MiB");
+}
+
+#[test]
+fn utilization_improves_with_problem_size_on_virgo() {
+    let small = run(DesignKind::Virgo, 128);
+    let large = run(DesignKind::Virgo, 256);
+    assert!(
+        large.mac_utilization().as_fraction() > small.mac_utilization().as_fraction(),
+        "larger GEMMs amortize prologue/epilogue overheads"
+    );
+}
+
+#[test]
+fn gemm_simulation_is_deterministic() {
+    let a = run(DesignKind::Virgo, 128);
+    let b = run(DesignKind::Virgo, 128);
+    assert_eq!(a.cycles(), b.cycles());
+    assert_eq!(a.instructions_retired(), b.instructions_retired());
+    assert!((a.total_energy_mj() - b.total_energy_mj()).abs() < 1e-12);
+}
