@@ -1,0 +1,172 @@
+//! Naive vs fast-forward simulation-loop benchmark.
+//!
+//! Demonstrates the two halves of the fast-forward engine's contract on
+//! stall-heavy workloads:
+//!
+//! 1. **Equivalence** — both modes produce bit-identical report digests.
+//! 2. **Speed** — skipping quiescent cycles cuts simulated-run wall-clock by
+//!    well over the 3× target on DRAM/DMA-bound kernels.
+//!
+//! Besides the human-readable table, the run emits `BENCH_fastforward.json`
+//! (in the current directory) so the speedup can be tracked over time by CI
+//! and perf dashboards.
+
+use std::sync::Arc;
+
+use virgo::{DesignKind, Gpu, GpuConfig, SimMode};
+use virgo_bench::{microbench, print_table, ReportDigest};
+use virgo_isa::{
+    DataType, DeviceId, DmaCopyCmd, Kernel, KernelInfo, MemLoc, MmioCommand, ProgramBuilder,
+    WarpAssignment, WarpOp,
+};
+use virgo_kernels::GemmShape;
+
+/// A deliberately stall-heavy kernel: one warp repeatedly programs a large
+/// DRAM-to-shared DMA tile load and fences on it, so nearly every simulated
+/// cycle is a quiescent DMA wait — the pattern that dominates the paper's
+/// large GEMM tile loads.
+fn dma_stall_kernel(tiles: u64, tile_bytes: u64) -> Kernel {
+    let mut b = ProgramBuilder::new();
+    b.repeat(tiles, |b| {
+        let cmd = MmioCommand::DmaCopy(DmaCopyCmd::new(
+            MemLoc::global(0u64),
+            MemLoc::shared(0u64),
+            tile_bytes,
+        ));
+        b.op(WarpOp::MmioWrite {
+            device: DeviceId::DMA0,
+            cmd,
+        });
+        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+    });
+    Kernel::new(
+        KernelInfo::new("dma-stall-tiles", 0, DataType::Fp16),
+        vec![WarpAssignment::new(0, 0, Arc::new(b.build()))],
+    )
+}
+
+struct Comparison {
+    name: &'static str,
+    cycles: u64,
+    naive_ms: f64,
+    fast_ms: f64,
+    identical: bool,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.naive_ms / self.fast_ms.max(1e-9)
+    }
+}
+
+fn compare_kernel(name: &'static str, config: &GpuConfig, kernel: &Kernel) -> Comparison {
+    const BUDGET: u64 = 2_000_000_000;
+    let naive = Gpu::new(config.clone())
+        .run_with_mode(kernel, BUDGET, SimMode::Naive)
+        .expect("naive run finishes");
+    let fast = Gpu::new(config.clone())
+        .run_with_mode(kernel, BUDGET, SimMode::FastForward)
+        .expect("fast-forward run finishes");
+    let identical = ReportDigest::of(&naive) == ReportDigest::of(&fast);
+
+    let naive_time = microbench::time(name, 3, || {
+        Gpu::new(config.clone()).run_with_mode(kernel, BUDGET, SimMode::Naive)
+    });
+    let fast_time = microbench::time(name, 3, || {
+        Gpu::new(config.clone()).run_with_mode(kernel, BUDGET, SimMode::FastForward)
+    });
+    Comparison {
+        name,
+        cycles: naive.cycles().get(),
+        naive_ms: naive_time.min_ms(),
+        fast_ms: fast_time.min_ms(),
+        identical,
+    }
+}
+
+fn compare_gemm(name: &'static str, design: DesignKind, size: u32) -> Comparison {
+    let config = GpuConfig::for_design(design);
+    let kernel = virgo_kernels::build_gemm(&config, GemmShape::square(size));
+    compare_kernel(name, &config, &kernel)
+}
+
+fn main() {
+    let virgo = GpuConfig::virgo();
+    let stall_kernel = dma_stall_kernel(16, 512 * 1024);
+
+    let comparisons = [
+        compare_kernel("dma_stall_16x512KiB", &virgo, &stall_kernel),
+        compare_gemm("virgo_gemm_256", DesignKind::Virgo, 256),
+        compare_gemm("ampere_gemm_128", DesignKind::AmpereStyle, 128),
+    ];
+
+    let rows: Vec<Vec<String>> = comparisons
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                c.cycles.to_string(),
+                format!("{:.2}", c.naive_ms),
+                format!("{:.2}", c.fast_ms),
+                format!("{:.1}x", c.speedup()),
+                if c.identical { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fast-forward engine: naive vs cycle-skipping driver",
+        &[
+            "workload",
+            "sim cycles",
+            "naive ms",
+            "ff ms",
+            "speedup",
+            "bit-identical",
+        ],
+        &rows,
+    );
+
+    let entries: Vec<String> = comparisons
+        .iter()
+        .map(|c| {
+            format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"simulated_cycles\": {}, ",
+                    "\"naive_ms\": {:.3}, \"fastforward_ms\": {:.3}, ",
+                    "\"speedup\": {:.2}, \"bit_identical\": {}}}"
+                ),
+                c.name,
+                c.cycles,
+                c.naive_ms,
+                c.fast_ms,
+                c.speedup(),
+                c.identical
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fastforward\",\n  \"comparisons\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Anchor on the workspace root: cargo runs bench binaries with the
+    // package directory (crates/bench) as cwd, but the artifact belongs next
+    // to the top-level Cargo.toml where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fastforward.json");
+    std::fs::write(path, &json).expect("write BENCH_fastforward.json");
+    println!("\nwrote {path}");
+
+    let stall = &comparisons[0];
+    assert!(
+        comparisons.iter().all(|c| c.identical),
+        "fast-forward reports must be bit-identical to the naive loop"
+    );
+    assert!(
+        stall.speedup() >= 3.0,
+        "stall-heavy speedup regressed below 3x: {:.2}x",
+        stall.speedup()
+    );
+    println!(
+        "stall-heavy speedup: {:.1}x (target >= 3x) — all reports bit-identical",
+        stall.speedup()
+    );
+}

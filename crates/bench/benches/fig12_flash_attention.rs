@@ -78,7 +78,11 @@ fn main() {
         &util_rows,
     );
 
-    let virgo = &results.iter().find(|(d, _)| *d == DesignKind::Virgo).unwrap().1;
+    let virgo = &results
+        .iter()
+        .find(|(d, _)| *d == DesignKind::Virgo)
+        .unwrap()
+        .1;
     let ampere = &results
         .iter()
         .find(|(d, _)| *d == DesignKind::AmpereStyle)

@@ -6,7 +6,11 @@ use virgo_energy::{AreaModel, Component};
 
 fn main() {
     let model = AreaModel::default_16nm();
-    let designs = [DesignKind::VoltaStyle, DesignKind::HopperStyle, DesignKind::Virgo];
+    let designs = [
+        DesignKind::VoltaStyle,
+        DesignKind::HopperStyle,
+        DesignKind::Virgo,
+    ];
     let mut rows = Vec::new();
     let mut totals = Vec::new();
     for design in designs {

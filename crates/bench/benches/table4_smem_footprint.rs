@@ -9,14 +9,26 @@ fn main() {
     let shape = GemmShape::square(256);
     let designs = [
         ("Tightly-coupled", DesignKind::AmpereStyle, "8x8 per-core"),
-        ("Operand-decoupled", DesignKind::HopperStyle, "16x16 per-core"),
-        ("Disaggregated (Virgo)", DesignKind::Virgo, "16x16 per-cluster"),
+        (
+            "Operand-decoupled",
+            DesignKind::HopperStyle,
+            "16x16 per-core",
+        ),
+        (
+            "Disaggregated (Virgo)",
+            DesignKind::Virgo,
+            "16x16 per-cluster",
+        ),
     ];
     let reports: Vec<_> = designs
         .iter()
         .map(|(label, design, frag)| (*label, *frag, run_gemm(*design, shape)))
         .collect();
-    let virgo_bytes = reports.last().expect("virgo entry").2.smem_read_footprint_bytes() as f64;
+    let virgo_bytes = reports
+        .last()
+        .expect("virgo entry")
+        .2
+        .smem_read_footprint_bytes() as f64;
 
     let rows: Vec<Vec<String>> = reports
         .iter()
@@ -32,7 +44,12 @@ fn main() {
         .collect();
     print_table(
         "Table 4: shared-memory read footprint, 256x256x256 GEMM",
-        &["Matrix unit design", "Tile fragment", "MiB", "Norm. to Virgo"],
+        &[
+            "Matrix unit design",
+            "Tile fragment",
+            "MiB",
+            "Norm. to Virgo",
+        ],
         &rows,
     );
     println!("\nPaper reference (Table 4): tightly-coupled 6 MiB (2.67x), operand-decoupled");

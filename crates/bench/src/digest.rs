@@ -1,0 +1,177 @@
+//! A comparable, serializable fingerprint of a [`SimReport`].
+//!
+//! The fast-forward engine promises **bit-identical** reports to the naive
+//! one-cycle-at-a-time loop. [`ReportDigest`] captures every quantity that
+//! promise covers — cycle count, instruction counts, the full per-core cycle
+//! classification, per-component energy and MAC utilization — in a plain
+//! `PartialEq` struct, so the equivalence test and the `fastforward`
+//! benchmark can compare whole runs with one assertion and emit them as JSON
+//! without external dependencies.
+
+use virgo::SimReport;
+use virgo_simt::CoreStats;
+
+/// Everything the fast-forward equivalence guarantee covers, in one
+/// exactly-comparable value.
+///
+/// Floating-point fields are compared *exactly*: identical event counts feed
+/// the same deterministic arithmetic, so equivalent runs produce equal bits,
+/// and any tolerance would only mask accounting bugs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportDigest {
+    /// Design point name.
+    pub design: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired by the SIMT cores.
+    pub instructions_retired: u64,
+    /// Busy-register polls issued in `virgo_fence` loops.
+    pub fence_poll_instructions: u64,
+    /// Cycles with at least one warp spinning in `virgo_fence`.
+    pub fence_wait_cycles: u64,
+    /// Multiply-accumulates performed by the matrix units.
+    pub performed_macs: u64,
+    /// MAC utilization in percent (Table 3 metric).
+    pub mac_utilization_percent: f64,
+    /// Shared-memory read footprint in bytes (Table 4 metric).
+    pub smem_bytes_read: u64,
+    /// Full per-core event counters, aggregated over the cluster.
+    pub core_stats: CoreStats,
+    /// Total active energy in millijoules.
+    pub total_energy_mj: f64,
+    /// Total active power in milliwatts.
+    pub active_power_mw: f64,
+    /// Per-component active energy in microjoules, in report order.
+    pub energy_breakdown_uj: Vec<(String, f64)>,
+}
+
+impl ReportDigest {
+    /// Extracts the digest of a finished run.
+    pub fn of(report: &SimReport) -> Self {
+        ReportDigest {
+            design: report.design().to_string(),
+            kernel: report.kernel_name().to_string(),
+            cycles: report.cycles().get(),
+            instructions_retired: report.instructions_retired(),
+            fence_poll_instructions: report.fence_poll_instructions(),
+            fence_wait_cycles: report.fence_wait_cycles(),
+            performed_macs: report.performed_macs(),
+            mac_utilization_percent: report.mac_utilization().as_percent(),
+            smem_bytes_read: report.smem_read_footprint_bytes(),
+            core_stats: *report.core_stats(),
+            total_energy_mj: report.total_energy_mj(),
+            active_power_mw: report.active_power_mw(),
+            energy_breakdown_uj: report
+                .power()
+                .energy_breakdown_uj()
+                .iter()
+                .map(|(component, energy)| (format!("{component:?}"), *energy))
+                .collect(),
+        }
+    }
+
+    /// Renders the digest as a JSON object (no external dependencies).
+    pub fn to_json(&self) -> String {
+        let breakdown: Vec<String> = self
+            .energy_breakdown_uj
+            .iter()
+            .map(|(name, uj)| format!("{}: {}", json_string(name), json_f64(*uj)))
+            .collect();
+        let stats = &self.core_stats;
+        format!(
+            concat!(
+                "{{\"design\": {}, \"kernel\": {}, \"cycles\": {}, ",
+                "\"instructions_retired\": {}, \"fence_poll_instructions\": {}, ",
+                "\"fence_wait_cycles\": {}, \"performed_macs\": {}, ",
+                "\"mac_utilization_percent\": {}, \"smem_bytes_read\": {}, ",
+                "\"active_cycles\": {}, \"stall_cycles\": {}, \"idle_cycles\": {}, ",
+                "\"total_energy_mj\": {}, \"active_power_mw\": {}, ",
+                "\"energy_breakdown_uj\": {{{}}}}}"
+            ),
+            json_string(&self.design),
+            json_string(&self.kernel),
+            self.cycles,
+            self.instructions_retired,
+            self.fence_poll_instructions,
+            self.fence_wait_cycles,
+            self.performed_macs,
+            json_f64(self.mac_utilization_percent),
+            self.smem_bytes_read,
+            stats.active_cycles,
+            stats.stall_cycles,
+            stats.idle_cycles,
+            json_f64(self.total_energy_mj),
+            json_f64(self.active_power_mw),
+            breakdown.join(", ")
+        )
+    }
+}
+
+/// Escapes a string for inclusion in JSON output.
+pub(crate) fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Inf; the simulator
+/// never produces them, but clamp to null-safe output anyway).
+pub(crate) fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_gemm_with_mode;
+    use virgo::{DesignKind, SimMode};
+    use virgo_kernels::GemmShape;
+
+    #[test]
+    fn digest_roundtrips_basic_quantities() {
+        let report = run_gemm_with_mode(
+            DesignKind::Virgo,
+            GemmShape {
+                m: 128,
+                n: 128,
+                k: 128,
+            },
+            SimMode::FastForward,
+        );
+        let digest = ReportDigest::of(&report);
+        assert_eq!(digest.cycles, report.cycles().get());
+        assert_eq!(digest.design, "Virgo");
+        assert!(!digest.energy_breakdown_uj.is_empty());
+        let json = digest.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cycles\""));
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+    }
+
+    #[test]
+    fn json_f64_is_finite_only() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -3,18 +3,23 @@
 //!
 //! Every bench target (`cargo bench -p virgo-bench --bench <name>`) uses the
 //! helpers here to build the kernels, run them on the right GPU
-//! configurations (in parallel across designs, via `crossbeam` scoped
-//! threads) and print the rows/series the paper reports. The benches use
-//! `harness = false`, so `cargo bench` simply executes them as programs; the
-//! single `micro_criterion` target additionally provides Criterion-based
-//! micro-benchmarks of the simulator itself.
+//! configurations (in parallel across designs, via `std::thread::scope`) and
+//! print the rows/series the paper reports. The benches use `harness = false`,
+//! so `cargo bench` simply executes them as programs; the `micro_criterion`
+//! and `fastforward` targets additionally provide micro-benchmarks of the
+//! simulator itself via the dependency-free [`microbench`] harness.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use parking_lot::Mutex;
-use virgo::{DesignKind, Gpu, GpuConfig, SimReport};
+pub mod digest;
+pub mod microbench;
+
+use virgo::{DesignKind, Gpu, GpuConfig, SimMode, SimReport};
 use virgo_kernels::{build_flash_attention, build_gemm, AttentionShape, GemmShape};
+
+pub use digest::ReportDigest;
+pub use microbench::Measurement;
 
 /// Cycle budget used for every simulation; generous enough for the largest
 /// (1024³ Volta-style) run.
@@ -27,10 +32,21 @@ pub const MAX_CYCLES: u64 = 2_000_000_000;
 /// Panics if the simulation does not complete (which would indicate a kernel
 /// generation bug, not a user error).
 pub fn run_gemm(design: DesignKind, shape: GemmShape) -> SimReport {
+    run_gemm_with_mode(design, shape, SimMode::FastForward)
+}
+
+/// Runs the GEMM kernel for `shape` on the given design point with an
+/// explicit simulation-loop mode — used by the fast-forward equivalence test
+/// and the `fastforward` benchmark.
+///
+/// # Panics
+///
+/// Panics if the simulation does not complete.
+pub fn run_gemm_with_mode(design: DesignKind, shape: GemmShape, mode: SimMode) -> SimReport {
     let config = GpuConfig::for_design(design);
     let kernel = build_gemm(&config, shape);
     Gpu::new(config)
-        .run(&kernel, MAX_CYCLES)
+        .run_with_mode(&kernel, MAX_CYCLES, mode)
         .unwrap_or_else(|e| panic!("{design} GEMM {shape} failed: {e}"))
 }
 
@@ -50,35 +66,47 @@ pub fn run_gemm_all_designs(shape: GemmShape) -> Vec<(DesignKind, SimReport)> {
 /// Panics if the design point is not Virgo or Ampere-style, or the simulation
 /// does not complete.
 pub fn run_flash_attention(design: DesignKind) -> SimReport {
+    run_flash_attention_with_mode(design, SimMode::FastForward)
+}
+
+/// Runs the FlashAttention-3 kernel with an explicit simulation-loop mode.
+///
+/// # Panics
+///
+/// Panics if the design point is not Virgo or Ampere-style, or the simulation
+/// does not complete.
+pub fn run_flash_attention_with_mode(design: DesignKind, mode: SimMode) -> SimReport {
     let config = GpuConfig::for_design(design).to_fp32();
     let kernel = build_flash_attention(&config, AttentionShape::paper_default());
     Gpu::new(config)
-        .run(&kernel, MAX_CYCLES)
+        .run_with_mode(&kernel, MAX_CYCLES, mode)
         .unwrap_or_else(|e| panic!("{design} FlashAttention failed: {e}"))
 }
 
 /// Runs `job` over `items` on scoped worker threads, preserving input order.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
 pub fn run_parallel<T, R, F>(items: Vec<T>, job: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let results = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
-        for (index, item) in items.into_iter().enumerate() {
-            let results = &results;
-            let job = &job;
-            scope.spawn(move |_| {
-                let value = job(item);
-                results.lock().push((index, value));
-            });
-        }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| {
+                let job = &job;
+                scope.spawn(move || job(item))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     })
-    .expect("worker thread panicked");
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|(index, _)| *index);
-    collected.into_iter().map(|(_, value)| value).collect()
 }
 
 /// Prints a fixed-width table with a title, headers and rows.
@@ -127,14 +155,26 @@ pub fn uj(value: f64) -> String {
 /// variable (comma-separated), defaulting to the paper's 256/512/1024.
 ///
 /// Setting e.g. `VIRGO_GEMM_SIZES=256` makes the long benches fast for smoke
-/// testing.
+/// testing. A value with no parseable sizes falls back to the defaults (with
+/// a warning) rather than silently producing an empty sweep.
 pub fn gemm_sizes_from_env() -> Vec<GemmShape> {
     match std::env::var("VIRGO_GEMM_SIZES") {
-        Ok(value) => value
-            .split(',')
-            .filter_map(|s| s.trim().parse::<u32>().ok())
-            .map(GemmShape::square)
-            .collect(),
+        Ok(value) => {
+            let sizes: Vec<GemmShape> = value
+                .split(',')
+                .filter_map(|s| s.trim().parse::<u32>().ok())
+                .map(GemmShape::square)
+                .collect();
+            if sizes.is_empty() {
+                eprintln!(
+                    "warning: VIRGO_GEMM_SIZES={value:?} contains no sizes; \
+                     using the paper defaults"
+                );
+                GemmShape::paper_sizes().to_vec()
+            } else {
+                sizes
+            }
+        }
         Err(_) => GemmShape::paper_sizes().to_vec(),
     }
 }
@@ -167,7 +207,11 @@ mod tests {
     #[test]
     fn small_gemm_runs_on_every_design() {
         // A reduced-size smoke test of the full simulation pipeline.
-        let shape = GemmShape { m: 128, n: 128, k: 128 };
+        let shape = GemmShape {
+            m: 128,
+            n: 128,
+            k: 128,
+        };
         for design in DesignKind::all() {
             let report = run_gemm(design, shape);
             assert!(report.cycles().get() > 0, "{design}");

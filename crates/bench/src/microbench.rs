@@ -1,0 +1,102 @@
+//! A tiny wall-clock micro-benchmark harness.
+//!
+//! The workspace builds without any external dependencies (the environments
+//! it targets have no registry access), so instead of Criterion this module
+//! provides the minimal subset the perf-tracking benches need: warmup, a
+//! fixed iteration count, and min/mean wall-clock statistics over the runs.
+//! Benches that care about statistical rigor report the *minimum* — the least
+//! noisy estimator for a deterministic workload on a shared machine.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock measurements of one benchmarked function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Number of measured iterations (excluding warmup).
+    pub iterations: u32,
+    /// Fastest single iteration.
+    pub min: Duration,
+    /// Mean over the measured iterations.
+    pub mean: Duration,
+    /// Total measured time.
+    pub total: Duration,
+}
+
+impl Measurement {
+    /// Fastest iteration in milliseconds.
+    pub fn min_ms(&self) -> f64 {
+        self.min.as_secs_f64() * 1e3
+    }
+
+    /// Mean iteration time in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+
+    /// One summary line, printed by the bench targets.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<40} {:>10.3} ms/iter (min {:.3} ms, {} iters)",
+            self.name,
+            self.mean_ms(),
+            self.min_ms(),
+            self.iterations
+        )
+    }
+}
+
+/// Times `f` over `iterations` runs (after one untimed warmup run) and
+/// returns the measurement. The closure's result is passed through
+/// [`std::hint::black_box`] so the compiler cannot elide the work.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+pub fn time<T>(name: &str, iterations: u32, mut f: impl FnMut() -> T) -> Measurement {
+    assert!(iterations > 0, "need at least one iteration");
+    std::hint::black_box(f());
+    let mut min = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iterations {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let elapsed = start.elapsed();
+        min = min.min(elapsed);
+        total += elapsed;
+    }
+    Measurement {
+        name: name.to_string(),
+        iterations,
+        min,
+        mean: total / iterations,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_runs_the_requested_iterations() {
+        let mut count = 0u32;
+        let m = time("counter", 5, || {
+            count += 1;
+            count
+        });
+        // 5 measured + 1 warmup.
+        assert_eq!(count, 6);
+        assert_eq!(m.iterations, 5);
+        assert!(m.min <= m.mean);
+        assert!(m.total >= m.min);
+        assert!(m.summary().contains("counter"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = time("empty", 0, || ());
+    }
+}

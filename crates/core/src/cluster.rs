@@ -2,10 +2,8 @@
 
 use virgo_gemmini::{GemminiCommand, GemminiUnit};
 use virgo_isa::{DeviceId, Kernel, MmioCommand, WgmmaOp};
-use virgo_mem::{
-    AccumulatorMemory, Coalescer, DmaEngine, DmaTransfer, GlobalMemory, SharedMemory,
-};
-use virgo_sim::Cycle;
+use virgo_mem::{AccumulatorMemory, Coalescer, DmaEngine, DmaTransfer, GlobalMemory, SharedMemory};
+use virgo_sim::{earliest, Cycle, NextActivity};
 use virgo_simt::{ClusterPort, ClusterSynchronizer, CoreStats, SimtCore};
 use virgo_tensor::{OperandDecoupledUnit, TightlyCoupledUnit};
 
@@ -118,7 +116,10 @@ impl ClusterDevices {
 
     /// Aggregated coalescer statistics across cores.
     pub fn coalescer_ops(&self) -> u64 {
-        self.coalescers.iter().map(|c| c.stats().line_requests).sum()
+        self.coalescers
+            .iter()
+            .map(|c| c.stats().line_requests)
+            .sum()
     }
 
     /// Outstanding asynchronous operations, exposed for reports.
@@ -159,10 +160,41 @@ impl ClusterDevices {
         }
     }
 
+    /// Reports the earliest cycle `>= now` at which ticking any cluster
+    /// device can change observable state, or `None` when every engine is
+    /// drained (see `virgo_sim::activity` for the contract).
+    ///
+    /// The tightly-coupled tensor units are deliberately absent: they have no
+    /// tick, and a warp stalled on their structural hazard keeps its core's
+    /// horizon at `now` anyway.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = self.dma.as_ref().and_then(|d| d.next_activity(now));
+        for unit in &self.gemmini_units {
+            next = earliest(next, unit.next_activity(now));
+        }
+        for unit in &self.decoupled_units {
+            next = earliest(next, unit.next_activity(now));
+        }
+        next
+    }
+
+    /// Bulk-replays `cycles` skipped ticks of a quiescent window, during
+    /// which only time-uniform per-cycle counters advance.
+    ///
+    /// Within such a window the matrix units are idle (a busy unit pins the
+    /// horizon to `now`) and the decoupled units' ticks are no-ops between
+    /// milestones, so the only counter to replay is the DMA engine's busy
+    /// time.
+    pub fn fast_forward(&mut self, cycles: u64) {
+        if let Some(dma) = &mut self.dma {
+            dma.fast_forward(cycles);
+        }
+    }
+
     /// True when every asynchronous engine has drained.
     pub fn quiescent(&self) -> bool {
         self.async_outstanding == 0
-            && self.dma.as_ref().map_or(true, DmaEngine::is_idle)
+            && self.dma.as_ref().is_none_or(DmaEngine::is_idle)
             && self.gemmini_units.iter().all(|u| !u.busy())
             && self.decoupled_units.iter().all(|u| u.pending() == 0)
     }
@@ -195,7 +227,12 @@ impl ClusterDevices {
         }
     }
 
-    fn submit_matrix(&mut self, unit: u8, cmd: &virgo_isa::MatrixComputeCmd, exec_count: u64) -> bool {
+    fn submit_matrix(
+        &mut self,
+        unit: u8,
+        cmd: &virgo_isa::MatrixComputeCmd,
+        exec_count: u64,
+    ) -> bool {
         let Some(target) = self.gemmini_units.get_mut(unit as usize) else {
             return true;
         };
@@ -227,7 +264,11 @@ impl ClusterPort for ClusterDevices {
         let line_bytes = self.coalescers[core as usize].line_bytes();
         let mut done = now;
         for line in line_requests {
-            done = done.max(self.gmem.access_from_core(now, core as usize, line, line_bytes, write));
+            done =
+                done.max(
+                    self.gmem
+                        .access_from_core(now, core as usize, line, line_bytes, write),
+                );
         }
         done
     }
@@ -235,13 +276,13 @@ impl ClusterPort for ClusterDevices {
     fn try_hmma(&mut self, now: Cycle, core: u32, macs: u32) -> bool {
         self.tightly_units
             .get_mut(core as usize)
-            .map_or(false, |unit| unit.try_step(now, macs))
+            .is_some_and(|unit| unit.try_step(now, macs))
     }
 
     fn try_wgmma(&mut self, _now: Cycle, core: u32, op: &WgmmaOp, exec_count: u64) -> bool {
         self.decoupled_units
             .get_mut(core as usize)
-            .map_or(false, |unit| unit.try_enqueue(op, exec_count))
+            .is_some_and(|unit| unit.try_enqueue(op, exec_count))
     }
 
     fn wgmma_pending(&self, core: u32) -> u32 {
@@ -357,6 +398,36 @@ impl Cluster {
     pub fn finished(&self) -> bool {
         self.cores.iter().all(SimtCore::all_finished) && self.devices.quiescent()
     }
+
+    /// Reports the earliest cycle `>= now` at which ticking the cluster can
+    /// change observable state (beyond time-uniform stall accounting), or
+    /// `None` when nothing will ever happen again — a deadlock, which the
+    /// driver converts into a timeout without ticking through the remaining
+    /// budget.
+    pub fn next_activity(&mut self, now: Cycle) -> Option<Cycle> {
+        let mut next = self.devices.next_activity(now);
+        if next == Some(now) {
+            return next;
+        }
+        for core in &mut self.cores {
+            match core.next_activity(now, &self.devices) {
+                Some(t) if t <= now => return Some(now),
+                event => next = earliest(next, event),
+            }
+        }
+        next
+    }
+
+    /// Jumps the cluster from cycle `from` over `cycles` quiescent ticks,
+    /// bulk-replaying exactly the per-cycle accounting the naive loop would
+    /// have performed. The caller guarantees, via [`Cluster::next_activity`],
+    /// that no component can make progress inside the window.
+    pub fn fast_forward(&mut self, from: Cycle, cycles: u64) {
+        self.devices.fast_forward(cycles);
+        for core in &mut self.cores {
+            core.fast_forward(from, cycles);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -390,7 +461,13 @@ mod tests {
     #[test]
     fn simple_kernel_runs_to_completion() {
         let kernel = kernel_with(0, |b| {
-            b.op_n(16, WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+            b.op_n(
+                16,
+                WarpOp::Alu {
+                    rf_reads: 2,
+                    rf_writes: 1,
+                },
+            );
         });
         let mut cluster = Cluster::new(GpuConfig::virgo(), &kernel);
         let cycles = run(&mut cluster, 10_000);
@@ -421,7 +498,10 @@ mod tests {
             4096,
         ));
         let kernel = kernel_with(0, |b| {
-            b.op(WarpOp::MmioWrite { device: DeviceId::DMA0, cmd });
+            b.op(WarpOp::MmioWrite {
+                device: DeviceId::DMA0,
+                cmd,
+            });
             b.op(WarpOp::FenceAsync { max_outstanding: 0 });
         });
         let mut cluster = Cluster::new(GpuConfig::virgo(), &kernel);
@@ -447,7 +527,10 @@ mod tests {
             dtype: DataType::Fp16,
         });
         let kernel = kernel_with(0, |b| {
-            b.op(WarpOp::MmioWrite { device: DeviceId::MATRIX0, cmd });
+            b.op(WarpOp::MmioWrite {
+                device: DeviceId::MATRIX0,
+                cmd,
+            });
             b.op(WarpOp::FenceAsync { max_outstanding: 0 });
         });
         let mut cluster = Cluster::new(GpuConfig::virgo(), &kernel);
@@ -464,7 +547,14 @@ mod tests {
     #[test]
     fn hmma_steps_drive_the_tightly_coupled_unit() {
         let kernel = kernel_with(0, |b| {
-            b.op_n(8, WarpOp::HmmaStep { macs: 64, rf_reads: 4, rf_writes: 2 });
+            b.op_n(
+                8,
+                WarpOp::HmmaStep {
+                    macs: 64,
+                    rf_reads: 4,
+                    rf_writes: 2,
+                },
+            );
         });
         let mut cluster = Cluster::new(GpuConfig::volta_style(), &kernel);
         run(&mut cluster, 100_000);
@@ -499,7 +589,10 @@ mod tests {
         let program = {
             let mut b = ProgramBuilder::new();
             b.op(WarpOp::Barrier { id: 0 });
-            b.op(WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+            b.op(WarpOp::Alu {
+                rf_reads: 1,
+                rf_writes: 1,
+            });
             Arc::new(b.build())
         };
         let kernel = Kernel::new(

@@ -50,4 +50,4 @@ pub mod run;
 pub use cluster::{Cluster, ClusterDevices};
 pub use config::{DesignKind, GpuConfig, MatrixUnitSpec};
 pub use report::SimReport;
-pub use run::{Gpu, SimError};
+pub use run::{Gpu, SimError, SimMode};

@@ -202,16 +202,36 @@ fn build_ledger(cluster: &Cluster, core_stats: &CoreStats) -> EnergyLedger {
         EnergyEvent::InstrIssued,
         core_stats.instrs_issued + core_stats.fence_poll_instrs,
     );
-    ledger.record(Component::CoreIssue, EnergyEvent::RegRead, core_stats.rf_reads);
-    ledger.record(Component::CoreWriteback, EnergyEvent::RegWrite, core_stats.rf_writes);
+    ledger.record(
+        Component::CoreIssue,
+        EnergyEvent::RegRead,
+        core_stats.rf_reads,
+    );
+    ledger.record(
+        Component::CoreWriteback,
+        EnergyEvent::RegWrite,
+        core_stats.rf_writes,
+    );
     ledger.record(
         Component::CoreWriteback,
         EnergyEvent::Writeback,
         core_stats.writebacks,
     );
-    ledger.record(Component::CoreAlu, EnergyEvent::AluOp, core_stats.alu_lane_ops);
-    ledger.record(Component::CoreFpu, EnergyEvent::FpuOp, core_stats.fpu_lane_ops);
-    ledger.record(Component::CoreLsu, EnergyEvent::LsuOp, core_stats.lsu_lane_ops);
+    ledger.record(
+        Component::CoreAlu,
+        EnergyEvent::AluOp,
+        core_stats.alu_lane_ops,
+    );
+    ledger.record(
+        Component::CoreFpu,
+        EnergyEvent::FpuOp,
+        core_stats.fpu_lane_ops,
+    );
+    ledger.record(
+        Component::CoreLsu,
+        EnergyEvent::LsuOp,
+        core_stats.lsu_lane_ops,
+    );
     ledger.record(
         Component::CoreLsu,
         EnergyEvent::CoalescerOp,
@@ -306,13 +326,21 @@ fn build_ledger(cluster: &Cluster, core_stats: &CoreStats) -> EnergyLedger {
             s.control_events,
         );
         ledger.record(Component::CoreIssue, EnergyEvent::RegRead, s.rf_accum_reads);
-        ledger.record(Component::CoreWriteback, EnergyEvent::RegWrite, s.rf_accum_writes);
+        ledger.record(
+            Component::CoreWriteback,
+            EnergyEvent::RegWrite,
+            s.rf_accum_writes,
+        );
     }
 
     // Disaggregated matrix units (Virgo).
     for unit in &devices.gemmini_units {
         let s = unit.stats();
-        ledger.record_matrix(MatrixSubcomponent::PeArray, EnergyEvent::MacSystolic, s.macs);
+        ledger.record_matrix(
+            MatrixSubcomponent::PeArray,
+            EnergyEvent::MacSystolic,
+            s.macs,
+        );
         ledger.record_matrix(
             MatrixSubcomponent::SmemInterface,
             EnergyEvent::OperandBufferAccess,
@@ -343,7 +371,13 @@ mod tests {
 
     fn trivial_kernel(macs_claimed: u64) -> Kernel {
         let mut b = ProgramBuilder::new();
-        b.op_n(32, WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+        b.op_n(
+            32,
+            WarpOp::Alu {
+                rf_reads: 2,
+                rf_writes: 1,
+            },
+        );
         Kernel::new(
             KernelInfo::new("alu-only", macs_claimed, DataType::Fp16),
             vec![WarpAssignment::new(0, 0, Arc::new(b.build()))],

@@ -36,6 +36,35 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// How the simulation driver advances time.
+///
+/// Both modes produce **bit-identical** [`SimReport`]s — the fast-forward
+/// engine's soundness contract (see `virgo_sim::activity`) guarantees that
+/// skipped cycles could only have performed time-uniform stall accounting,
+/// which is replayed in bulk. [`SimMode::Naive`] is retained as the reference
+/// implementation for equivalence testing and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimMode {
+    /// Tick every component once per cycle, the classic cycle-stepped loop.
+    Naive,
+    /// Skip quiescent regions: when no core or device can make progress
+    /// before cycle `t`, jump straight to `t` and bulk-account the skipped
+    /// stall/idle cycles. This is the default; on stall-heavy workloads
+    /// (DRAM/DMA-bound tiles, fence waits) it reduces wall-clock time by
+    /// orders of magnitude.
+    #[default]
+    FastForward,
+}
+
+impl fmt::Display for SimMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimMode::Naive => write!(f, "naive"),
+            SimMode::FastForward => write!(f, "fast-forward"),
+        }
+    }
+}
+
 /// A simulated GPU (one cluster plus its memory system) at a fixed
 /// configuration.
 ///
@@ -57,7 +86,8 @@ impl Gpu {
         &self.config
     }
 
-    /// Simulates `kernel` to completion, up to `max_cycles`.
+    /// Simulates `kernel` to completion, up to `max_cycles`, using the
+    /// default [`SimMode::FastForward`] driver.
     ///
     /// # Errors
     ///
@@ -65,6 +95,39 @@ impl Gpu {
     /// `max_cycles`, and [`SimError::EmptyKernel`] if the kernel contains no
     /// warps.
     pub fn run(&mut self, kernel: &Kernel, max_cycles: u64) -> Result<SimReport, SimError> {
+        self.run_with_mode(kernel, max_cycles, SimMode::FastForward)
+    }
+
+    /// Simulates `kernel` with the naive one-cycle-at-a-time reference loop.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gpu::run`].
+    pub fn run_naive(&mut self, kernel: &Kernel, max_cycles: u64) -> Result<SimReport, SimError> {
+        self.run_with_mode(kernel, max_cycles, SimMode::Naive)
+    }
+
+    /// Simulates `kernel` to completion, up to `max_cycles`, with an explicit
+    /// time-advance mode.
+    ///
+    /// In [`SimMode::FastForward`] the driver asks the cluster for the
+    /// earliest cycle at which any component can make progress; if that is in
+    /// the future it jumps there directly, bulk-accounting the skipped
+    /// stall/idle cycles so every statistic stays bit-identical to the naive
+    /// loop. A cluster with no future activity at all (a deadlock) is
+    /// forwarded straight to the cycle budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] if the kernel has not finished within
+    /// `max_cycles`, and [`SimError::EmptyKernel`] if the kernel contains no
+    /// warps.
+    pub fn run_with_mode(
+        &mut self,
+        kernel: &Kernel,
+        max_cycles: u64,
+        mode: SimMode,
+    ) -> Result<SimReport, SimError> {
         if kernel.warps.is_empty() {
             return Err(SimError::EmptyKernel);
         }
@@ -77,6 +140,16 @@ impl Gpu {
                     &kernel.info,
                     Cycle::new(cycle),
                 ));
+            }
+            if mode == SimMode::FastForward {
+                let target = cluster
+                    .next_activity(Cycle::new(cycle))
+                    .map_or(max_cycles, |t| t.get().min(max_cycles));
+                if target > cycle {
+                    cluster.fast_forward(Cycle::new(cycle), target - cycle);
+                    cycle = target;
+                    continue;
+                }
             }
             cluster.tick(Cycle::new(cycle));
             cycle += 1;
@@ -102,7 +175,13 @@ mod tests {
 
     fn kernel(ops: u32) -> Kernel {
         let mut b = ProgramBuilder::new();
-        b.op_n(ops, WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+        b.op_n(
+            ops,
+            WarpOp::Alu {
+                rf_reads: 1,
+                rf_writes: 1,
+            },
+        );
         Kernel::new(
             KernelInfo::new("k", 0, DataType::Fp16),
             vec![WarpAssignment::new(0, 0, Arc::new(b.build()))],
@@ -152,7 +231,9 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(SimError::Timeout { limit: 5 }.to_string().contains("5 cycles"));
+        assert!(SimError::Timeout { limit: 5 }
+            .to_string()
+            .contains("5 cycles"));
         assert!(SimError::EmptyKernel.to_string().contains("no warps"));
     }
 }

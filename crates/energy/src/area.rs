@@ -211,7 +211,11 @@ mod tests {
         let report = model.estimate(&volta_params());
         let l1 = report.component_mm2(Component::L1Cache);
         let core = report.component_mm2(Component::CoreIssue);
-        for c in [Component::L2Cache, Component::SharedMem, Component::MatrixUnit] {
+        for c in [
+            Component::L2Cache,
+            Component::SharedMem,
+            Component::MatrixUnit,
+        ] {
             assert!(l1 > report.component_mm2(c));
             assert!(core > report.component_mm2(c));
         }

@@ -51,12 +51,7 @@ impl EnergyLedger {
     /// subcomponent. The events are **also** added to the SoC-level
     /// [`Component::MatrixUnit`] (or [`Component::AccumMem`] for accumulator
     /// accesses) bucket so that SoC totals remain consistent.
-    pub fn record_matrix(
-        &mut self,
-        sub: MatrixSubcomponent,
-        event: EnergyEvent,
-        count: u64,
-    ) {
+    pub fn record_matrix(&mut self, sub: MatrixSubcomponent, event: EnergyEvent, count: u64) {
         if count == 0 {
             return;
         }
@@ -179,15 +174,25 @@ mod tests {
     fn matrix_events_propagate_to_soc_bucket() {
         let mut l = EnergyLedger::new();
         l.record_matrix(MatrixSubcomponent::PeArray, EnergyEvent::MacSystolic, 1000);
-        l.record_matrix(MatrixSubcomponent::AccumMem, EnergyEvent::AccumWordAccess, 64);
+        l.record_matrix(
+            MatrixSubcomponent::AccumMem,
+            EnergyEvent::AccumWordAccess,
+            64,
+        );
         assert_eq!(
             l.matrix_count(MatrixSubcomponent::PeArray, EnergyEvent::MacSystolic),
             1000
         );
         // PE MACs land in the MatrixUnit SoC bucket, accumulator accesses in
         // the AccumMem bucket (Figure 9 vs Figure 11 granularity).
-        assert_eq!(l.count(Component::MatrixUnit, EnergyEvent::MacSystolic), 1000);
-        assert_eq!(l.count(Component::AccumMem, EnergyEvent::AccumWordAccess), 64);
+        assert_eq!(
+            l.count(Component::MatrixUnit, EnergyEvent::MacSystolic),
+            1000
+        );
+        assert_eq!(
+            l.count(Component::AccumMem, EnergyEvent::AccumWordAccess),
+            64
+        );
     }
 
     #[test]

@@ -174,9 +174,21 @@ mod tests {
         let gpus = datacenter_gpus();
         let macs: Vec<f64> = gpus.iter().map(|g| g.macs_per_tensor_core()).collect();
         assert!(macs[0] < macs[1] && macs[1] < macs[2]);
-        assert!((macs[0] - 64.0).abs() / 64.0 < 0.05, "V100 ≈ 64, got {}", macs[0]);
-        assert!((macs[1] - 256.0).abs() / 256.0 < 0.05, "A100 ≈ 256, got {}", macs[1]);
-        assert!((macs[2] - 512.0).abs() / 512.0 < 0.05, "H100 ≈ 512, got {}", macs[2]);
+        assert!(
+            (macs[0] - 64.0).abs() / 64.0 < 0.05,
+            "V100 ≈ 64, got {}",
+            macs[0]
+        );
+        assert!(
+            (macs[1] - 256.0).abs() / 256.0 < 0.05,
+            "A100 ≈ 256, got {}",
+            macs[1]
+        );
+        assert!(
+            (macs[2] - 512.0).abs() / 512.0 < 0.05,
+            "H100 ≈ 512, got {}",
+            macs[2]
+        );
     }
 
     #[test]

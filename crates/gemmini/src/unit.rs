@@ -1,7 +1,7 @@
 //! The Gemmini-derived systolic matrix unit and its coarse-grain FSM.
 
 use virgo_mem::{AccumulatorMemory, SharedMemory};
-use virgo_sim::{BoundedQueue, Cycle};
+use virgo_sim::{BoundedQueue, Cycle, NextActivity};
 
 use crate::command::GemminiCommand;
 
@@ -211,7 +211,8 @@ impl GemminiUnit {
             let addr = if active.bytes_issued < b_block_bytes {
                 active.cmd.b_addr + u64::from(active.block) * b_block_bytes + active.bytes_issued
             } else {
-                active.cmd.a_addr + (active.bytes_issued - b_block_bytes) % active.cmd.a_bytes().max(1)
+                active.cmd.a_addr
+                    + (active.bytes_issued - b_block_bytes) % active.cmd.a_bytes().max(1)
             };
             smem.access_wide(now, addr, chunk, false);
             self.stats.smem_words_read += chunk.div_ceil(4);
@@ -230,12 +231,18 @@ impl GemminiUnit {
         if active.cycle_in_block >= active.block_cycles {
             // Column block finished: drain the output columns into the
             // accumulator memory (read-modify-write when accumulating).
-            let out_bytes =
-                u64::from(active.cmd.m) * u64::from(self.config.dim).min(u64::from(active.cmd.n)) * 4;
+            let out_bytes = u64::from(active.cmd.m)
+                * u64::from(self.config.dim).min(u64::from(active.cmd.n))
+                * 4;
             let acc_addr = active.cmd.acc_addr
                 + u64::from(active.block) * out_bytes % accmem.capacity_bytes().max(1);
             if active.cmd.accumulate {
-                accmem.access(now, acc_addr.min(accmem.capacity_bytes() - out_bytes.min(accmem.capacity_bytes())), out_bytes, false);
+                accmem.access(
+                    now,
+                    acc_addr.min(accmem.capacity_bytes() - out_bytes.min(accmem.capacity_bytes())),
+                    out_bytes,
+                    false,
+                );
                 self.stats.accum_words_read += out_bytes / 4;
             }
             accmem.access(
@@ -285,6 +292,20 @@ impl GemminiUnit {
             block_cycles,
             block_bytes,
             bytes_issued: 0,
+        }
+    }
+}
+
+impl NextActivity for GemminiUnit {
+    /// The streaming FSM does real work — wide shared-memory reads,
+    /// fill/drain accounting, accumulator writebacks — on *every* cycle while
+    /// a command is latched or queued, so a busy unit pins the fast-forward
+    /// horizon to `now`. Only a fully drained unit is skippable.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.busy() {
+            Some(now)
+        } else {
+            None
         }
     }
 }
@@ -368,7 +389,10 @@ mod tests {
         };
         let read_bytes = unit.stats().smem_words_read * 4;
         let ratio = read_bytes as f64 / expected_bytes as f64;
-        assert!((0.95..1.05).contains(&ratio), "read {read_bytes}, expected {expected_bytes}");
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "read {read_bytes}, expected {expected_bytes}"
+        );
     }
 
     #[test]

@@ -188,7 +188,7 @@ impl LaneAccess {
     /// region — the case the memory coalescer merges into a single wide
     /// request.
     pub fn is_coalescable(&self) -> bool {
-        self.lane_stride == self.bytes_per_lane && self.bytes_per_lane % 4 == 0
+        self.lane_stride == self.bytes_per_lane && self.bytes_per_lane.is_multiple_of(4)
     }
 }
 

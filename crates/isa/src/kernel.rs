@@ -77,7 +77,11 @@ pub struct WarpAssignment {
 impl WarpAssignment {
     /// Creates a warp assignment.
     pub fn new(core: u32, warp: u32, program: Arc<Program>) -> Self {
-        WarpAssignment { core, warp, program }
+        WarpAssignment {
+            core,
+            warp,
+            program,
+        }
     }
 }
 

@@ -207,34 +207,61 @@ mod tests {
         assert!(WarpOp::Barrier { id: 0 }.is_blocking());
         assert!(WarpOp::FenceAsync { max_outstanding: 0 }.is_blocking());
         assert!(!WarpOp::Nop.is_blocking());
-        assert!(!WarpOp::Alu { rf_reads: 2, rf_writes: 1 }.is_blocking());
+        assert!(!WarpOp::Alu {
+            rf_reads: 2,
+            rf_writes: 1
+        }
+        .is_blocking());
     }
 
     #[test]
     fn memory_classification() {
-        assert!(WarpOp::LoadGlobal { access: sample_access() }.is_memory());
-        assert!(WarpOp::StoreShared { access: sample_access() }.is_memory());
+        assert!(WarpOp::LoadGlobal {
+            access: sample_access()
+        }
+        .is_memory());
+        assert!(WarpOp::StoreShared {
+            access: sample_access()
+        }
+        .is_memory());
         assert!(!WarpOp::Nop.is_memory());
         assert!(!WarpOp::WaitLoads.is_memory());
     }
 
     #[test]
     fn matrix_classification() {
-        assert!(WarpOp::HmmaStep { macs: 64, rf_reads: 4, rf_writes: 2 }.is_matrix());
-        assert!(!WarpOp::Fpu { rf_reads: 2, rf_writes: 1, flops_per_lane: 1 }.is_matrix());
+        assert!(WarpOp::HmmaStep {
+            macs: 64,
+            rf_reads: 4,
+            rf_writes: 2
+        }
+        .is_matrix());
+        assert!(!WarpOp::Fpu {
+            rf_reads: 2,
+            rf_writes: 1,
+            flops_per_lane: 1
+        }
+        .is_matrix());
     }
 
     #[test]
     fn register_traffic_counts() {
-        let alu = WarpOp::Alu { rf_reads: 2, rf_writes: 1 };
+        let alu = WarpOp::Alu {
+            rf_reads: 2,
+            rf_writes: 1,
+        };
         assert_eq!(alu.rf_reads(), 2);
         assert_eq!(alu.rf_writes(), 1);
 
-        let load = WarpOp::LoadShared { access: sample_access() };
+        let load = WarpOp::LoadShared {
+            access: sample_access(),
+        };
         assert_eq!(load.rf_reads(), 1);
         assert_eq!(load.rf_writes(), 1);
 
-        let store = WarpOp::StoreGlobal { access: sample_access() };
+        let store = WarpOp::StoreGlobal {
+            access: sample_access(),
+        };
         assert_eq!(store.rf_reads(), 2);
         assert_eq!(store.rf_writes(), 0);
 
@@ -243,8 +270,12 @@ mod tests {
 
     #[test]
     fn mnemonics_are_distinct_for_memory_ops() {
-        let l = WarpOp::LoadGlobal { access: sample_access() };
-        let s = WarpOp::StoreGlobal { access: sample_access() };
+        let l = WarpOp::LoadGlobal {
+            access: sample_access(),
+        };
+        let s = WarpOp::StoreGlobal {
+            access: sample_access(),
+        };
         assert_ne!(l.mnemonic(), s.mnemonic());
     }
 }

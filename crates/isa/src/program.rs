@@ -253,7 +253,10 @@ mod tests {
     fn flat_program_yields_in_order() {
         let mut b = ProgramBuilder::new();
         b.op(WarpOp::Nop);
-        b.op(WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+        b.op(WarpOp::Alu {
+            rf_reads: 1,
+            rf_writes: 1,
+        });
         b.op(WarpOp::WaitLoads);
         let mnemonics = collect(b.build());
         assert_eq!(mnemonics, vec!["nop", "alu", "waitcnt"]);
@@ -265,7 +268,10 @@ mod tests {
         b.repeat(3, |b| {
             b.op(WarpOp::Nop);
             b.repeat(2, |b| {
-                b.op(WarpOp::Alu { rf_reads: 0, rf_writes: 0 });
+                b.op(WarpOp::Alu {
+                    rf_reads: 0,
+                    rf_writes: 0,
+                });
             });
         });
         let program = b.build();

@@ -40,7 +40,7 @@ const SMEM_S_STRIDE: u64 = 0x4000;
 /// Panics if the shape is not tileable by the 64-element block.
 pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
     assert!(
-        shape.seq_len % BLOCK == 0 && shape.head_dim % BLOCK == 0,
+        shape.seq_len.is_multiple_of(BLOCK) && shape.head_dim.is_multiple_of(BLOCK),
         "attention shape {shape} not tileable by {BLOCK}"
     );
     let dtype = config.dtype;
@@ -99,12 +99,16 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
 
                 // ---- GEMM phase (this warp's ping-pong slot) --------------
                 for l in 0..loads_per_warp_iter {
-                    b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+                    b.op(WarpOp::Alu {
+                        rf_reads: 2,
+                        rf_writes: 1,
+                    });
                     b.op(WarpOp::LoadShared {
                         access: LaneAccess::contiguous_words(
                             AddrExpr::double_buffered(
-                                SMEM_Q + (warp_index * 2048 + u64::from(l) * u64::from(lanes) * 4)
-                                    % 0x4000,
+                                SMEM_Q
+                                    + (warp_index * 2048 + u64::from(l) * u64::from(lanes) * 4)
+                                        % 0x4000,
                                 SMEM_KV_STRIDE,
                             ),
                             lanes,
@@ -135,7 +139,11 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
                     b.op(WarpOp::WaitLoads);
                     b.op_n(
                         SOFTMAX_FLOPS_PER_ELEM,
-                        WarpOp::Fpu { rf_reads: 2, rf_writes: 1, flops_per_lane: 1 },
+                        WarpOp::Fpu {
+                            rf_reads: 2,
+                            rf_writes: 1,
+                            flops_per_lane: 1,
+                        },
                     );
                     b.op(WarpOp::StoreShared {
                         access: LaneAccess::contiguous_words(
@@ -149,11 +157,13 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
 
             // Epilogue: write the output row block from registers to global
             // memory, spread across the warps.
-            let o_words = u64::from(BLOCK) * u64::from(shape.head_dim)
-                / (cores * warps_per_core);
+            let o_words = u64::from(BLOCK) * u64::from(shape.head_dim) / (cores * warps_per_core);
             let o_stores = (o_words / u64::from(lanes)).max(1);
             b.repeat(o_stores, |b| {
-                b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+                b.op(WarpOp::Alu {
+                    rf_reads: 2,
+                    rf_writes: 1,
+                });
                 b.op(WarpOp::StoreGlobal {
                     access: LaneAccess::contiguous_words(
                         AddrExpr::streaming(GLOBAL_O + warp_index * o_words * 4, tile_bytes),
@@ -171,7 +181,11 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
         for warp in 0..config.core.warps {
             let warp_index = u64::from(core) * warps_per_core + u64::from(warp);
             let leader = warp_index == 0;
-            warps.push(WarpAssignment::new(core, warp, build_program(leader, warp_index)));
+            warps.push(WarpAssignment::new(
+                core,
+                warp,
+                build_program(leader, warp_index),
+            ));
         }
     }
 
@@ -208,7 +222,10 @@ mod tests {
         // granularity.
         let expected = shape.gemm_mac_ops();
         let ratio = macs as f64 / expected as f64;
-        assert!((0.9..=1.1).contains(&ratio), "macs {macs} vs expected {expected}");
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "macs {macs} vs expected {expected}"
+        );
     }
 
     #[test]

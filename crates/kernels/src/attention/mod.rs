@@ -33,7 +33,9 @@ pub fn build_flash_attention(config: &GpuConfig, shape: AttentionShape) -> Kerne
     match config.design {
         DesignKind::Virgo => virgo::build(config, shape),
         DesignKind::AmpereStyle => ampere::build(config, shape),
-        other => panic!("FlashAttention-3 is evaluated on Virgo and Ampere-style designs, not {other}"),
+        other => {
+            panic!("FlashAttention-3 is evaluated on Virgo and Ampere-style designs, not {other}")
+        }
     }
 }
 

@@ -40,7 +40,7 @@ const ACC_O: u64 = 16 * 1024;
 /// 64-element block.
 pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
     assert!(
-        shape.seq_len % BLOCK == 0 && shape.head_dim % BLOCK == 0,
+        shape.seq_len.is_multiple_of(BLOCK) && shape.head_dim.is_multiple_of(BLOCK),
         "attention shape {shape} not tileable by {BLOCK}"
     );
     let dtype = config.dtype;
@@ -57,8 +57,8 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
         device: DeviceId::DMA0,
         cmd: MmioCommand::DmaCopy(DmaCopyCmd::new(src, dst, bytes)),
     };
-    let compute = |a: AddrExpr, b: AddrExpr, acc_addr: u64, k: u32, accumulate: bool| {
-        WarpOp::MmioWrite {
+    let compute =
+        |a: AddrExpr, b: AddrExpr, acc_addr: u64, k: u32, accumulate: bool| WarpOp::MmioWrite {
             device: DeviceId::MATRIX0,
             cmd: MmioCommand::MatrixCompute(MatrixComputeCmd {
                 a,
@@ -70,8 +70,7 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
                 accumulate,
                 dtype,
             }),
-        }
-    };
+        };
 
     // ---- Orchestrator warp (core 0, warp 0) --------------------------------
     let mut orch = ProgramBuilder::new();
@@ -174,7 +173,11 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
                     b.op(WarpOp::WaitLoads);
                     b.op_n(
                         SOFTMAX_FLOPS_PER_ELEM,
-                        WarpOp::Fpu { rf_reads: 2, rf_writes: 1, flops_per_lane: 1 },
+                        WarpOp::Fpu {
+                            rf_reads: 2,
+                            rf_writes: 1,
+                            flops_per_lane: 1,
+                        },
                     );
                     b.op(WarpOp::StoreShared {
                         access: LaneAccess::contiguous_words(
@@ -194,7 +197,11 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
                         ),
                     });
                     b.op(WarpOp::WaitLoads);
-                    b.op(WarpOp::Fpu { rf_reads: 2, rf_writes: 1, flops_per_lane: 2 });
+                    b.op(WarpOp::Fpu {
+                        rf_reads: 2,
+                        rf_writes: 1,
+                        flops_per_lane: 2,
+                    });
                     b.op(WarpOp::StoreShared {
                         access: LaneAccess::contiguous_words(
                             AddrExpr::fixed(SMEM_O + offset),
@@ -223,7 +230,11 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
     }
 
     Kernel::new(
-        KernelInfo::new(format!("flash_attention_virgo_{shape}"), shape.gemm_mac_ops(), dtype),
+        KernelInfo::new(
+            format!("flash_attention_virgo_{shape}"),
+            shape.gemm_mac_ops(),
+            dtype,
+        ),
         warps,
     )
 }
@@ -239,7 +250,11 @@ mod tests {
         let mut macs = 0u64;
         let mut cursor = kernel.warps[0].program.cursor();
         while let Some((_, op)) = cursor.next_op() {
-            if let WarpOp::MmioWrite { device: DeviceId::MatrixUnit(_), cmd } = op {
+            if let WarpOp::MmioWrite {
+                device: DeviceId::MatrixUnit(_),
+                cmd,
+            } = op
+            {
                 if let Some(c) = cmd.as_matrix_compute() {
                     macs += c.mac_ops();
                 }
@@ -250,7 +265,10 @@ mod tests {
 
     #[test]
     fn softmax_warps_do_fpu_work() {
-        let kernel = build(&GpuConfig::virgo().to_fp32(), AttentionShape::paper_default());
+        let kernel = build(
+            &GpuConfig::virgo().to_fp32(),
+            AttentionShape::paper_default(),
+        );
         let mut cursor = kernel.warps[10].program.cursor();
         let mut fpu = 0u64;
         while let Some((_, op)) = cursor.next_op() {

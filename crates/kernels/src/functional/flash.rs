@@ -36,8 +36,8 @@ pub fn naive_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
         let sum: f32 = weights.iter().sum();
         for c in 0..v.cols() {
             let mut acc = 0.0;
-            for j in 0..k.rows() {
-                acc += weights[j] * v.get(j, c);
+            for (j, &w) in weights.iter().enumerate() {
+                acc += w * v.get(j, c);
             }
             out.set(i, c, acc / sum);
         }
@@ -57,7 +57,10 @@ pub fn naive_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
 pub fn flash_attention_blocked(q: &Matrix, k: &Matrix, v: &Matrix, block: usize) -> Matrix {
     assert_eq!(q.cols(), k.cols(), "Q and K must share the head dimension");
     assert_eq!(k.rows(), v.rows(), "K and V must share the sequence length");
-    assert!(block > 0 && k.rows() % block == 0, "sequence not divisible by block");
+    assert!(
+        block > 0 && k.rows().is_multiple_of(block),
+        "sequence not divisible by block"
+    );
     let d = q.cols();
     let scale = 1.0 / (d as f32).sqrt();
     let seq = k.rows();
@@ -92,14 +95,14 @@ pub fn flash_attention_blocked(q: &Matrix, k: &Matrix, v: &Matrix, block: usize)
             }
             for (offset, &w) in weights.iter().enumerate() {
                 let j = block_start + offset;
-                for c in 0..v.cols() {
-                    acc[c] += w * v.get(j, c);
+                for (c, value) in acc.iter_mut().enumerate() {
+                    *value += w * v.get(j, c);
                 }
             }
             row_max = new_max;
         }
-        for c in 0..v.cols() {
-            out.set(i, c, acc[c] / row_sum);
+        for (c, &value) in acc.iter().enumerate() {
+            out.set(i, c, value / row_sum);
         }
     }
     out
@@ -122,7 +125,10 @@ mod tests {
         for x in [-0.5f32, -0.1, 0.0, 0.1, 0.5] {
             assert!((taylor_exp2(x) - x.exp()).abs() < 0.03, "x = {x}");
         }
-        assert!(taylor_exp2(-10.0) >= 0.0, "approximation must stay non-negative");
+        assert!(
+            taylor_exp2(-10.0) >= 0.0,
+            "approximation must stay non-negative"
+        );
     }
 
     #[test]
@@ -172,7 +178,10 @@ mod tests {
             }
             for r in 0..out.rows() {
                 let x = out.get(r, c);
-                assert!(x >= lo - 1e-3 && x <= hi + 1e-3, "({r},{c}) = {x} not in [{lo},{hi}]");
+                assert!(
+                    x >= lo - 1e-3 && x <= hi + 1e-3,
+                    "({r},{c}) = {x} not in [{lo},{hi}]"
+                );
             }
         }
     }

@@ -52,7 +52,10 @@ impl Matrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -62,7 +65,10 @@ impl Matrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn set(&mut self, r: usize, c: usize, value: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = value;
     }
 
@@ -126,7 +132,9 @@ impl Matrix {
 pub fn tiled_gemm(a: &Matrix, b: &Matrix, tile_m: usize, tile_n: usize, tile_k: usize) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must match");
     assert!(
-        a.rows() % tile_m == 0 && b.cols() % tile_n == 0 && a.cols() % tile_k == 0,
+        a.rows().is_multiple_of(tile_m)
+            && b.cols().is_multiple_of(tile_n)
+            && a.cols().is_multiple_of(tile_k),
         "dimensions must be divisible by the tile sizes"
     );
     let mut c = Matrix::zeros(a.rows(), b.cols());

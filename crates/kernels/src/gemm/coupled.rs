@@ -49,7 +49,9 @@ const SMEM_B_STRIDE: u64 = 0x2000; // 8 KiB per B buffer (32×128 fp16)
 /// Panics if the shape is not divisible by the 64×128×32 thread-block tile.
 pub fn build(config: &GpuConfig, shape: GemmShape, use_dma: bool) -> Kernel {
     assert!(
-        shape.m % TILE_M == 0 && shape.n % TILE_N == 0 && shape.k % TILE_K == 0,
+        shape.m.is_multiple_of(TILE_M)
+            && shape.n.is_multiple_of(TILE_N)
+            && shape.k.is_multiple_of(TILE_K),
         "GEMM shape {shape} not divisible by the {TILE_M}x{TILE_N}x{TILE_K} tile"
     );
     let out_tiles = u64::from(shape.m / TILE_M) * u64::from(shape.n / TILE_N);
@@ -113,21 +115,21 @@ pub fn build(config: &GpuConfig, shape: GemmShape, use_dma: bool) -> Kernel {
                     let slice = copy_bytes_per_warp * warp_index;
                     for i in 0..copy_loads {
                         let offset = slice + i * u64::from(lanes) * 4;
-                        b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+                        b.op(WarpOp::Alu {
+                            rf_reads: 2,
+                            rf_writes: 1,
+                        });
                         b.op(WarpOp::LoadGlobal {
                             access: LaneAccess::contiguous_words(
-                                AddrExpr::streaming(
-                                    GLOBAL_A + offset,
-                                    a_tile_bytes + b_tile_bytes,
-                                ),
+                                AddrExpr::streaming(GLOBAL_A + offset, a_tile_bytes + b_tile_bytes),
                                 lanes,
                             ),
                         });
                     }
                     b.op(WarpOp::WaitLoads);
                     for i in 0..copy_loads {
-                        let offset = (slice + i * u64::from(lanes) * 4)
-                            % (a_tile_bytes + b_tile_bytes);
+                        let offset =
+                            (slice + i * u64::from(lanes) * 4) % (a_tile_bytes + b_tile_bytes);
                         b.op(WarpOp::StoreShared {
                             access: LaneAccess::contiguous_words(
                                 AddrExpr::double_buffered(SMEM_A0 + offset, SMEM_A_STRIDE),
@@ -148,7 +150,10 @@ pub fn build(config: &GpuConfig, shape: GemmShape, use_dma: bool) -> Kernel {
                         b_frag_loads
                     };
                     for l in 0..loads {
-                        b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+                        b.op(WarpOp::Alu {
+                            rf_reads: 2,
+                            rf_writes: 1,
+                        });
                         let base = if l < a_frag_loads && wmma % 2 == 0 {
                             SMEM_A0 + u64::from(warp_index as u32 % 8) * 512
                         } else {
@@ -181,11 +186,15 @@ pub fn build(config: &GpuConfig, shape: GemmShape, use_dma: bool) -> Kernel {
             let c_words = 8 * 16;
             let c_stores = c_words / lanes;
             for s in 0..c_stores {
-                b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+                b.op(WarpOp::Alu {
+                    rf_reads: 2,
+                    rf_writes: 1,
+                });
                 b.op(WarpOp::StoreGlobal {
                     access: LaneAccess::contiguous_words(
                         AddrExpr::streaming(
-                            GLOBAL_C + warp_index * u64::from(c_words) * 4
+                            GLOBAL_C
+                                + warp_index * u64::from(c_words) * 4
                                 + u64::from(s * lanes * 4),
                             u64::from(TILE_M) * u64::from(TILE_N) * 4,
                         ),
@@ -233,7 +242,7 @@ mod tests {
                 WarpOp::LoadGlobal { .. } => global_loads += 1,
                 WarpOp::HmmaStep { .. } => hmma += 1,
                 WarpOp::MmioWrite { .. } => dma += 1,
-            _ => {}
+                _ => {}
             }
         }
         assert!(global_loads > 0, "Volta-style copies with SIMT loads");
@@ -284,6 +293,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "not divisible")]
     fn indivisible_shape_is_rejected() {
-        let _ = build(&GpuConfig::volta_style(), GemmShape { m: 100, n: 128, k: 32 }, false);
+        let _ = build(
+            &GpuConfig::volta_style(),
+            GemmShape {
+                m: 100,
+                n: 128,
+                k: 32,
+            },
+            false,
+        );
     }
 }

@@ -41,7 +41,9 @@ const SMEM_B_STRIDE: u64 = 0x2000; // 8 KiB per B buffer (32×128 fp16)
 /// Panics if the shape is not divisible by the 64×128×32 thread-block tile.
 pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     assert!(
-        shape.m % TILE_M == 0 && shape.n % TILE_N == 0 && shape.k % TILE_K == 0,
+        shape.m.is_multiple_of(TILE_M)
+            && shape.n.is_multiple_of(TILE_N)
+            && shape.k.is_multiple_of(TILE_K),
         "GEMM shape {shape} not divisible by the {TILE_M}x{TILE_N}x{TILE_K} tile"
     );
     let out_tiles = u64::from(shape.m / TILE_M) * u64::from(shape.n / TILE_N);
@@ -96,14 +98,22 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
                 // its slice of the shared-memory tiles, then waits for the
                 // group to drain before reusing the buffer.
                 b.repeat(tiles_per_warp, |b| {
-                    b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
-                    b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+                    b.op(WarpOp::Alu {
+                        rf_reads: 2,
+                        rf_writes: 1,
+                    });
+                    b.op(WarpOp::Alu {
+                        rf_reads: 2,
+                        rf_writes: 1,
+                    });
                     let a_slice = SMEM_A0
                         + (warp_index % u64::from(TILE_M / WGMMA.0))
-                            * u64::from(WGMMA.0 * TILE_K) * elem;
+                            * u64::from(WGMMA.0 * TILE_K)
+                            * elem;
                     let b_slice = SMEM_B0
                         + (warp_index / u64::from(TILE_M / WGMMA.0))
-                            * u64::from(WGMMA.1 * TILE_K) * elem;
+                            * u64::from(WGMMA.1 * TILE_K)
+                            * elem;
                     b.op(WarpOp::WgmmaInit(WgmmaOp {
                         a: AddrExpr::double_buffered(a_slice, SMEM_A_STRIDE),
                         b: AddrExpr::double_buffered(b_slice, SMEM_B_STRIDE),
@@ -122,11 +132,16 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
             let c_words = u64::from(WGMMA.0) * u64::from(WGMMA.1) * tiles_per_warp;
             let c_stores = (c_words / u64::from(lanes)) as u32;
             for s in 0..c_stores {
-                b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+                b.op(WarpOp::Alu {
+                    rf_reads: 2,
+                    rf_writes: 1,
+                });
                 b.op(WarpOp::StoreGlobal {
                     access: LaneAccess::contiguous_words(
                         AddrExpr::streaming(
-                            GLOBAL_C + warp_index * c_words * 4 + u64::from(s) * u64::from(lanes) * 4,
+                            GLOBAL_C
+                                + warp_index * c_words * 4
+                                + u64::from(s) * u64::from(lanes) * 4,
                             u64::from(TILE_M) * u64::from(TILE_N) * 4,
                         ),
                         lanes,
@@ -199,9 +214,8 @@ mod tests {
     fn instruction_count_sits_between_virgo_and_volta() {
         let shape = GemmShape::square(256);
         let hopper = build(&GpuConfig::hopper_style(), shape).dynamic_instructions();
-        let volta =
-            super::super::coupled::build(&GpuConfig::volta_style(), shape, false)
-                .dynamic_instructions();
+        let volta = super::super::coupled::build(&GpuConfig::volta_style(), shape, false)
+            .dynamic_instructions();
         let virgo = super::super::virgo::build(&GpuConfig::virgo(), shape).dynamic_instructions();
         assert!(virgo < hopper, "virgo {virgo} < hopper {hopper}");
         assert!(hopper < volta, "hopper {hopper} < volta {volta}");

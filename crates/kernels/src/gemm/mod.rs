@@ -76,10 +76,7 @@ mod tests {
     #[test]
     fn warp_counts_match_cluster_shape() {
         let shape = GemmShape::square(256);
-        assert_eq!(
-            build_gemm(&GpuConfig::volta_style(), shape).warps.len(),
-            64
-        );
+        assert_eq!(build_gemm(&GpuConfig::volta_style(), shape).warps.len(), 64);
         assert_eq!(
             build_gemm(&GpuConfig::hopper_style(), shape).warps.len(),
             32

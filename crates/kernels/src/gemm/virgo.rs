@@ -39,7 +39,9 @@ const SMEM_B_STRIDE: u64 = 0x4000; // 16 KiB per B buffer
 /// Panics if the shape is not divisible by the 128×64×128 thread-block tile.
 pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     assert!(
-        shape.m % TILE_M == 0 && shape.n % TILE_N == 0 && shape.k % TILE_K == 0,
+        shape.m.is_multiple_of(TILE_M)
+            && shape.n.is_multiple_of(TILE_N)
+            && shape.k.is_multiple_of(TILE_K),
         "GEMM shape {shape} not divisible by the {TILE_M}x{TILE_N}x{TILE_K} tile"
     );
     let tiles_m = u64::from(shape.m / TILE_M);
@@ -100,7 +102,10 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     let mut orch = ProgramBuilder::new();
     orch.repeat(out_tiles, |b| {
         // Prologue: fetch the first K-tile of A and B.
-        b.op(WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+        b.op(WarpOp::Alu {
+            rf_reads: 2,
+            rf_writes: 1,
+        });
         b.op(mmio(dma_a(a_tile_bytes)));
         b.op(mmio(dma_b(b_tile_bytes)));
         b.op(WarpOp::FenceAsync { max_outstanding: 0 });
@@ -142,7 +147,7 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     // ---- Follower warps ----------------------------------------------------
     // Followers join the per-K-iteration barrier (issued `kt - 1` times per
     // output tile for kt > 1) and the per-tile epilogue barrier.
-    let inner_barriers = if kt > 1 { kt - 1 } else { 0 };
+    let inner_barriers = kt.saturating_sub(1);
     let mut foll = ProgramBuilder::new();
     foll.repeat(out_tiles, |b| {
         b.repeat(inner_barriers, |b| {
@@ -189,7 +194,11 @@ mod tests {
         let mut cursor = orchestrator.cursor();
         let mut count = 0;
         while let Some((_, op)) = cursor.next_op() {
-            if let WarpOp::MmioWrite { device: DeviceId::MatrixUnit(_), .. } = op {
+            if let WarpOp::MmioWrite {
+                device: DeviceId::MatrixUnit(_),
+                ..
+            } = op
+            {
                 count += 1;
             }
         }
@@ -199,7 +208,11 @@ mod tests {
     #[test]
     fn single_k_iteration_shape_is_supported() {
         let config = GpuConfig::virgo();
-        let shape = GemmShape { m: 128, n: 64, k: 128 };
+        let shape = GemmShape {
+            m: 128,
+            n: 64,
+            k: 128,
+        };
         let kernel = build(&config, shape);
         assert!(kernel.dynamic_instructions() > 0);
     }
@@ -207,6 +220,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "not divisible")]
     fn indivisible_shape_is_rejected() {
-        let _ = build(&GpuConfig::virgo(), GemmShape { m: 100, n: 64, k: 128 });
+        let _ = build(
+            &GpuConfig::virgo(),
+            GemmShape {
+                m: 100,
+                n: 64,
+                k: 128,
+            },
+        );
     }
 }

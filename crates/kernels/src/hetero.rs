@@ -37,7 +37,9 @@ struct UnitPlan {
 fn orchestrate(plan: &UnitPlan, dtype: DataType) -> Arc<virgo_isa::Program> {
     let (tm, tn, tk) = plan.tile;
     assert!(
-        plan.shape.m % tm == 0 && plan.shape.n % tn == 0 && plan.shape.k % tk == 0,
+        plan.shape.m.is_multiple_of(tm)
+            && plan.shape.n.is_multiple_of(tn)
+            && plan.shape.k.is_multiple_of(tk),
         "GEMM {} not divisible by tile {tm}x{tn}x{tk}",
         plan.shape
     );
@@ -173,7 +175,11 @@ mod tests {
         for warp in &kernel.warps {
             let mut cursor = warp.program.cursor();
             while let Some((_, op)) = cursor.next_op() {
-                if let WarpOp::MmioWrite { device: DeviceId::MatrixUnit(i), .. } = op {
+                if let WarpOp::MmioWrite {
+                    device: DeviceId::MatrixUnit(i),
+                    ..
+                } = op
+                {
                     devices.push(i);
                 }
             }

@@ -70,8 +70,7 @@ impl AttentionShape {
 
     /// Multiply-accumulates in the two GEMMs of one head (`Q·Kᵀ` and `P·V`).
     pub const fn gemm_mac_ops(&self) -> u64 {
-        let per_head =
-            2 * self.seq_len as u64 * self.seq_len as u64 * self.head_dim as u64;
+        let per_head = 2 * self.seq_len as u64 * self.seq_len as u64 * self.head_dim as u64;
         per_head * self.heads as u64 * self.batch as u64
     }
 }

@@ -9,7 +9,7 @@
 //! `virgo_fence` can track outstanding asynchronous operations.
 
 use virgo_isa::MemRegion;
-use virgo_sim::{BoundedQueue, Cycle};
+use virgo_sim::{BoundedQueue, Cycle, NextActivity};
 
 use crate::accmem::AccumulatorMemory;
 use crate::global::GlobalMemory;
@@ -151,6 +151,20 @@ impl DmaEngine {
         completed
     }
 
+    /// Bulk-accounts `cycles` skipped ticks during which the engine is known
+    /// to keep streaming its active transfer.
+    ///
+    /// The naive loop increments `busy_cycles` once per tick while a transfer
+    /// is active; when the fast-forward driver skips a quiescent window it
+    /// calls this instead so the statistics stay bit-identical. The caller
+    /// guarantees (via [`NextActivity`]) that the window ends no later than
+    /// the active transfer's completion cycle.
+    pub fn fast_forward(&mut self, cycles: u64) {
+        if self.active.is_some() {
+            self.stats.busy_cycles += cycles;
+        }
+    }
+
     /// Computes when a transfer started at `now` completes, reserving the
     /// memory resources it uses.
     fn schedule(
@@ -189,6 +203,20 @@ impl DmaEngine {
             done = done.max(endpoint_done);
         }
         done
+    }
+}
+
+impl NextActivity for DmaEngine {
+    /// The engine next acts when its in-flight transfer completes, or
+    /// immediately if a queued transfer is waiting to start. Ticks before the
+    /// active transfer's completion only increment `busy_cycles`, which
+    /// [`DmaEngine::fast_forward`] replays in bulk.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        match &self.active {
+            Some((_, done)) => Some((*done).max(now)),
+            None if !self.queue.is_empty() => Some(now),
+            None => None,
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! A bandwidth- and latency-limited DRAM model.
 
-use virgo_sim::Cycle;
+use virgo_sim::{Cycle, NextActivity};
 
 /// Configuration of the DRAM interface.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,6 +114,15 @@ impl DramModel {
         self.stats.bytes += rounded;
         self.stats.bursts += bursts;
         done
+    }
+}
+
+impl NextActivity for DramModel {
+    /// The DRAM channel is purely reactive: `busy_until` shapes the latency
+    /// of *future* requests but nothing happens when the channel drains, so
+    /// it contributes no self-driven events.
+    fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 }
 

@@ -1,6 +1,6 @@
 //! The global memory hierarchy: per-core L1 caches, shared L2, DRAM.
 
-use virgo_sim::Cycle;
+use virgo_sim::{Cycle, NextActivity};
 
 use crate::cache::{Cache, CacheConfig};
 use crate::dram::{DramConfig, DramModel, DramStats};
@@ -123,8 +123,9 @@ impl GlobalMemory {
             return now.plus(l1_latency + l2_latency);
         }
         self.stats.l2_misses += 1;
-        let dram_done = self.dram.access(now.plus(l1_latency + l2_latency), bytes, write);
-        dram_done
+
+        self.dram
+            .access(now.plus(l1_latency + l2_latency), bytes, write)
     }
 
     /// Serves a bulk DMA transfer that bypasses the L1 caches and streams
@@ -155,12 +156,23 @@ impl GlobalMemory {
 
     /// L1 hit rate of one core, for reports and tests.
     pub fn l1_hit_rate(&self, core: usize) -> f64 {
-        self.l1.get(core).map(|c| c.stats().hit_rate()).unwrap_or(0.0)
+        self.l1
+            .get(core)
+            .map(|c| c.stats().hit_rate())
+            .unwrap_or(0.0)
     }
 
     /// L2 hit rate.
     pub fn l2_hit_rate(&self) -> f64 {
         self.l2.stats().hit_rate()
+    }
+}
+
+impl NextActivity for GlobalMemory {
+    /// The cache hierarchy and DRAM behind it are purely reactive and
+    /// contribute no self-driven events.
+    fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 }
 

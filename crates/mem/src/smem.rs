@@ -16,7 +16,7 @@
 //! latency/occupancy approach and keeps the counters needed for the Table 4
 //! footprint comparison and the shared-memory energy numbers.
 
-use virgo_sim::Cycle;
+use virgo_sim::{Cycle, NextActivity};
 
 /// Configuration of the shared memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,7 +134,10 @@ impl SharedMemory {
     /// Panics if the configuration has zero banks or subbanks.
     pub fn new(config: SmemConfig) -> Self {
         assert!(config.banks > 0, "shared memory needs at least one bank");
-        assert!(config.subbanks > 0, "shared memory needs at least one subbank");
+        assert!(
+            config.subbanks > 0,
+            "shared memory needs at least one subbank"
+        );
         SharedMemory {
             config,
             bank_busy_until: vec![Cycle::ZERO; config.banks as usize],
@@ -196,7 +199,11 @@ impl SharedMemory {
         // Conflict-free case: each subbank serves one word per cycle, so the
         // extra cycles are the worst-case subbank queue depth minus one, plus
         // one cycle per serialized unaligned access.
-        let max_depth = per_subbank.iter().map(|v| v.len() as u64).max().unwrap_or(0);
+        let max_depth = per_subbank
+            .iter()
+            .map(|v| v.len() as u64)
+            .max()
+            .unwrap_or(0);
         let conflict_cycles = max_depth.saturating_sub(1) + unaligned;
 
         // The access occupies every bank it touches.
@@ -265,6 +272,15 @@ impl SharedMemory {
     /// unit FSM to pace its streaming.
     pub fn bank_free_at(&self, bank: usize) -> Cycle {
         self.bank_busy_until[bank]
+    }
+}
+
+impl NextActivity for SharedMemory {
+    /// The shared memory is purely reactive: its banks serve requests from
+    /// cores, tensor units and the DMA engine but never initiate work, so it
+    /// contributes no self-driven events to the fast-forward horizon.
+    fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 }
 
@@ -344,7 +360,10 @@ mod tests {
         s.access_wide(Cycle::new(0), 0, 128, false); // occupies bank 0 for 4 cycles
         let addrs: Vec<u64> = (0..8).map(|i| i * 4).collect();
         let a = s.access_simt(Cycle::new(0), &addrs, false);
-        assert!(a.done.get() > 3, "SIMT access must wait for the wide access");
+        assert!(
+            a.done.get() > 3,
+            "SIMT access must wait for the wide access"
+        );
     }
 
     #[test]
@@ -357,7 +376,7 @@ mod tests {
     }
 
     #[test]
-    fn read_footprint_accumulates_bytes(){
+    fn read_footprint_accumulates_bytes() {
         let mut s = smem();
         s.access_wide(Cycle::new(0), 0, 256, false);
         s.access_wide(Cycle::new(0), 0, 256, true);

@@ -1,0 +1,108 @@
+//! The [`NextActivity`] trait behind the simulator's cycle-skipping
+//! fast-forward engine.
+//!
+//! The simulator is cycle stepped: the driver calls `tick` on every timed
+//! component once per cycle. Most of those ticks do nothing — warps are
+//! blocked on fixed-latency DRAM, DMA or matrix-unit operations, and the only
+//! per-cycle effect is stall/idle accounting. [`NextActivity`] lets each
+//! component report the earliest *future* cycle at which its externally
+//! visible state can change, so the driver can jump over the quiescent region
+//! in one step (bulk-incrementing the per-cycle counters) instead of ticking
+//! through it.
+//!
+//! # Soundness contract
+//!
+//! For the fast-forward to stay **bit-identical** to the naive one-cycle loop,
+//! an implementation must obey two rules:
+//!
+//! 1. **No early activity.** If `next_activity(now)` returns `Some(t)`, then
+//!    ticking the component at any cycle `c` with `now <= c < t` must have no
+//!    effect beyond time-uniform per-cycle accounting (counters that increment
+//!    by exactly one every cycle regardless of the cycle number, e.g. a DMA
+//!    engine's `busy_cycles`). Those counters are replayed in bulk by the
+//!    component's `fast_forward` hook.
+//! 2. **Conservatism is fine; optimism is not.** Returning `Some(now)` (or any
+//!    cycle earlier than the true next event) merely costs performance — the
+//!    driver falls back to ticking. Returning a cycle *later* than the true
+//!    next event would skip real work and is a correctness bug.
+//!
+//! `None` means the component will never act again on its own: it is drained
+//! and can only be re-activated by someone else submitting work to it.
+//!
+//! Purely reactive components (SRAMs, caches, DRAM channels) have no
+//! self-driven activity at all — their state only changes when an active
+//! component issues a request — so they implement this trait by returning
+//! `None` unconditionally.
+
+use crate::cycle::Cycle;
+
+/// A timed component that can report the next cycle at which it has work to
+/// do. See the [module documentation](self) for the soundness contract.
+pub trait NextActivity {
+    /// The earliest cycle `>= now` at which ticking this component can change
+    /// its externally visible state, or `None` if the component is drained
+    /// and will never act again without new work being submitted.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle>;
+}
+
+/// Combines two optional event times, keeping the earlier one.
+///
+/// The identity element is `None` ("no self-driven activity"), so aggregates
+/// can fold component results with this function.
+///
+/// # Example
+///
+/// ```
+/// use virgo_sim::{earliest, Cycle};
+///
+/// let a = Some(Cycle::new(10));
+/// let b = Some(Cycle::new(7));
+/// assert_eq!(earliest(a, b), Some(Cycle::new(7)));
+/// assert_eq!(earliest(a, None), a);
+/// assert_eq!(earliest(None, None), None);
+/// ```
+#[must_use]
+pub fn earliest(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedEvent(Option<Cycle>);
+
+    impl NextActivity for FixedEvent {
+        fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+            self.0
+        }
+    }
+
+    #[test]
+    fn earliest_prefers_the_smaller_event() {
+        assert_eq!(
+            earliest(Some(Cycle::new(5)), Some(Cycle::new(3))),
+            Some(Cycle::new(3))
+        );
+        assert_eq!(earliest(None, Some(Cycle::new(3))), Some(Cycle::new(3)));
+        assert_eq!(earliest(Some(Cycle::new(5)), None), Some(Cycle::new(5)));
+        assert_eq!(earliest(None, None), None);
+    }
+
+    #[test]
+    fn earliest_folds_over_components() {
+        let components = [
+            FixedEvent(None),
+            FixedEvent(Some(Cycle::new(40))),
+            FixedEvent(Some(Cycle::new(12))),
+        ];
+        let next = components
+            .iter()
+            .fold(None, |acc, c| earliest(acc, c.next_activity(Cycle::ZERO)));
+        assert_eq!(next, Some(Cycle::new(12)));
+    }
+}

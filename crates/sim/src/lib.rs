@@ -11,10 +11,16 @@
 //! * [`rng`] — a tiny deterministic pseudo-random generator used where the
 //!   model needs arbitrary-but-reproducible choices.
 //!
+//! * [`activity`] — the [`NextActivity`] trait behind the cycle-skipping
+//!   fast-forward engine.
+//!
 //! The whole simulator is *cycle stepped*: every hardware component exposes a
 //! `tick`-style method that advances it by one clock cycle. There is no global
 //! event queue and no wall-clock dependence, so simulations are exactly
-//! reproducible.
+//! reproducible. On top of the tick interface, components report the earliest
+//! future cycle at which they can act via [`NextActivity`], which lets the
+//! driver skip quiescent regions wholesale without changing any observable
+//! statistic (see the [`activity`] module for the soundness contract).
 //!
 //! # Example
 //!
@@ -30,11 +36,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod activity;
 pub mod cycle;
 pub mod pipe;
 pub mod rng;
 pub mod stats;
 
+pub use activity::{earliest, NextActivity};
 pub use cycle::{Cycle, Frequency};
 pub use pipe::{BoundedQueue, DelayPipe};
 pub use rng::SplitMix64;

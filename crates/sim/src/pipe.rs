@@ -60,7 +60,7 @@ impl<T> DelayPipe<T> {
     pub fn push_with_latency(&mut self, now: Cycle, latency: u64, item: T) {
         let ready = now.plus(latency);
         debug_assert!(
-            self.entries.back().map_or(true, |(r, _)| *r <= ready),
+            self.entries.back().is_none_or(|(r, _)| *r <= ready),
             "DelayPipe entries must be pushed in non-decreasing ready order"
         );
         self.entries.push_back((ready, item));
@@ -85,7 +85,7 @@ impl<T> DelayPipe<T> {
     }
 
     fn front_ready(&self, now: Cycle) -> bool {
-        self.entries.front().map_or(false, |(ready, _)| *ready <= now)
+        self.entries.front().is_some_and(|(ready, _)| *ready <= now)
     }
 
     /// Number of in-flight items (ready or not).

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use virgo_isa::{LaneAccess, Program, WarpOp};
-use virgo_sim::Cycle;
+use virgo_sim::{earliest, Cycle};
 
 use crate::config::CoreConfig;
 use crate::port::ClusterPort;
@@ -98,6 +98,106 @@ impl SimtCore {
             self.stats.stall_cycles += 1;
         } else {
             self.stats.idle_cycles += 1;
+        }
+    }
+
+    /// Reports the earliest cycle `>= now` at which ticking this core can do
+    /// anything beyond time-uniform stall/idle accounting, or `None` when the
+    /// core will never act again on its own (all warps finished, or blocked
+    /// on conditions only *other* agents can satisfy).
+    ///
+    /// This is the core-side half of the fast-forward engine's soundness
+    /// argument (see `virgo_sim::activity`):
+    ///
+    /// * A warp that could attempt to issue pins the horizon to `now` —
+    ///   conservatively, since the attempt may still fail on a structural
+    ///   hazard whose retry-per-cycle behavior must be replayed faithfully.
+    /// * A warp waiting on outstanding loads contributes the completion cycle
+    ///   of its earliest load: retiring a load is the only time-driven event
+    ///   that can change the warp's state or the core's stall classification.
+    /// * A warp blocked on a barrier, tensor-unit drain or fence contributes
+    ///   `now` if the condition is already satisfied (it unblocks on the next
+    ///   tick) and nothing otherwise — progress on those conditions comes
+    ///   from other cores or cluster devices, which report it themselves.
+    ///
+    /// Takes `&mut self` because inspecting the next operation may fetch it
+    /// from the program cursor, exactly as the issue stage would.
+    pub fn next_activity(&mut self, now: Cycle, port: &dyn ClusterPort) -> Option<Cycle> {
+        let core_id = self.core_id;
+        let mut next: Option<Cycle> = None;
+        for warp in &mut self.warps {
+            if warp.is_finished() {
+                continue;
+            }
+            match warp.block_reason() {
+                None => {
+                    if warp.peek().is_some() {
+                        return Some(now);
+                    }
+                    // Program drained, but loads are still in flight: the
+                    // warp finishes (and the core's stall classification can
+                    // change) only when they retire.
+                    next = earliest(next, warp.earliest_load_done().map(|c| c.max(now)));
+                }
+                Some(BlockReason::Loads) => {
+                    if warp.loads_in_flight() == 0 {
+                        return Some(now);
+                    }
+                    next = earliest(next, warp.earliest_load_done().map(|c| c.max(now)));
+                }
+                Some(BlockReason::Barrier { id, ticket }) => {
+                    if port.barrier_passed(id, ticket) {
+                        return Some(now);
+                    }
+                }
+                Some(BlockReason::WgmmaDrain) => {
+                    if port.wgmma_pending(core_id) == 0 {
+                        return Some(now);
+                    }
+                }
+                Some(BlockReason::Fence { max_outstanding }) => {
+                    if port.async_outstanding() <= max_outstanding {
+                        return Some(now);
+                    }
+                }
+            }
+        }
+        next
+    }
+
+    /// Bulk-replays `cycles` ticks of a quiescent window starting at `from`,
+    /// during which the caller guarantees (via [`SimtCore::next_activity`])
+    /// that no warp can issue, unblock, or retire a load.
+    ///
+    /// Produces statistics bit-identical to ticking the core `cycles` times:
+    /// total cycles, the stall/idle classification (which is constant across
+    /// the window because no warp's runnability can change), fence wait
+    /// cycles, and the rate-limited fence poll instructions.
+    pub fn fast_forward(&mut self, from: Cycle, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        self.stats.total_cycles += cycles;
+        if self.warps.is_empty() {
+            self.stats.idle_cycles += cycles;
+            return;
+        }
+        let mut fence_waiting = false;
+        let interval = self.config.fence_poll_interval;
+        for warp in &mut self.warps {
+            if let Some(BlockReason::Fence { .. }) = warp.block_reason() {
+                fence_waiting = true;
+                self.stats.fence_poll_instrs +=
+                    warp.fast_forward_fence_polls(from, cycles, interval);
+            }
+        }
+        if fence_waiting {
+            self.stats.fence_wait_cycles += cycles;
+        }
+        if self.warps.iter().any(WarpContext::is_runnable) {
+            self.stats.stall_cycles += cycles;
+        } else {
+            self.stats.idle_cycles += cycles;
         }
     }
 
@@ -235,8 +335,7 @@ impl SimtCore {
                 }
                 WarpOp::LoadGlobal { access } | WarpOp::LoadShared { access } => {
                     if lsu_slots == 0
-                        || self.warps[current].loads_in_flight()
-                            >= self.config.lsq_entries as usize
+                        || self.warps[current].loads_in_flight() >= self.config.lsq_entries as usize
                     {
                         false
                     } else {
@@ -326,7 +425,11 @@ impl SimtCore {
     /// Updates per-instruction statistics after a successful issue.
     fn account_issue(&mut self, op: &WarpOp) {
         self.stats.instrs_issued += 1;
-        if self.stats.instrs_issued % u64::from(self.config.instrs_per_icache_access.max(1)) == 0 {
+        if self
+            .stats
+            .instrs_issued
+            .is_multiple_of(u64::from(self.config.instrs_per_icache_access.max(1)))
+        {
             self.stats.icache_accesses += 1;
         }
         let lanes = u64::from(self.config.lanes);
@@ -436,12 +539,21 @@ mod tests {
     #[test]
     fn issues_alu_instructions_one_per_cycle() {
         let mut core = core_with_program(|b| {
-            b.op_n(10, WarpOp::Alu { rf_reads: 2, rf_writes: 1 });
+            b.op_n(
+                10,
+                WarpOp::Alu {
+                    rf_reads: 2,
+                    rf_writes: 1,
+                },
+            );
         });
         let mut port = FakePort::default();
         let cycles = run(&mut core, &mut port, 1000);
         assert_eq!(core.stats().instrs_issued, 10);
-        assert!(cycles >= 10, "single-issue core needs >= 10 cycles, took {cycles}");
+        assert!(
+            cycles >= 10,
+            "single-issue core needs >= 10 cycles, took {cycles}"
+        );
         assert_eq!(core.stats().alu_lane_ops, 10 * 8);
         assert_eq!(core.stats().rf_reads, 10 * 2 * 8);
         assert_eq!(core.stats().rf_writes, 10 * 8);
@@ -453,14 +565,20 @@ mod tests {
         let mut core = core_with_program(|b| {
             b.op(WarpOp::LoadShared { access });
             b.op(WarpOp::WaitLoads);
-            b.op(WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+            b.op(WarpOp::Alu {
+                rf_reads: 1,
+                rf_writes: 1,
+            });
         });
         let mut port = FakePort {
             mem_latency: 50,
             ..Default::default()
         };
         let cycles = run(&mut core, &mut port, 1000);
-        assert!(cycles >= 50, "ALU must wait for the 50-cycle load, took {cycles}");
+        assert!(
+            cycles >= 50,
+            "ALU must wait for the 50-cycle load, took {cycles}"
+        );
         assert_eq!(port.shared_calls, 1);
         assert_eq!(core.stats().instrs_issued, 2);
     }
@@ -473,7 +591,10 @@ mod tests {
             b.repeat(4, |b| {
                 b.op(WarpOp::LoadShared { access });
                 b.op(WarpOp::WaitLoads);
-                b.op(WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+                b.op(WarpOp::Alu {
+                    rf_reads: 1,
+                    rf_writes: 1,
+                });
             });
             Arc::new(b.build())
         };
@@ -502,7 +623,11 @@ mod tests {
     #[test]
     fn hmma_structural_hazard_stalls_warp() {
         let mut core = core_with_program(|b| {
-            b.op(WarpOp::HmmaStep { macs: 64, rf_reads: 4, rf_writes: 2 });
+            b.op(WarpOp::HmmaStep {
+                macs: 64,
+                rf_reads: 4,
+                rf_writes: 2,
+            });
         });
         let mut port = FakePort {
             hmma_busy: true,
@@ -603,7 +728,10 @@ mod tests {
             1024,
         ));
         let mut core = core_with_program(|b| {
-            b.op(WarpOp::MmioWrite { device: DeviceId::DMA0, cmd });
+            b.op(WarpOp::MmioWrite {
+                device: DeviceId::DMA0,
+                cmd,
+            });
         });
         let mut port = FakePort::default();
         run(&mut core, &mut port, 100);

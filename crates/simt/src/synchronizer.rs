@@ -85,7 +85,7 @@ impl ClusterSynchronizer {
     pub fn passed(&self, id: u8, ticket: u64) -> bool {
         self.barriers
             .get(&id)
-            .map_or(false, |state| state.generation > ticket)
+            .is_some_and(|state| state.generation > ticket)
     }
 
     /// Total arrival events observed (for energy accounting).

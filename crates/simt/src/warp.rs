@@ -105,6 +105,12 @@ impl WarpContext {
         self.outstanding_loads.len()
     }
 
+    /// Completion cycle of the earliest outstanding load, if any — the next
+    /// cycle at which [`WarpContext::retire_loads`] can retire something.
+    pub fn earliest_load_done(&self) -> Option<Cycle> {
+        self.outstanding_loads.iter().copied().min()
+    }
+
     /// Marks the warp blocked for `reason`.
     pub fn block(&mut self, reason: BlockReason) {
         self.block = Some(reason);
@@ -143,6 +149,27 @@ impl WarpContext {
         } else {
             false
         }
+    }
+
+    /// Replays, in closed form, the fence polls that [`WarpContext::fence_poll_due`]
+    /// would have recorded over the window of `cycles` ticks starting at
+    /// `from` (during which the warp is known to stay fence-blocked), and
+    /// returns how many polls were charged.
+    ///
+    /// Used by the fast-forward engine: the naive loop calls `fence_poll_due`
+    /// once per tick at `from, from + 1, ..., from + cycles - 1`; this method
+    /// produces the identical poll count and leaves the poll timestamp
+    /// exactly where the per-tick sequence would have left it.
+    pub fn fast_forward_fence_polls(&mut self, from: Cycle, cycles: u64, interval: u32) -> u64 {
+        let step = u64::from(interval.max(1));
+        let first = (self.last_fence_poll.get() + step).max(from.get());
+        let end = from.get() + cycles; // exclusive
+        if first >= end {
+            return 0;
+        }
+        let count = (end - 1 - first) / step + 1;
+        self.last_fence_poll = Cycle::new(first + (count - 1) * step);
+        count
     }
 }
 

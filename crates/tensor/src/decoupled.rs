@@ -13,7 +13,7 @@
 
 use virgo_isa::WgmmaOp;
 use virgo_mem::SharedMemory;
-use virgo_sim::{BoundedQueue, Cycle};
+use virgo_sim::{BoundedQueue, Cycle, NextActivity};
 
 /// Configuration of one operand-decoupled tensor core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,8 +157,11 @@ impl OperandDecoupledUnit {
 
         // Launch the execute backend once operands have arrived.
         if active.done.is_none() && now >= active.operands_ready {
-            let compute_cycles =
-                active.op.mac_ops().div_ceil(u64::from(self.config.macs_per_cycle)).max(1);
+            let compute_cycles = active
+                .op
+                .mac_ops()
+                .div_ceil(u64::from(self.config.macs_per_cycle))
+                .max(1);
             active.done = Some(now.plus(compute_cycles));
             self.stats.busy_cycles += compute_cycles;
         }
@@ -212,6 +215,25 @@ impl OperandDecoupledUnit {
         self.stats.rf_accum_reads += accum_words;
         self.stats.rf_accum_writes += accum_words;
         self.stats.control_events += 1;
+    }
+}
+
+impl NextActivity for OperandDecoupledUnit {
+    /// Between its access/execute milestones the unit's tick is a no-op: all
+    /// operand reads are issued when an operation starts, and the backend
+    /// state only changes when the operands arrive (`operands_ready`) and
+    /// when the compute finishes (`done`). Those milestones — plus `now`
+    /// itself when a queued operation is waiting to start — are the unit's
+    /// next-activity events.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        match &self.active {
+            Some(active) => match active.done {
+                Some(done) => Some(done.max(now)),
+                None => Some(active.operands_ready.max(now)),
+            },
+            None if !self.queue.is_empty() => Some(now),
+            None => None,
+        }
     }
 }
 

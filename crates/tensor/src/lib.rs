@@ -22,4 +22,4 @@ pub mod decoupled;
 pub mod tightly;
 
 pub use decoupled::{DecoupledConfig, DecoupledStats, OperandDecoupledUnit};
-pub use tightly::{TightlyCoupledStats, TightlyCoupledUnit, TightlyCoupledConfig};
+pub use tightly::{TightlyCoupledConfig, TightlyCoupledStats, TightlyCoupledUnit};

@@ -9,7 +9,7 @@
 //! (Raihan et al., ISPASS'19): one step occupies the unit for
 //! `macs / macs_per_cycle` cycles (2 cycles in the Table 2 configuration).
 
-use virgo_sim::Cycle;
+use virgo_sim::{Cycle, NextActivity};
 
 /// Configuration of one tightly-coupled tensor core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +114,21 @@ impl TightlyCoupledUnit {
         self.stats.operand_buffer_words += u64::from(macs / 4);
         self.stats.result_buffer_words += u64::from(macs / 8);
         true
+    }
+}
+
+impl NextActivity for TightlyCoupledUnit {
+    /// The unit is driven synchronously by `HMMA` step instructions and has
+    /// no tick of its own; its only time-dependent state is the cycle at
+    /// which the current step releases the structural hazard. A core whose
+    /// warp is waiting on that hazard reports `now` itself, so this is
+    /// informational for aggregators rather than load-bearing.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_busy(now) {
+            Some(self.busy_until)
+        } else {
+            None
+        }
     }
 }
 

@@ -40,7 +40,14 @@ fn main() {
 
     print_table(
         &format!("Virgo systolic-array size sweep, GEMM {shape}"),
-        &["Array", "Peak MACs/cycle", "Cycles", "MAC util", "Power", "Energy"],
+        &[
+            "Array",
+            "Peak MACs/cycle",
+            "Cycles",
+            "MAC util",
+            "Power",
+            "Energy",
+        ],
         &rows,
     );
     println!("\nBecause the matrix unit is disaggregated from the SIMT cores, scaling the");

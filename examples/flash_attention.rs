@@ -47,7 +47,14 @@ fn main() {
     }
     print_table(
         &format!("FlashAttention-3 forward, {shape}"),
-        &["Design", "Cycles", "MAC util", "Power", "Energy", "Core energy"],
+        &[
+            "Design",
+            "Cycles",
+            "MAC util",
+            "Power",
+            "Energy",
+            "Core energy",
+        ],
         &rows,
     );
     println!("\nThe disaggregated matrix unit lets a single warp launch both GEMMs and then");

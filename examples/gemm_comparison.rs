@@ -31,11 +31,22 @@ fn main() {
         .collect();
     print_table(
         &format!("GEMM {shape}: design-point comparison"),
-        &["Design", "Cycles", "MAC util", "Instructions", "Power", "Energy"],
+        &[
+            "Design",
+            "Cycles",
+            "MAC util",
+            "Instructions",
+            "Power",
+            "Energy",
+        ],
         &rows,
     );
 
-    let virgo = &results.iter().find(|(d, _)| *d == DesignKind::Virgo).unwrap().1;
+    let virgo = &results
+        .iter()
+        .find(|(d, _)| *d == DesignKind::Virgo)
+        .unwrap()
+        .1;
     let ampere = &results
         .iter()
         .find(|(d, _)| *d == DesignKind::AmpereStyle)

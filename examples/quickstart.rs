@@ -28,7 +28,10 @@ fn main() {
     let report = gpu.run(&kernel, 100_000_000).expect("kernel completes");
 
     println!("cycles            : {}", report.cycles().get());
-    println!("runtime           : {:.3} ms", report.runtime_seconds() * 1e3);
+    println!(
+        "runtime           : {:.3} ms",
+        report.runtime_seconds() * 1e3
+    );
     println!("MAC utilization   : {}", report.mac_utilization());
     println!("instructions      : {}", report.instructions_retired());
     println!("active power      : {:.1} mW", report.active_power_mw());

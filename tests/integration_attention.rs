@@ -59,10 +59,16 @@ fn virgo_fence_polling_overhead_is_cheap() {
     let virgo = run(DesignKind::Virgo);
     let wait_fraction = virgo.fence_wait_cycles() as f64 / virgo.cycles().get() as f64;
     assert!(wait_fraction < 0.90, "fence wait fraction {wait_fraction}");
-    assert!(virgo.fence_poll_instructions() > 0, "fences must actually poll");
+    assert!(
+        virgo.fence_poll_instructions() > 0,
+        "fences must actually poll"
+    );
     let poll_fraction = virgo.fence_poll_instructions() as f64
         / (virgo.instructions_retired() + virgo.fence_poll_instructions()) as f64;
-    assert!(poll_fraction < 0.10, "poll instruction fraction {poll_fraction}");
+    assert!(
+        poll_fraction < 0.10,
+        "poll instruction fraction {poll_fraction}"
+    );
 }
 
 #[test]

@@ -1,11 +1,16 @@
 //! Cross-crate integration tests of the design-point configurations (Table 2,
-//! Figure 7) and property-based tests of the ISA program structures.
+//! Figure 7) and randomized property tests of the ISA program structures.
+//!
+//! The property tests draw their cases from the workspace's own
+//! deterministic [`SplitMix64`] generator (the environment has no registry
+//! access, so an external property-testing framework is not an option); every
+//! run exercises the same seeded case set, keeping failures reproducible.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use virgo::{DesignKind, GpuConfig};
 use virgo_energy::{AreaModel, Component};
 use virgo_isa::{ProgramBuilder, WarpOp};
+use virgo_sim::SplitMix64;
 
 #[test]
 fn every_design_exposes_256_fp16_macs_per_cluster() {
@@ -48,8 +53,14 @@ fn area_comparison_matches_figure7_shape() {
     let virgo = model.estimate(&GpuConfig::virgo().area_params());
 
     let ratio_volta = virgo.total_mm2() / volta.total_mm2();
-    assert!((0.9..1.1).contains(&ratio_volta), "virgo/volta area {ratio_volta}");
-    assert!(virgo.total_mm2() > hopper.total_mm2(), "Virgo has more cores than Hopper-style");
+    assert!(
+        (0.9..1.1).contains(&ratio_volta),
+        "virgo/volta area {ratio_volta}"
+    );
+    assert!(
+        virgo.total_mm2() > hopper.total_mm2(),
+        "Virgo has more cores than Hopper-style"
+    );
 
     let l1 = virgo.component_mm2(Component::L1Cache);
     let matrix = virgo.component_mm2(Component::MatrixUnit);
@@ -61,25 +72,35 @@ fn fp32_configurations_halve_matrix_throughput() {
     for design in [DesignKind::AmpereStyle, DesignKind::Virgo] {
         let fp16 = GpuConfig::for_design(design);
         let fp32 = fp16.to_fp32();
-        assert!(fp32.peak_macs_per_cycle() <= fp16.peak_macs_per_cycle() / 2, "{design}");
+        assert!(
+            fp32.peak_macs_per_cycle() <= fp16.peak_macs_per_cycle() / 2,
+            "{design}"
+        );
     }
 }
 
-proptest! {
-    /// The dynamic length computed statically always matches the number of
-    /// operations the cursor actually yields, for arbitrary loop structures.
-    #[test]
-    fn cursor_yields_exactly_dynamic_len(
-        outer in 0u64..6,
-        inner in 0u64..6,
-        pre_ops in 0u32..4,
-        body_ops in 0u32..4,
-        post_ops in 0u32..4,
-    ) {
+/// The dynamic length computed statically always matches the number of
+/// operations the cursor actually yields, for arbitrary loop structures.
+#[test]
+fn cursor_yields_exactly_dynamic_len() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for _ in 0..256 {
+        let outer = rng.next_below(6);
+        let inner = rng.next_below(6);
+        let pre_ops = rng.next_below(4) as u32;
+        let body_ops = rng.next_below(4) as u32;
+        let post_ops = rng.next_below(4) as u32;
+
         let mut builder = ProgramBuilder::new();
         builder.op_n(pre_ops, WarpOp::Nop);
         builder.repeat(outer, |b| {
-            b.op_n(body_ops, WarpOp::Alu { rf_reads: 1, rf_writes: 1 });
+            b.op_n(
+                body_ops,
+                WarpOp::Alu {
+                    rf_reads: 1,
+                    rf_writes: 1,
+                },
+            );
             b.repeat(inner, |b| {
                 b.op(WarpOp::Nop);
             });
@@ -91,39 +112,51 @@ proptest! {
         while cursor.next_op().is_some() {
             yielded += 1;
         }
-        prop_assert_eq!(yielded, program.dynamic_len());
-        let expected = u64::from(pre_ops)
-            + outer * (u64::from(body_ops) + inner)
-            + u64::from(post_ops);
-        prop_assert_eq!(yielded, expected);
+        assert_eq!(yielded, program.dynamic_len());
+        let expected =
+            u64::from(pre_ops) + outer * (u64::from(body_ops) + inner) + u64::from(post_ops);
+        assert_eq!(
+            yielded, expected,
+            "outer {outer} inner {inner} pre {pre_ops} body {body_ops} post {post_ops}"
+        );
     }
+}
 
-    /// Address expressions with a modulo never leave their buffer window.
-    #[test]
-    fn double_buffered_addresses_stay_in_two_buffers(
-        base in 0u64..1_000_000,
-        stride in 1u64..100_000,
-        exec in 0u64..10_000,
-    ) {
+/// Address expressions with a modulo never leave their buffer window.
+#[test]
+fn double_buffered_addresses_stay_in_two_buffers() {
+    let mut rng = SplitMix64::new(0xB0FFE7);
+    for _ in 0..512 {
+        let base = rng.next_below(1_000_000);
+        let stride = 1 + rng.next_below(99_999);
+        let exec = rng.next_below(10_000);
         let addr = virgo_isa::AddrExpr::double_buffered(base, stride);
         let value = addr.eval(exec);
-        prop_assert!(value == base || value == base + stride);
-        prop_assert_eq!(addr.eval(exec), addr.eval(exec + 2));
+        assert!(
+            value == base || value == base + stride,
+            "base {base} stride {stride} exec {exec} -> {value}"
+        );
+        assert_eq!(addr.eval(exec), addr.eval(exec + 2));
     }
+}
 
-    /// Coalescing never produces more line requests than lane accesses and
-    /// always covers every accessed byte.
-    #[test]
-    fn coalescer_output_is_bounded_and_covering(
-        addrs in proptest::collection::vec(0u64..65_536, 1..16),
-    ) {
+/// Coalescing never produces more line requests than lane accesses and
+/// always covers every accessed byte.
+#[test]
+fn coalescer_output_is_bounded_and_covering() {
+    let mut rng = SplitMix64::new(0x0A1E5CE);
+    for _ in 0..256 {
+        let len = 1 + rng.next_below(15) as usize;
+        let addrs: Vec<u64> = (0..len).map(|_| rng.next_below(65_536)).collect();
         let mut coalescer = virgo_mem::Coalescer::new(32);
         let lines = coalescer.coalesce(&addrs, 4);
-        prop_assert!(lines.len() <= addrs.len() * 2);
+        assert!(lines.len() <= addrs.len() * 2);
         for &addr in &addrs {
             let covered = lines.iter().any(|&line| addr >= line && addr < line + 32)
-                || lines.iter().any(|&line| addr + 3 >= line && addr + 3 < line + 32);
-            prop_assert!(covered, "address {addr} not covered");
+                || lines
+                    .iter()
+                    .any(|&line| addr + 3 >= line && addr + 3 < line + 32);
+            assert!(covered, "address {addr} not covered by {lines:?}");
         }
     }
 }

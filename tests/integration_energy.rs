@@ -1,10 +1,15 @@
 //! Cross-crate integration tests of the energy/power accounting, including
-//! property-based tests of the ledger invariants.
+//! randomized property tests of the ledger invariants.
+//!
+//! The property tests draw their cases from the workspace's own
+//! deterministic [`SplitMix64`] generator (the environment has no registry
+//! access, so an external property-testing framework is not an option); every
+//! run exercises the same seeded case set, keeping failures reproducible.
 
-use proptest::prelude::*;
 use virgo::{DesignKind, Gpu, GpuConfig};
 use virgo_energy::{Component, EnergyEvent, EnergyLedger, EnergyTable, PowerReport};
 use virgo_kernels::{build_gemm, GemmShape};
+use virgo_sim::SplitMix64;
 use virgo_sim::{Cycle, Frequency};
 
 fn run(design: DesignKind, n: u32) -> virgo::SimReport {
@@ -62,7 +67,11 @@ fn virgo_core_energy_is_far_below_the_core_coupled_designs() {
 #[test]
 fn virgo_total_energy_beats_every_baseline() {
     let virgo = run(DesignKind::Virgo, 256).total_energy_mj();
-    for design in [DesignKind::VoltaStyle, DesignKind::AmpereStyle, DesignKind::HopperStyle] {
+    for design in [
+        DesignKind::VoltaStyle,
+        DesignKind::AmpereStyle,
+        DesignKind::HopperStyle,
+    ] {
         let baseline = run(design, 256).total_energy_mj();
         assert!(
             virgo < baseline,
@@ -71,22 +80,28 @@ fn virgo_total_energy_beats_every_baseline() {
     }
 }
 
-proptest! {
-    /// Merging ledgers is additive: energy(a ∪ b) = energy(a) + energy(b).
-    #[test]
-    fn ledger_merge_is_additive(counts in proptest::collection::vec(0u64..10_000, 8)) {
-        let table = EnergyTable::default_16nm();
-        let events = [
-            EnergyEvent::InstrIssued,
-            EnergyEvent::RegRead,
-            EnergyEvent::SmemWordAccess,
-            EnergyEvent::MacSystolic,
-        ];
+/// Merging ledgers is additive: energy(a ∪ b) = energy(a) + energy(b).
+#[test]
+fn ledger_merge_is_additive() {
+    let table = EnergyTable::default_16nm();
+    let events = [
+        EnergyEvent::InstrIssued,
+        EnergyEvent::RegRead,
+        EnergyEvent::SmemWordAccess,
+        EnergyEvent::MacSystolic,
+    ];
+    let mut rng = SplitMix64::new(0x1ED6E2);
+    for _ in 0..128 {
+        let counts: Vec<u64> = (0..8).map(|_| rng.next_below(10_000)).collect();
         let mut a = EnergyLedger::new();
         let mut b = EnergyLedger::new();
         for (i, &count) in counts.iter().enumerate() {
             let event = events[i % events.len()];
-            let component = if i % 2 == 0 { Component::CoreIssue } else { Component::MatrixUnit };
+            let component = if i % 2 == 0 {
+                Component::CoreIssue
+            } else {
+                Component::MatrixUnit
+            };
             if i < counts.len() / 2 {
                 a.record(component, event, count);
             } else {
@@ -97,33 +112,58 @@ proptest! {
         let eb = b.total_energy_pj(&table);
         let mut merged = a.clone();
         merged.merge(&b);
-        prop_assert!((merged.total_energy_pj(&table) - (ea + eb)).abs() < 1e-6);
+        assert!((merged.total_energy_pj(&table) - (ea + eb)).abs() < 1e-6);
     }
+}
 
-    /// Active power scales inversely with runtime for a fixed ledger.
-    #[test]
-    fn power_scales_inversely_with_cycles(count in 1u64..1_000_000, cycles in 1u64..10_000_000) {
+/// Active power scales inversely with runtime for a fixed ledger.
+#[test]
+fn power_scales_inversely_with_cycles() {
+    let table = EnergyTable::default_16nm();
+    let mut rng = SplitMix64::new(0x70DE12);
+    for _ in 0..128 {
+        let count = 1 + rng.next_below(999_999);
+        let cycles = 1 + rng.next_below(9_999_999);
         let mut ledger = EnergyLedger::new();
         ledger.record(Component::CoreIssue, EnergyEvent::InstrIssued, count);
-        let table = EnergyTable::default_16nm();
-        let short = PowerReport::from_ledger(&ledger, &table, Cycle::new(cycles), Frequency::VIRGO_SOC);
-        let long = PowerReport::from_ledger(&ledger, &table, Cycle::new(cycles * 2), Frequency::VIRGO_SOC);
-        prop_assert!((short.total_energy_uj() - long.total_energy_uj()).abs() < 1e-9);
-        prop_assert!((short.active_power_mw() - 2.0 * long.active_power_mw()).abs() < 1e-6 * short.active_power_mw());
+        let short =
+            PowerReport::from_ledger(&ledger, &table, Cycle::new(cycles), Frequency::VIRGO_SOC);
+        let long = PowerReport::from_ledger(
+            &ledger,
+            &table,
+            Cycle::new(cycles * 2),
+            Frequency::VIRGO_SOC,
+        );
+        assert!((short.total_energy_uj() - long.total_energy_uj()).abs() < 1e-9);
+        assert!(
+            (short.active_power_mw() - 2.0 * long.active_power_mw()).abs()
+                < 1e-6 * short.active_power_mw(),
+            "count {count} cycles {cycles}"
+        );
     }
+}
 
-    /// Energy is monotone in event counts: recording more events never
-    /// reduces any component's energy.
-    #[test]
-    fn energy_is_monotone_in_counts(base in 0u64..100_000, extra in 1u64..100_000) {
-        let table = EnergyTable::default_16nm();
+/// Energy is monotone in event counts: recording more events never reduces
+/// any component's energy.
+#[test]
+fn energy_is_monotone_in_counts() {
+    let table = EnergyTable::default_16nm();
+    let mut rng = SplitMix64::new(0x3A57E0);
+    for _ in 0..256 {
+        let base = rng.next_below(100_000);
+        let extra = 1 + rng.next_below(99_999);
         let mut small = EnergyLedger::new();
         small.record(Component::SharedMem, EnergyEvent::SmemWordAccess, base);
         let mut large = EnergyLedger::new();
-        large.record(Component::SharedMem, EnergyEvent::SmemWordAccess, base + extra);
-        prop_assert!(
+        large.record(
+            Component::SharedMem,
+            EnergyEvent::SmemWordAccess,
+            base + extra,
+        );
+        assert!(
             large.component_energy_pj(&table, Component::SharedMem)
-                > small.component_energy_pj(&table, Component::SharedMem) - 1e-9
+                > small.component_energy_pj(&table, Component::SharedMem) - 1e-9,
+            "base {base} extra {extra}"
         );
     }
 }

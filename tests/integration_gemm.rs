@@ -37,8 +37,18 @@ fn utilization_ordering_matches_table3() {
     let virgo = run(DesignKind::Virgo, 256);
 
     let u = |r: &virgo::SimReport| r.mac_utilization().as_fraction();
-    assert!(u(&virgo) > u(&hopper), "virgo {} vs hopper {}", u(&virgo), u(&hopper));
-    assert!(u(&hopper) > u(&ampere), "hopper {} vs ampere {}", u(&hopper), u(&ampere));
+    assert!(
+        u(&virgo) > u(&hopper),
+        "virgo {} vs hopper {}",
+        u(&virgo),
+        u(&hopper)
+    );
+    assert!(
+        u(&hopper) > u(&ampere),
+        "hopper {} vs ampere {}",
+        u(&hopper),
+        u(&ampere)
+    );
     assert!(
         u(&ampere) >= u(&volta) * 0.95,
         "ampere {} should not be below volta {}",
@@ -57,8 +67,14 @@ fn virgo_retires_a_tiny_fraction_of_instructions() {
     let virgo = run(DesignKind::Virgo, 256);
     let ratio_volta = virgo.instructions_retired() as f64 / volta.instructions_retired() as f64;
     let ratio_hopper = virgo.instructions_retired() as f64 / hopper.instructions_retired() as f64;
-    assert!(ratio_volta < 0.02, "Virgo/Volta instruction ratio {ratio_volta}");
-    assert!(ratio_hopper < 0.15, "Virgo/Hopper instruction ratio {ratio_hopper}");
+    assert!(
+        ratio_volta < 0.02,
+        "Virgo/Volta instruction ratio {ratio_volta}"
+    );
+    assert!(
+        ratio_hopper < 0.15,
+        "Virgo/Hopper instruction ratio {ratio_hopper}"
+    );
 }
 
 #[test]
