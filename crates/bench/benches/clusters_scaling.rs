@@ -1,0 +1,160 @@
+//! Cluster-count scaling sweep — the reproduction of the paper's Table 1
+//! scalability argument.
+//!
+//! The paper's core claim (Section 3) is that cluster-level matrix units let
+//! a GPU scale compute by adding *clusters* rather than by growing per-core
+//! units. This bench sweeps N ∈ {1, 2, 4, 8} clusters on a fixed-size GEMM
+//! for every design point, with all clusters contending for the single
+//! shared L2/DRAM back-end, and reports the two sides of the tradeoff:
+//!
+//! * total machine cycles fall as clusters are added (compute scales), and
+//! * DRAM-contention stall cycles rise (the shared memory system becomes the
+//!   bottleneck), which is why utilization decays toward the bandwidth bound.
+//!
+//! Besides the human-readable table, the run emits `BENCH_clusters.json` (at
+//! the workspace root) and enforces the scaling gate on the Virgo design:
+//! cycles must *strictly decrease* from N=1 through N=4 while contention
+//! stalls *increase* — the quantitative form of the scaling-vs-bandwidth
+//! tradeoff.
+
+use virgo::{DesignKind, SimMode, SimReport};
+use virgo_bench::{print_table, run_gemm_clusters};
+use virgo_kernels::GemmShape;
+
+/// Cluster counts swept, per the ISSUE/Table 1 scaling study.
+const CLUSTER_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+struct Point {
+    design: DesignKind,
+    clusters: u32,
+    cycles: u64,
+    dram_stall_cycles: u64,
+    utilization_pct: f64,
+    energy_mj: f64,
+    energy_per_mac_pj: f64,
+}
+
+fn measure(design: DesignKind, shape: GemmShape, clusters: u32) -> Point {
+    let report: SimReport = run_gemm_clusters(design, shape, clusters, SimMode::FastForward);
+    let macs = report.performed_macs().max(1);
+    Point {
+        design,
+        clusters,
+        cycles: report.cycles().get(),
+        dram_stall_cycles: report.dram_contention_stall_cycles(),
+        utilization_pct: report.mac_utilization().as_percent(),
+        energy_mj: report.total_energy_mj(),
+        energy_per_mac_pj: report.total_energy_mj() * 1e9 / macs as f64,
+    }
+}
+
+fn main() {
+    // A fixed-size problem: the whole point is to watch the same work split
+    // across more clusters. 512³ gives every cluster real tile traffic at
+    // N=8 while keeping the sweep quick.
+    let shape = std::env::var("VIRGO_CLUSTER_GEMM")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .map(GemmShape::square)
+        .unwrap_or(GemmShape::square(512));
+
+    let mut points: Vec<Point> = Vec::new();
+    for design in DesignKind::all() {
+        for clusters in CLUSTER_COUNTS {
+            points.push(measure(design, shape, clusters));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.design.to_string(),
+                p.clusters.to_string(),
+                p.cycles.to_string(),
+                p.dram_stall_cycles.to_string(),
+                format!("{:.1}%", p.utilization_pct),
+                format!("{:.3}", p.energy_mj),
+                format!("{:.2}", p.energy_per_mac_pj),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Cluster scaling on {shape} GEMM (shared L2/DRAM)"),
+        &[
+            "design",
+            "clusters",
+            "cycles",
+            "dram stall cyc",
+            "MAC util",
+            "energy mJ",
+            "pJ/MAC",
+        ],
+        &rows,
+    );
+
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "    {{\"design\": \"{}\", \"clusters\": {}, \"cycles\": {}, ",
+                    "\"dram_contention_stall_cycles\": {}, \"mac_utilization_percent\": {:.3}, ",
+                    "\"energy_mj\": {:.6}, \"energy_per_mac_pj\": {:.4}}}"
+                ),
+                p.design,
+                p.clusters,
+                p.cycles,
+                p.dram_stall_cycles,
+                p.utilization_pct,
+                p.energy_mj,
+                p.energy_per_mac_pj,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"clusters_scaling\",\n  \"gemm\": \"{}\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        shape,
+        entries.join(",\n")
+    );
+    // Anchor on the workspace root: cargo runs bench binaries with the
+    // package directory (crates/bench) as cwd, but the artifact belongs next
+    // to the top-level Cargo.toml where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_clusters.json");
+    std::fs::write(path, &json).expect("write BENCH_clusters.json");
+    println!("\nwrote {path}");
+
+    // ---- Scaling gate (Virgo design, N = 1 → 2 → 4) ------------------------
+    // Cycles strictly decrease while DRAM-contention stalls increase: adding
+    // clusters buys real speedup and the cost shows up on the shared channel.
+    let virgo: Vec<&Point> = points
+        .iter()
+        .filter(|p| p.design == DesignKind::Virgo && p.clusters <= 4)
+        .collect();
+    for pair in virgo.windows(2) {
+        assert!(
+            pair[1].cycles < pair[0].cycles,
+            "cycles must strictly decrease with clusters: N={} took {} >= N={}'s {}",
+            pair[1].clusters,
+            pair[1].cycles,
+            pair[0].clusters,
+            pair[0].cycles,
+        );
+        assert!(
+            pair[1].dram_stall_cycles > pair[0].dram_stall_cycles,
+            "DRAM contention must grow with clusters: N={} stalled {} <= N={}'s {}",
+            pair[1].clusters,
+            pair[1].dram_stall_cycles,
+            pair[0].clusters,
+            pair[0].dram_stall_cycles,
+        );
+    }
+    let first = virgo.first().expect("sweep is non-empty");
+    let last = virgo.last().expect("sweep is non-empty");
+    println!(
+        "Virgo N=1 -> N=4: {:.2}x speedup, contention stalls {} -> {} — gate passed",
+        first.cycles as f64 / last.cycles as f64,
+        first.dram_stall_cycles,
+        last.dram_stall_cycles,
+    );
+}

@@ -50,6 +50,49 @@ pub fn run_gemm_with_mode(design: DesignKind, shape: GemmShape, mode: SimMode) -
         .unwrap_or_else(|e| panic!("{design} GEMM {shape} failed: {e}"))
 }
 
+/// Runs the GEMM kernel for `shape` on `clusters` clusters of the given
+/// design point with an explicit simulation-loop mode — the entry point of
+/// the `clusters_scaling` bench and the multi-cluster equivalence tests.
+///
+/// # Panics
+///
+/// Panics if the simulation does not complete.
+pub fn run_gemm_clusters(
+    design: DesignKind,
+    shape: GemmShape,
+    clusters: u32,
+    mode: SimMode,
+) -> SimReport {
+    let config = GpuConfig::for_design(design).with_clusters(clusters);
+    let kernel = build_gemm(&config, shape);
+    Gpu::new(config)
+        .run_with_mode(&kernel, MAX_CYCLES, mode)
+        .unwrap_or_else(|e| panic!("{design} GEMM {shape} x{clusters} clusters failed: {e}"))
+}
+
+/// Runs the FlashAttention-3 kernel for `shape` on `clusters` clusters of a
+/// design point (Virgo or Ampere-style) with an explicit simulation-loop
+/// mode.
+///
+/// # Panics
+///
+/// Panics if the design point is not Virgo or Ampere-style, or the
+/// simulation does not complete.
+pub fn run_flash_attention_clusters(
+    design: DesignKind,
+    shape: AttentionShape,
+    clusters: u32,
+    mode: SimMode,
+) -> SimReport {
+    let config = GpuConfig::for_design(design)
+        .to_fp32()
+        .with_clusters(clusters);
+    let kernel = build_flash_attention(&config, shape);
+    Gpu::new(config)
+        .run_with_mode(&kernel, MAX_CYCLES, mode)
+        .unwrap_or_else(|e| panic!("{design} FlashAttention x{clusters} clusters failed: {e}"))
+}
+
 /// Runs the GEMM kernel for `shape` on every design point, in parallel.
 /// Results are returned in [`DesignKind::all`] order.
 pub fn run_gemm_all_designs(shape: GemmShape) -> Vec<(DesignKind, SimReport)> {

@@ -1,10 +1,13 @@
-//! The cluster: SIMT cores plus the cluster-level devices they share.
+//! One cluster of the machine: SIMT cores plus the cluster-level devices
+//! they share, executing against the machine-wide shared memory back-end.
 
 use virgo_gemmini::{GemminiCommand, GemminiUnit};
 use virgo_isa::{DeviceId, Kernel, MmioCommand, WgmmaOp};
-use virgo_mem::{AccumulatorMemory, Coalescer, DmaEngine, DmaTransfer, GlobalMemory, SharedMemory};
+use virgo_mem::{
+    AccumulatorMemory, Coalescer, DmaEngine, DmaTransfer, GlobalMemory, MemoryBackend, SharedMemory,
+};
 use virgo_sim::{earliest, Cycle, NextActivity};
-use virgo_simt::{ClusterPort, ClusterSynchronizer, CoreStats, SimtCore};
+use virgo_simt::{ClusterPort, ClusterSynchronizer, CoreStats, SimtCore, WarpSnapshot};
 use virgo_tensor::{OperandDecoupledUnit, TightlyCoupledUnit};
 
 use crate::config::{DesignKind, GpuConfig};
@@ -22,17 +25,29 @@ pub struct ClusterStats {
     pub async_ops_completed: u64,
 }
 
+impl ClusterStats {
+    /// Adds the counts of `other` into `self` (used to aggregate clusters).
+    pub fn merge(&mut self, other: &ClusterStats) {
+        self.mmio_writes += other.mmio_writes;
+        self.mmio_rejects += other.mmio_rejects;
+        self.async_ops_launched += other.async_ops_launched;
+        self.async_ops_completed += other.async_ops_completed;
+    }
+}
+
 /// Everything in the cluster that is *not* a SIMT core: memories,
 /// matrix units, DMA, synchronizer and the MMIO/async-tracking glue.
 ///
-/// This struct implements [`ClusterPort`], the service interface the cores
-/// program against.
+/// The cores program against [`ClusterPort`], which the cluster implements by
+/// pairing these devices with the machine-wide [`MemoryBackend`] at tick
+/// time.
 #[derive(Debug)]
 pub struct ClusterDevices {
     design: DesignKind,
     /// The cluster shared memory.
     pub smem: SharedMemory,
-    /// The global memory hierarchy (L1s, L2, DRAM).
+    /// This cluster's global-memory front-end (the private per-core L1s);
+    /// misses feed the shared [`MemoryBackend`].
     pub gmem: GlobalMemory,
     /// Per-core memory coalescers.
     coalescers: Vec<Coalescer>,
@@ -56,9 +71,9 @@ pub struct ClusterDevices {
 }
 
 impl ClusterDevices {
-    /// Builds the device complement for a configuration, sized for
-    /// `participants` warps taking part in cluster barriers.
-    pub fn new(config: &GpuConfig, participants: u64) -> Self {
+    /// Builds the device complement for `cluster` of a configuration, sized
+    /// for `participants` warps taking part in cluster barriers.
+    pub fn new(config: &GpuConfig, cluster: u32, participants: u64) -> Self {
         let cores = config.cores as usize;
         let (tightly_units, decoupled_units) = match config.design {
             DesignKind::VoltaStyle | DesignKind::AmpereStyle => (
@@ -90,7 +105,7 @@ impl ClusterDevices {
         ClusterDevices {
             design: config.design,
             smem: SharedMemory::new(config.smem),
-            gmem: GlobalMemory::new(config.global_memory()),
+            gmem: GlobalMemory::for_cluster(config.global_memory(), cluster),
             coalescers: (0..cores).map(|_| Coalescer::new(line_bytes)).collect(),
             synchronizer: ClusterSynchronizer::new(participants.max(1)),
             dma: config.design.has_dma().then(|| DmaEngine::new(config.dma)),
@@ -127,13 +142,15 @@ impl ClusterDevices {
         self.async_outstanding
     }
 
-    /// Advances every cluster device by one cycle.
-    pub fn tick(&mut self, now: Cycle) {
+    /// Advances every cluster device by one cycle. Global-memory traffic
+    /// (the DMA engine's endpoints) flows through the shared `backend`.
+    pub fn tick(&mut self, now: Cycle, backend: &mut MemoryBackend) {
         // DMA engine.
         if let Some(dma) = &mut self.dma {
             let completed = dma.tick(
                 now,
                 &mut self.gmem,
+                backend,
                 &mut self.smem,
                 self.accumulators.first_mut(),
             );
@@ -165,8 +182,9 @@ impl ClusterDevices {
     /// drained (see `virgo_sim::activity` for the contract).
     ///
     /// The tightly-coupled tensor units are deliberately absent: they have no
-    /// tick, and a warp stalled on their structural hazard keeps its core's
-    /// horizon at `now` anyway.
+    /// tick; their structural-hazard release cycle reaches the fast-forward
+    /// engine through `ClusterPort::hmma_busy_until` instead, so a core whose
+    /// runnable warps are all hazard-blocked can jump to it.
     pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
         let mut next = self.dma.as_ref().and_then(|d| d.next_activity(now));
         for unit in &self.gemmini_units {
@@ -247,9 +265,17 @@ impl ClusterDevices {
     }
 }
 
-impl ClusterPort for ClusterDevices {
+/// The borrow context a cluster's cores execute against: the cluster's own
+/// devices paired with the machine-wide shared memory back-end. This is the
+/// [`ClusterPort`] implementation the cores see.
+struct ClusterCtx<'a> {
+    devices: &'a mut ClusterDevices,
+    backend: &'a mut MemoryBackend,
+}
+
+impl ClusterPort for ClusterCtx<'_> {
     fn shared_access(&mut self, now: Cycle, _core: u32, lane_addrs: &[u64], write: bool) -> Cycle {
-        self.smem.access_simt(now, lane_addrs, write).done
+        self.devices.smem.access_simt(now, lane_addrs, write).done
     }
 
     fn global_access(
@@ -260,33 +286,47 @@ impl ClusterPort for ClusterDevices {
         bytes_per_lane: u32,
         write: bool,
     ) -> Cycle {
-        let line_requests = self.coalescers[core as usize].coalesce(lane_addrs, bytes_per_lane);
-        let line_bytes = self.coalescers[core as usize].line_bytes();
+        let line_requests =
+            self.devices.coalescers[core as usize].coalesce(lane_addrs, bytes_per_lane);
+        let line_bytes = self.devices.coalescers[core as usize].line_bytes();
         let mut done = now;
         for line in line_requests {
-            done =
-                done.max(
-                    self.gmem
-                        .access_from_core(now, core as usize, line, line_bytes, write),
-                );
+            done = done.max(self.devices.gmem.access_from_core(
+                now,
+                core as usize,
+                line,
+                line_bytes,
+                write,
+                self.backend,
+            ));
         }
         done
     }
 
     fn try_hmma(&mut self, now: Cycle, core: u32, macs: u32) -> bool {
-        self.tightly_units
+        self.devices
+            .tightly_units
             .get_mut(core as usize)
             .is_some_and(|unit| unit.try_step(now, macs))
     }
 
+    fn hmma_busy_until(&self, now: Cycle, core: u32) -> Option<Cycle> {
+        self.devices
+            .tightly_units
+            .get(core as usize)
+            .and_then(|unit| unit.next_activity(now))
+    }
+
     fn try_wgmma(&mut self, _now: Cycle, core: u32, op: &WgmmaOp, exec_count: u64) -> bool {
-        self.decoupled_units
+        self.devices
+            .decoupled_units
             .get_mut(core as usize)
             .is_some_and(|unit| unit.try_enqueue(op, exec_count))
     }
 
     fn wgmma_pending(&self, core: u32) -> u32 {
-        self.decoupled_units
+        self.devices
+            .decoupled_units
             .get(core as usize)
             .map_or(0, OperandDecoupledUnit::pending)
     }
@@ -299,11 +339,13 @@ impl ClusterPort for ClusterDevices {
         cmd: &MmioCommand,
         exec_count: u64,
     ) -> bool {
-        self.stats.mmio_writes += 1;
+        self.devices.stats.mmio_writes += 1;
         match (device, cmd) {
-            (DeviceId::Dma(_), MmioCommand::DmaCopy(copy)) => self.submit_dma(copy, exec_count),
+            (DeviceId::Dma(_), MmioCommand::DmaCopy(copy)) => {
+                self.devices.submit_dma(copy, exec_count)
+            }
             (DeviceId::MatrixUnit(idx), MmioCommand::MatrixCompute(compute)) => {
-                self.submit_matrix(idx, compute, exec_count)
+                self.devices.submit_matrix(idx, compute, exec_count)
             }
             // A mismatched command (e.g. a compute command written to the DMA
             // engine) is accepted and ignored, like a store to a reserved
@@ -313,49 +355,69 @@ impl ClusterPort for ClusterDevices {
     }
 
     fn async_outstanding(&self) -> u32 {
-        self.async_outstanding
+        self.devices.async_outstanding
     }
 
     fn barrier_arrive(&mut self, id: u8, warp_global_id: u32) -> u64 {
-        self.synchronizer.arrive(id, warp_global_id)
+        self.devices.synchronizer.arrive(id, warp_global_id)
     }
 
     fn barrier_passed(&self, id: u8, ticket: u64) -> bool {
-        self.synchronizer.passed(id, ticket)
+        self.devices.synchronizer.passed(id, ticket)
     }
+}
+
+/// A warp's scheduling state at timeout, with its machine placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacedWarpSnapshot {
+    /// Cluster the warp ran on.
+    pub cluster: u32,
+    /// Core within the cluster.
+    pub core: u32,
+    /// The warp's scheduling state.
+    pub snapshot: WarpSnapshot,
+    /// Asynchronous cluster operations outstanding when the snapshot was
+    /// taken (context for `BlockReason::Fence`).
+    pub async_outstanding: u32,
 }
 
 /// One GPU cluster: the SIMT cores plus their shared devices.
 #[derive(Debug)]
 pub struct Cluster {
     config: GpuConfig,
+    cluster_id: u32,
     cores: Vec<SimtCore>,
     devices: ClusterDevices,
 }
 
 impl Cluster {
-    /// Builds a cluster and loads `kernel` onto it.
+    /// Builds cluster `cluster_id` and loads onto it the warps of `kernel`
+    /// assigned to that cluster. Warps assigned to other clusters are
+    /// ignored; the caller builds one `Cluster` per configured cluster.
     ///
     /// # Panics
     ///
-    /// Panics if the kernel assigns a warp to a core index outside the
-    /// configuration.
-    pub fn new(config: GpuConfig, kernel: &Kernel) -> Self {
-        let devices = ClusterDevices::new(&config, kernel.warps.len() as u64);
+    /// Panics if the kernel assigns one of this cluster's warps to a core
+    /// index outside the configuration.
+    pub fn new(config: GpuConfig, kernel: &Kernel, cluster_id: u32) -> Self {
+        let participants = kernel.warps_on_cluster(cluster_id).count() as u64;
+        let devices = ClusterDevices::new(&config, cluster_id, participants);
         let mut cores: Vec<SimtCore> = (0..config.cores)
             .map(|id| SimtCore::new(config.core, id))
             .collect();
-        for (index, warp) in kernel.warps.iter().enumerate() {
+        for (index, warp) in kernel.warps_on_cluster(cluster_id).enumerate() {
             assert!(
                 (warp.core as usize) < cores.len(),
-                "kernel assigns warp to core {} but the cluster has {} cores",
+                "kernel assigns warp to core {} but cluster {} has {} cores",
                 warp.core,
+                cluster_id,
                 cores.len()
             );
             cores[warp.core as usize].assign_warp(index as u32, &warp.program);
         }
         Cluster {
             config,
+            cluster_id,
             cores,
             devices,
         }
@@ -364,6 +426,11 @@ impl Cluster {
     /// The configuration the cluster was built from.
     pub fn config(&self) -> &GpuConfig {
         &self.config
+    }
+
+    /// This cluster's index within the machine.
+    pub fn cluster_id(&self) -> u32 {
+        self.cluster_id
     }
 
     /// The cluster devices (memories, matrix units, DMA, synchronizer).
@@ -385,11 +452,46 @@ impl Cluster {
         total
     }
 
-    /// Advances the whole cluster by one cycle.
-    pub fn tick(&mut self, now: Cycle) {
-        self.devices.tick(now);
+    /// Multiply-accumulates performed by this cluster's matrix units.
+    pub fn performed_macs(&self) -> u64 {
+        self.devices
+            .tightly_units
+            .iter()
+            .map(|u| u.stats().macs)
+            .chain(self.devices.decoupled_units.iter().map(|u| u.stats().macs))
+            .chain(self.devices.gemmini_units.iter().map(|u| u.stats().macs))
+            .sum()
+    }
+
+    /// Snapshots every unfinished warp's scheduling state, with placement,
+    /// for timeout diagnosis.
+    pub fn unfinished_warps(&self) -> Vec<PlacedWarpSnapshot> {
+        let outstanding = self.devices.async_outstanding();
+        let mut out = Vec::new();
+        for core in &self.cores {
+            for snapshot in core.warp_snapshots() {
+                if !snapshot.finished {
+                    out.push(PlacedWarpSnapshot {
+                        cluster: self.cluster_id,
+                        core: core.core_id(),
+                        snapshot,
+                        async_outstanding: outstanding,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Advances the whole cluster by one cycle against the shared back-end.
+    pub fn tick(&mut self, now: Cycle, backend: &mut MemoryBackend) {
+        self.devices.tick(now, backend);
+        let mut ctx = ClusterCtx {
+            devices: &mut self.devices,
+            backend,
+        };
         for core in &mut self.cores {
-            core.tick(now, &mut self.devices);
+            core.tick(now, &mut ctx);
         }
     }
 
@@ -401,16 +503,21 @@ impl Cluster {
 
     /// Reports the earliest cycle `>= now` at which ticking the cluster can
     /// change observable state (beyond time-uniform stall accounting), or
-    /// `None` when nothing will ever happen again — a deadlock, which the
-    /// driver converts into a timeout without ticking through the remaining
-    /// budget.
-    pub fn next_activity(&mut self, now: Cycle) -> Option<Cycle> {
+    /// `None` when nothing in this cluster will ever happen again on its own.
+    /// The driver folds this over all clusters; a machine-wide `None` is a
+    /// deadlock, which it converts into a timeout without ticking through the
+    /// remaining budget.
+    pub fn next_activity(&mut self, now: Cycle, backend: &mut MemoryBackend) -> Option<Cycle> {
         let mut next = self.devices.next_activity(now);
         if next == Some(now) {
             return next;
         }
+        let ctx = ClusterCtx {
+            devices: &mut self.devices,
+            backend,
+        };
         for core in &mut self.cores {
-            match core.next_activity(now, &self.devices) {
+            match core.next_activity(now, &ctx) {
                 Some(t) if t <= now => return Some(now),
                 event => next = earliest(next, event),
             }
@@ -420,8 +527,9 @@ impl Cluster {
 
     /// Jumps the cluster from cycle `from` over `cycles` quiescent ticks,
     /// bulk-replaying exactly the per-cycle accounting the naive loop would
-    /// have performed. The caller guarantees, via [`Cluster::next_activity`],
-    /// that no component can make progress inside the window.
+    /// have performed. The caller guarantees, via [`Cluster::next_activity`]
+    /// folded over every cluster, that no component can make progress inside
+    /// the window.
     pub fn fast_forward(&mut self, from: Cycle, cycles: u64) {
         self.devices.fast_forward(cycles);
         for core in &mut self.cores {
@@ -448,12 +556,17 @@ mod tests {
         )
     }
 
-    fn run(cluster: &mut Cluster, limit: u64) -> u64 {
+    fn cluster_with(config: GpuConfig, kernel: &Kernel) -> (Cluster, MemoryBackend) {
+        let backend = MemoryBackend::new(config.global_memory(), config.clusters.max(1));
+        (Cluster::new(config, kernel, 0), backend)
+    }
+
+    fn run(cluster: &mut Cluster, backend: &mut MemoryBackend, limit: u64) -> u64 {
         for cycle in 0..limit {
             if cluster.finished() {
                 return cycle;
             }
-            cluster.tick(Cycle::new(cycle));
+            cluster.tick(Cycle::new(cycle), backend);
         }
         limit
     }
@@ -469,8 +582,8 @@ mod tests {
                 },
             );
         });
-        let mut cluster = Cluster::new(GpuConfig::virgo(), &kernel);
-        let cycles = run(&mut cluster, 10_000);
+        let (mut cluster, mut backend) = cluster_with(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, &mut backend, 10_000);
         assert!(cycles < 10_000);
         assert_eq!(cluster.core_stats().instrs_issued, 16);
     }
@@ -483,11 +596,12 @@ mod tests {
             b.op(WarpOp::StoreShared { access });
             b.op(WarpOp::WaitLoads);
         });
-        let mut cluster = Cluster::new(GpuConfig::ampere_style(), &kernel);
-        run(&mut cluster, 100_000);
+        let (mut cluster, mut backend) = cluster_with(GpuConfig::ampere_style(), &kernel);
+        run(&mut cluster, &mut backend, 100_000);
         assert!(cluster.devices().gmem.stats().l1_accesses > 0);
         assert!(cluster.devices().smem.stats().words_written > 0);
         assert!(cluster.devices().coalescer_ops() > 0);
+        assert!(backend.stats().l2_accesses > 0);
     }
 
     #[test]
@@ -504,14 +618,15 @@ mod tests {
             });
             b.op(WarpOp::FenceAsync { max_outstanding: 0 });
         });
-        let mut cluster = Cluster::new(GpuConfig::virgo(), &kernel);
-        let cycles = run(&mut cluster, 1_000_000);
+        let (mut cluster, mut backend) = cluster_with(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, &mut backend, 1_000_000);
         assert!(cycles < 1_000_000, "kernel must finish");
         assert!(cycles > 200, "DMA of 4 KiB cannot be instantaneous");
         let stats = cluster.devices().stats();
         assert_eq!(stats.async_ops_launched, 1);
         assert_eq!(stats.async_ops_completed, 1);
         assert_eq!(cluster.devices().async_outstanding(), 0);
+        assert_eq!(backend.cluster_stats(0).dram_requests, 1);
     }
 
     #[test]
@@ -533,8 +648,8 @@ mod tests {
             });
             b.op(WarpOp::FenceAsync { max_outstanding: 0 });
         });
-        let mut cluster = Cluster::new(GpuConfig::virgo(), &kernel);
-        let cycles = run(&mut cluster, 1_000_000);
+        let (mut cluster, mut backend) = cluster_with(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, &mut backend, 1_000_000);
         assert!(cycles < 1_000_000);
         let gemmini = &cluster.devices().gemmini_units[0];
         assert_eq!(gemmini.stats().commands, 1);
@@ -556,8 +671,8 @@ mod tests {
                 },
             );
         });
-        let mut cluster = Cluster::new(GpuConfig::volta_style(), &kernel);
-        run(&mut cluster, 100_000);
+        let (mut cluster, mut backend) = cluster_with(GpuConfig::volta_style(), &kernel);
+        run(&mut cluster, &mut backend, 100_000);
         let unit = &cluster.devices().tightly_units[0];
         assert_eq!(unit.stats().steps, 8);
         assert_eq!(unit.stats().macs, 8 * 64);
@@ -565,7 +680,7 @@ mod tests {
 
     #[test]
     fn wgmma_ops_drive_the_decoupled_unit() {
-        let op = WgmmaOp {
+        let op = virgo_isa::WgmmaOp {
             a: AddrExpr::fixed(0),
             b: AddrExpr::fixed(0x8000),
             m: 16,
@@ -577,8 +692,8 @@ mod tests {
             b.op(WarpOp::WgmmaInit(op));
             b.op(WarpOp::WgmmaWait);
         });
-        let mut cluster = Cluster::new(GpuConfig::hopper_style(), &kernel);
-        let cycles = run(&mut cluster, 100_000);
+        let (mut cluster, mut backend) = cluster_with(GpuConfig::hopper_style(), &kernel);
+        let cycles = run(&mut cluster, &mut backend, 100_000);
         let unit = &cluster.devices().decoupled_units[0];
         assert_eq!(unit.stats().ops, 1);
         assert!(cycles >= 128, "wgmma wait must cover the compute time");
@@ -602,11 +717,63 @@ mod tests {
                 WarpAssignment::new(1, 0, Arc::clone(&program)),
             ],
         );
-        let mut cluster = Cluster::new(GpuConfig::virgo(), &kernel);
-        let cycles = run(&mut cluster, 10_000);
+        let (mut cluster, mut backend) = cluster_with(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, &mut backend, 10_000);
         assert!(cycles < 10_000);
         assert_eq!(cluster.devices().synchronizer.release_events(), 1);
         assert_eq!(cluster.core_stats().barrier_arrivals, 2);
+    }
+
+    #[test]
+    fn cluster_only_loads_its_own_warps() {
+        let program = Arc::new({
+            let mut b = ProgramBuilder::new();
+            b.op(WarpOp::Nop);
+            b.build()
+        });
+        let kernel = Kernel::new(
+            KernelInfo::new("split", 0, DataType::Fp16),
+            vec![
+                WarpAssignment::on_cluster(0, 0, 0, Arc::clone(&program)),
+                WarpAssignment::on_cluster(1, 0, 0, Arc::clone(&program)),
+                WarpAssignment::on_cluster(1, 1, 0, Arc::clone(&program)),
+            ],
+        );
+        let c0 = Cluster::new(GpuConfig::virgo().with_clusters(2), &kernel, 0);
+        let c1 = Cluster::new(GpuConfig::virgo().with_clusters(2), &kernel, 1);
+        let warps = |c: &Cluster| c.cores().iter().map(SimtCore::warp_count).sum::<usize>();
+        assert_eq!(warps(&c0), 1);
+        assert_eq!(warps(&c1), 2);
+        // Barrier participation is scoped to the cluster's own warps.
+        assert_eq!(c0.devices().synchronizer.participants(), 1);
+        assert_eq!(c1.devices().synchronizer.participants(), 2);
+    }
+
+    #[test]
+    fn unfinished_warps_report_block_state() {
+        // A lone warp at a two-participant barrier deadlocks.
+        let program = {
+            let mut b = ProgramBuilder::new();
+            b.op(WarpOp::Barrier { id: 3 });
+            Arc::new(b.build())
+        };
+        let kernel = Kernel::new(
+            KernelInfo::new("stuck", 0, DataType::Fp16),
+            vec![
+                WarpAssignment::new(0, 0, Arc::clone(&program)),
+                WarpAssignment::new(0, 1, Arc::new(ProgramBuilder::new().build())),
+            ],
+        );
+        let (mut cluster, mut backend) = cluster_with(GpuConfig::virgo(), &kernel);
+        run(&mut cluster, &mut backend, 100);
+        let stuck = cluster.unfinished_warps();
+        assert_eq!(stuck.len(), 1);
+        assert_eq!(stuck[0].cluster, 0);
+        assert_eq!(stuck[0].core, 0);
+        assert!(matches!(
+            stuck[0].snapshot.block,
+            Some(virgo_simt::BlockReason::Barrier { id: 3, .. })
+        ));
     }
 
     #[test]
@@ -615,6 +782,6 @@ mod tests {
         let kernel = kernel_with(12, |b| {
             b.op(WarpOp::Nop);
         });
-        let _ = Cluster::new(GpuConfig::hopper_style(), &kernel);
+        let _ = Cluster::new(GpuConfig::hopper_style(), &kernel, 0);
     }
 }

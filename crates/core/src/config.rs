@@ -98,13 +98,22 @@ impl MatrixUnitSpec {
     }
 }
 
-/// Full configuration of one simulated GPU (one cluster plus the memory
-/// system behind it), following Table 2.
+/// Full configuration of one simulated GPU: `clusters` identical clusters,
+/// each following Table 2, contending for a shared L2 and DRAM channel.
+///
+/// The paper's scalability argument (Table 1, Section 3) is that compute
+/// scales by adding clusters rather than by growing per-core units; the
+/// default presets model the single cluster the paper evaluates, and
+/// [`GpuConfig::with_clusters`] scales the machine out.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Which integration style this GPU implements.
     pub design: DesignKind,
-    /// Number of SIMT cores in the cluster.
+    /// Number of clusters in the machine (each one a full Table 2 cluster).
+    /// Must be at least 1 — [`GpuConfig::with_clusters`] enforces this, and
+    /// every consumer additionally normalizes 0 to 1 defensively.
+    pub clusters: u32,
+    /// Number of SIMT cores per cluster.
     pub cores: u32,
     /// Per-core microarchitecture.
     pub core: CoreConfig,
@@ -131,6 +140,7 @@ impl GpuConfig {
     pub fn volta_style() -> Self {
         GpuConfig {
             design: DesignKind::VoltaStyle,
+            clusters: 1,
             cores: 8,
             core: CoreConfig::vortex_default(),
             smem: SmemConfig::double_banked(),
@@ -201,6 +211,19 @@ impl GpuConfig {
         }
     }
 
+    /// Scales the machine to `clusters` clusters (each a full copy of the
+    /// per-cluster configuration, all sharing the L2/DRAM back-end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    #[must_use]
+    pub fn with_clusters(mut self, clusters: u32) -> Self {
+        assert!(clusters > 0, "a GPU needs at least one cluster");
+        self.clusters = clusters;
+        self
+    }
+
     /// Converts a configuration to its FP32 variant (used by the
     /// FlashAttention-3 evaluation, Section 5.3): the per-unit MAC counts
     /// halve and the Virgo array shrinks to 8×8.
@@ -216,8 +239,8 @@ impl GpuConfig {
         cfg
     }
 
-    /// Peak matrix multiply-accumulate throughput of the cluster in MACs per
-    /// cycle — the denominator of the Table 3 utilization metric.
+    /// Peak matrix multiply-accumulate throughput of *one* cluster in MACs
+    /// per cycle.
     pub fn peak_macs_per_cycle(&self) -> u64 {
         match self.design {
             DesignKind::VoltaStyle | DesignKind::AmpereStyle => {
@@ -234,25 +257,37 @@ impl GpuConfig {
         }
     }
 
-    /// Global memory configuration derived from the core count.
+    /// Peak matrix multiply-accumulate throughput of the whole machine
+    /// (`clusters` × the per-cluster peak) — the denominator of the Table 3
+    /// utilization metric.
+    pub fn machine_peak_macs_per_cycle(&self) -> u64 {
+        self.peak_macs_per_cycle() * u64::from(self.clusters.max(1))
+    }
+
+    /// Global memory configuration derived from the core count. The L1 part
+    /// is instantiated per cluster; the L2/DRAM part backs the whole machine.
     pub fn global_memory(&self) -> GlobalMemoryConfig {
         GlobalMemoryConfig::default_soc(self.cores)
     }
 
-    /// Area-model parameters for this configuration (Figure 7).
+    /// Area-model parameters for this configuration (Figure 7). Per-cluster
+    /// structures (cores, shared memory, matrix units, DMA) scale with the
+    /// cluster count; the L2 is shared by the whole machine.
     pub fn area_params(&self) -> AreaParams {
+        let clusters = self.clusters.max(1);
         let accum_kib: u64 = self
             .matrix_units
             .iter()
             .map(|u| u.accumulator_bytes / 1024)
-            .sum();
+            .sum::<u64>()
+            * u64::from(clusters);
         AreaParams {
-            cores: self.cores,
+            cores: self.cores * clusters,
             l1_kib_per_core: 32,
             l2_kib: 512,
-            smem_kib: (self.smem.capacity_bytes / 1024) as u32,
+            smem_kib: (self.smem.capacity_bytes / 1024) as u32 * clusters,
             regfile_kib_per_core: self.core.regfile_kib,
-            matrix_macs: self.peak_macs_per_cycle() as u32,
+            matrix_macs: self.machine_peak_macs_per_cycle() as u32,
             accum_kib: accum_kib as u32,
             has_dma: self.design.has_dma(),
             smem_wide_port: !self.design.is_core_coupled()

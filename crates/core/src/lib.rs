@@ -12,11 +12,19 @@
 //! * **Hopper-style** — operand-decoupled tensor cores plus a cluster DMA,
 //! * **Virgo** — a single disaggregated matrix unit at the cluster level.
 //!
-//! The main entry point is [`Gpu`]: configure it with a [`GpuConfig`] preset,
-//! hand it a [`Kernel`](virgo_isa::Kernel) built by `virgo-kernels`, and it
-//! returns a [`SimReport`] containing the cycle count, MAC utilization,
-//! per-component active power and energy, and the raw event statistics the
-//! paper's tables and figures are derived from.
+//! The machine scales out by *clusters*, the paper's Table 1 argument: a
+//! [`GpuConfig`] describes one cluster plus a cluster count, and the
+//! simulated machine instantiates that many identical clusters all
+//! contending for a single shared L2/DRAM back-end
+//! (`virgo_mem::MemoryBackend`).
+//!
+//! The main entry point is [`Gpu`]: configure it with a [`GpuConfig`] preset
+//! (scaled out with [`GpuConfig::with_clusters`] if desired), hand it a
+//! [`Kernel`](virgo_isa::Kernel) built by `virgo-kernels`, and it returns a
+//! [`SimReport`] containing the cycle count, MAC utilization, per-component
+//! active power and energy, per-cluster breakdowns (including DRAM-contention
+//! stalls on the shared channel) and the raw event statistics the paper's
+//! tables and figures are derived from.
 //!
 //! # Example
 //!
@@ -47,7 +55,7 @@ pub mod config;
 pub mod report;
 pub mod run;
 
-pub use cluster::{Cluster, ClusterDevices};
+pub use cluster::{Cluster, ClusterDevices, ClusterStats, PlacedWarpSnapshot};
 pub use config::{DesignKind, GpuConfig, MatrixUnitSpec};
-pub use report::SimReport;
-pub use run::{Gpu, SimError, SimMode};
+pub use report::{ClusterReport, SimReport};
+pub use run::{BlockedOn, Gpu, SimError, SimMode, TimeoutDiagnosis, WarpDiagnosis};

@@ -1,16 +1,55 @@
-//! Simulation reports: cycles, utilization, energy, power and area.
+//! Simulation reports: cycles, utilization, energy, power and area, with
+//! per-cluster breakdowns and machine-wide aggregates.
 
 use virgo_energy::{
     AreaModel, AreaReport, Component, EnergyEvent, EnergyLedger, EnergyTable, MatrixSubcomponent,
     PowerReport,
 };
 use virgo_isa::KernelInfo;
-use virgo_mem::{DmaStats, DramStats, GlobalMemoryStats, SmemStats};
+use virgo_mem::{
+    ClusterContentionStats, DmaStats, DramStats, GlobalMemoryStats, MemoryBackend, SmemStats,
+};
 use virgo_sim::{Cycle, Frequency, Ratio};
 use virgo_simt::CoreStats;
 
 use crate::cluster::{Cluster, ClusterStats};
 use crate::config::DesignKind;
+
+/// Per-cluster slice of a [`SimReport`].
+///
+/// Each entry aggregates one cluster's private resources (cores, shared
+/// memory, L1 front-end, DMA engine, matrix units) plus that cluster's share
+/// of the contention on the shared L2/DRAM back-end.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The cluster's index within the machine.
+    pub cluster: u32,
+    /// Aggregated SIMT-core statistics for this cluster.
+    pub core_stats: CoreStats,
+    /// This cluster's shared-memory statistics.
+    pub smem_stats: SmemStats,
+    /// This cluster's L1 front-end statistics (`l2_*`/`dma_bytes` fields are
+    /// zero here — the L2 is shared; see [`ClusterReport::contention`]).
+    pub gmem_stats: GlobalMemoryStats,
+    /// This cluster's DMA statistics, when the design has a DMA engine.
+    pub dma_stats: Option<DmaStats>,
+    /// This cluster's MMIO / async-tracking statistics.
+    pub cluster_stats: ClusterStats,
+    /// This cluster's contention counters on the shared L2/DRAM back-end.
+    pub contention: ClusterContentionStats,
+    /// Multiply-accumulates performed by this cluster's matrix units.
+    pub performed_macs: u64,
+    /// Active energy this cluster's events contributed, in millijoules.
+    pub energy_mj: f64,
+}
+
+impl ClusterReport {
+    /// Cycles this cluster's DRAM requests spent queued behind the shared
+    /// channel — the per-cluster contention metric of the scaling study.
+    pub fn dram_stall_cycles(&self) -> u64 {
+        self.contention.dram_stall_cycles
+    }
+}
 
 /// The result of simulating one kernel on one GPU configuration.
 ///
@@ -18,7 +57,13 @@ use crate::config::DesignKind;
 /// quantities the paper's evaluation uses: cycle count, MAC utilization
 /// (Table 3), per-component active power (Figures 8–10), matrix-unit energy
 /// breakdown (Figure 11), shared-memory read footprint (Table 4) and the SoC
-/// area breakdown (Figure 7).
+/// area breakdown (Figure 7). The machine-wide aggregates sum over every
+/// cluster; [`SimReport::per_cluster`] exposes the per-cluster slices, and
+/// with a single cluster the aggregate event statistics equal the slice's.
+/// (The one exception is energy: [`ClusterReport::energy_mj`] covers the
+/// cluster's own events, while the machine total additionally charges the
+/// shared DRAM channel's burst energy, so the slice is slightly below the
+/// total even at one cluster.)
 #[derive(Debug, Clone)]
 pub struct SimReport {
     design: DesignKind,
@@ -34,28 +79,74 @@ pub struct SimReport {
     dram_stats: DramStats,
     dma_stats: Option<DmaStats>,
     cluster_stats: ClusterStats,
+    per_cluster: Vec<ClusterReport>,
+    dram_contention_stall_cycles: u64,
     power: PowerReport,
     area: AreaReport,
 }
 
 impl SimReport {
-    /// Builds a report from a finished cluster.
-    pub(crate) fn from_cluster(cluster: &Cluster, info: &KernelInfo, cycles: Cycle) -> Self {
-        let config = cluster.config();
-        let devices = cluster.devices();
-        let core_stats = cluster.core_stats();
-
-        let performed_macs = devices
-            .tightly_units
-            .iter()
-            .map(|u| u.stats().macs)
-            .chain(devices.decoupled_units.iter().map(|u| u.stats().macs))
-            .chain(devices.gemmini_units.iter().map(|u| u.stats().macs))
-            .sum();
-
-        let ledger = build_ledger(cluster, &core_stats);
+    /// Builds a report from the finished machine: every cluster plus the
+    /// shared memory back-end.
+    pub(crate) fn from_machine(
+        clusters: &[Cluster],
+        backend: &MemoryBackend,
+        info: &KernelInfo,
+        cycles: Cycle,
+    ) -> Self {
+        let config = clusters[0].config();
         let table = EnergyTable::default_16nm();
-        let power = PowerReport::from_ledger(&ledger, &table, cycles, config.frequency);
+
+        // Per-cluster slices, each with its own energy ledger; the machine
+        // ledger is their merge plus the shared back-end's DRAM traffic.
+        let mut machine_ledger = EnergyLedger::new();
+        let mut per_cluster = Vec::with_capacity(clusters.len());
+        for cluster in clusters {
+            let contention = backend.cluster_stats(cluster.cluster_id());
+            let ledger = build_cluster_ledger(cluster, &contention);
+            let devices = cluster.devices();
+            per_cluster.push(ClusterReport {
+                cluster: cluster.cluster_id(),
+                core_stats: cluster.core_stats(),
+                smem_stats: devices.smem.stats(),
+                gmem_stats: devices.gmem.stats(),
+                dma_stats: devices.dma.as_ref().map(|d| d.stats()),
+                cluster_stats: devices.stats(),
+                contention,
+                performed_macs: cluster.performed_macs(),
+                energy_mj: ledger.total_energy_pj(&table) * 1e-9,
+            });
+            machine_ledger.merge(&ledger);
+        }
+        machine_ledger.record(
+            Component::DmaOther,
+            EnergyEvent::DramBurst,
+            backend.dram_stats().bursts,
+        );
+
+        // Machine-wide aggregates.
+        let mut core_stats = CoreStats::default();
+        let mut smem_stats = SmemStats::default();
+        let mut gmem_stats = GlobalMemoryStats::default();
+        let mut cluster_stats = ClusterStats::default();
+        let mut dma_stats: Option<DmaStats> = None;
+        let mut performed_macs = 0u64;
+        for slice in &per_cluster {
+            core_stats.merge(&slice.core_stats);
+            smem_stats.merge(&slice.smem_stats);
+            gmem_stats.merge(&slice.gmem_stats);
+            cluster_stats.merge(&slice.cluster_stats);
+            if let Some(dma) = &slice.dma_stats {
+                dma_stats.get_or_insert_with(DmaStats::default).merge(dma);
+            }
+            performed_macs += slice.performed_macs;
+        }
+        let backend_stats = backend.stats();
+        gmem_stats.l2_accesses = backend_stats.l2_accesses;
+        gmem_stats.l2_misses = backend_stats.l2_misses;
+        gmem_stats.dma_bytes = backend_stats.dma_bytes;
+
+        let power = PowerReport::from_ledger(&machine_ledger, &table, cycles, config.frequency);
         let area = AreaModel::default_16nm().estimate(&config.area_params());
 
         SimReport {
@@ -65,13 +156,15 @@ impl SimReport {
             frequency: config.frequency,
             kernel_macs: info.total_macs,
             performed_macs,
-            peak_macs_per_cycle: config.peak_macs_per_cycle(),
+            peak_macs_per_cycle: config.machine_peak_macs_per_cycle(),
             core_stats,
-            smem_stats: devices.smem.stats(),
-            gmem_stats: devices.gmem.stats(),
-            dram_stats: devices.gmem.dram_stats(),
-            dma_stats: devices.dma.as_ref().map(|d| d.stats()),
-            cluster_stats: devices.stats(),
+            smem_stats,
+            gmem_stats,
+            dram_stats: backend.dram_stats(),
+            dma_stats,
+            cluster_stats,
+            per_cluster,
+            dram_contention_stall_cycles: backend.total_dram_stall_cycles(),
             power,
             area,
         }
@@ -97,7 +190,8 @@ impl SimReport {
         self.frequency.cycles_to_seconds(self.cycles)
     }
 
-    /// Multiply-accumulates actually performed by the matrix units.
+    /// Multiply-accumulates actually performed by the matrix units, summed
+    /// over every cluster.
     pub fn performed_macs(&self) -> u64 {
         self.performed_macs
     }
@@ -108,7 +202,7 @@ impl SimReport {
     }
 
     /// MAC utilization — the Table 3 metric: performed MACs divided by the
-    /// cluster's peak MAC capacity over the runtime.
+    /// machine's peak MAC capacity over the runtime.
     pub fn mac_utilization(&self) -> Ratio {
         Ratio::new(
             self.performed_macs as f64,
@@ -127,7 +221,7 @@ impl SimReport {
     }
 
     /// Cycles during which at least one warp was spinning in `virgo_fence`
-    /// (Section 4.5.1's synchronization-overhead metric).
+    /// (Section 4.5.1's synchronization-overhead metric), summed over cores.
     pub fn fence_wait_cycles(&self) -> u64 {
         self.core_stats.fence_wait_cycles
     }
@@ -137,34 +231,53 @@ impl SimReport {
         self.smem_stats.bytes_read
     }
 
-    /// Aggregated SIMT-core statistics.
+    /// Aggregated SIMT-core statistics across the machine.
     pub fn core_stats(&self) -> &CoreStats {
         &self.core_stats
     }
 
-    /// Shared-memory statistics.
+    /// Shared-memory statistics, summed over clusters.
     pub fn smem_stats(&self) -> &SmemStats {
         &self.smem_stats
     }
 
-    /// Global-memory (cache hierarchy) statistics.
+    /// Global-memory (cache hierarchy) statistics: L1 counters summed over
+    /// clusters, L2/DMA counters from the shared back-end.
     pub fn gmem_stats(&self) -> &GlobalMemoryStats {
         &self.gmem_stats
     }
 
-    /// DRAM interface statistics.
+    /// DRAM interface statistics (the single shared channel).
     pub fn dram_stats(&self) -> &DramStats {
         &self.dram_stats
     }
 
-    /// DMA statistics, when the design has a DMA engine.
+    /// DMA statistics summed over clusters, when the design has DMA engines.
     pub fn dma_stats(&self) -> Option<&DmaStats> {
         self.dma_stats.as_ref()
     }
 
-    /// Cluster-level (MMIO / async tracking) statistics.
+    /// Cluster-level (MMIO / async tracking) statistics, summed over
+    /// clusters.
     pub fn cluster_stats(&self) -> &ClusterStats {
         &self.cluster_stats
+    }
+
+    /// Per-cluster breakdowns, in cluster order.
+    pub fn per_cluster(&self) -> &[ClusterReport] {
+        &self.per_cluster
+    }
+
+    /// Number of clusters the machine simulated.
+    pub fn clusters(&self) -> usize {
+        self.per_cluster.len()
+    }
+
+    /// Total cycles DRAM requests spent queued behind the shared channel,
+    /// summed over clusters — the machine-wide contention metric of the
+    /// cluster-scaling study.
+    pub fn dram_contention_stall_cycles(&self) -> u64 {
+        self.dram_contention_stall_cycles
     }
 
     /// The active power / energy report (Figures 8–11).
@@ -188,10 +301,14 @@ impl SimReport {
     }
 }
 
-/// Converts the event counters of every cluster component into an energy
-/// ledger.
-fn build_ledger(cluster: &Cluster, core_stats: &CoreStats) -> EnergyLedger {
+/// Converts the event counters of one cluster's components into an energy
+/// ledger. Shared-L2 accesses are charged to the requesting cluster via its
+/// `contention` counters; DRAM bursts are *not* recorded here — the channel
+/// is shared, so the machine report charges it once from the back-end's
+/// counters.
+fn build_cluster_ledger(cluster: &Cluster, contention: &ClusterContentionStats) -> EnergyLedger {
     let devices = cluster.devices();
+    let core_stats = cluster.core_stats();
     let mut ledger = EnergyLedger::new();
 
     // SIMT cores (Figure 10 stages). Register reads are part of the issue /
@@ -249,7 +366,9 @@ fn build_ledger(cluster: &Cluster, core_stats: &CoreStats) -> EnergyLedger {
     );
 
     // Instruction fetch: one L1I line access per group of issued
-    // instructions, plus the data-side cache traffic.
+    // instructions, plus the data-side L1 traffic of this cluster's
+    // front-end. The shared L2 is charged with the cluster's own accesses so
+    // contention energy follows the requester.
     let gmem = devices.gmem.stats();
     ledger.record(
         Component::L1Cache,
@@ -257,9 +376,11 @@ fn build_ledger(cluster: &Cluster, core_stats: &CoreStats) -> EnergyLedger {
         core_stats.icache_accesses + gmem.l1_accesses,
     );
     ledger.record(Component::L1Cache, EnergyEvent::L1Fill, gmem.l1_misses);
-    ledger.record(Component::L2Cache, EnergyEvent::L2Access, gmem.l2_accesses);
-    let dram = devices.gmem.dram_stats();
-    ledger.record(Component::DmaOther, EnergyEvent::DramBurst, dram.bursts);
+    ledger.record(
+        Component::L2Cache,
+        EnergyEvent::L2Access,
+        contention.l2_accesses,
+    );
 
     // Shared memory.
     let smem = devices.smem.stats();
@@ -396,6 +517,8 @@ mod tests {
         assert!(report.total_energy_mj() > 0.0);
         assert!(report.active_power_mw() > 0.0);
         assert!(report.area().total_mm2() > 0.0);
+        assert_eq!(report.clusters(), 1);
+        assert_eq!(report.per_cluster().len(), 1);
     }
 
     #[test]
@@ -414,5 +537,55 @@ mod tests {
         let total = report.power().total_energy_uj();
         assert!(core > 0.0);
         assert!(core / total > 0.5, "core fraction {}", core / total);
+    }
+
+    #[test]
+    fn single_cluster_slice_matches_machine_aggregates() {
+        let mut gpu = Gpu::new(GpuConfig::virgo());
+        let report = gpu.run(&trivial_kernel(0), 100_000).unwrap();
+        let slice = &report.per_cluster()[0];
+        assert_eq!(&slice.core_stats, report.core_stats());
+        assert_eq!(&slice.smem_stats, report.smem_stats());
+        assert_eq!(slice.performed_macs, report.performed_macs());
+        assert_eq!(
+            slice.dram_stall_cycles(),
+            report.dram_contention_stall_cycles()
+        );
+    }
+
+    #[test]
+    fn multi_cluster_report_has_one_slice_per_cluster() {
+        let program = {
+            let mut b = ProgramBuilder::new();
+            b.op_n(
+                8,
+                WarpOp::Alu {
+                    rf_reads: 2,
+                    rf_writes: 1,
+                },
+            );
+            Arc::new(b.build())
+        };
+        let kernel = Kernel::new(
+            KernelInfo::new("pair", 0, DataType::Fp16),
+            vec![
+                WarpAssignment::on_cluster(0, 0, 0, Arc::clone(&program)),
+                WarpAssignment::on_cluster(1, 0, 0, Arc::clone(&program)),
+            ],
+        );
+        let mut gpu = Gpu::new(GpuConfig::virgo().with_clusters(2));
+        let report = gpu.run(&kernel, 100_000).unwrap();
+        assert_eq!(report.clusters(), 2);
+        assert_eq!(report.instructions_retired(), 16);
+        let total: u64 = report
+            .per_cluster()
+            .iter()
+            .map(|c| c.core_stats.instrs_issued)
+            .sum();
+        assert_eq!(total, 16);
+        // Cluster energies sum to (almost exactly) the machine energy; the
+        // shared DRAM burst charge is the only machine-level extra.
+        let summed: f64 = report.per_cluster().iter().map(|c| c.energy_mj).sum();
+        assert!(summed <= report.total_energy_mj() + 1e-12);
     }
 }

@@ -3,33 +3,159 @@
 use std::fmt;
 
 use virgo_isa::Kernel;
-use virgo_sim::Cycle;
+use virgo_mem::MemoryBackend;
+use virgo_sim::{earliest, Cycle};
+use virgo_simt::BlockReason;
 
 use crate::cluster::Cluster;
 use crate::config::GpuConfig;
 use crate::report::SimReport;
+
+/// What one unfinished warp was stuck on when the cycle budget ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Spinning in `virgo_fence(max_outstanding)` while `outstanding`
+    /// asynchronous operations had still not completed.
+    Fence {
+        /// The fence's threshold.
+        max_outstanding: u32,
+        /// Asynchronous operations outstanding on the warp's cluster at
+        /// timeout.
+        outstanding: u32,
+    },
+    /// Waiting at cluster barrier `id` for a release that never came
+    /// (mismatched barrier participation).
+    Barrier {
+        /// Barrier id.
+        id: u8,
+    },
+    /// Waiting for the core's operand-decoupled tensor unit to drain.
+    WgmmaDrain,
+    /// Waiting for `in_flight` outstanding loads to write back.
+    Loads {
+        /// Loads still in flight.
+        in_flight: u32,
+    },
+    /// Runnable but unable to issue — typically a structural hazard such as
+    /// an `HMMA` step retried forever against a busy or absent unit.
+    Stalled,
+}
+
+impl fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockedOn::Fence {
+                max_outstanding,
+                outstanding,
+            } => write!(
+                f,
+                "virgo_fence({max_outstanding}) with {outstanding} async ops outstanding"
+            ),
+            BlockedOn::Barrier { id } => write!(f, "barrier {id}"),
+            BlockedOn::WgmmaDrain => write!(f, "wgmma drain"),
+            BlockedOn::Loads { in_flight } => write!(f, "{in_flight} outstanding loads"),
+            BlockedOn::Stalled => write!(f, "issue stall (busy unit or hazard)"),
+        }
+    }
+}
+
+/// The placement and blocked state of one unfinished warp at timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpDiagnosis {
+    /// Cluster the warp ran on.
+    pub cluster: u32,
+    /// Core within the cluster.
+    pub core: u32,
+    /// The warp's cluster-unique id.
+    pub warp: u32,
+    /// What the warp was stuck on.
+    pub blocked_on: BlockedOn,
+}
+
+/// Structured diagnosis attached to [`SimError::Timeout`]: every unfinished
+/// warp with its placement and blocking condition, captured at the moment the
+/// cycle budget ran out. This replaces the old workflow of re-running a
+/// deadlocked kernel under [`SimMode::Naive`] with ad-hoc tracing just to
+/// find out which warp was stuck on what.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimeoutDiagnosis {
+    /// One entry per unfinished warp, in (cluster, core, warp) order.
+    pub warps: Vec<WarpDiagnosis>,
+}
+
+impl TimeoutDiagnosis {
+    /// True when no warp information was captured (e.g. a hand-constructed
+    /// error).
+    pub fn is_empty(&self) -> bool {
+        self.warps.is_empty()
+    }
+
+    /// Unfinished warps blocked on a given kind of condition.
+    pub fn count_where(&self, pred: impl Fn(&BlockedOn) -> bool) -> usize {
+        self.warps.iter().filter(|w| pred(&w.blocked_on)).count()
+    }
+}
+
+impl fmt::Display for TimeoutDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} unfinished warp(s)", self.warps.len())?;
+        const SHOWN: usize = 8;
+        for w in self.warps.iter().take(SHOWN) {
+            write!(
+                f,
+                "; cluster {} core {} warp {}: {}",
+                w.cluster, w.core, w.warp, w.blocked_on
+            )?;
+        }
+        if self.warps.len() > SHOWN {
+            write!(f, "; ... {} more", self.warps.len() - SHOWN)?;
+        }
+        Ok(())
+    }
+}
 
 /// Errors returned by [`Gpu::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The kernel did not finish within the cycle budget — usually a
     /// deadlocked synchronization pattern (mismatched barriers or a fence on
-    /// an operation that was never launched).
+    /// an operation that was never launched). The diagnosis names every
+    /// unfinished warp and what it was blocked on.
     Timeout {
         /// The cycle budget that was exhausted.
         limit: u64,
+        /// Per-warp blocked-on state at timeout.
+        diagnosis: TimeoutDiagnosis,
     },
     /// The kernel uses no warps.
     EmptyKernel,
+    /// The kernel assigns warps to cluster indices outside the configuration.
+    ClusterOutOfRange {
+        /// The highest cluster index the kernel uses.
+        max_cluster: u32,
+        /// The number of clusters the configuration provides.
+        clusters: u32,
+    },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Timeout { limit } => {
-                write!(f, "kernel did not finish within {limit} cycles")
+            SimError::Timeout { limit, diagnosis } => {
+                write!(f, "kernel did not finish within {limit} cycles")?;
+                if !diagnosis.is_empty() {
+                    write!(f, ": {diagnosis}")?;
+                }
+                Ok(())
             }
             SimError::EmptyKernel => write!(f, "kernel has no warps"),
+            SimError::ClusterOutOfRange {
+                max_cluster,
+                clusters,
+            } => write!(
+                f,
+                "kernel assigns warps to cluster {max_cluster} but the machine has {clusters} cluster(s)"
+            ),
         }
     }
 }
@@ -47,11 +173,11 @@ impl std::error::Error for SimError {}
 pub enum SimMode {
     /// Tick every component once per cycle, the classic cycle-stepped loop.
     Naive,
-    /// Skip quiescent regions: when no core or device can make progress
-    /// before cycle `t`, jump straight to `t` and bulk-account the skipped
-    /// stall/idle cycles. This is the default; on stall-heavy workloads
-    /// (DRAM/DMA-bound tiles, fence waits) it reduces wall-clock time by
-    /// orders of magnitude.
+    /// Skip quiescent regions: when no core or device in *any* cluster can
+    /// make progress before cycle `t`, jump straight to `t` and bulk-account
+    /// the skipped stall/idle cycles. This is the default; on stall-heavy
+    /// workloads (DRAM/DMA-bound tiles, fence waits) it reduces wall-clock
+    /// time by orders of magnitude.
     #[default]
     FastForward,
 }
@@ -65,10 +191,85 @@ impl fmt::Display for SimMode {
     }
 }
 
-/// A simulated GPU (one cluster plus its memory system) at a fixed
-/// configuration.
+/// The machine under simulation: every cluster plus the shared memory
+/// back-end they contend for.
+struct Machine {
+    clusters: Vec<Cluster>,
+    backend: MemoryBackend,
+}
+
+impl Machine {
+    fn new(config: &GpuConfig, kernel: &Kernel) -> Machine {
+        let cluster_count = config.clusters.max(1);
+        let backend = MemoryBackend::new(config.global_memory(), cluster_count);
+        let clusters = (0..cluster_count)
+            .map(|c| Cluster::new(config.clone(), kernel, c))
+            .collect();
+        Machine { clusters, backend }
+    }
+
+    fn finished(&self) -> bool {
+        self.clusters.iter().all(Cluster::finished)
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        for cluster in &mut self.clusters {
+            cluster.tick(now, &mut self.backend);
+        }
+    }
+
+    /// Folds every cluster's event horizon. `Some(now)` short-circuits: some
+    /// cluster can act this cycle, so nothing may be skipped. `None` means no
+    /// cluster will ever act again — a machine-wide deadlock.
+    fn next_activity(&mut self, now: Cycle) -> Option<Cycle> {
+        let mut next = None;
+        for cluster in &mut self.clusters {
+            match cluster.next_activity(now, &mut self.backend) {
+                Some(t) if t <= now => return Some(now),
+                event => next = earliest(next, event),
+            }
+        }
+        next
+    }
+
+    fn fast_forward(&mut self, from: Cycle, cycles: u64) {
+        for cluster in &mut self.clusters {
+            cluster.fast_forward(from, cycles);
+        }
+    }
+
+    fn timeout_diagnosis(&self) -> TimeoutDiagnosis {
+        let mut warps = Vec::new();
+        for cluster in &self.clusters {
+            for placed in cluster.unfinished_warps() {
+                let blocked_on = match placed.snapshot.block {
+                    Some(BlockReason::Fence { max_outstanding }) => BlockedOn::Fence {
+                        max_outstanding,
+                        outstanding: placed.async_outstanding,
+                    },
+                    Some(BlockReason::Barrier { id, .. }) => BlockedOn::Barrier { id },
+                    Some(BlockReason::WgmmaDrain) => BlockedOn::WgmmaDrain,
+                    Some(BlockReason::Loads) => BlockedOn::Loads {
+                        in_flight: placed.snapshot.loads_in_flight as u32,
+                    },
+                    None => BlockedOn::Stalled,
+                };
+                warps.push(WarpDiagnosis {
+                    cluster: placed.cluster,
+                    core: placed.core,
+                    warp: placed.snapshot.global_id,
+                    blocked_on,
+                });
+            }
+        }
+        TimeoutDiagnosis { warps }
+    }
+}
+
+/// A simulated GPU — `clusters` identical clusters sharing one L2/DRAM
+/// back-end — at a fixed configuration.
 ///
-/// Each [`Gpu::run`] builds a fresh cluster (cold caches, idle engines) so
+/// Each [`Gpu::run`] builds a fresh machine (cold caches, idle engines) so
 /// runs are independent and reproducible.
 #[derive(Debug, Clone)]
 pub struct Gpu {
@@ -92,8 +293,9 @@ impl Gpu {
     /// # Errors
     ///
     /// Returns [`SimError::Timeout`] if the kernel has not finished within
-    /// `max_cycles`, and [`SimError::EmptyKernel`] if the kernel contains no
-    /// warps.
+    /// `max_cycles`, [`SimError::EmptyKernel`] if the kernel contains no
+    /// warps, and [`SimError::ClusterOutOfRange`] if the kernel targets
+    /// clusters the configuration does not have.
     pub fn run(&mut self, kernel: &Kernel, max_cycles: u64) -> Result<SimReport, SimError> {
         self.run_with_mode(kernel, max_cycles, SimMode::FastForward)
     }
@@ -110,18 +312,16 @@ impl Gpu {
     /// Simulates `kernel` to completion, up to `max_cycles`, with an explicit
     /// time-advance mode.
     ///
-    /// In [`SimMode::FastForward`] the driver asks the cluster for the
-    /// earliest cycle at which any component can make progress; if that is in
-    /// the future it jumps there directly, bulk-accounting the skipped
+    /// In [`SimMode::FastForward`] the driver folds the event horizons of
+    /// every cluster (and the devices within them); if the earliest horizon
+    /// is in the future it jumps there directly, bulk-accounting the skipped
     /// stall/idle cycles so every statistic stays bit-identical to the naive
-    /// loop. A cluster with no future activity at all (a deadlock) is
+    /// loop. A machine with no future activity at all (a deadlock) is
     /// forwarded straight to the cycle budget.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Timeout`] if the kernel has not finished within
-    /// `max_cycles`, and [`SimError::EmptyKernel`] if the kernel contains no
-    /// warps.
+    /// Same as [`Gpu::run`].
     pub fn run_with_mode(
         &mut self,
         kernel: &Kernel,
@@ -131,37 +331,51 @@ impl Gpu {
         if kernel.warps.is_empty() {
             return Err(SimError::EmptyKernel);
         }
-        let mut cluster = Cluster::new(self.config.clone(), kernel);
+        let clusters = self.config.clusters.max(1);
+        if let Some(max_cluster) = kernel.max_cluster() {
+            if max_cluster >= clusters {
+                return Err(SimError::ClusterOutOfRange {
+                    max_cluster,
+                    clusters,
+                });
+            }
+        }
+        let mut machine = Machine::new(&self.config, kernel);
         let mut cycle = 0u64;
         while cycle < max_cycles {
-            if cluster.finished() {
-                return Ok(SimReport::from_cluster(
-                    &cluster,
+            if machine.finished() {
+                return Ok(SimReport::from_machine(
+                    &machine.clusters,
+                    &machine.backend,
                     &kernel.info,
                     Cycle::new(cycle),
                 ));
             }
             if mode == SimMode::FastForward {
-                let target = cluster
+                let target = machine
                     .next_activity(Cycle::new(cycle))
                     .map_or(max_cycles, |t| t.get().min(max_cycles));
                 if target > cycle {
-                    cluster.fast_forward(Cycle::new(cycle), target - cycle);
+                    machine.fast_forward(Cycle::new(cycle), target - cycle);
                     cycle = target;
                     continue;
                 }
             }
-            cluster.tick(Cycle::new(cycle));
+            machine.tick(Cycle::new(cycle));
             cycle += 1;
         }
-        if cluster.finished() {
-            Ok(SimReport::from_cluster(
-                &cluster,
+        if machine.finished() {
+            Ok(SimReport::from_machine(
+                &machine.clusters,
+                &machine.backend,
                 &kernel.info,
                 Cycle::new(cycle),
             ))
         } else {
-            Err(SimError::Timeout { limit: max_cycles })
+            Err(SimError::Timeout {
+                limit: max_cycles,
+                diagnosis: machine.timeout_diagnosis(),
+            })
         }
     }
 }
@@ -203,7 +417,25 @@ mod tests {
     }
 
     #[test]
-    fn deadlocked_kernel_times_out() {
+    fn out_of_range_cluster_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.op(WarpOp::Nop);
+        let kernel = Kernel::new(
+            KernelInfo::new("far", 0, DataType::Fp16),
+            vec![WarpAssignment::on_cluster(3, 0, 0, Arc::new(b.build()))],
+        );
+        let mut gpu = Gpu::new(GpuConfig::virgo().with_clusters(2));
+        assert_eq!(
+            gpu.run(&kernel, 100).unwrap_err(),
+            SimError::ClusterOutOfRange {
+                max_cluster: 3,
+                clusters: 2
+            }
+        );
+    }
+
+    #[test]
+    fn deadlocked_kernel_times_out_with_diagnosis() {
         // A single warp waiting at a two-participant barrier never finishes.
         let mut b = ProgramBuilder::new();
         b.op(WarpOp::Barrier { id: 0 });
@@ -215,8 +447,63 @@ mod tests {
             ],
         );
         let mut gpu = Gpu::new(GpuConfig::virgo());
-        let result = gpu.run(&lonely, 2000);
-        assert_eq!(result.unwrap_err(), SimError::Timeout { limit: 2000 });
+        let Err(SimError::Timeout { limit, diagnosis }) = gpu.run(&lonely, 2000) else {
+            panic!("expected a timeout");
+        };
+        assert_eq!(limit, 2000);
+        assert_eq!(diagnosis.warps.len(), 1);
+        assert_eq!(diagnosis.warps[0].cluster, 0);
+        assert_eq!(diagnosis.warps[0].core, 0);
+        assert_eq!(diagnosis.warps[0].blocked_on, BlockedOn::Barrier { id: 0 });
+        assert_eq!(
+            diagnosis.count_where(|b| matches!(b, BlockedOn::Barrier { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn fence_deadlock_diagnosis_reports_outstanding_ops() {
+        // A fence that can never be satisfied: threshold 0 with an async
+        // matrix command the (unit-less) configuration will never complete.
+        let cmd = virgo_isa::MmioCommand::MatrixCompute(virgo_isa::MatrixComputeCmd {
+            a: virgo_isa::AddrExpr::fixed(0),
+            b: virgo_isa::AddrExpr::fixed(0),
+            acc_addr: 0,
+            m: 64,
+            n: 64,
+            k: 1024,
+            accumulate: false,
+            dtype: DataType::Fp16,
+        });
+        let mut b = ProgramBuilder::new();
+        b.op(WarpOp::MmioWrite {
+            device: virgo_isa::DeviceId::MATRIX0,
+            cmd,
+        });
+        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+        let kernel = Kernel::new(
+            KernelInfo::new("fence-stuck", 0, DataType::Fp16),
+            vec![WarpAssignment::new(0, 0, Arc::new(b.build()))],
+        );
+        let mut gpu = Gpu::new(GpuConfig::virgo());
+        // Budget too small for the 64x64x1024 command to finish streaming.
+        let Err(SimError::Timeout { diagnosis, .. }) = gpu.run(&kernel, 500) else {
+            panic!("expected a timeout");
+        };
+        assert_eq!(diagnosis.warps.len(), 1);
+        assert!(matches!(
+            diagnosis.warps[0].blocked_on,
+            BlockedOn::Fence {
+                max_outstanding: 0,
+                outstanding: 1
+            }
+        ));
+        let msg = SimError::Timeout {
+            limit: 500,
+            diagnosis,
+        }
+        .to_string();
+        assert!(msg.contains("virgo_fence(0)"), "{msg}");
     }
 
     #[test]
@@ -231,9 +518,27 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(SimError::Timeout { limit: 5 }
-            .to_string()
-            .contains("5 cycles"));
+        assert!(SimError::Timeout {
+            limit: 5,
+            diagnosis: TimeoutDiagnosis::default()
+        }
+        .to_string()
+        .contains("5 cycles"));
         assert!(SimError::EmptyKernel.to_string().contains("no warps"));
+        let diag = TimeoutDiagnosis {
+            warps: vec![WarpDiagnosis {
+                cluster: 1,
+                core: 2,
+                warp: 3,
+                blocked_on: BlockedOn::Barrier { id: 7 },
+            }],
+        };
+        let msg = SimError::Timeout {
+            limit: 9,
+            diagnosis: diag,
+        }
+        .to_string();
+        assert!(msg.contains("cluster 1 core 2 warp 3"), "{msg}");
+        assert!(msg.contains("barrier 7"), "{msg}");
     }
 }

@@ -63,9 +63,11 @@ impl KernelInfo {
     }
 }
 
-/// One warp's program and its placement within the cluster.
+/// One warp's program and its placement within the machine.
 #[derive(Debug, Clone)]
 pub struct WarpAssignment {
+    /// Index of the cluster this warp's thread block runs on.
+    pub cluster: u32,
     /// Index of the SIMT core within the cluster this warp runs on.
     pub core: u32,
     /// Hardware warp slot within the core.
@@ -75,9 +77,15 @@ pub struct WarpAssignment {
 }
 
 impl WarpAssignment {
-    /// Creates a warp assignment.
+    /// Creates a warp assignment on cluster 0 (the single-cluster default).
     pub fn new(core: u32, warp: u32, program: Arc<Program>) -> Self {
+        Self::on_cluster(0, core, warp, program)
+    }
+
+    /// Creates a warp assignment on an explicit cluster.
+    pub fn on_cluster(cluster: u32, core: u32, warp: u32, program: Arc<Program>) -> Self {
         WarpAssignment {
+            cluster,
             core,
             warp,
             program,
@@ -85,9 +93,83 @@ impl WarpAssignment {
     }
 }
 
-/// A kernel: the collection of warp programs launched onto one cluster
-/// (one thread block in the Virgo programming model, where the thread block
-/// spans all cores of the cluster).
+/// A contiguous partition of a linear work grid (e.g. GEMM output tiles or
+/// attention row blocks) across the clusters of the machine.
+///
+/// Kernel generators use this to split a kernel's outermost tile loop: each
+/// cluster receives a contiguous run of tile indices, with the remainder
+/// spread one-per-cluster over the leading clusters so the imbalance is at
+/// most one tile. A single-cluster partition always covers the whole grid,
+/// which keeps `clusters = 1` kernels identical to their pre-partition form.
+///
+/// # Example
+///
+/// ```
+/// use virgo_isa::GridPartition;
+///
+/// let p = GridPartition::new(10, 4);
+/// assert_eq!(p.count(0), 3); // clusters 0 and 1 take the remainder
+/// assert_eq!(p.count(1), 3);
+/// assert_eq!(p.count(2), 2);
+/// assert_eq!(p.range(3), 8..10);
+/// assert_eq!((0..4).map(|c| p.count(c)).sum::<u64>(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridPartition {
+    total: u64,
+    clusters: u32,
+}
+
+impl GridPartition {
+    /// Creates a partition of `total` work items over `clusters` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    pub fn new(total: u64, clusters: u32) -> Self {
+        assert!(clusters > 0, "cannot partition a grid over zero clusters");
+        GridPartition { total, clusters }
+    }
+
+    /// Total work items in the grid.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of clusters the grid is split over.
+    pub fn clusters(&self) -> u32 {
+        self.clusters
+    }
+
+    /// The half-open range of work-item indices owned by `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn range(&self, cluster: u32) -> std::ops::Range<u64> {
+        assert!(cluster < self.clusters, "cluster {cluster} out of range");
+        let base = self.total / u64::from(self.clusters);
+        let rem = self.total % u64::from(self.clusters);
+        let c = u64::from(cluster);
+        let start = base * c + c.min(rem);
+        let len = base + u64::from(c < rem);
+        start..start + len
+    }
+
+    /// Number of work items owned by `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn count(&self, cluster: u32) -> u64 {
+        let r = self.range(cluster);
+        r.end - r.start
+    }
+}
+
+/// A kernel: the collection of warp programs launched onto the machine's
+/// clusters (one thread block per cluster in the Virgo programming model,
+/// where each thread block spans all cores of its cluster).
 #[derive(Debug, Clone)]
 pub struct Kernel {
     /// Kernel metadata.
@@ -107,17 +189,36 @@ impl Kernel {
         self.warps.iter().map(|w| w.program.dynamic_len()).sum()
     }
 
-    /// Number of distinct cores used by the kernel's warps.
+    /// Number of distinct (cluster, core) pairs used by the kernel's warps.
     pub fn cores_used(&self) -> usize {
-        let mut cores: Vec<u32> = self.warps.iter().map(|w| w.core).collect();
+        let mut cores: Vec<(u32, u32)> = self.warps.iter().map(|w| (w.cluster, w.core)).collect();
         cores.sort_unstable();
         cores.dedup();
         cores.len()
     }
 
-    /// Warps assigned to a particular core.
+    /// Number of distinct clusters used by the kernel's warps.
+    pub fn clusters_used(&self) -> usize {
+        let mut clusters: Vec<u32> = self.warps.iter().map(|w| w.cluster).collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        clusters.len()
+    }
+
+    /// Highest cluster index any warp is assigned to, or `None` for an empty
+    /// kernel.
+    pub fn max_cluster(&self) -> Option<u32> {
+        self.warps.iter().map(|w| w.cluster).max()
+    }
+
+    /// Warps assigned to a particular core (on any cluster).
     pub fn warps_on_core(&self, core: u32) -> impl Iterator<Item = &WarpAssignment> {
         self.warps.iter().filter(move |w| w.core == core)
+    }
+
+    /// Warps assigned to a particular cluster.
+    pub fn warps_on_cluster(&self, cluster: u32) -> impl Iterator<Item = &WarpAssignment> {
+        self.warps.iter().filter(move |w| w.cluster == cluster)
     }
 }
 
@@ -157,6 +258,61 @@ mod tests {
         assert_eq!(kernel.warps_on_core(0).count(), 2);
         assert_eq!(kernel.warps_on_core(1).count(), 1);
         assert_eq!(kernel.warps_on_core(7).count(), 0);
+    }
+
+    #[test]
+    fn cluster_placement_defaults_to_zero() {
+        let w = WarpAssignment::new(3, 1, tiny_program(1));
+        assert_eq!(w.cluster, 0);
+        let w2 = WarpAssignment::on_cluster(2, 3, 1, tiny_program(1));
+        assert_eq!(w2.cluster, 2);
+    }
+
+    #[test]
+    fn kernel_reports_cluster_usage() {
+        let kernel = Kernel::new(
+            KernelInfo::new("multi", 0, DataType::Fp16),
+            vec![
+                WarpAssignment::on_cluster(0, 0, 0, tiny_program(1)),
+                WarpAssignment::on_cluster(1, 0, 0, tiny_program(1)),
+                WarpAssignment::on_cluster(1, 1, 0, tiny_program(1)),
+            ],
+        );
+        assert_eq!(kernel.clusters_used(), 2);
+        assert_eq!(kernel.max_cluster(), Some(1));
+        assert_eq!(kernel.cores_used(), 3);
+        assert_eq!(kernel.warps_on_cluster(1).count(), 2);
+        assert_eq!(kernel.warps_on_cluster(7).count(), 0);
+    }
+
+    #[test]
+    fn grid_partition_covers_grid_without_overlap() {
+        for (total, clusters) in [(0u64, 1u32), (1, 4), (10, 4), (64, 8), (7, 3)] {
+            let p = GridPartition::new(total, clusters);
+            let mut next = 0;
+            for c in 0..clusters {
+                let r = p.range(c);
+                assert_eq!(r.start, next, "total={total} clusters={clusters} c={c}");
+                next = r.end;
+                // Balanced to within one item.
+                assert!(p.count(c) >= total / u64::from(clusters));
+                assert!(p.count(c) <= total.div_ceil(u64::from(clusters)));
+            }
+            assert_eq!(next, total);
+        }
+    }
+
+    #[test]
+    fn single_cluster_partition_is_the_whole_grid() {
+        let p = GridPartition::new(42, 1);
+        assert_eq!(p.range(0), 0..42);
+        assert_eq!(p.count(0), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero clusters")]
+    fn zero_cluster_partition_panics() {
+        let _ = GridPartition::new(4, 0);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod program;
 
 pub use addr::{AddrExpr, LaneAccess, MemRegion};
 pub use builder::ProgramBuilder;
-pub use kernel::{DataType, Kernel, KernelInfo, WarpAssignment};
+pub use kernel::{DataType, GridPartition, Kernel, KernelInfo, WarpAssignment};
 pub use mmio::{DeviceId, DmaCopyCmd, MatrixComputeCmd, MemLoc, MmioCommand, WgmmaOp};
 pub use op::{OpId, WarpOp};
 pub use program::{Program, ProgramCursor, ProgramItem};

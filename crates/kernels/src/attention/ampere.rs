@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use virgo::GpuConfig;
 use virgo_isa::{
-    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, LaneAccess, MemLoc, MmioCommand,
-    ProgramBuilder, WarpAssignment, WarpOp,
+    AddrExpr, DeviceId, DmaCopyCmd, GridPartition, Kernel, KernelInfo, LaneAccess, MemLoc,
+    MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
 };
 
 use crate::workload::AttentionShape;
@@ -25,7 +25,8 @@ const SMEM_V0: u64 = 0xC000;
 const SMEM_S0: u64 = 0x1_4000;
 const SMEM_S_STRIDE: u64 = 0x4000;
 
-/// Builds the Ampere-style FlashAttention-3 forward kernel.
+/// Builds the Ampere-style FlashAttention-3 forward kernel, splitting the
+/// row blocks of the attention grid across the configuration's clusters.
 ///
 /// The 8 warps of each core split into two groups of 4 (warp specialization):
 /// in each inner iteration one group drives the tightly-coupled tensor core
@@ -51,6 +52,8 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
 
     let row_blocks = u64::from(shape.seq_len / BLOCK) * u64::from(shape.heads * shape.batch);
     let col_blocks = u64::from(shape.seq_len / BLOCK);
+    let clusters = config.clusters.max(1);
+    let partition = GridPartition::new(row_blocks, clusters);
     let tile_bytes = u64::from(BLOCK) * u64::from(shape.head_dim) * elem;
 
     // Per inner iteration the cluster performs 2·64·64·64 MACs. With the
@@ -73,9 +76,9 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
     let softmax_warps = cores * warps_per_core;
     let vector_iters = (softmax_elems / softmax_warps / u64::from(lanes)).max(1);
 
-    let build_program = |leader: bool, warp_index: u64| {
+    let build_program = |leader: bool, warp_index: u64, cluster_rows: u64, gbase: u64| {
         let mut p = ProgramBuilder::new();
-        p.repeat(row_blocks, |b| {
+        p.repeat(cluster_rows, |b| {
             b.repeat(col_blocks, |b| {
                 if leader {
                     // The leader warp programs the DMA for the next K/V tiles
@@ -84,7 +87,7 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
                         b.op(WarpOp::MmioWrite {
                             device: DeviceId::DMA0,
                             cmd: MmioCommand::DmaCopy(DmaCopyCmd::new(
-                                MemLoc::global(AddrExpr::streaming(global, tile_bytes)),
+                                MemLoc::global(AddrExpr::streaming(global + gbase, tile_bytes)),
                                 MemLoc::shared(AddrExpr::double_buffered(
                                     if global == GLOBAL_K { SMEM_K0 } else { SMEM_V0 },
                                     SMEM_KV_STRIDE,
@@ -166,7 +169,10 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
                 });
                 b.op(WarpOp::StoreGlobal {
                     access: LaneAccess::contiguous_words(
-                        AddrExpr::streaming(GLOBAL_O + warp_index * o_words * 4, tile_bytes),
+                        AddrExpr::streaming(
+                            GLOBAL_O + gbase + warp_index * o_words * 4,
+                            tile_bytes,
+                        ),
                         lanes,
                     ),
                 });
@@ -177,21 +183,29 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
     };
 
     let mut warps = Vec::new();
-    for core in 0..config.cores {
-        for warp in 0..config.core.warps {
-            let warp_index = u64::from(core) * warps_per_core + u64::from(warp);
-            let leader = warp_index == 0;
-            warps.push(WarpAssignment::new(
-                core,
-                warp,
-                build_program(leader, warp_index),
-            ));
+    for cluster in 0..clusters {
+        let cluster_rows = partition.count(cluster);
+        let gbase = crate::cluster_addr_offset(cluster);
+        for core in 0..config.cores {
+            for warp in 0..config.core.warps {
+                let warp_index = u64::from(core) * warps_per_core + u64::from(warp);
+                let leader = warp_index == 0;
+                warps.push(WarpAssignment::on_cluster(
+                    cluster,
+                    core,
+                    warp,
+                    build_program(leader, warp_index, cluster_rows, gbase),
+                ));
+            }
         }
     }
 
     Kernel::new(
         KernelInfo::new(
-            format!("flash_attention_ampere_{shape}"),
+            format!(
+                "flash_attention_ampere_{shape}{}",
+                crate::cluster_suffix(clusters)
+            ),
             shape.gemm_mac_ops(),
             dtype,
         ),

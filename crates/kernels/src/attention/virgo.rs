@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use virgo::GpuConfig;
 use virgo_isa::{
-    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, LaneAccess, MatrixComputeCmd, MemLoc,
-    MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
+    AddrExpr, DeviceId, DmaCopyCmd, GridPartition, Kernel, KernelInfo, LaneAccess,
+    MatrixComputeCmd, MemLoc, MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
 };
 
 use crate::workload::AttentionShape;
@@ -32,7 +32,8 @@ const SMEM_O: u64 = 0x1_C000;
 const ACC_S: u64 = 0;
 const ACC_O: u64 = 16 * 1024;
 
-/// Builds the Virgo FlashAttention-3 forward kernel.
+/// Builds the Virgo FlashAttention-3 forward kernel, splitting the row
+/// blocks of the attention grid across the configuration's clusters.
 ///
 /// # Panics
 ///
@@ -50,6 +51,8 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
 
     let row_blocks = u64::from(shape.seq_len / BLOCK) * u64::from(shape.heads * shape.batch);
     let col_blocks = u64::from(shape.seq_len / BLOCK);
+    let clusters = config.clusters.max(1);
+    let partition = GridPartition::new(row_blocks, clusters);
     let tile_bytes = u64::from(BLOCK) * u64::from(shape.head_dim) * elem;
     let score_bytes = u64::from(BLOCK) * u64::from(BLOCK) * 4;
 
@@ -72,166 +75,174 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
             }),
         };
 
-    // ---- Orchestrator warp (core 0, warp 0) --------------------------------
-    let mut orch = ProgramBuilder::new();
-    orch.repeat(row_blocks, |b| {
-        // Load the Q row block and the first K/V column blocks.
-        b.op(dma(
-            MemLoc::global(AddrExpr::streaming(GLOBAL_Q, tile_bytes)),
-            MemLoc::shared(AddrExpr::fixed(SMEM_Q)),
-            tile_bytes,
-        ));
-        b.op(dma(
-            MemLoc::global(AddrExpr::streaming(GLOBAL_K, tile_bytes)),
-            MemLoc::shared(AddrExpr::double_buffered(SMEM_K0, SMEM_KV_STRIDE)),
-            tile_bytes,
-        ));
-        b.op(dma(
-            MemLoc::global(AddrExpr::streaming(GLOBAL_V, tile_bytes)),
-            MemLoc::shared(AddrExpr::double_buffered(SMEM_V0, SMEM_KV_STRIDE)),
-            tile_bytes,
-        ));
-        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+    let mut warps = Vec::new();
+    for cluster in 0..clusters {
+        let cluster_rows = partition.count(cluster);
+        let gbase = crate::cluster_addr_offset(cluster);
 
-        // Inner loop over K/V column blocks (Listing 1).
-        b.repeat(col_blocks, |b| {
-            // Block until all of the previous iteration's asynchronous
-            // operations have completed, then synchronize the cluster.
-            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
-            b.op(WarpOp::Barrier { id: 0 });
-            // GEMM-2: O += P·V (previous iteration's probability tile).
-            b.op(compute(
-                AddrExpr::double_buffered(SMEM_S0, SMEM_S_STRIDE),
-                AddrExpr::double_buffered(SMEM_V0, SMEM_KV_STRIDE),
-                ACC_O,
-                shape.head_dim,
-                true,
-            ));
-            // GEMM-1: S = Q·Kᵀ for this iteration.
-            b.op(compute(
-                AddrExpr::fixed(SMEM_Q),
-                AddrExpr::double_buffered(SMEM_K0, SMEM_KV_STRIDE),
-                ACC_S,
-                shape.head_dim,
-                false,
-            ));
-            // Prefetch the next K and V column blocks.
+        // ---- Orchestrator warp (core 0, warp 0) --------------------------------
+        let mut orch = ProgramBuilder::new();
+        orch.repeat(cluster_rows, |b| {
+            // Load the Q row block and the first K/V column blocks.
             b.op(dma(
-                MemLoc::global(AddrExpr::streaming(GLOBAL_K, tile_bytes)),
+                MemLoc::global(AddrExpr::streaming(GLOBAL_Q + gbase, tile_bytes)),
+                MemLoc::shared(AddrExpr::fixed(SMEM_Q)),
+                tile_bytes,
+            ));
+            b.op(dma(
+                MemLoc::global(AddrExpr::streaming(GLOBAL_K + gbase, tile_bytes)),
                 MemLoc::shared(AddrExpr::double_buffered(SMEM_K0, SMEM_KV_STRIDE)),
                 tile_bytes,
             ));
             b.op(dma(
-                MemLoc::global(AddrExpr::streaming(GLOBAL_V, tile_bytes)),
+                MemLoc::global(AddrExpr::streaming(GLOBAL_V + gbase, tile_bytes)),
                 MemLoc::shared(AddrExpr::double_buffered(SMEM_V0, SMEM_KV_STRIDE)),
                 tile_bytes,
             ));
-            // Wait for GEMM-1 (all but the two most recent DMAs), then drain
-            // the fresh score tile into shared memory for the softmax warps.
-            b.op(WarpOp::FenceAsync { max_outstanding: 2 });
-            b.op(dma(
-                MemLoc::accumulator(AddrExpr::fixed(ACC_S)),
-                MemLoc::shared(AddrExpr::double_buffered(SMEM_S0, SMEM_S_STRIDE)),
-                score_bytes,
-            ));
-            b.op(WarpOp::Barrier { id: 1 });
-        });
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
 
-        // Epilogue: write the accumulated O row block to global memory.
-        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
-        b.op(dma(
-            MemLoc::accumulator(AddrExpr::fixed(ACC_O)),
-            MemLoc::global(AddrExpr::streaming(GLOBAL_O, tile_bytes)),
-            tile_bytes,
-        ));
-        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
-        b.op(WarpOp::Barrier { id: 2 });
-    });
-    let orchestrator = Arc::new(orch.build());
-
-    // ---- Softmax warps ------------------------------------------------------
-    // Every warp processes its slice of the 64×64 score tile: running row
-    // max, 2nd-order Taylor exponential, running sum, and the rescale of the
-    // output tile.
-    let elems = u64::from(BLOCK) * u64::from(BLOCK);
-    let elems_per_warp = elems / total_warps;
-    let vector_iters = (elems_per_warp / u64::from(lanes)).max(1);
-    let build_softmax = |warp_index: u64| {
-        let mut p = ProgramBuilder::new();
-        p.repeat(row_blocks, |b| {
+            // Inner loop over K/V column blocks (Listing 1).
             b.repeat(col_blocks, |b| {
+                // Block until all of the previous iteration's asynchronous
+                // operations have completed, then synchronize the cluster.
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
                 b.op(WarpOp::Barrier { id: 0 });
-                // Online softmax over this warp's slice of S.
-                for i in 0..vector_iters {
-                    let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
-                    b.op(WarpOp::LoadShared {
-                        access: LaneAccess::contiguous_words(
-                            AddrExpr::double_buffered(SMEM_S0 + offset, SMEM_S_STRIDE),
-                            lanes,
-                        ),
-                    });
-                    b.op(WarpOp::WaitLoads);
-                    b.op_n(
-                        SOFTMAX_FLOPS_PER_ELEM,
-                        WarpOp::Fpu {
-                            rf_reads: 2,
-                            rf_writes: 1,
-                            flops_per_lane: 1,
-                        },
-                    );
-                    b.op(WarpOp::StoreShared {
-                        access: LaneAccess::contiguous_words(
-                            AddrExpr::double_buffered(SMEM_S0 + offset, SMEM_S_STRIDE),
-                            lanes,
-                        ),
-                    });
-                }
-                // Rescale this warp's slice of the O staging tile by the
-                // updated row statistics.
-                for i in 0..vector_iters {
-                    let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
-                    b.op(WarpOp::LoadShared {
-                        access: LaneAccess::contiguous_words(
-                            AddrExpr::fixed(SMEM_O + offset),
-                            lanes,
-                        ),
-                    });
-                    b.op(WarpOp::WaitLoads);
-                    b.op(WarpOp::Fpu {
-                        rf_reads: 2,
-                        rf_writes: 1,
-                        flops_per_lane: 2,
-                    });
-                    b.op(WarpOp::StoreShared {
-                        access: LaneAccess::contiguous_words(
-                            AddrExpr::fixed(SMEM_O + offset),
-                            lanes,
-                        ),
-                    });
-                }
+                // GEMM-2: O += P·V (previous iteration's probability tile).
+                b.op(compute(
+                    AddrExpr::double_buffered(SMEM_S0, SMEM_S_STRIDE),
+                    AddrExpr::double_buffered(SMEM_V0, SMEM_KV_STRIDE),
+                    ACC_O,
+                    shape.head_dim,
+                    true,
+                ));
+                // GEMM-1: S = Q·Kᵀ for this iteration.
+                b.op(compute(
+                    AddrExpr::fixed(SMEM_Q),
+                    AddrExpr::double_buffered(SMEM_K0, SMEM_KV_STRIDE),
+                    ACC_S,
+                    shape.head_dim,
+                    false,
+                ));
+                // Prefetch the next K and V column blocks.
+                b.op(dma(
+                    MemLoc::global(AddrExpr::streaming(GLOBAL_K + gbase, tile_bytes)),
+                    MemLoc::shared(AddrExpr::double_buffered(SMEM_K0, SMEM_KV_STRIDE)),
+                    tile_bytes,
+                ));
+                b.op(dma(
+                    MemLoc::global(AddrExpr::streaming(GLOBAL_V + gbase, tile_bytes)),
+                    MemLoc::shared(AddrExpr::double_buffered(SMEM_V0, SMEM_KV_STRIDE)),
+                    tile_bytes,
+                ));
+                // Wait for GEMM-1 (all but the two most recent DMAs), then drain
+                // the fresh score tile into shared memory for the softmax warps.
+                b.op(WarpOp::FenceAsync { max_outstanding: 2 });
+                b.op(dma(
+                    MemLoc::accumulator(AddrExpr::fixed(ACC_S)),
+                    MemLoc::shared(AddrExpr::double_buffered(SMEM_S0, SMEM_S_STRIDE)),
+                    score_bytes,
+                ));
                 b.op(WarpOp::Barrier { id: 1 });
             });
+
+            // Epilogue: write the accumulated O row block to global memory.
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            b.op(dma(
+                MemLoc::accumulator(AddrExpr::fixed(ACC_O)),
+                MemLoc::global(AddrExpr::streaming(GLOBAL_O + gbase, tile_bytes)),
+                tile_bytes,
+            ));
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
             b.op(WarpOp::Barrier { id: 2 });
         });
-        Arc::new(p.build())
-    };
+        let orchestrator = Arc::new(orch.build());
 
-    let mut warps = Vec::new();
-    for core in 0..config.cores {
-        for warp in 0..config.core.warps {
-            let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
-            let program = if warp_index == 0 {
-                Arc::clone(&orchestrator)
-            } else {
-                build_softmax(warp_index)
-            };
-            warps.push(WarpAssignment::new(core, warp, program));
+        // ---- Softmax warps ------------------------------------------------------
+        // Every warp processes its slice of the 64×64 score tile: running row
+        // max, 2nd-order Taylor exponential, running sum, and the rescale of the
+        // output tile.
+        let elems = u64::from(BLOCK) * u64::from(BLOCK);
+        let elems_per_warp = elems / total_warps;
+        let vector_iters = (elems_per_warp / u64::from(lanes)).max(1);
+        let build_softmax = |warp_index: u64| {
+            let mut p = ProgramBuilder::new();
+            p.repeat(cluster_rows, |b| {
+                b.repeat(col_blocks, |b| {
+                    b.op(WarpOp::Barrier { id: 0 });
+                    // Online softmax over this warp's slice of S.
+                    for i in 0..vector_iters {
+                        let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
+                        b.op(WarpOp::LoadShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::double_buffered(SMEM_S0 + offset, SMEM_S_STRIDE),
+                                lanes,
+                            ),
+                        });
+                        b.op(WarpOp::WaitLoads);
+                        b.op_n(
+                            SOFTMAX_FLOPS_PER_ELEM,
+                            WarpOp::Fpu {
+                                rf_reads: 2,
+                                rf_writes: 1,
+                                flops_per_lane: 1,
+                            },
+                        );
+                        b.op(WarpOp::StoreShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::double_buffered(SMEM_S0 + offset, SMEM_S_STRIDE),
+                                lanes,
+                            ),
+                        });
+                    }
+                    // Rescale this warp's slice of the O staging tile by the
+                    // updated row statistics.
+                    for i in 0..vector_iters {
+                        let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
+                        b.op(WarpOp::LoadShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::fixed(SMEM_O + offset),
+                                lanes,
+                            ),
+                        });
+                        b.op(WarpOp::WaitLoads);
+                        b.op(WarpOp::Fpu {
+                            rf_reads: 2,
+                            rf_writes: 1,
+                            flops_per_lane: 2,
+                        });
+                        b.op(WarpOp::StoreShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::fixed(SMEM_O + offset),
+                                lanes,
+                            ),
+                        });
+                    }
+                    b.op(WarpOp::Barrier { id: 1 });
+                });
+                b.op(WarpOp::Barrier { id: 2 });
+            });
+            Arc::new(p.build())
+        };
+
+        for core in 0..config.cores {
+            for warp in 0..config.core.warps {
+                let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
+                let program = if warp_index == 0 {
+                    Arc::clone(&orchestrator)
+                } else {
+                    build_softmax(warp_index)
+                };
+                warps.push(WarpAssignment::on_cluster(cluster, core, warp, program));
+            }
         }
     }
 
     Kernel::new(
         KernelInfo::new(
-            format!("flash_attention_virgo_{shape}"),
+            format!(
+                "flash_attention_virgo_{shape}{}",
+                crate::cluster_suffix(clusters)
+            ),
             shape.gemm_mac_ops(),
             dtype,
         ),

@@ -18,13 +18,15 @@ use std::sync::Arc;
 
 use virgo::GpuConfig;
 use virgo_isa::{
-    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, LaneAccess, MemLoc, MmioCommand,
-    ProgramBuilder, WarpAssignment, WarpOp,
+    AddrExpr, DeviceId, DmaCopyCmd, GridPartition, Kernel, KernelInfo, LaneAccess, MemLoc,
+    MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
 };
 
 use crate::workload::GemmShape;
 
 use super::{GLOBAL_A, GLOBAL_B, GLOBAL_C};
+
+use crate::{cluster_addr_offset, cluster_suffix};
 
 /// Thread-block tile M dimension.
 pub const TILE_M: u32 = 64;
@@ -42,7 +44,8 @@ const SMEM_B0: u64 = 0x8000;
 const SMEM_B_STRIDE: u64 = 0x2000; // 8 KiB per B buffer (32×128 fp16)
 
 /// Builds the Volta-style (`use_dma == false`) or Ampere-style
-/// (`use_dma == true`) GEMM kernel.
+/// (`use_dma == true`) GEMM kernel, splitting the output-tile space across
+/// the configuration's clusters.
 ///
 /// # Panics
 ///
@@ -56,6 +59,8 @@ pub fn build(config: &GpuConfig, shape: GemmShape, use_dma: bool) -> Kernel {
     );
     let out_tiles = u64::from(shape.m / TILE_M) * u64::from(shape.n / TILE_N);
     let kt = u64::from(shape.k / TILE_K);
+    let clusters = config.clusters.max(1);
+    let partition = GridPartition::new(out_tiles, clusters);
     let dtype = config.dtype;
     let elem = u64::from(dtype.bytes());
     let lanes = config.core.lanes;
@@ -74,10 +79,10 @@ pub fn build(config: &GpuConfig, shape: GemmShape, use_dma: bool) -> Kernel {
     let hmma_steps_per_wmma = (WMMA.0 * WMMA.1 * WMMA.2) / 64;
     let hmma_macs = 64u32;
 
-    let dma_tile_loads = |b: &mut ProgramBuilder| {
+    let dma_tile_loads = |b: &mut ProgramBuilder, base: u64| {
         for (global, smem_base, smem_stride, bytes) in [
-            (GLOBAL_A, SMEM_A0, SMEM_A_STRIDE, a_tile_bytes),
-            (GLOBAL_B, SMEM_B0, SMEM_B_STRIDE, b_tile_bytes),
+            (GLOBAL_A + base, SMEM_A0, SMEM_A_STRIDE, a_tile_bytes),
+            (GLOBAL_B + base, SMEM_B0, SMEM_B_STRIDE, b_tile_bytes),
         ] {
             b.op(WarpOp::MmioWrite {
                 device: DeviceId::DMA0,
@@ -90,13 +95,13 @@ pub fn build(config: &GpuConfig, shape: GemmShape, use_dma: bool) -> Kernel {
         }
     };
 
-    let build_program = |leader: bool, warp_index: u64| {
+    let build_program = |leader: bool, warp_index: u64, cluster_tiles: u64, base: u64| {
         let mut p = ProgramBuilder::new();
-        p.repeat(out_tiles, |b| {
+        p.repeat(cluster_tiles, |b| {
             // Ampere-style: the leader programs the Asynchronous Data Copy
             // for the first K chunk before entering the pipelined loop.
             if use_dma && leader {
-                dma_tile_loads(b);
+                dma_tile_loads(b, base);
             }
             b.repeat(kt, |b| {
                 // ---- Operand delivery: global -> shared -----------------
@@ -107,7 +112,7 @@ pub fn build(config: &GpuConfig, shape: GemmShape, use_dma: bool) -> Kernel {
                         // next K chunk so it overlaps with this iteration's
                         // tensor-core work (double buffering).
                         b.op(WarpOp::FenceAsync { max_outstanding: 0 });
-                        dma_tile_loads(b);
+                        dma_tile_loads(b, base);
                     }
                 } else {
                     // Each warp copies its slice of the A and B tiles with
@@ -121,7 +126,10 @@ pub fn build(config: &GpuConfig, shape: GemmShape, use_dma: bool) -> Kernel {
                         });
                         b.op(WarpOp::LoadGlobal {
                             access: LaneAccess::contiguous_words(
-                                AddrExpr::streaming(GLOBAL_A + offset, a_tile_bytes + b_tile_bytes),
+                                AddrExpr::streaming(
+                                    GLOBAL_A + base + offset,
+                                    a_tile_bytes + b_tile_bytes,
+                                ),
                                 lanes,
                             ),
                         });
@@ -194,6 +202,7 @@ pub fn build(config: &GpuConfig, shape: GemmShape, use_dma: bool) -> Kernel {
                     access: LaneAccess::contiguous_words(
                         AddrExpr::streaming(
                             GLOBAL_C
+                                + base
                                 + warp_index * u64::from(c_words) * 4
                                 + u64::from(s * lanes * 4),
                             u64::from(TILE_M) * u64::from(TILE_N) * 4,
@@ -208,21 +217,30 @@ pub fn build(config: &GpuConfig, shape: GemmShape, use_dma: bool) -> Kernel {
     };
 
     let mut warps = Vec::new();
-    for core in 0..config.cores {
-        for warp in 0..config.core.warps {
-            let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
-            let leader = core == 0 && warp == 0;
-            warps.push(WarpAssignment::new(
-                core,
-                warp,
-                build_program(leader, warp_index),
-            ));
+    for cluster in 0..clusters {
+        let cluster_tiles = partition.count(cluster);
+        let base = cluster_addr_offset(cluster);
+        for core in 0..config.cores {
+            for warp in 0..config.core.warps {
+                let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
+                let leader = core == 0 && warp == 0;
+                warps.push(WarpAssignment::on_cluster(
+                    cluster,
+                    core,
+                    warp,
+                    build_program(leader, warp_index, cluster_tiles, base),
+                ));
+            }
         }
     }
 
     let style = if use_dma { "ampere" } else { "volta" };
     Kernel::new(
-        KernelInfo::new(format!("gemm_{style}_{shape}"), shape.mac_ops(), dtype),
+        KernelInfo::new(
+            format!("gemm_{style}_{shape}{}", cluster_suffix(clusters)),
+            shape.mac_ops(),
+            dtype,
+        ),
         warps,
     )
 }

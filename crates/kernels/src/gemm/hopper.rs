@@ -5,13 +5,15 @@ use std::sync::Arc;
 
 use virgo::GpuConfig;
 use virgo_isa::{
-    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, LaneAccess, MemLoc, MmioCommand,
-    ProgramBuilder, WarpAssignment, WarpOp, WgmmaOp,
+    AddrExpr, DeviceId, DmaCopyCmd, GridPartition, Kernel, KernelInfo, LaneAccess, MemLoc,
+    MmioCommand, ProgramBuilder, WarpAssignment, WarpOp, WgmmaOp,
 };
 
 use crate::workload::GemmShape;
 
 use super::{GLOBAL_A, GLOBAL_B, GLOBAL_C};
+
+use crate::{cluster_addr_offset, cluster_suffix};
 
 /// Thread-block tile M dimension.
 pub const TILE_M: u32 = 64;
@@ -29,7 +31,8 @@ const SMEM_A_STRIDE: u64 = 0x1000; // 4 KiB per A buffer (64×32 fp16)
 const SMEM_B0: u64 = 0x8000;
 const SMEM_B_STRIDE: u64 = 0x2000; // 8 KiB per B buffer (32×128 fp16)
 
-/// Builds the Hopper-style GEMM kernel.
+/// Builds the Hopper-style GEMM kernel, splitting the output-tile space
+/// across the configuration's clusters.
 ///
 /// The cluster DMA stages the operand tiles into shared memory; each warp
 /// then initiates one asynchronous `wgmma` per K chunk, letting the unit's
@@ -48,6 +51,8 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     );
     let out_tiles = u64::from(shape.m / TILE_M) * u64::from(shape.n / TILE_N);
     let kt = u64::from(shape.k / TILE_K);
+    let clusters = config.clusters.max(1);
+    let partition = GridPartition::new(out_tiles, clusters);
     let dtype = config.dtype;
     let elem = u64::from(dtype.bytes());
     let lanes = config.core.lanes;
@@ -61,10 +66,10 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     let warp_tiles = u64::from(TILE_M / WGMMA.0) * u64::from(TILE_N / WGMMA.1);
     let tiles_per_warp = warp_tiles.div_ceil(total_warps).max(1);
 
-    let dma_tile_loads = |b: &mut ProgramBuilder| {
+    let dma_tile_loads = |b: &mut ProgramBuilder, base: u64| {
         for (global, smem_base, smem_stride, bytes) in [
-            (GLOBAL_A, SMEM_A0, SMEM_A_STRIDE, a_tile_bytes),
-            (GLOBAL_B, SMEM_B0, SMEM_B_STRIDE, b_tile_bytes),
+            (GLOBAL_A + base, SMEM_A0, SMEM_A_STRIDE, a_tile_bytes),
+            (GLOBAL_B + base, SMEM_B0, SMEM_B_STRIDE, b_tile_bytes),
         ] {
             b.op(WarpOp::MmioWrite {
                 device: DeviceId::DMA0,
@@ -77,12 +82,12 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
         }
     };
 
-    let build_program = |leader: bool, warp_index: u64| {
+    let build_program = |leader: bool, warp_index: u64, cluster_tiles: u64, base: u64| {
         let mut p = ProgramBuilder::new();
-        p.repeat(out_tiles, |b| {
+        p.repeat(cluster_tiles, |b| {
             // The leader stages the first K chunk before the pipelined loop.
             if leader {
-                dma_tile_loads(b);
+                dma_tile_loads(b, base);
             }
             b.repeat(kt, |b| {
                 if leader {
@@ -90,7 +95,7 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
                     // next chunk so the TMA-style copy overlaps with the
                     // wgmma work of this iteration.
                     b.op(WarpOp::FenceAsync { max_outstanding: 0 });
-                    dma_tile_loads(b);
+                    dma_tile_loads(b, base);
                 }
                 b.op(WarpOp::Barrier { id: 0 });
 
@@ -140,6 +145,7 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
                     access: LaneAccess::contiguous_words(
                         AddrExpr::streaming(
                             GLOBAL_C
+                                + base
                                 + warp_index * c_words * 4
                                 + u64::from(s) * u64::from(lanes) * 4,
                             u64::from(TILE_M) * u64::from(TILE_N) * 4,
@@ -154,20 +160,29 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     };
 
     let mut warps = Vec::new();
-    for core in 0..config.cores {
-        for warp in 0..config.core.warps {
-            let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
-            let leader = core == 0 && warp == 0;
-            warps.push(WarpAssignment::new(
-                core,
-                warp,
-                build_program(leader, warp_index),
-            ));
+    for cluster in 0..clusters {
+        let cluster_tiles = partition.count(cluster);
+        let base = cluster_addr_offset(cluster);
+        for core in 0..config.cores {
+            for warp in 0..config.core.warps {
+                let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
+                let leader = core == 0 && warp == 0;
+                warps.push(WarpAssignment::on_cluster(
+                    cluster,
+                    core,
+                    warp,
+                    build_program(leader, warp_index, cluster_tiles, base),
+                ));
+            }
         }
     }
 
     Kernel::new(
-        KernelInfo::new(format!("gemm_hopper_{shape}"), shape.mac_ops(), dtype),
+        KernelInfo::new(
+            format!("gemm_hopper_{shape}{}", cluster_suffix(clusters)),
+            shape.mac_ops(),
+            dtype,
+        ),
         warps,
     )
 }

@@ -5,13 +5,15 @@ use std::sync::Arc;
 
 use virgo::GpuConfig;
 use virgo_isa::{
-    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, MatrixComputeCmd, MemLoc, MmioCommand,
-    ProgramBuilder, WarpAssignment, WarpOp,
+    AddrExpr, DeviceId, DmaCopyCmd, GridPartition, Kernel, KernelInfo, MatrixComputeCmd, MemLoc,
+    MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
 };
 
 use crate::workload::GemmShape;
 
 use super::{GLOBAL_A, GLOBAL_B, GLOBAL_C};
+
+use crate::{cluster_addr_offset, cluster_suffix};
 
 /// Thread-block tile exposed by the matrix unit (Section 4.4.1).
 pub const TILE_M: u32 = 128;
@@ -26,13 +28,17 @@ const SMEM_A_STRIDE: u64 = 0x8000; // 32 KiB per A buffer
 const SMEM_B0: u64 = 0x1_0000;
 const SMEM_B_STRIDE: u64 = 0x4000; // 16 KiB per B buffer
 
-/// Builds the Virgo GEMM kernel for `shape`.
+/// Builds the Virgo GEMM kernel for `shape`, splitting the output-tile space
+/// across the configuration's clusters.
 ///
-/// One warp per cluster acts as the orchestrator: it programs the DMA engine
-/// and the matrix unit through MMIO and issues the `virgo_fence` polls. Every
-/// other warp participates in the cluster-wide barriers, mirroring the
-/// collaborative-execution model of Section 4.2 (in a pure GEMM they have no
-/// per-element work, since both data movement and compute are offloaded).
+/// One warp per cluster acts as the orchestrator: it programs the cluster's
+/// DMA engine and matrix unit through MMIO and issues the `virgo_fence`
+/// polls. Every other warp of the cluster participates in the cluster-wide
+/// barriers, mirroring the collaborative-execution model of Section 4.2 (in
+/// a pure GEMM they have no per-element work, since both data movement and
+/// compute are offloaded). Each cluster owns a contiguous run of output
+/// tiles and streams its operands from a disjoint global-memory partition,
+/// so the clusters interact only through contention on the shared L2/DRAM.
 ///
 /// # Panics
 ///
@@ -48,47 +54,14 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     let tiles_n = u64::from(shape.n / TILE_N);
     let out_tiles = tiles_m * tiles_n;
     let kt = u64::from(shape.k / TILE_K);
+    let clusters = config.clusters.max(1);
+    let partition = GridPartition::new(out_tiles, clusters);
     let dtype = config.dtype;
     let elem = u64::from(dtype.bytes());
 
     let a_tile_bytes = u64::from(TILE_M) * u64::from(TILE_K) * elem;
     let b_tile_bytes = u64::from(TILE_K) * u64::from(TILE_N) * elem;
     let c_tile_bytes = u64::from(TILE_M) * u64::from(TILE_N) * 4;
-
-    // Addresses: the operand tiles stream through global memory (distinct
-    // addresses per execution, so cache and DRAM behaviour is realistic) and
-    // ping-pong between two shared-memory buffers.
-    let dma_a = |stride: u64| {
-        MmioCommand::DmaCopy(DmaCopyCmd::new(
-            MemLoc::global(AddrExpr::streaming(GLOBAL_A, stride)),
-            MemLoc::shared(AddrExpr::double_buffered(SMEM_A0, SMEM_A_STRIDE)),
-            a_tile_bytes,
-        ))
-    };
-    let dma_b = |stride: u64| {
-        MmioCommand::DmaCopy(DmaCopyCmd::new(
-            MemLoc::global(AddrExpr::streaming(GLOBAL_B, stride)),
-            MemLoc::shared(AddrExpr::double_buffered(SMEM_B0, SMEM_B_STRIDE)),
-            b_tile_bytes,
-        ))
-    };
-    let compute = |accumulate: bool| {
-        MmioCommand::MatrixCompute(MatrixComputeCmd {
-            a: AddrExpr::double_buffered(SMEM_A0, SMEM_A_STRIDE),
-            b: AddrExpr::double_buffered(SMEM_B0, SMEM_B_STRIDE),
-            acc_addr: 0,
-            m: TILE_M,
-            n: TILE_N,
-            k: TILE_K,
-            accumulate,
-            dtype,
-        })
-    };
-    let dma_store_c = MmioCommand::DmaCopy(DmaCopyCmd::new(
-        MemLoc::accumulator(AddrExpr::fixed(0)),
-        MemLoc::global(AddrExpr::streaming(GLOBAL_C, c_tile_bytes)),
-        c_tile_bytes,
-    ));
 
     let mmio = |cmd: MmioCommand| WarpOp::MmioWrite {
         device: match cmd {
@@ -98,79 +71,123 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
         cmd,
     };
 
-    // ---- Orchestrator warp -------------------------------------------------
-    let mut orch = ProgramBuilder::new();
-    orch.repeat(out_tiles, |b| {
-        // Prologue: fetch the first K-tile of A and B.
-        b.op(WarpOp::Alu {
-            rf_reads: 2,
-            rf_writes: 1,
-        });
-        b.op(mmio(dma_a(a_tile_bytes)));
-        b.op(mmio(dma_b(b_tile_bytes)));
-        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
-        // First compute overwrites the accumulator; prefetch the next tile
-        // while it runs.
-        b.op(mmio(compute(false)));
-        if kt > 1 {
+    let mut warps = Vec::new();
+    for cluster in 0..clusters {
+        let cluster_tiles = partition.count(cluster);
+        let base = cluster_addr_offset(cluster);
+
+        // Addresses: the operand tiles stream through global memory (distinct
+        // addresses per execution, so cache and DRAM behaviour is realistic)
+        // and ping-pong between two shared-memory buffers.
+        let dma_a = |stride: u64| {
+            MmioCommand::DmaCopy(DmaCopyCmd::new(
+                MemLoc::global(AddrExpr::streaming(GLOBAL_A + base, stride)),
+                MemLoc::shared(AddrExpr::double_buffered(SMEM_A0, SMEM_A_STRIDE)),
+                a_tile_bytes,
+            ))
+        };
+        let dma_b = |stride: u64| {
+            MmioCommand::DmaCopy(DmaCopyCmd::new(
+                MemLoc::global(AddrExpr::streaming(GLOBAL_B + base, stride)),
+                MemLoc::shared(AddrExpr::double_buffered(SMEM_B0, SMEM_B_STRIDE)),
+                b_tile_bytes,
+            ))
+        };
+        let compute = |accumulate: bool| {
+            MmioCommand::MatrixCompute(MatrixComputeCmd {
+                a: AddrExpr::double_buffered(SMEM_A0, SMEM_A_STRIDE),
+                b: AddrExpr::double_buffered(SMEM_B0, SMEM_B_STRIDE),
+                acc_addr: 0,
+                m: TILE_M,
+                n: TILE_N,
+                k: TILE_K,
+                accumulate,
+                dtype,
+            })
+        };
+        let dma_store_c = MmioCommand::DmaCopy(DmaCopyCmd::new(
+            MemLoc::accumulator(AddrExpr::fixed(0)),
+            MemLoc::global(AddrExpr::streaming(GLOBAL_C + base, c_tile_bytes)),
+            c_tile_bytes,
+        ));
+
+        // ---- Orchestrator warp ---------------------------------------------
+        let mut orch = ProgramBuilder::new();
+        orch.repeat(cluster_tiles, |b| {
+            // Prologue: fetch the first K-tile of A and B.
+            b.op(WarpOp::Alu {
+                rf_reads: 2,
+                rf_writes: 1,
+            });
             b.op(mmio(dma_a(a_tile_bytes)));
             b.op(mmio(dma_b(b_tile_bytes)));
-        }
-        // Steady-state software pipeline: wait for the previous compute and
-        // prefetch, launch this iteration's compute, prefetch the next tile.
-        if kt > 2 {
-            b.repeat(kt - 2, |b| {
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            // First compute overwrites the accumulator; prefetch the next tile
+            // while it runs.
+            b.op(mmio(compute(false)));
+            if kt > 1 {
+                b.op(mmio(dma_a(a_tile_bytes)));
+                b.op(mmio(dma_b(b_tile_bytes)));
+            }
+            // Steady-state software pipeline: wait for the previous compute and
+            // prefetch, launch this iteration's compute, prefetch the next tile.
+            if kt > 2 {
+                b.repeat(kt - 2, |b| {
+                    b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                    b.op(WarpOp::Barrier { id: 0 });
+                    b.op(mmio(compute(true)));
+                    b.op(mmio(dma_a(a_tile_bytes)));
+                    b.op(mmio(dma_b(b_tile_bytes)));
+                });
+            }
+            // Final K iteration: no further prefetch.
+            if kt > 1 {
                 b.op(WarpOp::FenceAsync { max_outstanding: 0 });
                 b.op(WarpOp::Barrier { id: 0 });
                 b.op(mmio(compute(true)));
-                b.op(mmio(dma_a(a_tile_bytes)));
-                b.op(mmio(dma_b(b_tile_bytes)));
-            });
-        }
-        // Final K iteration: no further prefetch.
-        if kt > 1 {
+            }
+            // Epilogue: drain the accumulator tile to global memory. The store is
+            // left asynchronous so it overlaps with the next output tile's
+            // prologue DMA loads; the fence at the top of the next tile (and the
+            // cluster drain at kernel end) provides the required ordering before
+            // the accumulator is overwritten.
             b.op(WarpOp::FenceAsync { max_outstanding: 0 });
-            b.op(WarpOp::Barrier { id: 0 });
-            b.op(mmio(compute(true)));
-        }
-        // Epilogue: drain the accumulator tile to global memory. The store is
-        // left asynchronous so it overlaps with the next output tile's
-        // prologue DMA loads; the fence at the top of the next tile (and the
-        // cluster drain at kernel end) provides the required ordering before
-        // the accumulator is overwritten.
-        b.op(WarpOp::FenceAsync { max_outstanding: 0 });
-        b.op(mmio(dma_store_c));
-        b.op(WarpOp::Barrier { id: 1 });
-    });
-    let orchestrator = Arc::new(orch.build());
-
-    // ---- Follower warps ----------------------------------------------------
-    // Followers join the per-K-iteration barrier (issued `kt - 1` times per
-    // output tile for kt > 1) and the per-tile epilogue barrier.
-    let inner_barriers = kt.saturating_sub(1);
-    let mut foll = ProgramBuilder::new();
-    foll.repeat(out_tiles, |b| {
-        b.repeat(inner_barriers, |b| {
-            b.op(WarpOp::Barrier { id: 0 });
+            b.op(mmio(dma_store_c));
+            b.op(WarpOp::Barrier { id: 1 });
         });
-        b.op(WarpOp::Barrier { id: 1 });
-    });
-    let follower = Arc::new(foll.build());
+        let orchestrator = Arc::new(orch.build());
 
-    let mut warps = Vec::new();
-    for core in 0..config.cores {
-        for warp in 0..config.core.warps {
-            let program = if core == 0 && warp == 0 {
-                Arc::clone(&orchestrator)
-            } else {
-                Arc::clone(&follower)
-            };
-            warps.push(WarpAssignment::new(core, warp, program));
+        // ---- Follower warps ------------------------------------------------
+        // Followers join the per-K-iteration barrier (issued `kt - 1` times
+        // per output tile for kt > 1) and the per-tile epilogue barrier.
+        let inner_barriers = kt.saturating_sub(1);
+        let mut foll = ProgramBuilder::new();
+        foll.repeat(cluster_tiles, |b| {
+            b.repeat(inner_barriers, |b| {
+                b.op(WarpOp::Barrier { id: 0 });
+            });
+            b.op(WarpOp::Barrier { id: 1 });
+        });
+        let follower = Arc::new(foll.build());
+
+        for core in 0..config.cores {
+            for warp in 0..config.core.warps {
+                let program = if core == 0 && warp == 0 {
+                    Arc::clone(&orchestrator)
+                } else {
+                    Arc::clone(&follower)
+                };
+                warps.push(WarpAssignment::on_cluster(cluster, core, warp, program));
+            }
         }
     }
 
     Kernel::new(
-        KernelInfo::new(format!("gemm_virgo_{shape}"), shape.mac_ops(), dtype),
+        KernelInfo::new(
+            format!("gemm_virgo_{shape}{}", cluster_suffix(clusters)),
+            shape.mac_ops(),
+            dtype,
+        ),
         warps,
     )
 }

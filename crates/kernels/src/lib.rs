@@ -29,3 +29,25 @@ pub use attention::build_flash_attention;
 pub use gemm::build_gemm;
 pub use hetero::{build_heterogeneous_parallel, build_heterogeneous_serial};
 pub use workload::{AttentionShape, GemmShape};
+
+/// Global-memory offset separating the operand partitions of adjacent
+/// clusters (64 GiB apart, so tiles streamed by different clusters never
+/// alias in the shared L2). Cluster 0's offset is zero, which keeps
+/// single-cluster kernels bit-identical to their pre-partition form.
+///
+/// Public so hand-written multi-cluster kernels (and the integration tests)
+/// can place their traffic in the same disjoint per-cluster partitions the
+/// generated kernels use.
+pub fn cluster_addr_offset(cluster: u32) -> u64 {
+    u64::from(cluster) << 36
+}
+
+/// Suffix appended to kernel names when the grid is split over more than one
+/// cluster (empty for the single-cluster default).
+pub(crate) fn cluster_suffix(clusters: u32) -> String {
+    if clusters > 1 {
+        format!("_c{clusters}")
+    } else {
+        String::new()
+    }
+}

@@ -1,0 +1,270 @@
+//! The machine-wide memory back-end: the L2 cache and DRAM channel shared by
+//! every cluster.
+//!
+//! The global-memory hierarchy is split in two. Each cluster owns a private
+//! front-end of per-core L1 caches ([`GlobalMemory`](crate::GlobalMemory));
+//! all front-ends feed this single back-end, where the shared L2 and the
+//! bandwidth-limited DRAM channel arbitrate between clusters. Requests from
+//! different clusters serialize on the DRAM channel exactly like requests
+//! from one cluster do, and the back-end attributes the resulting queueing
+//! delay to the requesting cluster so multi-cluster runs can report
+//! DRAM-contention stalls per cluster.
+
+use virgo_sim::{Cycle, NextActivity};
+
+use crate::cache::Cache;
+use crate::dram::{DramModel, DramStats};
+use crate::global::GlobalMemoryConfig;
+
+/// Aggregated statistics for the shared back-end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryBackendStats {
+    /// L2 accesses (from L1 misses and DMA traffic).
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Bytes moved by DMA transfers through the L2.
+    pub dma_bytes: u64,
+}
+
+/// Per-cluster contention counters kept by the shared back-end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterContentionStats {
+    /// L2 accesses issued by this cluster (demand misses and DMA chunks).
+    pub l2_accesses: u64,
+    /// DRAM transfers issued by this cluster.
+    pub dram_requests: u64,
+    /// Bytes this cluster moved over the DRAM channel (before burst
+    /// rounding).
+    pub dram_bytes: u64,
+    /// Cycles this cluster's DRAM requests spent queued behind the busy
+    /// channel — the contention metric of the cluster-scaling study. With a
+    /// single cluster this is pure self-queueing; extra clusters add
+    /// cross-cluster interference on top.
+    pub dram_stall_cycles: u64,
+}
+
+/// The shared L2 + DRAM back-end, bandwidth-arbitrated between clusters.
+///
+/// # Example
+///
+/// ```
+/// use virgo_mem::{GlobalMemoryConfig, MemoryBackend};
+/// use virgo_sim::Cycle;
+///
+/// let mut backend = MemoryBackend::new(GlobalMemoryConfig::default_soc(8), 2);
+/// let cold = backend.line_access(Cycle::new(0), 0, 0x1000, 32, false);
+/// // The same line from the other cluster hits in the shared L2.
+/// let warm = backend.line_access(cold, 1, 0x1000, 32, false);
+/// assert!(warm - cold < cold, "shared L2 hit must be much faster than DRAM");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryBackend {
+    config: GlobalMemoryConfig,
+    l2: Cache,
+    dram: DramModel,
+    stats: MemoryBackendStats,
+    per_cluster: Vec<ClusterContentionStats>,
+}
+
+impl MemoryBackend {
+    /// Creates the back-end with a cold L2, sized for `clusters` clusters of
+    /// contention accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    pub fn new(config: GlobalMemoryConfig, clusters: u32) -> Self {
+        assert!(clusters > 0, "the back-end serves at least one cluster");
+        MemoryBackend {
+            l2: Cache::new(config.l2),
+            dram: DramModel::new(config.dram),
+            config,
+            stats: MemoryBackendStats::default(),
+            per_cluster: vec![ClusterContentionStats::default(); clusters as usize],
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GlobalMemoryConfig {
+        &self.config
+    }
+
+    /// Aggregated back-end statistics.
+    pub fn stats(&self) -> MemoryBackendStats {
+        self.stats
+    }
+
+    /// DRAM interface statistics.
+    pub fn dram_stats(&self) -> DramStats {
+        self.dram.stats()
+    }
+
+    /// Contention counters for one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn cluster_stats(&self, cluster: u32) -> ClusterContentionStats {
+        self.per_cluster[cluster as usize]
+    }
+
+    /// Contention counters for every cluster, in cluster order.
+    pub fn per_cluster_stats(&self) -> &[ClusterContentionStats] {
+        &self.per_cluster
+    }
+
+    /// Total DRAM queueing delay across clusters — the machine-wide
+    /// contention metric.
+    pub fn total_dram_stall_cycles(&self) -> u64 {
+        self.per_cluster.iter().map(|c| c.dram_stall_cycles).sum()
+    }
+
+    /// L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        self.l2.stats().hit_rate()
+    }
+
+    /// Serves one line-granular request from `cluster` that missed its L1,
+    /// presented to the L2 at `at`; returns the completion cycle.
+    pub fn line_access(
+        &mut self,
+        at: Cycle,
+        cluster: u32,
+        line_addr: u64,
+        bytes: u64,
+        write: bool,
+    ) -> Cycle {
+        self.stats.l2_accesses += 1;
+        self.per_cluster[cluster as usize].l2_accesses += 1;
+        let l2_latency = self.l2.latency();
+        if self.l2.access(line_addr).is_hit() {
+            return at.plus(l2_latency);
+        }
+        self.stats.l2_misses += 1;
+        self.dram_access(at.plus(l2_latency), cluster, bytes, write)
+    }
+
+    /// Serves a bulk DMA transfer from `cluster` that bypasses the L1 caches
+    /// and streams through the L2 in line-sized chunks, returning the
+    /// completion cycle.
+    pub fn dma_access(
+        &mut self,
+        now: Cycle,
+        cluster: u32,
+        addr: u64,
+        bytes: u64,
+        write: bool,
+    ) -> Cycle {
+        if bytes == 0 {
+            return now;
+        }
+        self.stats.dma_bytes += bytes;
+        let line = u64::from(self.config.l2.line_bytes);
+        let first = addr / line;
+        let last = (addr + bytes - 1) / line;
+        let mut missed_bytes = 0u64;
+        for l in first..=last {
+            self.stats.l2_accesses += 1;
+            self.per_cluster[cluster as usize].l2_accesses += 1;
+            if !self.l2.access(l * line).is_hit() {
+                self.stats.l2_misses += 1;
+                missed_bytes += line;
+            }
+        }
+        let l2_time = now.plus(self.l2.latency() + (last - first + 1) / 4);
+        if missed_bytes == 0 {
+            l2_time
+        } else {
+            self.dram_access(l2_time, cluster, missed_bytes, write)
+        }
+    }
+
+    /// Issues one DRAM transfer on behalf of `cluster`, recording the
+    /// channel-queueing delay it experienced.
+    fn dram_access(&mut self, at: Cycle, cluster: u32, bytes: u64, write: bool) -> Cycle {
+        let stats = &mut self.per_cluster[cluster as usize];
+        stats.dram_requests += 1;
+        stats.dram_bytes += bytes;
+        stats.dram_stall_cycles += self.dram.busy_until().saturating_sub(at).get();
+        self.dram.access(at, bytes, write)
+    }
+}
+
+impl NextActivity for MemoryBackend {
+    /// The L2 and the DRAM channel behind it are purely reactive and
+    /// contribute no self-driven events.
+    fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend(clusters: u32) -> MemoryBackend {
+        MemoryBackend::new(GlobalMemoryConfig::default_soc(2), clusters)
+    }
+
+    #[test]
+    fn l2_is_shared_across_clusters() {
+        let mut b = backend(2);
+        let cold = b.line_access(Cycle::new(0), 0, 0, 32, false);
+        assert!(cold.get() > 100, "cold miss reaches DRAM");
+        let warm = b.line_access(Cycle::new(1000), 1, 0, 32, false);
+        assert_eq!(warm, Cycle::new(1000 + 12));
+        assert_eq!(b.stats().l2_accesses, 2);
+        assert_eq!(b.stats().l2_misses, 1);
+        assert_eq!(b.cluster_stats(0).l2_accesses, 1);
+        assert_eq!(b.cluster_stats(1).l2_accesses, 1);
+    }
+
+    #[test]
+    fn concurrent_clusters_contend_for_dram() {
+        let mut b = backend(2);
+        // Two cold misses to distinct lines presented at the same cycle: the
+        // second cluster's transfer queues behind the first on the channel.
+        let first = b.line_access(Cycle::new(0), 0, 0, 32, false);
+        let second = b.line_access(Cycle::new(0), 1, 4096, 32, false);
+        assert!(second > first);
+        assert_eq!(b.cluster_stats(0).dram_stall_cycles, 0);
+        assert!(b.cluster_stats(1).dram_stall_cycles > 0);
+        assert_eq!(
+            b.total_dram_stall_cycles(),
+            b.cluster_stats(1).dram_stall_cycles
+        );
+    }
+
+    #[test]
+    fn dma_access_streams_through_l2() {
+        let mut b = backend(1);
+        let done = b.dma_access(Cycle::new(0), 0, 0, 1024, false);
+        assert!(done.get() > 100);
+        assert_eq!(b.stats().dma_bytes, 1024);
+        assert_eq!(b.cluster_stats(0).dram_requests, 1);
+        // A later DMA of the same region hits in L2 and avoids DRAM.
+        let warm = b.dma_access(done, 0, 0, 1024, false);
+        assert!(warm - done < Cycle::new(50));
+    }
+
+    #[test]
+    fn zero_byte_dma_is_a_noop() {
+        let mut b = backend(1);
+        assert_eq!(b.dma_access(Cycle::new(7), 0, 0, 0, false), Cycle::new(7));
+        assert_eq!(b.stats().dma_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        let _ = MemoryBackend::new(GlobalMemoryConfig::default_soc(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_range_cluster_panics() {
+        let mut b = backend(1);
+        let _ = b.line_access(Cycle::new(0), 3, 0, 32, false);
+    }
+}

@@ -12,6 +12,7 @@ use virgo_isa::MemRegion;
 use virgo_sim::{BoundedQueue, Cycle, NextActivity};
 
 use crate::accmem::AccumulatorMemory;
+use crate::backend::MemoryBackend;
 use crate::global::GlobalMemory;
 use crate::smem::SharedMemory;
 
@@ -62,6 +63,17 @@ pub struct DmaStats {
     pub beats: u64,
     /// Cycles the engine spent with an active transfer.
     pub busy_cycles: u64,
+}
+
+impl DmaStats {
+    /// Adds the counts of `other` into `self` (used to aggregate the
+    /// per-cluster engines into a machine-wide view).
+    pub fn merge(&mut self, other: &DmaStats) {
+        self.transfers += other.transfers;
+        self.bytes_moved += other.bytes_moved;
+        self.beats += other.beats;
+        self.busy_cycles += other.busy_cycles;
+    }
 }
 
 /// The cluster DMA engine.
@@ -120,11 +132,13 @@ impl DmaEngine {
     }
 
     /// Advances the engine by one cycle; returns the transfers that completed
-    /// this cycle.
+    /// this cycle. Global-memory endpoints stream through the cluster's
+    /// `global` front-end into the shared `backend`.
     pub fn tick(
         &mut self,
         now: Cycle,
         global: &mut GlobalMemory,
+        backend: &mut MemoryBackend,
         smem: &mut SharedMemory,
         accmem: Option<&mut AccumulatorMemory>,
     ) -> Vec<DmaTransfer> {
@@ -143,7 +157,7 @@ impl DmaEngine {
 
         if self.active.is_none() {
             if let Some(transfer) = self.queue.pop() {
-                let done = self.schedule(now, &transfer, global, smem, accmem);
+                let done = self.schedule(now, &transfer, global, backend, smem, accmem);
                 self.active = Some((transfer, done));
             }
         }
@@ -172,6 +186,7 @@ impl DmaEngine {
         now: Cycle,
         transfer: &DmaTransfer,
         global: &mut GlobalMemory,
+        backend: &mut MemoryBackend,
         smem: &mut SharedMemory,
         mut accmem: Option<&mut AccumulatorMemory>,
     ) -> Cycle {
@@ -183,7 +198,7 @@ impl DmaEngine {
             (transfer.dst_region, transfer.dst_addr, true),
         ] {
             let endpoint_done = match region {
-                MemRegion::Global => global.dma_access(now, addr, transfer.bytes, write),
+                MemRegion::Global => global.dma_access(now, addr, transfer.bytes, write, backend),
                 MemRegion::Shared => {
                     // Stream through the wide port in 64-byte chunks.
                     let mut t = now;
@@ -226,10 +241,18 @@ mod tests {
     use crate::global::GlobalMemoryConfig;
     use crate::smem::SmemConfig;
 
-    fn setup() -> (DmaEngine, GlobalMemory, SharedMemory, AccumulatorMemory) {
+    fn setup() -> (
+        DmaEngine,
+        GlobalMemory,
+        MemoryBackend,
+        SharedMemory,
+        AccumulatorMemory,
+    ) {
+        let config = GlobalMemoryConfig::default_soc(4);
         (
             DmaEngine::new(DmaConfig::default()),
-            GlobalMemory::new(GlobalMemoryConfig::default_soc(4)),
+            GlobalMemory::new(config),
+            MemoryBackend::new(config, 1),
             SharedMemory::new(SmemConfig::virgo_cluster()),
             AccumulatorMemory::default_virgo(),
         )
@@ -238,13 +261,14 @@ mod tests {
     fn run_until_complete(
         dma: &mut DmaEngine,
         global: &mut GlobalMemory,
+        backend: &mut MemoryBackend,
         smem: &mut SharedMemory,
         acc: &mut AccumulatorMemory,
         limit: u64,
     ) -> (Vec<DmaTransfer>, u64) {
         let mut all = Vec::new();
         for cycle in 0..limit {
-            let done = dma.tick(Cycle::new(cycle), global, smem, Some(acc));
+            let done = dma.tick(Cycle::new(cycle), global, backend, smem, Some(acc));
             all.extend(done);
             if dma.is_idle() && !all.is_empty() {
                 return (all, cycle);
@@ -266,10 +290,10 @@ mod tests {
 
     #[test]
     fn global_to_shared_transfer_completes() {
-        let (mut dma, mut g, mut s, mut a) = setup();
+        let (mut dma, mut g, mut be, mut s, mut a) = setup();
         dma.submit(transfer(MemRegion::Global, MemRegion::Shared, 4096, 7))
             .unwrap();
-        let (done, cycle) = run_until_complete(&mut dma, &mut g, &mut s, &mut a, 10_000);
+        let (done, cycle) = run_until_complete(&mut dma, &mut g, &mut be, &mut s, &mut a, 10_000);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].tag, 7);
         // 4096 bytes at 16 B/cycle DRAM bandwidth needs at least 256 cycles.
@@ -281,25 +305,25 @@ mod tests {
 
     #[test]
     fn accumulator_to_global_transfer_touches_accumulator() {
-        let (mut dma, mut g, mut s, mut a) = setup();
+        let (mut dma, mut g, mut be, mut s, mut a) = setup();
         dma.submit(transfer(MemRegion::Accumulator, MemRegion::Global, 2048, 1))
             .unwrap();
-        let (done, _) = run_until_complete(&mut dma, &mut g, &mut s, &mut a, 10_000);
+        let (done, _) = run_until_complete(&mut dma, &mut g, &mut be, &mut s, &mut a, 10_000);
         assert_eq!(done.len(), 1);
         assert_eq!(a.stats().words_read, 512);
-        assert!(g.stats().dma_bytes >= 2048);
+        assert!(be.stats().dma_bytes >= 2048);
     }
 
     #[test]
     fn transfers_execute_in_fifo_order() {
-        let (mut dma, mut g, mut s, mut a) = setup();
+        let (mut dma, mut g, mut be, mut s, mut a) = setup();
         dma.submit(transfer(MemRegion::Global, MemRegion::Shared, 256, 1))
             .unwrap();
         dma.submit(transfer(MemRegion::Global, MemRegion::Shared, 256, 2))
             .unwrap();
         let mut order = Vec::new();
         for cycle in 0..10_000 {
-            for t in dma.tick(Cycle::new(cycle), &mut g, &mut s, Some(&mut a)) {
+            for t in dma.tick(Cycle::new(cycle), &mut g, &mut be, &mut s, Some(&mut a)) {
                 order.push(t.tag);
             }
             if dma.is_idle() {
@@ -326,9 +350,9 @@ mod tests {
 
     #[test]
     fn idle_engine_reports_idle() {
-        let (mut dma, mut g, mut s, mut a) = setup();
+        let (mut dma, mut g, mut be, mut s, mut a) = setup();
         assert!(dma.is_idle());
-        let done = dma.tick(Cycle::new(0), &mut g, &mut s, Some(&mut a));
+        let done = dma.tick(Cycle::new(0), &mut g, &mut be, &mut s, Some(&mut a));
         assert!(done.is_empty());
         assert_eq!(dma.stats().busy_cycles, 0);
     }

@@ -1,9 +1,11 @@
-//! The global memory hierarchy: per-core L1 caches, shared L2, DRAM.
+//! The per-cluster global-memory front-end: private per-core L1 caches
+//! feeding the machine-wide shared back-end.
 
 use virgo_sim::{Cycle, NextActivity};
 
+use crate::backend::MemoryBackend;
 use crate::cache::{Cache, CacheConfig};
-use crate::dram::{DramConfig, DramModel, DramStats};
+use crate::dram::DramConfig;
 
 /// Configuration of the global memory hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -14,7 +16,7 @@ pub struct GlobalMemoryConfig {
     pub l2: CacheConfig,
     /// DRAM interface.
     pub dram: DramConfig,
-    /// Number of SIMT cores (each gets a private L1).
+    /// Number of SIMT cores per cluster (each gets a private L1).
     pub cores: u32,
 }
 
@@ -30,52 +32,74 @@ impl GlobalMemoryConfig {
     }
 }
 
-/// Aggregated statistics for the global memory hierarchy.
+/// Aggregated statistics for one cluster's L1 front-end.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GlobalMemoryStats {
-    /// L1 accesses summed over all cores.
+    /// L1 accesses summed over the cluster's cores.
     pub l1_accesses: u64,
-    /// L1 misses summed over all cores.
+    /// L1 misses summed over the cluster's cores.
     pub l1_misses: u64,
-    /// L2 accesses (from L1 misses and DMA traffic).
+    /// L2 accesses (from L1 misses and DMA traffic). Only populated on the
+    /// combined machine-wide view assembled by `SimReport`; the per-cluster
+    /// front-end itself leaves it at zero because the L2 lives in the shared
+    /// [`MemoryBackend`].
     pub l2_accesses: u64,
-    /// L2 misses.
+    /// L2 misses (see `l2_accesses` for scoping).
     pub l2_misses: u64,
-    /// Bytes moved by DMA transfers through the L2.
+    /// Bytes moved by DMA transfers through the L2 (see `l2_accesses`).
     pub dma_bytes: u64,
 }
 
-/// The global memory hierarchy shared by the cluster.
+impl GlobalMemoryStats {
+    /// Adds the counts of `other` into `self` (used to aggregate clusters).
+    pub fn merge(&mut self, other: &GlobalMemoryStats) {
+        self.l1_accesses += other.l1_accesses;
+        self.l1_misses += other.l1_misses;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_misses += other.l2_misses;
+        self.dma_bytes += other.dma_bytes;
+    }
+}
+
+/// One cluster's global-memory front-end: the private per-core L1 caches.
+///
+/// L1 misses are forwarded to the shared [`MemoryBackend`], which arbitrates
+/// the L2 and DRAM channel between clusters.
 ///
 /// # Example
 ///
 /// ```
-/// use virgo_mem::{GlobalMemory, GlobalMemoryConfig};
+/// use virgo_mem::{GlobalMemory, GlobalMemoryConfig, MemoryBackend};
 /// use virgo_sim::Cycle;
 ///
-/// let mut gmem = GlobalMemory::new(GlobalMemoryConfig::default_soc(8));
-/// let cold = gmem.access_from_core(Cycle::new(0), 0, 0x1000, 32, false);
-/// let warm = gmem.access_from_core(cold, 0, 0x1000, 32, false);
+/// let config = GlobalMemoryConfig::default_soc(8);
+/// let mut gmem = GlobalMemory::new(config);
+/// let mut backend = MemoryBackend::new(config, 1);
+/// let cold = gmem.access_from_core(Cycle::new(0), 0, 0x1000, 32, false, &mut backend);
+/// let warm = gmem.access_from_core(cold, 0, 0x1000, 32, false, &mut backend);
 /// assert!(warm - cold < cold, "L1 hit must be much faster than the cold miss");
 /// ```
 #[derive(Debug, Clone)]
 pub struct GlobalMemory {
     config: GlobalMemoryConfig,
+    cluster: u32,
     l1: Vec<Cache>,
-    l2: Cache,
-    dram: DramModel,
     stats: GlobalMemoryStats,
 }
 
 impl GlobalMemory {
-    /// Creates the hierarchy with cold caches.
+    /// Creates the front-end for cluster 0 with cold caches.
     pub fn new(config: GlobalMemoryConfig) -> Self {
+        Self::for_cluster(config, 0)
+    }
+
+    /// Creates the front-end for an explicit cluster with cold caches.
+    pub fn for_cluster(config: GlobalMemoryConfig, cluster: u32) -> Self {
         let l1 = (0..config.cores).map(|_| Cache::new(config.l1)).collect();
         GlobalMemory {
             config,
+            cluster,
             l1,
-            l2: Cache::new(config.l2),
-            dram: DramModel::new(config.dram),
             stats: GlobalMemoryStats::default(),
         }
     }
@@ -85,19 +109,20 @@ impl GlobalMemory {
         &self.config
     }
 
-    /// Aggregated statistics (L1/L2); DRAM statistics are available via
-    /// [`GlobalMemory::dram_stats`].
+    /// The cluster this front-end belongs to.
+    pub fn cluster(&self) -> u32 {
+        self.cluster
+    }
+
+    /// Aggregated L1 statistics; L2/DRAM statistics live on the shared
+    /// [`MemoryBackend`].
     pub fn stats(&self) -> GlobalMemoryStats {
         self.stats
     }
 
-    /// DRAM interface statistics.
-    pub fn dram_stats(&self) -> DramStats {
-        self.dram.stats()
-    }
-
     /// Serves one line-granular access from `core` (produced by the memory
-    /// coalescer), returning the completion cycle.
+    /// coalescer), returning the completion cycle. An L1 miss is forwarded to
+    /// the shared `backend`.
     ///
     /// # Panics
     ///
@@ -109,6 +134,7 @@ impl GlobalMemory {
         line_addr: u64,
         bytes: u64,
         write: bool,
+        backend: &mut MemoryBackend,
     ) -> Cycle {
         assert!(core < self.l1.len(), "core index {core} out of range");
         self.stats.l1_accesses += 1;
@@ -117,41 +143,20 @@ impl GlobalMemory {
             return now.plus(l1_latency);
         }
         self.stats.l1_misses += 1;
-        self.stats.l2_accesses += 1;
-        let l2_latency = self.l2.latency();
-        if self.l2.access(line_addr).is_hit() {
-            return now.plus(l1_latency + l2_latency);
-        }
-        self.stats.l2_misses += 1;
-
-        self.dram
-            .access(now.plus(l1_latency + l2_latency), bytes, write)
+        backend.line_access(now.plus(l1_latency), self.cluster, line_addr, bytes, write)
     }
 
-    /// Serves a bulk DMA transfer that bypasses the L1 caches and streams
-    /// through the L2 in line-sized chunks, returning the completion cycle.
-    pub fn dma_access(&mut self, now: Cycle, addr: u64, bytes: u64, write: bool) -> Cycle {
-        if bytes == 0 {
-            return now;
-        }
-        self.stats.dma_bytes += bytes;
-        let line = u64::from(self.config.l2.line_bytes);
-        let first = addr / line;
-        let last = (addr + bytes - 1) / line;
-        let mut missed_bytes = 0u64;
-        for l in first..=last {
-            self.stats.l2_accesses += 1;
-            if !self.l2.access(l * line).is_hit() {
-                self.stats.l2_misses += 1;
-                missed_bytes += line;
-            }
-        }
-        let l2_time = now.plus(self.l2.latency() + (last - first + 1) / 4);
-        if missed_bytes == 0 {
-            l2_time
-        } else {
-            self.dram.access(l2_time, missed_bytes, write)
-        }
+    /// Serves a bulk DMA transfer on behalf of this cluster. The transfer
+    /// bypasses the L1 caches entirely and streams through the shared L2.
+    pub fn dma_access(
+        &mut self,
+        now: Cycle,
+        addr: u64,
+        bytes: u64,
+        write: bool,
+        backend: &mut MemoryBackend,
+    ) -> Cycle {
+        backend.dma_access(now, self.cluster, addr, bytes, write)
     }
 
     /// L1 hit rate of one core, for reports and tests.
@@ -161,16 +166,11 @@ impl GlobalMemory {
             .map(|c| c.stats().hit_rate())
             .unwrap_or(0.0)
     }
-
-    /// L2 hit rate.
-    pub fn l2_hit_rate(&self) -> f64 {
-        self.l2.stats().hit_rate()
-    }
 }
 
 impl NextActivity for GlobalMemory {
-    /// The cache hierarchy and DRAM behind it are purely reactive and
-    /// contribute no self-driven events.
+    /// The L1 caches are purely reactive and contribute no self-driven
+    /// events.
     fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
         None
     }
@@ -180,16 +180,17 @@ impl NextActivity for GlobalMemory {
 mod tests {
     use super::*;
 
-    fn gmem() -> GlobalMemory {
-        GlobalMemory::new(GlobalMemoryConfig::default_soc(2))
+    fn setup() -> (GlobalMemory, MemoryBackend) {
+        let config = GlobalMemoryConfig::default_soc(2);
+        (GlobalMemory::new(config), MemoryBackend::new(config, 1))
     }
 
     #[test]
     fn l1_hit_is_fast() {
-        let mut g = gmem();
-        let cold = g.access_from_core(Cycle::new(0), 0, 0, 32, false);
+        let (mut g, mut b) = setup();
+        let cold = g.access_from_core(Cycle::new(0), 0, 0, 32, false, &mut b);
         assert!(cold.get() > 100, "cold miss reaches DRAM");
-        let warm = g.access_from_core(cold, 0, 0, 32, false);
+        let warm = g.access_from_core(cold, 0, 0, 32, false, &mut b);
         assert_eq!(warm - cold, Cycle::new(2));
         assert_eq!(g.stats().l1_accesses, 2);
         assert_eq!(g.stats().l1_misses, 1);
@@ -197,48 +198,58 @@ mod tests {
 
     #[test]
     fn l1s_are_private_per_core() {
-        let mut g = gmem();
-        g.access_from_core(Cycle::new(0), 0, 0, 32, false);
+        let (mut g, mut b) = setup();
+        g.access_from_core(Cycle::new(0), 0, 0, 32, false, &mut b);
         // Core 1 misses its own L1 but hits in the shared L2.
-        let done = g.access_from_core(Cycle::new(1000), 1, 0, 32, false);
+        let done = g.access_from_core(Cycle::new(1000), 1, 0, 32, false, &mut b);
         assert_eq!(done, Cycle::new(1000 + 2 + 12));
-        assert_eq!(g.stats().l2_accesses, 2);
-        assert_eq!(g.stats().l2_misses, 1);
+        assert_eq!(b.stats().l2_accesses, 2);
+        assert_eq!(b.stats().l2_misses, 1);
     }
 
     #[test]
     fn dma_access_bypasses_l1() {
-        let mut g = gmem();
-        let done = g.dma_access(Cycle::new(0), 0, 1024, false);
+        let (mut g, mut b) = setup();
+        let done = g.dma_access(Cycle::new(0), 0, 1024, false, &mut b);
         assert!(done.get() > 100);
         assert_eq!(g.stats().l1_accesses, 0);
-        assert_eq!(g.stats().dma_bytes, 1024);
+        assert_eq!(b.stats().dma_bytes, 1024);
         // A later DMA of the same region hits in L2 and avoids DRAM.
-        let warm = g.dma_access(done, 0, 1024, false);
+        let warm = g.dma_access(done, 0, 1024, false, &mut b);
         assert!(warm - done < Cycle::new(50));
     }
 
     #[test]
-    fn zero_byte_dma_is_a_noop() {
-        let mut g = gmem();
-        assert_eq!(g.dma_access(Cycle::new(7), 0, 0, false), Cycle::new(7));
-        assert_eq!(g.stats().dma_bytes, 0);
+    fn hit_rates_reported() {
+        let (mut g, mut b) = setup();
+        g.access_from_core(Cycle::new(0), 0, 0, 32, false, &mut b);
+        g.access_from_core(Cycle::new(0), 0, 0, 32, false, &mut b);
+        assert!((g.l1_hit_rate(0) - 0.5).abs() < 1e-12);
+        assert_eq!(g.l1_hit_rate(9), 0.0);
+        assert!(b.l2_hit_rate() >= 0.0);
     }
 
     #[test]
-    fn hit_rates_reported() {
-        let mut g = gmem();
-        g.access_from_core(Cycle::new(0), 0, 0, 32, false);
-        g.access_from_core(Cycle::new(0), 0, 0, 32, false);
-        assert!((g.l1_hit_rate(0) - 0.5).abs() < 1e-12);
-        assert_eq!(g.l1_hit_rate(9), 0.0);
-        assert!(g.l2_hit_rate() >= 0.0);
+    fn stats_merge_across_clusters() {
+        let mut a = GlobalMemoryStats {
+            l1_accesses: 3,
+            l1_misses: 1,
+            ..Default::default()
+        };
+        let b = GlobalMemoryStats {
+            l1_accesses: 2,
+            l1_misses: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.l1_accesses, 5);
+        assert_eq!(a.l1_misses, 3);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_core_index_panics() {
-        let mut g = gmem();
-        let _ = g.access_from_core(Cycle::new(0), 5, 0, 32, false);
+        let (mut g, mut b) = setup();
+        let _ = g.access_from_core(Cycle::new(0), 5, 0, 32, false, &mut b);
     }
 }

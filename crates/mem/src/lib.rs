@@ -9,8 +9,10 @@
 //!   read/write paths,
 //! * [`AccumulatorMemory`] — the single-banked SRAM private to the
 //!   disaggregated matrix unit,
-//! * [`Cache`] / [`GlobalMemory`] — per-core L1 caches, the shared L2 and the
-//!   DRAM model behind them,
+//! * [`Cache`] / [`GlobalMemory`] / [`MemoryBackend`] — the global-memory
+//!   hierarchy, split into per-cluster front-ends of per-core L1 caches and
+//!   the single machine-wide back-end where the shared L2 and the
+//!   bandwidth-limited DRAM channel arbitrate between clusters,
 //! * [`Coalescer`] — the SIMT memory coalescer added to the Vortex core
 //!   (Section 3.2.3),
 //! * [`DmaEngine`] — the MMIO-programmed cluster DMA engine that moves tiles
@@ -29,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accmem;
+pub mod backend;
 pub mod cache;
 pub mod coalescer;
 pub mod dma;
@@ -37,6 +40,7 @@ pub mod global;
 pub mod smem;
 
 pub use accmem::{AccumulatorMemory, AccumulatorStats};
+pub use backend::{ClusterContentionStats, MemoryBackend, MemoryBackendStats};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalescer::{Coalescer, CoalescerStats};
 pub use dma::{DmaConfig, DmaEngine, DmaStats, DmaTransfer};

@@ -10,6 +10,21 @@ use crate::port::ClusterPort;
 use crate::stats::CoreStats;
 use crate::warp::{BlockReason, WarpContext};
 
+/// A point-in-time view of one warp's scheduling state, used to build the
+/// structured deadlock diagnosis attached to `SimError::Timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpSnapshot {
+    /// Cluster-unique warp id.
+    pub global_id: u32,
+    /// True once the warp has retired its whole program and drained its
+    /// loads.
+    pub finished: bool,
+    /// Why the warp cannot issue, if it is blocked.
+    pub block: Option<BlockReason>,
+    /// Loads still in flight.
+    pub loads_in_flight: usize,
+}
+
 /// One SIMT core of the cluster.
 ///
 /// The core executes the warps assigned to it, issuing up to
@@ -81,6 +96,20 @@ impl SimtCore {
         self.warps.iter().all(|w| w.is_finished())
     }
 
+    /// Snapshots the scheduling state of every assigned warp, for timeout
+    /// diagnosis.
+    pub fn warp_snapshots(&self) -> Vec<WarpSnapshot> {
+        self.warps
+            .iter()
+            .map(|w| WarpSnapshot {
+                global_id: w.global_id,
+                finished: w.is_finished(),
+                block: w.block_reason(),
+                loads_in_flight: w.loads_in_flight(),
+            })
+            .collect()
+    }
+
     /// Advances the core by one cycle.
     pub fn tick(&mut self, now: Cycle, port: &mut dyn ClusterPort) {
         self.stats.total_cycles += 1;
@@ -112,6 +141,12 @@ impl SimtCore {
     /// * A warp that could attempt to issue pins the horizon to `now` —
     ///   conservatively, since the attempt may still fail on a structural
     ///   hazard whose retry-per-cycle behavior must be replayed faithfully.
+    ///   The one refined case is an `HmmaStep` retrying against a busy
+    ///   tightly-coupled unit: the retries are pure no-ops (no statistics, no
+    ///   state change) until the unit's `busy_until`, so such a warp
+    ///   contributes that cycle instead of `now`. The window is only skipped
+    ///   when *every* runnable warp of the core is hazard-blocked this way,
+    ///   because any other runnable warp issues immediately.
     /// * A warp waiting on outstanding loads contributes the completion cycle
     ///   of its earliest load: retiring a load is the only time-driven event
     ///   that can change the warp's state or the core's stall classification.
@@ -131,12 +166,23 @@ impl SimtCore {
             }
             match warp.block_reason() {
                 None => {
-                    if warp.peek().is_some() {
-                        return Some(now);
+                    match warp.peek() {
+                        // Structural-hazard refinement: an HMMA step retrying
+                        // against a busy tightly-coupled unit does nothing
+                        // observable until the unit frees.
+                        Some((_, WarpOp::HmmaStep { .. })) => {
+                            match port.hmma_busy_until(now, core_id) {
+                                Some(t) if t > now => next = earliest(next, Some(t)),
+                                _ => return Some(now),
+                            }
+                        }
+                        Some(_) => return Some(now),
+                        None => {}
                     }
-                    // Program drained, but loads are still in flight: the
-                    // warp finishes (and the core's stall classification can
-                    // change) only when they retire.
+                    // Loads still in flight (with the program drained, or
+                    // behind a hazard-blocked HMMA step): the warp finishes /
+                    // the stall classification can change only when they
+                    // retire.
                     next = earliest(next, warp.earliest_load_done().map(|c| c.max(now)));
                 }
                 Some(BlockReason::Loads) => {
@@ -454,6 +500,7 @@ mod tests {
         global_calls: u32,
         hmma_calls: u32,
         hmma_busy: bool,
+        hmma_free_at: Option<Cycle>,
         wgmma_calls: u32,
         wgmma_pending: u32,
         mmio_calls: u32,
@@ -486,6 +533,9 @@ mod tests {
                 self.hmma_calls += 1;
                 true
             }
+        }
+        fn hmma_busy_until(&self, _now: Cycle, _core: u32) -> Option<Cycle> {
+            self.hmma_free_at
         }
         fn try_wgmma(&mut self, _now: Cycle, _core: u32, _op: &WgmmaOp, _exec: u64) -> bool {
             self.wgmma_calls += 1;
@@ -645,6 +695,91 @@ mod tests {
         }
         assert_eq!(core.stats().hmma_steps, 1);
         assert!(core.all_finished());
+    }
+
+    #[test]
+    fn hmma_hazard_refines_event_horizon_to_busy_until() {
+        let mut core = core_with_program(|b| {
+            b.op(WarpOp::HmmaStep {
+                macs: 64,
+                rf_reads: 4,
+                rf_writes: 2,
+            });
+        });
+        let port = FakePort {
+            hmma_busy: true,
+            hmma_free_at: Some(Cycle::new(17)),
+            ..Default::default()
+        };
+        // The only runnable warp is retrying against a busy unit: the core's
+        // horizon jumps to the unit's release cycle instead of pinning to now.
+        assert_eq!(
+            core.next_activity(Cycle::new(3), &port),
+            Some(Cycle::new(17))
+        );
+        // Without release information the core stays conservatively pinned.
+        let pinned = FakePort {
+            hmma_busy: true,
+            ..Default::default()
+        };
+        assert_eq!(
+            core.next_activity(Cycle::new(3), &pinned),
+            Some(Cycle::new(3))
+        );
+    }
+
+    #[test]
+    fn hmma_hazard_refinement_requires_every_runnable_warp_blocked() {
+        let program_hmma = {
+            let mut b = ProgramBuilder::new();
+            b.op(WarpOp::HmmaStep {
+                macs: 64,
+                rf_reads: 4,
+                rf_writes: 2,
+            });
+            Arc::new(b.build())
+        };
+        let program_alu = {
+            let mut b = ProgramBuilder::new();
+            b.op(WarpOp::Alu {
+                rf_reads: 1,
+                rf_writes: 1,
+            });
+            Arc::new(b.build())
+        };
+        let mut core = SimtCore::new(CoreConfig::vortex_default(), 0);
+        core.assign_warp(0, &program_hmma);
+        core.assign_warp(1, &program_alu);
+        let port = FakePort {
+            hmma_busy: true,
+            hmma_free_at: Some(Cycle::new(50)),
+            ..Default::default()
+        };
+        // The ALU warp can issue right now, so the horizon stays at now.
+        assert_eq!(
+            core.next_activity(Cycle::new(0), &port),
+            Some(Cycle::new(0))
+        );
+    }
+
+    #[test]
+    fn warp_snapshots_expose_block_state() {
+        let mut core = core_with_program(|b| {
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            b.op(WarpOp::Nop);
+        });
+        let mut port = FakePort {
+            async_outstanding: 2,
+            ..Default::default()
+        };
+        core.tick(Cycle::new(0), &mut port);
+        let snaps = core.warp_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert!(!snaps[0].finished);
+        assert_eq!(
+            snaps[0].block,
+            Some(BlockReason::Fence { max_outstanding: 0 })
+        );
     }
 
     #[test]

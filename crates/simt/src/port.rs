@@ -33,6 +33,22 @@ pub trait ClusterPort {
     /// warp retries next cycle).
     fn try_hmma(&mut self, now: Cycle, core: u32, macs: u32) -> bool;
 
+    /// The cycle at which `core`'s tightly-coupled tensor unit finishes its
+    /// current step and can accept the next one, or `None` when the unit is
+    /// already free. A design with no such unit also returns `None`: its
+    /// `try_hmma` fails every cycle, so a stray `HmmaStep` keeps the core
+    /// conservatively pinned to `now` (and eventually surfaces as an
+    /// issue-stall in the timeout diagnosis).
+    ///
+    /// This powers the fast-forward engine's structural-hazard refinement:
+    /// when every runnable warp of a core is retrying an HMMA step against a
+    /// busy unit, the core's event horizon can jump to this cycle instead of
+    /// pinning to `now`. The default is the conservative `None`, which keeps
+    /// hazard-blocked cores cycle-stepped.
+    fn hmma_busy_until(&self, _now: Cycle, _core: u32) -> Option<Cycle> {
+        None
+    }
+
     /// Attempts to enqueue a Hopper-style asynchronous `wgmma` operation on
     /// `core`'s operand-decoupled tensor unit. `exec_count` is the issuing
     /// instruction's execution count, used to evaluate tile addresses.

@@ -117,17 +117,34 @@ fn deadlock_times_out_identically_in_both_modes() {
     // fast-forward driver must resolve it near-instantly.
     let budget = 500_000_000;
     let mut gpu = Gpu::new(GpuConfig::virgo());
-    assert_eq!(
-        gpu.run_with_mode(&lonely, budget, SimMode::FastForward)
-            .unwrap_err(),
-        SimError::Timeout { limit: budget }
-    );
+    let fast = gpu
+        .run_with_mode(&lonely, budget, SimMode::FastForward)
+        .unwrap_err();
     // The naive reference at a budget it can afford.
-    assert_eq!(
-        gpu.run_with_mode(&lonely, 5_000, SimMode::Naive)
-            .unwrap_err(),
-        SimError::Timeout { limit: 5_000 }
-    );
+    let naive = gpu
+        .run_with_mode(&lonely, 5_000, SimMode::Naive)
+        .unwrap_err();
+    for (err, limit) in [(&fast, budget), (&naive, 5_000)] {
+        let SimError::Timeout {
+            limit: l,
+            diagnosis,
+        } = err
+        else {
+            panic!("expected a timeout, got {err:?}");
+        };
+        assert_eq!(*l, limit);
+        // The structured diagnosis identifies the lonely warp at its barrier
+        // identically in both modes — no tracing re-run needed.
+        assert_eq!(
+            diagnosis.warps,
+            [virgo::WarpDiagnosis {
+                cluster: 0,
+                core: 0,
+                warp: 0,
+                blocked_on: virgo::BlockedOn::Barrier { id: 0 },
+            }]
+        );
+    }
 }
 
 /// The heterogeneous dual-matrix-unit configuration (Section 6.3) also holds
