@@ -4,8 +4,10 @@
 //! The paper's core claim (Section 3) is that cluster-level matrix units let
 //! a GPU scale compute by adding *clusters* rather than by growing per-core
 //! units. This bench sweeps N ∈ {1, 2, 4, 8} clusters on a fixed-size GEMM
-//! for every design point, with all clusters contending for the single
-//! shared L2/DRAM back-end, and reports the two sides of the tradeoff:
+//! for every design point — the whole grid sharded across the sweep
+//! service's worker pool and memoized in its report cache — with all
+//! clusters contending for the single shared L2/DRAM back-end, and reports
+//! the two sides of the tradeoff:
 //!
 //! * total machine cycles fall as clusters are added (compute scales), and
 //! * DRAM-contention stall cycles rise (the shared memory system becomes the
@@ -17,9 +19,10 @@
 //! stalls *increase* — the quantitative form of the scaling-vs-bandwidth
 //! tradeoff.
 
-use virgo::{DesignKind, SimMode, SimReport};
-use virgo_bench::{print_table, run_gemm_clusters};
+use virgo::DesignKind;
+use virgo_bench::{print_cache_summary, print_table, sweep_service};
 use virgo_kernels::GemmShape;
+use virgo_sweep::{SweepOutcome, SweepPoint};
 
 /// Cluster counts swept, per the ISSUE/Table 1 scaling study.
 const CLUSTER_COUNTS: [u32; 4] = [1, 2, 4, 8];
@@ -34,17 +37,19 @@ struct Point {
     energy_per_mac_pj: f64,
 }
 
-fn measure(design: DesignKind, shape: GemmShape, clusters: u32) -> Point {
-    let report: SimReport = run_gemm_clusters(design, shape, clusters, SimMode::FastForward);
-    let macs = report.performed_macs().max(1);
-    Point {
-        design,
-        clusters,
-        cycles: report.cycles().get(),
-        dram_stall_cycles: report.dram_contention_stall_cycles(),
-        utilization_pct: report.mac_utilization().as_percent(),
-        energy_mj: report.total_energy_mj(),
-        energy_per_mac_pj: report.total_energy_mj() * 1e9 / macs as f64,
+impl From<&SweepOutcome> for Point {
+    fn from(outcome: &SweepOutcome) -> Point {
+        let report = &outcome.report;
+        let macs = report.performed_macs().max(1);
+        Point {
+            design: outcome.point.design,
+            clusters: outcome.point.clusters,
+            cycles: report.cycles().get(),
+            dram_stall_cycles: report.dram_contention_stall_cycles(),
+            utilization_pct: report.mac_utilization().as_percent(),
+            energy_mj: report.total_energy_mj(),
+            energy_per_mac_pj: report.total_energy_mj() * 1e9 / macs as f64,
+        }
     }
 }
 
@@ -58,12 +63,25 @@ fn main() {
         .map(GemmShape::square)
         .unwrap_or(GemmShape::square(512));
 
-    let mut points: Vec<Point> = Vec::new();
-    for design in DesignKind::all() {
-        for clusters in CLUSTER_COUNTS {
-            points.push(measure(design, shape, clusters));
-        }
-    }
+    // The full design × cluster-count grid, sharded across the sweep
+    // service's worker pool (and memoized, so a re-run answers from cache).
+    let grid: Vec<SweepPoint> = DesignKind::all()
+        .into_iter()
+        .flat_map(|design| {
+            CLUSTER_COUNTS
+                .into_iter()
+                .map(move |clusters| SweepPoint::gemm(design, shape).with_clusters(clusters))
+        })
+        .collect();
+    let outcomes = sweep_service().sweep_streaming(&grid, |outcome| {
+        eprintln!(
+            "  finished {} in {} cycles{}",
+            outcome.point,
+            outcome.report.cycles().get(),
+            if outcome.from_cache { " (cached)" } else { "" }
+        );
+    });
+    let points: Vec<Point> = outcomes.iter().map(Point::from).collect();
 
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -157,4 +175,5 @@ fn main() {
         first.dram_stall_cycles,
         last.dram_stall_cycles,
     );
+    print_cache_summary();
 }

@@ -69,10 +69,12 @@ fn compare_kernel(name: &'static str, config: &GpuConfig, kernel: &Kernel) -> Co
         .expect("fast-forward run finishes");
     let identical = ReportDigest::of(&naive) == ReportDigest::of(&fast);
 
-    let naive_time = microbench::time(name, 3, || {
+    // Five measured iterations (min-of-N): the dense-GEMM comparisons sit
+    // near 1.0x by design, so the >= 1.0 gate below needs low-noise minima.
+    let naive_time = microbench::time(name, 5, || {
         Gpu::new(config.clone()).run_with_mode(kernel, BUDGET, SimMode::Naive)
     });
-    let fast_time = microbench::time(name, 3, || {
+    let fast_time = microbench::time(name, 5, || {
         Gpu::new(config.clone()).run_with_mode(kernel, BUDGET, SimMode::FastForward)
     });
     Comparison {
@@ -165,8 +167,25 @@ fn main() {
         "stall-heavy speedup regressed below 3x: {:.2}x",
         stall.speedup()
     );
+    // No workload may be *slower* under fast-forward: the adaptive bailout
+    // falls back to naive stepping in compute-dense regions, so the worst
+    // case is naive speed plus a bounded number of horizon probes
+    // (ampere_gemm_128 regressed to 0.93x before the bailout existed). The
+    // semantic target is 1.0x, but the dense comparisons sit *at* 1.0x by
+    // design, so the gate leaves a small margin for wall-clock jitter on
+    // shared CI runners — a real regression (like the pre-bailout 0.93x)
+    // still trips it.
+    const NOISE_MARGIN: f64 = 0.97;
+    for c in &comparisons {
+        assert!(
+            c.speedup() >= NOISE_MARGIN,
+            "{} is slower under fast-forward than naive: {:.2}x (floor {NOISE_MARGIN})",
+            c.name,
+            c.speedup()
+        );
+    }
     println!(
-        "stall-heavy speedup: {:.1}x (target >= 3x) — all reports bit-identical",
+        "stall-heavy speedup: {:.1}x (target >= 3x), all workloads >= {NOISE_MARGIN}x — all reports bit-identical",
         stall.speedup()
     );
 }

@@ -3,12 +3,22 @@
 //! synchronization-overhead measurement.
 
 use virgo::DesignKind;
-use virgo_bench::{mw, pct, print_table, run_flash_attention, run_parallel, uj};
+use virgo_bench::{mw, pct, print_table, sweep_service, uj};
 use virgo_energy::Component;
+use virgo_kernels::AttentionShape;
+use virgo_sweep::SweepPoint;
 
 fn main() {
-    let designs = vec![DesignKind::AmpereStyle, DesignKind::Virgo];
-    let results = run_parallel(designs, |design| (design, run_flash_attention(design)));
+    let designs = [DesignKind::AmpereStyle, DesignKind::Virgo];
+    let points: Vec<SweepPoint> = designs
+        .into_iter()
+        .map(|design| SweepPoint::flash_attention(design, AttentionShape::paper_default()))
+        .collect();
+    let results: Vec<_> = sweep_service()
+        .sweep(&points)
+        .into_iter()
+        .map(|outcome| (outcome.point.design, outcome.report))
+        .collect();
 
     let groups = [
         ("L2 Cache", vec![Component::L2Cache]),

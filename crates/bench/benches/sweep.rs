@@ -1,0 +1,186 @@
+//! Sweep-engine performance benchmark: worker-pool scaling and cold-vs-warm
+//! report-cache timings on the full design × shape grid.
+//!
+//! Two questions, one per layer of the sweep engine:
+//!
+//! 1. **Sharding** — how does wall-clock scale with the pool size? The same
+//!    grid is swept cold with 1, 2, 4 and 8 workers (each run on a fresh
+//!    memory-only service so caching cannot help). Pool sizes are clamped to
+//!    the host's cores, so the scaling gate (pool-4 ≥ 2.5× faster than
+//!    pool-1) only applies when the host actually has ≥ 4 CPUs; the JSON
+//!    records `host_parallelism` so dashboards can tell the difference.
+//! 2. **Caching** — how much does memoization buy? The grid is swept once
+//!    cold and once warm on the same service; the warm pass must answer
+//!    every point from cache and be ≥ 5× faster (in practice it is orders of
+//!    magnitude faster — a map lookup versus a simulation).
+//!
+//! Emits `BENCH_sweep.json` at the workspace root for CI/perf tracking.
+//! `VIRGO_GEMM_SIZES` shrinks the grid for smoke runs, as with the table
+//! benches.
+
+use std::time::Instant;
+
+use virgo::DesignKind;
+use virgo_bench::{gemm_sizes_from_env, print_table};
+use virgo_sweep::{host_parallelism, SweepPoint, SweepService};
+
+/// Pool sizes requested by the scaling satellite of the sweep-engine issue.
+const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+fn grid() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for shape in gemm_sizes_from_env() {
+        for design in DesignKind::all() {
+            points.push(SweepPoint::gemm(design, shape));
+        }
+    }
+    points
+}
+
+struct PoolRun {
+    pool_size: usize,
+    workers: usize,
+    seconds: f64,
+}
+
+fn main() {
+    let points = grid();
+    let host = host_parallelism();
+    println!(
+        "sweeping {} points (designs x sizes) on a {host}-CPU host",
+        points.len()
+    );
+
+    // ---- Worker-pool scaling (always cold: fresh memory-only service) ----
+    let mut runs: Vec<PoolRun> = Vec::new();
+    for pool_size in POOL_SIZES {
+        let service = SweepService::in_memory(pool_size);
+        let start = Instant::now();
+        let outcomes = service.sweep(&points);
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(outcomes.len(), points.len());
+        assert!(
+            outcomes.iter().all(|o| !o.from_cache),
+            "scaling runs must be cold"
+        );
+        runs.push(PoolRun {
+            pool_size,
+            workers: service.pool().workers(),
+            seconds,
+        });
+    }
+    let pool1 = runs[0].seconds;
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.pool_size.to_string(),
+                r.workers.to_string(),
+                format!("{:.3}", r.seconds),
+                format!("{:.2}x", pool1 / r.seconds.max(1e-9)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Sweep worker-pool scaling (cold cache)",
+        &["pool size", "workers", "seconds", "vs pool=1"],
+        &rows,
+    );
+
+    // ---- Cold vs warm cache on one service ------------------------------
+    let service = SweepService::in_memory(host.max(4));
+    let start = Instant::now();
+    let cold = service.sweep(&points);
+    let cold_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let warm = service.sweep(&points);
+    let warm_seconds = start.elapsed().as_secs_f64();
+    assert!(
+        warm.iter().all(|o| o.from_cache),
+        "warm pass must fully hit"
+    );
+    assert_eq!(cold.len(), warm.len());
+    let stats = service.cache_stats();
+    let warm_speedup = cold_seconds / warm_seconds.max(1e-9);
+    print_table(
+        "Sweep cache: cold vs warm",
+        &["pass", "seconds", "hits", "misses"],
+        &[
+            vec![
+                "cold".into(),
+                format!("{cold_seconds:.3}"),
+                "0".into(),
+                stats.misses.to_string(),
+            ],
+            vec![
+                "warm".into(),
+                format!("{warm_seconds:.6}"),
+                stats.hits.to_string(),
+                "0".into(),
+            ],
+        ],
+    );
+    println!("warm-cache speedup: {warm_speedup:.0}x");
+
+    // ---- Machine-readable artifact --------------------------------------
+    let scaling_entries: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"pool_size\": {}, \"workers\": {}, \"seconds\": {:.6}, \"speedup_vs_pool1\": {:.4}}}",
+                r.pool_size,
+                r.workers,
+                r.seconds,
+                pool1 / r.seconds.max(1e-9)
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sweep\",\n",
+            "  \"host_parallelism\": {},\n",
+            "  \"grid_points\": {},\n",
+            "  \"pool_scaling\": [\n{}\n  ],\n",
+            "  \"cache\": {{\"cold_seconds\": {:.6}, \"warm_seconds\": {:.6}, ",
+            "\"warm_speedup\": {:.2}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}\n",
+            "}}\n"
+        ),
+        host,
+        points.len(),
+        scaling_entries.join(",\n"),
+        cold_seconds,
+        warm_seconds,
+        warm_speedup,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+    );
+    // Anchor on the workspace root: cargo runs bench binaries with the
+    // package directory (crates/bench) as cwd, but the artifact belongs next
+    // to the top-level Cargo.toml where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, &json).expect("write BENCH_sweep.json");
+    println!("\nwrote {path}");
+
+    // ---- Gates -----------------------------------------------------------
+    assert!(
+        warm_speedup >= 5.0,
+        "warm cache must be >= 5x faster than cold: {warm_speedup:.2}x"
+    );
+    let pool4 = runs.iter().find(|r| r.pool_size == 4).expect("pool=4 run");
+    if host >= 4 {
+        let scaling = pool1 / pool4.seconds.max(1e-9);
+        assert!(
+            scaling >= 2.5,
+            "pool=4 must be >= 2.5x faster than pool=1 on a {host}-CPU host: {scaling:.2}x"
+        );
+        println!("pool scaling gate passed: {scaling:.2}x with 4 workers");
+    } else {
+        println!(
+            "pool scaling gate skipped: host has {host} CPU(s), pool=4 clamps to {} worker(s)",
+            pool4.workers
+        );
+    }
+    println!("warm-cache gate passed: {warm_speedup:.0}x (target >= 5x)");
+}

@@ -1,0 +1,102 @@
+//! CI smoke gate for the sweep engine's disk cache: run the sharded 256³
+//! GEMM sweep twice and require the second invocation to answer entirely
+//! from cache.
+//!
+//! "Invocation" here means a fresh service with an *empty memory layer*
+//! sharing the on-disk `target/sweep-cache/` directory — exactly what a new
+//! process sees. The gates:
+//!
+//! * the second invocation must be **100% cache hits**, and
+//! * when the first invocation was genuinely cold (no disk entries yet), the
+//!   second must be ≥ 5× faster wall-clock.
+//!
+//! CI persists `target/sweep-cache/` across runs (keyed on the source tree,
+//! so a simulator change starts cold), so on a cache-restored run the
+//! *first* invocation is already disk-warm; the speedup gate is then
+//! meaningless (both passes are fast) and is skipped — the hit-rate gate
+//! still applies.
+//!
+//! This bench opts into the disk layer explicitly (it is off by default —
+//! `SimKey`s digest simulation inputs, not the simulator's source, so a
+//! persistent cache is only sound while the binary is fixed, which is true
+//! within one smoke run). `VIRGO_SWEEP_CACHE` still overrides: `off` aborts
+//! the gate loudly rather than silently measuring nothing, and a path
+//! relocates the cache.
+
+use std::time::Instant;
+
+use virgo::DesignKind;
+use virgo_kernels::GemmShape;
+use virgo_sweep::{
+    default_disk_dir, workspace_cache_dir, ReportCache, SweepPoint, SweepPool, SweepService,
+    DEFAULT_MAX_CYCLES,
+};
+
+/// A fresh "invocation": empty memory cache over the shared disk directory.
+fn invocation() -> SweepService {
+    let dir = default_disk_dir().unwrap_or_else(workspace_cache_dir);
+    SweepService::new(
+        SweepPool::with_host_parallelism(),
+        ReportCache::new(ReportCache::DEFAULT_CAPACITY, Some(dir)),
+        DEFAULT_MAX_CYCLES,
+    )
+}
+
+fn main() {
+    if std::env::var("VIRGO_SWEEP_CACHE").is_ok_and(|v| v.eq_ignore_ascii_case("off")) {
+        panic!("sweep-smoke gates the disk cache; run without VIRGO_SWEEP_CACHE=off");
+    }
+    // The sharded 256³ GEMM sweep: every design at N ∈ {1, 2, 4} clusters.
+    let shape = GemmShape::square(256);
+    let points: Vec<SweepPoint> = DesignKind::all()
+        .into_iter()
+        .flat_map(|design| {
+            [1u32, 2, 4]
+                .into_iter()
+                .map(move |n| SweepPoint::gemm(design, shape).with_clusters(n))
+        })
+        .collect();
+
+    let first = invocation();
+    let start = Instant::now();
+    let outcomes = first.sweep(&points);
+    let first_seconds = start.elapsed().as_secs_f64();
+    let first_hits = outcomes.iter().filter(|o| o.from_cache).count();
+    println!(
+        "first invocation:  {:.3}s, {}/{} from cache",
+        first_seconds,
+        first_hits,
+        points.len()
+    );
+
+    let second = invocation();
+    let start = Instant::now();
+    let outcomes = second.sweep(&points);
+    let second_seconds = start.elapsed().as_secs_f64();
+    let second_hits = outcomes.iter().filter(|o| o.from_cache).count();
+    println!(
+        "second invocation: {:.3}s, {}/{} from cache",
+        second_seconds,
+        second_hits,
+        points.len()
+    );
+
+    assert_eq!(
+        second_hits,
+        points.len(),
+        "second invocation must be 100% cache hits"
+    );
+    if first_hits == 0 {
+        let speedup = first_seconds / second_seconds.max(1e-9);
+        assert!(
+            speedup >= 5.0,
+            "second invocation must be >= 5x faster than a cold first: {speedup:.2}x"
+        );
+        println!("sweep-smoke gate passed: {speedup:.0}x faster with 100% hits");
+    } else {
+        println!(
+            "sweep-smoke: first invocation was already disk-warm \
+             ({first_hits} hits); speedup gate skipped, hit-rate gate passed"
+        );
+    }
+}

@@ -3,11 +3,17 @@
 //!
 //! Every bench target (`cargo bench -p virgo-bench --bench <name>`) uses the
 //! helpers here to build the kernels, run them on the right GPU
-//! configurations (in parallel across designs, via `std::thread::scope`) and
-//! print the rows/series the paper reports. The benches use `harness = false`,
-//! so `cargo bench` simply executes them as programs; the `micro_criterion`
-//! and `fastforward` targets additionally provide micro-benchmarks of the
-//! simulator itself via the dependency-free [`microbench`] harness.
+//! configurations and print the rows/series the paper reports. All
+//! simulation requests flow through the process-wide
+//! [`virgo_sweep::SweepService`]: grids are sharded across its bounded
+//! worker pool and every report is memoized by content digest — in memory
+//! within a process, and across invocations in `target/sweep-cache/` when
+//! `VIRGO_SWEEP_CACHE=on` opts the disk layer in — so a figure bench never
+//! re-simulates points a table bench already answered. The benches
+//! use `harness = false`, so `cargo bench` simply executes them as programs;
+//! the `micro_criterion`, `fastforward` and `sweep` targets additionally
+//! provide micro-benchmarks of the simulator itself via the dependency-free
+//! [`microbench`] harness.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -15,15 +21,22 @@
 pub mod digest;
 pub mod microbench;
 
-use virgo::{DesignKind, Gpu, GpuConfig, SimMode, SimReport};
-use virgo_kernels::{build_flash_attention, build_gemm, AttentionShape, GemmShape};
+use virgo::{DesignKind, SimMode, SimReport};
+use virgo_kernels::{AttentionShape, GemmShape};
+use virgo_sweep::{SweepPoint, SweepService, SweepWorkload};
 
 pub use digest::ReportDigest;
 pub use microbench::Measurement;
 
 /// Cycle budget used for every simulation; generous enough for the largest
-/// (1024³ Volta-style) run.
-pub const MAX_CYCLES: u64 = 2_000_000_000;
+/// (1024³ Volta-style) run. Re-exported from the sweep engine so every
+/// harness (and its cache keys) agrees on one budget.
+pub const MAX_CYCLES: u64 = virgo_sweep::DEFAULT_MAX_CYCLES;
+
+/// The process-wide sweep service every helper below answers from.
+pub fn sweep_service() -> &'static SweepService {
+    SweepService::global()
+}
 
 /// Runs the GEMM kernel for `shape` on the given design point.
 ///
@@ -43,11 +56,7 @@ pub fn run_gemm(design: DesignKind, shape: GemmShape) -> SimReport {
 ///
 /// Panics if the simulation does not complete.
 pub fn run_gemm_with_mode(design: DesignKind, shape: GemmShape, mode: SimMode) -> SimReport {
-    let config = GpuConfig::for_design(design);
-    let kernel = build_gemm(&config, shape);
-    Gpu::new(config)
-        .run_with_mode(&kernel, MAX_CYCLES, mode)
-        .unwrap_or_else(|e| panic!("{design} GEMM {shape} failed: {e}"))
+    run_gemm_clusters(design, shape, 1, mode)
 }
 
 /// Runs the GEMM kernel for `shape` on `clusters` clusters of the given
@@ -63,11 +72,7 @@ pub fn run_gemm_clusters(
     clusters: u32,
     mode: SimMode,
 ) -> SimReport {
-    let config = GpuConfig::for_design(design).with_clusters(clusters);
-    let kernel = build_gemm(&config, shape);
-    Gpu::new(config)
-        .run_with_mode(&kernel, MAX_CYCLES, mode)
-        .unwrap_or_else(|e| panic!("{design} GEMM {shape} x{clusters} clusters failed: {e}"))
+    (*sweep_service().query(design, SweepWorkload::Gemm(shape), clusters, mode)).clone()
 }
 
 /// Runs the FlashAttention-3 kernel for `shape` on `clusters` clusters of a
@@ -84,21 +89,22 @@ pub fn run_flash_attention_clusters(
     clusters: u32,
     mode: SimMode,
 ) -> SimReport {
-    let config = GpuConfig::for_design(design)
-        .to_fp32()
-        .with_clusters(clusters);
-    let kernel = build_flash_attention(&config, shape);
-    Gpu::new(config)
-        .run_with_mode(&kernel, MAX_CYCLES, mode)
-        .unwrap_or_else(|e| panic!("{design} FlashAttention x{clusters} clusters failed: {e}"))
+    (*sweep_service().query(design, SweepWorkload::FlashAttention(shape), clusters, mode)).clone()
 }
 
-/// Runs the GEMM kernel for `shape` on every design point, in parallel.
-/// Results are returned in [`DesignKind::all`] order.
+/// Runs the GEMM kernel for `shape` on every design point, sharded across
+/// the sweep service's worker pool. Results are returned in
+/// [`DesignKind::all`] order.
 pub fn run_gemm_all_designs(shape: GemmShape) -> Vec<(DesignKind, SimReport)> {
-    run_parallel(DesignKind::all().to_vec(), move |design| {
-        (design, run_gemm(design, shape))
-    })
+    let points: Vec<SweepPoint> = DesignKind::all()
+        .into_iter()
+        .map(|design| SweepPoint::gemm(design, shape))
+        .collect();
+    sweep_service()
+        .sweep(&points)
+        .into_iter()
+        .map(|outcome| (outcome.point.design, (*outcome.report).clone()))
+        .collect()
 }
 
 /// Runs the FlashAttention-3 kernel (paper configuration) on a design point
@@ -119,37 +125,7 @@ pub fn run_flash_attention(design: DesignKind) -> SimReport {
 /// Panics if the design point is not Virgo or Ampere-style, or the simulation
 /// does not complete.
 pub fn run_flash_attention_with_mode(design: DesignKind, mode: SimMode) -> SimReport {
-    let config = GpuConfig::for_design(design).to_fp32();
-    let kernel = build_flash_attention(&config, AttentionShape::paper_default());
-    Gpu::new(config)
-        .run_with_mode(&kernel, MAX_CYCLES, mode)
-        .unwrap_or_else(|e| panic!("{design} FlashAttention failed: {e}"))
-}
-
-/// Runs `job` over `items` on scoped worker threads, preserving input order.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics.
-pub fn run_parallel<T, R, F>(items: Vec<T>, job: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .into_iter()
-            .map(|item| {
-                let job = &job;
-                scope.spawn(move || job(item))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
+    run_flash_attention_clusters(design, AttentionShape::paper_default(), 1, mode)
 }
 
 /// Prints a fixed-width table with a title, headers and rows.
@@ -177,6 +153,21 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect();
         println!("{}", line.join("  "));
     }
+}
+
+/// Prints the sweep-cache counters — called by the long sweep benches so
+/// hit/miss/eviction behavior is visible in every run's output.
+pub fn print_cache_summary() {
+    let stats = sweep_service().cache_stats();
+    println!(
+        "sweep cache: {} hits ({} from disk), {} misses, {} evictions, {} corrupt entries rejected ({:.0}% hit rate)",
+        stats.hits,
+        stats.disk_hits,
+        stats.misses,
+        stats.evictions,
+        stats.disk_rejects,
+        stats.hit_rate() * 100.0
+    );
 }
 
 /// Formats a fraction as a percentage with one decimal.
@@ -227,12 +218,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parallel_runner_preserves_order() {
-        let out = run_parallel(vec![3u64, 1, 2], |x| x * 10);
-        assert_eq!(out, vec![30, 10, 20]);
-    }
-
-    #[test]
     fn formatting_helpers() {
         assert_eq!(pct(0.661), "66.1%");
         assert_eq!(mw(123.45), "123.5 mW");
@@ -249,16 +234,25 @@ mod tests {
 
     #[test]
     fn small_gemm_runs_on_every_design() {
-        // A reduced-size smoke test of the full simulation pipeline.
+        // A reduced-size smoke test of the full simulation pipeline, through
+        // the sweep service (parallel across designs, memoized).
         let shape = GemmShape {
             m: 128,
             n: 128,
             k: 128,
         };
-        for design in DesignKind::all() {
-            let report = run_gemm(design, shape);
+        let results = run_gemm_all_designs(shape);
+        assert_eq!(results.len(), 4);
+        for (design, report) in &results {
             assert!(report.cycles().get() > 0, "{design}");
             assert!(report.performed_macs() > 0, "{design}");
         }
+        // The single-point helper answers from the same cache, bit-identical.
+        let again = run_gemm(results[0].0, shape);
+        assert_eq!(
+            ReportDigest::of(&again),
+            ReportDigest::of(&results[0].1),
+            "cached helper answer must be bit-identical to the sweep's"
+        );
     }
 }

@@ -4,7 +4,7 @@ use virgo_energy::AreaParams;
 use virgo_gemmini::GemminiConfig;
 use virgo_isa::DataType;
 use virgo_mem::{DmaConfig, GlobalMemoryConfig, SmemConfig};
-use virgo_sim::Frequency;
+use virgo_sim::{Frequency, StableHash, StableHasher};
 use virgo_simt::CoreConfig;
 use virgo_tensor::{DecoupledConfig, TightlyCoupledConfig};
 
@@ -57,6 +57,31 @@ impl DesignKind {
 impl std::fmt::Display for DesignKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DesignKind {
+    type Err = String;
+
+    /// Parses a paper-style display name (`"Virgo"`, `"Ampere-style"`, ...),
+    /// the inverse of [`DesignKind::name`] — used when rehydrating cached
+    /// reports.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DesignKind::all()
+            .into_iter()
+            .find(|d| d.name() == s)
+            .ok_or_else(|| format!("unknown design point {s:?}"))
+    }
+}
+
+impl StableHash for DesignKind {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(match self {
+            DesignKind::VoltaStyle => 0,
+            DesignKind::AmpereStyle => 1,
+            DesignKind::HopperStyle => 2,
+            DesignKind::Virgo => 3,
+        });
     }
 }
 
@@ -299,6 +324,29 @@ impl GpuConfig {
 impl Default for GpuConfig {
     fn default() -> Self {
         GpuConfig::virgo()
+    }
+}
+
+impl StableHash for MatrixUnitSpec {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.gemmini.stable_hash(h);
+        h.write_u64(self.accumulator_bytes);
+    }
+}
+
+impl StableHash for GpuConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.design.stable_hash(h);
+        h.write_u64(u64::from(self.clusters));
+        h.write_u64(u64::from(self.cores));
+        self.core.stable_hash(h);
+        self.smem.stable_hash(h);
+        self.dma.stable_hash(h);
+        self.tightly.stable_hash(h);
+        self.decoupled.stable_hash(h);
+        self.matrix_units.stable_hash(h);
+        self.dtype.stable_hash(h);
+        self.frequency.stable_hash(h);
     }
 }
 

@@ -1,0 +1,160 @@
+//! Content-addressed identity of one simulation.
+//!
+//! A simulation is a pure function of `(GpuConfig, Kernel, max_cycles,
+//! SimMode)` — the driver holds no other state and the model is fully
+//! deterministic. [`SimKey`] digests exactly those four inputs with the
+//! stable structural hash (`virgo_sim::StableHash`), giving every simulation
+//! a 128-bit identity that is reproducible across processes, builds and
+//! machines. The sweep engine's report cache uses it as the memoization key
+//! (and as the on-disk file name), so two callers asking for the same design
+//! point never simulate it twice.
+
+use std::fmt;
+
+use virgo_isa::Kernel;
+use virgo_sim::{StableHash, StableHasher};
+
+use crate::config::GpuConfig;
+use crate::run::SimMode;
+
+/// The 128-bit content digest of one simulation's inputs.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use virgo::{GpuConfig, SimKey, SimMode};
+/// use virgo_isa::{DataType, Kernel, KernelInfo, ProgramBuilder, WarpAssignment, WarpOp};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.op(WarpOp::Nop);
+/// let kernel = Kernel::new(
+///     KernelInfo::new("k", 0, DataType::Fp16),
+///     vec![WarpAssignment::new(0, 0, Arc::new(b.build()))],
+/// );
+/// let config = GpuConfig::virgo();
+/// let a = SimKey::digest(&config, &kernel, 1000, SimMode::FastForward);
+/// let b = SimKey::digest(&config, &kernel, 1000, SimMode::FastForward);
+/// assert_eq!(a, b);
+/// assert_ne!(a, SimKey::digest(&config, &kernel, 1000, SimMode::Naive));
+/// assert_eq!(a.to_hex().len(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SimKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl SimKey {
+    /// Digests the full input tuple of one simulation.
+    pub fn digest(config: &GpuConfig, kernel: &Kernel, max_cycles: u64, mode: SimMode) -> SimKey {
+        let mut h = StableHasher::new();
+        // Format tag + version: bump when the digest layout (or anything it
+        // absorbs) changes, so stale on-disk cache entries miss cleanly.
+        h.write_str("virgo-simkey");
+        h.write_u64(1);
+        config.stable_hash(&mut h);
+        kernel.stable_hash(&mut h);
+        h.write_u64(max_cycles);
+        mode.stable_hash(&mut h);
+        let (hi, lo) = h.finish128();
+        SimKey { hi, lo }
+    }
+
+    /// Renders the key as a fixed-width 32-character lower-case hex string
+    /// (usable as a file name).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses the hex form produced by [`SimKey::to_hex`].
+    pub fn from_hex(s: &str) -> Option<SimKey> {
+        if s.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(SimKey { hi, lo })
+    }
+}
+
+impl fmt::Display for SimKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use virgo_isa::{DataType, KernelInfo, ProgramBuilder, WarpAssignment, WarpOp};
+
+    fn kernel(name: &str, ops: u32) -> Kernel {
+        let mut b = ProgramBuilder::new();
+        b.op_n(
+            ops,
+            WarpOp::Alu {
+                rf_reads: 1,
+                rf_writes: 1,
+            },
+        );
+        Kernel::new(
+            KernelInfo::new(name, 0, DataType::Fp16),
+            vec![WarpAssignment::new(0, 0, Arc::new(b.build()))],
+        )
+    }
+
+    #[test]
+    fn key_depends_on_every_input() {
+        let config = GpuConfig::virgo();
+        let base = SimKey::digest(&config, &kernel("k", 4), 1000, SimMode::FastForward);
+        assert_ne!(
+            base,
+            SimKey::digest(&config, &kernel("k", 5), 1000, SimMode::FastForward),
+            "kernel contents"
+        );
+        assert_ne!(
+            base,
+            SimKey::digest(&config, &kernel("other", 4), 1000, SimMode::FastForward),
+            "kernel name"
+        );
+        assert_ne!(
+            base,
+            SimKey::digest(&config, &kernel("k", 4), 1001, SimMode::FastForward),
+            "cycle budget"
+        );
+        assert_ne!(
+            base,
+            SimKey::digest(&config, &kernel("k", 4), 1000, SimMode::Naive),
+            "mode"
+        );
+        let other_config = GpuConfig::virgo().with_clusters(2);
+        assert_ne!(
+            base,
+            SimKey::digest(&other_config, &kernel("k", 4), 1000, SimMode::FastForward),
+            "config"
+        );
+    }
+
+    #[test]
+    fn key_is_stable_for_equal_inputs() {
+        let config = GpuConfig::ampere_style();
+        let a = SimKey::digest(&config, &kernel("k", 4), 1000, SimMode::FastForward);
+        let b = SimKey::digest(&config.clone(), &kernel("k", 4), 1000, SimMode::FastForward);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let key = SimKey::digest(
+            &GpuConfig::virgo(),
+            &kernel("k", 1),
+            100,
+            SimMode::FastForward,
+        );
+        assert_eq!(SimKey::from_hex(&key.to_hex()), Some(key));
+        assert_eq!(SimKey::from_hex("nope"), None);
+        assert_eq!(SimKey::from_hex(&"g".repeat(32)), None);
+    }
+}

@@ -52,10 +52,14 @@
 
 pub mod cluster;
 pub mod config;
+pub mod key;
 pub mod report;
 pub mod run;
+pub mod snapshot;
 
 pub use cluster::{Cluster, ClusterDevices, ClusterStats, PlacedWarpSnapshot};
 pub use config::{DesignKind, GpuConfig, MatrixUnitSpec};
+pub use key::SimKey;
 pub use report::{ClusterReport, SimReport};
 pub use run::{BlockedOn, Gpu, SimError, SimMode, TimeoutDiagnosis, WarpDiagnosis};
+pub use snapshot::SnapshotError;

@@ -66,23 +66,26 @@ impl ClusterReport {
 /// total even at one cluster.)
 #[derive(Debug, Clone)]
 pub struct SimReport {
-    design: DesignKind,
-    kernel_name: String,
-    cycles: Cycle,
-    frequency: Frequency,
-    kernel_macs: u64,
-    performed_macs: u64,
-    peak_macs_per_cycle: u64,
-    core_stats: CoreStats,
-    smem_stats: SmemStats,
-    gmem_stats: GlobalMemoryStats,
-    dram_stats: DramStats,
-    dma_stats: Option<DmaStats>,
-    cluster_stats: ClusterStats,
-    per_cluster: Vec<ClusterReport>,
-    dram_contention_stall_cycles: u64,
-    power: PowerReport,
-    area: AreaReport,
+    // Fields are `pub(crate)` so the sibling `snapshot` module can serialize
+    // and rehydrate reports for the sweep cache; external code goes through
+    // the accessors below.
+    pub(crate) design: DesignKind,
+    pub(crate) kernel_name: String,
+    pub(crate) cycles: Cycle,
+    pub(crate) frequency: Frequency,
+    pub(crate) kernel_macs: u64,
+    pub(crate) performed_macs: u64,
+    pub(crate) peak_macs_per_cycle: u64,
+    pub(crate) core_stats: CoreStats,
+    pub(crate) smem_stats: SmemStats,
+    pub(crate) gmem_stats: GlobalMemoryStats,
+    pub(crate) dram_stats: DramStats,
+    pub(crate) dma_stats: Option<DmaStats>,
+    pub(crate) cluster_stats: ClusterStats,
+    pub(crate) per_cluster: Vec<ClusterReport>,
+    pub(crate) dram_contention_stall_cycles: u64,
+    pub(crate) power: PowerReport,
+    pub(crate) area: AreaReport,
 }
 
 impl SimReport {

@@ -191,6 +191,15 @@ impl fmt::Display for SimMode {
     }
 }
 
+impl virgo_sim::StableHash for SimMode {
+    fn stable_hash(&self, h: &mut virgo_sim::StableHasher) {
+        h.write_u64(match self {
+            SimMode::Naive => 0,
+            SimMode::FastForward => 1,
+        });
+    }
+}
+
 /// The machine under simulation: every cluster plus the shared memory
 /// back-end they contend for.
 struct Machine {
@@ -340,8 +349,24 @@ impl Gpu {
                 });
             }
         }
+        // Adaptive bailout for compute-dense regions: folding every cluster's
+        // event horizon costs real work, and when the machine is busy every
+        // cycle the probe buys nothing — the horizon keeps coming back as
+        // `now` or `now + 1`. After `SHORT_HORIZON_BAILOUT` consecutive
+        // profitless probes the driver switches to plain naive stepping for a
+        // burst (doubling up to `NAIVE_BURST_MAX` while the region stays
+        // dense), then probes again. Ticking is the reference semantics, so
+        // reports stay bit-identical; only wall-clock changes. This fixes the
+        // fast-forward mode being *slower* than naive on dense GEMMs
+        // (`ampere_gemm_128` was 0.93x before the bailout).
+        const SHORT_HORIZON_BAILOUT: u32 = 8;
+        const NAIVE_BURST_MIN: u64 = 64;
+        const NAIVE_BURST_MAX: u64 = 4096;
+
         let mut machine = Machine::new(&self.config, kernel);
         let mut cycle = 0u64;
+        let mut short_horizons = 0u32;
+        let mut naive_burst = NAIVE_BURST_MIN;
         while cycle < max_cycles {
             if machine.finished() {
                 return Ok(SimReport::from_machine(
@@ -352,9 +377,26 @@ impl Gpu {
                 ));
             }
             if mode == SimMode::FastForward {
+                if short_horizons >= SHORT_HORIZON_BAILOUT {
+                    let end = cycle.saturating_add(naive_burst).min(max_cycles);
+                    while cycle < end && !machine.finished() {
+                        machine.tick(Cycle::new(cycle));
+                        cycle += 1;
+                    }
+                    short_horizons = 0;
+                    naive_burst = (naive_burst * 2).min(NAIVE_BURST_MAX);
+                    continue;
+                }
                 let target = machine
                     .next_activity(Cycle::new(cycle))
                     .map_or(max_cycles, |t| t.get().min(max_cycles));
+                if target > cycle + 1 {
+                    // A real skip: the region is quiescent, keep probing.
+                    short_horizons = 0;
+                    naive_burst = NAIVE_BURST_MIN;
+                } else {
+                    short_horizons += 1;
+                }
                 if target > cycle {
                     machine.fast_forward(Cycle::new(cycle), target - cycle);
                     cycle = target;

@@ -49,6 +49,13 @@ pub struct AreaReport {
 }
 
 impl AreaReport {
+    /// Reassembles a report from its breakdown entries — the inverse of
+    /// [`AreaReport::breakdown`], used when rehydrating a cached `SimReport`
+    /// snapshot.
+    pub fn from_entries(entries: Vec<(Component, f64)>) -> Self {
+        AreaReport { entries }
+    }
+
     /// Area of one component in mm².
     pub fn component_mm2(&self, component: Component) -> f64 {
         self.entries

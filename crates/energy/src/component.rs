@@ -169,6 +169,18 @@ pub enum MatrixSubcomponent {
 }
 
 impl MatrixSubcomponent {
+    /// Every distinct subcomponent, in the Figure 11 report order.
+    pub fn all() -> [MatrixSubcomponent; 6] {
+        [
+            MatrixSubcomponent::PeArray,
+            MatrixSubcomponent::OperandBuffer,
+            MatrixSubcomponent::ResultBuffer,
+            MatrixSubcomponent::SmemInterface,
+            MatrixSubcomponent::AccumMem,
+            MatrixSubcomponent::Control,
+        ]
+    }
+
     /// Display name matching Figure 11's legend.
     pub fn name(self) -> &'static str {
         match self {

@@ -34,17 +34,28 @@ impl PowerReport {
             .iter()
             .map(|&c| (c, ledger.component_energy_pj(table, c) * 1e-6))
             .collect();
-        let matrix_energy_uj = [
-            MatrixSubcomponent::PeArray,
-            MatrixSubcomponent::OperandBuffer,
-            MatrixSubcomponent::ResultBuffer,
-            MatrixSubcomponent::SmemInterface,
-            MatrixSubcomponent::AccumMem,
-            MatrixSubcomponent::Control,
-        ]
-        .iter()
-        .map(|&s| (s, ledger.matrix_energy_pj(table, s) * 1e-6))
-        .collect();
+        let matrix_energy_uj = MatrixSubcomponent::all()
+            .iter()
+            .map(|&s| (s, ledger.matrix_energy_pj(table, s) * 1e-6))
+            .collect();
+        PowerReport {
+            cycles,
+            frequency,
+            component_energy_uj,
+            matrix_energy_uj,
+        }
+    }
+
+    /// Reassembles a report from its parts — the inverse of the accessors,
+    /// used when rehydrating a cached [`SimReport`] snapshot. The entry
+    /// vectors must be in the same order the accessors report
+    /// ([`Component::all`] / [`MatrixSubcomponent::all`]).
+    pub fn from_parts(
+        cycles: Cycle,
+        frequency: Frequency,
+        component_energy_uj: Vec<(Component, f64)>,
+        matrix_energy_uj: Vec<(MatrixSubcomponent, f64)>,
+    ) -> Self {
         PowerReport {
             cycles,
             frequency,

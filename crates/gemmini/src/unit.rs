@@ -1,7 +1,7 @@
 //! The Gemmini-derived systolic matrix unit and its coarse-grain FSM.
 
 use virgo_mem::{AccumulatorMemory, SharedMemory};
-use virgo_sim::{BoundedQueue, Cycle, NextActivity};
+use virgo_sim::{BoundedQueue, Cycle, NextActivity, StableHash, StableHasher};
 
 use crate::command::GemminiCommand;
 
@@ -16,6 +16,14 @@ pub struct GemminiConfig {
     pub smem_read_bytes: u64,
     /// Depth of the MMIO command queue.
     pub queue_depth: usize,
+}
+
+impl StableHash for GemminiConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(u64::from(self.dim));
+        h.write_u64(self.smem_read_bytes);
+        h.write_u64(self.queue_depth as u64);
+    }
 }
 
 impl GemminiConfig {

@@ -6,6 +6,8 @@
 //! the instruction's *execution count*, which the warp tracks per static
 //! instruction.
 
+use virgo_sim::{StableHash, StableHasher};
+
 /// Memory regions addressable by kernels and DMA commands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemRegion {
@@ -119,6 +121,33 @@ impl AddrExpr {
 impl From<u64> for AddrExpr {
     fn from(base: u64) -> Self {
         AddrExpr::fixed(base)
+    }
+}
+
+impl StableHash for MemRegion {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(match self {
+            MemRegion::Global => 0,
+            MemRegion::Shared => 1,
+            MemRegion::Accumulator => 2,
+        });
+    }
+}
+
+impl StableHash for AddrExpr {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.base);
+        h.write_u64(self.stride);
+        h.write_u64(u64::from(self.modulo));
+    }
+}
+
+impl StableHash for LaneAccess {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.addr.stable_hash(h);
+        h.write_u64(u64::from(self.lane_stride));
+        h.write_u64(u64::from(self.bytes_per_lane));
+        h.write_u64(u64::from(self.active_lanes));
     }
 }
 

@@ -1,6 +1,9 @@
 //! Kernel descriptions: the set of warp programs launched onto a cluster.
 
+use std::collections::HashMap;
 use std::sync::Arc;
+
+use virgo_sim::{StableHash, StableHasher};
 
 use crate::program::Program;
 
@@ -219,6 +222,49 @@ impl Kernel {
     /// Warps assigned to a particular cluster.
     pub fn warps_on_cluster(&self, cluster: u32) -> impl Iterator<Item = &WarpAssignment> {
         self.warps.iter().filter(move |w| w.cluster == cluster)
+    }
+}
+
+impl StableHash for DataType {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(match self {
+            DataType::Fp16 => 0,
+            DataType::Fp32 => 1,
+        });
+    }
+}
+
+impl StableHash for KernelInfo {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        h.write_u64(self.total_macs);
+        self.dtype.stable_hash(h);
+    }
+}
+
+impl StableHash for Kernel {
+    /// Hashes the kernel *structurally*: metadata plus every warp's placement
+    /// and program contents. Warps typically share their `Arc<Program>`, so
+    /// each distinct program is hashed once and its digest reused — the
+    /// resulting kernel digest still depends only on program *contents*, not
+    /// on sharing structure, so a kernel built with cloned (rather than
+    /// shared) programs hashes identically.
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.info.stable_hash(h);
+        let mut memo: HashMap<*const Program, (u64, u64)> = HashMap::new();
+        h.write_u64(self.warps.len() as u64);
+        for warp in &self.warps {
+            h.write_u64(u64::from(warp.cluster));
+            h.write_u64(u64::from(warp.core));
+            h.write_u64(u64::from(warp.warp));
+            let (hi, lo) = *memo.entry(Arc::as_ptr(&warp.program)).or_insert_with(|| {
+                let mut ph = StableHasher::new();
+                warp.program.stable_hash(&mut ph);
+                ph.finish128()
+            });
+            h.write_u64(hi);
+            h.write_u64(lo);
+        }
     }
 }
 

@@ -6,6 +6,8 @@
 //! the cluster DMA engine by issuing ordinary stores to this MMIO region; the
 //! types below are the decoded form of those stores.
 
+use virgo_sim::{StableHash, StableHasher};
+
 use crate::addr::{AddrExpr, MemRegion};
 use crate::kernel::DataType;
 
@@ -195,6 +197,75 @@ impl MmioCommand {
         match self {
             MmioCommand::DmaCopy(cmd) => Some(cmd),
             MmioCommand::MatrixCompute(_) => None,
+        }
+    }
+}
+
+impl StableHash for DeviceId {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            DeviceId::MatrixUnit(i) => {
+                h.write_u64(0);
+                h.write_u64(u64::from(*i));
+            }
+            DeviceId::Dma(i) => {
+                h.write_u64(1);
+                h.write_u64(u64::from(*i));
+            }
+        }
+    }
+}
+
+impl StableHash for MemLoc {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.region.stable_hash(h);
+        self.addr.stable_hash(h);
+    }
+}
+
+impl StableHash for DmaCopyCmd {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.src.stable_hash(h);
+        self.dst.stable_hash(h);
+        h.write_u64(self.bytes);
+    }
+}
+
+impl StableHash for MatrixComputeCmd {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.a.stable_hash(h);
+        self.b.stable_hash(h);
+        h.write_u64(self.acc_addr);
+        h.write_u64(u64::from(self.m));
+        h.write_u64(u64::from(self.n));
+        h.write_u64(u64::from(self.k));
+        self.accumulate.stable_hash(h);
+        self.dtype.stable_hash(h);
+    }
+}
+
+impl StableHash for WgmmaOp {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.a.stable_hash(h);
+        self.b.stable_hash(h);
+        h.write_u64(u64::from(self.m));
+        h.write_u64(u64::from(self.n));
+        h.write_u64(u64::from(self.k));
+        self.dtype.stable_hash(h);
+    }
+}
+
+impl StableHash for MmioCommand {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            MmioCommand::DmaCopy(cmd) => {
+                h.write_u64(0);
+                cmd.stable_hash(h);
+            }
+            MmioCommand::MatrixCompute(cmd) => {
+                h.write_u64(1);
+                cmd.stable_hash(h);
+            }
         }
     }
 }

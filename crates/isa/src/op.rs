@@ -1,5 +1,7 @@
 //! The warp-level operation set issued by the SIMT core.
 
+use virgo_sim::{StableHash, StableHasher};
+
 use crate::addr::LaneAccess;
 use crate::mmio::{DeviceId, MmioCommand, WgmmaOp};
 
@@ -187,6 +189,83 @@ impl WarpOp {
             WarpOp::FenceAsync { .. } => "virgo.fence",
             WarpOp::Barrier { .. } => "vx.bar",
             WarpOp::Nop => "nop",
+        }
+    }
+}
+
+impl StableHash for OpId {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(u64::from(self.0));
+    }
+}
+
+impl StableHash for WarpOp {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            WarpOp::Alu {
+                rf_reads,
+                rf_writes,
+            } => {
+                h.write_u64(0);
+                h.write_u64(u64::from(*rf_reads));
+                h.write_u64(u64::from(*rf_writes));
+            }
+            WarpOp::Fpu {
+                rf_reads,
+                rf_writes,
+                flops_per_lane,
+            } => {
+                h.write_u64(1);
+                h.write_u64(u64::from(*rf_reads));
+                h.write_u64(u64::from(*rf_writes));
+                h.write_u64(u64::from(*flops_per_lane));
+            }
+            WarpOp::LoadGlobal { access } => {
+                h.write_u64(2);
+                access.stable_hash(h);
+            }
+            WarpOp::StoreGlobal { access } => {
+                h.write_u64(3);
+                access.stable_hash(h);
+            }
+            WarpOp::LoadShared { access } => {
+                h.write_u64(4);
+                access.stable_hash(h);
+            }
+            WarpOp::StoreShared { access } => {
+                h.write_u64(5);
+                access.stable_hash(h);
+            }
+            WarpOp::WaitLoads => h.write_u64(6),
+            WarpOp::HmmaStep {
+                macs,
+                rf_reads,
+                rf_writes,
+            } => {
+                h.write_u64(7);
+                h.write_u64(u64::from(*macs));
+                h.write_u64(u64::from(*rf_reads));
+                h.write_u64(u64::from(*rf_writes));
+            }
+            WarpOp::WgmmaInit(op) => {
+                h.write_u64(8);
+                op.stable_hash(h);
+            }
+            WarpOp::WgmmaWait => h.write_u64(9),
+            WarpOp::MmioWrite { device, cmd } => {
+                h.write_u64(10);
+                device.stable_hash(h);
+                cmd.stable_hash(h);
+            }
+            WarpOp::FenceAsync { max_outstanding } => {
+                h.write_u64(11);
+                h.write_u64(u64::from(*max_outstanding));
+            }
+            WarpOp::Barrier { id } => {
+                h.write_u64(12);
+                h.write_u64(u64::from(*id));
+            }
+            WarpOp::Nop => h.write_u64(13),
         }
     }
 }

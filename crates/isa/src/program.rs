@@ -8,6 +8,8 @@
 
 use std::sync::Arc;
 
+use virgo_sim::{StableHash, StableHasher};
+
 use crate::op::{OpId, WarpOp};
 
 /// One node of a loop-structured program.
@@ -85,6 +87,30 @@ impl Program {
     /// Creates a cursor positioned before the first dynamic operation.
     pub fn cursor(self: &Arc<Self>) -> ProgramCursor {
         ProgramCursor::new(Arc::clone(self))
+    }
+}
+
+impl StableHash for ProgramItem {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            ProgramItem::Op { id, op } => {
+                h.write_u64(0);
+                id.stable_hash(h);
+                op.stable_hash(h);
+            }
+            ProgramItem::Loop { count, body } => {
+                h.write_u64(1);
+                h.write_u64(*count);
+                body.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for Program {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(u64::from(self.num_ops));
+        self.items.stable_hash(h);
     }
 }
 

@@ -16,6 +16,13 @@ use crate::backend::MemoryBackend;
 use crate::global::GlobalMemory;
 use crate::smem::SharedMemory;
 
+impl virgo_sim::StableHash for DmaConfig {
+    fn stable_hash(&self, h: &mut virgo_sim::StableHasher) {
+        h.write_u64(self.beat_bytes);
+        h.write_u64(self.queue_depth as u64);
+    }
+}
+
 /// Configuration of the DMA engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DmaConfig {

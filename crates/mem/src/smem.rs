@@ -16,7 +16,7 @@
 //! latency/occupancy approach and keeps the counters needed for the Table 4
 //! footprint comparison and the shared-memory energy numbers.
 
-use virgo_sim::{Cycle, NextActivity};
+use virgo_sim::{Cycle, NextActivity, StableHash, StableHasher};
 
 /// Configuration of the shared memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +30,15 @@ pub struct SmemConfig {
     pub subbanks: u32,
     /// Access latency in cycles once a request wins arbitration.
     pub latency: u64,
+}
+
+impl StableHash for SmemConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.capacity_bytes);
+        h.write_u64(u64::from(self.banks));
+        h.write_u64(u64::from(self.subbanks));
+        h.write_u64(self.latency);
+    }
 }
 
 impl SmemConfig {

@@ -197,6 +197,18 @@ impl Default for Frequency {
     }
 }
 
+impl crate::StableHash for Cycle {
+    fn stable_hash(&self, h: &mut crate::StableHasher) {
+        h.write_u64(self.get());
+    }
+}
+
+impl crate::StableHash for Frequency {
+    fn stable_hash(&self, h: &mut crate::StableHasher) {
+        h.write_u64(self.hz);
+    }
+}
+
 impl fmt::Display for Frequency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.0} MHz", self.as_mhz())

@@ -40,10 +40,12 @@ pub mod activity;
 pub mod cycle;
 pub mod pipe;
 pub mod rng;
+pub mod stablehash;
 pub mod stats;
 
 pub use activity::{earliest, NextActivity};
 pub use cycle::{Cycle, Frequency};
 pub use pipe::{BoundedQueue, DelayPipe};
 pub use rng::SplitMix64;
+pub use stablehash::{StableHash, StableHasher};
 pub use stats::{Counter, Ratio, RunningStats};

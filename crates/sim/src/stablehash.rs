@@ -1,0 +1,245 @@
+//! A stable, process-independent structural hash.
+//!
+//! The sweep engine memoizes simulation reports keyed by a digest of the
+//! simulation *inputs* — `(GpuConfig, Kernel, max_cycles, SimMode)`. The
+//! standard library's `Hash`/`Hasher` machinery is unsuitable for that key:
+//! `DefaultHasher` is explicitly allowed to change between releases and is
+//! randomized in some configurations, and the on-disk cache must produce the
+//! same file names across processes, builds and machines. [`StableHasher`]
+//! instead builds on the same SplitMix64 finalizer the simulator already uses
+//! for deterministic randomness ([`crate::SplitMix64`]): every absorbed word
+//! passes through the finalizer on two independently-seeded lanes, yielding a
+//! 128-bit digest whose value is fixed by this crate (changing the hash is a
+//! cache-format change, not a compiler upgrade).
+//!
+//! Types opt in by implementing [`StableHash`], a visitor-style trait that
+//! absorbs the type's fields in declaration order. Enums must absorb a
+//! variant discriminant first; variable-length collections absorb their
+//! length first (both are provided by the blanket impls below where
+//! possible). The derived digest is *structural*: two values hash equal iff
+//! their serialized field streams are identical.
+
+/// The SplitMix64 finalizer: a fast, well-mixed 64-bit permutation.
+#[inline]
+fn mix(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A 128-bit stable structural hasher (two independent SplitMix64 lanes).
+///
+/// # Example
+///
+/// ```
+/// use virgo_sim::{StableHash, StableHasher};
+///
+/// let mut a = StableHasher::new();
+/// 42u64.stable_hash(&mut a);
+/// let mut b = StableHasher::new();
+/// 42u64.stable_hash(&mut b);
+/// assert_eq!(a.finish128(), b.finish128());
+/// let mut c = StableHasher::new();
+/// 43u64.stable_hash(&mut c);
+/// assert_ne!(a.finish128(), c.finish128());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StableHasher {
+    lo: u64,
+    hi: u64,
+}
+
+impl StableHasher {
+    /// Creates a hasher in its fixed initial state.
+    pub const fn new() -> Self {
+        // Arbitrary distinct constants; part of the cache format.
+        StableHasher {
+            lo: 0x5157_4EED_0000_0001,
+            hi: 0xC0FF_EE00_DEAD_BEEF,
+        }
+    }
+
+    /// Absorbs one 64-bit word.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.lo = mix(self.lo ^ v);
+        self.hi = mix(self.hi ^ v.rotate_left(32) ^ 0xA5A5_A5A5_A5A5_A5A5);
+    }
+
+    /// Absorbs a byte string (length-prefixed, so `("ab", "c")` and
+    /// `("a", "bc")` hash differently).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Absorbs a UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Returns the 128-bit digest as `(hi, lo)`.
+    pub fn finish128(&self) -> (u64, u64) {
+        // One extra round so trailing zero-words still perturb both lanes.
+        (mix(self.hi ^ self.lo.rotate_left(17)), mix(self.lo))
+    }
+
+    /// Returns the digest as a fixed-width 32-character lower-case hex
+    /// string, usable as a file name.
+    pub fn finish_hex(&self) -> String {
+        let (hi, lo) = self.finish128();
+        format!("{hi:016x}{lo:016x}")
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+/// A type with a stable structural hash. See the module docs for the
+/// implementation rules (discriminants for enums, length prefixes for
+/// collections).
+pub trait StableHash {
+    /// Absorbs `self` into the hasher.
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+macro_rules! impl_stable_hash_int {
+    ($($t:ty),*) => {
+        $(impl StableHash for $t {
+            #[inline]
+            fn stable_hash(&self, h: &mut StableHasher) {
+                h.write_u64(*self as u64);
+            }
+        })*
+    };
+}
+
+impl_stable_hash_int!(u8, u16, u32, u64, usize);
+
+impl StableHash for bool {
+    #[inline]
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(u64::from(*self));
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_u64(0),
+            Some(v) => {
+                h.write_u64(1);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.len() as u64);
+        for item in self {
+            item.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for &T {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (**self).stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of<T: StableHash + ?Sized>(v: &T) -> (u64, u64) {
+        let mut h = StableHasher::new();
+        v.stable_hash(&mut h);
+        h.finish128()
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of(&123u64), hash_of(&123u64));
+        assert_eq!(hash_of("abc"), hash_of(&"abc".to_string()));
+    }
+
+    #[test]
+    fn pinned_digest_is_part_of_the_cache_format() {
+        // Changing the hash function silently invalidates every on-disk
+        // cache entry; this pin makes such a change an explicit decision.
+        let mut h = StableHasher::new();
+        h.write_u64(0);
+        h.write_str("virgo");
+        assert_eq!(h.finish_hex(), "13d282cdbc44c40285d1ab3c4d785517");
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_concatenation() {
+        let ab_c = {
+            let mut h = StableHasher::new();
+            h.write_str("ab");
+            h.write_str("c");
+            h.finish128()
+        };
+        let a_bc = {
+            let mut h = StableHasher::new();
+            h.write_str("a");
+            h.write_str("bc");
+            h.finish128()
+        };
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn option_and_slice_are_disambiguated() {
+        assert_ne!(hash_of(&Option::<u64>::None), hash_of(&Some(0u64)));
+        assert_ne!(hash_of(&vec![0u64]), hash_of(&vec![0u64, 0]));
+        assert_ne!(hash_of(&vec![1u64, 2]), hash_of(&vec![2u64, 1]));
+    }
+
+    #[test]
+    fn trailing_zeros_change_the_digest() {
+        let mut a = StableHasher::new();
+        a.write_u64(7);
+        let mut b = StableHasher::new();
+        b.write_u64(7);
+        b.write_u64(0);
+        assert_ne!(a.finish128(), b.finish128());
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        let mut h = StableHasher::new();
+        h.write_u64(1);
+        assert_eq!(h.finish_hex().len(), 32);
+    }
+}

@@ -1,5 +1,7 @@
 //! SIMT core configuration.
 
+use virgo_sim::{StableHash, StableHasher};
+
 /// Microarchitectural parameters of one SIMT core (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
@@ -54,6 +56,21 @@ impl CoreConfig {
 impl Default for CoreConfig {
     fn default() -> Self {
         CoreConfig::vortex_default()
+    }
+}
+
+impl StableHash for CoreConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(u64::from(self.warps));
+        h.write_u64(u64::from(self.lanes));
+        h.write_u64(u64::from(self.issue_width));
+        h.write_u64(u64::from(self.alu_units));
+        h.write_u64(u64::from(self.fpu_units));
+        h.write_u64(u64::from(self.lsu_width));
+        h.write_u64(u64::from(self.lsq_entries));
+        h.write_u64(u64::from(self.regfile_kib));
+        h.write_u64(u64::from(self.fence_poll_interval));
+        h.write_u64(u64::from(self.instrs_per_icache_access));
     }
 }
 

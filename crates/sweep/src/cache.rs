@@ -1,0 +1,340 @@
+//! Content-addressed memoization of [`SimReport`]s.
+//!
+//! Simulations are pure functions of `(GpuConfig, Kernel, max_cycles,
+//! SimMode)`, digested into a [`SimKey`] by the stable structural hash. The
+//! cache memoizes finished reports under that key at two levels:
+//!
+//! * **in memory** — an `Arc<SimReport>` map with FIFO eviction beyond a
+//!   configurable capacity, shared by every thread of the process, and
+//! * **on disk** (optional) — one plain-JSON file per key under a cache
+//!   directory (conventionally `target/sweep-cache/`), written atomically
+//!   via a temp-file rename, so repeated sweep *invocations* skip
+//!   re-simulation too.
+//!
+//! Disk entries are self-verifying (`SimReport::from_cache_json` checks a
+//! format tag, version, the embedded key and a payload checksum): a
+//! corrupted, truncated or stale-format file is counted in
+//! [`CacheStats::disk_rejects`], deleted and treated as a **miss**, never a
+//! panic. The disk layer is *opt-in* at the service level (governed by
+//! `VIRGO_SWEEP_CACHE` — see `service::default_disk_dir`): keys digest the
+//! simulation inputs, not the simulator's own source, so a persistent cache
+//! is only sound while the simulator binary is fixed.
+//!
+//! Because simulations are deterministic, the only concurrency hazard is
+//! duplicated work: two threads missing the same key simultaneously both
+//! simulate and both insert the *identical* report. The cache accepts that
+//! (rare) waste instead of holding a lock across a multi-second simulation.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use virgo::{SimKey, SimReport};
+
+/// Hit/miss/eviction counters, surfaced in sweep summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from cache (memory or disk) without simulating.
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+    /// The subset of `hits` that was rehydrated from the disk layer.
+    pub disk_hits: u64,
+    /// In-memory entries dropped to stay within capacity.
+    pub evictions: u64,
+    /// On-disk entries rejected (corrupt/stale) and deleted.
+    pub disk_rejects: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (zero when no lookups were made).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<SimKey, Arc<SimReport>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<SimKey>,
+    stats: CacheStats,
+}
+
+/// A two-level (memory + optional disk) report cache. Thread-safe; lookups
+/// of different keys simulate concurrently.
+#[derive(Debug)]
+pub struct ReportCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    disk_dir: Option<PathBuf>,
+}
+
+impl ReportCache {
+    /// Default in-memory capacity: comfortably holds the full paper grid
+    /// (4 designs × 3 shapes × 4 cluster counts × 2 modes) many times over.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates a cache with an in-memory capacity and an optional disk
+    /// directory (created lazily on first write).
+    pub fn new(capacity: usize, disk_dir: Option<PathBuf>) -> Self {
+        ReportCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            disk_dir,
+        }
+    }
+
+    /// Creates a memory-only cache.
+    pub fn in_memory(capacity: usize) -> Self {
+        Self::new(capacity, None)
+    }
+
+    /// The disk directory, if the disk layer is enabled.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// A snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// Number of reports currently held in memory.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True when no reports are held in memory.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every in-memory entry (the disk layer is untouched) and resets
+    /// the counters. Used by benches to measure cold-vs-warm behavior.
+    pub fn clear_memory(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.stats = CacheStats::default();
+    }
+
+    /// Looks `key` up in memory, then on disk, and otherwise runs `compute`
+    /// to produce the report; the result is inserted into both layers.
+    /// Returns the report and whether it was served from cache.
+    pub fn get_or_compute(
+        &self,
+        key: SimKey,
+        compute: impl FnOnce() -> SimReport,
+    ) -> (Arc<SimReport>, bool) {
+        if let Some(report) = self.memory_get(key) {
+            return (report, true);
+        }
+        if let Some(report) = self.disk_get(key) {
+            let report = self.insert_memory(key, report, true);
+            return (report, true);
+        }
+        let report = compute();
+        self.disk_put(key, &report);
+        let report = self.insert_memory(key, report, false);
+        (report, false)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("report cache lock")
+    }
+
+    fn memory_get(&self, key: SimKey) -> Option<Arc<SimReport>> {
+        let mut inner = self.lock();
+        let hit = inner.map.get(&key).cloned();
+        if hit.is_some() {
+            inner.stats.hits += 1;
+        }
+        hit
+    }
+
+    /// Inserts a freshly produced report, evicting FIFO beyond capacity.
+    /// `from_disk` picks which counter the lookup lands in; the counter is
+    /// charged here (after the compute) so a lookup is counted exactly once.
+    fn insert_memory(&self, key: SimKey, report: SimReport, from_disk: bool) -> Arc<SimReport> {
+        let report = Arc::new(report);
+        let mut inner = self.lock();
+        if from_disk {
+            inner.stats.hits += 1;
+            inner.stats.disk_hits += 1;
+        } else {
+            inner.stats.misses += 1;
+        }
+        if inner.map.insert(key, Arc::clone(&report)).is_none() {
+            inner.order.push_back(key);
+        }
+        while inner.map.len() > self.capacity {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            if inner.map.remove(&victim).is_some() {
+                inner.stats.evictions += 1;
+            }
+        }
+        report
+    }
+
+    fn entry_path(&self, key: SimKey) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{}.json", key.to_hex())))
+    }
+
+    fn disk_get(&self, key: SimKey) -> Option<SimReport> {
+        let path = self.entry_path(key)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        match SimReport::from_cache_json(&text, &key.to_hex()) {
+            Ok(report) => Some(report),
+            Err(_) => {
+                // Corrupt or stale entry: delete it and report a miss. The
+                // reject counter is how corruption surfaces in summaries.
+                let _ = std::fs::remove_file(&path);
+                self.lock().stats.disk_rejects += 1;
+                None
+            }
+        }
+    }
+
+    fn disk_put(&self, key: SimKey, report: &SimReport) {
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        // Disk-layer failures (read-only FS, full disk) degrade to
+        // memory-only caching; they never fail the simulation itself.
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let text = report.to_cache_json(&key.to_hex());
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use virgo::{Gpu, GpuConfig, SimMode};
+    use virgo_isa::{DataType, Kernel, KernelInfo, ProgramBuilder, WarpAssignment, WarpOp};
+
+    fn tiny_sim(ops: u32) -> (SimKey, GpuConfig, Kernel) {
+        let mut b = ProgramBuilder::new();
+        b.op_n(
+            ops,
+            WarpOp::Alu {
+                rf_reads: 1,
+                rf_writes: 1,
+            },
+        );
+        let kernel = Kernel::new(
+            KernelInfo::new("cache-test", 0, DataType::Fp16),
+            vec![WarpAssignment::new(0, 0, StdArc::new(b.build()))],
+        );
+        let config = GpuConfig::virgo();
+        let key = SimKey::digest(&config, &kernel, 100_000, SimMode::FastForward);
+        (key, config, kernel)
+    }
+
+    fn run(config: &GpuConfig, kernel: &Kernel) -> SimReport {
+        Gpu::new(config.clone()).run(kernel, 100_000).unwrap()
+    }
+
+    #[test]
+    fn memory_hit_after_miss() {
+        let cache = ReportCache::in_memory(8);
+        let (key, config, kernel) = tiny_sim(4);
+        let (_, cached) = cache.get_or_compute(key, || run(&config, &kernel));
+        assert!(!cached);
+        let (report, cached) = cache.get_or_compute(key, || panic!("must not recompute"));
+        assert!(cached);
+        assert_eq!(report.instructions_retired(), 4);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.disk_hits), (1, 1, 0));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_eviction_counts() {
+        let cache = ReportCache::in_memory(2);
+        let (_, config, kernel) = tiny_sim(1);
+        let base = run(&config, &kernel);
+        for i in 0..4u64 {
+            let key = SimKey::digest(
+                &config,
+                &kernel,
+                100_000 + i, // distinct budgets -> distinct keys
+                SimMode::FastForward,
+            );
+            cache.get_or_compute(key, || base.clone());
+        }
+        let stats = cache.stats();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn disk_layer_survives_memory_clear() {
+        let dir = std::env::temp_dir().join(format!("virgo-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ReportCache::new(8, Some(dir.clone()));
+        let (key, config, kernel) = tiny_sim(6);
+        let (first, cached) = cache.get_or_compute(key, || run(&config, &kernel));
+        assert!(!cached);
+        cache.clear_memory();
+        let (second, cached) = cache.get_or_compute(key, || panic!("disk should serve this"));
+        assert!(cached);
+        assert_eq!(cache.stats().disk_hits, 1);
+        assert_eq!(
+            format!("{:?}", *first),
+            format!("{:?}", *second),
+            "disk round-trip must be bit-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_miss_not_a_panic() {
+        let dir = std::env::temp_dir().join(format!("virgo-sweep-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ReportCache::new(8, Some(dir.clone()));
+        let (key, config, kernel) = tiny_sim(3);
+        cache.get_or_compute(key, || run(&config, &kernel));
+        // Corrupt the entry on disk, then force a re-read.
+        let path = dir.join(format!("{}.json", key.to_hex()));
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.truncate(text.len() / 2);
+        std::fs::write(&path, text).unwrap();
+        cache.clear_memory();
+        let (report, cached) = cache.get_or_compute(key, || run(&config, &kernel));
+        assert!(!cached, "corrupt entry must be treated as a miss");
+        assert_eq!(report.instructions_retired(), 3);
+        let stats = cache.stats();
+        assert_eq!(stats.disk_rejects, 1);
+        assert_eq!(stats.misses, 1);
+        // The re-simulation rewrote a valid entry.
+        assert!(SimReport::from_cache_json(
+            &std::fs::read_to_string(&path).unwrap(),
+            &key.to_hex()
+        )
+        .is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

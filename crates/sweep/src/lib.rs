@@ -1,0 +1,67 @@
+//! Design-space sweep engine for the Virgo simulator.
+//!
+//! The paper's headline claims (Table 1 scalability, the Figure 12 energy
+//! comparison) come from *sweeps* — grids of `(design, shape, clusters,
+//! mode)` points, each an independent deterministic simulation. This crate
+//! makes those sweeps tractable with the classic "scale by sharding,
+//! amortize by caching" playbook, in three layers:
+//!
+//! 1. **Execution** — [`SweepPool`], a bounded work-stealing worker pool
+//!    (`std::thread` + a shared injector deque; no external dependencies)
+//!    that shards any work list across `min(num_cpus, pool_size)` workers,
+//!    streams completions to the caller as they happen and collects results
+//!    in submission order.
+//! 2. **Caching** — [`ReportCache`], a content-addressed memo of
+//!    [`SimReport`](virgo::SimReport)s keyed by
+//!    [`SimKey`](virgo::SimKey) (a stable 128-bit digest of the simulation
+//!    inputs), held in memory and optionally on disk
+//!    (`target/sweep-cache/*.json`; opt in with `VIRGO_SWEEP_CACHE=on` —
+//!    keys cannot see simulator-source changes, so the persistent layer is
+//!    off unless a sweep campaign asks for it). Cached reports are
+//!    **bit-identical** to fresh simulations; corrupt disk entries are
+//!    detected and treated as misses.
+//! 3. **Query API** — [`SweepService`], which turns "drive this loop" code
+//!    into questions: [`SweepService::query`] for one point,
+//!    [`SweepService::sweep`] for a grid, and
+//!    [`SweepService::cheapest_clusters_meeting`] for "the smallest machine
+//!    meeting a latency target".
+//!
+//! # Example
+//!
+//! ```
+//! use virgo::{DesignKind, SimMode};
+//! use virgo_kernels::GemmShape;
+//! use virgo_sweep::{SweepPoint, SweepService, SweepWorkload};
+//!
+//! let svc = SweepService::in_memory(2);
+//! let shape = GemmShape { m: 128, n: 128, k: 128 };
+//! // One question...
+//! let report = svc.query(
+//!     DesignKind::Virgo,
+//!     SweepWorkload::Gemm(shape),
+//!     1,
+//!     SimMode::FastForward,
+//! );
+//! assert!(report.cycles().get() > 0);
+//! // ...or a sharded grid; the N=1 point above is already memoized.
+//! let points: Vec<SweepPoint> = [1u32, 2]
+//!     .into_iter()
+//!     .map(|n| SweepPoint::gemm(DesignKind::Virgo, shape).with_clusters(n))
+//!     .collect();
+//! let outcomes = svc.sweep(&points);
+//! assert!(outcomes[0].from_cache);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod pool;
+pub mod service;
+
+pub use cache::{CacheStats, ReportCache};
+pub use pool::{host_parallelism, Completion, SweepPool};
+pub use service::{
+    default_disk_dir, workspace_cache_dir, SweepOutcome, SweepPoint, SweepService, SweepWorkload,
+    DEFAULT_MAX_CYCLES,
+};

@@ -1,0 +1,541 @@
+//! The `(design, shape, clusters, mode)` query API over the pool and cache.
+//!
+//! Downstream tools (benches, examples, tests, future serving layers) should
+//! not drive simulation loops by hand. They describe *points* in the design
+//! space — a [`SweepPoint`] names a design, a workload shape, a cluster
+//! count and a simulation mode — and ask the [`SweepService`] questions:
+//!
+//! * [`SweepService::query`] — "what does this point's report look like?",
+//! * [`SweepService::sweep`] — "run this whole grid" (sharded across the
+//!   worker pool, memoized through the report cache), and
+//! * [`SweepService::cheapest_clusters_meeting`] — "what is the smallest
+//!   machine that meets this latency target?".
+//!
+//! Every answer flows through the content-addressed report cache, so asking
+//! the same question twice — in the same process or (with the disk layer) in
+//! the next one — never simulates twice, and a cached answer is bit-identical
+//! to a fresh simulation (pinned by the fingerprint tests in
+//! `tests/integration_sweep.rs`).
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use virgo::{DesignKind, Gpu, GpuConfig, SimKey, SimMode, SimReport};
+use virgo_isa::Kernel;
+use virgo_kernels::{build_flash_attention, build_gemm, AttentionShape, GemmShape};
+
+use crate::cache::{CacheStats, ReportCache};
+use crate::pool::{Completion, SweepPool};
+
+/// Cycle budget used for every simulation unless overridden; generous enough
+/// for the largest (1024³ Volta-style) run.
+pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
+
+/// The workload dimension of a sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepWorkload {
+    /// A GEMM of the given shape (FP16 configurations, as in Tables 3/4).
+    Gemm(GemmShape),
+    /// A FlashAttention-3 forward pass (FP32 configurations, Section 5.3).
+    FlashAttention(AttentionShape),
+}
+
+impl SweepWorkload {
+    /// The base (single-cluster) GPU configuration this workload runs on for
+    /// `design` — FlashAttention uses the FP32 variants.
+    pub fn base_config(&self, design: DesignKind) -> GpuConfig {
+        match self {
+            SweepWorkload::Gemm(_) => GpuConfig::for_design(design),
+            SweepWorkload::FlashAttention(_) => GpuConfig::for_design(design).to_fp32(),
+        }
+    }
+
+    /// Builds the kernel for this workload on `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is FlashAttention on a design other than Virgo
+    /// or Ampere-style (the only mappings the paper evaluates).
+    pub fn build(&self, config: &GpuConfig) -> Kernel {
+        match self {
+            SweepWorkload::Gemm(shape) => build_gemm(config, *shape),
+            SweepWorkload::FlashAttention(shape) => build_flash_attention(config, *shape),
+        }
+    }
+}
+
+impl fmt::Display for SweepWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepWorkload::Gemm(shape) => write!(f, "gemm {shape}"),
+            SweepWorkload::FlashAttention(shape) => write!(f, "attention {shape}"),
+        }
+    }
+}
+
+/// One point of a design-space sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// The matrix-unit integration style.
+    pub design: DesignKind,
+    /// The workload (GEMM or FlashAttention) and its shape.
+    pub workload: SweepWorkload,
+    /// Number of clusters the machine is scaled to.
+    pub clusters: u32,
+    /// Simulation-loop mode.
+    pub mode: SimMode,
+}
+
+impl SweepPoint {
+    /// A single-cluster fast-forward GEMM point.
+    pub fn gemm(design: DesignKind, shape: GemmShape) -> Self {
+        SweepPoint {
+            design,
+            workload: SweepWorkload::Gemm(shape),
+            clusters: 1,
+            mode: SimMode::FastForward,
+        }
+    }
+
+    /// A single-cluster fast-forward FlashAttention point.
+    pub fn flash_attention(design: DesignKind, shape: AttentionShape) -> Self {
+        SweepPoint {
+            design,
+            workload: SweepWorkload::FlashAttention(shape),
+            clusters: 1,
+            mode: SimMode::FastForward,
+        }
+    }
+
+    /// Scales the point to `clusters` clusters.
+    #[must_use]
+    pub fn with_clusters(mut self, clusters: u32) -> Self {
+        self.clusters = clusters;
+        self
+    }
+
+    /// Switches the simulation-loop mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: SimMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The full GPU configuration of this point.
+    pub fn config(&self) -> GpuConfig {
+        self.workload
+            .base_config(self.design)
+            .with_clusters(self.clusters.max(1))
+    }
+}
+
+impl fmt::Display for SweepPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} x{} ({})",
+            self.design, self.workload, self.clusters, self.mode
+        )
+    }
+}
+
+/// One finished sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The point that was simulated (or served from cache).
+    pub point: SweepPoint,
+    /// The report; shared, since the cache may hand it to several callers.
+    pub report: Arc<SimReport>,
+    /// True when the report was served from the cache (memory or disk).
+    pub from_cache: bool,
+}
+
+/// The sweep engine: a worker pool, a report cache and the query API.
+#[derive(Debug)]
+pub struct SweepService {
+    pool: SweepPool,
+    cache: ReportCache,
+    max_cycles: u64,
+}
+
+impl SweepService {
+    /// Creates a service from explicit parts.
+    pub fn new(pool: SweepPool, cache: ReportCache, max_cycles: u64) -> Self {
+        SweepService {
+            pool,
+            cache,
+            max_cycles,
+        }
+    }
+
+    /// A service with host-sized pool, default capacity and the
+    /// `VIRGO_SWEEP_CACHE`-governed disk layer (memory-only unless the env
+    /// var opts in — see [`default_disk_dir`] for why).
+    pub fn with_defaults() -> Self {
+        Self::new(
+            SweepPool::with_host_parallelism(),
+            ReportCache::new(ReportCache::DEFAULT_CAPACITY, default_disk_dir()),
+            DEFAULT_MAX_CYCLES,
+        )
+    }
+
+    /// A memory-only service with an explicit pool size — used by benches
+    /// that need cold-cache timings uncontaminated by the shared disk layer.
+    pub fn in_memory(pool_size: usize) -> Self {
+        Self::new(
+            SweepPool::new(pool_size),
+            ReportCache::in_memory(ReportCache::DEFAULT_CAPACITY),
+            DEFAULT_MAX_CYCLES,
+        )
+    }
+
+    /// The process-wide shared service. Benches, tests and examples that
+    /// just want answers should use this: the in-memory layer then dedupes
+    /// across every caller in the process, and the disk layer across
+    /// processes.
+    pub fn global() -> &'static SweepService {
+        static GLOBAL: OnceLock<SweepService> = OnceLock::new();
+        GLOBAL.get_or_init(SweepService::with_defaults)
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &SweepPool {
+        &self.pool
+    }
+
+    /// The report cache.
+    pub fn cache(&self) -> &ReportCache {
+        &self.cache
+    }
+
+    /// Cache counters (for sweep summaries).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The cycle budget applied to every simulation.
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// Answers one `(design, shape, clusters, mode)` question.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation does not complete within the budget (which
+    /// indicates a kernel-generation bug, not a user error) — the same
+    /// contract the bench helpers have always had.
+    pub fn query(
+        &self,
+        design: DesignKind,
+        workload: SweepWorkload,
+        clusters: u32,
+        mode: SimMode,
+    ) -> Arc<SimReport> {
+        let point = SweepPoint {
+            design,
+            workload,
+            clusters,
+            mode,
+        };
+        self.query_point(&point).0
+    }
+
+    /// Answers one sweep point, reporting whether the cache served it.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SweepService::query`].
+    pub fn query_point(&self, point: &SweepPoint) -> (Arc<SimReport>, bool) {
+        let config = point.config();
+        let kernel = point.workload.build(&config);
+        self.query_config(&config, &kernel, point.mode)
+    }
+
+    /// The lowest-level entry point: answers for an arbitrary configuration
+    /// and kernel (e.g. a custom matrix-unit sweep that no [`SweepPoint`]
+    /// describes), still memoized through the report cache.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SweepService::query`].
+    pub fn query_config(
+        &self,
+        config: &GpuConfig,
+        kernel: &Kernel,
+        mode: SimMode,
+    ) -> (Arc<SimReport>, bool) {
+        let key = SimKey::digest(config, kernel, self.max_cycles, mode);
+        self.cache.get_or_compute(key, || {
+            Gpu::new(config.clone())
+                .run_with_mode(kernel, self.max_cycles, mode)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} kernel {:?} failed: {e}",
+                        config.design, kernel.info.name
+                    )
+                })
+        })
+    }
+
+    /// Runs a whole grid of points, sharded across the worker pool. Results
+    /// come back in submission order; cached points cost a map lookup.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SweepService::query`].
+    pub fn sweep(&self, points: &[SweepPoint]) -> Vec<SweepOutcome> {
+        self.sweep_streaming(points, |_| {})
+    }
+
+    /// Runs a whole grid of points, invoking `each` on the calling thread as
+    /// every point completes (in completion order — a progress stream), and
+    /// returns the outcomes in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SweepService::query`].
+    pub fn sweep_streaming(
+        &self,
+        points: &[SweepPoint],
+        mut each: impl FnMut(&SweepOutcome),
+    ) -> Vec<SweepOutcome> {
+        self.pool.map_streaming(
+            points.to_vec(),
+            |point| {
+                let (report, from_cache) = self.query_point(&point);
+                SweepOutcome {
+                    point,
+                    report,
+                    from_cache,
+                }
+            },
+            |c: Completion<'_, SweepOutcome>| each(c.result),
+        )
+    }
+
+    /// The smallest cluster count among `candidates` whose report meets the
+    /// latency target (in cycles), together with its report. All candidates
+    /// are swept in parallel (and memoized), so follow-up questions about
+    /// the same workload are free. Returns `None` when no candidate meets
+    /// the target.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SweepService::query`].
+    pub fn cheapest_clusters_meeting(
+        &self,
+        design: DesignKind,
+        workload: SweepWorkload,
+        mode: SimMode,
+        latency_target_cycles: u64,
+        candidates: &[u32],
+    ) -> Option<(u32, Arc<SimReport>)> {
+        let mut sorted: Vec<u32> = candidates.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let points: Vec<SweepPoint> = sorted
+            .iter()
+            .map(|&clusters| SweepPoint {
+                design,
+                workload,
+                clusters,
+                mode,
+            })
+            .collect();
+        self.sweep(&points)
+            .into_iter()
+            .find(|o| o.report.cycles().get() <= latency_target_cycles)
+            .map(|o| (o.point.clusters, o.report))
+    }
+}
+
+impl Default for SweepService {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+/// The workspace's conventional disk-cache directory,
+/// `<workspace>/target/sweep-cache`.
+pub fn workspace_cache_dir() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/sweep-cache"
+    ))
+}
+
+/// The disk directory the *default* services use, governed by
+/// `VIRGO_SWEEP_CACHE`:
+///
+/// * unset or `off` — `None`: the disk layer is disabled,
+/// * `on` — [`workspace_cache_dir`] (`target/sweep-cache/`),
+/// * anything else — treated as an explicit directory path.
+///
+/// The disk layer is **opt-in** because a [`SimKey`] digests the simulation
+/// *inputs* only — it cannot see changes to the simulator's own source. A
+/// persistent cache shared by `cargo test` would keep serving reports
+/// produced by an older build and silently turn the equivalence and
+/// fingerprint tests into no-ops. Enable it deliberately for sweep
+/// campaigns and CI jobs where the simulator binary is fixed (the
+/// `sweep_smoke` bench and its CI job do exactly that, with the cache keyed
+/// on the source tree).
+pub fn default_disk_dir() -> Option<PathBuf> {
+    match std::env::var("VIRGO_SWEEP_CACHE") {
+        Err(_) => None,
+        Ok(value) if value.is_empty() || value.eq_ignore_ascii_case("off") => None,
+        Ok(value) if value.eq_ignore_ascii_case("on") => Some(workspace_cache_dir()),
+        Ok(path) => Some(PathBuf::from(path)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_gemm() -> GemmShape {
+        // The smallest shape every design's tiling accepts (the Virgo GEMM
+        // uses 128x64x128 thread-block tiles).
+        GemmShape {
+            m: 128,
+            n: 128,
+            k: 128,
+        }
+    }
+
+    fn service() -> SweepService {
+        SweepService::new(
+            SweepPool::new(2),
+            ReportCache::in_memory(64),
+            DEFAULT_MAX_CYCLES,
+        )
+    }
+
+    #[test]
+    fn query_is_memoized() {
+        let svc = service();
+        let a = svc.query(
+            DesignKind::Virgo,
+            SweepWorkload::Gemm(tiny_gemm()),
+            1,
+            SimMode::FastForward,
+        );
+        let b = svc.query(
+            DesignKind::Virgo,
+            SweepWorkload::Gemm(tiny_gemm()),
+            1,
+            SimMode::FastForward,
+        );
+        assert!(Arc::ptr_eq(&a, &b), "second query must be a cache hit");
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn sweep_preserves_submission_order_and_marks_cache() {
+        let svc = service();
+        let points: Vec<SweepPoint> = DesignKind::all()
+            .into_iter()
+            .map(|d| SweepPoint::gemm(d, tiny_gemm()))
+            .collect();
+        let first = svc.sweep(&points);
+        assert_eq!(first.len(), 4);
+        for (outcome, design) in first.iter().zip(DesignKind::all()) {
+            assert_eq!(outcome.point.design, design);
+            assert!(!outcome.from_cache);
+            assert!(outcome.report.cycles().get() > 0);
+        }
+        let second = svc.sweep(&points);
+        assert!(second.iter().all(|o| o.from_cache));
+    }
+
+    #[test]
+    fn streaming_callback_sees_every_point() {
+        let svc = service();
+        let points: Vec<SweepPoint> = [1u32, 2]
+            .into_iter()
+            .map(|n| SweepPoint::gemm(DesignKind::Virgo, tiny_gemm()).with_clusters(n))
+            .collect();
+        let mut seen = 0;
+        svc.sweep_streaming(&points, |outcome| {
+            assert!(outcome.report.cycles().get() > 0);
+            seen += 1;
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn cheapest_clusters_meeting_finds_smallest() {
+        let svc = service();
+        // N=1 cycles for the tiny GEMM; target just under it forces N>=2 on
+        // Virgo (which scales), and an absurd target of 1 cycle returns None.
+        let n1 = svc
+            .query(
+                DesignKind::Virgo,
+                SweepWorkload::Gemm(tiny_gemm()),
+                1,
+                SimMode::FastForward,
+            )
+            .cycles()
+            .get();
+        let (clusters, report) = svc
+            .cheapest_clusters_meeting(
+                DesignKind::Virgo,
+                SweepWorkload::Gemm(tiny_gemm()),
+                SimMode::FastForward,
+                n1, // N=1 meets its own latency
+                &[4, 1, 2],
+            )
+            .expect("n=1 meets its own latency");
+        assert_eq!(clusters, 1);
+        assert_eq!(report.cycles().get(), n1);
+        let tighter = svc.cheapest_clusters_meeting(
+            DesignKind::Virgo,
+            SweepWorkload::Gemm(tiny_gemm()),
+            SimMode::FastForward,
+            n1 - 1,
+            &[1, 2, 4],
+        );
+        if let Some((clusters, report)) = tighter {
+            assert!(clusters > 1, "a tighter target needs a bigger machine");
+            assert!(report.cycles().get() < n1);
+        }
+        assert!(svc
+            .cheapest_clusters_meeting(
+                DesignKind::Virgo,
+                SweepWorkload::Gemm(tiny_gemm()),
+                SimMode::FastForward,
+                1,
+                &[1, 2],
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn custom_config_queries_are_memoized_too() {
+        let svc = service();
+        let config = GpuConfig::virgo();
+        let kernel = SweepWorkload::Gemm(tiny_gemm()).build(&config);
+        let (a, cached_a) = svc.query_config(&config, &kernel, SimMode::FastForward);
+        let (b, cached_b) = svc.query_config(&config, &kernel, SimMode::FastForward);
+        assert!(!cached_a);
+        assert!(cached_b);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn disk_dir_honors_env_gate() {
+        // Not a full env-var test (tests run in parallel; mutating the
+        // process environment races); pin the conventional path shape and
+        // the opt-in default for the usual unset case.
+        assert!(workspace_cache_dir().ends_with("target/sweep-cache"));
+        match std::env::var("VIRGO_SWEEP_CACHE") {
+            Err(_) => assert_eq!(default_disk_dir(), None, "disk layer must be opt-in"),
+            Ok(v) if v.is_empty() || v.eq_ignore_ascii_case("off") => {
+                assert_eq!(default_disk_dir(), None);
+            }
+            Ok(_) => assert!(default_disk_dir().is_some()),
+        }
+    }
+}

@@ -13,7 +13,7 @@
 
 use virgo_isa::WgmmaOp;
 use virgo_mem::SharedMemory;
-use virgo_sim::{BoundedQueue, Cycle, NextActivity};
+use virgo_sim::{BoundedQueue, Cycle, NextActivity, StableHash, StableHasher};
 
 /// Configuration of one operand-decoupled tensor core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +26,14 @@ pub struct DecoupledConfig {
     pub smem_read_bytes: u64,
     /// Depth of the asynchronous operation queue (`wgmma` group size).
     pub queue_depth: usize,
+}
+
+impl StableHash for DecoupledConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(u64::from(self.macs_per_cycle));
+        h.write_u64(self.smem_read_bytes);
+        h.write_u64(self.queue_depth as u64);
+    }
 }
 
 impl Default for DecoupledConfig {

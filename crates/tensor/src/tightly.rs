@@ -9,7 +9,7 @@
 //! (Raihan et al., ISPASS'19): one step occupies the unit for
 //! `macs / macs_per_cycle` cycles (2 cycles in the Table 2 configuration).
 
-use virgo_sim::{Cycle, NextActivity};
+use virgo_sim::{Cycle, NextActivity, StableHash, StableHasher};
 
 /// Configuration of one tightly-coupled tensor core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +17,12 @@ pub struct TightlyCoupledConfig {
     /// FP16 multiply-accumulates per cycle (32 in Table 2, limited by the
     /// register file read bandwidth).
     pub macs_per_cycle: u32,
+}
+
+impl StableHash for TightlyCoupledConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(u64::from(self.macs_per_cycle));
+    }
 }
 
 impl Default for TightlyCoupledConfig {

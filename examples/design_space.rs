@@ -2,18 +2,24 @@
 //! architecture: sweep the systolic-array dimension of the Virgo matrix unit
 //! and observe utilization, runtime and energy on a fixed GEMM.
 //!
-//! Run with `cargo run --release -p virgo-bench --example design_space`.
+//! The three array sizes are independent simulations, so the sweep runs
+//! through the sweep service: sharded across its worker pool via
+//! [`SweepService::query_config`] (the low-level entry point for custom
+//! configurations no `SweepPoint` describes) and memoized in its report
+//! cache — re-running this example answers from `target/sweep-cache/`.
+//!
+//! Run with `cargo run --release --example design_space`.
 
-use virgo::{Gpu, GpuConfig, MatrixUnitSpec};
-use virgo_bench::{pct, print_table, MAX_CYCLES};
+use virgo::{GpuConfig, MatrixUnitSpec, SimMode};
+use virgo_bench::{pct, print_table, sweep_service};
 use virgo_gemmini::GemminiConfig;
 use virgo_kernels::{build_gemm, GemmShape};
 
 fn main() {
     let shape = GemmShape::square(256);
-    let mut rows = Vec::new();
+    let service = sweep_service();
 
-    for dim in [8u32, 16, 32] {
+    let rows = service.pool().map(vec![8u32, 16, 32], |dim| {
         let mut config = GpuConfig::virgo();
         config.matrix_units = vec![MatrixUnitSpec {
             gemmini: GemminiConfig {
@@ -25,18 +31,16 @@ fn main() {
         }];
         let kernel = build_gemm(&config, shape);
         let peak = config.peak_macs_per_cycle();
-        let report = Gpu::new(config)
-            .run(&kernel, MAX_CYCLES)
-            .expect("sweep point completes");
-        rows.push(vec![
+        let (report, _) = service.query_config(&config, &kernel, SimMode::FastForward);
+        vec![
             format!("{dim}x{dim}"),
             peak.to_string(),
             report.cycles().get().to_string(),
             pct(report.mac_utilization().as_fraction()),
             format!("{:.1} mW", report.active_power_mw()),
             format!("{:.3} mJ", report.total_energy_mj()),
-        ]);
-    }
+        ]
+    });
 
     print_table(
         &format!("Virgo systolic-array size sweep, GEMM {shape}"),
