@@ -1,23 +1,31 @@
 //! Cluster-count scaling sweep — the reproduction of the paper's Table 1
-//! scalability argument.
+//! scalability argument, plus the DRAM channel-scaling axis that pushes the
+//! resulting bandwidth wall out.
 //!
 //! The paper's core claim (Section 3) is that cluster-level matrix units let
 //! a GPU scale compute by adding *clusters* rather than by growing per-core
 //! units. This bench sweeps N ∈ {1, 2, 4, 8} clusters on a fixed-size GEMM
 //! for every design point — the whole grid sharded across the sweep
 //! service's worker pool and memoized in its report cache — with all
-//! clusters contending for the single shared L2/DRAM back-end, and reports
-//! the two sides of the tradeoff:
+//! clusters contending for the shared L2/DRAM back-end, and reports the two
+//! sides of the tradeoff:
 //!
 //! * total machine cycles fall as clusters are added (compute scales), and
 //! * DRAM-contention stall cycles rise (the shared memory system becomes the
 //!   bottleneck), which is why utilization decays toward the bandwidth bound.
 //!
-//! Besides the human-readable table, the run emits `BENCH_clusters.json` (at
-//! the workspace root) and enforces the scaling gate on the Virgo design:
-//! cycles must *strictly decrease* from N=1 through N=4 while contention
-//! stalls *increase* — the quantitative form of the scaling-vs-bandwidth
-//! tradeoff.
+//! A second axis then sweeps the Virgo design over `dram_channels ∈ {1, 2,
+//! 4}` address-interleaved DRAM channels at every cluster count: more
+//! channels drain the request queues faster, so the N=8 contention wall
+//! recedes and utilization recovers toward the compute bound.
+//!
+//! Besides the human-readable tables, the run emits `BENCH_clusters.json`
+//! (at the workspace root) and enforces two gates:
+//!
+//! * the scaling gate on the Virgo design — cycles must *strictly decrease*
+//!   from N=1 through N=4 while contention stalls *increase*, and
+//! * the channel gate at N=8 — Virgo's total `dram_stall_cycles` must
+//!   *strictly decrease* as the channel count grows 1 → 2 → 4.
 
 use virgo::DesignKind;
 use virgo_bench::{print_cache_summary, print_table, sweep_service};
@@ -27,9 +35,13 @@ use virgo_sweep::{SweepOutcome, SweepPoint};
 /// Cluster counts swept, per the ISSUE/Table 1 scaling study.
 const CLUSTER_COUNTS: [u32; 4] = [1, 2, 4, 8];
 
+/// DRAM channel counts swept on the Virgo design.
+const DRAM_CHANNELS: [u32; 3] = [1, 2, 4];
+
 struct Point {
     design: DesignKind,
     clusters: u32,
+    dram_channels: u32,
     cycles: u64,
     dram_stall_cycles: u64,
     utilization_pct: f64,
@@ -44,6 +56,7 @@ impl From<&SweepOutcome> for Point {
         Point {
             design: outcome.point.design,
             clusters: outcome.point.clusters,
+            dram_channels: outcome.point.dram_channels,
             cycles: report.cycles().get(),
             dram_stall_cycles: report.dram_contention_stall_cycles(),
             utilization_pct: report.mac_utilization().as_percent(),
@@ -52,6 +65,51 @@ impl From<&SweepOutcome> for Point {
         }
     }
 }
+
+impl Point {
+    fn row(&self) -> Vec<String> {
+        vec![
+            self.design.to_string(),
+            self.clusters.to_string(),
+            self.dram_channels.to_string(),
+            self.cycles.to_string(),
+            self.dram_stall_cycles.to_string(),
+            format!("{:.1}%", self.utilization_pct),
+            format!("{:.3}", self.energy_mj),
+            format!("{:.2}", self.energy_per_mac_pj),
+        ]
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"design\": \"{}\", \"clusters\": {}, \"dram_channels\": {}, ",
+                "\"cycles\": {}, \"dram_contention_stall_cycles\": {}, ",
+                "\"mac_utilization_percent\": {:.3}, ",
+                "\"energy_mj\": {:.6}, \"energy_per_mac_pj\": {:.4}}}"
+            ),
+            self.design,
+            self.clusters,
+            self.dram_channels,
+            self.cycles,
+            self.dram_stall_cycles,
+            self.utilization_pct,
+            self.energy_mj,
+            self.energy_per_mac_pj,
+        )
+    }
+}
+
+const HEADERS: [&str; 8] = [
+    "design",
+    "clusters",
+    "dram ch",
+    "cycles",
+    "dram stall cyc",
+    "MAC util",
+    "energy mJ",
+    "pJ/MAC",
+];
 
 fn main() {
     // A fixed-size problem: the whole point is to watch the same work split
@@ -63,8 +121,12 @@ fn main() {
         .map(GemmShape::square)
         .unwrap_or(GemmShape::square(512));
 
-    // The full design × cluster-count grid, sharded across the sweep
-    // service's worker pool (and memoized, so a re-run answers from cache).
+    // The full design × cluster-count grid at one DRAM channel, followed by
+    // the Virgo × channel-count grid for channels > 1, all sharded across
+    // the sweep service's worker pool. The channels=1 rows of the second
+    // axis are exactly the design grid's Virgo points, so they are not
+    // re-submitted (a multi-worker pool could otherwise simulate a
+    // duplicate point twice before the first fills the cache).
     let grid: Vec<SweepPoint> = DesignKind::all()
         .into_iter()
         .flat_map(|design| {
@@ -72,6 +134,18 @@ fn main() {
                 .into_iter()
                 .map(move |clusters| SweepPoint::gemm(design, shape).with_clusters(clusters))
         })
+        .chain(
+            DRAM_CHANNELS
+                .into_iter()
+                .filter(|&channels| channels > 1)
+                .flat_map(|channels| {
+                    CLUSTER_COUNTS.into_iter().map(move |clusters| {
+                        SweepPoint::gemm(DesignKind::Virgo, shape)
+                            .with_clusters(clusters)
+                            .with_dram_channels(channels)
+                    })
+                }),
+        )
         .collect();
     let outcomes = sweep_service().sweep_streaming(&grid, |outcome| {
         eprintln!(
@@ -82,54 +156,30 @@ fn main() {
         );
     });
     let points: Vec<Point> = outcomes.iter().map(Point::from).collect();
+    let design_grid_len = DesignKind::all().len() * CLUSTER_COUNTS.len();
+    let (design_points, multi_channel_points) = points.split_at(design_grid_len);
 
-    let rows: Vec<Vec<String>> = points
+    // The channel axis as reported: the design grid's Virgo rows (channels
+    // = 1, DesignKind::all puts Virgo last so they stay in cluster order)
+    // followed by the channels > 1 rows.
+    let channel_points: Vec<&Point> = design_points
         .iter()
-        .map(|p| {
-            vec![
-                p.design.to_string(),
-                p.clusters.to_string(),
-                p.cycles.to_string(),
-                p.dram_stall_cycles.to_string(),
-                format!("{:.1}%", p.utilization_pct),
-                format!("{:.3}", p.energy_mj),
-                format!("{:.2}", p.energy_per_mac_pj),
-            ]
-        })
+        .filter(|p| p.design == DesignKind::Virgo)
+        .chain(multi_channel_points.iter())
         .collect();
+
     print_table(
-        &format!("Cluster scaling on {shape} GEMM (shared L2/DRAM)"),
-        &[
-            "design",
-            "clusters",
-            "cycles",
-            "dram stall cyc",
-            "MAC util",
-            "energy mJ",
-            "pJ/MAC",
-        ],
-        &rows,
+        &format!("Cluster scaling on {shape} GEMM (shared L2/DRAM, 1 channel)"),
+        &HEADERS,
+        &design_points.iter().map(Point::row).collect::<Vec<_>>(),
+    );
+    print_table(
+        &format!("DRAM channel scaling on {shape} GEMM (Virgo)"),
+        &HEADERS,
+        &channel_points.iter().map(|p| p.row()).collect::<Vec<_>>(),
     );
 
-    let entries: Vec<String> = points
-        .iter()
-        .map(|p| {
-            format!(
-                concat!(
-                    "    {{\"design\": \"{}\", \"clusters\": {}, \"cycles\": {}, ",
-                    "\"dram_contention_stall_cycles\": {}, \"mac_utilization_percent\": {:.3}, ",
-                    "\"energy_mj\": {:.6}, \"energy_per_mac_pj\": {:.4}}}"
-                ),
-                p.design,
-                p.clusters,
-                p.cycles,
-                p.dram_stall_cycles,
-                p.utilization_pct,
-                p.energy_mj,
-                p.energy_per_mac_pj,
-            )
-        })
-        .collect();
+    let entries: Vec<String> = points.iter().map(Point::json).collect();
     let json = format!(
         "{{\n  \"bench\": \"clusters_scaling\",\n  \"gemm\": \"{}\",\n  \"points\": [\n{}\n  ]\n}}\n",
         shape,
@@ -145,7 +195,7 @@ fn main() {
     // ---- Scaling gate (Virgo design, N = 1 → 2 → 4) ------------------------
     // Cycles strictly decrease while DRAM-contention stalls increase: adding
     // clusters buys real speedup and the cost shows up on the shared channel.
-    let virgo: Vec<&Point> = points
+    let virgo: Vec<&Point> = design_points
         .iter()
         .filter(|p| p.design == DesignKind::Virgo && p.clusters <= 4)
         .collect();
@@ -174,6 +224,37 @@ fn main() {
         first.cycles as f64 / last.cycles as f64,
         first.dram_stall_cycles,
         last.dram_stall_cycles,
+    );
+
+    // ---- Channel gate (Virgo design, N = 8, channels 1 → 2 → 4) -----------
+    // Interleaving the back-end over more channels must strictly drain the
+    // N=8 contention wall the first gate just demonstrated.
+    let wall: Vec<&Point> = channel_points
+        .iter()
+        .copied()
+        .filter(|p| p.clusters == 8)
+        .collect();
+    assert_eq!(
+        wall.len(),
+        DRAM_CHANNELS.len(),
+        "one N=8 point per channel count"
+    );
+    for pair in wall.windows(2) {
+        assert!(
+            pair[1].dram_stall_cycles < pair[0].dram_stall_cycles,
+            "N=8 contention must strictly drain with channels: ch={} stalled {} >= ch={}'s {}",
+            pair[1].dram_channels,
+            pair[1].dram_stall_cycles,
+            pair[0].dram_channels,
+            pair[0].dram_stall_cycles,
+        );
+    }
+    println!(
+        "Virgo N=8 channels 1 -> 4: contention stalls {} -> {}, utilization {:.1}% -> {:.1}% — gate passed",
+        wall.first().expect("non-empty").dram_stall_cycles,
+        wall.last().expect("non-empty").dram_stall_cycles,
+        wall.first().expect("non-empty").utilization_pct,
+        wall.last().expect("non-empty").utilization_pct,
     );
     print_cache_summary();
 }

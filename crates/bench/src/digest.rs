@@ -4,11 +4,13 @@
 //! one-cycle-at-a-time loop. [`ReportDigest`] captures every quantity that
 //! promise covers — cycle count, instruction counts, the full per-core cycle
 //! classification, per-component energy and MAC utilization — in a plain
-//! `PartialEq` struct, so the equivalence test and the `fastforward`
+//! `PartialEq` struct — including the DRAM interface and per-channel
+//! contention counters — so the equivalence test and the `fastforward`
 //! benchmark can compare whole runs with one assertion and emit them as JSON
 //! without external dependencies.
 
 use virgo::SimReport;
+use virgo_mem::DramStats;
 use virgo_simt::CoreStats;
 
 /// Everything the fast-forward equivalence guarantee covers, in one
@@ -39,6 +41,15 @@ pub struct ReportDigest {
     pub smem_bytes_read: u64,
     /// Full per-core event counters, aggregated over the cluster.
     pub core_stats: CoreStats,
+    /// DRAM interface counters, summed over channels.
+    pub dram_stats: DramStats,
+    /// Per-channel DRAM interface counters, in channel order.
+    pub dram_channel_stats: Vec<DramStats>,
+    /// Wall-clock cycles lost to DRAM-channel contention, summed over
+    /// clusters.
+    pub dram_contention_stall_cycles: u64,
+    /// Per-cluster contention stalls, in cluster order.
+    pub per_cluster_stall_cycles: Vec<u64>,
     /// Total active energy in millijoules.
     pub total_energy_mj: f64,
     /// Total active power in milliwatts.
@@ -61,6 +72,14 @@ impl ReportDigest {
             mac_utilization_percent: report.mac_utilization().as_percent(),
             smem_bytes_read: report.smem_read_footprint_bytes(),
             core_stats: *report.core_stats(),
+            dram_stats: *report.dram_stats(),
+            dram_channel_stats: report.dram_channel_stats().to_vec(),
+            dram_contention_stall_cycles: report.dram_contention_stall_cycles(),
+            per_cluster_stall_cycles: report
+                .per_cluster()
+                .iter()
+                .map(|c| c.dram_stall_cycles())
+                .collect(),
             total_energy_mj: report.total_energy_mj(),
             active_power_mw: report.active_power_mw(),
             energy_breakdown_uj: report
@@ -87,6 +106,8 @@ impl ReportDigest {
                 "\"fence_wait_cycles\": {}, \"performed_macs\": {}, ",
                 "\"mac_utilization_percent\": {}, \"smem_bytes_read\": {}, ",
                 "\"active_cycles\": {}, \"stall_cycles\": {}, \"idle_cycles\": {}, ",
+                "\"dram_bytes\": {}, \"dram_bursts\": {}, ",
+                "\"dram_contention_stall_cycles\": {}, ",
                 "\"total_energy_mj\": {}, \"active_power_mw\": {}, ",
                 "\"energy_breakdown_uj\": {{{}}}}}"
             ),
@@ -102,6 +123,9 @@ impl ReportDigest {
             stats.active_cycles,
             stats.stall_cycles,
             stats.idle_cycles,
+            self.dram_stats.bytes,
+            self.dram_stats.bursts,
+            self.dram_contention_stall_cycles,
             json_f64(self.total_energy_mj),
             json_f64(self.active_power_mw),
             breakdown.join(", ")

@@ -3,7 +3,7 @@
 use virgo_energy::AreaParams;
 use virgo_gemmini::GemminiConfig;
 use virgo_isa::DataType;
-use virgo_mem::{DmaConfig, GlobalMemoryConfig, SmemConfig};
+use virgo_mem::{DmaConfig, DramConfig, GlobalMemoryConfig, SmemConfig};
 use virgo_sim::{Frequency, StableHash, StableHasher};
 use virgo_simt::CoreConfig;
 use virgo_tensor::{DecoupledConfig, TightlyCoupledConfig};
@@ -146,6 +146,9 @@ pub struct GpuConfig {
     pub smem: SmemConfig,
     /// Cluster DMA configuration (instantiated only when the design has one).
     pub dma: DmaConfig,
+    /// DRAM interface configuration, including the channel count and
+    /// address-interleave granularity of the shared back-end.
+    pub dram: DramConfig,
     /// Tightly-coupled tensor core configuration (Volta/Ampere-style).
     pub tightly: TightlyCoupledConfig,
     /// Operand-decoupled tensor core configuration (Hopper-style).
@@ -170,6 +173,7 @@ impl GpuConfig {
             core: CoreConfig::vortex_default(),
             smem: SmemConfig::double_banked(),
             dma: DmaConfig::default(),
+            dram: DramConfig::default_soc(),
             tightly: TightlyCoupledConfig { macs_per_cycle: 32 },
             decoupled: DecoupledConfig::default(),
             matrix_units: Vec::new(),
@@ -249,6 +253,19 @@ impl GpuConfig {
         self
     }
 
+    /// Scales the shared DRAM back-end to `channels` address-interleaved
+    /// channels (each with a full data bus, so aggregate memory bandwidth
+    /// scales with the channel count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    #[must_use]
+    pub fn with_dram_channels(mut self, channels: u32) -> Self {
+        self.dram = self.dram.with_channels(channels);
+        self
+    }
+
     /// Converts a configuration to its FP32 variant (used by the
     /// FlashAttention-3 evaluation, Section 5.3): the per-unit MAC counts
     /// halve and the Virgo array shrinks to 8×8.
@@ -289,10 +306,14 @@ impl GpuConfig {
         self.peak_macs_per_cycle() * u64::from(self.clusters.max(1))
     }
 
-    /// Global memory configuration derived from the core count. The L1 part
-    /// is instantiated per cluster; the L2/DRAM part backs the whole machine.
+    /// Global memory configuration derived from the core count and the DRAM
+    /// interface settings. The L1 part is instantiated per cluster; the
+    /// L2/DRAM part backs the whole machine.
     pub fn global_memory(&self) -> GlobalMemoryConfig {
-        GlobalMemoryConfig::default_soc(self.cores)
+        GlobalMemoryConfig {
+            dram: self.dram,
+            ..GlobalMemoryConfig::default_soc(self.cores)
+        }
     }
 
     /// Area-model parameters for this configuration (Figure 7). Per-cluster
@@ -347,6 +368,10 @@ impl StableHash for GpuConfig {
         self.matrix_units.stable_hash(h);
         self.dtype.stable_hash(h);
         self.frequency.stable_hash(h);
+        // The whole memory hierarchy (L1/L2/DRAM incl. channel count and
+        // interleave) is part of a simulation's identity, so cached reports
+        // cannot alias across e.g. DRAM channel counts.
+        self.global_memory().stable_hash(h);
     }
 }
 
@@ -413,6 +438,26 @@ mod tests {
         let volta = GpuConfig::volta_style().area_params();
         assert_eq!(volta.accum_kib, 0);
         assert!(!volta.has_dma);
+    }
+
+    #[test]
+    fn dram_channels_flow_into_the_memory_config() {
+        let cfg = GpuConfig::virgo();
+        assert_eq!(cfg.global_memory().dram.channels, 1, "default one channel");
+        let quad = cfg.with_dram_channels(4);
+        assert_eq!(quad.dram.channels, 4);
+        assert_eq!(quad.global_memory().dram.channels, 4);
+        // The rest of the interface is untouched.
+        assert_eq!(
+            quad.global_memory().dram.bytes_per_cycle,
+            GpuConfig::virgo().global_memory().dram.bytes_per_cycle
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_dram_channels_rejected() {
+        let _ = GpuConfig::virgo().with_dram_channels(0);
     }
 
     #[test]

@@ -51,8 +51,10 @@ impl SimKey {
         let mut h = StableHasher::new();
         // Format tag + version: bump when the digest layout (or anything it
         // absorbs) changes, so stale on-disk cache entries miss cleanly.
+        // v2: the config digest absorbs the full memory hierarchy (DRAM
+        // channel count / interleave), and the DRAM timing model changed.
         h.write_str("virgo-simkey");
-        h.write_u64(1);
+        h.write_u64(2);
         config.stable_hash(&mut h);
         kernel.stable_hash(&mut h);
         h.write_u64(max_cycles);
@@ -134,6 +136,12 @@ mod tests {
             base,
             SimKey::digest(&other_config, &kernel("k", 4), 1000, SimMode::FastForward),
             "config"
+        );
+        let channel_config = GpuConfig::virgo().with_dram_channels(2);
+        assert_ne!(
+            base,
+            SimKey::digest(&channel_config, &kernel("k", 4), 1000, SimMode::FastForward),
+            "DRAM channel count"
         );
     }
 

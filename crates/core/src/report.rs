@@ -44,8 +44,11 @@ pub struct ClusterReport {
 }
 
 impl ClusterReport {
-    /// Cycles this cluster's DRAM requests spent queued behind the shared
-    /// channel — the per-cluster contention metric of the scaling study.
+    /// Cycles this cluster's DRAM transfers spent queued behind busy shared
+    /// channels (critical-path wait per logical transfer) — the per-cluster
+    /// contention metric of the scaling study. See
+    /// [`ClusterContentionStats::dram_stall_cycles`] for the exact
+    /// accounting and `contention.per_channel` for the channel breakdown.
     pub fn dram_stall_cycles(&self) -> u64 {
         self.contention.dram_stall_cycles
     }
@@ -80,6 +83,7 @@ pub struct SimReport {
     pub(crate) smem_stats: SmemStats,
     pub(crate) gmem_stats: GlobalMemoryStats,
     pub(crate) dram_stats: DramStats,
+    pub(crate) dram_channel_stats: Vec<DramStats>,
     pub(crate) dma_stats: Option<DmaStats>,
     pub(crate) cluster_stats: ClusterStats,
     pub(crate) per_cluster: Vec<ClusterReport>,
@@ -121,11 +125,13 @@ impl SimReport {
             });
             machine_ledger.merge(&ledger);
         }
-        machine_ledger.record(
-            Component::DmaOther,
-            EnergyEvent::DramBurst,
-            backend.dram_stats().bursts,
-        );
+        // DRAM interface energy is charged per channel: each channel's PHY
+        // and controller see only the bursts routed to it. The counts are
+        // integers, so the per-channel sum is exactly the old single-channel
+        // charge when `channels = 1`.
+        for channel in backend.dram_channel_stats() {
+            machine_ledger.record(Component::DmaOther, EnergyEvent::DramBurst, channel.bursts);
+        }
 
         // Machine-wide aggregates.
         let mut core_stats = CoreStats::default();
@@ -164,6 +170,7 @@ impl SimReport {
             smem_stats,
             gmem_stats,
             dram_stats: backend.dram_stats(),
+            dram_channel_stats: backend.dram_channel_stats(),
             dma_stats,
             cluster_stats,
             per_cluster,
@@ -250,9 +257,21 @@ impl SimReport {
         &self.gmem_stats
     }
 
-    /// DRAM interface statistics (the single shared channel).
+    /// DRAM interface statistics, summed over the shared channels.
     pub fn dram_stats(&self) -> &DramStats {
         &self.dram_stats
+    }
+
+    /// Per-channel DRAM interface statistics, in channel order. A
+    /// single-channel machine has exactly one entry, equal to
+    /// [`SimReport::dram_stats`].
+    pub fn dram_channel_stats(&self) -> &[DramStats] {
+        &self.dram_channel_stats
+    }
+
+    /// Number of DRAM channels the machine's back-end was configured with.
+    pub fn dram_channels(&self) -> usize {
+        self.dram_channel_stats.len()
     }
 
     /// DMA statistics summed over clusters, when the design has DMA engines.
@@ -276,9 +295,13 @@ impl SimReport {
         self.per_cluster.len()
     }
 
-    /// Total cycles DRAM requests spent queued behind the shared channel,
+    /// Total wall-clock cycles DRAM transfers lost to channel contention,
     /// summed over clusters — the machine-wide contention metric of the
-    /// cluster-scaling study.
+    /// cluster-scaling study. Each logical transfer contributes its exposed
+    /// critical-path wait: queueing the fixed DRAM latency hides costs
+    /// nothing, and a DMA split across channels counts the slowest
+    /// channel's queue rather than the sum of concurrent queues, so the
+    /// metric is comparable across DRAM channel counts.
     pub fn dram_contention_stall_cycles(&self) -> u64 {
         self.dram_contention_stall_cycles
     }

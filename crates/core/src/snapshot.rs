@@ -23,7 +23,10 @@
 use std::fmt;
 
 use virgo_energy::{AreaReport, Component, MatrixSubcomponent, PowerReport};
-use virgo_mem::{ClusterContentionStats, DmaStats, DramStats, GlobalMemoryStats, SmemStats};
+use virgo_mem::{
+    ChannelContentionStats, ClusterContentionStats, DmaStats, DramStats, GlobalMemoryStats,
+    SmemStats,
+};
 use virgo_sim::{Cycle, Frequency, StableHasher};
 use virgo_simt::CoreStats;
 
@@ -53,7 +56,10 @@ impl std::error::Error for SnapshotError {}
 type Result<T> = std::result::Result<T, SnapshotError>;
 
 const FORMAT: &str = "virgo-simreport";
-const VERSION: u64 = 1;
+// v2: multi-channel DRAM — the payload gained `dram_channel_stats` and the
+// per-cluster contention objects gained a `per_channel` breakdown; v1
+// entries (pre-channel timing model) must miss cleanly.
+const VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // A minimal JSON document model.
@@ -536,11 +542,39 @@ u64_stats_codec!(
 );
 
 u64_stats_codec!(
-    ClusterContentionStats,
-    write_contention,
-    read_contention,
-    [l2_accesses, dram_requests, dram_bytes, dram_stall_cycles,]
+    ChannelContentionStats,
+    write_channel_contention,
+    read_channel_contention,
+    [requests, stall_cycles,]
 );
+
+// `ClusterContentionStats` carries a per-channel array, so it cannot use the
+// flat-`u64` macro.
+fn write_contention(s: &ClusterContentionStats) -> String {
+    let per_channel: Vec<String> = s.per_channel.iter().map(write_channel_contention).collect();
+    let mut w = ObjWriter::new();
+    w.u64("l2_accesses", s.l2_accesses)
+        .u64("dram_requests", s.dram_requests)
+        .u64("dram_bytes", s.dram_bytes)
+        .u64("dram_stall_cycles", s.dram_stall_cycles)
+        .raw("per_channel", &format!("[{}]", per_channel.join(",")));
+    w.finish()
+}
+
+fn read_contention(v: &Json) -> Result<ClusterContentionStats> {
+    let o = v.as_object()?;
+    Ok(ClusterContentionStats {
+        l2_accesses: get_u64(o, "l2_accesses")?,
+        dram_requests: get_u64(o, "dram_requests")?,
+        dram_bytes: get_u64(o, "dram_bytes")?,
+        dram_stall_cycles: get_u64(o, "dram_stall_cycles")?,
+        per_channel: get(o, "per_channel")?
+            .as_array()?
+            .iter()
+            .map(read_channel_contention)
+            .collect::<Result<Vec<_>>>()?,
+    })
+}
 
 fn write_opt_dma(stats: &Option<DmaStats>) -> String {
     match stats {
@@ -658,6 +692,14 @@ fn write_payload(report: &SimReport) -> String {
         .raw("smem_stats", &write_smem_stats(&report.smem_stats))
         .raw("gmem_stats", &write_gmem_stats(&report.gmem_stats))
         .raw("dram_stats", &write_dram_stats(&report.dram_stats))
+        .raw("dram_channel_stats", &{
+            let channels: Vec<String> = report
+                .dram_channel_stats
+                .iter()
+                .map(write_dram_stats)
+                .collect();
+            format!("[{}]", channels.join(","))
+        })
         .raw("dma_stats", &write_opt_dma(&report.dma_stats))
         .raw("cluster_stats", &write_cluster_stats(&report.cluster_stats))
         .raw("per_cluster", &format!("[{}]", per_cluster.join(",")))
@@ -688,6 +730,11 @@ fn read_payload(v: &Json) -> Result<SimReport> {
         smem_stats: read_smem_stats(get(o, "smem_stats")?)?,
         gmem_stats: read_gmem_stats(get(o, "gmem_stats")?)?,
         dram_stats: read_dram_stats(get(o, "dram_stats")?)?,
+        dram_channel_stats: get(o, "dram_channel_stats")?
+            .as_array()?
+            .iter()
+            .map(read_dram_stats)
+            .collect::<Result<Vec<_>>>()?,
         dma_stats: read_opt_dma(get(o, "dma_stats")?)?,
         cluster_stats: read_cluster_stats(get(o, "cluster_stats")?)?,
         per_cluster: get(o, "per_cluster")?
@@ -777,6 +824,10 @@ mod tests {
     use virgo_isa::{DataType, Kernel, KernelInfo, ProgramBuilder, WarpAssignment, WarpOp};
 
     fn sample_report(clusters: u32) -> (SimReport, String) {
+        sample_report_channels(clusters, 1)
+    }
+
+    fn sample_report_channels(clusters: u32, dram_channels: u32) -> (SimReport, String) {
         let program = {
             let mut b = ProgramBuilder::new();
             b.op_n(
@@ -792,7 +843,9 @@ mod tests {
             .map(|c| WarpAssignment::on_cluster(c, 0, 0, Arc::clone(&program)))
             .collect();
         let kernel = Kernel::new(KernelInfo::new("snapshot-test", 0, DataType::Fp16), warps);
-        let config = GpuConfig::virgo().with_clusters(clusters);
+        let config = GpuConfig::virgo()
+            .with_clusters(clusters)
+            .with_dram_channels(dram_channels);
         let key = SimKey::digest(&config, &kernel, 100_000, SimMode::FastForward).to_hex();
         let report = Gpu::new(config).run(&kernel, 100_000).unwrap();
         (report, key)
@@ -813,6 +866,17 @@ mod tests {
             let back = SimReport::from_cache_json(&text, &key).unwrap();
             assert_identical(&report, &back);
         }
+    }
+
+    #[test]
+    fn multi_channel_report_roundtrips_per_channel_arrays() {
+        let (report, key) = sample_report_channels(2, 4);
+        assert_eq!(report.dram_channels(), 4);
+        assert_eq!(report.per_cluster()[0].contention.per_channel.len(), 4);
+        let text = report.to_cache_json(&key);
+        let back = SimReport::from_cache_json(&text, &key).unwrap();
+        assert_identical(&report, &back);
+        assert_eq!(back.dram_channel_stats().len(), 4);
     }
 
     #[test]
@@ -860,7 +924,7 @@ mod tests {
     fn version_and_format_are_checked() {
         let (report, key) = sample_report(1);
         let text = report.to_cache_json(&key);
-        let bumped = text.replace("\"version\":1", "\"version\":99");
+        let bumped = text.replace("\"version\":2", "\"version\":99");
         let err = SimReport::from_cache_json(&bumped, &key).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
     }

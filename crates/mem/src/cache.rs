@@ -46,6 +46,15 @@ impl CacheConfig {
     }
 }
 
+impl virgo_sim::StableHash for CacheConfig {
+    fn stable_hash(&self, h: &mut virgo_sim::StableHasher) {
+        h.write_u64(self.capacity_bytes);
+        h.write_u64(u64::from(self.line_bytes));
+        h.write_u64(u64::from(self.ways));
+        h.write_u64(self.latency);
+    }
+}
+
 /// Outcome of one cache lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {

@@ -32,6 +32,15 @@ impl GlobalMemoryConfig {
     }
 }
 
+impl virgo_sim::StableHash for GlobalMemoryConfig {
+    fn stable_hash(&self, h: &mut virgo_sim::StableHasher) {
+        self.l1.stable_hash(&mut *h);
+        self.l2.stable_hash(&mut *h);
+        self.dram.stable_hash(&mut *h);
+        h.write_u64(u64::from(self.cores));
+    }
+}
+
 /// Aggregated statistics for one cluster's L1 front-end.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GlobalMemoryStats {

@@ -12,7 +12,8 @@
 //! * [`Cache`] / [`GlobalMemory`] / [`MemoryBackend`] — the global-memory
 //!   hierarchy, split into per-cluster front-ends of per-core L1 caches and
 //!   the single machine-wide back-end where the shared L2 and the
-//!   bandwidth-limited DRAM channel arbitrate between clusters,
+//!   address-interleaved multi-channel DRAM subsystem
+//!   ([`MultiChannelDram`]) arbitrate between clusters,
 //! * [`Coalescer`] — the SIMT memory coalescer added to the Vortex core
 //!   (Section 3.2.3),
 //! * [`DmaEngine`] — the MMIO-programmed cluster DMA engine that moves tiles
@@ -40,10 +41,12 @@ pub mod global;
 pub mod smem;
 
 pub use accmem::{AccumulatorMemory, AccumulatorStats};
-pub use backend::{ClusterContentionStats, MemoryBackend, MemoryBackendStats};
+pub use backend::{
+    ChannelContentionStats, ClusterContentionStats, MemoryBackend, MemoryBackendStats,
+};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalescer::{Coalescer, CoalescerStats};
 pub use dma::{DmaConfig, DmaEngine, DmaStats, DmaTransfer};
-pub use dram::{DramConfig, DramModel, DramStats};
+pub use dram::{DramConfig, DramModel, DramStats, MultiChannelDram};
 pub use global::{GlobalMemory, GlobalMemoryConfig, GlobalMemoryStats};
 pub use smem::{SharedMemory, SmemConfig, SmemStats};

@@ -83,6 +83,8 @@ pub struct SweepPoint {
     pub workload: SweepWorkload,
     /// Number of clusters the machine is scaled to.
     pub clusters: u32,
+    /// Number of address-interleaved DRAM channels behind the shared L2.
+    pub dram_channels: u32,
     /// Simulation-loop mode.
     pub mode: SimMode,
 }
@@ -94,6 +96,7 @@ impl SweepPoint {
             design,
             workload: SweepWorkload::Gemm(shape),
             clusters: 1,
+            dram_channels: 1,
             mode: SimMode::FastForward,
         }
     }
@@ -104,6 +107,7 @@ impl SweepPoint {
             design,
             workload: SweepWorkload::FlashAttention(shape),
             clusters: 1,
+            dram_channels: 1,
             mode: SimMode::FastForward,
         }
     }
@@ -112,6 +116,13 @@ impl SweepPoint {
     #[must_use]
     pub fn with_clusters(mut self, clusters: u32) -> Self {
         self.clusters = clusters;
+        self
+    }
+
+    /// Scales the point's shared DRAM back-end to `channels` channels.
+    #[must_use]
+    pub fn with_dram_channels(mut self, channels: u32) -> Self {
+        self.dram_channels = channels;
         self
     }
 
@@ -127,16 +138,17 @@ impl SweepPoint {
         self.workload
             .base_config(self.design)
             .with_clusters(self.clusters.max(1))
+            .with_dram_channels(self.dram_channels.max(1))
     }
 }
 
 impl fmt::Display for SweepPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {} x{} ({})",
-            self.design, self.workload, self.clusters, self.mode
-        )
+        write!(f, "{} {} x{}", self.design, self.workload, self.clusters)?;
+        if self.dram_channels > 1 {
+            write!(f, " ch{}", self.dram_channels)?;
+        }
+        write!(f, " ({})", self.mode)
     }
 }
 
@@ -237,6 +249,7 @@ impl SweepService {
             design,
             workload,
             clusters,
+            dram_channels: 1,
             mode,
         };
         self.query_point(&point).0
@@ -341,6 +354,7 @@ impl SweepService {
                 design,
                 workload,
                 clusters,
+                dram_channels: 1,
                 mode,
             })
             .collect();
@@ -510,6 +524,26 @@ mod tests {
                 &[1, 2],
             )
             .is_none());
+    }
+
+    #[test]
+    fn dram_channel_points_are_distinct_cache_entries() {
+        let svc = service();
+        let base = SweepPoint::gemm(DesignKind::Virgo, tiny_gemm()).with_clusters(2);
+        let quad = base.with_dram_channels(4);
+        let (single_report, _) = svc.query_point(&base);
+        let (quad_report, cached) = svc.query_point(&quad);
+        assert!(!cached, "a different channel count must not alias in cache");
+        assert_eq!(quad_report.dram_channels(), 4);
+        assert_eq!(single_report.dram_channels(), 1);
+        // The per-channel slices add up to the aggregate interface stats.
+        let summed: u64 = quad_report
+            .dram_channel_stats()
+            .iter()
+            .map(|c| c.bytes)
+            .sum();
+        assert_eq!(summed, quad_report.dram_stats().bytes);
+        assert!(format!("{quad}").contains("ch4"));
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //!    the machine the paper evaluates, and its reports are bit-identical to
 //!    the pre-refactor single-cluster simulator. The fingerprints below were
 //!    captured from the last single-cluster build (including exact energy /
-//!    power bit patterns) and must never drift.
+//!    power bit patterns) and must never drift. They were re-pinned exactly
+//!    once, together with the DRAM-timing bugfix (fixed latency now overlaps
+//!    channel queueing instead of being charged serially after it) — see the
+//!    Volta-style entry below for the only delta — and double as the
+//!    `dram_channels = 1` pins of the multi-channel back-end: the default
+//!    configuration *is* the single-channel machine.
 //! 2. **Mode equivalence at every scale** — `SimMode::Naive` and
 //!    `SimMode::FastForward` stay bit-identical when the fast-forward driver
 //!    folds event horizons across N clusters sharing one L2/DRAM back-end.
@@ -85,16 +90,24 @@ fn single_cluster_gemm_reports_match_pre_refactor_fingerprints() {
         k: 128,
     };
     let fingerprints = [
+        // Re-pinned when the DRAM fixed latency was made to overlap with
+        // channel queueing (it used to be charged serially on top): the
+        // Volta-style design is the only one whose demand misses queue
+        // back-to-back on the channel, so its cycle count dropped
+        // 25298 -> 24498 (and active power rose accordingly — the energy
+        // bits are unchanged because no event count changed). The other
+        // designs' DMA transfers never overlapped queueing with latency, so
+        // their fingerprints are identical pre- and post-fix.
         Fingerprint {
             design: DesignKind::VoltaStyle,
-            cycles: 25298,
+            cycles: 24498,
             instructions: 96384,
             fence_polls: 0,
             fence_wait_cycles: 0,
             performed_macs: 2097152,
             smem_bytes_read: 786432,
             energy_mj_bits: 0x3f7c7e449b0ee07f,
-            power_mw_bits: 0x405b7f66218da2b0,
+            power_mw_bits: 0x405c6546905495f6,
         },
         Fingerprint {
             design: DesignKind::AmpereStyle,

@@ -123,6 +123,7 @@ fn random_points_hit_bit_identical() {
         let design = designs[rng.next_below(designs.len() as u64) as usize];
         let shape = small_shape();
         let clusters = [1u32, 2][rng.next_below(2) as usize];
+        let dram_channels = [1u32, 2, 4][rng.next_below(3) as usize];
         let mode = if rng.next_below(2) == 0 {
             SimMode::FastForward
         } else {
@@ -130,6 +131,7 @@ fn random_points_hit_bit_identical() {
         };
         let point = SweepPoint::gemm(design, shape)
             .with_clusters(clusters)
+            .with_dram_channels(dram_channels)
             .with_mode(mode);
         let (first, _) = service.query_point(&point);
         let (hit, cached) = service.query_point(&point);
