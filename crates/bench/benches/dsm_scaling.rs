@@ -1,0 +1,189 @@
+//! Inter-cluster DSM scaling study — the producer-consumer split-K GEMM on
+//! N ∈ {2, 4, 8} clusters, with the partial-sum reduction either crossing
+//! the DSM fabric (direct scratchpad-to-scratchpad pushes) or taking the
+//! DRAM round trip (spill to global memory, reload on the consumer).
+//!
+//! The run prints the A/B table, emits `BENCH_dsm.json` at the workspace
+//! root and enforces the DSM gate: at N ≥ 4 the DSM path must move
+//! *strictly* fewer DRAM bytes **and** finish in strictly fewer total cycles
+//! than its DRAM-path twin — if keeping the reduction on chip ever stops
+//! paying at scale, the model (or the fabric's arbitration) has regressed.
+
+use virgo::{Gpu, GpuConfig, SimMode, SimReport};
+use virgo_bench::{print_table, MAX_CYCLES};
+use virgo_kernels::{build_split_k_gemm, GemmShape};
+
+/// Cluster counts swept.
+const CLUSTER_COUNTS: [u32; 3] = [2, 4, 8];
+
+struct Point {
+    clusters: u32,
+    dsm: bool,
+    cycles: u64,
+    dram_bytes: u64,
+    dram_stall_cycles: u64,
+    dsm_bytes: u64,
+    dsm_stall_cycles: u64,
+    dsm_hop_flits: u64,
+    utilization_pct: f64,
+    energy_mj: f64,
+}
+
+impl Point {
+    fn of(clusters: u32, dsm: bool, report: &SimReport) -> Point {
+        Point {
+            clusters,
+            dsm,
+            cycles: report.cycles().get(),
+            dram_bytes: report.dram_bytes(),
+            dram_stall_cycles: report.dram_contention_stall_cycles(),
+            dsm_bytes: report.dsm_bytes(),
+            dsm_stall_cycles: report.dsm_stats().stall_cycles,
+            dsm_hop_flits: report.dsm_stats().hop_flits,
+            utilization_pct: report.mac_utilization().as_percent(),
+            energy_mj: report.total_energy_mj(),
+        }
+    }
+
+    fn row(&self) -> Vec<String> {
+        vec![
+            self.clusters.to_string(),
+            if self.dsm { "dsm" } else { "dram" }.to_string(),
+            self.cycles.to_string(),
+            self.dram_bytes.to_string(),
+            self.dram_stall_cycles.to_string(),
+            self.dsm_bytes.to_string(),
+            self.dsm_stall_cycles.to_string(),
+            format!("{:.1}%", self.utilization_pct),
+            format!("{:.3}", self.energy_mj),
+        ]
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"clusters\": {}, \"dsm\": {}, \"cycles\": {}, ",
+                "\"dram_bytes\": {}, \"dram_contention_stall_cycles\": {}, ",
+                "\"dsm_bytes\": {}, \"dsm_stall_cycles\": {}, \"dsm_hop_flits\": {}, ",
+                "\"mac_utilization_percent\": {:.3}, \"energy_mj\": {:.6}}}"
+            ),
+            self.clusters,
+            self.dsm,
+            self.cycles,
+            self.dram_bytes,
+            self.dram_stall_cycles,
+            self.dsm_bytes,
+            self.dsm_stall_cycles,
+            self.dsm_hop_flits,
+            self.utilization_pct,
+            self.energy_mj,
+        )
+    }
+}
+
+const HEADERS: [&str; 9] = [
+    "clusters",
+    "path",
+    "cycles",
+    "dram bytes",
+    "dram stall cyc",
+    "dsm bytes",
+    "dsm stall cyc",
+    "MAC util",
+    "energy mJ",
+];
+
+fn main() {
+    // A K-heavy shape: 2×4 output tiles over 8 K-tiles, so every cluster
+    // count in the sweep gets a non-empty K-slice and the reduction carries
+    // real tile traffic. Overridable for smoke runs; K is clamped so even
+    // the smallest legal override (128) keeps the N=8 point's 8 K-tiles.
+    let max_clusters = *CLUSTER_COUNTS.iter().max().expect("non-empty sweep");
+    let shape = std::env::var("VIRGO_SPLITK_GEMM")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .map(|n| GemmShape {
+            m: n,
+            n,
+            k: (4 * n).max(128 * max_clusters),
+        })
+        .unwrap_or(GemmShape {
+            m: 256,
+            n: 256,
+            k: 1024,
+        });
+
+    let mut points = Vec::new();
+    for clusters in CLUSTER_COUNTS {
+        for dsm in [false, true] {
+            let mut config = GpuConfig::virgo().with_clusters(clusters);
+            if dsm {
+                config = config.with_dsm_enabled();
+            }
+            let kernel = build_split_k_gemm(&config, shape);
+            let report = Gpu::new(config)
+                .run_with_mode(&kernel, MAX_CYCLES, SimMode::FastForward)
+                .unwrap_or_else(|e| panic!("{} must finish: {e}", kernel.info.name));
+            eprintln!(
+                "  finished {} in {} cycles",
+                kernel.info.name,
+                report.cycles().get()
+            );
+            points.push(Point::of(clusters, dsm, &report));
+        }
+    }
+
+    print_table(
+        &format!("Split-K GEMM {shape}: DSM fabric vs DRAM round trip"),
+        &HEADERS,
+        &points.iter().map(Point::row).collect::<Vec<_>>(),
+    );
+
+    let entries: Vec<String> = points.iter().map(Point::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"dsm_scaling\",\n  \"gemm\": \"{}\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        shape,
+        entries.join(",\n")
+    );
+    // Anchor on the workspace root: cargo runs bench binaries with the
+    // package directory (crates/bench) as cwd, but the artifact belongs next
+    // to the top-level Cargo.toml where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dsm.json");
+    std::fs::write(path, &json).expect("write BENCH_dsm.json");
+    println!("\nwrote {path}");
+
+    // ---- DSM gate (N >= 4): strictly less DRAM traffic AND fewer cycles ----
+    for clusters in CLUSTER_COUNTS.into_iter().filter(|&n| n >= 4) {
+        let find = |dsm: bool| {
+            points
+                .iter()
+                .find(|p| p.clusters == clusters && p.dsm == dsm)
+                .expect("swept point")
+        };
+        let dram = find(false);
+        let dsm = find(true);
+        assert!(
+            dsm.dram_bytes < dram.dram_bytes,
+            "N={clusters}: DSM path must move strictly fewer DRAM bytes \
+             ({} >= {})",
+            dsm.dram_bytes,
+            dram.dram_bytes,
+        );
+        assert!(
+            dsm.cycles < dram.cycles,
+            "N={clusters}: DSM path must finish in strictly fewer cycles \
+             ({} >= {})",
+            dsm.cycles,
+            dram.cycles,
+        );
+        println!(
+            "N={clusters}: DSM saves {:.1}% DRAM bytes ({} -> {}), {:.2}x cycles ({} -> {}) — gate passed",
+            100.0 * (dram.dram_bytes - dsm.dram_bytes) as f64 / dram.dram_bytes as f64,
+            dram.dram_bytes,
+            dsm.dram_bytes,
+            dram.cycles as f64 / dsm.cycles as f64,
+            dram.cycles,
+            dsm.cycles,
+        );
+    }
+}

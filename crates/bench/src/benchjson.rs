@@ -1,0 +1,320 @@
+//! A minimal JSON reader for the committed `BENCH_*.json` artifacts.
+//!
+//! The bench-regression differ (`--bin bench_diff`) compares freshly
+//! produced bench artifacts against the copies committed at the workspace
+//! root, so it needs to *read* the JSON the benches write. The workspace is
+//! dependency-free, so this module provides a ~100-line recursive-descent
+//! parser over the subset the benches emit (objects, arrays, strings,
+//! numbers, booleans, null) plus a flattener that turns a document into
+//! `(dotted.path, value)` leaves for metric-by-metric comparison.
+
+use std::fmt;
+
+/// A parsed JSON value. Numbers are kept as `f64` (every bench metric is
+/// either an integer counter that fits exactly or a float to begin with).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// Key/value pairs in document order.
+    Object(Vec<(String, JsonValue)>),
+    /// Array elements in document order.
+    Array(Vec<JsonValue>),
+    /// A string.
+    Str(String),
+    /// A number.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure, with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+    pos: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            msg: msg.to_string(),
+            pos: self.pos,
+        })
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected {:?}", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected {lit:?}"))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        _ => return self.err("unsupported escape"),
+                    }
+                }
+                _ => {
+                    let start = self.pos - 1;
+                    while self.bytes.get(self.pos).is_some_and(|&n| n & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.err("invalid UTF-8"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        match raw.parse::<f64>() {
+            Ok(n) => Ok(JsonValue::Num(n)),
+            Err(_) => self.err(&format!("bad number {raw:?}")),
+        }
+    }
+}
+
+/// Parses one JSON document; trailing garbage is an error.
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    if p.peek().is_some() {
+        return p.err("trailing garbage after document");
+    }
+    Ok(value)
+}
+
+/// Flattens a document into `(dotted.path, leaf)` pairs in document order:
+/// object keys join with `.`, array elements with `[index]`.
+pub fn flatten(value: &JsonValue) -> Vec<(String, JsonValue)> {
+    let mut out = Vec::new();
+    walk(value, String::new(), &mut out);
+    out
+}
+
+fn walk(value: &JsonValue, path: String, out: &mut Vec<(String, JsonValue)>) {
+    match value {
+        JsonValue::Object(fields) => {
+            for (key, v) in fields {
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                walk(v, child, out);
+            }
+        }
+        JsonValue::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                walk(v, format!("{path}[{i}]"), out);
+            }
+        }
+        leaf => out.push((path, leaf.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bench_shaped_documents() {
+        let doc = parse(
+            r#"{"bench": "dsm_scaling", "points": [
+                {"clusters": 2, "dsm": true, "cycles": 123, "util": 45.5},
+                {"clusters": 4, "dsm": false, "cycles": 456, "util": 12.25}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("dsm_scaling"));
+        let points = match doc.get("points").unwrap() {
+            JsonValue::Array(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(points[1].get("cycles").unwrap().as_num(), Some(456.0));
+        assert_eq!(points[0].get("dsm").unwrap(), &JsonValue::Bool(true));
+    }
+
+    #[test]
+    fn flatten_produces_dotted_paths() {
+        let doc = parse(r#"{"a": {"b": [1, {"c": 2}]}, "d": "x"}"#).unwrap();
+        let leaves = flatten(&doc);
+        assert_eq!(
+            leaves,
+            vec![
+                ("a.b[0]".to_string(), JsonValue::Num(1.0)),
+                ("a.b[1].c".to_string(), JsonValue::Num(2.0)),
+                ("d".to_string(), JsonValue::Str("x".to_string())),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("{\"a\": 1e}").is_err());
+    }
+
+    #[test]
+    fn u64_counters_roundtrip_exactly_through_f64() {
+        // Bench counters stay far below 2^53, so f64 is exact.
+        let doc = parse("{\"cycles\": 9007199254740992}").unwrap();
+        assert_eq!(
+            doc.get("cycles").unwrap().as_num(),
+            Some(9007199254740992.0)
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! CI zero-external-dependencies guard.
+//!
+//! The workspace must build with no crates from any registry: the build
+//! environment has no network access, so an accidental `cargo add` would
+//! only surface as a hard failure far from the change that introduced it.
+//! This guard pins the invariant explicitly: it parses `Cargo.lock` and
+//! fails if any locked package is not a workspace member — equivalently, if
+//! any `[[package]]` entry carries a `source` (path dependencies have none;
+//! registry and git dependencies always do).
+//!
+//! ```text
+//! cargo run -p virgo-bench --bin zero_deps
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// One locked package: its name and whether the entry carried a `source`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LockedPackage {
+    name: String,
+    source: Option<String>,
+}
+
+/// Parses the `[[package]]` entries of a `Cargo.lock` (TOML subset: the lock
+/// file is machine-generated, so line-oriented scanning is exact).
+fn parse_lock(text: &str) -> Vec<LockedPackage> {
+    let mut packages = Vec::new();
+    let mut current: Option<LockedPackage> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line == "[[package]]" {
+            if let Some(done) = current.take() {
+                packages.push(done);
+            }
+            current = Some(LockedPackage {
+                name: String::new(),
+                source: None,
+            });
+        } else if let Some(pkg) = current.as_mut() {
+            if let Some(value) = line.strip_prefix("name = ") {
+                pkg.name = value.trim_matches('"').to_string();
+            } else if let Some(value) = line.strip_prefix("source = ") {
+                pkg.source = Some(value.trim_matches('"').to_string());
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        packages.push(done);
+    }
+    packages
+}
+
+/// Extracts the quoted entries of a `members = [...]` array, whether it is
+/// written on one line or spread over several.
+fn members_array(manifest: &str) -> Vec<String> {
+    let mut dirs = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        let body = if let Some(rest) = line.strip_prefix("members = [") {
+            in_members = true;
+            rest
+        } else if in_members {
+            line
+        } else {
+            continue;
+        };
+        let (entries, closed) = match body.split_once(']') {
+            Some((inside, _)) => (inside, true),
+            None => (body, false),
+        };
+        for entry in entries.split(',') {
+            let dir = entry.trim().trim_matches('"');
+            if !dir.is_empty() {
+                dirs.push(dir.to_string());
+            }
+        }
+        if closed {
+            in_members = false;
+        }
+    }
+    dirs
+}
+
+/// The `name` of a manifest's `[package]` section (only — target sections
+/// like `[[bench]]` also carry `name =` lines and must not count).
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+        } else if in_package {
+            if let Some(value) = line.strip_prefix("name = ") {
+                return Some(value.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Collects the workspace member package names: the root package plus every
+/// `members = [...]` entry's `crates/*/Cargo.toml` name.
+fn workspace_members(root: &Path) -> Result<BTreeSet<String>, String> {
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml"))
+        .map_err(|e| format!("cannot read root Cargo.toml: {e}"))?;
+    let mut names = BTreeSet::new();
+    if let Some(name) = package_name(&manifest) {
+        names.insert(name);
+    }
+    for dir in members_array(&manifest) {
+        let path = root.join(&dir).join("Cargo.toml");
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let name = package_name(&text).ok_or_else(|| format!("{path:?} has no [package] name"))?;
+        names.insert(name);
+    }
+    Ok(names)
+}
+
+fn check(lock: &str, members: &BTreeSet<String>) -> Result<usize, Vec<String>> {
+    let packages = parse_lock(lock);
+    let mut foreign = Vec::new();
+    for pkg in &packages {
+        if let Some(source) = &pkg.source {
+            foreign.push(format!("{} (from {source})", pkg.name));
+        } else if !members.contains(&pkg.name) {
+            foreign.push(format!("{} (not a workspace member)", pkg.name));
+        }
+    }
+    if foreign.is_empty() {
+        Ok(packages.len())
+    } else {
+        Err(foreign)
+    }
+}
+
+fn main() -> ExitCode {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let lock = match std::fs::read_to_string(root.join("Cargo.lock")) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("zero_deps: cannot read Cargo.lock: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let members = match workspace_members(root) {
+        Ok(names) => names,
+        Err(e) => {
+            eprintln!("zero_deps: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match check(&lock, &members) {
+        Ok(count) => {
+            println!(
+                "zero_deps: all {count} locked packages are workspace members \
+                 ({} known members) — no external dependencies",
+                members.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(foreign) => {
+            eprintln!(
+                "zero_deps: Cargo.lock contains {} non-workspace package(s); \
+                 the registry is unreachable in this environment, so external \
+                 crates must not be added:",
+                foreign.len()
+            );
+            for entry in foreign {
+                eprintln!("  - {entry}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE_LOCK: &str = r#"
+version = 4
+
+[[package]]
+name = "virgo"
+version = "0.1.0"
+dependencies = [
+ "virgo-sim",
+]
+
+[[package]]
+name = "virgo-sim"
+version = "0.1.0"
+"#;
+
+    #[test]
+    fn workspace_only_lock_passes() {
+        let members: BTreeSet<String> = ["virgo", "virgo-sim"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(check(SAMPLE_LOCK, &members), Ok(2));
+    }
+
+    #[test]
+    fn registry_package_fails() {
+        let lock = format!(
+            "{SAMPLE_LOCK}\n[[package]]\nname = \"serde\"\nversion = \"1.0.0\"\nsource = \"registry+https://github.com/rust-lang/crates.io-index\"\n"
+        );
+        let members: BTreeSet<String> = ["virgo", "virgo-sim"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = check(&lock, &members).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("serde"), "{err:?}");
+        assert!(err[0].contains("registry"), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_local_package_fails() {
+        let members: BTreeSet<String> = ["virgo"].iter().map(|s| s.to_string()).collect();
+        let err = check(SAMPLE_LOCK, &members).unwrap_err();
+        assert_eq!(err, vec!["virgo-sim (not a workspace member)".to_string()]);
+    }
+
+    #[test]
+    fn package_name_ignores_target_sections() {
+        let manifest = "[[bench]]\nname = \"dsm_scaling\"\n\n[package]\nname = \"virgo-bench\"\n\n[[bin]]\nname = \"zero_deps\"\n";
+        assert_eq!(package_name(manifest), Some("virgo-bench".to_string()));
+        assert_eq!(package_name("[workspace]\nmembers = []\n"), None);
+    }
+
+    #[test]
+    fn members_array_parses_single_and_multi_line_forms() {
+        let multi = "[workspace]\nmembers = [\n    \"crates/a\",\n    \"crates/b\",\n]\n";
+        assert_eq!(members_array(multi), vec!["crates/a", "crates/b"]);
+        let single = "members = [\"crates/a\", \"crates/b\"]\n";
+        assert_eq!(members_array(single), vec!["crates/a", "crates/b"]);
+    }
+
+    #[test]
+    fn the_real_lock_file_is_clean() {
+        let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        let lock = std::fs::read_to_string(root.join("Cargo.lock")).expect("Cargo.lock exists");
+        let members = workspace_members(root).expect("workspace parses");
+        let count = check(&lock, &members).expect("the workspace has no external deps");
+        assert_eq!(count, members.len(), "every member is locked exactly once");
+    }
+}

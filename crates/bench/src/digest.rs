@@ -50,6 +50,16 @@ pub struct ReportDigest {
     pub dram_contention_stall_cycles: u64,
     /// Per-cluster contention stalls, in cluster order.
     pub per_cluster_stall_cycles: Vec<u64>,
+    /// Transfers carried by the inter-cluster DSM fabric.
+    pub dsm_transfers: u64,
+    /// Bytes moved cluster-to-cluster over the DSM fabric.
+    pub dsm_bytes: u64,
+    /// Exposed DSM link-queueing cycles, summed over requesters.
+    pub dsm_stall_cycles: u64,
+    /// Flit-hop traversals on the DSM fabric (the link energy event count).
+    pub dsm_hop_flits: u64,
+    /// Per-cluster DSM bytes pushed, in requester order.
+    pub per_cluster_dsm_bytes: Vec<u64>,
     /// Total active energy in millijoules.
     pub total_energy_mj: f64,
     /// Total active power in milliwatts.
@@ -80,6 +90,11 @@ impl ReportDigest {
                 .iter()
                 .map(|c| c.dram_stall_cycles())
                 .collect(),
+            dsm_transfers: report.dsm_stats().transfers,
+            dsm_bytes: report.dsm_stats().bytes,
+            dsm_stall_cycles: report.dsm_stats().stall_cycles,
+            dsm_hop_flits: report.dsm_stats().hop_flits,
+            per_cluster_dsm_bytes: report.per_cluster().iter().map(|c| c.dsm.bytes).collect(),
             total_energy_mj: report.total_energy_mj(),
             active_power_mw: report.active_power_mw(),
             energy_breakdown_uj: report
@@ -108,6 +123,8 @@ impl ReportDigest {
                 "\"active_cycles\": {}, \"stall_cycles\": {}, \"idle_cycles\": {}, ",
                 "\"dram_bytes\": {}, \"dram_bursts\": {}, ",
                 "\"dram_contention_stall_cycles\": {}, ",
+                "\"dsm_transfers\": {}, \"dsm_bytes\": {}, ",
+                "\"dsm_stall_cycles\": {}, \"dsm_hop_flits\": {}, ",
                 "\"total_energy_mj\": {}, \"active_power_mw\": {}, ",
                 "\"energy_breakdown_uj\": {{{}}}}}"
             ),
@@ -126,6 +143,10 @@ impl ReportDigest {
             self.dram_stats.bytes,
             self.dram_stats.bursts,
             self.dram_contention_stall_cycles,
+            self.dsm_transfers,
+            self.dsm_bytes,
+            self.dsm_stall_cycles,
+            self.dsm_hop_flits,
             json_f64(self.total_energy_mj),
             json_f64(self.active_power_mw),
             breakdown.join(", ")

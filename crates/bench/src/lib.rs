@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod benchjson;
 pub mod digest;
 pub mod microbench;
 

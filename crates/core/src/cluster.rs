@@ -2,9 +2,10 @@
 //! they share, executing against the machine-wide shared memory back-end.
 
 use virgo_gemmini::{GemminiCommand, GemminiUnit};
-use virgo_isa::{DeviceId, Kernel, MmioCommand, WgmmaOp};
+use virgo_isa::{decode_remote_smem, DeviceId, Kernel, MmioCommand, WgmmaOp};
 use virgo_mem::{
-    AccumulatorMemory, Coalescer, DmaEngine, DmaTransfer, GlobalMemory, MemoryBackend, SharedMemory,
+    AccumulatorMemory, Coalescer, DmaEngine, DmaTransfer, DsmFabric, GlobalMemory, MemoryBackend,
+    SharedMemory,
 };
 use virgo_sim::{earliest, Cycle, NextActivity};
 use virgo_simt::{ClusterPort, ClusterSynchronizer, CoreStats, SimtCore, WarpSnapshot};
@@ -143,8 +144,9 @@ impl ClusterDevices {
     }
 
     /// Advances every cluster device by one cycle. Global-memory traffic
-    /// (the DMA engine's endpoints) flows through the shared `backend`.
-    pub fn tick(&mut self, now: Cycle, backend: &mut MemoryBackend) {
+    /// (the DMA engine's endpoints) flows through the shared `backend`;
+    /// remote-scratchpad endpoints traverse the machine-wide DSM `fabric`.
+    pub fn tick(&mut self, now: Cycle, backend: &mut MemoryBackend, fabric: &mut DsmFabric) {
         // DMA engine.
         if let Some(dma) = &mut self.dma {
             let completed = dma.tick(
@@ -153,6 +155,7 @@ impl ClusterDevices {
                 backend,
                 &mut self.smem,
                 self.accumulators.first_mut(),
+                fabric,
             );
             for _ in &completed {
                 self.async_outstanding = self.async_outstanding.saturating_sub(1);
@@ -266,15 +269,38 @@ impl ClusterDevices {
 }
 
 /// The borrow context a cluster's cores execute against: the cluster's own
-/// devices paired with the machine-wide shared memory back-end. This is the
-/// [`ClusterPort`] implementation the cores see.
+/// devices paired with the machine-wide shared memory back-end and the
+/// inter-cluster DSM fabric. This is the [`ClusterPort`] implementation the
+/// cores see.
 struct ClusterCtx<'a> {
     devices: &'a mut ClusterDevices,
     backend: &'a mut MemoryBackend,
+    fabric: &'a mut DsmFabric,
 }
 
 impl ClusterPort for ClusterCtx<'_> {
     fn shared_access(&mut self, now: Cycle, _core: u32, lane_addrs: &[u64], write: bool) -> Cycle {
+        // Lane addresses in the remote DSM window target a peer cluster's
+        // scratchpad over the fabric; a warp's access is uniform (kernel
+        // generators never mix local and remote lanes in one instruction),
+        // so the first lane decides the route.
+        if let Some(&first) = lane_addrs.first() {
+            if let Some((peer, _)) = decode_remote_smem(first) {
+                debug_assert!(
+                    lane_addrs
+                        .iter()
+                        .all(|&a| decode_remote_smem(a).is_some_and(|(c, _)| c == peer)),
+                    "mixed local/remote lanes in one shared access"
+                );
+                let bytes = lane_addrs.len() as u64 * 4;
+                return self.fabric.remote_simt_access(
+                    now,
+                    self.devices.gmem.cluster(),
+                    peer,
+                    bytes,
+                );
+            }
+        }
         self.devices.smem.access_simt(now, lane_addrs, write).done
     }
 
@@ -341,7 +367,7 @@ impl ClusterPort for ClusterCtx<'_> {
     ) -> bool {
         self.devices.stats.mmio_writes += 1;
         match (device, cmd) {
-            (DeviceId::Dma(_), MmioCommand::DmaCopy(copy)) => {
+            (DeviceId::Dma(_), MmioCommand::DmaCopy(copy) | MmioCommand::DmaRemote(copy)) => {
                 self.devices.submit_dma(copy, exec_count)
             }
             (DeviceId::MatrixUnit(idx), MmioCommand::MatrixCompute(compute)) => {
@@ -483,12 +509,14 @@ impl Cluster {
         out
     }
 
-    /// Advances the whole cluster by one cycle against the shared back-end.
-    pub fn tick(&mut self, now: Cycle, backend: &mut MemoryBackend) {
-        self.devices.tick(now, backend);
+    /// Advances the whole cluster by one cycle against the shared back-end
+    /// and the inter-cluster DSM fabric.
+    pub fn tick(&mut self, now: Cycle, backend: &mut MemoryBackend, fabric: &mut DsmFabric) {
+        self.devices.tick(now, backend, fabric);
         let mut ctx = ClusterCtx {
             devices: &mut self.devices,
             backend,
+            fabric,
         };
         for core in &mut self.cores {
             core.tick(now, &mut ctx);
@@ -507,7 +535,12 @@ impl Cluster {
     /// The driver folds this over all clusters; a machine-wide `None` is a
     /// deadlock, which it converts into a timeout without ticking through the
     /// remaining budget.
-    pub fn next_activity(&mut self, now: Cycle, backend: &mut MemoryBackend) -> Option<Cycle> {
+    pub fn next_activity(
+        &mut self,
+        now: Cycle,
+        backend: &mut MemoryBackend,
+        fabric: &mut DsmFabric,
+    ) -> Option<Cycle> {
         let mut next = self.devices.next_activity(now);
         if next == Some(now) {
             return next;
@@ -515,6 +548,7 @@ impl Cluster {
         let ctx = ClusterCtx {
             devices: &mut self.devices,
             backend,
+            fabric,
         };
         for core in &mut self.cores {
             match core.next_activity(now, &ctx) {
@@ -556,17 +590,25 @@ mod tests {
         )
     }
 
-    fn cluster_with(config: GpuConfig, kernel: &Kernel) -> (Cluster, MemoryBackend) {
-        let backend = MemoryBackend::new(config.global_memory(), config.clusters.max(1));
-        (Cluster::new(config, kernel, 0), backend)
+    fn cluster_with(config: GpuConfig, kernel: &Kernel) -> (Cluster, MemoryBackend, DsmFabric) {
+        let clusters = config.clusters.max(1);
+        let backend = MemoryBackend::new(config.global_memory(), clusters);
+        let fabric = DsmFabric::new(config.dsm, clusters);
+        (Cluster::new(config, kernel, 0), backend, fabric)
     }
 
-    fn run(cluster: &mut Cluster, backend: &mut MemoryBackend, limit: u64) -> u64 {
+    fn run(
+        cluster: &mut Cluster,
+        backend: &mut MemoryBackend,
+        fabric: &mut DsmFabric,
+        limit: u64,
+    ) -> u64 {
         for cycle in 0..limit {
             if cluster.finished() {
                 return cycle;
             }
-            cluster.tick(Cycle::new(cycle), backend);
+            fabric.tick(Cycle::new(cycle));
+            cluster.tick(Cycle::new(cycle), backend, fabric);
         }
         limit
     }
@@ -582,8 +624,8 @@ mod tests {
                 },
             );
         });
-        let (mut cluster, mut backend) = cluster_with(GpuConfig::virgo(), &kernel);
-        let cycles = run(&mut cluster, &mut backend, 10_000);
+        let (mut cluster, mut backend, mut fabric) = cluster_with(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, &mut backend, &mut fabric, 10_000);
         assert!(cycles < 10_000);
         assert_eq!(cluster.core_stats().instrs_issued, 16);
     }
@@ -596,8 +638,9 @@ mod tests {
             b.op(WarpOp::StoreShared { access });
             b.op(WarpOp::WaitLoads);
         });
-        let (mut cluster, mut backend) = cluster_with(GpuConfig::ampere_style(), &kernel);
-        run(&mut cluster, &mut backend, 100_000);
+        let (mut cluster, mut backend, mut fabric) =
+            cluster_with(GpuConfig::ampere_style(), &kernel);
+        run(&mut cluster, &mut backend, &mut fabric, 100_000);
         assert!(cluster.devices().gmem.stats().l1_accesses > 0);
         assert!(cluster.devices().smem.stats().words_written > 0);
         assert!(cluster.devices().coalescer_ops() > 0);
@@ -618,8 +661,8 @@ mod tests {
             });
             b.op(WarpOp::FenceAsync { max_outstanding: 0 });
         });
-        let (mut cluster, mut backend) = cluster_with(GpuConfig::virgo(), &kernel);
-        let cycles = run(&mut cluster, &mut backend, 1_000_000);
+        let (mut cluster, mut backend, mut fabric) = cluster_with(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, &mut backend, &mut fabric, 1_000_000);
         assert!(cycles < 1_000_000, "kernel must finish");
         assert!(cycles > 200, "DMA of 4 KiB cannot be instantaneous");
         let stats = cluster.devices().stats();
@@ -648,8 +691,8 @@ mod tests {
             });
             b.op(WarpOp::FenceAsync { max_outstanding: 0 });
         });
-        let (mut cluster, mut backend) = cluster_with(GpuConfig::virgo(), &kernel);
-        let cycles = run(&mut cluster, &mut backend, 1_000_000);
+        let (mut cluster, mut backend, mut fabric) = cluster_with(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, &mut backend, &mut fabric, 1_000_000);
         assert!(cycles < 1_000_000);
         let gemmini = &cluster.devices().gemmini_units[0];
         assert_eq!(gemmini.stats().commands, 1);
@@ -671,8 +714,9 @@ mod tests {
                 },
             );
         });
-        let (mut cluster, mut backend) = cluster_with(GpuConfig::volta_style(), &kernel);
-        run(&mut cluster, &mut backend, 100_000);
+        let (mut cluster, mut backend, mut fabric) =
+            cluster_with(GpuConfig::volta_style(), &kernel);
+        run(&mut cluster, &mut backend, &mut fabric, 100_000);
         let unit = &cluster.devices().tightly_units[0];
         assert_eq!(unit.stats().steps, 8);
         assert_eq!(unit.stats().macs, 8 * 64);
@@ -692,8 +736,9 @@ mod tests {
             b.op(WarpOp::WgmmaInit(op));
             b.op(WarpOp::WgmmaWait);
         });
-        let (mut cluster, mut backend) = cluster_with(GpuConfig::hopper_style(), &kernel);
-        let cycles = run(&mut cluster, &mut backend, 100_000);
+        let (mut cluster, mut backend, mut fabric) =
+            cluster_with(GpuConfig::hopper_style(), &kernel);
+        let cycles = run(&mut cluster, &mut backend, &mut fabric, 100_000);
         let unit = &cluster.devices().decoupled_units[0];
         assert_eq!(unit.stats().ops, 1);
         assert!(cycles >= 128, "wgmma wait must cover the compute time");
@@ -717,8 +762,8 @@ mod tests {
                 WarpAssignment::new(1, 0, Arc::clone(&program)),
             ],
         );
-        let (mut cluster, mut backend) = cluster_with(GpuConfig::virgo(), &kernel);
-        let cycles = run(&mut cluster, &mut backend, 10_000);
+        let (mut cluster, mut backend, mut fabric) = cluster_with(GpuConfig::virgo(), &kernel);
+        let cycles = run(&mut cluster, &mut backend, &mut fabric, 10_000);
         assert!(cycles < 10_000);
         assert_eq!(cluster.devices().synchronizer.release_events(), 1);
         assert_eq!(cluster.core_stats().barrier_arrivals, 2);
@@ -764,8 +809,8 @@ mod tests {
                 WarpAssignment::new(0, 1, Arc::new(ProgramBuilder::new().build())),
             ],
         );
-        let (mut cluster, mut backend) = cluster_with(GpuConfig::virgo(), &kernel);
-        run(&mut cluster, &mut backend, 100);
+        let (mut cluster, mut backend, mut fabric) = cluster_with(GpuConfig::virgo(), &kernel);
+        run(&mut cluster, &mut backend, &mut fabric, 100);
         let stuck = cluster.unfinished_warps();
         assert_eq!(stuck.len(), 1);
         assert_eq!(stuck[0].cluster, 0);

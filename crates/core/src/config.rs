@@ -3,7 +3,7 @@
 use virgo_energy::AreaParams;
 use virgo_gemmini::GemminiConfig;
 use virgo_isa::DataType;
-use virgo_mem::{DmaConfig, DramConfig, GlobalMemoryConfig, SmemConfig};
+use virgo_mem::{DmaConfig, DramConfig, DsmConfig, GlobalMemoryConfig, SmemConfig};
 use virgo_sim::{Frequency, StableHash, StableHasher};
 use virgo_simt::CoreConfig;
 use virgo_tensor::{DecoupledConfig, TightlyCoupledConfig};
@@ -149,6 +149,10 @@ pub struct GpuConfig {
     /// DRAM interface configuration, including the channel count and
     /// address-interleave granularity of the shared back-end.
     pub dram: DramConfig,
+    /// Inter-cluster distributed-shared-memory fabric configuration.
+    /// Disabled by default: clusters then interact only through the shared
+    /// L2/DRAM back-end, exactly the pre-DSM machine.
+    pub dsm: DsmConfig,
     /// Tightly-coupled tensor core configuration (Volta/Ampere-style).
     pub tightly: TightlyCoupledConfig,
     /// Operand-decoupled tensor core configuration (Hopper-style).
@@ -174,6 +178,7 @@ impl GpuConfig {
             smem: SmemConfig::double_banked(),
             dma: DmaConfig::default(),
             dram: DramConfig::default_soc(),
+            dsm: DsmConfig::default(),
             tightly: TightlyCoupledConfig { macs_per_cycle: 32 },
             decoupled: DecoupledConfig::default(),
             matrix_units: Vec::new(),
@@ -250,6 +255,23 @@ impl GpuConfig {
     pub fn with_clusters(mut self, clusters: u32) -> Self {
         assert!(clusters > 0, "a GPU needs at least one cluster");
         self.clusters = clusters;
+        self
+    }
+
+    /// Replaces the inter-cluster DSM fabric configuration (use
+    /// [`DsmConfig::enabled_default`] to switch the fabric on).
+    #[must_use]
+    pub fn with_dsm(mut self, dsm: DsmConfig) -> Self {
+        self.dsm = dsm;
+        self
+    }
+
+    /// Switches the inter-cluster DSM fabric on at its default parameters,
+    /// keeping everything else identical — the A/B toggle of the DSM
+    /// workload studies.
+    #[must_use]
+    pub fn with_dsm_enabled(mut self) -> Self {
+        self.dsm.enabled = true;
         self
     }
 
@@ -372,6 +394,9 @@ impl StableHash for GpuConfig {
         // interleave) is part of a simulation's identity, so cached reports
         // cannot alias across e.g. DRAM channel counts.
         self.global_memory().stable_hash(h);
+        // Likewise the inter-cluster DSM fabric: a DSM-enabled machine and
+        // its DRAM-only twin must never share a cache entry.
+        self.dsm.stable_hash(h);
     }
 }
 
@@ -458,6 +483,23 @@ mod tests {
     #[should_panic(expected = "at least one channel")]
     fn zero_dram_channels_rejected() {
         let _ = GpuConfig::virgo().with_dram_channels(0);
+    }
+
+    #[test]
+    fn dsm_is_disabled_by_default_and_togglable() {
+        for design in DesignKind::all() {
+            assert!(!GpuConfig::for_design(design).dsm.enabled, "{design}");
+        }
+        let on = GpuConfig::virgo().with_dsm_enabled();
+        assert!(on.dsm.enabled);
+        // Only the enable bit differs, so A/B studies isolate the fabric.
+        assert_eq!(
+            DsmConfig {
+                enabled: false,
+                ..on.dsm
+            },
+            GpuConfig::virgo().dsm
+        );
     }
 
     #[test]

@@ -53,8 +53,10 @@ impl SimKey {
         // absorbs) changes, so stale on-disk cache entries miss cleanly.
         // v2: the config digest absorbs the full memory hierarchy (DRAM
         // channel count / interleave), and the DRAM timing model changed.
+        // v3: the config digest absorbs the inter-cluster DSM fabric
+        // configuration, and reports carry DSM stats.
         h.write_str("virgo-simkey");
-        h.write_u64(2);
+        h.write_u64(3);
         config.stable_hash(&mut h);
         kernel.stable_hash(&mut h);
         h.write_u64(max_cycles);
@@ -142,6 +144,12 @@ mod tests {
             base,
             SimKey::digest(&channel_config, &kernel("k", 4), 1000, SimMode::FastForward),
             "DRAM channel count"
+        );
+        let dsm_config = GpuConfig::virgo().with_dsm_enabled();
+        assert_ne!(
+            base,
+            SimKey::digest(&dsm_config, &kernel("k", 4), 1000, SimMode::FastForward),
+            "DSM fabric"
         );
     }
 

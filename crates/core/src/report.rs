@@ -7,7 +7,8 @@ use virgo_energy::{
 };
 use virgo_isa::KernelInfo;
 use virgo_mem::{
-    ClusterContentionStats, DmaStats, DramStats, GlobalMemoryStats, MemoryBackend, SmemStats,
+    ClusterContentionStats, ClusterDsmStats, DmaStats, DramStats, DsmFabric, DsmFabricStats,
+    DsmLinkStats, GlobalMemoryStats, MemoryBackend, SmemStats,
 };
 use virgo_sim::{Cycle, Frequency, Ratio};
 use virgo_simt::CoreStats;
@@ -37,6 +38,9 @@ pub struct ClusterReport {
     pub cluster_stats: ClusterStats,
     /// This cluster's contention counters on the shared L2/DRAM back-end.
     pub contention: ClusterContentionStats,
+    /// This cluster's traffic over the inter-cluster DSM fabric (all
+    /// counters zero when the fabric is disabled or unused).
+    pub dsm: ClusterDsmStats,
     /// Multiply-accumulates performed by this cluster's matrix units.
     pub performed_macs: u64,
     /// Active energy this cluster's events contributed, in millijoules.
@@ -88,6 +92,8 @@ pub struct SimReport {
     pub(crate) cluster_stats: ClusterStats,
     pub(crate) per_cluster: Vec<ClusterReport>,
     pub(crate) dram_contention_stall_cycles: u64,
+    pub(crate) dsm_stats: DsmFabricStats,
+    pub(crate) dsm_link_stats: Vec<DsmLinkStats>,
     pub(crate) power: PowerReport,
     pub(crate) area: AreaReport,
 }
@@ -98,6 +104,7 @@ impl SimReport {
     pub(crate) fn from_machine(
         clusters: &[Cluster],
         backend: &MemoryBackend,
+        fabric: &DsmFabric,
         info: &KernelInfo,
         cycles: Cycle,
     ) -> Self {
@@ -110,7 +117,8 @@ impl SimReport {
         let mut per_cluster = Vec::with_capacity(clusters.len());
         for cluster in clusters {
             let contention = backend.cluster_stats(cluster.cluster_id());
-            let ledger = build_cluster_ledger(cluster, &contention);
+            let dsm = fabric.cluster_stats(cluster.cluster_id());
+            let ledger = build_cluster_ledger(cluster, &contention, &dsm);
             let devices = cluster.devices();
             per_cluster.push(ClusterReport {
                 cluster: cluster.cluster_id(),
@@ -120,6 +128,7 @@ impl SimReport {
                 dma_stats: devices.dma.as_ref().map(|d| d.stats()),
                 cluster_stats: devices.stats(),
                 contention,
+                dsm,
                 performed_macs: cluster.performed_macs(),
                 energy_mj: ledger.total_energy_pj(&table) * 1e-9,
             });
@@ -175,6 +184,8 @@ impl SimReport {
             cluster_stats,
             per_cluster,
             dram_contention_stall_cycles: backend.total_dram_stall_cycles(),
+            dsm_stats: fabric.stats(),
+            dsm_link_stats: fabric.per_link_stats(),
             power,
             area,
         }
@@ -306,6 +317,29 @@ impl SimReport {
         self.dram_contention_stall_cycles
     }
 
+    /// Machine-wide inter-cluster DSM fabric counters (all zero when the
+    /// fabric is disabled or the kernel never issued remote traffic).
+    pub fn dsm_stats(&self) -> &DsmFabricStats {
+        &self.dsm_stats
+    }
+
+    /// Per-ingress-link DSM traffic, summed over requester clusters, in
+    /// link (= destination cluster) order.
+    pub fn dsm_link_stats(&self) -> &[DsmLinkStats] {
+        &self.dsm_link_stats
+    }
+
+    /// Bytes moved cluster-to-cluster over the DSM fabric.
+    pub fn dsm_bytes(&self) -> u64 {
+        self.dsm_stats.bytes
+    }
+
+    /// Total DRAM traffic in bytes at the channel interface (after burst
+    /// rounding) — the demand the DSM fabric exists to reduce.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_stats.bytes
+    }
+
     /// The active power / energy report (Figures 8–11).
     pub fn power(&self) -> &PowerReport {
         &self.power
@@ -329,10 +363,14 @@ impl SimReport {
 
 /// Converts the event counters of one cluster's components into an energy
 /// ledger. Shared-L2 accesses are charged to the requesting cluster via its
-/// `contention` counters; DRAM bursts are *not* recorded here — the channel
-/// is shared, so the machine report charges it once from the back-end's
-/// counters.
-fn build_cluster_ledger(cluster: &Cluster, contention: &ClusterContentionStats) -> EnergyLedger {
+/// `contention` counters, and DSM link-hop traversals via its `dsm`
+/// counters; DRAM bursts are *not* recorded here — the channel is shared, so
+/// the machine report charges it once from the back-end's counters.
+fn build_cluster_ledger(
+    cluster: &Cluster,
+    contention: &ClusterContentionStats,
+    dsm: &ClusterDsmStats,
+) -> EnergyLedger {
     let devices = cluster.devices();
     let core_stats = cluster.core_stats();
     let mut ledger = EnergyLedger::new();
@@ -425,6 +463,10 @@ fn build_cluster_ledger(cluster: &Cluster, contention: &ClusterContentionStats) 
     if let Some(dma) = &devices.dma {
         ledger.record(Component::DmaOther, EnergyEvent::DmaBeat, dma.stats().beats);
     }
+    // Inter-cluster DSM fabric: each flit-hop traversal is charged to the
+    // requesting cluster (zero when the fabric is disabled, so the ledger —
+    // and every pinned energy bit — is untouched on non-DSM machines).
+    ledger.record(Component::DmaOther, EnergyEvent::DsmLinkHop, dsm.hop_flits);
     ledger.record(
         Component::DmaOther,
         EnergyEvent::MmioAccess,

@@ -3,8 +3,8 @@
 use std::fmt;
 
 use virgo_isa::Kernel;
-use virgo_mem::MemoryBackend;
-use virgo_sim::{earliest, Cycle};
+use virgo_mem::{DsmFabric, MemoryBackend};
+use virgo_sim::{earliest, Cycle, NextActivity};
 use virgo_simt::BlockReason;
 
 use crate::cluster::Cluster;
@@ -201,39 +201,51 @@ impl virgo_sim::StableHash for SimMode {
 }
 
 /// The machine under simulation: every cluster plus the shared memory
-/// back-end they contend for.
+/// back-end they contend for and the inter-cluster DSM fabric linking their
+/// scratchpads.
 struct Machine {
     clusters: Vec<Cluster>,
     backend: MemoryBackend,
+    fabric: DsmFabric,
 }
 
 impl Machine {
     fn new(config: &GpuConfig, kernel: &Kernel) -> Machine {
         let cluster_count = config.clusters.max(1);
         let backend = MemoryBackend::new(config.global_memory(), cluster_count);
+        let fabric = DsmFabric::new(config.dsm, cluster_count);
         let clusters = (0..cluster_count)
             .map(|c| Cluster::new(config.clone(), kernel, c))
             .collect();
-        Machine { clusters, backend }
-    }
-
-    fn finished(&self) -> bool {
-        self.clusters.iter().all(Cluster::finished)
-    }
-
-    fn tick(&mut self, now: Cycle) {
-        for cluster in &mut self.clusters {
-            cluster.tick(now, &mut self.backend);
+        Machine {
+            clusters,
+            backend,
+            fabric,
         }
     }
 
-    /// Folds every cluster's event horizon. `Some(now)` short-circuits: some
-    /// cluster can act this cycle, so nothing may be skipped. `None` means no
-    /// cluster will ever act again — a machine-wide deadlock.
-    fn next_activity(&mut self, now: Cycle) -> Option<Cycle> {
-        let mut next = None;
+    fn finished(&self) -> bool {
+        self.clusters.iter().all(Cluster::finished) && self.fabric.quiescent()
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        self.fabric.tick(now);
         for cluster in &mut self.clusters {
-            match cluster.next_activity(now, &mut self.backend) {
+            cluster.tick(now, &mut self.backend, &mut self.fabric);
+        }
+    }
+
+    /// Folds every cluster's event horizon, plus the DSM fabric's earliest
+    /// in-flight delivery. `Some(now)` short-circuits: some component can act
+    /// this cycle, so nothing may be skipped. `None` means nothing will ever
+    /// act again — a machine-wide deadlock.
+    fn next_activity(&mut self, now: Cycle) -> Option<Cycle> {
+        let mut next = self.fabric.next_activity(now);
+        if next == Some(now) {
+            return next;
+        }
+        for cluster in &mut self.clusters {
+            match cluster.next_activity(now, &mut self.backend, &mut self.fabric) {
                 Some(t) if t <= now => return Some(now),
                 event => next = earliest(next, event),
             }
@@ -372,6 +384,7 @@ impl Gpu {
                 return Ok(SimReport::from_machine(
                     &machine.clusters,
                     &machine.backend,
+                    &machine.fabric,
                     &kernel.info,
                     Cycle::new(cycle),
                 ));
@@ -410,6 +423,7 @@ impl Gpu {
             Ok(SimReport::from_machine(
                 &machine.clusters,
                 &machine.backend,
+                &machine.fabric,
                 &kernel.info,
                 Cycle::new(cycle),
             ))

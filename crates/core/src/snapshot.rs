@@ -24,8 +24,8 @@ use std::fmt;
 
 use virgo_energy::{AreaReport, Component, MatrixSubcomponent, PowerReport};
 use virgo_mem::{
-    ChannelContentionStats, ClusterContentionStats, DmaStats, DramStats, GlobalMemoryStats,
-    SmemStats,
+    ChannelContentionStats, ClusterContentionStats, ClusterDsmStats, DmaStats, DramStats,
+    DsmFabricStats, DsmLinkStats, GlobalMemoryStats, SmemStats,
 };
 use virgo_sim::{Cycle, Frequency, StableHasher};
 use virgo_simt::CoreStats;
@@ -59,7 +59,10 @@ const FORMAT: &str = "virgo-simreport";
 // v2: multi-channel DRAM — the payload gained `dram_channel_stats` and the
 // per-cluster contention objects gained a `per_channel` breakdown; v1
 // entries (pre-channel timing model) must miss cleanly.
-const VERSION: u64 = 2;
+// v3: inter-cluster DSM — the payload gained `dsm_stats` / `dsm_link_stats`
+// and the per-cluster slices a `dsm` breakdown; v2 entries (pre-DSM model)
+// must miss cleanly.
+const VERSION: u64 = 3;
 
 // ---------------------------------------------------------------------------
 // A minimal JSON document model.
@@ -548,6 +551,20 @@ u64_stats_codec!(
     [requests, stall_cycles,]
 );
 
+u64_stats_codec!(
+    DsmLinkStats,
+    write_dsm_link,
+    read_dsm_link,
+    [requests, bytes, stall_cycles,]
+);
+
+u64_stats_codec!(
+    DsmFabricStats,
+    write_dsm_fabric,
+    read_dsm_fabric,
+    [transfers, bytes, hop_flits, stall_cycles,]
+);
+
 // `ClusterContentionStats` carries a per-channel array, so it cannot use the
 // flat-`u64` macro.
 fn write_contention(s: &ClusterContentionStats) -> String {
@@ -572,6 +589,34 @@ fn read_contention(v: &Json) -> Result<ClusterContentionStats> {
             .as_array()?
             .iter()
             .map(read_channel_contention)
+            .collect::<Result<Vec<_>>>()?,
+    })
+}
+
+// `ClusterDsmStats` carries a per-link array, so it cannot use the
+// flat-`u64` macro either.
+fn write_cluster_dsm(s: &ClusterDsmStats) -> String {
+    let per_link: Vec<String> = s.per_link.iter().map(write_dsm_link).collect();
+    let mut w = ObjWriter::new();
+    w.u64("requests", s.requests)
+        .u64("bytes", s.bytes)
+        .u64("stall_cycles", s.stall_cycles)
+        .u64("hop_flits", s.hop_flits)
+        .raw("per_link", &format!("[{}]", per_link.join(",")));
+    w.finish()
+}
+
+fn read_cluster_dsm(v: &Json) -> Result<ClusterDsmStats> {
+    let o = v.as_object()?;
+    Ok(ClusterDsmStats {
+        requests: get_u64(o, "requests")?,
+        bytes: get_u64(o, "bytes")?,
+        stall_cycles: get_u64(o, "stall_cycles")?,
+        hop_flits: get_u64(o, "hop_flits")?,
+        per_link: get(o, "per_link")?
+            .as_array()?
+            .iter()
+            .map(read_dsm_link)
             .collect::<Result<Vec<_>>>()?,
     })
 }
@@ -622,6 +667,7 @@ fn write_cluster_report(c: &ClusterReport) -> String {
         .raw("dma_stats", &write_opt_dma(&c.dma_stats))
         .raw("cluster_stats", &write_cluster_stats(&c.cluster_stats))
         .raw("contention", &write_contention(&c.contention))
+        .raw("dsm", &write_cluster_dsm(&c.dsm))
         .u64("performed_macs", c.performed_macs)
         .f64("energy_mj", c.energy_mj);
     w.finish()
@@ -638,6 +684,7 @@ fn read_cluster_report(v: &Json) -> Result<ClusterReport> {
         dma_stats: read_opt_dma(get(o, "dma_stats")?)?,
         cluster_stats: read_cluster_stats(get(o, "cluster_stats")?)?,
         contention: read_contention(get(o, "contention")?)?,
+        dsm: read_cluster_dsm(get(o, "dsm")?)?,
         performed_macs: get_u64(o, "performed_macs")?,
         energy_mj: get_f64(o, "energy_mj")?,
     })
@@ -707,6 +754,11 @@ fn write_payload(report: &SimReport) -> String {
             "dram_contention_stall_cycles",
             report.dram_contention_stall_cycles,
         )
+        .raw("dsm_stats", &write_dsm_fabric(&report.dsm_stats))
+        .raw("dsm_link_stats", &{
+            let links: Vec<String> = report.dsm_link_stats.iter().map(write_dsm_link).collect();
+            format!("[{}]", links.join(","))
+        })
         .raw("power", &write_power(&report.power))
         .raw("area", &write_breakdown(report.area.breakdown()));
     w.finish()
@@ -743,6 +795,12 @@ fn read_payload(v: &Json) -> Result<SimReport> {
             .map(read_cluster_report)
             .collect::<Result<Vec<_>>>()?,
         dram_contention_stall_cycles: get_u64(o, "dram_contention_stall_cycles")?,
+        dsm_stats: read_dsm_fabric(get(o, "dsm_stats")?)?,
+        dsm_link_stats: get(o, "dsm_link_stats")?
+            .as_array()?
+            .iter()
+            .map(read_dsm_link)
+            .collect::<Result<Vec<_>>>()?,
         power: read_power(get(o, "power")?)?,
         area: AreaReport::from_entries(read_breakdown(get(o, "area")?, &Component::all())?),
     })
@@ -924,7 +982,7 @@ mod tests {
     fn version_and_format_are_checked() {
         let (report, key) = sample_report(1);
         let text = report.to_cache_json(&key);
-        let bumped = text.replace("\"version\":2", "\"version\":99");
+        let bumped = text.replace("\"version\":3", "\"version\":99");
         let err = SimReport::from_cache_json(&bumped, &key).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
     }

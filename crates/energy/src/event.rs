@@ -47,6 +47,9 @@ pub enum EnergyEvent {
     AccumWordAccess,
     /// One 32-byte beat moved by the DMA engine.
     DmaBeat,
+    /// One 32-byte flit traversing one hop of the inter-cluster DSM fabric
+    /// (link wires plus router crossing).
+    DsmLinkHop,
     /// One MMIO register access over the cluster interconnect.
     MmioAccess,
     /// One control/sequencing step inside a matrix unit (FSM transition,
@@ -60,7 +63,7 @@ pub enum EnergyEvent {
 
 impl EnergyEvent {
     /// Every event kind, used to size dense tables.
-    pub const ALL: [EnergyEvent; 23] = [
+    pub const ALL: [EnergyEvent; 24] = [
         EnergyEvent::InstrIssued,
         EnergyEvent::RegRead,
         EnergyEvent::RegWrite,
@@ -80,6 +83,7 @@ impl EnergyEvent {
         EnergyEvent::ResultBufferAccess,
         EnergyEvent::AccumWordAccess,
         EnergyEvent::DmaBeat,
+        EnergyEvent::DsmLinkHop,
         EnergyEvent::MmioAccess,
         EnergyEvent::MatrixControl,
         EnergyEvent::CoalescerOp,
@@ -116,6 +120,7 @@ impl EnergyEvent {
             EnergyEvent::ResultBufferAccess => "result_buffer",
             EnergyEvent::AccumWordAccess => "accum_word",
             EnergyEvent::DmaBeat => "dma_beat",
+            EnergyEvent::DsmLinkHop => "dsm_link_hop",
             EnergyEvent::MmioAccess => "mmio_access",
             EnergyEvent::MatrixControl => "matrix_control",
             EnergyEvent::CoalescerOp => "coalescer_op",

@@ -68,8 +68,12 @@ impl EnergyTable {
         // Tensor-core staging buffers, per 32-bit word.
         set(EnergyEvent::OperandBufferAccess, 0.35);
         set(EnergyEvent::ResultBufferAccess, 0.35);
-        // Data movement engines.
+        // Data movement engines. A DSM flit-hop covers the inter-cluster
+        // link wires plus one router crossing for 32 bytes — well below a
+        // DRAM burst of the same size, which is the whole point of keeping
+        // producer-consumer traffic on chip.
         set(EnergyEvent::DmaBeat, 1.8);
+        set(EnergyEvent::DsmLinkHop, 2.6);
         set(EnergyEvent::MmioAccess, 2.0);
         set(EnergyEvent::MatrixControl, 1.2);
         set(EnergyEvent::CoalescerOp, 0.6);

@@ -30,6 +30,69 @@ impl MemRegion {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The remote shared-memory address window.
+//
+// Hopper-style distributed shared memory exposes a peer cluster's scratchpad
+// through a dedicated address window: the high window bit marks the access as
+// remote, a cluster-id field selects the peer, and the low bits are the byte
+// offset inside that peer's shared memory. Accesses that decode to this
+// window are routed over the inter-cluster DSM fabric instead of the local
+// scratchpad banks.
+// ---------------------------------------------------------------------------
+
+/// The bit marking a [`MemRegion::Shared`] address as targeting a *peer*
+/// cluster's scratchpad through the DSM window.
+pub const REMOTE_SMEM_WINDOW: u64 = 1 << 62;
+
+/// Bit position of the cluster-id field inside a remote window address.
+const REMOTE_CLUSTER_SHIFT: u32 = 40;
+
+/// Width mask of the cluster-id field (16 bits — far beyond any machine the
+/// model instantiates).
+const REMOTE_CLUSTER_MASK: u64 = 0xFFFF;
+
+/// Mask of the byte-offset field inside a remote window address.
+const REMOTE_OFFSET_MASK: u64 = (1 << REMOTE_CLUSTER_SHIFT) - 1;
+
+/// Encodes a shared-memory byte offset inside `cluster`'s scratchpad as a
+/// remote-window address.
+///
+/// # Panics
+///
+/// Panics if the cluster id or offset overflow their window fields.
+///
+/// # Example
+///
+/// ```
+/// use virgo_isa::{decode_remote_smem, remote_smem_addr};
+///
+/// let addr = remote_smem_addr(3, 0x4000);
+/// assert_eq!(decode_remote_smem(addr), Some((3, 0x4000)));
+/// assert_eq!(decode_remote_smem(0x4000), None, "local addresses stay local");
+/// ```
+pub fn remote_smem_addr(cluster: u32, offset: u64) -> u64 {
+    assert!(
+        u64::from(cluster) <= REMOTE_CLUSTER_MASK,
+        "cluster id {cluster} overflows the remote window's cluster field"
+    );
+    assert!(
+        offset <= REMOTE_OFFSET_MASK,
+        "offset {offset:#x} overflows the remote window's offset field"
+    );
+    REMOTE_SMEM_WINDOW | (u64::from(cluster) << REMOTE_CLUSTER_SHIFT) | offset
+}
+
+/// Decodes a remote-window address into `(cluster, offset)`, or `None` for a
+/// plain local address.
+pub fn decode_remote_smem(addr: u64) -> Option<(u32, u64)> {
+    if addr & REMOTE_SMEM_WINDOW == 0 {
+        return None;
+    }
+    let cluster = ((addr >> REMOTE_CLUSTER_SHIFT) & REMOTE_CLUSTER_MASK) as u32;
+    Some((cluster, addr & REMOTE_OFFSET_MASK))
+}
+
 /// A byte address as a function of how many times the owning static
 /// instruction has already executed.
 ///
@@ -284,5 +347,36 @@ mod tests {
         assert_eq!(MemRegion::Global.name(), "global");
         assert_eq!(MemRegion::Shared.name(), "shared");
         assert_eq!(MemRegion::Accumulator.name(), "accumulator");
+    }
+
+    #[test]
+    fn remote_window_roundtrips() {
+        for (cluster, offset) in [(0u32, 0u64), (1, 0x4000), (7, 0x1_FFFF), (65535, 0)] {
+            let addr = remote_smem_addr(cluster, offset);
+            assert_eq!(decode_remote_smem(addr), Some((cluster, offset)));
+        }
+    }
+
+    #[test]
+    fn local_addresses_do_not_decode_as_remote() {
+        assert_eq!(decode_remote_smem(0), None);
+        assert_eq!(decode_remote_smem(0x1_0000), None);
+        // Even the 64 GiB per-cluster global partitions stay below the window.
+        assert_eq!(decode_remote_smem(7 << 36), None);
+    }
+
+    #[test]
+    fn remote_window_addresses_stride_within_the_offset_field() {
+        // AddrExpr arithmetic (streaming / double buffering) applies to the
+        // offset field without touching the window or cluster bits.
+        let expr = AddrExpr::double_buffered(remote_smem_addr(2, 0x8000), 0x4000);
+        assert_eq!(decode_remote_smem(expr.eval(0)), Some((2, 0x8000)));
+        assert_eq!(decode_remote_smem(expr.eval(1)), Some((2, 0xC000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_remote_offset_is_rejected() {
+        let _ = remote_smem_addr(0, 1 << 40);
     }
 }

@@ -43,7 +43,9 @@ pub mod mmio;
 pub mod op;
 pub mod program;
 
-pub use addr::{AddrExpr, LaneAccess, MemRegion};
+pub use addr::{
+    decode_remote_smem, remote_smem_addr, AddrExpr, LaneAccess, MemRegion, REMOTE_SMEM_WINDOW,
+};
 pub use builder::ProgramBuilder;
 pub use kernel::{DataType, GridPartition, Kernel, KernelInfo, WarpAssignment};
 pub use mmio::{DeviceId, DmaCopyCmd, MatrixComputeCmd, MemLoc, MmioCommand, WgmmaOp};

@@ -61,6 +61,25 @@ impl MemLoc {
     pub fn accumulator(addr: impl Into<AddrExpr>) -> Self {
         Self::new(MemRegion::Accumulator, addr)
     }
+
+    /// A *peer* cluster's shared-memory endpoint, encoded through the remote
+    /// DSM address window: the address expression's base is relocated into
+    /// `cluster`'s window while its stride/modulo arithmetic keeps operating
+    /// on the byte offset inside that scratchpad.
+    pub fn remote_shared(cluster: u32, addr: impl Into<AddrExpr>) -> Self {
+        let mut expr = addr.into();
+        expr.base = crate::addr::remote_smem_addr(cluster, expr.base);
+        Self::new(MemRegion::Shared, expr)
+    }
+
+    /// The peer cluster this endpoint targets through the remote DSM window,
+    /// or `None` for a local endpoint.
+    pub fn remote_cluster(&self) -> Option<u32> {
+        match self.region {
+            MemRegion::Shared => crate::addr::decode_remote_smem(self.addr.base).map(|(c, _)| c),
+            _ => None,
+        }
+    }
 }
 
 /// An asynchronous DMA copy (`virgo_dma_load` / `virgo_dma_store`), moving a
@@ -179,6 +198,12 @@ impl WgmmaOp {
 pub enum MmioCommand {
     /// Program the DMA engine with an asynchronous copy.
     DmaCopy(DmaCopyCmd),
+    /// Program the DMA engine with an asynchronous *inter-cluster* copy
+    /// (`virgo_dma_remote`): at least one endpoint is a peer cluster's
+    /// scratchpad, addressed through the remote DSM window
+    /// ([`MemLoc::remote_shared`]); the remote leg traverses the DSM fabric
+    /// instead of the L2/DRAM back-end.
+    DmaRemote(DmaCopyCmd),
     /// Kick off an asynchronous matrix multiply on the disaggregated unit.
     MatrixCompute(MatrixComputeCmd),
 }
@@ -188,14 +213,14 @@ impl MmioCommand {
     pub fn as_matrix_compute(&self) -> Option<&MatrixComputeCmd> {
         match self {
             MmioCommand::MatrixCompute(cmd) => Some(cmd),
-            MmioCommand::DmaCopy(_) => None,
+            MmioCommand::DmaCopy(_) | MmioCommand::DmaRemote(_) => None,
         }
     }
 
-    /// Returns the DMA copy command if this is one.
+    /// Returns the DMA copy command if this is one (local or remote).
     pub fn as_dma_copy(&self) -> Option<&DmaCopyCmd> {
         match self {
-            MmioCommand::DmaCopy(cmd) => Some(cmd),
+            MmioCommand::DmaCopy(cmd) | MmioCommand::DmaRemote(cmd) => Some(cmd),
             MmioCommand::MatrixCompute(_) => None,
         }
     }
@@ -264,6 +289,10 @@ impl StableHash for MmioCommand {
             }
             MmioCommand::MatrixCompute(cmd) => {
                 h.write_u64(1);
+                cmd.stable_hash(h);
+            }
+            MmioCommand::DmaRemote(cmd) => {
+                h.write_u64(2);
                 cmd.stable_hash(h);
             }
         }
@@ -345,5 +374,35 @@ mod tests {
         assert_eq!(MemLoc::global(1u64).region, MemRegion::Global);
         assert_eq!(MemLoc::shared(1u64).region, MemRegion::Shared);
         assert_eq!(MemLoc::accumulator(1u64).region, MemRegion::Accumulator);
+    }
+
+    #[test]
+    fn remote_shared_endpoints_carry_the_peer_cluster() {
+        let loc = MemLoc::remote_shared(5, AddrExpr::double_buffered(0x8000, 0x4000));
+        assert_eq!(loc.region, MemRegion::Shared);
+        assert_eq!(loc.remote_cluster(), Some(5));
+        // Local endpoints (in any region) decode as local.
+        assert_eq!(MemLoc::shared(0x8000u64).remote_cluster(), None);
+        assert_eq!(MemLoc::global(0x8000u64).remote_cluster(), None);
+    }
+
+    #[test]
+    fn dma_remote_is_a_dma_copy_with_distinct_identity() {
+        let cmd = DmaCopyCmd::new(
+            MemLoc::accumulator(0u64),
+            MemLoc::remote_shared(1, 0x4000u64),
+            2048,
+        );
+        let local = MmioCommand::DmaCopy(cmd);
+        let remote = MmioCommand::DmaRemote(cmd);
+        assert_eq!(remote.as_dma_copy(), Some(&cmd));
+        assert!(remote.as_matrix_compute().is_none());
+        // The two command kinds hash to different stable digests.
+        let digest = |c: &MmioCommand| {
+            let mut h = virgo_sim::StableHasher::new();
+            c.stable_hash(&mut h);
+            h.finish128()
+        };
+        assert_ne!(digest(&local), digest(&remote));
     }
 }

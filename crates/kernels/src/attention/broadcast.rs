@@ -1,0 +1,353 @@
+//! Multi-cluster FlashAttention-3 with DSM K/V broadcast.
+//!
+//! The plain multi-cluster mapping ([`super::virgo`]) gives every cluster
+//! its own K/V stream from global memory: N clusters each pull every K and V
+//! column block through the shared L2/DRAM back-end. This variant keeps the
+//! row-block partitioning but designates cluster 0 as the *broadcaster*: it
+//! alone loads each K/V column block from DRAM, then pushes the tiles
+//! straight into every peer cluster's scratchpad with `DmaRemote` commands
+//! over the inter-cluster DSM fabric. DRAM sees each K/V tile once instead
+//! of N times; the peers' inner loops run entirely out of their (remotely
+//! filled) shared memory.
+//!
+//! The kernel requires an enabled DSM fabric — its DRAM-path A/B twin is the
+//! plain [`super::virgo`] mapping at the same cluster count.
+
+use std::sync::Arc;
+
+use virgo::GpuConfig;
+use virgo_isa::{
+    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, LaneAccess, MatrixComputeCmd, MemLoc,
+    MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
+};
+
+use crate::workload::AttentionShape;
+
+use super::{BLOCK, SOFTMAX_FLOPS_PER_ELEM};
+
+/// Global-memory bases (same as the plain Virgo mapping).
+const GLOBAL_Q: u64 = 0x4000_0000;
+const GLOBAL_K: u64 = 0x5000_0000;
+const GLOBAL_V: u64 = 0x6000_0000;
+const GLOBAL_O: u64 = 0x7000_0000;
+
+/// Shared-memory layout (same as the plain Virgo mapping).
+const SMEM_Q: u64 = 0x0;
+const SMEM_K0: u64 = 0x4000;
+const SMEM_KV_STRIDE: u64 = 0x4000;
+const SMEM_V0: u64 = 0xC000;
+const SMEM_S0: u64 = 0x1_4000;
+const SMEM_S_STRIDE: u64 = 0x4000;
+const SMEM_O: u64 = 0x1_C000;
+
+/// Accumulator-memory layout.
+const ACC_S: u64 = 0;
+const ACC_O: u64 = 16 * 1024;
+
+/// Builds the broadcast FlashAttention-3 kernel: row blocks split across
+/// clusters, K/V column blocks loaded once by cluster 0 and broadcast over
+/// the DSM fabric.
+///
+/// # Panics
+///
+/// Panics if the DSM fabric is disabled in `config`, if there are fewer than
+/// two clusters, if the shape is not tileable by the 64-element block, or if
+/// the row blocks do not split evenly across the clusters (the broadcast
+/// schedule needs every cluster on the same iteration count).
+pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
+    assert!(
+        config.dsm.enabled,
+        "the broadcast FlashAttention mapping needs the DSM fabric enabled; \
+         use the plain mapping as its DRAM-path twin"
+    );
+    let clusters = config.clusters.max(1);
+    assert!(
+        clusters >= 2,
+        "broadcasting needs at least one peer cluster"
+    );
+    assert!(
+        shape.seq_len.is_multiple_of(BLOCK) && shape.head_dim.is_multiple_of(BLOCK),
+        "attention shape {shape} not tileable by {BLOCK}"
+    );
+    let row_blocks = u64::from(shape.seq_len / BLOCK) * u64::from(shape.heads * shape.batch);
+    assert!(
+        row_blocks.is_multiple_of(u64::from(clusters)),
+        "broadcast needs the {row_blocks} row blocks to split evenly over {clusters} clusters"
+    );
+    let rows_per_cluster = row_blocks / u64::from(clusters);
+    let col_blocks = u64::from(shape.seq_len / BLOCK);
+
+    let dtype = config.dtype;
+    let elem = u64::from(dtype.bytes());
+    let lanes = config.core.lanes;
+    let total_warps = u64::from(config.cores) * u64::from(config.core.warps);
+    let tile_bytes = u64::from(BLOCK) * u64::from(shape.head_dim) * elem;
+    let score_bytes = u64::from(BLOCK) * u64::from(BLOCK) * 4;
+
+    let dma = |src: MemLoc, dst: MemLoc, bytes: u64| WarpOp::MmioWrite {
+        device: DeviceId::DMA0,
+        cmd: MmioCommand::DmaCopy(DmaCopyCmd::new(src, dst, bytes)),
+    };
+    let dma_remote = |src: MemLoc, dst: MemLoc, bytes: u64| WarpOp::MmioWrite {
+        device: DeviceId::DMA0,
+        cmd: MmioCommand::DmaRemote(DmaCopyCmd::new(src, dst, bytes)),
+    };
+    let compute =
+        |a: AddrExpr, b: AddrExpr, acc_addr: u64, k: u32, accumulate: bool| WarpOp::MmioWrite {
+            device: DeviceId::MATRIX0,
+            cmd: MmioCommand::MatrixCompute(MatrixComputeCmd {
+                a,
+                b,
+                acc_addr,
+                m: BLOCK,
+                n: BLOCK,
+                k,
+                accumulate,
+                dtype,
+            }),
+        };
+
+    let k_buf = AddrExpr::double_buffered(SMEM_K0, SMEM_KV_STRIDE);
+    let v_buf = AddrExpr::double_buffered(SMEM_V0, SMEM_KV_STRIDE);
+    let s_buf = AddrExpr::double_buffered(SMEM_S0, SMEM_S_STRIDE);
+
+    let mut warps = Vec::new();
+    for cluster in 0..clusters {
+        let gbase = crate::cluster_addr_offset(cluster);
+
+        // ---- Orchestrator warp (core 0, warp 0) ----------------------------
+        let mut orch = ProgramBuilder::new();
+        orch.repeat(rows_per_cluster, |b| {
+            // The Q row block is this cluster's own.
+            b.op(dma(
+                MemLoc::global(AddrExpr::streaming(GLOBAL_Q + gbase, tile_bytes)),
+                MemLoc::shared(AddrExpr::fixed(SMEM_Q)),
+                tile_bytes,
+            ));
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+
+            b.repeat(col_blocks, |b| {
+                if cluster == 0 {
+                    // The broadcaster pulls K/V from DRAM once...
+                    b.op(dma(
+                        MemLoc::global(AddrExpr::streaming(GLOBAL_K, tile_bytes)),
+                        MemLoc::shared(k_buf),
+                        tile_bytes,
+                    ));
+                    b.op(dma(
+                        MemLoc::global(AddrExpr::streaming(GLOBAL_V, tile_bytes)),
+                        MemLoc::shared(v_buf),
+                        tile_bytes,
+                    ));
+                    b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                    // ...and fans the tiles out to every peer's scratchpad
+                    // over the DSM fabric.
+                    for peer in 1..clusters {
+                        b.op(dma_remote(
+                            MemLoc::shared(k_buf),
+                            MemLoc::remote_shared(peer, k_buf),
+                            tile_bytes,
+                        ));
+                        b.op(dma_remote(
+                            MemLoc::shared(v_buf),
+                            MemLoc::remote_shared(peer, v_buf),
+                            tile_bytes,
+                        ));
+                    }
+                    b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                }
+                // GEMM-1: S = Q·Kᵀ out of (locally or remotely filled) smem.
+                b.op(compute(
+                    AddrExpr::fixed(SMEM_Q),
+                    k_buf,
+                    ACC_S,
+                    shape.head_dim,
+                    false,
+                ));
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                // Drain the score tile for the softmax warps.
+                b.op(dma(
+                    MemLoc::accumulator(AddrExpr::fixed(ACC_S)),
+                    MemLoc::shared(s_buf),
+                    score_bytes,
+                ));
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                b.op(WarpOp::Barrier { id: 0 });
+                // Softmax runs between the barriers.
+                b.op(WarpOp::Barrier { id: 1 });
+                // GEMM-2: O += P·V.
+                b.op(compute(s_buf, v_buf, ACC_O, BLOCK, true));
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            });
+
+            // Epilogue: the accumulated O row block goes out to this
+            // cluster's partition of global memory.
+            b.op(dma(
+                MemLoc::accumulator(AddrExpr::fixed(ACC_O)),
+                MemLoc::global(AddrExpr::streaming(GLOBAL_O + gbase, tile_bytes)),
+                tile_bytes,
+            ));
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            b.op(WarpOp::Barrier { id: 2 });
+        });
+        let orchestrator = Arc::new(orch.build());
+
+        // ---- Softmax warps (same slicing as the plain mapping) -------------
+        let elems = u64::from(BLOCK) * u64::from(BLOCK);
+        let elems_per_warp = elems / total_warps;
+        let vector_iters = (elems_per_warp / u64::from(lanes)).max(1);
+        let build_softmax = |warp_index: u64| {
+            let mut p = ProgramBuilder::new();
+            p.repeat(rows_per_cluster, |b| {
+                b.repeat(col_blocks, |b| {
+                    b.op(WarpOp::Barrier { id: 0 });
+                    for i in 0..vector_iters {
+                        let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
+                        b.op(WarpOp::LoadShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::double_buffered(SMEM_S0 + offset, SMEM_S_STRIDE),
+                                lanes,
+                            ),
+                        });
+                        b.op(WarpOp::WaitLoads);
+                        b.op_n(
+                            SOFTMAX_FLOPS_PER_ELEM,
+                            WarpOp::Fpu {
+                                rf_reads: 2,
+                                rf_writes: 1,
+                                flops_per_lane: 1,
+                            },
+                        );
+                        b.op(WarpOp::StoreShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::double_buffered(SMEM_S0 + offset, SMEM_S_STRIDE),
+                                lanes,
+                            ),
+                        });
+                    }
+                    for i in 0..vector_iters {
+                        let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
+                        b.op(WarpOp::LoadShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::fixed(SMEM_O + offset),
+                                lanes,
+                            ),
+                        });
+                        b.op(WarpOp::WaitLoads);
+                        b.op(WarpOp::Fpu {
+                            rf_reads: 2,
+                            rf_writes: 1,
+                            flops_per_lane: 2,
+                        });
+                        b.op(WarpOp::StoreShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::fixed(SMEM_O + offset),
+                                lanes,
+                            ),
+                        });
+                    }
+                    b.op(WarpOp::Barrier { id: 1 });
+                });
+                b.op(WarpOp::Barrier { id: 2 });
+            });
+            Arc::new(p.build())
+        };
+
+        for core in 0..config.cores {
+            for warp in 0..config.core.warps {
+                let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
+                let program = if warp_index == 0 {
+                    Arc::clone(&orchestrator)
+                } else {
+                    build_softmax(warp_index)
+                };
+                warps.push(WarpAssignment::on_cluster(cluster, core, warp, program));
+            }
+        }
+    }
+
+    Kernel::new(
+        KernelInfo::new(
+            format!(
+                "flash_attention_virgo_dsm_{shape}{}",
+                crate::cluster_suffix(clusters)
+            ),
+            shape.gemm_mac_ops(),
+            dtype,
+        ),
+        warps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(clusters: u32) -> GpuConfig {
+        GpuConfig::virgo()
+            .to_fp32()
+            .with_clusters(clusters)
+            .with_dsm_enabled()
+    }
+
+    #[test]
+    fn matrix_commands_cover_both_gemms_across_clusters() {
+        let shape = AttentionShape::paper_default();
+        let kernel = build(&config(4), shape);
+        let mut macs = 0u64;
+        for warp in kernel.warps.iter().filter(|w| w.warp == 0 && w.core == 0) {
+            let mut cursor = warp.program.cursor();
+            while let Some((_, op)) = cursor.next_op() {
+                if let WarpOp::MmioWrite { cmd, .. } = op {
+                    if let Some(c) = cmd.as_matrix_compute() {
+                        macs += c.mac_ops();
+                    }
+                }
+            }
+        }
+        assert_eq!(macs, shape.gemm_mac_ops());
+    }
+
+    #[test]
+    fn only_the_broadcaster_touches_global_kv() {
+        let kernel = build(&config(2), AttentionShape::paper_default());
+        for warp in kernel.warps.iter().filter(|w| w.warp == 0 && w.core == 0) {
+            let mut kv_loads = 0;
+            let mut remote_pushes = 0;
+            let mut cursor = warp.program.cursor();
+            while let Some((_, op)) = cursor.next_op() {
+                if let WarpOp::MmioWrite { cmd, .. } = op {
+                    match cmd {
+                        MmioCommand::DmaCopy(copy) => {
+                            let base = copy.src.addr.base & 0xF000_0000;
+                            if base == GLOBAL_K || base == GLOBAL_V {
+                                kv_loads += 1;
+                            }
+                        }
+                        MmioCommand::DmaRemote(copy) => {
+                            assert!(copy.dst.remote_cluster().is_some());
+                            remote_pushes += 1;
+                        }
+                        MmioCommand::MatrixCompute(_) => {}
+                    }
+                }
+            }
+            if warp.cluster == 0 {
+                assert!(kv_loads > 0, "broadcaster loads K/V");
+                assert!(remote_pushes > 0, "broadcaster pushes K/V");
+            } else {
+                assert_eq!(kv_loads, 0, "peers never touch global K/V");
+                assert_eq!(remote_pushes, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DSM fabric enabled")]
+    fn dsm_disabled_config_is_rejected() {
+        let _ = build(
+            &GpuConfig::virgo().to_fp32().with_clusters(2),
+            AttentionShape::paper_default(),
+        );
+    }
+}

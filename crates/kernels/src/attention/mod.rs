@@ -15,6 +15,7 @@
 //!   other half computes softmax, alternating roles each iteration.
 
 pub mod ampere;
+pub mod broadcast;
 pub mod virgo;
 
 use ::virgo::{DesignKind, GpuConfig};

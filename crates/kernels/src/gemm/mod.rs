@@ -11,10 +11,14 @@
 //!   `wgmma` operations reading operands from shared memory.
 //! * [`virgo`] — the disaggregated kernel, where a single warp orchestrates
 //!   MMIO commands to the cluster DMA and matrix unit and all warps join the
-//!   cluster-wide barriers.
+//!   cluster-wide barriers,
+//! * [`split_k`] — the producer-consumer split-K variant whose cross-cluster
+//!   partial-sum reduction travels either over the inter-cluster DSM fabric
+//!   or through global memory (the A/B pair of the DSM study).
 
 pub mod coupled;
 pub mod hopper;
+pub mod split_k;
 pub mod virgo;
 
 use ::virgo::{DesignKind, GpuConfig};

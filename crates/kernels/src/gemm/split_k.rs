@@ -1,0 +1,442 @@
+//! Producer-consumer split-K GEMM across clusters.
+//!
+//! Where the plain multi-cluster Virgo GEMM ([`super::virgo`]) splits the
+//! *output-tile* grid (clusters never share data), this kernel splits the
+//! *reduction* dimension: every cluster computes a partial sum of every
+//! output tile over its own K-slice, and the partials are then reduced on a
+//! single consumer cluster (cluster 0). That reduction is exactly the
+//! producer-consumer traffic the inter-cluster DSM fabric exists for, so the
+//! kernel is generated in two A/B variants selected by
+//! `GpuConfig::dsm.enabled`:
+//!
+//! * **DSM path** — each producer pushes its partial C tile straight from
+//!   its accumulator into the consumer's scratchpad with a `DmaRemote`
+//!   command over the fabric; DRAM never sees the partials.
+//! * **DRAM path** — each producer stores its partial C tile to a global
+//!   scratch region and the consumer loads it back, paying the full
+//!   write + read round trip through the shared L2/DRAM back-end.
+//!
+//! The consumer's SIMT warps then reduce the staged partials with FPU adds
+//! and the final tile is written to global memory once — identical in both
+//! variants, so any difference in DRAM traffic and cycles is attributable to
+//! the reduction path alone. As everywhere in this model, the schedule is
+//! static: inter-cluster arrival is modelled by the fabric/DRAM timing, not
+//! by cross-cluster synchronization primitives (which the ISA does not
+//! have).
+
+use std::sync::Arc;
+
+use virgo::GpuConfig;
+use virgo_isa::{
+    AddrExpr, DeviceId, DmaCopyCmd, GridPartition, Kernel, KernelInfo, LaneAccess,
+    MatrixComputeCmd, MemLoc, MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
+};
+
+use crate::workload::GemmShape;
+
+use super::virgo::{TILE_K, TILE_M, TILE_N};
+use super::{GLOBAL_A, GLOBAL_B, GLOBAL_C};
+
+use crate::{cluster_addr_offset, cluster_suffix};
+
+/// Global-memory base of the partial-sum scratch region the DRAM path spills
+/// through (producer `p` writes its tile-`t` partial at
+/// `GLOBAL_PARTIAL + (p - 1) · region + t · tile_bytes`).
+pub const GLOBAL_PARTIAL: u64 = 0x8000_0000;
+
+/// Shared-memory double-buffer base addresses (same layout as the plain
+/// Virgo GEMM kernel).
+const SMEM_A0: u64 = 0x0;
+const SMEM_A_STRIDE: u64 = 0x8000;
+const SMEM_B0: u64 = 0x1_0000;
+const SMEM_B_STRIDE: u64 = 0x4000;
+
+/// Byte address of the consumer's partial-tile staging slot `p`.
+///
+/// The reduction runs *after* the K-loop of its output tile, when the A/B
+/// operand buffers' contents are dead (the next tile refetches them), so
+/// the staging area reuses that space instead of growing past the 128 KiB
+/// scratchpad: slot 0 (the consumer's own partial, and after reduction the
+/// final tile) occupies the first A buffer, and producer partials ping-pong
+/// between the second A buffer and the B-buffer pair — producers
+/// `p = 1, 3, 5, ...` land at 0x8000 and `p = 2, 4, 6, ...` at 0x1_0000,
+/// serializing the reduction over at most two in-flight partials at any
+/// cluster count. The per-tile epilogue barrier orders the reduction
+/// against the next tile's prefetches within the cluster.
+fn stage_slot(p: u64, c_tile_bytes: u64) -> u64 {
+    if p == 0 {
+        SMEM_A0
+    } else {
+        SMEM_A_STRIDE + ((p - 1) % 2) * c_tile_bytes
+    }
+}
+
+/// Builds the split-K GEMM kernel for `shape` on `config`'s clusters,
+/// choosing the partial-sum path from `config.dsm.enabled`.
+///
+/// # Panics
+///
+/// Panics if the shape is not divisible by the 128×64×128 thread-block tile,
+/// if the configuration has fewer than two clusters (split-K needs at least
+/// one producer and the consumer), or if the K dimension has fewer tiles
+/// than clusters (an empty K-slice).
+pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
+    assert!(
+        shape.m.is_multiple_of(TILE_M)
+            && shape.n.is_multiple_of(TILE_N)
+            && shape.k.is_multiple_of(TILE_K),
+        "GEMM shape {shape} not divisible by the {TILE_M}x{TILE_N}x{TILE_K} tile"
+    );
+    let clusters = config.clusters.max(1);
+    assert!(
+        clusters >= 2,
+        "split-K GEMM needs at least one producer cluster plus the consumer"
+    );
+    let kt_total = u64::from(shape.k / TILE_K);
+    assert!(
+        kt_total >= u64::from(clusters),
+        "split-K over {clusters} clusters needs at least {clusters} K-tiles, \
+         shape {shape} has {kt_total}"
+    );
+    let use_dsm = config.dsm.enabled;
+    let dtype = config.dtype;
+    let elem = u64::from(dtype.bytes());
+    let lanes = config.core.lanes;
+    let total_warps = u64::from(config.cores) * u64::from(config.core.warps);
+
+    let tiles_m = u64::from(shape.m / TILE_M);
+    let tiles_n = u64::from(shape.n / TILE_N);
+    let out_tiles = tiles_m * tiles_n;
+    let k_partition = GridPartition::new(kt_total, clusters);
+
+    let a_tile_bytes = u64::from(TILE_M) * u64::from(TILE_K) * elem;
+    let b_tile_bytes = u64::from(TILE_K) * u64::from(TILE_N) * elem;
+    let c_tile_bytes = u64::from(TILE_M) * u64::from(TILE_N) * 4;
+    let partial_region = out_tiles * c_tile_bytes;
+
+    let mmio = |cmd: MmioCommand| WarpOp::MmioWrite {
+        device: match cmd {
+            MmioCommand::DmaCopy(_) | MmioCommand::DmaRemote(_) => DeviceId::DMA0,
+            MmioCommand::MatrixCompute(_) => DeviceId::MATRIX0,
+        },
+        cmd,
+    };
+
+    let mut warps = Vec::new();
+    for cluster in 0..clusters {
+        let kt = k_partition.count(cluster);
+        let base = cluster_addr_offset(cluster);
+
+        let dma_a = mmio(MmioCommand::DmaCopy(DmaCopyCmd::new(
+            MemLoc::global(AddrExpr::streaming(GLOBAL_A + base, a_tile_bytes)),
+            MemLoc::shared(AddrExpr::double_buffered(SMEM_A0, SMEM_A_STRIDE)),
+            a_tile_bytes,
+        )));
+        let dma_b = mmio(MmioCommand::DmaCopy(DmaCopyCmd::new(
+            MemLoc::global(AddrExpr::streaming(GLOBAL_B + base, b_tile_bytes)),
+            MemLoc::shared(AddrExpr::double_buffered(SMEM_B0, SMEM_B_STRIDE)),
+            b_tile_bytes,
+        )));
+        let compute = |accumulate: bool| {
+            mmio(MmioCommand::MatrixCompute(MatrixComputeCmd {
+                a: AddrExpr::double_buffered(SMEM_A0, SMEM_A_STRIDE),
+                b: AddrExpr::double_buffered(SMEM_B0, SMEM_B_STRIDE),
+                acc_addr: 0,
+                m: TILE_M,
+                n: TILE_N,
+                k: TILE_K,
+                accumulate,
+                dtype,
+            }))
+        };
+
+        // ---- Orchestrator warp ---------------------------------------------
+        let mut orch = ProgramBuilder::new();
+        orch.repeat(out_tiles, |b| {
+            // K-slice loop: the same DMA/compute software pipeline as the
+            // plain Virgo GEMM, over this cluster's kt K-tiles.
+            b.op(WarpOp::Alu {
+                rf_reads: 2,
+                rf_writes: 1,
+            });
+            b.op(dma_a);
+            b.op(dma_b);
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            b.op(compute(false));
+            if kt > 1 {
+                b.op(dma_a);
+                b.op(dma_b);
+            }
+            if kt > 2 {
+                b.repeat(kt - 2, |b| {
+                    b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                    b.op(WarpOp::Barrier { id: 0 });
+                    b.op(compute(true));
+                    b.op(dma_a);
+                    b.op(dma_b);
+                });
+            }
+            if kt > 1 {
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                b.op(WarpOp::Barrier { id: 0 });
+                b.op(compute(true));
+            }
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+
+            if cluster > 0 {
+                // Producer epilogue: ship this tile's partial sum to the
+                // consumer — over the DSM fabric, or through global memory.
+                let slot = stage_slot(u64::from(cluster), c_tile_bytes);
+                let ship = if use_dsm {
+                    MmioCommand::DmaRemote(DmaCopyCmd::new(
+                        MemLoc::accumulator(AddrExpr::fixed(0)),
+                        MemLoc::remote_shared(0, AddrExpr::fixed(slot)),
+                        c_tile_bytes,
+                    ))
+                } else {
+                    MmioCommand::DmaCopy(DmaCopyCmd::new(
+                        MemLoc::accumulator(AddrExpr::fixed(0)),
+                        MemLoc::global(AddrExpr::streaming(
+                            GLOBAL_PARTIAL + (u64::from(cluster) - 1) * partial_region,
+                            c_tile_bytes,
+                        )),
+                        c_tile_bytes,
+                    ))
+                };
+                b.op(mmio(ship));
+                // The accumulator is overwritten by the next output tile, so
+                // the shipment must drain before this tile ends.
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            } else {
+                // Consumer epilogue: stage every partial in shared memory,
+                // let the follower warps reduce them, and write the final
+                // tile to global memory.
+                b.op(mmio(MmioCommand::DmaCopy(DmaCopyCmd::new(
+                    MemLoc::accumulator(AddrExpr::fixed(0)),
+                    MemLoc::shared(AddrExpr::fixed(stage_slot(0, c_tile_bytes))),
+                    c_tile_bytes,
+                ))));
+                if !use_dsm {
+                    for p in 1..u64::from(clusters) {
+                        b.op(mmio(MmioCommand::DmaCopy(DmaCopyCmd::new(
+                            MemLoc::global(AddrExpr::streaming(
+                                GLOBAL_PARTIAL + (p - 1) * partial_region,
+                                c_tile_bytes,
+                            )),
+                            MemLoc::shared(AddrExpr::fixed(stage_slot(p, c_tile_bytes))),
+                            c_tile_bytes,
+                        ))));
+                    }
+                }
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                b.op(WarpOp::Barrier { id: 2 });
+                // Followers run the FPU reduction between barriers 2 and 3.
+                b.op(WarpOp::Barrier { id: 3 });
+                b.op(mmio(MmioCommand::DmaCopy(DmaCopyCmd::new(
+                    MemLoc::shared(AddrExpr::fixed(stage_slot(0, c_tile_bytes))),
+                    MemLoc::global(AddrExpr::streaming(GLOBAL_C + base, c_tile_bytes)),
+                    c_tile_bytes,
+                ))));
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            }
+            b.op(WarpOp::Barrier { id: 1 });
+        });
+        let orchestrator = Arc::new(orch.build());
+
+        // ---- Follower warps ------------------------------------------------
+        let inner_barriers = kt.saturating_sub(1);
+        let elems = u64::from(TILE_M) * u64::from(TILE_N);
+        let elems_per_warp = elems / total_warps;
+        let vector_iters = (elems_per_warp / u64::from(lanes)).max(1);
+        let build_follower = |warp_index: u64| {
+            let mut f = ProgramBuilder::new();
+            f.repeat(out_tiles, |b| {
+                b.repeat(inner_barriers, |b| {
+                    b.op(WarpOp::Barrier { id: 0 });
+                });
+                if cluster == 0 {
+                    // The cross-cluster reduction: each warp owns a slice of
+                    // the output tile, loads its own partial once and folds
+                    // every producer's staged partial onto it.
+                    b.op(WarpOp::Barrier { id: 2 });
+                    for i in 0..vector_iters {
+                        let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
+                        b.op(WarpOp::LoadShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::fixed(stage_slot(0, c_tile_bytes) + offset),
+                                lanes,
+                            ),
+                        });
+                        b.op(WarpOp::WaitLoads);
+                        for p in 1..u64::from(clusters) {
+                            b.op(WarpOp::LoadShared {
+                                access: LaneAccess::contiguous_words(
+                                    AddrExpr::fixed(stage_slot(p, c_tile_bytes) + offset),
+                                    lanes,
+                                ),
+                            });
+                            b.op(WarpOp::WaitLoads);
+                            b.op(WarpOp::Fpu {
+                                rf_reads: 2,
+                                rf_writes: 1,
+                                flops_per_lane: 1,
+                            });
+                        }
+                        b.op(WarpOp::StoreShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::fixed(stage_slot(0, c_tile_bytes) + offset),
+                                lanes,
+                            ),
+                        });
+                    }
+                    b.op(WarpOp::Barrier { id: 3 });
+                }
+                b.op(WarpOp::Barrier { id: 1 });
+            });
+            Arc::new(f.build())
+        };
+
+        // Producer followers only count barriers, so every warp of a
+        // producer cluster shares one program; consumer followers each own a
+        // warp_index-dependent slice of the reduction.
+        let shared_follower = (cluster != 0).then(|| build_follower(0));
+        for core in 0..config.cores {
+            for warp in 0..config.core.warps {
+                let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
+                let program = if warp_index == 0 {
+                    Arc::clone(&orchestrator)
+                } else if let Some(shared) = &shared_follower {
+                    Arc::clone(shared)
+                } else {
+                    build_follower(warp_index)
+                };
+                warps.push(WarpAssignment::on_cluster(cluster, core, warp, program));
+            }
+        }
+    }
+
+    Kernel::new(
+        KernelInfo::new(
+            format!(
+                "gemm_splitk_{shape}{}_{}",
+                cluster_suffix(clusters),
+                if use_dsm { "dsm" } else { "dram" }
+            ),
+            shape.mac_ops(),
+            dtype,
+        ),
+        warps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> GemmShape {
+        GemmShape {
+            m: 128,
+            n: 128,
+            k: 512,
+        }
+    }
+
+    #[test]
+    fn both_variants_build_with_matching_macs() {
+        let dram = build(&GpuConfig::virgo().with_clusters(2), shape());
+        let dsm = build(
+            &GpuConfig::virgo().with_clusters(2).with_dsm_enabled(),
+            shape(),
+        );
+        assert_eq!(dram.info.total_macs, shape().mac_ops());
+        assert_eq!(dsm.info.total_macs, shape().mac_ops());
+        assert!(dram.info.name.ends_with("dram"), "{}", dram.info.name);
+        assert!(dsm.info.name.ends_with("dsm"), "{}", dsm.info.name);
+        assert_eq!(dram.clusters_used(), 2);
+    }
+
+    #[test]
+    fn dsm_variant_ships_partials_over_the_fabric() {
+        let kernel = build(
+            &GpuConfig::virgo().with_clusters(4).with_dsm_enabled(),
+            shape(),
+        );
+        // A producer orchestrator (cluster 1, warp 0) issues DmaRemote
+        // commands targeting the consumer's scratchpad.
+        let producer = kernel
+            .warps
+            .iter()
+            .find(|w| w.cluster == 1)
+            .expect("cluster 1 exists");
+        let mut remote = 0;
+        let mut cursor = producer.program.cursor();
+        while let Some((_, op)) = cursor.next_op() {
+            if let WarpOp::MmioWrite {
+                cmd: MmioCommand::DmaRemote(copy),
+                ..
+            } = op
+            {
+                assert_eq!(copy.dst.remote_cluster(), Some(0));
+                remote += 1;
+            }
+        }
+        // One shipment per output tile (2 output tiles for 128x128).
+        assert_eq!(remote, 2);
+    }
+
+    #[test]
+    fn dram_variant_never_uses_remote_commands() {
+        let kernel = build(&GpuConfig::virgo().with_clusters(4), shape());
+        for warp in &kernel.warps {
+            let mut cursor = warp.program.cursor();
+            while let Some((_, op)) = cursor.next_op() {
+                assert!(
+                    !matches!(
+                        op,
+                        WarpOp::MmioWrite {
+                            cmd: MmioCommand::DmaRemote(_),
+                            ..
+                        }
+                    ),
+                    "DRAM path must stay off the fabric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn staging_slots_fit_the_scratchpad_at_any_cluster_count() {
+        let c_tile_bytes = u64::from(TILE_M) * u64::from(TILE_N) * 4;
+        let capacity = GpuConfig::virgo().smem.capacity_bytes;
+        for p in 0..16 {
+            let slot = stage_slot(p, c_tile_bytes);
+            assert!(
+                slot + c_tile_bytes <= capacity,
+                "slot {p} at {slot:#x} overflows the {capacity}-byte scratchpad"
+            );
+        }
+        // Concurrent slots never alias: own vs the two ping-pong slots.
+        assert_ne!(stage_slot(0, c_tile_bytes), stage_slot(1, c_tile_bytes));
+        assert_ne!(stage_slot(0, c_tile_bytes), stage_slot(2, c_tile_bytes));
+        assert_ne!(stage_slot(1, c_tile_bytes), stage_slot(2, c_tile_bytes));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one producer")]
+    fn single_cluster_is_rejected() {
+        let _ = build(&GpuConfig::virgo(), shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "K-tiles")]
+    fn too_many_clusters_for_the_k_dimension_are_rejected() {
+        let _ = build(
+            &GpuConfig::virgo().with_clusters(8),
+            GemmShape {
+                m: 128,
+                n: 64,
+                k: 512,
+            },
+        );
+    }
+}

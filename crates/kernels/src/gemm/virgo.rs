@@ -65,7 +65,7 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
 
     let mmio = |cmd: MmioCommand| WarpOp::MmioWrite {
         device: match cmd {
-            MmioCommand::DmaCopy(_) => DeviceId::DMA0,
+            MmioCommand::DmaCopy(_) | MmioCommand::DmaRemote(_) => DeviceId::DMA0,
             MmioCommand::MatrixCompute(_) => DeviceId::MATRIX0,
         },
         cmd,

@@ -25,8 +25,10 @@ pub mod gemm;
 pub mod hetero;
 pub mod workload;
 
+pub use attention::broadcast::build as build_flash_attention_broadcast;
 pub use attention::build_flash_attention;
 pub use gemm::build_gemm;
+pub use gemm::split_k::build as build_split_k_gemm;
 pub use hetero::{build_heterogeneous_parallel, build_heterogeneous_serial};
 pub use workload::{AttentionShape, GemmShape};
 

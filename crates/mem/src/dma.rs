@@ -8,11 +8,12 @@
 //! programmed transfers; completion is reported back to the cluster so that
 //! `virgo_fence` can track outstanding asynchronous operations.
 
-use virgo_isa::MemRegion;
+use virgo_isa::{decode_remote_smem, MemRegion};
 use virgo_sim::{BoundedQueue, Cycle, NextActivity};
 
 use crate::accmem::AccumulatorMemory;
 use crate::backend::MemoryBackend;
+use crate::dsm::DsmFabric;
 use crate::global::GlobalMemory;
 use crate::smem::SharedMemory;
 
@@ -140,7 +141,9 @@ impl DmaEngine {
 
     /// Advances the engine by one cycle; returns the transfers that completed
     /// this cycle. Global-memory endpoints stream through the cluster's
-    /// `global` front-end into the shared `backend`.
+    /// `global` front-end into the shared `backend`; shared-memory endpoints
+    /// addressed through the remote DSM window traverse the `fabric` to the
+    /// peer cluster's scratchpad instead of the local banks.
     pub fn tick(
         &mut self,
         now: Cycle,
@@ -148,6 +151,7 @@ impl DmaEngine {
         backend: &mut MemoryBackend,
         smem: &mut SharedMemory,
         accmem: Option<&mut AccumulatorMemory>,
+        fabric: &mut DsmFabric,
     ) -> Vec<DmaTransfer> {
         let mut completed = Vec::new();
 
@@ -164,7 +168,7 @@ impl DmaEngine {
 
         if self.active.is_none() {
             if let Some(transfer) = self.queue.pop() {
-                let done = self.schedule(now, &transfer, global, backend, smem, accmem);
+                let done = self.schedule(now, &transfer, global, backend, smem, accmem, fabric);
                 self.active = Some((transfer, done));
             }
         }
@@ -188,6 +192,9 @@ impl DmaEngine {
 
     /// Computes when a transfer started at `now` completes, reserving the
     /// memory resources it uses.
+    // One parameter per memory the engine can touch; bundling them into a
+    // context struct would just move the argument list one call up.
+    #[allow(clippy::too_many_arguments)]
     fn schedule(
         &mut self,
         now: Cycle,
@@ -196,6 +203,7 @@ impl DmaEngine {
         backend: &mut MemoryBackend,
         smem: &mut SharedMemory,
         mut accmem: Option<&mut AccumulatorMemory>,
+        fabric: &mut DsmFabric,
     ) -> Cycle {
         let stream_cycles = transfer.bytes.div_ceil(self.config.beat_bytes).max(1);
         let mut done = now.plus(stream_cycles);
@@ -206,17 +214,27 @@ impl DmaEngine {
         ] {
             let endpoint_done = match region {
                 MemRegion::Global => global.dma_access(now, addr, transfer.bytes, write, backend),
-                MemRegion::Shared => {
-                    // Stream through the wide port in 64-byte chunks.
-                    let mut t = now;
-                    let mut offset = 0;
-                    while offset < transfer.bytes {
-                        let chunk = (transfer.bytes - offset).min(64);
-                        t = smem.access_wide(t, addr + offset, chunk, write).done;
-                        offset += chunk;
+                // A shared endpoint in the remote DSM window traverses the
+                // inter-cluster fabric to the peer's scratchpad port (the
+                // fabric models the remote bank occupancy as part of its
+                // link streaming time); a local one streams through this
+                // cluster's wide port.
+                MemRegion::Shared => match decode_remote_smem(addr) {
+                    Some((peer, _offset)) => {
+                        fabric.transfer(now, global.cluster(), peer, transfer.bytes)
                     }
-                    t
-                }
+                    None => {
+                        // Stream through the wide port in 64-byte chunks.
+                        let mut t = now;
+                        let mut offset = 0;
+                        while offset < transfer.bytes {
+                            let chunk = (transfer.bytes - offset).min(64);
+                            t = smem.access_wide(t, addr + offset, chunk, write).done;
+                            offset += chunk;
+                        }
+                        t
+                    }
+                },
                 MemRegion::Accumulator => match accmem.as_deref_mut() {
                     Some(acc) => acc.access(now, addr, transfer.bytes, write),
                     None => now,
@@ -245,6 +263,7 @@ impl NextActivity for DmaEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dsm::DsmConfig;
     use crate::global::GlobalMemoryConfig;
     use crate::smem::SmemConfig;
 
@@ -254,6 +273,7 @@ mod tests {
         MemoryBackend,
         SharedMemory,
         AccumulatorMemory,
+        DsmFabric,
     ) {
         let config = GlobalMemoryConfig::default_soc(4);
         (
@@ -262,6 +282,7 @@ mod tests {
             MemoryBackend::new(config, 1),
             SharedMemory::new(SmemConfig::virgo_cluster()),
             AccumulatorMemory::default_virgo(),
+            DsmFabric::new(DsmConfig::enabled_default(), 2),
         )
     }
 
@@ -271,11 +292,12 @@ mod tests {
         backend: &mut MemoryBackend,
         smem: &mut SharedMemory,
         acc: &mut AccumulatorMemory,
+        fabric: &mut DsmFabric,
         limit: u64,
     ) -> (Vec<DmaTransfer>, u64) {
         let mut all = Vec::new();
         for cycle in 0..limit {
-            let done = dma.tick(Cycle::new(cycle), global, backend, smem, Some(acc));
+            let done = dma.tick(Cycle::new(cycle), global, backend, smem, Some(acc), fabric);
             all.extend(done);
             if dma.is_idle() && !all.is_empty() {
                 return (all, cycle);
@@ -297,10 +319,11 @@ mod tests {
 
     #[test]
     fn global_to_shared_transfer_completes() {
-        let (mut dma, mut g, mut be, mut s, mut a) = setup();
+        let (mut dma, mut g, mut be, mut s, mut a, mut f) = setup();
         dma.submit(transfer(MemRegion::Global, MemRegion::Shared, 4096, 7))
             .unwrap();
-        let (done, cycle) = run_until_complete(&mut dma, &mut g, &mut be, &mut s, &mut a, 10_000);
+        let (done, cycle) =
+            run_until_complete(&mut dma, &mut g, &mut be, &mut s, &mut a, &mut f, 10_000);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].tag, 7);
         // 4096 bytes at 16 B/cycle DRAM bandwidth needs at least 256 cycles.
@@ -312,10 +335,11 @@ mod tests {
 
     #[test]
     fn accumulator_to_global_transfer_touches_accumulator() {
-        let (mut dma, mut g, mut be, mut s, mut a) = setup();
+        let (mut dma, mut g, mut be, mut s, mut a, mut f) = setup();
         dma.submit(transfer(MemRegion::Accumulator, MemRegion::Global, 2048, 1))
             .unwrap();
-        let (done, _) = run_until_complete(&mut dma, &mut g, &mut be, &mut s, &mut a, 10_000);
+        let (done, _) =
+            run_until_complete(&mut dma, &mut g, &mut be, &mut s, &mut a, &mut f, 10_000);
         assert_eq!(done.len(), 1);
         assert_eq!(a.stats().words_read, 512);
         assert!(be.stats().dma_bytes >= 2048);
@@ -323,14 +347,21 @@ mod tests {
 
     #[test]
     fn transfers_execute_in_fifo_order() {
-        let (mut dma, mut g, mut be, mut s, mut a) = setup();
+        let (mut dma, mut g, mut be, mut s, mut a, mut f) = setup();
         dma.submit(transfer(MemRegion::Global, MemRegion::Shared, 256, 1))
             .unwrap();
         dma.submit(transfer(MemRegion::Global, MemRegion::Shared, 256, 2))
             .unwrap();
         let mut order = Vec::new();
         for cycle in 0..10_000 {
-            for t in dma.tick(Cycle::new(cycle), &mut g, &mut be, &mut s, Some(&mut a)) {
+            for t in dma.tick(
+                Cycle::new(cycle),
+                &mut g,
+                &mut be,
+                &mut s,
+                Some(&mut a),
+                &mut f,
+            ) {
                 order.push(t.tag);
             }
             if dma.is_idle() {
@@ -338,6 +369,32 @@ mod tests {
             }
         }
         assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn remote_window_destination_routes_over_the_fabric() {
+        let (mut dma, mut g, mut be, mut s, mut a, mut f) = setup();
+        // Push a 4 KiB tile from the local accumulator into cluster 1's
+        // scratchpad: the shared-memory leg must traverse the DSM fabric,
+        // not the local banks, and must not touch the DRAM back-end.
+        dma.submit(DmaTransfer {
+            src_region: MemRegion::Accumulator,
+            src_addr: 0,
+            dst_region: MemRegion::Shared,
+            dst_addr: virgo_isa::remote_smem_addr(1, 0x4000),
+            bytes: 4096,
+            tag: 3,
+        })
+        .unwrap();
+        let (done, _) =
+            run_until_complete(&mut dma, &mut g, &mut be, &mut s, &mut a, &mut f, 10_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(f.stats().transfers, 1);
+        assert_eq!(f.stats().bytes, 4096);
+        assert_eq!(f.cluster_stats(0).per_link[1].bytes, 4096);
+        assert_eq!(s.stats().wide_accesses, 0, "local banks bypassed");
+        assert_eq!(be.stats().dma_bytes, 0, "no DRAM round trip");
+        assert_eq!(a.stats().words_read, 1024, "accumulator side still local");
     }
 
     #[test]
@@ -357,9 +414,9 @@ mod tests {
 
     #[test]
     fn idle_engine_reports_idle() {
-        let (mut dma, mut g, mut be, mut s, mut a) = setup();
+        let (mut dma, mut g, mut be, mut s, mut a, mut f) = setup();
         assert!(dma.is_idle());
-        let done = dma.tick(Cycle::new(0), &mut g, &mut be, &mut s, Some(&mut a));
+        let done = dma.tick(Cycle::new(0), &mut g, &mut be, &mut s, Some(&mut a), &mut f);
         assert!(done.is_empty());
         assert_eq!(dma.stats().busy_cycles, 0);
     }

@@ -18,7 +18,10 @@
 //!   (Section 3.2.3),
 //! * [`DmaEngine`] — the MMIO-programmed cluster DMA engine that moves tiles
 //!   between global memory, shared memory and the accumulator memory
-//!   (Section 3.2.4).
+//!   (Section 3.2.4),
+//! * [`DsmFabric`] — the inter-cluster distributed-shared-memory fabric:
+//!   one DSM port per cluster, Hopper-style remote scratchpad transfers
+//!   with per-link bandwidth arbitration and contention accounting.
 //!
 //! # Modelling style
 //!
@@ -37,6 +40,7 @@ pub mod cache;
 pub mod coalescer;
 pub mod dma;
 pub mod dram;
+pub mod dsm;
 pub mod global;
 pub mod smem;
 
@@ -48,5 +52,9 @@ pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalescer::{Coalescer, CoalescerStats};
 pub use dma::{DmaConfig, DmaEngine, DmaStats, DmaTransfer};
 pub use dram::{DramConfig, DramModel, DramStats, MultiChannelDram};
+pub use dsm::{
+    ClusterDsmStats, DsmConfig, DsmFabric, DsmFabricStats, DsmLinkStats, DsmTopology,
+    DSM_FLIT_BYTES,
+};
 pub use global::{GlobalMemory, GlobalMemoryConfig, GlobalMemoryStats};
 pub use smem::{SharedMemory, SmemConfig, SmemStats};
