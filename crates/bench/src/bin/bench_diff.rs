@@ -10,242 +10,16 @@
 //! ```
 //!
 //! `--baseline` defaults to `target/bench-baseline` under the workspace
-//! root, `--current` to the workspace root itself. Metrics are matched leaf
-//! by leaf on their dotted JSON paths; each metric's direction and tolerance
-//! comes from its name:
-//!
-//! * deterministic simulator counters (`cycles`, `dram_bytes`, stall and
-//!   energy metrics, ...) regress when they *rise* more than 0.1%,
-//! * quality metrics (`mac_utilization_percent`, `performed_macs`,
-//!   `bit_identical`) regress when they *fall*,
-//! * wall-clock `speedup` gates regress when they fall more than 40%
-//!   (shared CI runners are noisy; the benches' own hard floors still
-//!   apply), and
-//! * host-dependent timings (`*_ms`, `*seconds`, pool scaling, hit rates)
-//!   are reported for information only.
-//!
-//! A baseline metric that disappears from the fresh artifact is a
-//! structural failure: intentional bench-shape changes must regenerate the
-//! committed `BENCH_*.json` in the same PR.
+//! root, `--current` to the workspace root itself. The comparison rules —
+//! directions, tolerances, and the structural failures for vanished or
+//! ungated metrics — live in [`virgo_bench::diff`], where they are pinned
+//! by unit tests; this binary only handles artifact discovery and the
+//! report table.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use virgo_bench::benchjson::{flatten, parse, JsonValue};
-
-/// How one metric is judged.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Rule {
-    /// Regression when `new > old * (1 + tol)`.
-    HigherWorse(f64),
-    /// Regression when `new < old * (1 - tol)`.
-    LowerWorse(f64),
-    /// Identity field: any change is a structural failure.
-    Exact,
-    /// Informational only.
-    Info,
-}
-
-/// Classifies a metric by the last segment of its dotted path.
-fn classify(path: &str, value: &JsonValue) -> Rule {
-    let key = path
-        .rsplit('.')
-        .next()
-        .unwrap_or(path)
-        .trim_end_matches(|c: char| c == ']' || c.is_ascii_digit() || c == '[');
-    match value {
-        JsonValue::Str(_) | JsonValue::Bool(_) | JsonValue::Null => {
-            // Identity/shape fields (design names, workload labels, the
-            // dsm on/off flag, bit_identical) must not drift.
-            Rule::Exact
-        }
-        JsonValue::Num(_) => match key {
-            "cycles"
-            | "simulated_cycles"
-            | "dram_contention_stall_cycles"
-            | "dram_stall_cycles"
-            | "dram_bytes"
-            | "dram_bursts"
-            | "dsm_bytes"
-            | "dsm_stall_cycles"
-            | "dsm_hop_flits"
-            | "energy_mj"
-            | "energy_per_mac_pj"
-            | "total_energy_mj"
-            | "fence_wait_cycles" => Rule::HigherWorse(0.001),
-            "mac_utilization_percent" | "performed_macs" | "dram_bytes_saved" => {
-                Rule::LowerWorse(0.001)
-            }
-            "speedup" => Rule::LowerWorse(0.40),
-            "clusters" | "dram_channels" => Rule::Exact,
-            _ => Rule::Info,
-        },
-        _ => Rule::Info,
-    }
-}
-
-fn fmt_value(v: &JsonValue) -> String {
-    match v {
-        JsonValue::Num(n) => {
-            if n.fract() == 0.0 && n.abs() < 1e15 {
-                format!("{}", *n as i64)
-            } else {
-                format!("{n}")
-            }
-        }
-        JsonValue::Str(s) => s.clone(),
-        JsonValue::Bool(b) => b.to_string(),
-        JsonValue::Null => "null".to_string(),
-        other => format!("{other:?}"),
-    }
-}
-
-struct Row {
-    status: &'static str,
-    path: String,
-    old: String,
-    new: String,
-    delta: String,
-}
-
-/// Diffs one bench artifact; returns the number of regressions.
-fn diff_file(name: &str, baseline: &Path, current: &Path, rows: &mut Vec<Row>) -> u32 {
-    let read_doc = |path: &Path| -> Result<Vec<(String, JsonValue)>, String> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-        Ok(flatten(
-            &parse(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))?,
-        ))
-    };
-    let (old_leaves, new_leaves) = match (read_doc(baseline), read_doc(current)) {
-        (Ok(a), Ok(b)) => (a, b),
-        (Err(e), _) | (_, Err(e)) => {
-            rows.push(Row {
-                status: "ERROR",
-                path: name.to_string(),
-                old: String::new(),
-                new: String::new(),
-                delta: e,
-            });
-            return 1;
-        }
-    };
-    let lookup: std::collections::HashMap<&str, &JsonValue> = new_leaves
-        .iter()
-        .map(|(path, v)| (path.as_str(), v))
-        .collect();
-
-    let mut regressions = 0;
-    for (path, old) in &old_leaves {
-        let label = format!("{name}:{path}");
-        let Some(new) = lookup.get(path.as_str()) else {
-            rows.push(Row {
-                status: "MISSING",
-                path: label,
-                old: fmt_value(old),
-                new: "-".to_string(),
-                delta: "metric vanished — regenerate the committed artifact".to_string(),
-            });
-            regressions += 1;
-            continue;
-        };
-        let rule = classify(path, old);
-        match (rule, old, *new) {
-            (Rule::Exact, a, b) if a != b => {
-                rows.push(Row {
-                    status: "CHANGED",
-                    path: label,
-                    old: fmt_value(a),
-                    new: fmt_value(b),
-                    delta: "identity field drifted".to_string(),
-                });
-                regressions += 1;
-            }
-            (Rule::Exact, _, _) => {}
-            (rule, JsonValue::Num(a), JsonValue::Num(b)) => {
-                let delta_pct = if *a == 0.0 {
-                    if *b == 0.0 {
-                        0.0
-                    } else {
-                        f64::INFINITY
-                    }
-                } else {
-                    (b - a) / a.abs() * 100.0
-                };
-                let (worse, tol) = match rule {
-                    Rule::HigherWorse(tol) => (*b > *a && (b - a) > a.abs() * tol, tol),
-                    Rule::LowerWorse(tol) => (*b < *a && (a - b) > a.abs() * tol, tol),
-                    _ => (false, 0.0),
-                };
-                let status = if matches!(rule, Rule::Info) {
-                    if delta_pct == 0.0 {
-                        continue; // unchanged informational metrics stay quiet
-                    }
-                    "info"
-                } else if worse {
-                    regressions += 1;
-                    "REGRESSION"
-                } else if delta_pct == 0.0 {
-                    continue; // unchanged gate metrics stay quiet
-                } else {
-                    "ok"
-                };
-                rows.push(Row {
-                    status,
-                    path: label,
-                    old: fmt_value(&JsonValue::Num(*a)),
-                    new: fmt_value(&JsonValue::Num(*b)),
-                    delta: if worse {
-                        format!("{delta_pct:+.2}% (tolerance {:.1}%)", tol * 100.0)
-                    } else {
-                        format!("{delta_pct:+.2}%")
-                    },
-                });
-            }
-            (_, a, b) => {
-                // A gate metric that changed JSON *type* (number -> string,
-                // null, ...) is a malformed artifact, not a pass.
-                rows.push(Row {
-                    status: "TYPE",
-                    path: label,
-                    old: fmt_value(a),
-                    new: fmt_value(b),
-                    delta: "metric changed JSON type — regenerate the committed artifact"
-                        .to_string(),
-                });
-                regressions += 1;
-            }
-        }
-    }
-
-    // The reverse direction: a fresh leaf with no baseline counterpart. A
-    // new *gate* metric must not slip past the differ ungated — the PR that
-    // adds it has to regenerate the committed artifact; purely informational
-    // additions are just reported.
-    let known: std::collections::HashSet<&str> =
-        old_leaves.iter().map(|(path, _)| path.as_str()).collect();
-    for (path, new) in &new_leaves {
-        if known.contains(path.as_str()) {
-            continue;
-        }
-        let gated = !matches!(classify(path, new), Rule::Info);
-        rows.push(Row {
-            status: if gated { "NEW" } else { "info" },
-            path: format!("{name}:{path}"),
-            old: "-".to_string(),
-            new: fmt_value(new),
-            delta: if gated {
-                "new gate metric has no baseline — regenerate the committed artifact".to_string()
-            } else {
-                "new informational metric".to_string()
-            },
-        });
-        if gated {
-            regressions += 1;
-        }
-    }
-    regressions
-}
+use virgo_bench::diff::{diff_file, Row};
 
 fn main() -> ExitCode {
     let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));

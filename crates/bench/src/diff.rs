@@ -1,0 +1,380 @@
+//! The bench-regression diff core behind the `bench_diff` CI gate.
+//!
+//! The `bench_diff` binary compares freshly produced `BENCH_*.json`
+//! artifacts against a baseline snapshot of the committed copies and fails
+//! CI when a gate metric regresses. The comparison itself lives here, as a
+//! pure function over flattened JSON leaves, so its contract is pinned by
+//! unit tests rather than only exercised end-to-end in CI. The load-bearing
+//! clauses:
+//!
+//! * a baseline metric **missing** from the fresh artifact is a structural
+//!   regression (a bench-shape change must regenerate the committed
+//!   artifact in the same PR, or a silently dropped gate would pass forever),
+//! * a **new gate** metric with no baseline is equally structural — it must
+//!   not slip past the differ ungated,
+//! * identity fields (strings, booleans, `clusters`, `dram_channels`) must
+//!   not drift at all, and
+//! * numeric gates regress directionally with per-metric tolerances
+//!   ([`classify`]).
+
+use std::path::Path;
+
+use crate::benchjson::{flatten, parse, JsonValue};
+
+/// How one metric is judged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Rule {
+    /// Regression when `new > old * (1 + tol)`.
+    HigherWorse(f64),
+    /// Regression when `new < old * (1 - tol)`.
+    LowerWorse(f64),
+    /// Identity field: any change is a structural failure.
+    Exact,
+    /// Informational only.
+    Info,
+}
+
+/// Classifies a metric by the last segment of its dotted path.
+pub fn classify(path: &str, value: &JsonValue) -> Rule {
+    let key = path
+        .rsplit('.')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(|c: char| c == ']' || c.is_ascii_digit() || c == '[');
+    match value {
+        JsonValue::Str(_) | JsonValue::Bool(_) | JsonValue::Null => {
+            // Identity/shape fields (design names, workload labels, the
+            // dsm on/off flag, bit_identical) must not drift.
+            Rule::Exact
+        }
+        JsonValue::Num(_) => match key {
+            "cycles"
+            | "simulated_cycles"
+            | "dram_contention_stall_cycles"
+            | "dram_stall_cycles"
+            | "dram_bytes"
+            | "dram_bursts"
+            | "dsm_bytes"
+            | "dsm_stall_cycles"
+            | "dsm_hop_flits"
+            | "energy_mj"
+            | "energy_per_mac_pj"
+            | "total_energy_mj"
+            | "fence_wait_cycles"
+            | "cycle_overhead_ratio"
+            | "degraded_cycles"
+            | "dsm_blocked_cycles"
+            | "recovery_cycles" => Rule::HigherWorse(0.001),
+            "mac_utilization_percent" | "performed_macs" | "dram_bytes_saved" => {
+                Rule::LowerWorse(0.001)
+            }
+            "speedup" => Rule::LowerWorse(0.40),
+            "clusters" | "dram_channels" | "faults_injected" | "rerouted_transfers"
+            | "restriped_accesses" => Rule::Exact,
+            _ => Rule::Info,
+        },
+        _ => Rule::Info,
+    }
+}
+
+/// Renders a JSON leaf for the diff table.
+pub fn fmt_value(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        JsonValue::Str(s) => s.clone(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Null => "null".to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// One line of the diff report.
+#[derive(Debug)]
+pub struct Row {
+    /// Verdict tag (`ok`, `info`, `REGRESSION`, `MISSING`, ...).
+    pub status: &'static str,
+    /// `artifact:dotted.metric.path`.
+    pub path: String,
+    /// Baseline value.
+    pub old: String,
+    /// Fresh value.
+    pub new: String,
+    /// Human-readable delta / explanation.
+    pub delta: String,
+}
+
+/// Diffs two flattened artifacts; returns the number of regressions.
+///
+/// `name` labels the rows (normally the artifact file name). This is the
+/// pure core of [`diff_file`], split out so the missing-metric and
+/// new-gate contracts are unit-testable without touching the filesystem.
+pub fn diff_leaves(
+    name: &str,
+    old_leaves: &[(String, JsonValue)],
+    new_leaves: &[(String, JsonValue)],
+    rows: &mut Vec<Row>,
+) -> u32 {
+    let lookup: std::collections::HashMap<&str, &JsonValue> = new_leaves
+        .iter()
+        .map(|(path, v)| (path.as_str(), v))
+        .collect();
+
+    let mut regressions = 0;
+    for (path, old) in old_leaves {
+        let label = format!("{name}:{path}");
+        let Some(new) = lookup.get(path.as_str()) else {
+            rows.push(Row {
+                status: "MISSING",
+                path: label,
+                old: fmt_value(old),
+                new: "-".to_string(),
+                delta: "metric vanished — regenerate the committed artifact".to_string(),
+            });
+            regressions += 1;
+            continue;
+        };
+        let rule = classify(path, old);
+        match (rule, old, *new) {
+            (Rule::Exact, a, b) if a != b => {
+                rows.push(Row {
+                    status: "CHANGED",
+                    path: label,
+                    old: fmt_value(a),
+                    new: fmt_value(b),
+                    delta: "identity field drifted".to_string(),
+                });
+                regressions += 1;
+            }
+            (Rule::Exact, _, _) => {}
+            (rule, JsonValue::Num(a), JsonValue::Num(b)) => {
+                let delta_pct = if *a == 0.0 {
+                    if *b == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (b - a) / a.abs() * 100.0
+                };
+                let (worse, tol) = match rule {
+                    Rule::HigherWorse(tol) => (*b > *a && (b - a) > a.abs() * tol, tol),
+                    Rule::LowerWorse(tol) => (*b < *a && (a - b) > a.abs() * tol, tol),
+                    _ => (false, 0.0),
+                };
+                let status = if matches!(rule, Rule::Info) {
+                    if delta_pct == 0.0 {
+                        continue; // unchanged informational metrics stay quiet
+                    }
+                    "info"
+                } else if worse {
+                    regressions += 1;
+                    "REGRESSION"
+                } else if delta_pct == 0.0 {
+                    continue; // unchanged gate metrics stay quiet
+                } else {
+                    "ok"
+                };
+                rows.push(Row {
+                    status,
+                    path: label,
+                    old: fmt_value(&JsonValue::Num(*a)),
+                    new: fmt_value(&JsonValue::Num(*b)),
+                    delta: if worse {
+                        format!("{delta_pct:+.2}% (tolerance {:.1}%)", tol * 100.0)
+                    } else {
+                        format!("{delta_pct:+.2}%")
+                    },
+                });
+            }
+            (_, a, b) => {
+                // A gate metric that changed JSON *type* (number -> string,
+                // null, ...) is a malformed artifact, not a pass.
+                rows.push(Row {
+                    status: "TYPE",
+                    path: label,
+                    old: fmt_value(a),
+                    new: fmt_value(b),
+                    delta: "metric changed JSON type — regenerate the committed artifact"
+                        .to_string(),
+                });
+                regressions += 1;
+            }
+        }
+    }
+
+    // The reverse direction: a fresh leaf with no baseline counterpart. A
+    // new *gate* metric must not slip past the differ ungated — the PR that
+    // adds it has to regenerate the committed artifact; purely informational
+    // additions are just reported.
+    let known: std::collections::HashSet<&str> =
+        old_leaves.iter().map(|(path, _)| path.as_str()).collect();
+    for (path, new) in new_leaves {
+        if known.contains(path.as_str()) {
+            continue;
+        }
+        let gated = !matches!(classify(path, new), Rule::Info);
+        rows.push(Row {
+            status: if gated { "NEW" } else { "info" },
+            path: format!("{name}:{path}"),
+            old: "-".to_string(),
+            new: fmt_value(new),
+            delta: if gated {
+                "new gate metric has no baseline — regenerate the committed artifact".to_string()
+            } else {
+                "new informational metric".to_string()
+            },
+        });
+        if gated {
+            regressions += 1;
+        }
+    }
+    regressions
+}
+
+/// Diffs one bench artifact on disk; returns the number of regressions.
+pub fn diff_file(name: &str, baseline: &Path, current: &Path, rows: &mut Vec<Row>) -> u32 {
+    let read_doc = |path: &Path| -> Result<Vec<(String, JsonValue)>, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        Ok(flatten(
+            &parse(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))?,
+        ))
+    };
+    let (old_leaves, new_leaves) = match (read_doc(baseline), read_doc(current)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            rows.push(Row {
+                status: "ERROR",
+                path: name.to_string(),
+                old: String::new(),
+                new: String::new(),
+                delta: e,
+            });
+            return 1;
+        }
+    };
+    diff_leaves(name, &old_leaves, &new_leaves, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(text: &str) -> Vec<(String, JsonValue)> {
+        flatten(&parse(text).expect("test JSON parses"))
+    }
+
+    fn diff(old: &str, new: &str) -> (u32, Vec<Row>) {
+        let mut rows = Vec::new();
+        let n = diff_leaves("t.json", &leaves(old), &leaves(new), &mut rows);
+        (n, rows)
+    }
+
+    #[test]
+    fn identical_artifacts_produce_no_rows() {
+        let doc = r#"{"cycles": 100, "design": "Virgo", "elapsed_ms": 5}"#;
+        let (regressions, rows) = diff(doc, doc);
+        assert_eq!(regressions, 0);
+        assert!(rows.is_empty(), "unchanged metrics must stay quiet");
+    }
+
+    #[test]
+    fn missing_baseline_metric_is_a_regression() {
+        // The load-bearing clause: a gate metric present in the committed
+        // baseline but absent from the fresh run must fail the diff, even
+        // when every surviving metric is bit-identical.
+        let (regressions, rows) = diff(
+            r#"{"cycles": 100, "performed_macs": 4096}"#,
+            r#"{"cycles": 100}"#,
+        );
+        assert_eq!(regressions, 1);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].status, "MISSING");
+        assert!(rows[0].path.contains("performed_macs"));
+        assert!(rows[0].delta.contains("regenerate"));
+    }
+
+    #[test]
+    fn missing_informational_metric_still_fails() {
+        // Even an Info-classified leaf vanishing is structural: the shape
+        // of the artifact changed without regenerating the baseline.
+        let (regressions, rows) = diff(r#"{"cycles": 100, "elapsed_ms": 7}"#, r#"{"cycles": 100}"#);
+        assert_eq!(regressions, 1);
+        assert_eq!(rows[0].status, "MISSING");
+    }
+
+    #[test]
+    fn new_gate_metric_without_baseline_is_a_regression() {
+        let (regressions, rows) = diff(
+            r#"{"cycles": 100}"#,
+            r#"{"cycles": 100, "degraded_cycles": 50}"#,
+        );
+        assert_eq!(regressions, 1);
+        assert_eq!(rows[0].status, "NEW");
+    }
+
+    #[test]
+    fn new_informational_metric_is_reported_not_gated() {
+        let (regressions, rows) =
+            diff(r#"{"cycles": 100}"#, r#"{"cycles": 100, "elapsed_ms": 12}"#);
+        assert_eq!(regressions, 0);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].status, "info");
+    }
+
+    #[test]
+    fn directional_tolerances_gate_numeric_drift() {
+        // cycles: higher is worse, 0.1% tolerance.
+        let (r, rows) = diff(r#"{"cycles": 1000}"#, r#"{"cycles": 1002}"#);
+        assert_eq!(r, 1);
+        assert_eq!(rows[0].status, "REGRESSION");
+        // ...but an improvement passes.
+        let (r, rows) = diff(r#"{"cycles": 1000}"#, r#"{"cycles": 900}"#);
+        assert_eq!(r, 0);
+        assert_eq!(rows[0].status, "ok");
+        // performed_macs: lower is worse.
+        let (r, _) = diff(r#"{"performed_macs": 1000}"#, r#"{"performed_macs": 900}"#);
+        assert_eq!(r, 1);
+    }
+
+    #[test]
+    fn identity_fields_must_not_drift() {
+        let (r, rows) = diff(r#"{"design": "Virgo"}"#, r#"{"design": "Ampere"}"#);
+        assert_eq!(r, 1);
+        assert_eq!(rows[0].status, "CHANGED");
+        let (r, rows) = diff(r#"{"clusters": 8}"#, r#"{"clusters": 4}"#);
+        assert_eq!(r, 1);
+        assert_eq!(rows[0].status, "CHANGED");
+    }
+
+    #[test]
+    fn type_change_on_a_gate_metric_fails() {
+        let (r, rows) = diff(r#"{"cycles": 100}"#, r#"{"cycles": "fast"}"#);
+        assert_eq!(r, 1);
+        assert_eq!(rows[0].status, "TYPE");
+    }
+
+    #[test]
+    fn fault_gate_metrics_are_classified() {
+        // The fault_resilience artifact's headline gate and its identity
+        // counters must be gated, not informational.
+        let num = JsonValue::Num(1.5);
+        assert_eq!(
+            classify("link_kill.cycle_overhead_ratio", &num),
+            Rule::HigherWorse(0.001)
+        );
+        assert_eq!(
+            classify("link_kill.degraded_cycles", &num),
+            Rule::HigherWorse(0.001)
+        );
+        assert_eq!(classify("link_kill.faults_injected", &num), Rule::Exact);
+        assert_eq!(classify("link_kill.rerouted_transfers", &num), Rule::Exact);
+        assert_eq!(classify("link_kill.elapsed_ms", &num), Rule::Info);
+    }
+}

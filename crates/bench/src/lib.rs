@@ -19,6 +19,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod benchjson;
+pub mod diff;
 pub mod digest;
 pub mod microbench;
 

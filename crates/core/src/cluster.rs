@@ -102,10 +102,14 @@ impl ClusterDevices {
             .map(|spec| AccumulatorMemory::new(spec.accumulator_bytes, 64))
             .collect();
         let line_bytes = u64::from(config.global_memory().l1.line_bytes);
+        let mut smem = SharedMemory::new(config.smem);
+        if let Some(ecc) = config.faults.ecc_injector(cluster) {
+            smem.set_ecc(ecc);
+        }
 
         ClusterDevices {
             design: config.design,
-            smem: SharedMemory::new(config.smem),
+            smem,
             gmem: GlobalMemory::for_cluster(config.global_memory(), cluster),
             coalescers: (0..cores).map(|_| Coalescer::new(line_bytes)).collect(),
             synchronizer: ClusterSynchronizer::new(participants.max(1)),
@@ -414,6 +418,10 @@ pub struct Cluster {
     cluster_id: u32,
     cores: Vec<SimtCore>,
     devices: ClusterDevices,
+    /// First cycle at which the cluster participates. Zero normally; a
+    /// `FaultKind::LateClusterStart` window holds the whole cluster (cores
+    /// and devices) in reset until its `until` cycle.
+    start_at: u64,
 }
 
 impl Cluster {
@@ -441,12 +449,20 @@ impl Cluster {
             );
             cores[warp.core as usize].assign_warp(index as u32, &warp.program);
         }
+        let start_at = config.faults.cluster_start(cluster_id);
         Cluster {
             config,
             cluster_id,
             cores,
             devices,
+            start_at,
         }
+    }
+
+    /// First cycle at which the cluster leaves reset (zero unless a
+    /// `LateClusterStart` fault holds it back).
+    pub fn start_at(&self) -> u64 {
+        self.start_at
     }
 
     /// The configuration the cluster was built from.
@@ -512,6 +528,12 @@ impl Cluster {
     /// Advances the whole cluster by one cycle against the shared back-end
     /// and the inter-cluster DSM fabric.
     pub fn tick(&mut self, now: Cycle, backend: &mut MemoryBackend, fabric: &mut DsmFabric) {
+        if now.get() < self.start_at {
+            // Held in reset by a late-start fault: nothing in the cluster
+            // runs, and no per-cycle counters advance (matching what
+            // `fast_forward` skips, so both simulation modes agree).
+            return;
+        }
         self.devices.tick(now, backend, fabric);
         let mut ctx = ClusterCtx {
             devices: &mut self.devices,
@@ -541,6 +563,12 @@ impl Cluster {
         backend: &mut MemoryBackend,
         fabric: &mut DsmFabric,
     ) -> Option<Cycle> {
+        if now.get() < self.start_at {
+            // Nothing can happen before the late-start release; the release
+            // cycle itself is the next event, which lets the fast-forward
+            // engine jump straight over the held window.
+            return Some(Cycle::new(self.start_at));
+        }
         let mut next = self.devices.next_activity(now);
         if next == Some(now) {
             return next;
@@ -565,6 +593,12 @@ impl Cluster {
     /// folded over every cluster, that no component can make progress inside
     /// the window.
     pub fn fast_forward(&mut self, from: Cycle, cycles: u64) {
+        if from.get() < self.start_at {
+            // The window lies inside the held-in-reset period (next_activity
+            // pins the horizon to `start_at`, so it can never straddle the
+            // release): the naive loop would have skipped every tick too.
+            return;
+        }
         self.devices.fast_forward(cycles);
         for core in &mut self.cores {
             core.fast_forward(from, cycles);

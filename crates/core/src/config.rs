@@ -4,7 +4,7 @@ use virgo_energy::AreaParams;
 use virgo_gemmini::GemminiConfig;
 use virgo_isa::DataType;
 use virgo_mem::{DmaConfig, DramConfig, DsmConfig, GlobalMemoryConfig, SmemConfig};
-use virgo_sim::{Frequency, StableHash, StableHasher};
+use virgo_sim::{FaultPlan, Frequency, StableHash, StableHasher};
 use virgo_simt::CoreConfig;
 use virgo_tensor::{DecoupledConfig, TightlyCoupledConfig};
 
@@ -163,6 +163,10 @@ pub struct GpuConfig {
     pub dtype: DataType,
     /// SoC clock.
     pub frequency: Frequency,
+    /// Deterministic fault-injection schedule. Empty by default: the machine
+    /// then behaves bit-identically to one built before the fault layer
+    /// existed (pinned by the faults-off fingerprint tests).
+    pub faults: FaultPlan,
 }
 
 impl GpuConfig {
@@ -184,6 +188,7 @@ impl GpuConfig {
             matrix_units: Vec::new(),
             dtype: DataType::Fp16,
             frequency: Frequency::VIRGO_SOC,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -272,6 +277,14 @@ impl GpuConfig {
     #[must_use]
     pub fn with_dsm_enabled(mut self) -> Self {
         self.dsm.enabled = true;
+        self
+    }
+
+    /// Installs a fault-injection schedule (see [`FaultPlan`]). The default
+    /// — an empty plan — leaves the machine on its zero-cost healthy path.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -397,6 +410,9 @@ impl StableHash for GpuConfig {
         // Likewise the inter-cluster DSM fabric: a DSM-enabled machine and
         // its DRAM-only twin must never share a cache entry.
         self.dsm.stable_hash(h);
+        // And the fault plan: a faulted run and its healthy twin produce
+        // different reports, so they must never alias in the cache either.
+        self.faults.stable_hash(h);
     }
 }
 
@@ -499,6 +515,30 @@ mod tests {
                 ..on.dsm
             },
             GpuConfig::virgo().dsm
+        );
+    }
+
+    #[test]
+    fn faults_are_empty_by_default_and_change_the_config_hash() {
+        use virgo_sim::fault::FaultKind;
+        for design in DesignKind::all() {
+            assert!(GpuConfig::for_design(design).faults.is_empty(), "{design}");
+        }
+        let healthy = GpuConfig::virgo();
+        let faulted = GpuConfig::virgo().with_faults(FaultPlan::seeded(9).with_event(
+            FaultKind::DramChannelDown { channel: 0 },
+            0,
+            100,
+        ));
+        let digest = |cfg: &GpuConfig| {
+            let mut h = StableHasher::new();
+            cfg.stable_hash(&mut h);
+            h.finish_hex()
+        };
+        assert_ne!(
+            digest(&healthy),
+            digest(&faulted),
+            "a faulted run must never alias its healthy twin in the cache"
         );
     }
 

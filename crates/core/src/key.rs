@@ -55,8 +55,10 @@ impl SimKey {
         // channel count / interleave), and the DRAM timing model changed.
         // v3: the config digest absorbs the inter-cluster DSM fabric
         // configuration, and reports carry DSM stats.
+        // v4: the config digest absorbs the fault-injection plan, and
+        // reports carry fault/degraded-mode stats.
         h.write_str("virgo-simkey");
-        h.write_u64(3);
+        h.write_u64(4);
         config.stable_hash(&mut h);
         kernel.stable_hash(&mut h);
         h.write_u64(max_cycles);
@@ -150,6 +152,17 @@ mod tests {
             base,
             SimKey::digest(&dsm_config, &kernel("k", 4), 1000, SimMode::FastForward),
             "DSM fabric"
+        );
+        let fault_config =
+            GpuConfig::virgo().with_faults(virgo_sim::FaultPlan::seeded(1).with_event(
+                virgo_sim::FaultKind::DsmLinkDown { link: 0 },
+                0,
+                100,
+            ));
+        assert_ne!(
+            base,
+            SimKey::digest(&fault_config, &kernel("k", 4), 1000, SimMode::FastForward),
+            "fault plan"
         );
     }
 

@@ -61,5 +61,10 @@ pub use cluster::{Cluster, ClusterDevices, ClusterStats, PlacedWarpSnapshot};
 pub use config::{DesignKind, GpuConfig, MatrixUnitSpec};
 pub use key::SimKey;
 pub use report::{ClusterReport, SimReport};
-pub use run::{BlockedOn, Gpu, SimError, SimMode, TimeoutDiagnosis, WarpDiagnosis};
+pub use run::{
+    BlockedOn, Gpu, SimError, SimMode, TimeoutDiagnosis, WarpDiagnosis, WatchdogVerdict,
+};
 pub use snapshot::SnapshotError;
+// Fault-injection vocabulary, re-exported so callers can build a
+// [`GpuConfig::with_faults`] plan without depending on `virgo-sim` directly.
+pub use virgo_sim::{ClusterFaultStats, FaultEvent, FaultKind, FaultPlan, FaultStats};

@@ -10,7 +10,7 @@ use virgo_mem::{
     ClusterContentionStats, ClusterDsmStats, DmaStats, DramStats, DsmFabric, DsmFabricStats,
     DsmLinkStats, GlobalMemoryStats, MemoryBackend, SmemStats,
 };
-use virgo_sim::{Cycle, Frequency, Ratio};
+use virgo_sim::{ClusterFaultStats, Cycle, FaultStats, Frequency, Ratio};
 use virgo_simt::CoreStats;
 
 use crate::cluster::{Cluster, ClusterStats};
@@ -45,6 +45,10 @@ pub struct ClusterReport {
     pub performed_macs: u64,
     /// Active energy this cluster's events contributed, in millijoules.
     pub energy_mj: f64,
+    /// This cluster's slice of the fault-injection accounting (all zero
+    /// without a fault plan): cluster-scoped windows that activated, this
+    /// cluster's scratchpad ECC events and its degraded-mode cycles.
+    pub fault: ClusterFaultStats,
 }
 
 impl ClusterReport {
@@ -94,6 +98,7 @@ pub struct SimReport {
     pub(crate) dram_contention_stall_cycles: u64,
     pub(crate) dsm_stats: DsmFabricStats,
     pub(crate) dsm_link_stats: Vec<DsmLinkStats>,
+    pub(crate) fault: FaultStats,
     pub(crate) power: PowerReport,
     pub(crate) area: AreaReport,
 }
@@ -110,18 +115,26 @@ impl SimReport {
     ) -> Self {
         let config = clusters[0].config();
         let table = EnergyTable::default_16nm();
+        let plan = &config.faults;
+        let end = cycles.get();
 
         // Per-cluster slices, each with its own energy ledger; the machine
         // ledger is their merge plus the shared back-end's DRAM traffic.
         let mut machine_ledger = EnergyLedger::new();
         let mut per_cluster = Vec::with_capacity(clusters.len());
+        let mut ecc_total = virgo_sim::EccStats::default();
         for cluster in clusters {
-            let contention = backend.cluster_stats(cluster.cluster_id());
-            let dsm = fabric.cluster_stats(cluster.cluster_id());
+            let id = cluster.cluster_id();
+            let contention = backend.cluster_stats(id);
+            let dsm = fabric.cluster_stats(id);
             let ledger = build_cluster_ledger(cluster, &contention, &dsm);
             let devices = cluster.devices();
+            let ecc = devices.smem.ecc_stats();
+            ecc_total.injected += ecc.injected;
+            ecc_total.detected += ecc.detected;
+            ecc_total.corrected += ecc.corrected;
             per_cluster.push(ClusterReport {
-                cluster: cluster.cluster_id(),
+                cluster: id,
                 core_stats: cluster.core_stats(),
                 smem_stats: devices.smem.stats(),
                 gmem_stats: devices.gmem.stats(),
@@ -131,9 +144,31 @@ impl SimReport {
                 dsm,
                 performed_macs: cluster.performed_macs(),
                 energy_mj: ledger.total_energy_pj(&table) * 1e-9,
+                fault: ClusterFaultStats {
+                    injected: plan.cluster_windows_activated_by(id, end) + ecc.injected,
+                    detected: ecc.detected,
+                    corrected: ecc.corrected,
+                    degraded_cycles: plan.cluster_degraded_cycles(id, end),
+                },
             });
             machine_ledger.merge(&ledger);
         }
+        // Degraded-mode cycles come analytically from the plan (union of
+        // windows clipped to the run), while reroute/re-stripe/recovery
+        // counters come from the components that actually absorbed the
+        // faults — so the two simulation modes agree bit-for-bit.
+        let dsm_fault = fabric.fault_stats();
+        let dram_fault = backend.dram_fault_stats();
+        let fault = FaultStats {
+            injected: plan.windows_activated_by(end) + ecc_total.injected,
+            detected: ecc_total.detected,
+            corrected: ecc_total.corrected,
+            degraded_cycles: plan.degraded_cycles(end),
+            dsm_rerouted_transfers: dsm_fault.rerouted_transfers,
+            dsm_blocked_cycles: dsm_fault.blocked_cycles,
+            dram_restriped_accesses: dram_fault.restriped_accesses,
+            recovery_cycles: dsm_fault.recovery_cycles + dram_fault.recovery_cycles,
+        };
         // DRAM interface energy is charged per channel: each channel's PHY
         // and controller see only the bursts routed to it. The counts are
         // integers, so the per-channel sum is exactly the old single-channel
@@ -186,6 +221,7 @@ impl SimReport {
             dram_contention_stall_cycles: backend.total_dram_stall_cycles(),
             dsm_stats: fabric.stats(),
             dsm_link_stats: fabric.per_link_stats(),
+            fault,
             power,
             area,
         }
@@ -332,6 +368,18 @@ impl SimReport {
     /// Bytes moved cluster-to-cluster over the DSM fabric.
     pub fn dsm_bytes(&self) -> u64 {
         self.dsm_stats.bytes
+    }
+
+    /// Machine-wide fault-injection and degraded-mode accounting (all zero
+    /// when the configuration carries no fault plan).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault
+    }
+
+    /// True when any fault activity was recorded: a window activated, an
+    /// ECC upset was injected, or a component ran in degraded mode.
+    pub fn faults_injected(&self) -> bool {
+        self.fault.injected > 0 || self.fault.degraded_cycles > 0
     }
 
     /// Total DRAM traffic in bytes at the channel interface (after burst

@@ -72,13 +72,56 @@ pub struct WarpDiagnosis {
     pub blocked_on: BlockedOn,
 }
 
-/// Structured diagnosis attached to [`SimError::Timeout`]: every unfinished
-/// warp with its placement and blocking condition, captured at the moment the
-/// cycle budget ran out. This replaces the old workflow of re-running a
-/// deadlocked kernel under [`SimMode::Naive`] with ad-hoc tracing just to
-/// find out which warp was stuck on what.
+/// The progress watchdog's classification of why the cycle budget ran out.
+///
+/// The driver distinguishes a machine that *cannot* make progress from one
+/// that is merely not getting anywhere, folding the event-horizon probe and
+/// retirement accounting it already maintains:
+///
+/// * **Deadlock** — no component reports any future activity: every
+///   unfinished warp is blocked on a condition nothing can ever satisfy
+///   (mismatched barriers, a fence on an operation that was never launched).
+/// * **Livelock** — the machine stays busy (fence-poll spinning keeps the
+///   event horizon at `now`) but retired no real instruction over the second
+///   half of the budget.
+/// * **SlowProgress** — instructions were still retiring; the budget was
+///   simply too small for the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WatchdogVerdict {
+    /// No component will ever act again.
+    Deadlock,
+    /// Activity without retirement (e.g. every live warp spinning in
+    /// `virgo_fence`).
+    Livelock,
+    /// The kernel was still making forward progress at timeout.
+    #[default]
+    SlowProgress,
+}
+
+impl fmt::Display for WatchdogVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchdogVerdict::Deadlock => write!(f, "deadlock"),
+            WatchdogVerdict::Livelock => write!(f, "livelock"),
+            WatchdogVerdict::SlowProgress => write!(f, "slow progress"),
+        }
+    }
+}
+
+/// Structured diagnosis attached to [`SimError::Timeout`]: the progress
+/// watchdog's verdict plus every unfinished warp with its placement and
+/// blocking condition, captured at the moment the cycle budget ran out. This
+/// replaces the old workflow of re-running a deadlocked kernel under
+/// [`SimMode::Naive`] with ad-hoc tracing just to find out which warp was
+/// stuck on what.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TimeoutDiagnosis {
+    /// The watchdog's deadlock / livelock / slow-progress classification.
+    pub verdict: WatchdogVerdict,
+    /// Fault windows from the configuration's [`crate::FaultPlan`] that were
+    /// active at the timeout cycle — a degraded machine that stops making
+    /// progress usually implicates them.
+    pub active_fault_windows: u64,
     /// One entry per unfinished warp, in (cluster, core, warp) order.
     pub warps: Vec<WarpDiagnosis>,
 }
@@ -97,18 +140,32 @@ impl TimeoutDiagnosis {
 }
 
 impl fmt::Display for TimeoutDiagnosis {
+    /// Renders the verdict headline followed by a per-warp table, one
+    /// indented line per stuck warp (capped at eight rows).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} unfinished warp(s)", self.warps.len())?;
+        write!(
+            f,
+            "{}: {} unfinished warp(s)",
+            self.verdict,
+            self.warps.len()
+        )?;
+        if self.active_fault_windows > 0 {
+            write!(
+                f,
+                ", {} injected fault window(s) active",
+                self.active_fault_windows
+            )?;
+        }
         const SHOWN: usize = 8;
         for w in self.warps.iter().take(SHOWN) {
             write!(
                 f,
-                "; cluster {} core {} warp {}: {}",
+                "\n  cluster {} core {} warp {}: {}",
                 w.cluster, w.core, w.warp, w.blocked_on
             )?;
         }
         if self.warps.len() > SHOWN {
-            write!(f, "; ... {} more", self.warps.len() - SHOWN)?;
+            write!(f, "\n  ... {} more", self.warps.len() - SHOWN)?;
         }
         Ok(())
     }
@@ -212,8 +269,14 @@ struct Machine {
 impl Machine {
     fn new(config: &GpuConfig, kernel: &Kernel) -> Machine {
         let cluster_count = config.clusters.max(1);
-        let backend = MemoryBackend::new(config.global_memory(), cluster_count);
-        let fabric = DsmFabric::new(config.dsm, cluster_count);
+        let mut backend = MemoryBackend::new(config.global_memory(), cluster_count);
+        let mut fabric = DsmFabric::new(config.dsm, cluster_count);
+        if !config.faults.events.is_empty() {
+            // An empty plan must not touch the components at all: the
+            // faults-off machine stays bit-identical to the pre-fault model.
+            backend.apply_faults(&config.faults);
+            fabric.apply_faults(&config.faults);
+        }
         let clusters = (0..cluster_count)
             .map(|c| Cluster::new(config.clone(), kernel, c))
             .collect();
@@ -259,7 +322,20 @@ impl Machine {
         }
     }
 
-    fn timeout_diagnosis(&self) -> TimeoutDiagnosis {
+    /// Real (non-poll) instructions retired so far, machine-wide — the
+    /// watchdog's forward-progress measure.
+    fn retired_instructions(&self) -> u64 {
+        self.clusters
+            .iter()
+            .map(|c| c.core_stats().instrs_issued)
+            .sum()
+    }
+
+    fn timeout_diagnosis(
+        &self,
+        verdict: WatchdogVerdict,
+        active_fault_windows: u64,
+    ) -> TimeoutDiagnosis {
         let mut warps = Vec::new();
         for cluster in &self.clusters {
             for placed in cluster.unfinished_warps() {
@@ -283,7 +359,11 @@ impl Machine {
                 });
             }
         }
-        TimeoutDiagnosis { warps }
+        TimeoutDiagnosis {
+            verdict,
+            active_fault_windows,
+            warps,
+        }
     }
 }
 
@@ -379,7 +459,16 @@ impl Gpu {
         let mut cycle = 0u64;
         let mut short_horizons = 0u32;
         let mut naive_burst = NAIVE_BURST_MIN;
+        // Progress watchdog: one retirement checkpoint at half budget. If
+        // the run times out having retired nothing since the checkpoint
+        // while the event horizon still shows activity, that is a livelock
+        // (spinning without progress) rather than a slow kernel.
+        let watchdog_at = max_cycles / 2;
+        let mut watchdog_sample: Option<u64> = None;
         while cycle < max_cycles {
+            if watchdog_sample.is_none() && cycle >= watchdog_at {
+                watchdog_sample = Some(machine.retired_instructions());
+            }
             if machine.finished() {
                 return Ok(SimReport::from_machine(
                     &machine.clusters,
@@ -428,9 +517,22 @@ impl Gpu {
                 Cycle::new(cycle),
             ))
         } else {
+            let verdict = if machine.next_activity(Cycle::new(cycle)).is_none() {
+                WatchdogVerdict::Deadlock
+            } else {
+                match watchdog_sample {
+                    Some(sample) if machine.retired_instructions() == sample => {
+                        WatchdogVerdict::Livelock
+                    }
+                    // No checkpoint means the driver jumped straight past
+                    // half budget towards a genuine future event — that is
+                    // slow progress, not a livelock.
+                    _ => WatchdogVerdict::SlowProgress,
+                }
+            };
             Err(SimError::Timeout {
                 limit: max_cycles,
-                diagnosis: machine.timeout_diagnosis(),
+                diagnosis: machine.timeout_diagnosis(verdict, self.config.faults.active_at(cycle)),
             })
         }
     }
@@ -507,6 +609,8 @@ mod tests {
             panic!("expected a timeout");
         };
         assert_eq!(limit, 2000);
+        assert_eq!(diagnosis.verdict, WatchdogVerdict::Deadlock);
+        assert_eq!(diagnosis.active_fault_windows, 0);
         assert_eq!(diagnosis.warps.len(), 1);
         assert_eq!(diagnosis.warps[0].cluster, 0);
         assert_eq!(diagnosis.warps[0].core, 0);
@@ -554,12 +658,80 @@ mod tests {
                 outstanding: 1
             }
         ));
+        // The unit keeps streaming (activity) while the warp spins without
+        // retiring anything: the watchdog calls that a livelock.
+        assert_eq!(diagnosis.verdict, WatchdogVerdict::Livelock);
         let msg = SimError::Timeout {
             limit: 500,
             diagnosis,
         }
         .to_string();
         assert!(msg.contains("virgo_fence(0)"), "{msg}");
+        assert!(msg.contains("livelock"), "{msg}");
+    }
+
+    #[test]
+    fn undersized_budget_is_classified_as_slow_progress() {
+        // 1000 back-to-back ALU instructions cannot retire in 100 cycles,
+        // but the core retires one every cycle right up to the limit.
+        let mut gpu = Gpu::new(GpuConfig::virgo());
+        for mode in [SimMode::Naive, SimMode::FastForward] {
+            let Err(SimError::Timeout { diagnosis, .. }) =
+                gpu.run_with_mode(&kernel(1000), 100, mode)
+            else {
+                panic!("expected a timeout");
+            };
+            assert_eq!(diagnosis.verdict, WatchdogVerdict::SlowProgress, "{mode}");
+        }
+    }
+
+    #[test]
+    fn deadlock_verdict_is_mode_identical() {
+        let mut b = ProgramBuilder::new();
+        b.op(WarpOp::Barrier { id: 0 });
+        let lonely = Kernel::new(
+            KernelInfo::new("deadlock", 0, DataType::Fp16),
+            vec![
+                WarpAssignment::new(0, 0, Arc::new(b.build())),
+                WarpAssignment::new(0, 1, Arc::new(ProgramBuilder::new().build())),
+            ],
+        );
+        let mut gpu = Gpu::new(GpuConfig::virgo());
+        for mode in [SimMode::Naive, SimMode::FastForward] {
+            let Err(SimError::Timeout { diagnosis, .. }) = gpu.run_with_mode(&lonely, 2000, mode)
+            else {
+                panic!("expected a timeout");
+            };
+            assert_eq!(diagnosis.verdict, WatchdogVerdict::Deadlock, "{mode}");
+        }
+    }
+
+    #[test]
+    fn timeout_diagnosis_renders_fault_windows_and_warp_table() {
+        let diag = TimeoutDiagnosis {
+            verdict: WatchdogVerdict::Deadlock,
+            active_fault_windows: 2,
+            warps: vec![
+                WarpDiagnosis {
+                    cluster: 0,
+                    core: 0,
+                    warp: 0,
+                    blocked_on: BlockedOn::Barrier { id: 1 },
+                },
+                WarpDiagnosis {
+                    cluster: 1,
+                    core: 3,
+                    warp: 7,
+                    blocked_on: BlockedOn::Stalled,
+                },
+            ],
+        };
+        let msg = diag.to_string();
+        assert!(msg.starts_with("deadlock: 2 unfinished warp(s)"), "{msg}");
+        assert!(msg.contains("2 injected fault window(s) active"), "{msg}");
+        // One indented table row per warp.
+        assert_eq!(msg.lines().count(), 3, "{msg}");
+        assert!(msg.contains("\n  cluster 1 core 3 warp 7"), "{msg}");
     }
 
     #[test]
@@ -588,6 +760,7 @@ mod tests {
                 warp: 3,
                 blocked_on: BlockedOn::Barrier { id: 7 },
             }],
+            ..TimeoutDiagnosis::default()
         };
         let msg = SimError::Timeout {
             limit: 9,

@@ -27,7 +27,7 @@ use virgo_mem::{
     ChannelContentionStats, ClusterContentionStats, ClusterDsmStats, DmaStats, DramStats,
     DsmFabricStats, DsmLinkStats, GlobalMemoryStats, SmemStats,
 };
-use virgo_sim::{Cycle, Frequency, StableHasher};
+use virgo_sim::{ClusterFaultStats, Cycle, FaultStats, Frequency, StableHasher};
 use virgo_simt::CoreStats;
 
 use crate::cluster::ClusterStats;
@@ -62,7 +62,10 @@ const FORMAT: &str = "virgo-simreport";
 // v3: inter-cluster DSM — the payload gained `dsm_stats` / `dsm_link_stats`
 // and the per-cluster slices a `dsm` breakdown; v2 entries (pre-DSM model)
 // must miss cleanly.
-const VERSION: u64 = 3;
+// v4: fault injection — the payload gained `fault` and the per-cluster
+// slices a `fault` breakdown; v3 entries (pre-fault model) must miss
+// cleanly.
+const VERSION: u64 = 4;
 
 // ---------------------------------------------------------------------------
 // A minimal JSON document model.
@@ -565,6 +568,29 @@ u64_stats_codec!(
     [transfers, bytes, hop_flits, stall_cycles,]
 );
 
+u64_stats_codec!(
+    FaultStats,
+    write_fault_stats,
+    read_fault_stats,
+    [
+        injected,
+        detected,
+        corrected,
+        degraded_cycles,
+        dsm_rerouted_transfers,
+        dsm_blocked_cycles,
+        dram_restriped_accesses,
+        recovery_cycles,
+    ]
+);
+
+u64_stats_codec!(
+    ClusterFaultStats,
+    write_cluster_fault,
+    read_cluster_fault,
+    [injected, detected, corrected, degraded_cycles,]
+);
+
 // `ClusterContentionStats` carries a per-channel array, so it cannot use the
 // flat-`u64` macro.
 fn write_contention(s: &ClusterContentionStats) -> String {
@@ -669,7 +695,8 @@ fn write_cluster_report(c: &ClusterReport) -> String {
         .raw("contention", &write_contention(&c.contention))
         .raw("dsm", &write_cluster_dsm(&c.dsm))
         .u64("performed_macs", c.performed_macs)
-        .f64("energy_mj", c.energy_mj);
+        .f64("energy_mj", c.energy_mj)
+        .raw("fault", &write_cluster_fault(&c.fault));
     w.finish()
 }
 
@@ -687,6 +714,7 @@ fn read_cluster_report(v: &Json) -> Result<ClusterReport> {
         dsm: read_cluster_dsm(get(o, "dsm")?)?,
         performed_macs: get_u64(o, "performed_macs")?,
         energy_mj: get_f64(o, "energy_mj")?,
+        fault: read_cluster_fault(get(o, "fault")?)?,
     })
 }
 
@@ -759,6 +787,7 @@ fn write_payload(report: &SimReport) -> String {
             let links: Vec<String> = report.dsm_link_stats.iter().map(write_dsm_link).collect();
             format!("[{}]", links.join(","))
         })
+        .raw("fault", &write_fault_stats(&report.fault))
         .raw("power", &write_power(&report.power))
         .raw("area", &write_breakdown(report.area.breakdown()));
     w.finish()
@@ -801,6 +830,7 @@ fn read_payload(v: &Json) -> Result<SimReport> {
             .iter()
             .map(read_dsm_link)
             .collect::<Result<Vec<_>>>()?,
+        fault: read_fault_stats(get(o, "fault")?)?,
         power: read_power(get(o, "power")?)?,
         area: AreaReport::from_entries(read_breakdown(get(o, "area")?, &Component::all())?),
     })
@@ -982,7 +1012,7 @@ mod tests {
     fn version_and_format_are_checked() {
         let (report, key) = sample_report(1);
         let text = report.to_cache_json(&key);
-        let bumped = text.replace("\"version\":3", "\"version\":99");
+        let bumped = text.replace("\"version\":4", "\"version\":99");
         let err = SimReport::from_cache_json(&bumped, &key).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
     }

@@ -12,10 +12,11 @@
 //! the requesting cluster — with a per-channel breakdown — so multi-cluster
 //! runs can report DRAM-contention stalls per cluster and per channel.
 
+use virgo_sim::fault::FaultPlan;
 use virgo_sim::{Cycle, NextActivity};
 
 use crate::cache::Cache;
-use crate::dram::{DramStats, MultiChannelDram};
+use crate::dram::{DramFaultStats, DramStats, MultiChannelDram};
 use crate::global::GlobalMemoryConfig;
 
 /// Aggregated statistics for the shared back-end.
@@ -165,6 +166,17 @@ impl MemoryBackend {
         self.dram.per_channel_stats()
     }
 
+    /// Installs the DRAM channel fault windows of `plan` on the back-end's
+    /// DRAM subsystem (see [`MultiChannelDram::apply_faults`]).
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        self.dram.apply_faults(plan);
+    }
+
+    /// Degraded-mode DRAM counters (all zero without DRAM faults).
+    pub fn dram_fault_stats(&self) -> DramFaultStats {
+        self.dram.fault_stats()
+    }
+
     /// Number of DRAM channels behind the L2.
     pub fn dram_channels(&self) -> u32 {
         self.dram.channel_count()
@@ -213,8 +225,9 @@ impl MemoryBackend {
             return at.plus(l2_latency);
         }
         self.stats.l2_misses += 1;
-        let channel = self.dram.channel_for(line_addr);
-        let (done, stall) = self.dram_access(at.plus(l2_latency), cluster, channel, bytes, write);
+        let present = at.plus(l2_latency);
+        let channel = self.dram.route(present, line_addr);
+        let (done, stall) = self.dram_access(present, cluster, channel, bytes, write);
         self.per_cluster[cluster as usize].dram_stall_cycles += stall;
         done
     }
@@ -240,6 +253,12 @@ impl MemoryBackend {
         let first = addr / line;
         let last = (addr + bytes - 1) / line;
         let end = addr + bytes;
+        // The L2 streams the transfer at four lines per cycle; short
+        // transfers still pay at least one streaming cycle. Computed up
+        // front because `l2_time` is when sub-transfers reach the channels,
+        // which is the routing point for fault windows.
+        let lines = last - first + 1;
+        let l2_time = now.plus(self.l2.latency() + lines.div_ceil(4));
         self.dma_split.iter_mut().for_each(|b| *b = 0);
         for l in first..=last {
             self.stats.l2_accesses += 1;
@@ -251,14 +270,10 @@ impl MemoryBackend {
                 // overlap with the transfer, not the whole line (the DRAM
                 // model re-applies burst rounding to what is actually sent).
                 let span = end.min((l + 1) * line) - addr.max(l * line);
-                let channel = self.dram.channel_for(l * line);
+                let channel = self.dram.route(l2_time, l * line);
                 self.dma_split[channel as usize] += span;
             }
         }
-        // The L2 streams the transfer at four lines per cycle; short
-        // transfers still pay at least one streaming cycle.
-        let lines = last - first + 1;
-        let l2_time = now.plus(self.l2.latency() + lines.div_ceil(4));
         let mut done = l2_time;
         // The sub-transfers queue on their channels *concurrently*, so the
         // DMA's contention cost is the slowest channel's wait, not the sum.
@@ -554,5 +569,27 @@ mod tests {
     fn out_of_range_cluster_panics() {
         let mut b = backend(1);
         let _ = b.line_access(Cycle::new(0), 3, 0, 32, false);
+    }
+
+    #[test]
+    fn dead_channel_traffic_lands_on_survivors() {
+        use virgo_sim::fault::FaultKind;
+        let mut b = backend_with_channels(1, 4);
+        let plan = FaultPlan::seeded(3).with_event(
+            FaultKind::DramChannelDown { channel: 1 },
+            0,
+            1_000_000,
+        );
+        b.apply_faults(&plan);
+        // Line 256 homes on channel 1, which is down for the whole run.
+        b.line_access(Cycle::new(0), 0, 256, 32, false);
+        let per_channel = b.dram_channel_stats();
+        assert_eq!(per_channel[1].reads, 0, "dead channel serves nothing");
+        assert_eq!(b.dram_stats().reads, 1, "the access still completes");
+        assert_eq!(b.dram_fault_stats().restriped_accesses, 1);
+        // A cold DMA spanning all four channels also avoids channel 1.
+        b.dma_access(Cycle::new(0), 0, 4096, 4096, false);
+        assert_eq!(b.dram_channel_stats()[1].reads, 0);
+        assert!(b.dram_fault_stats().restriped_accesses > 1);
     }
 }

@@ -1,6 +1,7 @@
 //! A bandwidth- and latency-limited DRAM model: one channel, and the
 //! address-interleaved multi-channel subsystem built from it.
 
+use virgo_sim::fault::{FaultKind, FaultPlan, PERMANENT};
 use virgo_sim::{Cycle, NextActivity, StableHash, StableHasher};
 
 /// Configuration of the DRAM interface.
@@ -147,18 +148,30 @@ impl DramModel {
     /// Performs a transfer of `bytes` starting no earlier than `now`,
     /// returning the completion cycle.
     pub fn access(&mut self, now: Cycle, bytes: u64, write: bool) -> Cycle {
+        self.access_scaled(now, bytes, write, 1)
+    }
+
+    /// Like [`DramModel::access`], with the fixed access latency multiplied
+    /// by `latency_multiplier` (a throttled channel during a fault window;
+    /// `1` is the healthy path and changes nothing).
+    pub fn access_scaled(
+        &mut self,
+        now: Cycle,
+        bytes: u64,
+        write: bool,
+        latency_multiplier: u64,
+    ) -> Cycle {
         let bursts = bytes.div_ceil(self.config.burst_bytes).max(1);
         let rounded = bursts * self.config.burst_bytes;
         let transfer_cycles = rounded.div_ceil(self.config.bytes_per_cycle).max(1);
+        let latency = self.config.latency * latency_multiplier.max(1);
 
         // Data transfer starts when the bus is free; the fixed latency runs
         // concurrently with the queueing delay, so completion is the later of
         // "bus slot ends" and "latency plus transfer from request time".
         let start = now.max(self.busy_until);
         self.busy_until = start.plus(transfer_cycles);
-        let done = start
-            .max(now.plus(self.config.latency))
-            .plus(transfer_cycles);
+        let done = start.max(now.plus(latency)).plus(transfer_cycles);
 
         if write {
             self.stats.writes += 1;
@@ -177,6 +190,37 @@ impl NextActivity for DramModel {
     /// it contributes no self-driven events.
     fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
         None
+    }
+}
+
+/// Degraded-mode counters for the multi-channel DRAM subsystem, populated
+/// only when a [`FaultPlan`] carries DRAM channel faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramFaultStats {
+    /// Accesses whose home channel was down and were re-striped onto a
+    /// surviving channel.
+    pub restriped_accesses: u64,
+    /// Cycles between a channel's fault window closing and the first access
+    /// it served afterwards (recovery latency), summed over channels.
+    pub recovery_cycles: u64,
+}
+
+/// One DRAM channel fault window, resolved against the subsystem.
+#[derive(Debug, Clone, Copy)]
+struct ChannelFaultState {
+    channel: u32,
+    from: u64,
+    until: u64,
+    /// `None` for a full outage; `Some(m)` multiplies the access latency.
+    latency_multiplier: Option<u32>,
+    /// Whether the first post-window access was already accounted as the
+    /// recovery point (pre-set for permanent windows, which never recover).
+    recovered: bool,
+}
+
+impl ChannelFaultState {
+    fn active_at(&self, cycle: u64) -> bool {
+        self.from <= cycle && cycle < self.until
     }
 }
 
@@ -210,6 +254,10 @@ impl NextActivity for DramModel {
 pub struct MultiChannelDram {
     config: DramConfig,
     channels: Vec<DramModel>,
+    /// DRAM channel fault windows; empty on a healthy machine, in which case
+    /// routing takes the original zero-cost path.
+    faults: Vec<ChannelFaultState>,
+    fault_stats: DramFaultStats,
 }
 
 impl MultiChannelDram {
@@ -228,7 +276,48 @@ impl MultiChannelDram {
         let channels = (0..config.channels)
             .map(|_| DramModel::new(config))
             .collect();
-        MultiChannelDram { config, channels }
+        MultiChannelDram {
+            config,
+            channels,
+            faults: Vec::new(),
+            fault_stats: DramFaultStats::default(),
+        }
+    }
+
+    /// Installs the DRAM channel fault windows of `plan`. An empty plan (or
+    /// one without DRAM events) leaves the subsystem on its zero-cost path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event names a channel the subsystem does not have.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        for event in &plan.events {
+            let (channel, latency_multiplier) = match event.kind {
+                FaultKind::DramChannelDown { channel } => (channel, None),
+                FaultKind::DramChannelThrottle {
+                    channel,
+                    latency_multiplier,
+                } => (channel, Some(latency_multiplier)),
+                _ => continue,
+            };
+            assert!(
+                channel < self.config.channels,
+                "fault on DRAM channel {channel} but the subsystem has {} channels",
+                self.config.channels
+            );
+            self.faults.push(ChannelFaultState {
+                channel,
+                from: event.from,
+                until: event.until,
+                latency_multiplier,
+                recovered: event.until == PERMANENT,
+            });
+        }
+    }
+
+    /// Degraded-mode counters (all zero without DRAM faults).
+    pub fn fault_stats(&self) -> DramFaultStats {
+        self.fault_stats
     }
 
     /// The configuration.
@@ -255,10 +344,47 @@ impl MultiChannelDram {
         self.channels[channel as usize].busy_until()
     }
 
+    /// The channel that will actually serve address `addr` at cycle `now`:
+    /// the interleave-mapped home channel on a healthy machine, or a
+    /// deterministic re-striping onto the surviving channels while the home
+    /// channel's outage window is active.
+    ///
+    /// Re-striping spreads displaced blocks across the survivors by the same
+    /// interleave arithmetic (`alive[(addr / interleave) % alive.len()]`), so
+    /// the degraded subsystem keeps its bandwidth-scaling shape. If *every*
+    /// channel is down, requests fall back to the home channel (the outage
+    /// then just costs queueing, mirroring the DSM fabric's parked-transfer
+    /// behavior rather than deadlocking the machine).
+    pub fn route(&mut self, now: Cycle, addr: u64) -> u32 {
+        let preferred = self.channel_for(addr);
+        if self.faults.is_empty() {
+            return preferred;
+        }
+        let t = now.get();
+        let down = |faults: &[ChannelFaultState], ch: u32| {
+            faults
+                .iter()
+                .any(|f| f.channel == ch && f.latency_multiplier.is_none() && f.active_at(t))
+        };
+        if !down(&self.faults, preferred) {
+            return preferred;
+        }
+        let alive: Vec<u32> = (0..self.config.channels)
+            .filter(|&c| !down(&self.faults, c))
+            .collect();
+        if alive.is_empty() {
+            return preferred;
+        }
+        let block = addr / self.config.interleave_bytes;
+        let rerouted = alive[(block % alive.len() as u64) as usize];
+        self.fault_stats.restriped_accesses += 1;
+        rerouted
+    }
+
     /// Performs a transfer of `bytes` on the channel that owns `addr`,
     /// starting no earlier than `now`; returns the completion cycle.
     pub fn access(&mut self, now: Cycle, addr: u64, bytes: u64, write: bool) -> Cycle {
-        let channel = self.channel_for(addr);
+        let channel = self.route(now, addr);
         self.access_on(channel, now, bytes, write)
     }
 
@@ -270,7 +396,23 @@ impl MultiChannelDram {
     ///
     /// Panics if `channel` is out of range.
     pub fn access_on(&mut self, channel: u32, now: Cycle, bytes: u64, write: bool) -> Cycle {
-        self.channels[channel as usize].access(now, bytes, write)
+        if self.faults.is_empty() {
+            return self.channels[channel as usize].access(now, bytes, write);
+        }
+        let t = now.get();
+        let mut multiplier = 1u64;
+        for f in self.faults.iter_mut().filter(|f| f.channel == channel) {
+            if let (true, Some(m)) = (f.active_at(t), f.latency_multiplier) {
+                multiplier = multiplier.max(u64::from(m));
+            }
+            // First access served after a finite window closes marks the
+            // channel's recovery point.
+            if !f.recovered && t >= f.until {
+                f.recovered = true;
+                self.fault_stats.recovery_cycles += t - f.until;
+            }
+        }
+        self.channels[channel as usize].access_scaled(now, bytes, write, multiplier)
     }
 
     /// Aggregate statistics summed over every channel.
@@ -452,6 +594,109 @@ mod tests {
         assert_eq!(per.len(), 2);
         assert_eq!(per[0].reads, 1);
         assert_eq!(per[1].writes, 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let plan = FaultPlan::default();
+        let mut faulty = MultiChannelDram::new(config().with_channels(4));
+        faulty.apply_faults(&plan);
+        let mut clean = MultiChannelDram::new(config().with_channels(4));
+        for i in 0..16u64 {
+            let now = Cycle::new(i * 3);
+            assert_eq!(
+                faulty.access(now, i * 256, 64, i % 2 == 0),
+                clean.access(now, i * 256, 64, i % 2 == 0)
+            );
+        }
+        assert_eq!(faulty.fault_stats(), DramFaultStats::default());
+        assert_eq!(faulty.stats(), clean.stats());
+    }
+
+    #[test]
+    fn dead_channel_restripes_onto_survivors() {
+        let mut plan = FaultPlan::seeded(7);
+        plan = plan.with_event(FaultKind::DramChannelDown { channel: 1 }, 0, 1_000);
+        let mut d = MultiChannelDram::new(config().with_channels(4));
+        d.apply_faults(&plan);
+        // Address 256 homes on channel 1 (down); block 1 re-stripes onto
+        // alive[1 % 3] = channel 2.
+        assert_eq!(d.route(Cycle::new(10), 256), 2);
+        // A healthy home channel routes normally.
+        assert_eq!(d.route(Cycle::new(10), 512), 2);
+        assert_eq!(d.fault_stats().restriped_accesses, 1);
+        // Outside the window the home channel serves again.
+        assert_eq!(d.route(Cycle::new(1_000), 256), 1);
+        assert_eq!(d.fault_stats().restriped_accesses, 1);
+    }
+
+    #[test]
+    fn restriping_spreads_displaced_blocks_across_survivors() {
+        let mut plan = FaultPlan::seeded(7);
+        plan = plan.with_event(FaultKind::DramChannelDown { channel: 0 }, 0, PERMANENT);
+        let mut d = MultiChannelDram::new(config().with_channels(4));
+        d.apply_faults(&plan);
+        // Blocks 0, 4, 8 all home on channel 0; displaced, they stripe over
+        // the three survivors instead of piling onto one.
+        let a = d.route(Cycle::new(0), 0);
+        let b = d.route(Cycle::new(0), 4 * 256);
+        let c = d.route(Cycle::new(0), 8 * 256);
+        assert_eq!(vec![a, b, c], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn all_channels_down_falls_back_to_home_channel() {
+        let mut plan = FaultPlan::seeded(7);
+        for ch in 0..2 {
+            plan = plan.with_event(FaultKind::DramChannelDown { channel: ch }, 0, 100);
+        }
+        let mut d = MultiChannelDram::new(config().with_channels(2));
+        d.apply_faults(&plan);
+        assert_eq!(d.route(Cycle::new(5), 256), 1);
+        assert_eq!(d.fault_stats().restriped_accesses, 0);
+    }
+
+    #[test]
+    fn throttled_channel_multiplies_latency() {
+        let mut plan = FaultPlan::seeded(7);
+        plan = plan.with_event(
+            FaultKind::DramChannelThrottle {
+                channel: 0,
+                latency_multiplier: 3,
+            },
+            0,
+            500,
+        );
+        let mut d = MultiChannelDram::new(config().with_channels(1));
+        d.apply_faults(&plan);
+        // Inside the window: 3×10 latency + 4-cycle transfer.
+        assert_eq!(d.access(Cycle::new(0), 0, 32, false), Cycle::new(34));
+        // Outside the window the latency is healthy again.
+        assert_eq!(d.access(Cycle::new(600), 0, 32, false), Cycle::new(614));
+    }
+
+    #[test]
+    fn recovery_latency_counts_first_access_after_the_window() {
+        let mut plan = FaultPlan::seeded(7);
+        plan = plan.with_event(FaultKind::DramChannelDown { channel: 0 }, 10, 100);
+        let mut d = MultiChannelDram::new(config().with_channels(2));
+        d.apply_faults(&plan);
+        d.access(Cycle::new(50), 0, 32, false); // re-striped away
+        assert_eq!(d.fault_stats().restriped_accesses, 1);
+        assert_eq!(d.fault_stats().recovery_cycles, 0);
+        d.access(Cycle::new(130), 0, 32, false); // first post-window service
+        assert_eq!(d.fault_stats().recovery_cycles, 30);
+        d.access(Cycle::new(200), 0, 32, false); // counted once only
+        assert_eq!(d.fault_stats().recovery_cycles, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault on DRAM channel 5")]
+    fn fault_on_unknown_channel_is_rejected() {
+        let plan =
+            FaultPlan::seeded(1).with_event(FaultKind::DramChannelDown { channel: 5 }, 0, 10);
+        let mut d = MultiChannelDram::new(config().with_channels(2));
+        d.apply_faults(&plan);
     }
 
     /// A non-32-byte burst configuration counts bursts in `burst_bytes`

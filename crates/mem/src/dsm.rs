@@ -24,6 +24,7 @@
 //! bit-identity invariant — its mere presence in the machine perturbs no
 //! counter of a kernel that never issues remote accesses.
 
+use virgo_sim::fault::{FaultKind, FaultPlan, PERMANENT};
 use virgo_sim::{Cycle, NextActivity, StableHash, StableHasher};
 
 /// Bytes per link flit; hop-traversal energy is charged per flit per hop.
@@ -187,6 +188,58 @@ impl ClusterDsmStats {
     }
 }
 
+/// Degraded-mode counters the fabric keeps while a fault plan is applied
+/// (all zero — and untouched — on a healthy fabric).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DsmFaultStats {
+    /// Transfers that detoured the long way around the ring because a dead
+    /// segment blocked their short path.
+    pub rerouted_transfers: u64,
+    /// Cycles transfers spent parked waiting for a dead link with no
+    /// alternate route (crossbar port outages, or a fully severed ring).
+    pub blocked_cycles: u64,
+    /// Summed first-use recovery latency: cycles from each finite outage's
+    /// end to the first transfer that crossed the recovered link.
+    pub recovery_cycles: u64,
+}
+
+/// One scheduled link fault, resolved against this fabric's geometry.
+#[derive(Debug, Clone, Copy)]
+struct LinkFaultState {
+    /// Ring segment (`link` → `link + 1 mod N`) or crossbar ingress port.
+    link: u32,
+    from: u64,
+    until: u64,
+    /// `Some(divisor)` for a slow link, `None` for a dead one.
+    slow_divisor: Option<u32>,
+    /// Whether the post-outage first use has been accounted (pre-set for
+    /// permanent faults, which never recover).
+    recovered: bool,
+}
+
+impl LinkFaultState {
+    fn active_at(&self, cycle: u64) -> bool {
+        self.from <= cycle && cycle < self.until
+    }
+
+    fn until_clamped(&self) -> u64 {
+        self.until.min(virgo_sim::fault::FAR_FUTURE)
+    }
+}
+
+/// What the router decided for one transfer on a faulted fabric.
+struct RouteChoice {
+    hops: u64,
+    /// Worst bandwidth divisor among the crossed links (1 = full speed).
+    divisor: u64,
+    /// Earliest start cycle imposed by a dead, un-routable link (0 = none).
+    release: u64,
+    /// Ring segments the transfer crosses (empty on the crossbar and on
+    /// loopback transfers).
+    segments: Vec<u32>,
+    rerouted: bool,
+}
+
 /// Machine-wide fabric aggregates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DsmFabricStats {
@@ -230,6 +283,9 @@ pub struct DsmFabric {
     in_flight: Vec<Cycle>,
     /// Transfers fully delivered (drained from `in_flight`).
     delivered: u64,
+    /// Scheduled link faults (empty — the zero-cost path — by default).
+    faults: Vec<LinkFaultState>,
+    fault_stats: DsmFaultStats,
 }
 
 impl DsmFabric {
@@ -253,7 +309,45 @@ impl DsmFabric {
             stats: DsmFabricStats::default(),
             in_flight: Vec::new(),
             delivered: 0,
+            faults: Vec::new(),
+            fault_stats: DsmFaultStats::default(),
         }
+    }
+
+    /// Installs the DSM link faults scheduled in `plan`. A plan without DSM
+    /// events leaves the fabric on its zero-cost healthy path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault names a link outside the fabric.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        for event in &plan.events {
+            let (link, slow_divisor) = match event.kind {
+                FaultKind::DsmLinkDown { link } => (link, None),
+                FaultKind::DsmLinkSlow {
+                    link,
+                    bandwidth_divisor,
+                } => (link, Some(bandwidth_divisor)),
+                _ => continue,
+            };
+            assert!(
+                link < self.clusters,
+                "DSM fault on link {link} outside the {}-link fabric",
+                self.clusters
+            );
+            self.faults.push(LinkFaultState {
+                link,
+                from: event.from,
+                until: event.until,
+                slow_divisor,
+                recovered: event.until == PERMANENT,
+            });
+        }
+    }
+
+    /// The degraded-mode counters (all zero on a healthy fabric).
+    pub fn fault_stats(&self) -> DsmFaultStats {
+        self.fault_stats
     }
 
     /// The configuration.
@@ -325,6 +419,114 @@ impl DsmFabric {
         distance.max(1)
     }
 
+    /// Resolves one transfer's route against the active link faults at
+    /// cycle `t`, charging the reroute counter and the first-use recovery
+    /// latency of any crossed link whose outage has ended.
+    ///
+    /// On the ring the transfer prefers the shorter direction and detours
+    /// the long way only when a dead segment blocks the short path and the
+    /// long one is clear; if both directions are severed it parks until the
+    /// short path's last blocking outage clears. On the crossbar there is no
+    /// alternate route, so a dead ingress port always parks the transfer.
+    fn fault_route(&mut self, t: u64, from: u32, to: u32) -> RouteChoice {
+        let mut route = match self.config.topology {
+            DsmTopology::AllToAll => {
+                let mut divisor = 1u64;
+                let mut release = 0u64;
+                for f in &self.faults {
+                    if f.link != to || !f.active_at(t) {
+                        continue;
+                    }
+                    match f.slow_divisor {
+                        Some(d) => divisor = divisor.max(u64::from(d)),
+                        None => release = release.max(f.until_clamped()),
+                    }
+                }
+                RouteChoice {
+                    hops: 1,
+                    divisor,
+                    release,
+                    segments: vec![to],
+                    rerouted: false,
+                }
+            }
+            DsmTopology::Ring => {
+                let n = self.clusters;
+                let d_cw = (to + n - from) % n;
+                if d_cw == 0 {
+                    // Loopback stays inside the cluster's own port and
+                    // crosses no inter-cluster segment.
+                    return RouteChoice {
+                        hops: 1,
+                        divisor: 1,
+                        release: 0,
+                        segments: Vec::new(),
+                        rerouted: false,
+                    };
+                }
+                let cw: Vec<u32> = (0..d_cw).map(|i| (from + i) % n).collect();
+                let ccw: Vec<u32> = (0..(n - d_cw)).map(|i| (to + i) % n).collect();
+                let eval = |segments: &[u32]| {
+                    let mut blocked = false;
+                    let mut divisor = 1u64;
+                    let mut clear_at = 0u64;
+                    for f in &self.faults {
+                        if !segments.contains(&f.link) || !f.active_at(t) {
+                            continue;
+                        }
+                        match f.slow_divisor {
+                            Some(d) => divisor = divisor.max(u64::from(d)),
+                            None => {
+                                blocked = true;
+                                clear_at = clear_at.max(f.until_clamped());
+                            }
+                        }
+                    }
+                    (blocked, divisor, clear_at)
+                };
+                let cw_state = eval(&cw);
+                let ccw_state = eval(&ccw);
+                let (short, short_state, long, long_state) = if cw.len() <= ccw.len() {
+                    (cw, cw_state, ccw, ccw_state)
+                } else {
+                    (ccw, ccw_state, cw, cw_state)
+                };
+                if short_state.0 && !long_state.0 {
+                    RouteChoice {
+                        hops: long.len() as u64,
+                        divisor: long_state.1,
+                        release: 0,
+                        segments: long,
+                        rerouted: true,
+                    }
+                } else {
+                    RouteChoice {
+                        hops: (short.len() as u64).max(1),
+                        divisor: short_state.1,
+                        release: if short_state.0 { short_state.2 } else { 0 },
+                        segments: short,
+                        rerouted: false,
+                    }
+                }
+            }
+        };
+        if route.rerouted {
+            self.fault_stats.rerouted_transfers += 1;
+        }
+        // First use after a finite outage: charge the recovery latency of
+        // every crossed link whose window has ended.
+        let mut recovered = 0u64;
+        for f in &mut self.faults {
+            if !f.recovered && t >= f.until && route.segments.contains(&f.link) {
+                recovered += t - f.until;
+                f.recovered = true;
+            }
+        }
+        self.fault_stats.recovery_cycles += recovered;
+        route.divisor = route.divisor.max(1);
+        route
+    }
+
     /// Carries `bytes` from `from`'s scratchpad to `to`'s, presented at
     /// `now`; returns the delivery cycle.
     ///
@@ -353,10 +555,18 @@ impl DsmFabric {
         if bytes == 0 {
             return now;
         }
-        let hops = self.hops(from, to);
+        let (hops, divisor, release) = if self.faults.is_empty() {
+            (self.hops(from, to), 1, 0)
+        } else {
+            let route = self.fault_route(now.get(), from, to);
+            (route.hops, route.divisor, route.release)
+        };
         let latency = hops * self.config.remote_latency;
-        let occupy = bytes.div_ceil(self.config.link_bandwidth).max(1);
-        let busy = self.link_busy_until[to as usize];
+        let occupy = bytes.div_ceil(self.config.link_bandwidth).max(1) * divisor;
+        // A dead link with no alternate route parks the transfer until the
+        // outage clears; the park time then also shows up as exposed stall.
+        let busy = self.link_busy_until[to as usize].max(Cycle::new(release));
+        self.fault_stats.blocked_cycles += release.saturating_sub(now.get());
         // Exposed queueing: the port backlog beyond what the hop latency
         // hides — exactly the cycles by which delivery slips versus an idle
         // link.
@@ -532,5 +742,118 @@ mod tests {
     fn out_of_range_cluster_panics() {
         let mut f = fabric(2);
         let _ = f.transfer(Cycle::new(0), 0, 5, 64);
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let mut healthy = fabric(4);
+        let mut faulted = fabric(4);
+        faulted.apply_faults(&FaultPlan::default());
+        for (from, to, bytes) in [(1u32, 0u32, 4096u64), (2, 0, 4096), (1, 3, 512)] {
+            assert_eq!(
+                healthy.transfer(Cycle::new(0), from, to, bytes),
+                faulted.transfer(Cycle::new(0), from, to, bytes),
+            );
+        }
+        assert_eq!(healthy.stats(), faulted.stats());
+        assert_eq!(faulted.fault_stats(), DsmFaultStats::default());
+    }
+
+    #[test]
+    fn dead_ring_segment_reroutes_the_long_way() {
+        let plan =
+            FaultPlan::seeded(0).with_event(FaultKind::DsmLinkDown { link: 1 }, 0, PERMANENT);
+        let mut f = DsmFabric::new(DsmConfig::enabled_ring(), 8);
+        f.apply_faults(&plan);
+        // 1 -> 2 normally crosses exactly segment 1; with it dead the
+        // transfer takes the 7-hop detour the other way around.
+        let done = f.transfer(Cycle::new(0), 1, 2, 64);
+        assert_eq!(done, Cycle::new(7 * 32 + 1));
+        assert_eq!(f.fault_stats().rerouted_transfers, 1);
+        assert_eq!(f.fault_stats().blocked_cycles, 0);
+        // The extra hops are charged as extra flit traversals (energy).
+        assert_eq!(f.stats().hop_flits, 7 * 2);
+        // A path not crossing segment 1 is untouched.
+        let clear = f.transfer(Cycle::new(0), 2, 3, 64);
+        assert_eq!(clear, Cycle::new(32 + 1));
+        assert_eq!(f.fault_stats().rerouted_transfers, 1);
+    }
+
+    #[test]
+    fn ring_reroute_respects_the_fault_window() {
+        let plan = FaultPlan::seeded(0).with_event(FaultKind::DsmLinkDown { link: 1 }, 100, 200);
+        let mut f = DsmFabric::new(DsmConfig::enabled_ring(), 8);
+        f.apply_faults(&plan);
+        // Before the window: the short path is healthy.
+        assert_eq!(f.transfer(Cycle::new(0), 1, 2, 64), Cycle::new(32 + 1));
+        // Inside the window: detour.
+        let rerouted = f.transfer(Cycle::new(150), 1, 2, 64);
+        assert_eq!(rerouted, Cycle::new(150 + 7 * 32 + 1));
+        // After the window: healthy again, and the first use charges the
+        // recovery latency (250 - 200 cycles).
+        assert_eq!(f.transfer(Cycle::new(250), 1, 2, 64), Cycle::new(250 + 33));
+        assert_eq!(f.fault_stats().rerouted_transfers, 1);
+        assert_eq!(f.fault_stats().recovery_cycles, 50);
+    }
+
+    #[test]
+    fn dead_crossbar_port_parks_until_recovery() {
+        let plan = FaultPlan::seeded(0).with_event(FaultKind::DsmLinkDown { link: 0 }, 0, 1_000);
+        let mut f = fabric(4);
+        f.apply_faults(&plan);
+        // The crossbar has no detour: the transfer waits out the outage.
+        let done = f.transfer(Cycle::new(100), 1, 0, 64);
+        assert_eq!(done, Cycle::new(1_000 + 1), "parked to the window end");
+        assert_eq!(f.fault_stats().blocked_cycles, 900);
+        // Ports other than 0 are unaffected.
+        assert_eq!(f.transfer(Cycle::new(100), 1, 2, 64), Cycle::new(100 + 33));
+    }
+
+    #[test]
+    fn slow_link_divides_bandwidth() {
+        let plan = FaultPlan::seeded(0).with_event(
+            FaultKind::DsmLinkSlow {
+                link: 0,
+                bandwidth_divisor: 4,
+            },
+            0,
+            PERMANENT,
+        );
+        let mut f = fabric(2);
+        f.apply_faults(&plan);
+        // 4096 bytes at 64 B/cyc = 64 streaming cycles, 4x under the fault.
+        let done = f.transfer(Cycle::new(0), 1, 0, 4096);
+        assert_eq!(done, Cycle::new(32 + 4 * 64));
+        assert_eq!(f.fault_stats().rerouted_transfers, 0);
+    }
+
+    #[test]
+    fn fully_severed_ring_parks_on_the_short_path() {
+        // Both directions between 0 and 1 are cut: segment 0 (0->1) and the
+        // rest of the ring via segment 1 (1->2, i.e. the detour for 0->1
+        // traffic in a 3-ring goes 0->2->1 over segments... the complement).
+        let plan = FaultPlan::seeded(0)
+            .with_event(FaultKind::DsmLinkDown { link: 0 }, 0, 500)
+            .with_event(FaultKind::DsmLinkDown { link: 1 }, 0, 400)
+            .with_event(FaultKind::DsmLinkDown { link: 2 }, 0, 400);
+        let mut f = DsmFabric::new(DsmConfig::enabled_ring(), 3);
+        f.apply_faults(&plan);
+        let done = f.transfer(Cycle::new(10), 0, 1, 64);
+        // Short path = segment 0, blocked until 500; both detour segments
+        // are dead too, so the transfer parks until its own path clears.
+        // The hop latency overlaps the park (the same rule that overlaps it
+        // with port backlog), so delivery is release + streaming.
+        assert_eq!(done, Cycle::new(500 + 1));
+        assert!(f.fault_stats().blocked_cycles >= 490);
+        assert_eq!(f.fault_stats().rerouted_transfers, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn fault_on_unknown_link_is_rejected() {
+        let plan =
+            FaultPlan::seeded(0).with_event(FaultKind::DsmLinkDown { link: 9 }, 0, PERMANENT);
+        let mut f = fabric(2);
+        f.apply_faults(&plan);
     }
 }

@@ -51,10 +51,10 @@ pub use backend::{
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalescer::{Coalescer, CoalescerStats};
 pub use dma::{DmaConfig, DmaEngine, DmaStats, DmaTransfer};
-pub use dram::{DramConfig, DramModel, DramStats, MultiChannelDram};
+pub use dram::{DramConfig, DramFaultStats, DramModel, DramStats, MultiChannelDram};
 pub use dsm::{
-    ClusterDsmStats, DsmConfig, DsmFabric, DsmFabricStats, DsmLinkStats, DsmTopology,
-    DSM_FLIT_BYTES,
+    ClusterDsmStats, DsmConfig, DsmFabric, DsmFabricStats, DsmFaultStats, DsmLinkStats,
+    DsmTopology, DSM_FLIT_BYTES,
 };
 pub use global::{GlobalMemory, GlobalMemoryConfig, GlobalMemoryStats};
 pub use smem::{SharedMemory, SmemConfig, SmemStats};

@@ -16,6 +16,7 @@
 //! latency/occupancy approach and keeps the counters needed for the Table 4
 //! footprint comparison and the shared-memory energy numbers.
 
+use virgo_sim::fault::{EccInjector, EccStats};
 use virgo_sim::{Cycle, NextActivity, StableHash, StableHasher};
 
 /// Configuration of the shared memory.
@@ -148,6 +149,8 @@ pub struct SharedMemory {
     /// Per-bank cycle at which the bank's ports are next free.
     bank_busy_until: Vec<Cycle>,
     stats: SmemStats,
+    /// Deterministic ECC fault injector (None on a healthy scratchpad).
+    ecc: Option<EccInjector>,
 }
 
 impl SharedMemory {
@@ -166,6 +169,32 @@ impl SharedMemory {
             config,
             bank_busy_until: vec![Cycle::ZERO; config.banks as usize],
             stats: SmemStats::default(),
+            ecc: None,
+        }
+    }
+
+    /// Installs a deterministic ECC fault injector; subsequent accesses pay
+    /// the correct/detect penalties its fault windows dictate. Without one
+    /// the scratchpad behaves exactly as before.
+    pub fn set_ecc(&mut self, ecc: EccInjector) {
+        self.ecc = Some(ecc);
+    }
+
+    /// ECC injected/detected/corrected counters (all zero without an
+    /// injector).
+    pub fn ecc_stats(&self) -> EccStats {
+        self.ecc
+            .as_ref()
+            .map(EccInjector::stats)
+            .unwrap_or_default()
+    }
+
+    /// ECC penalty for one access serviced at `now` (zero without an
+    /// injector or outside every fault window).
+    fn ecc_penalty(&mut self, now: Cycle) -> u64 {
+        match self.ecc.as_mut() {
+            Some(ecc) => ecc.observe(now.get()),
+            None => 0,
         }
     }
 
@@ -257,8 +286,9 @@ impl SharedMemory {
         }
         self.stats.conflict_cycles += conflict_cycles;
 
+        let ecc = self.ecc_penalty(now);
         SmemAccess {
-            done: start.plus(busy_cycles + self.config.latency),
+            done: start.plus(busy_cycles + self.config.latency + ecc),
             conflict_cycles,
         }
     }
@@ -286,8 +316,9 @@ impl SharedMemory {
             self.stats.bytes_read += words * 4;
         }
 
+        let ecc = self.ecc_penalty(now);
         SmemAccess {
-            done: start.plus(cycles + self.config.latency),
+            done: start.plus(cycles + self.config.latency + ecc),
             conflict_cycles: cycles - 1,
         }
     }
@@ -421,5 +452,63 @@ mod tests {
         let a = s.access_simt(Cycle::new(5), &[], false);
         assert_eq!(a.done, Cycle::new(7));
         assert_eq!(s.stats().words_read, 0);
+    }
+
+    #[test]
+    fn without_ecc_injector_stats_stay_zero() {
+        let mut s = smem();
+        s.access_wide(Cycle::new(0), 0, 64, false);
+        assert_eq!(s.ecc_stats(), EccStats::default());
+    }
+
+    #[test]
+    fn ecc_injector_charges_penalties_and_counts_events() {
+        use virgo_sim::fault::{FaultKind, FaultPlan, PERMANENT};
+        let plan = FaultPlan::seeded(42).with_event(
+            FaultKind::EccSingleBit {
+                cluster: 0,
+                mean_access_gap: 2,
+            },
+            0,
+            PERMANENT,
+        );
+        let mut s = smem();
+        s.set_ecc(plan.ecc_injector(0).expect("cluster 0 has an ECC window"));
+        // With mean gap 2, a few hundred accesses must hit several upsets;
+        // every single-bit upset is detected *and* corrected.
+        for i in 0..200u64 {
+            s.access_wide(Cycle::new(i * 10), 0, 64, false);
+        }
+        let stats = s.ecc_stats();
+        assert!(stats.injected > 50, "mean gap 2 ⇒ dense upsets");
+        assert_eq!(stats.detected, stats.injected);
+        assert_eq!(stats.corrected, stats.injected);
+    }
+
+    #[test]
+    fn ecc_penalty_is_deterministic_for_a_seed() {
+        use virgo_sim::fault::{FaultKind, FaultPlan};
+        let plan = FaultPlan::seeded(7).with_event(
+            FaultKind::EccDoubleBit {
+                cluster: 2,
+                mean_access_gap: 3,
+            },
+            0,
+            10_000,
+        );
+        let run = |plan: &FaultPlan| {
+            let mut s = smem();
+            s.set_ecc(plan.ecc_injector(2).unwrap());
+            let dones: Vec<Cycle> = (0..64u64)
+                .map(|i| s.access_wide(Cycle::new(i * 16), 0, 32, false).done)
+                .collect();
+            (dones, s.ecc_stats())
+        };
+        let (a_dones, a_stats) = run(&plan);
+        let (b_dones, b_stats) = run(&plan);
+        assert_eq!(a_dones, b_dones);
+        assert_eq!(a_stats, b_stats);
+        assert!(a_stats.injected > 0);
+        assert_eq!(a_stats.corrected, 0, "double-bit upsets are uncorrectable");
     }
 }

@@ -9,7 +9,9 @@
 //! * [`pipe`] — latency pipes and bounded queues used to model pipelined
 //!   hardware structures (caches, DRAM, execution units),
 //! * [`rng`] — a tiny deterministic pseudo-random generator used where the
-//!   model needs arbitrary-but-reproducible choices.
+//!   model needs arbitrary-but-reproducible choices,
+//! * [`fault`] — deterministic, cycle-windowed fault-injection plans
+//!   ([`FaultPlan`]) and the degraded-mode counters they produce.
 //!
 //! * [`activity`] — the [`NextActivity`] trait behind the cycle-skipping
 //!   fast-forward engine.
@@ -38,6 +40,7 @@
 
 pub mod activity;
 pub mod cycle;
+pub mod fault;
 pub mod pipe;
 pub mod rng;
 pub mod stablehash;
@@ -45,6 +48,9 @@ pub mod stats;
 
 pub use activity::{earliest, NextActivity};
 pub use cycle::{Cycle, Frequency};
+pub use fault::{
+    ClusterFaultStats, EccInjector, EccStats, FaultEvent, FaultKind, FaultPlan, FaultStats,
+};
 pub use pipe::{BoundedQueue, DelayPipe};
 pub use rng::SplitMix64;
 pub use stablehash::{StableHash, StableHasher};

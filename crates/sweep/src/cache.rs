@@ -14,8 +14,10 @@
 //! Disk entries are self-verifying (`SimReport::from_cache_json` checks a
 //! format tag, version, the embedded key and a payload checksum): a
 //! corrupted, truncated or stale-format file is counted in
-//! [`CacheStats::disk_rejects`], deleted and treated as a **miss**, never a
-//! panic. The disk layer is *opt-in* at the service level (governed by
+//! [`CacheStats::disk_rejects`], moved into a `quarantine/` subdirectory
+//! (so the evidence survives for post-mortem instead of being destroyed;
+//! deletion is the fallback when the move fails) and treated as a **miss**,
+//! never a panic. The disk layer is *opt-in* at the service level (governed by
 //! `VIRGO_SWEEP_CACHE` — see `service::default_disk_dir`): keys digest the
 //! simulation inputs, not the simulator's own source, so a persistent cache
 //! is only sound while the simulator binary is fixed.
@@ -42,8 +44,12 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// In-memory entries dropped to stay within capacity.
     pub evictions: u64,
-    /// On-disk entries rejected (corrupt/stale) and deleted.
+    /// On-disk entries rejected (corrupt/stale) and removed from the cache.
     pub disk_rejects: u64,
+    /// The subset of `disk_rejects` preserved in the `quarantine/`
+    /// subdirectory for post-mortem (the rest could not be moved and were
+    /// deleted).
+    pub disk_quarantined: u64,
 }
 
 impl CacheStats {
@@ -200,12 +206,34 @@ impl ReportCache {
         match SimReport::from_cache_json(&text, &key.to_hex()) {
             Ok(report) => Some(report),
             Err(_) => {
-                // Corrupt or stale entry: delete it and report a miss. The
-                // reject counter is how corruption surfaces in summaries.
-                let _ = std::fs::remove_file(&path);
-                self.lock().stats.disk_rejects += 1;
+                // Corrupt or stale entry: quarantine it and report a miss.
+                // The reject counter is how corruption surfaces in summaries.
+                self.quarantine(&path);
                 None
             }
+        }
+    }
+
+    /// Moves a rejected entry into `<disk_dir>/quarantine/`, keeping the
+    /// corrupt bytes around for post-mortem instead of destroying the only
+    /// evidence. Falls back to deletion when the move fails (e.g. the
+    /// quarantine directory cannot be created), so a bad entry never keeps
+    /// masquerading as a cache hit either way.
+    fn quarantine(&self, path: &Path) {
+        let moved = self.disk_dir.as_ref().is_some_and(|dir| {
+            let qdir = dir.join("quarantine");
+            std::fs::create_dir_all(&qdir).is_ok()
+                && path
+                    .file_name()
+                    .is_some_and(|name| std::fs::rename(path, qdir.join(name)).is_ok())
+        });
+        if !moved {
+            let _ = std::fs::remove_file(path);
+        }
+        let mut inner = self.lock();
+        inner.stats.disk_rejects += 1;
+        if moved {
+            inner.stats.disk_quarantined += 1;
         }
     }
 
@@ -328,7 +356,13 @@ mod tests {
         assert_eq!(report.instructions_retired(), 3);
         let stats = cache.stats();
         assert_eq!(stats.disk_rejects, 1);
+        assert_eq!(stats.disk_quarantined, 1);
         assert_eq!(stats.misses, 1);
+        // The corrupt bytes were preserved for post-mortem, not destroyed.
+        let quarantined = dir
+            .join("quarantine")
+            .join(format!("{}.json", key.to_hex()));
+        assert!(quarantined.exists(), "corrupt entry must be quarantined");
         // The re-simulation rewrote a valid entry.
         assert!(SimReport::from_cache_json(
             &std::fs::read_to_string(&path).unwrap(),

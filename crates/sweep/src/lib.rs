@@ -60,7 +60,7 @@ pub mod pool;
 pub mod service;
 
 pub use cache::{CacheStats, ReportCache};
-pub use pool::{host_parallelism, Completion, SweepPool};
+pub use pool::{host_parallelism, Completion, SweepError, SweepPool};
 pub use service::{
     default_disk_dir, workspace_cache_dir, SweepOutcome, SweepPoint, SweepService, SweepWorkload,
     DEFAULT_MAX_CYCLES,

@@ -13,11 +13,25 @@
 //! returned `Vec` always lines up index-for-index with the input, no matter
 //! which worker finished first. That ordering is a documented guarantee, not
 //! an accident of collection, and is pinned by regression tests.
+//!
+//! # Self-healing
+//!
+//! Long sweep campaigns should not lose a thousand finished points to one
+//! panicking job. The [`SweepPool::try_map`] / [`SweepPool::try_map_streaming`]
+//! variants isolate each job behind `catch_unwind`, retry a panicking item up
+//! to [`SweepPool::MAX_ATTEMPTS`] times with a bounded backoff (transient
+//! failures — OOM-killed allocations, poisoned one-shot state — often pass on
+//! retry), and quarantine items that still fail as structured [`SweepError`]s
+//! in the result vector, preserving submission order for everything else. The
+//! plain `map*` methods keep their original contract: a panicking job
+//! propagates and the sweep dies loudly.
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// One completed item, handed to the streaming callback as soon as the
 /// worker that ran it sends it back — i.e. in *completion* order.
@@ -31,6 +45,42 @@ pub struct Completion<'a, R> {
     pub total: usize,
     /// The item's result (owned results are returned by `map*` at the end).
     pub result: &'a R,
+}
+
+/// One quarantined sweep item: the job panicked on every attempt. The index
+/// points back into the submitted work list, so the caller can requeue or
+/// report the exact item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Index of the item in the submitted work list.
+    pub index: usize,
+    /// Number of attempts made (always [`SweepPool::MAX_ATTEMPTS`]).
+    pub attempts: u32,
+    /// The panic payload of the final attempt, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep item {} quarantined after {} attempt(s): {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Renders a panic payload for [`SweepError::message`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A bounded, work-stealing worker pool for embarrassingly-parallel sweeps.
@@ -50,6 +100,14 @@ pub struct SweepPool {
 }
 
 impl SweepPool {
+    /// Attempts per item in the `try_map*` variants before quarantining it.
+    pub const MAX_ATTEMPTS: u32 = 3;
+
+    /// Base backoff between retry attempts; attempt `n` waits `n` times this
+    /// (bounded: at most `MAX_ATTEMPTS - 1` sleeps totalling a few tens of
+    /// milliseconds, never an unbounded exponential).
+    pub const RETRY_BACKOFF: Duration = Duration::from_millis(10);
+
     /// Creates a pool of `min(num_cpus, pool_size)` workers (at least one).
     /// Oversubscribing a host beyond its core count only adds scheduling
     /// noise to deterministic CPU-bound simulations, so the host parallelism
@@ -158,6 +216,63 @@ impl SweepPool {
             .map(|r| r.expect("worker thread panicked"))
             .collect()
     }
+
+    /// Fault-isolated [`SweepPool::map`]: a panicking job is retried up to
+    /// [`SweepPool::MAX_ATTEMPTS`] times with a bounded backoff, and an item
+    /// that panics on every attempt comes back as `Err(SweepError)` in its
+    /// submission-order slot instead of killing the whole sweep. Items need
+    /// `Clone` so a failed attempt can be re-run.
+    pub fn try_map<T, R, F>(&self, items: Vec<T>, job: F) -> Vec<Result<R, SweepError>>
+    where
+        T: Clone + Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        self.try_map_streaming(items, job, |_| {})
+    }
+
+    /// Fault-isolated [`SweepPool::map_streaming`]: streams completions
+    /// (successes *and* quarantines) in completion order and collects them in
+    /// submission order. See [`SweepPool::try_map`].
+    pub fn try_map_streaming<T, R, F>(
+        &self,
+        items: Vec<T>,
+        job: F,
+        each: impl FnMut(Completion<'_, Result<R, SweepError>>),
+    ) -> Vec<Result<R, SweepError>>
+    where
+        T: Clone + Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        self.map_streaming(
+            items.into_iter().enumerate().collect(),
+            |(index, item): (usize, T)| {
+                let mut message = String::new();
+                for attempt in 1..=Self::MAX_ATTEMPTS {
+                    // The closure only borrows `job` and a clone of the item,
+                    // so a panic cannot leave broken state behind for the
+                    // next attempt to observe.
+                    let arg = item.clone();
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| job(arg))) {
+                        Ok(result) => return Ok(result),
+                        Err(payload) => {
+                            message = panic_message(payload.as_ref());
+                            if attempt < Self::MAX_ATTEMPTS {
+                                std::thread::sleep(Self::RETRY_BACKOFF * attempt);
+                            }
+                        }
+                    }
+                }
+                Err(SweepError {
+                    index,
+                    attempts: Self::MAX_ATTEMPTS,
+                    message,
+                })
+            },
+            each,
+        )
+    }
 }
 
 impl Default for SweepPool {
@@ -251,5 +366,65 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_map_quarantines_persistent_panics_in_order() {
+        let pool = SweepPool::new(2);
+        let out = pool.try_map(vec![1u64, 2, 3, 4], |x| {
+            if x % 2 == 0 {
+                panic!("even item {x}");
+            }
+            x * 10
+        });
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], Ok(10));
+        assert_eq!(out[2], Ok(30));
+        for (slot, x) in [(1usize, 2u64), (3, 4)] {
+            let err = out[slot].as_ref().unwrap_err();
+            assert_eq!(err.index, slot);
+            assert_eq!(err.attempts, SweepPool::MAX_ATTEMPTS);
+            assert_eq!(err.message, format!("even item {x}"));
+            assert!(err.to_string().contains("quarantined"), "{err}");
+        }
+    }
+
+    #[test]
+    fn try_map_retries_transient_failures_to_success() {
+        // Item 7 panics on its first two attempts and succeeds on the third;
+        // the sweep self-heals without surfacing an error.
+        static ATTEMPTS: AtomicUsize = AtomicUsize::new(0);
+        let pool = SweepPool::new(2);
+        let out = pool.try_map(vec![1u64, 7, 3], |x| {
+            if x == 7 && ATTEMPTS.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            x
+        });
+        assert_eq!(out, vec![Ok(1), Ok(7), Ok(3)]);
+        assert_eq!(ATTEMPTS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn try_map_streaming_reports_quarantines_too() {
+        let pool = SweepPool::new(2);
+        let mut quarantined = 0usize;
+        let mut succeeded = 0usize;
+        let out = pool.try_map_streaming(
+            (0..8u64).collect(),
+            |x| {
+                if x == 5 {
+                    panic!("doomed");
+                }
+                x
+            },
+            |c| match c.result {
+                Ok(_) => succeeded += 1,
+                Err(_) => quarantined += 1,
+            },
+        );
+        assert_eq!((succeeded, quarantined), (7, 1));
+        assert!(out[5].is_err());
+        assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 7);
     }
 }

@@ -26,7 +26,7 @@ use virgo_isa::Kernel;
 use virgo_kernels::{build_flash_attention, build_gemm, AttentionShape, GemmShape};
 
 use crate::cache::{CacheStats, ReportCache};
-use crate::pool::{Completion, SweepPool};
+use crate::pool::{Completion, SweepError, SweepPool};
 
 /// Cycle budget used for every simulation unless overridden; generous enough
 /// for the largest (1024³ Volta-style) run.
@@ -328,6 +328,22 @@ impl SweepService {
         )
     }
 
+    /// Fault-isolated [`SweepService::sweep`]: a point whose simulation
+    /// panics (after the pool's bounded retries) is quarantined as an
+    /// `Err(SweepError)` in its submission-order slot while every other
+    /// point completes normally — one bad point no longer costs the whole
+    /// campaign. Cached points are unaffected either way.
+    pub fn try_sweep(&self, points: &[SweepPoint]) -> Vec<Result<SweepOutcome, SweepError>> {
+        self.pool.try_map(points.to_vec(), |point| {
+            let (report, from_cache) = self.query_point(&point);
+            SweepOutcome {
+                point,
+                report,
+                from_cache,
+            }
+        })
+    }
+
     /// The smallest cluster count among `candidates` whose report meets the
     /// latency target (in cycles), together with its report. All candidates
     /// are swept in parallel (and memoized), so follow-up questions about
@@ -524,6 +540,31 @@ mod tests {
                 &[1, 2],
             )
             .is_none());
+    }
+
+    #[test]
+    fn try_sweep_quarantines_a_panicking_point_and_finishes_the_rest() {
+        let svc = service();
+        // FlashAttention on a Volta-style design has no paper mapping and
+        // panics in kernel generation — a deterministic poison point.
+        let attention = AttentionShape {
+            batch: 1,
+            seq_len: 128,
+            head_dim: 64,
+            heads: 1,
+        };
+        let points = vec![
+            SweepPoint::gemm(DesignKind::Virgo, tiny_gemm()),
+            SweepPoint::flash_attention(DesignKind::VoltaStyle, attention),
+            SweepPoint::gemm(DesignKind::AmpereStyle, tiny_gemm()),
+        ];
+        let out = svc.try_sweep(&points);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_ok());
+        assert!(out[2].is_ok(), "points after the poison one must finish");
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.attempts, SweepPool::MAX_ATTEMPTS);
     }
 
     #[test]
