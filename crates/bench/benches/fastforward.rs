@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use virgo::{DesignKind, Gpu, GpuConfig, SimMode};
+use virgo::{DesignKind, Gpu, GpuConfig, SchedStats, SimMode};
 use virgo_bench::{microbench, print_table, ReportDigest};
 use virgo_isa::{
     DataType, DeviceId, DmaCopyCmd, Kernel, KernelInfo, MemLoc, MmioCommand, ProgramBuilder,
@@ -51,11 +51,40 @@ struct Comparison {
     naive_ms: f64,
     fast_ms: f64,
     identical: bool,
+    /// Scheduler counters of the fast-forward run: how many cycles were
+    /// processed vs jumped, and which component class pinned each event.
+    sched: SchedStats,
 }
 
 impl Comparison {
     fn speedup(&self) -> f64 {
         self.naive_ms / self.fast_ms.max(1e-9)
+    }
+
+    /// Compact horizon-attribution column: the non-zero event classes, most
+    /// frequent first, so a regression names the component that stopped the
+    /// skip at a glance.
+    fn attribution(&self) -> String {
+        let s = &self.sched;
+        let mut classes = [
+            ("simt", s.simt_events),
+            ("gemmini", s.gemmini_events),
+            ("tensor", s.tensor_events),
+            ("dma", s.dma_events),
+            ("dsm", s.dsm_events),
+            ("dram", s.dram_events),
+        ];
+        classes.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        let parts: Vec<String> = classes
+            .iter()
+            .filter(|&&(_, n)| n > 0)
+            .map(|(name, n)| format!("{name} {n}"))
+            .collect();
+        if parts.is_empty() {
+            "-".to_string()
+        } else {
+            parts.join(" · ")
+        }
     }
 }
 
@@ -83,6 +112,7 @@ fn compare_kernel(name: &'static str, config: &GpuConfig, kernel: &Kernel) -> Co
         naive_ms: naive_time.min_ms(),
         fast_ms: fast_time.min_ms(),
         identical,
+        sched: *fast.sched_stats(),
     }
 }
 
@@ -112,6 +142,12 @@ fn main() {
                 format!("{:.2}", c.fast_ms),
                 format!("{:.1}x", c.speedup()),
                 if c.identical { "yes" } else { "NO" }.to_string(),
+                format!(
+                    "{}/{}",
+                    c.sched.processed_cycles,
+                    c.sched.processed_cycles + c.sched.skipped_cycles
+                ),
+                c.attribution(),
             ]
         })
         .collect();
@@ -124,6 +160,8 @@ fn main() {
             "ff ms",
             "speedup",
             "bit-identical",
+            "proc/total",
+            "horizon pinned by",
         ],
         &rows,
     );
@@ -135,14 +173,28 @@ fn main() {
                 concat!(
                     "    {{\"workload\": \"{}\", \"simulated_cycles\": {}, ",
                     "\"naive_ms\": {:.3}, \"fastforward_ms\": {:.3}, ",
-                    "\"speedup\": {:.2}, \"bit_identical\": {}}}"
+                    "\"speedup\": {:.2}, \"bit_identical\": {},\n",
+                    "     \"processed_cycles\": {}, \"skipped_cycles\": {}, ",
+                    "\"simt_events\": {}, \"gemmini_events\": {}, ",
+                    "\"tensor_events\": {}, \"dma_events\": {}, ",
+                    "\"dsm_events\": {}, \"dram_events\": {}, ",
+                    "\"bailout_engagements\": {}}}"
                 ),
                 c.name,
                 c.cycles,
                 c.naive_ms,
                 c.fast_ms,
                 c.speedup(),
-                c.identical
+                c.identical,
+                c.sched.processed_cycles,
+                c.sched.skipped_cycles,
+                c.sched.simt_events,
+                c.sched.gemmini_events,
+                c.sched.tensor_events,
+                c.sched.dma_events,
+                c.sched.dsm_events,
+                c.sched.dram_events,
+                c.sched.bailout_engagements,
             )
         })
         .collect();
@@ -167,25 +219,43 @@ fn main() {
         "stall-heavy speedup regressed below 3x: {:.2}x",
         stall.speedup()
     );
-    // No workload may be *slower* under fast-forward: the adaptive bailout
-    // falls back to naive stepping in compute-dense regions, so the worst
-    // case is naive speed plus a bounded number of horizon probes
-    // (ampere_gemm_128 regressed to 0.93x before the bailout existed). The
-    // semantic target is 1.0x, but the dense comparisons sit *at* 1.0x by
-    // design, so the gate leaves a small margin for wall-clock jitter on
-    // shared CI runners — a real regression (like the pre-bailout 0.93x)
-    // still trips it.
-    const NOISE_MARGIN: f64 = 0.97;
+    // Dense-GEMM speedup gates. With batched Gemmini operand streaming the
+    // virgo kernel is almost entirely quiescent between block boundaries and
+    // the driver jumps it in a handful of events — comfortably past 2x. The
+    // ampere kernel is different in kind: its warps issue an HMMA/ALU/load
+    // instruction nearly every cycle, so ~86k of its ~192k core-cycles are
+    // *active* ticks that both modes must execute instruction-by-instruction.
+    // Measured on this workload, a fast-forward pass with zero scheduler
+    // overhead would still pay those ticks, capping the honest ceiling near
+    // 1.4x; the gate pins the achieved ratio (≈1.3x after the in-tick horizon
+    // fold removed the per-tick `next_activity` probes) with margin for CI
+    // jitter, and the real protection is the floor staying well above the
+    // pre-horizon 0.9x regressions.
+    let gemm_floor = |name: &str| match name {
+        "virgo_gemm_256" => Some(2.0),
+        "ampere_gemm_128" => Some(1.15),
+        _ => None,
+    };
     for c in &comparisons {
-        assert!(
-            c.speedup() >= NOISE_MARGIN,
-            "{} is slower under fast-forward than naive: {:.2}x (floor {NOISE_MARGIN})",
-            c.name,
-            c.speedup()
+        if let Some(floor) = gemm_floor(c.name) {
+            assert!(
+                c.speedup() >= floor,
+                "{} fast-forward speedup regressed below {floor}x: {:.2}x",
+                c.name,
+                c.speedup()
+            );
+        }
+        // Batched streaming gives every matrix unit a real (block-boundary)
+        // horizon, so the adaptive naive-stepping bailout must never engage
+        // on these workloads — if it does, a horizon regressed to `now`-pins.
+        assert_eq!(
+            c.sched.bailout_engagements, 0,
+            "{}: the fast-forward bailout engaged — a component's next_activity is pinning the horizon",
+            c.name
         );
     }
     println!(
-        "stall-heavy speedup: {:.1}x (target >= 3x), all workloads >= {NOISE_MARGIN}x — all reports bit-identical",
+        "stall-heavy speedup: {:.1}x (target >= 3x), dense gates met, zero bailouts — all reports bit-identical",
         stall.speedup()
     );
 }

@@ -1,0 +1,38 @@
+//! Prints the event-driven scheduler's attribution counters for the bench
+//! workloads — a quick profiling aid when tuning the driver.
+
+use virgo::{DesignKind, Gpu, GpuConfig, SimMode};
+use virgo_kernels::GemmShape;
+
+fn main() {
+    for (name, design, size) in [
+        ("virgo_gemm_256", DesignKind::Virgo, 256),
+        ("ampere_gemm_128", DesignKind::AmpereStyle, 128),
+    ] {
+        let config = GpuConfig::for_design(design);
+        let kernel = virgo_kernels::build_gemm(&config, GemmShape::square(size));
+        let t0 = std::time::Instant::now();
+        let _ = Gpu::new(config.clone())
+            .run_with_mode(&kernel, 2_000_000_000, SimMode::Naive)
+            .expect("run finishes");
+        let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = std::time::Instant::now();
+        let report = Gpu::new(config.clone())
+            .run_with_mode(&kernel, 2_000_000_000, SimMode::FastForward)
+            .expect("run finishes");
+        let ff_ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{name}: naive={naive_ms:.2}ms ff={ff_ms:.2}ms");
+        let s = *report.sched_stats();
+        let c = report.core_stats();
+        println!(
+            "{name}: cycles={} clusters={} cores={} {s:?}",
+            report.cycles().get(),
+            config.clusters,
+            config.cores,
+        );
+        println!(
+            "  core: active={} stall={} idle={} total={} instrs={}",
+            c.active_cycles, c.stall_cycles, c.idle_cycles, c.total_cycles, c.instrs_issued
+        );
+    }
+}

@@ -65,9 +65,22 @@ pub fn classify(path: &str, value: &JsonValue) -> Rule {
             | "degraded_cycles"
             | "dsm_blocked_cycles"
             | "recovery_cycles" => Rule::HigherWorse(0.001),
-            "mac_utilization_percent" | "performed_macs" | "dram_bytes_saved" => {
-                Rule::LowerWorse(0.001)
-            }
+            // Fast-forward horizon attribution: more scheduled events (or
+            // fewer skipped cycles) means some component's horizon regressed
+            // toward `now`-pinning. The counts are deterministic for a given
+            // simulator version, so the tolerance only absorbs rounding.
+            "processed_cycles"
+            | "simt_events"
+            | "gemmini_events"
+            | "tensor_events"
+            | "dma_events"
+            | "dsm_events"
+            | "dram_events"
+            | "bailout_engagements" => Rule::HigherWorse(0.001),
+            "mac_utilization_percent"
+            | "performed_macs"
+            | "dram_bytes_saved"
+            | "skipped_cycles" => Rule::LowerWorse(0.001),
             "speedup" => Rule::LowerWorse(0.40),
             "clusters" | "dram_channels" | "faults_injected" | "rerouted_transfers"
             | "restriped_accesses" => Rule::Exact,
@@ -358,6 +371,50 @@ mod tests {
         let (r, rows) = diff(r#"{"cycles": 100}"#, r#"{"cycles": "fast"}"#);
         assert_eq!(r, 1);
         assert_eq!(rows[0].status, "TYPE");
+    }
+
+    #[test]
+    fn horizon_attribution_metrics_are_gated() {
+        // The fastforward artifact's scheduler counters must be gated, not
+        // ungated-new: an event-count increase or a skipped-cycle decrease is
+        // a horizon regression even when wall-clock speedup still passes.
+        let num = JsonValue::Num(100.0);
+        for key in [
+            "processed_cycles",
+            "simt_events",
+            "gemmini_events",
+            "tensor_events",
+            "dma_events",
+            "dsm_events",
+            "dram_events",
+            "bailout_engagements",
+        ] {
+            assert_eq!(
+                classify(&format!("comparisons[1].{key}"), &num),
+                Rule::HigherWorse(0.001),
+                "{key}"
+            );
+        }
+        assert_eq!(
+            classify("comparisons[1].skipped_cycles", &num),
+            Rule::LowerWorse(0.001)
+        );
+        // More events than baseline fails; fewer passes.
+        let (r, rows) = diff(r#"{"simt_events": 500}"#, r#"{"simt_events": 600}"#);
+        assert_eq!(r, 1);
+        assert_eq!(rows[0].status, "REGRESSION");
+        let (r, _) = diff(r#"{"simt_events": 500}"#, r#"{"simt_events": 400}"#);
+        assert_eq!(r, 0);
+        // A bailout appearing where the baseline had none is a regression
+        // even from zero (the relative-tolerance guard must not mask it).
+        let (r, _) = diff(
+            r#"{"bailout_engagements": 0}"#,
+            r#"{"bailout_engagements": 1}"#,
+        );
+        assert_eq!(r, 1);
+        // Skipped cycles shrinking means the driver is jumping less.
+        let (r, _) = diff(r#"{"skipped_cycles": 9000}"#, r#"{"skipped_cycles": 7000}"#);
+        assert_eq!(r, 1);
     }
 
     #[test]

@@ -8,7 +8,9 @@ use virgo_mem::{
     SharedMemory,
 };
 use virgo_sim::{earliest, Cycle, NextActivity};
-use virgo_simt::{ClusterPort, ClusterSynchronizer, CoreStats, SimtCore, WarpSnapshot};
+use virgo_simt::{
+    ClusterPort, ClusterSynchronizer, CoreStats, SimtCore, TickOutcome, WarpSnapshot,
+};
 use virgo_tensor::{OperandDecoupledUnit, TightlyCoupledUnit};
 
 use crate::config::{DesignKind, GpuConfig};
@@ -151,6 +153,14 @@ impl ClusterDevices {
     /// (the DMA engine's endpoints) flows through the shared `backend`;
     /// remote-scratchpad endpoints traverse the machine-wide DSM `fabric`.
     pub fn tick(&mut self, now: Cycle, backend: &mut MemoryBackend, fabric: &mut DsmFabric) {
+        // The matrix units' batched operand schedules sit in the shared
+        // memory's pending stream-read queue; replaying them at the right
+        // points reproduces the reference one-read-per-cycle interleaving
+        // exactly. Reads dated before this cycle were issued on earlier
+        // (possibly skipped) ticks, so they precede everything this cycle
+        // does; reads dated *at* this cycle land between the DMA sub-tick and
+        // the core ticks, where the per-cycle FSM used to issue them.
+        self.smem.drain_stream_reads(now, false);
         // DMA engine.
         if let Some(dma) = &mut self.dma {
             let completed = dma.tick(
@@ -166,6 +176,7 @@ impl ClusterDevices {
                 self.stats.async_ops_completed += 1;
             }
         }
+        self.smem.drain_stream_reads(now, true);
         // Disaggregated matrix units.
         for (unit, acc) in self
             .gemmini_units
@@ -178,6 +189,9 @@ impl ClusterDevices {
                 self.stats.async_ops_completed += 1;
             }
         }
+        // A command latched this cycle may have scheduled its first read for
+        // this very cycle; apply it before the decoupled units and cores run.
+        self.smem.drain_stream_reads(now, true);
         // Operand-decoupled tensor units.
         for unit in &mut self.decoupled_units {
             unit.tick(now, &mut self.smem);
@@ -204,15 +218,18 @@ impl ClusterDevices {
     }
 
     /// Bulk-replays `cycles` skipped ticks of a quiescent window, during
-    /// which only time-uniform per-cycle counters advance.
+    /// which only closed-form per-cycle accounting advances.
     ///
-    /// Within such a window the matrix units are idle (a busy unit pins the
-    /// horizon to `now`) and the decoupled units' ticks are no-ops between
-    /// milestones, so the only counter to replay is the DMA engine's busy
-    /// time.
+    /// Within such a window the decoupled units' ticks are no-ops between
+    /// milestones, so the counters to replay are the DMA engine's busy time
+    /// and the matrix units' mid-block compute schedules (their operand reads
+    /// were pre-scheduled on block entry and drain independently).
     pub fn fast_forward(&mut self, cycles: u64) {
         if let Some(dma) = &mut self.dma {
             dma.fast_forward(cycles);
+        }
+        for unit in &mut self.gemmini_units {
+            unit.fast_forward(cycles);
         }
     }
 
@@ -222,6 +239,35 @@ impl ClusterDevices {
             && self.dma.as_ref().is_none_or(DmaEngine::is_idle)
             && self.gemmini_units.iter().all(|u| !u.busy())
             && self.decoupled_units.iter().all(|u| u.pending() == 0)
+            && self.smem.stream_reads_pending() == 0
+    }
+
+    /// Signature of "work was submitted to the devices": bumps when a core
+    /// performs an MMIO write or enqueues into a decoupled tensor unit.
+    /// Across a *core* tick neither term can decrease (retirement only
+    /// happens in the devices tick), so a changed value means a submission
+    /// and the event-driven driver wakes the devices on the next cycle.
+    pub(crate) fn inbox_mark(&self) -> u64 {
+        self.stats.mmio_writes
+            + self
+                .decoupled_units
+                .iter()
+                .map(|u| u64::from(u.pending()))
+                .sum::<u64>()
+    }
+
+    /// Monotone signature of "an asynchronous operation completed": bumps
+    /// when the DMA engine or a matrix unit retires an async op, or a
+    /// decoupled tensor unit retires a wgmma. The event-driven driver
+    /// compares it across a devices tick to unblock fence/drain-parked cores
+    /// on the same cycle, exactly when the naive loop would.
+    pub(crate) fn completion_mark(&self) -> u64 {
+        self.stats.async_ops_completed
+            + self
+                .decoupled_units
+                .iter()
+                .map(|u| u.stats().ops)
+                .sum::<u64>()
     }
 
     fn submit_dma(&mut self, cmd: &virgo_isa::DmaCopyCmd, exec_count: u64) -> bool {
@@ -305,6 +351,11 @@ impl ClusterPort for ClusterCtx<'_> {
                 );
             }
         }
+        // Pending matrix-unit stream reads dated up to this cycle precede a
+        // core access in the reference schedule (devices tick before cores);
+        // under the event-driven driver the devices may be parked mid-block,
+        // so replay them here before the core's access claims the banks.
+        self.devices.smem.drain_stream_reads(now, true);
         self.devices.smem.access_simt(now, lane_addrs, write).done
     }
 
@@ -316,11 +367,11 @@ impl ClusterPort for ClusterCtx<'_> {
         bytes_per_lane: u32,
         write: bool,
     ) -> Cycle {
-        let line_requests =
-            self.devices.coalescers[core as usize].coalesce(lane_addrs, bytes_per_lane);
         let line_bytes = self.devices.coalescers[core as usize].line_bytes();
+        let line_requests =
+            self.devices.coalescers[core as usize].coalesce_lines(lane_addrs, bytes_per_lane);
         let mut done = now;
-        for line in line_requests {
+        for &line in line_requests {
             done = done.max(self.devices.gmem.access_from_core(
                 now,
                 core as usize,
@@ -603,6 +654,117 @@ impl Cluster {
         for core in &mut self.cores {
             core.fast_forward(from, cycles);
         }
+    }
+
+    // --- Per-component entry points for the event-driven driver -----------
+    //
+    // The event-queue scheduler (see `run.rs`) advances the cluster's
+    // devices and each core independently: a component is ticked only on the
+    // cycles it is scheduled for, and the gap since its last tick is
+    // bulk-replayed first so per-cycle accounting stays bit-identical to the
+    // naive loop, which ticks everything every cycle.
+
+    /// Ticks only the cluster devices (DMA, matrix units, decoupled units).
+    pub fn tick_devices(
+        &mut self,
+        now: Cycle,
+        backend: &mut MemoryBackend,
+        fabric: &mut DsmFabric,
+    ) {
+        if now.get() < self.start_at {
+            return;
+        }
+        self.devices.tick(now, backend, fabric);
+    }
+
+    /// Ticks only core `core` against the cluster port and returns the
+    /// tick's outcome hints for the event-driven driver (see
+    /// [`virgo_simt::TickOutcome`]).
+    pub fn tick_core(
+        &mut self,
+        core: usize,
+        now: Cycle,
+        backend: &mut MemoryBackend,
+        fabric: &mut DsmFabric,
+    ) -> TickOutcome {
+        if now.get() < self.start_at {
+            return TickOutcome::default();
+        }
+        let mut ctx = ClusterCtx {
+            devices: &mut self.devices,
+            backend,
+            fabric,
+        };
+        self.cores[core].tick(now, &mut ctx)
+    }
+
+    /// The devices' own event horizon (see [`ClusterDevices::next_activity`]).
+    pub fn devices_next_activity(&self, now: Cycle) -> Option<Cycle> {
+        self.devices.next_activity(now)
+    }
+
+    /// Core `core`'s event horizon against the cluster port.
+    pub fn core_next_activity(
+        &mut self,
+        core: usize,
+        now: Cycle,
+        backend: &mut MemoryBackend,
+        fabric: &mut DsmFabric,
+    ) -> Option<Cycle> {
+        let ctx = ClusterCtx {
+            devices: &mut self.devices,
+            backend,
+            fabric,
+        };
+        self.cores[core].next_activity(now, &ctx)
+    }
+
+    /// Bulk-replays `cycles` parked device ticks (DMA busy time, matrix-unit
+    /// compute schedules).
+    pub fn fast_forward_devices(&mut self, from: Cycle, cycles: u64) {
+        if from.get() < self.start_at {
+            return;
+        }
+        self.devices.fast_forward(cycles);
+    }
+
+    /// Bulk-replays `cycles` parked ticks of core `core`.
+    pub fn fast_forward_core(&mut self, core: usize, from: Cycle, cycles: u64) {
+        if from.get() < self.start_at {
+            return;
+        }
+        self.cores[core].fast_forward(from, cycles);
+    }
+
+    /// Signature of submissions into the cluster devices (see
+    /// [`ClusterDevices::inbox_mark`]).
+    pub fn inbox_mark(&self) -> u64 {
+        self.devices.inbox_mark()
+    }
+
+    /// Signature of asynchronous completions (see
+    /// [`ClusterDevices::completion_mark`]).
+    pub fn completion_mark(&self) -> u64 {
+        self.devices.completion_mark()
+    }
+
+    /// Cluster-barrier releases so far (event-driven cross-core wake signal).
+    pub fn barrier_release_events(&self) -> u64 {
+        self.devices.synchronizer.release_events()
+    }
+
+    /// Which device engine classes have an event horizon at or before `now`:
+    /// `(dma, gemmini, tensor)`. The event-driven driver samples this right
+    /// before a devices tick to attribute the event in
+    /// [`crate::report::SchedStats`].
+    pub fn due_engines(&self, now: Cycle) -> (bool, bool, bool) {
+        let d = &self.devices;
+        let due = |h: Option<Cycle>| h.is_some_and(|t| t <= now);
+        (
+            d.dma.as_ref().is_some_and(|e| due(e.next_activity(now))),
+            d.gemmini_units.iter().any(|u| due(u.next_activity(now))),
+            d.decoupled_units.iter().any(|u| due(u.next_activity(now))),
+        )
     }
 }
 

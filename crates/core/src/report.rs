@@ -16,6 +16,43 @@ use virgo_simt::CoreStats;
 use crate::cluster::{Cluster, ClusterStats};
 use crate::config::DesignKind;
 
+/// Event-driven scheduler statistics: how the fast-forward driver spent the
+/// run and which component class pinned each scheduled event.
+///
+/// These counters describe the *driver*, not the architecture: they are all
+/// zero under `SimMode::Naive` (which has no scheduler) and are deliberately
+/// excluded from the report digest/fingerprint, so the two simulation modes
+/// stay bit-identical on every architectural statistic while still exposing
+/// where the event queue's time went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Cycles on which at least one component was scheduled and ticked.
+    pub processed_cycles: u64,
+    /// Cycles the driver jumped over without touching any component.
+    pub skipped_cycles: u64,
+    /// SIMT-core ticks the scheduler dispatched.
+    pub simt_events: u64,
+    /// Device ticks pinned by a disaggregated Gemmini matrix unit (an event
+    /// horizon — typically a block boundary of a batched operand schedule —
+    /// at or before the dispatched cycle).
+    pub gemmini_events: u64,
+    /// Device ticks pinned by an operand-decoupled tensor unit.
+    pub tensor_events: u64,
+    /// Device ticks pinned by the cluster DMA engine.
+    pub dma_events: u64,
+    /// Inter-cluster DSM fabric ticks (dispatched at transfer deliveries).
+    pub dsm_events: u64,
+    /// Always zero: the L2/DRAM back-end is purely reactive (its
+    /// `NextActivity` is unconditionally `None`), so it never schedules an
+    /// event of its own — latency surfaces through the components that access
+    /// it. The counter exists so the attribution table is exhaustive.
+    pub dram_events: u64,
+    /// Times the scheduler fell back to plain naive stepping because every
+    /// component was due for several consecutive cycles. With batched operand
+    /// streaming this should stay at zero on dense GEMM workloads.
+    pub bailout_engagements: u64,
+}
+
 /// Per-cluster slice of a [`SimReport`].
 ///
 /// Each entry aggregates one cluster's private resources (cores, shared
@@ -99,6 +136,7 @@ pub struct SimReport {
     pub(crate) dsm_stats: DsmFabricStats,
     pub(crate) dsm_link_stats: Vec<DsmLinkStats>,
     pub(crate) fault: FaultStats,
+    pub(crate) sched: SchedStats,
     pub(crate) power: PowerReport,
     pub(crate) area: AreaReport,
 }
@@ -112,6 +150,7 @@ impl SimReport {
         fabric: &DsmFabric,
         info: &KernelInfo,
         cycles: Cycle,
+        sched: SchedStats,
     ) -> Self {
         let config = clusters[0].config();
         let table = EnergyTable::default_16nm();
@@ -222,6 +261,7 @@ impl SimReport {
             dsm_stats: fabric.stats(),
             dsm_link_stats: fabric.per_link_stats(),
             fault,
+            sched,
             power,
             area,
         }
@@ -296,6 +336,12 @@ impl SimReport {
     /// Shared-memory statistics, summed over clusters.
     pub fn smem_stats(&self) -> &SmemStats {
         &self.smem_stats
+    }
+
+    /// Event-driven scheduler statistics (all zero under `SimMode::Naive`;
+    /// excluded from the report digest).
+    pub fn sched_stats(&self) -> &SchedStats {
+        &self.sched
     }
 
     /// Global-memory (cache hierarchy) statistics: L1 counters summed over

@@ -32,7 +32,7 @@ use virgo_simt::CoreStats;
 
 use crate::cluster::ClusterStats;
 use crate::config::DesignKind;
-use crate::report::{ClusterReport, SimReport};
+use crate::report::{ClusterReport, SchedStats, SimReport};
 
 /// Why a cache entry could not be rehydrated. The sweep cache treats every
 /// variant as a miss (the entry is re-simulated and rewritten).
@@ -65,7 +65,9 @@ const FORMAT: &str = "virgo-simreport";
 // v4: fault injection — the payload gained `fault` and the per-cluster
 // slices a `fault` breakdown; v3 entries (pre-fault model) must miss
 // cleanly.
-const VERSION: u64 = 4;
+// v5: event-driven scheduler — the payload gained `sched` (driver event
+// attribution); v4 entries (pre-scheduler) must miss cleanly.
+const VERSION: u64 = 5;
 
 // ---------------------------------------------------------------------------
 // A minimal JSON document model.
@@ -591,6 +593,23 @@ u64_stats_codec!(
     [injected, detected, corrected, degraded_cycles,]
 );
 
+u64_stats_codec!(
+    SchedStats,
+    write_sched_stats,
+    read_sched_stats,
+    [
+        processed_cycles,
+        skipped_cycles,
+        simt_events,
+        gemmini_events,
+        tensor_events,
+        dma_events,
+        dsm_events,
+        dram_events,
+        bailout_engagements,
+    ]
+);
+
 // `ClusterContentionStats` carries a per-channel array, so it cannot use the
 // flat-`u64` macro.
 fn write_contention(s: &ClusterContentionStats) -> String {
@@ -788,6 +807,7 @@ fn write_payload(report: &SimReport) -> String {
             format!("[{}]", links.join(","))
         })
         .raw("fault", &write_fault_stats(&report.fault))
+        .raw("sched", &write_sched_stats(&report.sched))
         .raw("power", &write_power(&report.power))
         .raw("area", &write_breakdown(report.area.breakdown()));
     w.finish()
@@ -831,6 +851,7 @@ fn read_payload(v: &Json) -> Result<SimReport> {
             .map(read_dsm_link)
             .collect::<Result<Vec<_>>>()?,
         fault: read_fault_stats(get(o, "fault")?)?,
+        sched: read_sched_stats(get(o, "sched")?)?,
         power: read_power(get(o, "power")?)?,
         area: AreaReport::from_entries(read_breakdown(get(o, "area")?, &Component::all())?),
     })
@@ -1012,7 +1033,7 @@ mod tests {
     fn version_and_format_are_checked() {
         let (report, key) = sample_report(1);
         let text = report.to_cache_json(&key);
-        let bumped = text.replace("\"version\":4", "\"version\":99");
+        let bumped = text.replace("\"version\":5", "\"version\":99");
         let err = SimReport::from_cache_json(&bumped, &key).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
     }

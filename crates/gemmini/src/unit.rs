@@ -107,8 +107,10 @@ struct ActiveCommand {
     block_cycles: u64,
     /// Operand bytes that must be streamed per block.
     block_bytes: u64,
-    /// Operand bytes already requested for the current block.
-    bytes_issued: u64,
+    /// Absolute cycle of the current block's first tick; the block-boundary
+    /// event the fast-forward horizon reports is `block_start + block_cycles
+    /// - 1`.
+    block_start: u64,
 }
 
 /// One disaggregated (Virgo-style) matrix unit instance.
@@ -189,6 +191,14 @@ impl GemminiUnit {
 
     /// Advances the FSM by one cycle; returns the number of commands that
     /// completed this cycle (0 or 1).
+    ///
+    /// Operand streaming is *batched*: on block entry the whole per-block
+    /// read schedule is precomputed and enqueued into the shared memory's
+    /// pending stream-read queue (see [`SharedMemory::stream_read`]), so
+    /// mid-block ticks are pure compute accounting and the unit's
+    /// fast-forward horizon is the block boundary, not `now`. The enqueued
+    /// schedule is bit-identical to the historical one-wide-read-per-cycle
+    /// loop; the cluster drains it at each read's true cycle.
     pub fn tick(
         &mut self,
         now: Cycle,
@@ -197,35 +207,14 @@ impl GemminiUnit {
     ) -> u32 {
         if self.active.is_none() {
             if let Some(cmd) = self.queue.pop() {
-                self.active = Some(self.start_command(cmd));
+                let active = self.start_command(cmd, now);
+                self.enqueue_block_reads(&active, smem);
+                self.active = Some(active);
             }
         }
         let Some(mut active) = self.active else {
             return 0;
         };
-
-        // Stream operands: keep the issued bytes ahead of the proportional
-        // demand of the compute schedule, one wide read per cycle at most.
-        let demand = active.block_bytes * (active.cycle_in_block + 1) / active.block_cycles.max(1);
-        if active.bytes_issued < demand.min(active.block_bytes) {
-            let chunk = self
-                .config
-                .smem_read_bytes
-                .min(active.block_bytes - active.bytes_issued);
-            // A-tile bytes stream repeatedly; the B block is fetched once at
-            // the head of the block. Reads are spread across the A and B
-            // regions so they land in their respective banks.
-            let b_block_bytes = active.cmd.b_bytes() / u64::from(active.total_blocks).max(1);
-            let addr = if active.bytes_issued < b_block_bytes {
-                active.cmd.b_addr + u64::from(active.block) * b_block_bytes + active.bytes_issued
-            } else {
-                active.cmd.a_addr
-                    + (active.bytes_issued - b_block_bytes) % active.cmd.a_bytes().max(1)
-            };
-            smem.access_wide(now, addr, chunk, false);
-            self.stats.smem_words_read += chunk.div_ceil(4);
-            active.bytes_issued += chunk;
-        }
 
         // Advance the compute schedule.
         active.cycle_in_block += 1;
@@ -264,7 +253,6 @@ impl GemminiUnit {
 
             active.block += 1;
             active.cycle_in_block = 0;
-            active.bytes_issued = 0;
             if active.block >= active.total_blocks {
                 // Command complete.
                 self.stats.commands += 1;
@@ -274,14 +262,18 @@ impl GemminiUnit {
                 completed = 1;
                 return completed;
             }
+            // Next block starts on the following cycle; enqueue its operand
+            // schedule now so the unit can park until the next boundary.
+            active.block_start = now.get() + 1;
+            self.enqueue_block_reads(&active, smem);
         }
 
         self.active = Some(active);
         completed
     }
 
-    /// Builds the execution schedule for a freshly-latched command.
-    fn start_command(&self, cmd: GemminiCommand) -> ActiveCommand {
+    /// Builds the execution schedule for a command latched at cycle `now`.
+    fn start_command(&self, cmd: GemminiCommand, now: Cycle) -> ActiveCommand {
         let dim = u64::from(self.config.dim);
         let total_blocks = cmd.n.div_ceil(self.config.dim).max(1);
         // Weight-stationary schedule: each column block holds `dim` output
@@ -299,21 +291,98 @@ impl GemminiUnit {
             cycle_in_block: 0,
             block_cycles,
             block_bytes,
-            bytes_issued: 0,
+            block_start: now.get(),
         }
+    }
+
+    /// Enqueues the current block's whole operand-read schedule into the
+    /// shared memory's pending stream-read queue.
+    ///
+    /// This is the closed form of the historical demand-paced loop, which on
+    /// each in-block tick `j` issued at most one wide read while
+    /// `bytes_issued < block_bytes·(j+1)/block_cycles`: read number `i`
+    /// (with `issued` bytes already scheduled) fires at the earliest tick
+    /// `j >= prev + 1` whose demand reaches `issued + 1`, and reads whose
+    /// tick would fall past the block end are dropped exactly as the
+    /// reference schedule starves them.
+    fn enqueue_block_reads(&mut self, active: &ActiveCommand, smem: &mut SharedMemory) {
+        let block_bytes = active.block_bytes;
+        let block_cycles = active.block_cycles.max(1);
+        let read_bytes = self.config.smem_read_bytes;
+        if block_bytes == 0 || read_bytes == 0 {
+            return;
+        }
+        // A-tile bytes stream repeatedly; the B block is fetched once at the
+        // head of the block. Reads are spread across the A and B regions so
+        // they land in their respective banks.
+        let b_block_bytes = active.cmd.b_bytes() / u64::from(active.total_blocks).max(1);
+        let mut issued = 0u64;
+        let mut prev_tick: Option<u64> = None;
+        while issued < block_bytes {
+            let chunk = read_bytes.min(block_bytes - issued);
+            // demand(j) = block_bytes·(j+1)/block_cycles ≥ issued+1
+            //   ⟺  j ≥ ceil((issued+1)·block_cycles / block_bytes) − 1.
+            let mut tick = ((issued + 1) * block_cycles)
+                .div_ceil(block_bytes)
+                .saturating_sub(1);
+            if let Some(prev) = prev_tick {
+                tick = tick.max(prev + 1);
+            }
+            if tick >= block_cycles {
+                // The one-read-per-cycle port cannot keep up with demand
+                // inside this block; the reference schedule drops the tail.
+                break;
+            }
+            let addr = if issued < b_block_bytes {
+                active.cmd.b_addr + u64::from(active.block) * b_block_bytes + issued
+            } else {
+                active.cmd.a_addr + (issued - b_block_bytes) % active.cmd.a_bytes().max(1)
+            };
+            smem.stream_read(Cycle::new(active.block_start + tick), addr, chunk);
+            self.stats.smem_words_read += chunk.div_ceil(4);
+            prev_tick = Some(tick);
+            issued += chunk;
+        }
+    }
+
+    /// Bulk-replays `cycles` parked mid-block ticks: the compute schedule
+    /// advances and the fill/drain vs. busy split is applied in closed form.
+    /// The caller guarantees (via [`NextActivity`]) that the window never
+    /// straddles a block boundary. A no-op on an idle unit.
+    pub fn fast_forward(&mut self, cycles: u64) {
+        let Some(active) = &mut self.active else {
+            return;
+        };
+        let start = active.cycle_in_block;
+        let end = start + cycles;
+        debug_assert!(
+            end < active.block_cycles,
+            "fast-forward window may not straddle a block boundary"
+        );
+        // A tick with pre-increment cycle_in_block = j counts as fill/drain
+        // iff j + 1 < fill_latency, i.e. j < fill_latency - 1.
+        let fill_ticks = self.config.fill_latency().saturating_sub(1);
+        let fills = end.min(fill_ticks).saturating_sub(start.min(fill_ticks));
+        self.stats.fill_drain_cycles += fills;
+        self.stats.busy_cycles += cycles - fills;
+        active.cycle_in_block = end;
     }
 }
 
 impl NextActivity for GemminiUnit {
-    /// The streaming FSM does real work — wide shared-memory reads,
-    /// fill/drain accounting, accumulator writebacks — on *every* cycle while
-    /// a command is latched or queued, so a busy unit pins the fast-forward
-    /// horizon to `now`. Only a fully drained unit is skippable.
+    /// Mid-block the FSM only performs closed-form compute accounting (the
+    /// operand reads were pre-scheduled on block entry), so its next real
+    /// event is the block boundary: accumulator writeback, block advance or
+    /// command completion. An idle unit with queued commands latches one on
+    /// the next tick; a drained unit never acts again on its own.
     fn next_activity(&self, now: Cycle) -> Option<Cycle> {
-        if self.busy() {
-            Some(now)
-        } else {
-            None
+        match &self.active {
+            Some(active) => {
+                let block_end = active.block_start + active.block_cycles.max(1) - 1;
+                Some(Cycle::new(block_end).max(now))
+            }
+            None if !self.queue.is_empty() => Some(now),
+            None => None,
         }
     }
 }
@@ -466,5 +535,154 @@ mod tests {
         assert_eq!(unit.tick(Cycle::new(0), &mut smem, &mut acc), 0);
         assert!(!unit.busy());
         assert_eq!(unit.stats().commands, 0);
+    }
+
+    /// SplitMix64 step — the deterministic PRNG behind the property sweep.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The historical per-cycle streaming FSM, re-executed literally one
+    /// tick at a time against its own memories: on each in-block tick `j` it
+    /// issues at most one wide read while `issued < block_bytes·(j+1) /
+    /// block_cycles`, splits the compute schedule into fill/drain vs busy,
+    /// and performs the accumulator writeback at each block boundary. The
+    /// batched FSM's closed-form schedule must reproduce this bit-for-bit.
+    fn reference_run(
+        config: &GemminiConfig,
+        cmds: &[GemminiCommand],
+        smem: &mut SharedMemory,
+        acc: &mut AccumulatorMemory,
+    ) -> (GemminiStats, u64) {
+        let mut stats = GemminiStats::default();
+        let mut cycle = 0u64;
+        for cmd in cmds {
+            let dim = u64::from(config.dim);
+            let total_blocks = cmd.n.div_ceil(config.dim).max(1);
+            let compute_cycles = (u64::from(cmd.m) * u64::from(cmd.k)).div_ceil(dim).max(1);
+            let block_cycles = compute_cycles + config.fill_latency();
+            let block_bytes = cmd.a_bytes() + cmd.b_bytes() / u64::from(total_blocks);
+            let b_block_bytes = cmd.b_bytes() / u64::from(total_blocks);
+            for block in 0..total_blocks {
+                let block_start = cycle;
+                let mut issued = 0u64;
+                for j in 0..block_cycles {
+                    // Demand-paced one-wide-read-per-cycle port.
+                    if issued < block_bytes && issued < block_bytes * (j + 1) / block_cycles {
+                        let chunk = config.smem_read_bytes.min(block_bytes - issued);
+                        let addr = if issued < b_block_bytes {
+                            cmd.b_addr + u64::from(block) * b_block_bytes + issued
+                        } else {
+                            cmd.a_addr + (issued - b_block_bytes) % cmd.a_bytes().max(1)
+                        };
+                        smem.access_wide(Cycle::new(block_start + j), addr, chunk, false);
+                        stats.smem_words_read += chunk.div_ceil(4);
+                        issued += chunk;
+                    }
+                    if j + 1 < config.fill_latency() {
+                        stats.fill_drain_cycles += 1;
+                    } else {
+                        stats.busy_cycles += 1;
+                    }
+                    cycle += 1;
+                }
+                let now = Cycle::new(cycle - 1);
+                let out_bytes = u64::from(cmd.m) * u64::from(config.dim).min(u64::from(cmd.n)) * 4;
+                let acc_addr =
+                    cmd.acc_addr + u64::from(block) * out_bytes % acc.capacity_bytes().max(1);
+                let clamped =
+                    acc_addr.min(acc.capacity_bytes() - out_bytes.min(acc.capacity_bytes()));
+                if cmd.accumulate {
+                    acc.access(now, clamped, out_bytes, false);
+                    stats.accum_words_read += out_bytes / 4;
+                }
+                acc.access(now, clamped, out_bytes, true);
+                stats.accum_words_written += out_bytes / 4;
+                stats.control_events += 1;
+            }
+            stats.commands += 1;
+            stats.macs += cmd.mac_ops();
+            stats.control_events += 1;
+        }
+        (stats, cycle)
+    }
+
+    #[test]
+    fn batched_streaming_matches_per_cycle_reference_on_random_commands() {
+        let mut state = 0x5EED_CAFE_F00D_u64;
+        for round in 0..64 {
+            let dim = [4u32, 8, 16][(splitmix64(&mut state) % 3) as usize];
+            let config = GemminiConfig {
+                dim,
+                smem_read_bytes: u64::from(dim) * 4,
+                queue_depth: 4,
+            };
+            let mut cmds = Vec::new();
+            for _ in 0..=(splitmix64(&mut state) % 2) {
+                cmds.push(GemminiCommand {
+                    a_addr: 0,
+                    b_addr: 64 * 1024,
+                    acc_addr: 0,
+                    m: (splitmix64(&mut state) % 40 + 1) as u32,
+                    n: (splitmix64(&mut state) % 40 + 1) as u32,
+                    k: (splitmix64(&mut state) % 40 + 1) as u32,
+                    accumulate: splitmix64(&mut state).is_multiple_of(2),
+                    dtype: if splitmix64(&mut state).is_multiple_of(2) {
+                        DataType::Fp16
+                    } else {
+                        DataType::Fp32
+                    },
+                });
+            }
+
+            // Batched run: tick every cycle and drain the pending stream
+            // reads with the cluster's bracket so each lands at its true
+            // scheduled cycle.
+            let mut unit = GemminiUnit::new(config);
+            let mut smem = SharedMemory::new(SmemConfig::virgo_cluster());
+            let mut acc = AccumulatorMemory::default_virgo();
+            for cmd in &cmds {
+                assert!(unit.try_submit(*cmd));
+            }
+            let mut cycles = 0u64;
+            while unit.busy() {
+                let now = Cycle::new(cycles);
+                smem.drain_stream_reads(now, false);
+                unit.tick(now, &mut smem, &mut acc);
+                smem.drain_stream_reads(now, true);
+                cycles += 1;
+                assert!(cycles < 1_000_000, "round {round}: runaway command");
+            }
+            assert_eq!(smem.stream_reads_pending(), 0, "round {round}");
+
+            let mut ref_smem = SharedMemory::new(SmemConfig::virgo_cluster());
+            let mut ref_acc = AccumulatorMemory::default_virgo();
+            let (ref_stats, ref_cycles) =
+                reference_run(&config, &cmds, &mut ref_smem, &mut ref_acc);
+
+            assert_eq!(unit.stats(), ref_stats, "round {round}: {cmds:?}");
+            assert_eq!(cycles, ref_cycles, "round {round}: completion drifted");
+            assert_eq!(
+                smem.stats(),
+                ref_smem.stats(),
+                "round {round}: smem footprint drifted"
+            );
+            for bank in 0..SmemConfig::virgo_cluster().banks as usize {
+                assert_eq!(
+                    smem.bank_free_at(bank),
+                    ref_smem.bank_free_at(bank),
+                    "round {round}: bank {bank} occupancy drifted"
+                );
+            }
+            assert_eq!(
+                acc.busy_until(),
+                ref_acc.busy_until(),
+                "round {round}: accumulator occupancy drifted"
+            );
+        }
     }
 }

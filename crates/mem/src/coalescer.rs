@@ -47,6 +47,8 @@ impl CoalescerStats {
 pub struct Coalescer {
     line_bytes: u64,
     stats: CoalescerStats,
+    /// Reusable request buffer so the per-access merge allocates nothing.
+    scratch: Vec<u64>,
 }
 
 impl Coalescer {
@@ -61,6 +63,7 @@ impl Coalescer {
         Coalescer {
             line_bytes,
             stats: CoalescerStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -79,21 +82,31 @@ impl Coalescer {
     /// `bytes_per_lane` bytes that straddle a line boundary generate requests
     /// for both lines.
     pub fn coalesce(&mut self, lane_addrs: &[u64], bytes_per_lane: u32) -> Vec<u64> {
+        self.coalesce_lines(lane_addrs, bytes_per_lane).to_vec()
+    }
+
+    /// Allocation-free variant of [`Coalescer::coalesce`]: the returned slice
+    /// of line-aligned request addresses borrows an internal scratch buffer
+    /// and is valid until the next call.
+    pub fn coalesce_lines(&mut self, lane_addrs: &[u64], bytes_per_lane: u32) -> &[u64] {
         self.stats.warp_accesses += 1;
         self.stats.lane_accesses += lane_addrs.len() as u64;
 
-        let mut lines: Vec<u64> = Vec::with_capacity(lane_addrs.len());
+        self.scratch.clear();
         for &addr in lane_addrs {
             let first = addr / self.line_bytes;
             let last = (addr + u64::from(bytes_per_lane).max(1) - 1) / self.line_bytes;
             for line in first..=last {
-                lines.push(line);
+                self.scratch.push(line);
             }
         }
-        lines.sort_unstable();
-        lines.dedup();
-        self.stats.line_requests += lines.len() as u64;
-        lines.iter().map(|l| l * self.line_bytes).collect()
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        self.stats.line_requests += self.scratch.len() as u64;
+        for line in &mut self.scratch {
+            *line *= self.line_bytes;
+        }
+        &self.scratch
     }
 }
 

@@ -16,6 +16,9 @@
 //! latency/occupancy approach and keeps the counters needed for the Table 4
 //! footprint comparison and the shared-memory energy numbers.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use virgo_sim::fault::{EccInjector, EccStats};
 use virgo_sim::{Cycle, NextActivity, StableHash, StableHasher};
 
@@ -128,6 +131,18 @@ pub struct SmemAccess {
     pub conflict_cycles: u64,
 }
 
+/// One deferred wide read scheduled by a streaming producer (the batched
+/// Gemmini operand FSM). Ordered by `(cycle, seq)` so draining the pending
+/// heap replays reads in exactly the order the per-cycle schedule would have
+/// issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct StreamRead {
+    cycle: Cycle,
+    seq: u64,
+    addr: u64,
+    bytes: u64,
+}
+
 /// The banked shared memory.
 ///
 /// # Example
@@ -151,6 +166,15 @@ pub struct SharedMemory {
     stats: SmemStats,
     /// Deterministic ECC fault injector (None on a healthy scratchpad).
     ecc: Option<EccInjector>,
+    /// Future-dated wide reads enqueued by streaming producers, applied
+    /// lazily (in schedule order) by [`SharedMemory::drain_stream_reads`].
+    pending_reads: BinaryHeap<Reverse<StreamRead>>,
+    /// Monotonic tiebreaker preserving enqueue order among same-cycle reads.
+    next_stream_seq: u64,
+    /// Reusable `(subbank slot, word)` scratch for [`SharedMemory::access_simt`],
+    /// so the per-lane conflict model allocates nothing on the SIMT
+    /// load/store hot path.
+    lane_scratch: Vec<(u32, u64)>,
 }
 
 impl SharedMemory {
@@ -170,6 +194,9 @@ impl SharedMemory {
             bank_busy_until: vec![Cycle::ZERO; config.banks as usize],
             stats: SmemStats::default(),
             ecc: None,
+            pending_reads: BinaryHeap::new(),
+            next_stream_seq: 0,
+            lane_scratch: Vec::new(),
         }
     }
 
@@ -233,45 +260,54 @@ impl SharedMemory {
             };
         }
 
-        let subbank_slots = (self.config.banks * self.config.subbanks) as usize;
-        let mut per_subbank: Vec<Vec<u64>> = vec![Vec::new(); subbank_slots];
+        // Distinct (subbank slot, word) pairs for the aligned lanes: sorting
+        // and deduplicating the reusable scratch yields the same distinct set
+        // per slot as a per-slot dedup, without allocating per access.
+        let mut scratch = std::mem::take(&mut self.lane_scratch);
+        scratch.clear();
         let mut unaligned = 0u64;
         for &addr in lane_addrs {
             if addr % 4 != 0 {
                 unaligned += 1;
                 continue;
             }
-            let slot = self.bank_of(addr) * self.config.subbanks as usize + self.subbank_of(addr);
-            let word = addr / 4;
-            if !per_subbank[slot].contains(&word) {
-                per_subbank[slot].push(word);
-            }
+            let slot =
+                (self.bank_of(addr) * self.config.subbanks as usize + self.subbank_of(addr)) as u32;
+            scratch.push((slot, addr / 4));
         }
         self.stats.unaligned_serialized += unaligned;
+        scratch.sort_unstable();
+        scratch.dedup();
 
         // Conflict-free case: each subbank serves one word per cycle, so the
         // extra cycles are the worst-case subbank queue depth minus one, plus
-        // one cycle per serialized unaligned access.
-        let max_depth = per_subbank
-            .iter()
-            .map(|v| v.len() as u64)
-            .max()
-            .unwrap_or(0);
+        // one cycle per serialized unaligned access. The queue depth of a slot
+        // is the length of its (now contiguous) run in the scratch.
+        let mut max_depth = 0u64;
+        let mut run = 0u64;
+        let mut prev_slot = u32::MAX;
+        for &(slot, _) in &scratch {
+            if slot == prev_slot {
+                run += 1;
+            } else {
+                prev_slot = slot;
+                run = 1;
+            }
+            max_depth = max_depth.max(run);
+        }
+        self.lane_scratch = scratch;
         let conflict_cycles = max_depth.saturating_sub(1) + unaligned;
 
-        // The access occupies every bank it touches.
+        // The access occupies every bank it touches. Duplicate banks fold to
+        // the same max on the first pass and write the same value on the
+        // second, so no dedup is needed.
         let mut start = now;
-        let banks_touched: Vec<usize> = {
-            let mut b: Vec<usize> = lane_addrs.iter().map(|&a| self.bank_of(a)).collect();
-            b.sort_unstable();
-            b.dedup();
-            b
-        };
-        for &bank in &banks_touched {
-            start = start.max(self.bank_busy_until[bank]);
+        for &addr in lane_addrs {
+            start = start.max(self.bank_busy_until[self.bank_of(addr)]);
         }
         let busy_cycles = 1 + conflict_cycles;
-        for &bank in &banks_touched {
+        for &addr in lane_addrs {
+            let bank = self.bank_of(addr);
             self.bank_busy_until[bank] = start.plus(busy_cycles);
         }
 
@@ -328,12 +364,63 @@ impl SharedMemory {
     pub fn bank_free_at(&self, bank: usize) -> Cycle {
         self.bank_busy_until[bank]
     }
+
+    /// Enqueues a wide read to be served at the (usually future) cycle `at`.
+    ///
+    /// The batched Gemmini streaming FSM precomputes its whole per-block read
+    /// schedule on block entry and registers each read here instead of issuing
+    /// one `access_wide` per tick. The reads are *not* applied eagerly: bank
+    /// occupancy and ECC injection are order-sensitive, so they stay pending
+    /// until [`SharedMemory::drain_stream_reads`] replays them — each at its
+    /// true scheduled cycle, interleaved correctly with the DMA engine's and
+    /// the cores' same-window accesses.
+    pub fn stream_read(&mut self, at: Cycle, addr: u64, bytes: u64) {
+        self.pending_reads.push(Reverse(StreamRead {
+            cycle: at,
+            seq: self.next_stream_seq,
+            addr,
+            bytes,
+        }));
+        self.next_stream_seq += 1;
+    }
+
+    /// Applies every pending stream read scheduled before `now` (or at `now`
+    /// too, when `inclusive`), in `(cycle, enqueue-order)` order, exactly as
+    /// the per-cycle schedule would have issued them.
+    ///
+    /// Callers bracket each sub-tick with the right cutoff: reads strictly
+    /// before the current cycle are flushed ahead of the DMA engine's tick
+    /// (they were issued on earlier cycles in the reference schedule), while
+    /// reads *at* the current cycle land after it, matching the device tick
+    /// order of the naive loop.
+    pub fn drain_stream_reads(&mut self, now: Cycle, inclusive: bool) {
+        while let Some(Reverse(top)) = self.pending_reads.peek() {
+            let due = top.cycle < now || (inclusive && top.cycle == now);
+            if !due {
+                break;
+            }
+            let Reverse(read) = self.pending_reads.pop().expect("peeked entry exists");
+            self.access_wide(read.cycle, read.addr, read.bytes, false);
+        }
+    }
+
+    /// Number of enqueued stream reads not yet applied.
+    pub fn stream_reads_pending(&self) -> usize {
+        self.pending_reads.len()
+    }
 }
 
 impl NextActivity for SharedMemory {
     /// The shared memory is purely reactive: its banks serve requests from
     /// cores, tensor units and the DMA engine but never initiate work, so it
     /// contributes no self-driven events to the fast-forward horizon.
+    ///
+    /// Unconditional `None` stays sound even though the pending stream-read
+    /// queue holds future-dated reads: each of those reads belongs to a
+    /// matrix unit whose own `next_activity` is at or before the end of the
+    /// block that scheduled them, so the producing unit keeps the cluster's
+    /// device tick (which drains the queue) scheduled for as long as reads
+    /// are outstanding. The scratchpad never needs to wake anyone itself.
     fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
         None
     }
@@ -483,6 +570,56 @@ mod tests {
         assert!(stats.injected > 50, "mean gap 2 ⇒ dense upsets");
         assert_eq!(stats.detected, stats.injected);
         assert_eq!(stats.corrected, stats.injected);
+    }
+
+    #[test]
+    fn stream_reads_apply_lazily_in_schedule_order() {
+        // Two deferred reads to bank 0 plus one eager wide access between
+        // their scheduled cycles must produce exactly the state of issuing
+        // all three eagerly in cycle order.
+        let mut lazy = smem();
+        lazy.stream_read(Cycle::new(2), 0, 64);
+        lazy.stream_read(Cycle::new(5), 32, 64);
+        assert_eq!(lazy.stream_reads_pending(), 2);
+        // Nothing applied yet.
+        assert_eq!(lazy.stats().wide_accesses, 0);
+        lazy.drain_stream_reads(Cycle::new(3), false);
+        assert_eq!(lazy.stream_reads_pending(), 1);
+        lazy.access_wide(Cycle::new(3), 16, 64, false);
+        lazy.drain_stream_reads(Cycle::new(5), true);
+        assert_eq!(lazy.stream_reads_pending(), 0);
+
+        let mut eager = smem();
+        eager.access_wide(Cycle::new(2), 0, 64, false);
+        eager.access_wide(Cycle::new(3), 16, 64, false);
+        eager.access_wide(Cycle::new(5), 32, 64, false);
+
+        assert_eq!(lazy.stats(), eager.stats());
+        assert_eq!(lazy.bank_free_at(0), eager.bank_free_at(0));
+    }
+
+    #[test]
+    fn drain_cutoff_is_exclusive_unless_inclusive() {
+        let mut s = smem();
+        s.stream_read(Cycle::new(4), 0, 64);
+        s.drain_stream_reads(Cycle::new(4), false);
+        assert_eq!(s.stream_reads_pending(), 1, "exclusive cutoff keeps t=now");
+        s.drain_stream_reads(Cycle::new(4), true);
+        assert_eq!(s.stream_reads_pending(), 0);
+        assert_eq!(s.stats().wide_accesses, 1);
+    }
+
+    #[test]
+    fn same_cycle_stream_reads_keep_enqueue_order() {
+        // Both reads land on bank 0 at cycle 0: the first enqueued must chain
+        // first, which is observable through the final bank-busy horizon.
+        let mut s = smem();
+        s.stream_read(Cycle::new(0), 0, 128);
+        s.stream_read(Cycle::new(0), 4, 32);
+        s.drain_stream_reads(Cycle::new(0), true);
+        // 128 B = 32 words / 8 subbanks = 4 cycles, then 32 B = 1 more.
+        assert_eq!(s.bank_free_at(0), Cycle::new(5));
+        assert_eq!(s.stats().wide_accesses, 2);
     }
 
     #[test]

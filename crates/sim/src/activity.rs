@@ -26,13 +26,77 @@
 //!    driver falls back to ticking. Returning a cycle *later* than the true
 //!    next event would skip real work and is a correctness bug.
 //!
-//! `None` means the component will never act again on its own: it is drained
-//! and can only be re-activated by someone else submitting work to it.
+//! # The three return shapes
 //!
-//! Purely reactive components (SRAMs, caches, DRAM channels) have no
-//! self-driven activity at all — their state only changes when an active
-//! component issues a request — so they implement this trait by returning
-//! `None` unconditionally.
+//! Under the event-queue scheduler (`virgo_sim::sched`) the three possible
+//! answers mean precisely:
+//!
+//! * **`Some(now)`** — "tick me again right away": the component has work on
+//!   the very next dispatch. Always sound, never skips anything, but a
+//!   component that answers `Some(now)` on every busy cycle pins the horizon
+//!   and degrades the event-driven loop back to naive stepping (the failure
+//!   mode the batched Gemmini streaming removed). Use it only when the next
+//!   event genuinely is immediate — e.g. an idle unit with a queued command
+//!   to latch.
+//! * **`Some(t)` with `t > now`** — "park me until `t`": the scheduler will
+//!   not touch the component before `t`, and the skipped window is
+//!   bulk-replayed through `fast_forward`. This is the shape that makes
+//!   dense kernels cheap: one event per milestone (a block boundary, a
+//!   transfer completion) instead of one per cycle.
+//! * **`None`** — "never on my own again": the component is drained and only
+//!   external submission can revive it. The driver drops it from the queue
+//!   entirely; whoever submits new work is responsible for re-scheduling it
+//!   (in this codebase the cluster wakes its devices when a core's MMIO
+//!   write lands — the submitter's tick outcome carries the wake, not the
+//!   drained component).
+//!
+//! Purely reactive components (shared-memory banks, caches, the L2/DRAM
+//! back-end, accumulator SRAMs) have no self-driven activity at all — their
+//! state only changes when an active component issues a request — so they
+//! implement this trait by returning `None` unconditionally and ignore `now`.
+//! Audit note for such impls: holding *deferred* work does not by itself
+//! require a horizon. The shared memory's pending stream-read queue is
+//! future-dated work, but every pending read was scheduled by a matrix unit
+//! whose own horizon is at or before that block's end, so the producer — not
+//! the passive scratchpad — keeps the draining tick scheduled.
+//!
+//! ```
+//! use virgo_sim::{Cycle, NextActivity};
+//!
+//! /// A toy engine: busy until a fixed cycle, then drained.
+//! struct Engine { busy_until: Option<Cycle> }
+//!
+//! impl NextActivity for Engine {
+//!     fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+//!         // Clamp to `now`: a milestone in the past means "act immediately",
+//!         // never a time-travel request.
+//!         self.busy_until.map(|t| t.max(now))
+//!     }
+//! }
+//!
+//! let running = Engine { busy_until: Some(Cycle::new(100)) };
+//! // Park until the milestone...
+//! assert_eq!(running.next_activity(Cycle::new(40)), Some(Cycle::new(100)));
+//! // ...a stale milestone degrades to `Some(now)`, not to the past...
+//! assert_eq!(running.next_activity(Cycle::new(120)), Some(Cycle::new(120)));
+//! // ...and a drained engine leaves the event queue.
+//! let drained = Engine { busy_until: None };
+//! assert_eq!(drained.next_activity(Cycle::new(40)), None);
+//! ```
+//!
+//! A purely reactive component ignores `now` entirely:
+//!
+//! ```
+//! use virgo_sim::{Cycle, NextActivity};
+//!
+//! struct Sram;
+//! impl NextActivity for Sram {
+//!     fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+//!         None // request-driven only: requesters schedule the events
+//!     }
+//! }
+//! assert_eq!(Sram.next_activity(Cycle::ZERO), None);
+//! ```
 
 use crate::cycle::Cycle;
 

@@ -14,15 +14,18 @@
 //!   ([`FaultPlan`]) and the degraded-mode counters they produce.
 //!
 //! * [`activity`] — the [`NextActivity`] trait behind the cycle-skipping
-//!   fast-forward engine.
+//!   fast-forward engine,
+//! * [`sched`] — the deterministic [`sched::EventQueue`] driving the
+//!   event-driven fast-forward loop.
 //!
 //! The whole simulator is *cycle stepped*: every hardware component exposes a
-//! `tick`-style method that advances it by one clock cycle. There is no global
-//! event queue and no wall-clock dependence, so simulations are exactly
-//! reproducible. On top of the tick interface, components report the earliest
-//! future cycle at which they can act via [`NextActivity`], which lets the
-//! driver skip quiescent regions wholesale without changing any observable
-//! statistic (see the [`activity`] module for the soundness contract).
+//! `tick`-style method that advances it by one clock cycle. There is no
+//! wall-clock dependence, so simulations are exactly reproducible. On top of
+//! the tick interface, components report the earliest future cycle at which
+//! they can act via [`NextActivity`], which lets the fast-forward driver park
+//! components on a deterministic event queue ([`sched`]) and skip quiescent
+//! regions wholesale without changing any observable statistic (see the
+//! [`activity`] module for the soundness contract).
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod cycle;
 pub mod fault;
 pub mod pipe;
 pub mod rng;
+pub mod sched;
 pub mod stablehash;
 pub mod stats;
 
@@ -53,5 +57,6 @@ pub use fault::{
 };
 pub use pipe::{BoundedQueue, DelayPipe};
 pub use rng::SplitMix64;
+pub use sched::EventQueue;
 pub use stablehash::{StableHash, StableHasher};
 pub use stats::{Counter, Ratio, RunningStats};

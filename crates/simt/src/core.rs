@@ -25,6 +25,60 @@ pub struct WarpSnapshot {
     pub loads_in_flight: usize,
 }
 
+/// What one [`SimtCore::tick`] did, as cheap hints for the event-driven
+/// driver (`SimMode::FastForward`). All fields are computed from work the
+/// tick performs anyway, so consuming them costs nothing extra; the naive
+/// per-cycle loop simply ignores the value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TickOutcome {
+    /// Instructions issued this cycle (the input to the active/stall/idle
+    /// classification). Synchronization pseudo-operations (`vx_bar`,
+    /// `WaitLoads`, fences) resolve without consuming an issue slot and are
+    /// not counted here.
+    pub issued: u32,
+    /// A warp was ready this cycle but could not issue for a reason that
+    /// retries every cycle (functional-unit slot or LSQ contention, a full
+    /// device inbox, issue-width exhaustion). Such a core is guaranteed
+    /// active at `now + 1`, so the driver can re-schedule it without paying
+    /// for a [`SimtCore::next_activity`] probe. Hazard-blocked `HmmaStep`
+    /// retries are deliberately excluded: those are pure no-ops until the
+    /// tensor unit frees, and the probe parks the core at `busy_until`
+    /// instead.
+    pub retry_next: bool,
+    /// The tick may have mutated state outside the core — it issued a real
+    /// instruction or arrived at a barrier. When false, the driver can skip
+    /// its cross-component signature checks (barrier releases, device
+    /// inboxes, fabric transfers): every other path through the tick only
+    /// reads through the port.
+    pub acted: bool,
+    /// A warp transitioned to finished during this tick (last instruction
+    /// consumed, final load drained, or final unblock). This is the only
+    /// core-side event that can flip the machine-wide finish check, so the
+    /// driver gates that walk on it.
+    pub warp_retired: bool,
+    /// The core's event horizon after this tick, folded from the per-warp
+    /// state the issue scan walks anyway: the earliest in-flight load
+    /// completion and the tensor unit's `busy_until` for hazard-parked
+    /// `HmmaStep` warps. Follows the [`SimtCore::next_activity`] contract
+    /// (`None` = dormant until an external wake; barrier / fence / drain
+    /// releases arrive through the driver's cross-component signature
+    /// checks). Only meaningful when `retry_next` is false — a guaranteed
+    /// next-cycle retry supersedes it — and it spares the driver a separate
+    /// post-tick [`SimtCore::next_activity`] probe, which re-walks every
+    /// warp.
+    pub horizon: Option<Cycle>,
+}
+
+impl TickOutcome {
+    /// Folds one event time into the horizon (earliest wins).
+    fn fold_horizon(&mut self, t: Cycle) {
+        self.horizon = Some(match self.horizon {
+            Some(h) => h.min(t),
+            None => t,
+        });
+    }
+}
+
 /// One SIMT core of the cluster.
 ///
 /// The core executes the warps assigned to it, issuing up to
@@ -41,6 +95,9 @@ pub struct SimtCore {
     stats: CoreStats,
     /// Round-robin pointer for warp scheduling fairness.
     next_warp: usize,
+    /// Reusable lane-address buffer for [`SimtCore::memory_access`], so the
+    /// load/store hot path allocates nothing per instruction.
+    lane_scratch: Vec<u64>,
 }
 
 impl SimtCore {
@@ -52,6 +109,7 @@ impl SimtCore {
             warps: Vec::new(),
             stats: CoreStats::default(),
             next_warp: 0,
+            lane_scratch: Vec::new(),
         }
     }
 
@@ -111,23 +169,32 @@ impl SimtCore {
     }
 
     /// Advances the core by one cycle.
-    pub fn tick(&mut self, now: Cycle, port: &mut dyn ClusterPort) {
+    ///
+    /// The returned [`TickOutcome`] carries cheap liveness hints for the
+    /// event-driven driver, computed from work the tick does anyway: whether
+    /// a ready warp is guaranteed to retry next cycle (skip the horizon
+    /// probe), whether anything outside the core may have changed (skip the
+    /// cross-component signature checks), and whether a warp just finished
+    /// (the only moment the machine-wide finish check can flip).
+    pub fn tick(&mut self, now: Cycle, port: &mut dyn ClusterPort) -> TickOutcome {
         self.stats.total_cycles += 1;
         if self.warps.is_empty() {
             self.stats.idle_cycles += 1;
-            return;
+            return TickOutcome::default();
         }
 
-        self.retire_and_unblock(now, port);
-        let issued = self.issue(now, port);
+        let mut outcome = TickOutcome::default();
+        self.retire_and_unblock(now, port, &mut outcome);
+        self.issue(now, port, &mut outcome);
 
-        if issued > 0 {
+        if outcome.issued > 0 {
             self.stats.active_cycles += 1;
         } else if self.warps.iter().any(|w| w.is_runnable()) {
             self.stats.stall_cycles += 1;
         } else {
             self.stats.idle_cycles += 1;
         }
+        outcome
     }
 
     /// Reports the earliest cycle `>= now` at which ticking this core can do
@@ -248,33 +315,39 @@ impl SimtCore {
     }
 
     /// Retires completed loads and releases warps whose blocking condition
-    /// has been satisfied.
-    fn retire_and_unblock(&mut self, now: Cycle, port: &mut dyn ClusterPort) {
+    /// has been satisfied. Only reads through the port; flags warps that
+    /// finish here (final load drained / final unblock) in `outcome`.
+    fn retire_and_unblock(
+        &mut self,
+        now: Cycle,
+        port: &mut dyn ClusterPort,
+        outcome: &mut TickOutcome,
+    ) {
         let mut fence_waiting = false;
         for warp in &mut self.warps {
-            warp.retire_loads(now);
-            let Some(reason) = warp.block_reason() else {
-                continue;
-            };
-            match reason {
-                BlockReason::Loads => {
-                    if warp.loads_in_flight() == 0 {
-                        warp.unblock();
-                    }
+            let retired = warp.retire_loads(now);
+            let mut unblocked = false;
+            match warp.block_reason() {
+                None => {}
+                Some(BlockReason::Loads) if warp.loads_in_flight() == 0 => {
+                    warp.unblock();
+                    unblocked = true;
                 }
-                BlockReason::Barrier { id, ticket } => {
-                    if port.barrier_passed(id, ticket) {
-                        warp.unblock();
-                    }
+                Some(BlockReason::Loads) => {}
+                Some(BlockReason::Barrier { id, ticket }) if port.barrier_passed(id, ticket) => {
+                    warp.unblock();
+                    unblocked = true;
                 }
-                BlockReason::WgmmaDrain => {
-                    if port.wgmma_pending(self.core_id) == 0 {
-                        warp.unblock();
-                    }
+                Some(BlockReason::Barrier { .. }) => {}
+                Some(BlockReason::WgmmaDrain) if port.wgmma_pending(self.core_id) == 0 => {
+                    warp.unblock();
+                    unblocked = true;
                 }
-                BlockReason::Fence { max_outstanding } => {
+                Some(BlockReason::WgmmaDrain) => {}
+                Some(BlockReason::Fence { max_outstanding }) => {
                     if port.async_outstanding() <= max_outstanding {
                         warp.unblock();
+                        unblocked = true;
                     } else {
                         fence_waiting = true;
                         if warp.fence_poll_due(now, self.config.fence_poll_interval) {
@@ -283,15 +356,18 @@ impl SimtCore {
                     }
                 }
             }
+            if (retired > 0 || unblocked) && warp.is_finished() {
+                outcome.warp_retired = true;
+            }
         }
         if fence_waiting {
             self.stats.fence_wait_cycles += 1;
         }
     }
 
-    /// Attempts to issue up to `issue_width` instructions; returns how many
-    /// were issued.
-    fn issue(&mut self, now: Cycle, port: &mut dyn ClusterPort) -> u32 {
+    /// Attempts to issue up to `issue_width` instructions; records the issue
+    /// count and the driver hints in `outcome`.
+    fn issue(&mut self, now: Cycle, port: &mut dyn ClusterPort, outcome: &mut TickOutcome) {
         let mut issued = 0u32;
         let mut alu_slots = self.config.alu_units;
         let mut fpu_slots = self.config.fpu_units;
@@ -307,9 +383,24 @@ impl SimtCore {
             index = (index + 1) % warp_count;
 
             if !self.warps[current].is_runnable() {
+                // Blocked warps still contribute to the event horizon: a
+                // load-blocked warp wakes at its earliest completion; barrier
+                // / fence / drain releases arrive as external wakes and
+                // contribute nothing (see `next_activity`).
+                if matches!(self.warps[current].block_reason(), Some(BlockReason::Loads)) {
+                    if let Some(t) = self.warps[current].earliest_load_done() {
+                        outcome.fold_horizon(t.max(now));
+                    }
+                }
                 continue;
             }
             let Some((op_id, op)) = self.warps[current].peek() else {
+                // Program drained but loads still in flight: the warp can
+                // only finish (and flip the stall classification) when they
+                // retire.
+                if let Some(t) = self.warps[current].earliest_load_done() {
+                    outcome.fold_horizon(t.max(now));
+                }
                 continue;
             };
             let exec_count = self.warps[current].exec_count(op_id);
@@ -320,14 +411,21 @@ impl SimtCore {
                 WarpOp::WaitLoads => {
                     if self.warps[current].loads_in_flight() == 0 {
                         self.warps[current].consume();
+                        outcome.warp_retired |= self.warps[current].is_finished();
+                        self.fold_warp_horizon(current, now, port, outcome);
                     } else {
                         self.warps[current].block(BlockReason::Loads);
+                        if let Some(t) = self.warps[current].earliest_load_done() {
+                            outcome.fold_horizon(t.max(now));
+                        }
                     }
                     continue;
                 }
                 WarpOp::WgmmaWait => {
                     if port.wgmma_pending(self.core_id) == 0 {
                         self.warps[current].consume();
+                        outcome.warp_retired |= self.warps[current].is_finished();
+                        self.fold_warp_horizon(current, now, port, outcome);
                     } else {
                         self.warps[current].block(BlockReason::WgmmaDrain);
                     }
@@ -341,6 +439,8 @@ impl SimtCore {
                     self.stats.instrs_issued += 1;
                     self.warps[current].consume();
                     self.warps[current].block(BlockReason::Barrier { id, ticket });
+                    // Arriving can release the barrier for every waiting core.
+                    outcome.acted = true;
                     continue;
                 }
                 WarpOp::FenceAsync { max_outstanding } => {
@@ -351,6 +451,9 @@ impl SimtCore {
                     self.warps[current].consume();
                     if port.async_outstanding() > max_outstanding {
                         self.warps[current].block(BlockReason::Fence { max_outstanding });
+                    } else {
+                        outcome.warp_retired |= self.warps[current].is_finished();
+                        self.fold_warp_horizon(current, now, port, outcome);
                     }
                     continue;
                 }
@@ -439,12 +542,33 @@ impl SimtCore {
 
             if ok {
                 self.warps[current].consume();
+                outcome.warp_retired |= self.warps[current].is_finished();
+                self.fold_warp_horizon(current, now, port, outcome);
                 self.account_issue(&op);
                 issued += 1;
                 self.next_warp = index;
+            } else if !matches!(op, WarpOp::HmmaStep { .. }) {
+                // Slot/LSQ/inbox contention retries every cycle, so the core
+                // is guaranteed active next cycle. Hazard-blocked HMMA steps
+                // are excluded: they are no-ops until the tensor unit frees,
+                // so the warp parks at its `busy_until` instead.
+                outcome.retry_next = true;
+            } else {
+                match port.hmma_busy_until(now, self.core_id) {
+                    Some(t) if t > now => outcome.fold_horizon(t),
+                    _ => outcome.retry_next = true,
+                }
+                if let Some(t) = self.warps[current].earliest_load_done() {
+                    outcome.fold_horizon(t.max(now));
+                }
             }
         }
-        issued
+        // Stopping at the issue-width cap may leave ready warps unscanned.
+        if issued == self.config.issue_width && scanned < warp_count {
+            outcome.retry_next = true;
+        }
+        outcome.issued = issued;
+        outcome.acted |= issued > 0;
     }
 
     /// Issues one warp memory access through the cluster port and returns its
@@ -458,13 +582,41 @@ impl SimtCore {
         shared: bool,
         write: bool,
     ) -> Cycle {
-        let lane_addrs: Vec<u64> = (0..access.active_lanes)
-            .map(|lane| access.lane_addr(lane, exec_count))
-            .collect();
-        if shared {
+        let mut lane_addrs = std::mem::take(&mut self.lane_scratch);
+        lane_addrs.clear();
+        lane_addrs.extend((0..access.active_lanes).map(|lane| access.lane_addr(lane, exec_count)));
+        let done = if shared {
             port.shared_access(now, self.core_id, &lane_addrs, write)
         } else {
             port.global_access(now, self.core_id, &lane_addrs, access.bytes_per_lane, write)
+        };
+        self.lane_scratch = lane_addrs;
+        done
+    }
+
+    /// Folds warp `current`'s post-scan contribution into `outcome`'s event
+    /// horizon, mirroring the [`SimtCore::next_activity`] arms for an
+    /// unblocked warp: a pending non-`HmmaStep` op means the warp acts next
+    /// cycle (`retry_next`), a pending `HmmaStep` parks at the tensor unit's
+    /// `busy_until`, and in-flight loads contribute their earliest
+    /// completion.
+    fn fold_warp_horizon(
+        &mut self,
+        current: usize,
+        now: Cycle,
+        port: &mut dyn ClusterPort,
+        outcome: &mut TickOutcome,
+    ) {
+        match self.warps[current].peek() {
+            Some((_, WarpOp::HmmaStep { .. })) => match port.hmma_busy_until(now, self.core_id) {
+                Some(t) if t > now => outcome.fold_horizon(t),
+                _ => outcome.retry_next = true,
+            },
+            Some(_) => outcome.retry_next = true,
+            None => {}
+        }
+        if let Some(t) = self.warps[current].earliest_load_done() {
+            outcome.fold_horizon(t.max(now));
         }
     }
 

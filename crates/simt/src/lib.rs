@@ -28,7 +28,7 @@ pub mod synchronizer;
 pub mod warp;
 
 pub use config::CoreConfig;
-pub use core::{SimtCore, WarpSnapshot};
+pub use core::{SimtCore, TickOutcome, WarpSnapshot};
 pub use port::ClusterPort;
 pub use stats::CoreStats;
 pub use synchronizer::ClusterSynchronizer;
