@@ -19,6 +19,12 @@
 //! channels drain the request queues faster, so the N=8 contention wall
 //! recedes and utilization recovers toward the compute bound.
 //!
+//! A third, tall-skinny axis (1920×192×256 on Virgo) exercises the
+//! per-cluster load-imbalance metric: its 45 output tiles never divide
+//! evenly across the swept cluster counts, so the per-cluster active-cycle
+//! spread (`max/mean`) becomes visible where the square shape's even tile
+//! grid pins it at 1.0.
+//!
 //! Besides the human-readable tables, the run emits `BENCH_clusters.json`
 //! (at the workspace root) and enforces two gates:
 //!
@@ -45,6 +51,7 @@ struct Point {
     cycles: u64,
     dram_stall_cycles: u64,
     utilization_pct: f64,
+    active_spread: f64,
     energy_mj: f64,
     energy_per_mac_pj: f64,
 }
@@ -60,6 +67,7 @@ impl From<&SweepOutcome> for Point {
             cycles: report.cycles().get(),
             dram_stall_cycles: report.dram_contention_stall_cycles(),
             utilization_pct: report.mac_utilization().as_percent(),
+            active_spread: report.load_imbalance().active_spread,
             energy_mj: report.total_energy_mj(),
             energy_per_mac_pj: report.total_energy_mj() * 1e9 / macs as f64,
         }
@@ -75,6 +83,7 @@ impl Point {
             self.cycles.to_string(),
             self.dram_stall_cycles.to_string(),
             format!("{:.1}%", self.utilization_pct),
+            format!("{:.3}", self.active_spread),
             format!("{:.3}", self.energy_mj),
             format!("{:.2}", self.energy_per_mac_pj),
         ]
@@ -85,7 +94,7 @@ impl Point {
             concat!(
                 "    {{\"design\": \"{}\", \"clusters\": {}, \"dram_channels\": {}, ",
                 "\"cycles\": {}, \"dram_contention_stall_cycles\": {}, ",
-                "\"mac_utilization_percent\": {:.3}, ",
+                "\"mac_utilization_percent\": {:.3}, \"active_spread\": {:.4}, ",
                 "\"energy_mj\": {:.6}, \"energy_per_mac_pj\": {:.4}}}"
             ),
             self.design,
@@ -94,19 +103,21 @@ impl Point {
             self.cycles,
             self.dram_stall_cycles,
             self.utilization_pct,
+            self.active_spread,
             self.energy_mj,
             self.energy_per_mac_pj,
         )
     }
 }
 
-const HEADERS: [&str; 8] = [
+const HEADERS: [&str; 9] = [
     "design",
     "clusters",
     "dram ch",
     "cycles",
     "dram stall cyc",
     "MAC util",
+    "act spread",
     "energy mJ",
     "pJ/MAC",
 ];
@@ -179,11 +190,62 @@ fn main() {
         &channel_points.iter().map(|p| p.row()).collect::<Vec<_>>(),
     );
 
+    // ---- Tall-skinny axis: a shape that stresses the imbalance metric ------
+    // 1920×192×256 has 15×3 = 45 output tiles: no swept cluster count
+    // divides 45, so the contiguous partition hands some clusters an extra
+    // tile and the per-cluster active-cycle spread (max/mean) separates from
+    // 1.0 — where the square shape's 64-tile grid divides evenly everywhere
+    // and pins the spread at exactly 1.0.
+    let tall = GemmShape {
+        m: 1920,
+        n: 192,
+        k: 256,
+    };
+    let tall_grid: Vec<SweepPoint> = CLUSTER_COUNTS
+        .into_iter()
+        .map(|clusters| SweepPoint::gemm(DesignKind::Virgo, tall).with_clusters(clusters))
+        .collect();
+    let tall_outcomes = sweep_service().sweep_streaming(&tall_grid, |outcome| {
+        eprintln!(
+            "  finished {} in {} cycles{}",
+            outcome.point,
+            outcome.report.cycles().get(),
+            if outcome.from_cache { " (cached)" } else { "" }
+        );
+    });
+    let tall_points: Vec<Point> = tall_outcomes.iter().map(Point::from).collect();
+    print_table(
+        &format!("Tall-skinny {tall} GEMM (Virgo): per-cluster load imbalance"),
+        &HEADERS,
+        &tall_points.iter().map(Point::row).collect::<Vec<_>>(),
+    );
+    for p in &tall_points {
+        // 45 tiles never divide evenly across N > 1 clusters, so the metric
+        // must register the uneven deal; N = 1 is trivially balanced.
+        if p.clusters > 1 {
+            assert!(
+                p.active_spread > 1.0,
+                "N={}: active spread {} must expose the uneven tile deal",
+                p.clusters,
+                p.active_spread,
+            );
+        } else {
+            assert_eq!(p.active_spread, 1.0, "N=1 is one cluster, spread is 1");
+        }
+    }
+
     let entries: Vec<String> = points.iter().map(Point::json).collect();
+    let tall_entries: Vec<String> = tall_points.iter().map(Point::json).collect();
     let json = format!(
-        "{{\n  \"bench\": \"clusters_scaling\",\n  \"gemm\": \"{}\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        concat!(
+            "{{\n  \"bench\": \"clusters_scaling\",\n  \"gemm\": \"{}\",\n",
+            "  \"points\": [\n{}\n  ],\n",
+            "  \"tall_skinny_gemm\": \"{}\",\n  \"tall_skinny_points\": [\n{}\n  ]\n}}\n"
+        ),
         shape,
-        entries.join(",\n")
+        entries.join(",\n"),
+        tall,
+        tall_entries.join(",\n")
     );
     // Anchor on the workspace root: cargo runs bench binaries with the
     // package directory (crates/bench) as cwd, but the artifact belongs next

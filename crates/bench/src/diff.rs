@@ -65,6 +65,16 @@ pub fn classify(path: &str, value: &JsonValue) -> Rule {
             | "degraded_cycles"
             | "dsm_blocked_cycles"
             | "recovery_cycles" => Rule::HigherWorse(0.001),
+            // Load-imbalance spreads (max/mean over clusters, 1.0 = perfectly
+            // balanced) and the per-link hotspot view: a growing spread or a
+            // hotter single link means the partitioning regressed toward
+            // all-to-one, even when total cycles still pass.
+            "active_spread" | "dsm_ingress_spread" | "dsm_link_max_util_percent" => {
+                Rule::HigherWorse(0.001)
+            }
+            // Mean link utilization dropping means the fabric's aggregate
+            // ingress bandwidth is going idle while the same bytes move.
+            "dsm_link_mean_util_percent" => Rule::LowerWorse(0.001),
             // Fast-forward horizon attribution: more scheduled events (or
             // fewer skipped cycles) means some component's horizon regressed
             // toward `now`-pinning. The counts are deterministic for a given
@@ -414,6 +424,54 @@ mod tests {
         assert_eq!(r, 1);
         // Skipped cycles shrinking means the driver is jumping less.
         let (r, _) = diff(r#"{"skipped_cycles": 9000}"#, r#"{"skipped_cycles": 7000}"#);
+        assert_eq!(r, 1);
+    }
+
+    #[test]
+    fn imbalance_and_link_utilization_metrics_are_gated() {
+        // The dsm_scaling artifact's load-imbalance and per-link hotspot
+        // metrics must be ratcheted, not informational: a spread creeping
+        // back up (or a single link re-hotspotting) is the exact regression
+        // the rotated reduction exists to prevent.
+        let num = JsonValue::Num(1.0);
+        for key in [
+            "active_spread",
+            "dsm_ingress_spread",
+            "dsm_link_max_util_percent",
+        ] {
+            assert_eq!(
+                classify(&format!("points[3].{key}"), &num),
+                Rule::HigherWorse(0.001),
+                "{key}"
+            );
+        }
+        assert_eq!(
+            classify("points[3].dsm_link_mean_util_percent", &num),
+            Rule::LowerWorse(0.001)
+        );
+        // A spread growing from the balanced baseline fails...
+        let (r, rows) = diff(
+            r#"{"dsm_ingress_spread": 1.05}"#,
+            r#"{"dsm_ingress_spread": 2.4}"#,
+        );
+        assert_eq!(r, 1);
+        assert_eq!(rows[0].status, "REGRESSION");
+        // ...shrinking toward 1.0 passes.
+        let (r, _) = diff(
+            r#"{"dsm_ingress_spread": 2.4}"#,
+            r#"{"dsm_ingress_spread": 1.05}"#,
+        );
+        assert_eq!(r, 0);
+        // Mean link utilization is lower-worse; the max is higher-worse.
+        let (r, _) = diff(
+            r#"{"dsm_link_mean_util_percent": 40.0}"#,
+            r#"{"dsm_link_mean_util_percent": 20.0}"#,
+        );
+        assert_eq!(r, 1);
+        let (r, _) = diff(
+            r#"{"dsm_link_max_util_percent": 45.0}"#,
+            r#"{"dsm_link_max_util_percent": 90.0}"#,
+        );
         assert_eq!(r, 1);
     }
 

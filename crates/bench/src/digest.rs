@@ -60,6 +60,18 @@ pub struct ReportDigest {
     pub dsm_hop_flits: u64,
     /// Per-cluster DSM bytes pushed, in requester order.
     pub per_cluster_dsm_bytes: Vec<u64>,
+    /// Per-cluster SIMT active cycles, in cluster order — the compute side
+    /// of the load-imbalance view.
+    pub per_cluster_active_cycles: Vec<u64>,
+    /// Per-cluster DSM ingress bytes (traffic arriving at each cluster's
+    /// port), in destination order — the reduction side of the
+    /// load-imbalance view.
+    pub per_cluster_dsm_ingress_bytes: Vec<u64>,
+    /// `max / mean` of the per-cluster active cycles (0.0 when idle).
+    pub active_spread: f64,
+    /// `max / mean` of the per-cluster DSM ingress bytes (0.0 when the
+    /// fabric is unused; N on an all-to-one reduction over N clusters).
+    pub dsm_ingress_spread: f64,
     /// Total active energy in millijoules.
     pub total_energy_mj: f64,
     /// Total active power in milliwatts.
@@ -71,6 +83,7 @@ pub struct ReportDigest {
 impl ReportDigest {
     /// Extracts the digest of a finished run.
     pub fn of(report: &SimReport) -> Self {
+        let imbalance = report.load_imbalance();
         ReportDigest {
             design: report.design().to_string(),
             kernel: report.kernel_name().to_string(),
@@ -95,6 +108,10 @@ impl ReportDigest {
             dsm_stall_cycles: report.dsm_stats().stall_cycles,
             dsm_hop_flits: report.dsm_stats().hop_flits,
             per_cluster_dsm_bytes: report.per_cluster().iter().map(|c| c.dsm.bytes).collect(),
+            active_spread: imbalance.active_spread,
+            dsm_ingress_spread: imbalance.dsm_ingress_spread,
+            per_cluster_active_cycles: imbalance.active_cycles,
+            per_cluster_dsm_ingress_bytes: imbalance.dsm_ingress_bytes,
             total_energy_mj: report.total_energy_mj(),
             active_power_mw: report.active_power_mw(),
             energy_breakdown_uj: report

@@ -60,7 +60,7 @@ pub mod snapshot;
 pub use cluster::{Cluster, ClusterDevices, ClusterStats, PlacedWarpSnapshot};
 pub use config::{DesignKind, GpuConfig, MatrixUnitSpec};
 pub use key::SimKey;
-pub use report::{ClusterReport, SchedStats, SimReport};
+pub use report::{ClusterReport, LoadImbalance, SchedStats, SimReport};
 pub use run::{
     BlockedOn, Gpu, SimError, SimMode, TimeoutDiagnosis, WarpDiagnosis, WatchdogVerdict,
 };

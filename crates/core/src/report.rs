@@ -99,6 +99,44 @@ impl ClusterReport {
     }
 }
 
+/// How evenly a kernel's work landed on the clusters, derived from the
+/// per-cluster report slices (see [`SimReport::load_imbalance`]).
+///
+/// Two axes, both expressed as a max/mean spread where 1.0 is a perfectly
+/// balanced machine and N is everything-on-one-cluster:
+///
+/// * **active cycles** — per-cluster SIMT active cycles, the compute-side
+///   view of tail-cluster effects on irregular grids, and
+/// * **DSM ingress bytes** — per-destination fabric traffic, the
+///   reduction-side view: an all-to-one reduction shows a spread of N (the
+///   whole reduction funnels into one ingress link) while a rotated one sits
+///   near 1.0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadImbalance {
+    /// SIMT active cycles per cluster, in cluster order.
+    pub active_cycles: Vec<u64>,
+    /// DSM ingress bytes per cluster (traffic *arriving at* each cluster's
+    /// port), in cluster order; all zero when the fabric is unused.
+    pub dsm_ingress_bytes: Vec<u64>,
+    /// `max / mean` of the per-cluster active cycles (0.0 when no cluster
+    /// recorded an active cycle).
+    pub active_spread: f64,
+    /// `max / mean` of the per-cluster ingress bytes (0.0 when the fabric
+    /// moved no bytes).
+    pub dsm_ingress_spread: f64,
+}
+
+/// `max / mean` of a sample vector, 0.0 for an empty or all-zero vector.
+fn spread(samples: &[u64]) -> f64 {
+    let total: u64 = samples.iter().sum();
+    if total == 0 || samples.is_empty() {
+        return 0.0;
+    }
+    let mean = total as f64 / samples.len() as f64;
+    let max = samples.iter().copied().max().unwrap_or(0);
+    max as f64 / mean
+}
+
 /// The result of simulating one kernel on one GPU configuration.
 ///
 /// A report bundles the raw event statistics together with the derived
@@ -414,6 +452,25 @@ impl SimReport {
     /// Bytes moved cluster-to-cluster over the DSM fabric.
     pub fn dsm_bytes(&self) -> u64 {
         self.dsm_stats.bytes
+    }
+
+    /// The per-cluster load-imbalance view: SIMT active cycles per cluster
+    /// and DSM ingress bytes per destination cluster, each with its
+    /// `max / mean` spread. Derived entirely from the stored per-cluster
+    /// slices, so it is available on cache-rehydrated reports too.
+    pub fn load_imbalance(&self) -> LoadImbalance {
+        let active_cycles: Vec<u64> = self
+            .per_cluster
+            .iter()
+            .map(|c| c.core_stats.active_cycles)
+            .collect();
+        let dsm_ingress_bytes: Vec<u64> = self.dsm_link_stats.iter().map(|l| l.bytes).collect();
+        LoadImbalance {
+            active_spread: spread(&active_cycles),
+            dsm_ingress_spread: spread(&dsm_ingress_bytes),
+            active_cycles,
+            dsm_ingress_bytes,
+        }
     }
 
     /// Machine-wide fault-injection and degraded-mode accounting (all zero
@@ -749,5 +806,60 @@ mod tests {
         // shared DRAM burst charge is the only machine-level extra.
         let summed: f64 = report.per_cluster().iter().map(|c| c.energy_mj).sum();
         assert!(summed <= report.total_energy_mj() + 1e-12);
+    }
+
+    #[test]
+    fn spread_handles_degenerate_inputs() {
+        assert_eq!(spread(&[]), 0.0);
+        assert_eq!(spread(&[0, 0, 0]), 0.0);
+        assert_eq!(spread(&[100, 100, 100, 100]), 1.0);
+        // Everything on one of four clusters: max / mean = 4.
+        assert_eq!(spread(&[400, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn load_imbalance_reflects_uneven_cluster_work() {
+        // Cluster 0 runs 4x the instructions of cluster 1.
+        let busy = {
+            let mut b = ProgramBuilder::new();
+            b.op_n(
+                64,
+                WarpOp::Alu {
+                    rf_reads: 2,
+                    rf_writes: 1,
+                },
+            );
+            Arc::new(b.build())
+        };
+        let light = {
+            let mut b = ProgramBuilder::new();
+            b.op_n(
+                16,
+                WarpOp::Alu {
+                    rf_reads: 2,
+                    rf_writes: 1,
+                },
+            );
+            Arc::new(b.build())
+        };
+        let kernel = Kernel::new(
+            KernelInfo::new("skew", 0, DataType::Fp16),
+            vec![
+                WarpAssignment::on_cluster(0, 0, 0, busy),
+                WarpAssignment::on_cluster(1, 0, 0, light),
+            ],
+        );
+        let mut gpu = Gpu::new(GpuConfig::virgo().with_clusters(2));
+        let report = gpu.run(&kernel, 100_000).unwrap();
+        let imbalance = report.load_imbalance();
+        assert_eq!(imbalance.active_cycles.len(), 2);
+        assert!(imbalance.active_cycles[0] > imbalance.active_cycles[1]);
+        assert!(
+            imbalance.active_spread > 1.0 && imbalance.active_spread <= 2.0,
+            "spread {}",
+            imbalance.active_spread
+        );
+        // No DSM traffic: the ingress axis reports zero, not NaN.
+        assert_eq!(imbalance.dsm_ingress_spread, 0.0);
     }
 }

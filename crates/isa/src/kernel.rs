@@ -94,21 +94,84 @@ impl WarpAssignment {
             program,
         }
     }
+
+    /// Creates a warp assignment on the cluster that owns work item `item`
+    /// under `partition` — the strategy-aware placement used by kernels whose
+    /// per-item warps follow the grid's ownership map rather than a fixed
+    /// cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is outside the partition's grid.
+    pub fn owning(
+        partition: &GridPartition,
+        item: u64,
+        core: u32,
+        warp: u32,
+        program: Arc<Program>,
+    ) -> Self {
+        Self::on_cluster(partition.owner(item), core, warp, program)
+    }
 }
 
-/// A contiguous partition of a linear work grid (e.g. GEMM output tiles or
-/// attention row blocks) across the clusters of the machine.
+/// How a linear work grid's items are mapped onto clusters.
 ///
-/// Kernel generators use this to split a kernel's outermost tile loop: each
-/// cluster receives a contiguous run of tile indices, with the remainder
-/// spread one-per-cluster over the leading clusters so the imbalance is at
-/// most one tile. A single-cluster partition always covers the whole grid,
-/// which keeps `clusters = 1` kernels identical to their pre-partition form.
+/// `Contiguous` is the historical split (each cluster takes one balanced run
+/// of consecutive indices). The other two distribute *ownership* across the
+/// clusters so that work arriving per item — most importantly the split-K
+/// partial-tile reduction, whose traffic lands on the owner's DSM ingress
+/// link — spreads over all N links instead of funneling into one cluster:
+///
+/// * `Interleaved` deals items round-robin: item `i` belongs to cluster
+///   `i mod N`.
+/// * `Rotated` also deals round-robin but rotates the starting cluster by
+///   one each round (`(i mod N + i div N) mod N`), so consecutive rounds of
+///   the grid start their bursts on different ingress links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PartitionStrategy {
+    /// Balanced contiguous runs (the historical default).
+    #[default]
+    Contiguous,
+    /// Round-robin: item `i` is owned by cluster `i mod N`.
+    Interleaved,
+    /// Round-robin with a per-round rotation of the starting cluster:
+    /// item `i` is owned by cluster `(i mod N + i div N) mod N`.
+    Rotated,
+}
+
+impl PartitionStrategy {
+    /// Short lower-case name used in kernel names and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Contiguous => "contiguous",
+            PartitionStrategy::Interleaved => "interleaved",
+            PartitionStrategy::Rotated => "rotated",
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A partition of a linear work grid (e.g. GEMM output tiles or attention
+/// row blocks) across the clusters of the machine.
+///
+/// Kernel generators use this to split a kernel's outermost tile loop. Under
+/// the default [`PartitionStrategy::Contiguous`] each cluster receives a
+/// contiguous run of tile indices, with the remainder spread one-per-cluster
+/// over the leading clusters so the imbalance is at most one tile; the
+/// interleaved and rotated strategies keep the same at-most-one-item balance
+/// but deal ownership round-robin (see [`PartitionStrategy`]). A
+/// single-cluster partition always covers the whole grid, which keeps
+/// `clusters = 1` kernels identical to their pre-partition form.
 ///
 /// # Example
 ///
 /// ```
-/// use virgo_isa::GridPartition;
+/// use virgo_isa::{GridPartition, PartitionStrategy};
 ///
 /// let p = GridPartition::new(10, 4);
 /// assert_eq!(p.count(0), 3); // clusters 0 and 1 take the remainder
@@ -116,22 +179,44 @@ impl WarpAssignment {
 /// assert_eq!(p.count(2), 2);
 /// assert_eq!(p.range(3), 8..10);
 /// assert_eq!((0..4).map(|c| p.count(c)).sum::<u64>(), 10);
+///
+/// let r = GridPartition::with_strategy(10, 4, PartitionStrategy::Rotated);
+/// assert_eq!(r.owner(0), 0);
+/// assert_eq!(r.owner(4), 1); // the second round starts one cluster over
+/// assert_eq!((0..4).map(|c| r.count(c)).sum::<u64>(), 10);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GridPartition {
     total: u64,
     clusters: u32,
+    strategy: PartitionStrategy,
 }
 
 impl GridPartition {
-    /// Creates a partition of `total` work items over `clusters` clusters.
+    /// Creates a contiguous partition of `total` work items over `clusters`
+    /// clusters (the historical constructor — every pre-strategy call site
+    /// keeps its exact ownership map).
     ///
     /// # Panics
     ///
     /// Panics if `clusters` is zero.
     pub fn new(total: u64, clusters: u32) -> Self {
+        Self::with_strategy(total, clusters, PartitionStrategy::Contiguous)
+    }
+
+    /// Creates a partition of `total` work items over `clusters` clusters
+    /// under an explicit ownership strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    pub fn with_strategy(total: u64, clusters: u32, strategy: PartitionStrategy) -> Self {
         assert!(clusters > 0, "cannot partition a grid over zero clusters");
-        GridPartition { total, clusters }
+        GridPartition {
+            total,
+            clusters,
+            strategy,
+        }
     }
 
     /// Total work items in the grid.
@@ -144,13 +229,67 @@ impl GridPartition {
         self.clusters
     }
 
-    /// The half-open range of work-item indices owned by `cluster`.
+    /// The ownership strategy.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// The cluster that owns work item `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is outside the grid.
+    pub fn owner(&self, item: u64) -> u32 {
+        assert!(item < self.total, "item {item} outside the grid");
+        let n = u64::from(self.clusters);
+        match self.strategy {
+            PartitionStrategy::Contiguous => {
+                let base = self.total / n;
+                let rem = self.total % n;
+                if base == 0 {
+                    // Fewer items than clusters: item i sits on cluster i.
+                    item as u32
+                } else if item < rem * (base + 1) {
+                    (item / (base + 1)) as u32
+                } else {
+                    (rem + (item - rem * (base + 1)) / base) as u32
+                }
+            }
+            PartitionStrategy::Interleaved => (item % n) as u32,
+            PartitionStrategy::Rotated => ((item % n + item / n) % n) as u32,
+        }
+    }
+
+    /// The work items owned by `cluster`, in ascending index order.
     ///
     /// # Panics
     ///
     /// Panics if `cluster` is out of range.
+    pub fn items(&self, cluster: u32) -> Vec<u64> {
+        assert!(cluster < self.clusters, "cluster {cluster} out of range");
+        match self.strategy {
+            PartitionStrategy::Contiguous => self.range(cluster).collect(),
+            _ => (0..self.total)
+                .filter(|&item| self.owner(item) == cluster)
+                .collect(),
+        }
+    }
+
+    /// The half-open range of work-item indices owned by `cluster`. Only the
+    /// contiguous strategy owns ranges; use [`GridPartition::items`] for the
+    /// interleaved/rotated maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range, or if the strategy is not
+    /// [`PartitionStrategy::Contiguous`].
     pub fn range(&self, cluster: u32) -> std::ops::Range<u64> {
         assert!(cluster < self.clusters, "cluster {cluster} out of range");
+        assert!(
+            self.strategy == PartitionStrategy::Contiguous,
+            "only a contiguous partition owns ranges; use items() for {}",
+            self.strategy
+        );
         let base = self.total / u64::from(self.clusters);
         let rem = self.total % u64::from(self.clusters);
         let c = u64::from(cluster);
@@ -165,8 +304,22 @@ impl GridPartition {
     ///
     /// Panics if `cluster` is out of range.
     pub fn count(&self, cluster: u32) -> u64 {
-        let r = self.range(cluster);
-        r.end - r.start
+        assert!(cluster < self.clusters, "cluster {cluster} out of range");
+        match self.strategy {
+            PartitionStrategy::Contiguous => {
+                let r = self.range(cluster);
+                r.end - r.start
+            }
+            _ => {
+                // Both round-robin strategies are permutations of the deal
+                // order within each round, so the counts match the
+                // contiguous split's balance exactly: every cluster gets
+                // `total / N` items plus at most one from the last round.
+                (0..self.total)
+                    .filter(|&item| self.owner(item) == cluster)
+                    .count() as u64
+            }
+        }
     }
 }
 
@@ -359,6 +512,84 @@ mod tests {
     #[should_panic(expected = "zero clusters")]
     fn zero_cluster_partition_panics() {
         let _ = GridPartition::new(4, 0);
+    }
+
+    #[test]
+    fn all_strategies_cover_grid_without_overlap() {
+        for strategy in [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::Interleaved,
+            PartitionStrategy::Rotated,
+        ] {
+            for (total, clusters) in [(0u64, 1u32), (1, 4), (10, 4), (64, 8), (7, 3), (16, 8)] {
+                let p = GridPartition::with_strategy(total, clusters, strategy);
+                let mut seen = vec![false; total as usize];
+                let mut counted = 0;
+                for c in 0..clusters {
+                    let items = p.items(c);
+                    assert_eq!(items.len() as u64, p.count(c));
+                    counted += items.len() as u64;
+                    for item in items {
+                        assert_eq!(p.owner(item), c, "{strategy} {total}/{clusters}");
+                        assert!(!seen[item as usize], "item {item} owned twice");
+                        seen[item as usize] = true;
+                    }
+                    // Balanced to within one item under every strategy.
+                    assert!(p.count(c) >= total / u64::from(clusters));
+                    assert!(p.count(c) <= total.div_ceil(u64::from(clusters)));
+                }
+                assert_eq!(counted, total, "{strategy} {total}/{clusters}");
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_owner_agrees_with_range() {
+        for (total, clusters) in [(1u64, 4u32), (10, 4), (64, 8), (7, 3), (100, 7)] {
+            let p = GridPartition::new(total, clusters);
+            for c in 0..clusters {
+                for item in p.range(c) {
+                    assert_eq!(p.owner(item), c, "total={total} clusters={clusters}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_deals_round_robin() {
+        let p = GridPartition::with_strategy(10, 4, PartitionStrategy::Interleaved);
+        assert_eq!(p.items(0), vec![0, 4, 8]);
+        assert_eq!(p.items(1), vec![1, 5, 9]);
+        assert_eq!(p.items(2), vec![2, 6]);
+        assert_eq!(p.items(3), vec![3, 7]);
+    }
+
+    #[test]
+    fn rotated_shifts_start_each_round() {
+        // Round r starts its deal at cluster r mod N, so the clusters that
+        // absorb a ragged final round rotate instead of always being the
+        // leading ones.
+        let p = GridPartition::with_strategy(10, 4, PartitionStrategy::Rotated);
+        assert_eq!(p.items(0), vec![0, 7]);
+        assert_eq!(p.items(1), vec![1, 4]);
+        assert_eq!(p.items(2), vec![2, 5, 8]);
+        assert_eq!(p.items(3), vec![3, 6, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn range_panics_for_non_contiguous_strategies() {
+        let p = GridPartition::with_strategy(8, 4, PartitionStrategy::Rotated);
+        let _ = p.range(0);
+    }
+
+    #[test]
+    fn owning_assignment_follows_the_ownership_map() {
+        let p = GridPartition::with_strategy(8, 4, PartitionStrategy::Interleaved);
+        let w = WarpAssignment::owning(&p, 6, 1, 3, tiny_program(2));
+        assert_eq!(w.cluster, 2);
+        assert_eq!(w.core, 1);
+        assert_eq!(w.warp, 3);
     }
 
     #[test]

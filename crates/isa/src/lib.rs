@@ -47,7 +47,7 @@ pub use addr::{
     decode_remote_smem, remote_smem_addr, AddrExpr, LaneAccess, MemRegion, REMOTE_SMEM_WINDOW,
 };
 pub use builder::ProgramBuilder;
-pub use kernel::{DataType, GridPartition, Kernel, KernelInfo, WarpAssignment};
+pub use kernel::{DataType, GridPartition, Kernel, KernelInfo, PartitionStrategy, WarpAssignment};
 pub use mmio::{DeviceId, DmaCopyCmd, MatrixComputeCmd, MemLoc, MmioCommand, WgmmaOp};
 pub use op::{OpId, WarpOp};
 pub use program::{Program, ProgramCursor, ProgramItem};

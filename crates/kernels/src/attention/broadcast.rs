@@ -17,8 +17,9 @@ use std::sync::Arc;
 
 use virgo::GpuConfig;
 use virgo_isa::{
-    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, LaneAccess, MatrixComputeCmd, MemLoc,
-    MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
+    AddrExpr, DeviceId, DmaCopyCmd, GridPartition, Kernel, KernelInfo, LaneAccess,
+    MatrixComputeCmd, MemLoc, MmioCommand, PartitionStrategy, ProgramBuilder, WarpAssignment,
+    WarpOp,
 };
 
 use crate::workload::AttentionShape;
@@ -279,6 +280,255 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
     )
 }
 
+/// Builds the interleaved-ownership K/V broadcast FlashAttention-3 kernel.
+///
+/// Same row-block partitioning and dataflow as [`build`], but the *loader*
+/// role rotates: K/V column block `j` is pulled from DRAM by cluster
+/// `j mod N` ([`PartitionStrategy::Interleaved`] over the column blocks) and
+/// fanned out to the other clusters from there. Where [`build`] funnels the
+/// whole broadcast through cluster 0's DMA engine and egress link, here
+/// every cluster sources a 1/N slice of the column blocks, so the broadcast
+/// load — DRAM pulls and DSM pushes both — spreads across all N clusters.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`build`].
+pub fn build_interleaved(config: &GpuConfig, shape: AttentionShape) -> Kernel {
+    assert!(
+        config.dsm.enabled,
+        "the broadcast FlashAttention mapping needs the DSM fabric enabled; \
+         use the plain mapping as its DRAM-path twin"
+    );
+    let clusters = config.clusters.max(1);
+    assert!(
+        clusters >= 2,
+        "broadcasting needs at least one peer cluster"
+    );
+    assert!(
+        shape.seq_len.is_multiple_of(BLOCK) && shape.head_dim.is_multiple_of(BLOCK),
+        "attention shape {shape} not tileable by {BLOCK}"
+    );
+    let row_blocks = u64::from(shape.seq_len / BLOCK) * u64::from(shape.heads * shape.batch);
+    assert!(
+        row_blocks.is_multiple_of(u64::from(clusters)),
+        "broadcast needs the {row_blocks} row blocks to split evenly over {clusters} clusters"
+    );
+    let rows_per_cluster = row_blocks / u64::from(clusters);
+    let col_blocks = u64::from(shape.seq_len / BLOCK);
+    let loaders =
+        GridPartition::with_strategy(col_blocks, clusters, PartitionStrategy::Interleaved);
+
+    let dtype = config.dtype;
+    let elem = u64::from(dtype.bytes());
+    let lanes = config.core.lanes;
+    let total_warps = u64::from(config.cores) * u64::from(config.core.warps);
+    let tile_bytes = u64::from(BLOCK) * u64::from(shape.head_dim) * elem;
+    let score_bytes = u64::from(BLOCK) * u64::from(BLOCK) * 4;
+
+    let dma = |src: MemLoc, dst: MemLoc, bytes: u64| WarpOp::MmioWrite {
+        device: DeviceId::DMA0,
+        cmd: MmioCommand::DmaCopy(DmaCopyCmd::new(src, dst, bytes)),
+    };
+    let dma_remote = |src: MemLoc, dst: MemLoc, bytes: u64| WarpOp::MmioWrite {
+        device: DeviceId::DMA0,
+        cmd: MmioCommand::DmaRemote(DmaCopyCmd::new(src, dst, bytes)),
+    };
+    let compute =
+        |a: AddrExpr, b: AddrExpr, acc_addr: u64, k: u32, accumulate: bool| WarpOp::MmioWrite {
+            device: DeviceId::MATRIX0,
+            cmd: MmioCommand::MatrixCompute(MatrixComputeCmd {
+                a,
+                b,
+                acc_addr,
+                m: BLOCK,
+                n: BLOCK,
+                k,
+                accumulate,
+                dtype,
+            }),
+        };
+
+    let k_buf = AddrExpr::double_buffered(SMEM_K0, SMEM_KV_STRIDE);
+    let v_buf = AddrExpr::double_buffered(SMEM_V0, SMEM_KV_STRIDE);
+    let s_buf = AddrExpr::double_buffered(SMEM_S0, SMEM_S_STRIDE);
+
+    let mut warps = Vec::new();
+    for cluster in 0..clusters {
+        let gbase = crate::cluster_addr_offset(cluster);
+
+        // ---- Orchestrator warp (core 0, warp 0) ----------------------------
+        // The loader role depends on the column-block index, so the column
+        // loop is unrolled; the row loop still repeats (roles only depend on
+        // the column).
+        let mut orch = ProgramBuilder::new();
+        orch.repeat(rows_per_cluster, |b| {
+            b.op(dma(
+                MemLoc::global(AddrExpr::streaming(GLOBAL_Q + gbase, tile_bytes)),
+                MemLoc::shared(AddrExpr::fixed(SMEM_Q)),
+                tile_bytes,
+            ));
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+
+            for j in 0..col_blocks {
+                if loaders.owner(j) == cluster {
+                    // This cluster sources column block j: pull K/V from
+                    // DRAM once (advancing a row-major stream across row
+                    // iterations, like the single-broadcaster kernel)...
+                    b.op(dma(
+                        MemLoc::global(AddrExpr::streaming(
+                            GLOBAL_K + j * tile_bytes,
+                            col_blocks * tile_bytes,
+                        )),
+                        MemLoc::shared(k_buf),
+                        tile_bytes,
+                    ));
+                    b.op(dma(
+                        MemLoc::global(AddrExpr::streaming(
+                            GLOBAL_V + j * tile_bytes,
+                            col_blocks * tile_bytes,
+                        )),
+                        MemLoc::shared(v_buf),
+                        tile_bytes,
+                    ));
+                    b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                    // ...and fans the tiles out to every other cluster.
+                    for peer in 0..clusters {
+                        if peer == cluster {
+                            continue;
+                        }
+                        b.op(dma_remote(
+                            MemLoc::shared(k_buf),
+                            MemLoc::remote_shared(peer, k_buf),
+                            tile_bytes,
+                        ));
+                        b.op(dma_remote(
+                            MemLoc::shared(v_buf),
+                            MemLoc::remote_shared(peer, v_buf),
+                            tile_bytes,
+                        ));
+                    }
+                    b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                }
+                // GEMM-1: S = Q·Kᵀ out of (locally or remotely filled) smem.
+                b.op(compute(
+                    AddrExpr::fixed(SMEM_Q),
+                    k_buf,
+                    ACC_S,
+                    shape.head_dim,
+                    false,
+                ));
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                b.op(dma(
+                    MemLoc::accumulator(AddrExpr::fixed(ACC_S)),
+                    MemLoc::shared(s_buf),
+                    score_bytes,
+                ));
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                b.op(WarpOp::Barrier { id: 0 });
+                // Softmax runs between the barriers.
+                b.op(WarpOp::Barrier { id: 1 });
+                // GEMM-2: O += P·V.
+                b.op(compute(s_buf, v_buf, ACC_O, BLOCK, true));
+                b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            }
+
+            b.op(dma(
+                MemLoc::accumulator(AddrExpr::fixed(ACC_O)),
+                MemLoc::global(AddrExpr::streaming(GLOBAL_O + gbase, tile_bytes)),
+                tile_bytes,
+            ));
+            b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            b.op(WarpOp::Barrier { id: 2 });
+        });
+        let orchestrator = Arc::new(orch.build());
+
+        // ---- Softmax warps (identical to the single-broadcaster kernel) ----
+        let elems = u64::from(BLOCK) * u64::from(BLOCK);
+        let elems_per_warp = elems / total_warps;
+        let vector_iters = (elems_per_warp / u64::from(lanes)).max(1);
+        let build_softmax = |warp_index: u64| {
+            let mut p = ProgramBuilder::new();
+            p.repeat(rows_per_cluster, |b| {
+                b.repeat(col_blocks, |b| {
+                    b.op(WarpOp::Barrier { id: 0 });
+                    for i in 0..vector_iters {
+                        let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
+                        b.op(WarpOp::LoadShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::double_buffered(SMEM_S0 + offset, SMEM_S_STRIDE),
+                                lanes,
+                            ),
+                        });
+                        b.op(WarpOp::WaitLoads);
+                        b.op_n(
+                            SOFTMAX_FLOPS_PER_ELEM,
+                            WarpOp::Fpu {
+                                rf_reads: 2,
+                                rf_writes: 1,
+                                flops_per_lane: 1,
+                            },
+                        );
+                        b.op(WarpOp::StoreShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::double_buffered(SMEM_S0 + offset, SMEM_S_STRIDE),
+                                lanes,
+                            ),
+                        });
+                    }
+                    for i in 0..vector_iters {
+                        let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
+                        b.op(WarpOp::LoadShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::fixed(SMEM_O + offset),
+                                lanes,
+                            ),
+                        });
+                        b.op(WarpOp::WaitLoads);
+                        b.op(WarpOp::Fpu {
+                            rf_reads: 2,
+                            rf_writes: 1,
+                            flops_per_lane: 2,
+                        });
+                        b.op(WarpOp::StoreShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::fixed(SMEM_O + offset),
+                                lanes,
+                            ),
+                        });
+                    }
+                    b.op(WarpOp::Barrier { id: 1 });
+                });
+                b.op(WarpOp::Barrier { id: 2 });
+            });
+            Arc::new(p.build())
+        };
+
+        for core in 0..config.cores {
+            for warp in 0..config.core.warps {
+                let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
+                let program = if warp_index == 0 {
+                    Arc::clone(&orchestrator)
+                } else {
+                    build_softmax(warp_index)
+                };
+                warps.push(WarpAssignment::on_cluster(cluster, core, warp, program));
+            }
+        }
+    }
+
+    Kernel::new(
+        KernelInfo::new(
+            format!(
+                "flash_attention_virgo_dsm_int_{shape}{}",
+                crate::cluster_suffix(clusters)
+            ),
+            shape.gemm_mac_ops(),
+            dtype,
+        ),
+        warps,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +590,59 @@ mod tests {
                 assert_eq!(remote_pushes, 0);
             }
         }
+    }
+
+    #[test]
+    fn interleaved_variant_rotates_the_loader_role() {
+        let shape = AttentionShape::paper_default();
+        let kernel = build_interleaved(&config(4), shape);
+        assert!(kernel.info.name.contains("dsm_int"), "{}", kernel.info.name);
+        let col_blocks = u64::from(shape.seq_len / BLOCK);
+        let loaders = GridPartition::with_strategy(col_blocks, 4, PartitionStrategy::Interleaved);
+        let rows_per_cluster =
+            u64::from(shape.seq_len / BLOCK) * u64::from(shape.heads * shape.batch) / 4;
+        for warp in kernel.warps.iter().filter(|w| w.warp == 0 && w.core == 0) {
+            let mut kv_loads = 0u64;
+            let mut remote_pushes = 0u64;
+            let mut cursor = warp.program.cursor();
+            while let Some((_, op)) = cursor.next_op() {
+                if let WarpOp::MmioWrite { cmd, .. } = op {
+                    match cmd {
+                        MmioCommand::DmaCopy(copy) => {
+                            let base = copy.src.addr.base & 0xF000_0000;
+                            if base == GLOBAL_K || base == GLOBAL_V {
+                                kv_loads += 1;
+                            }
+                        }
+                        MmioCommand::DmaRemote(copy) => {
+                            assert!(copy.dst.remote_cluster().is_some());
+                            remote_pushes += 1;
+                        }
+                        MmioCommand::MatrixCompute(_) => {}
+                    }
+                }
+            }
+            // Every cluster loads its interleaved slice of the column blocks
+            // (K and V, once per row iteration) and pushes each to the 3
+            // other clusters — no cluster monopolizes the broadcast.
+            let owned = loaders.count(warp.cluster);
+            assert_eq!(
+                kv_loads,
+                2 * owned * rows_per_cluster,
+                "cluster {}",
+                warp.cluster
+            );
+            assert_eq!(remote_pushes, 2 * 3 * owned * rows_per_cluster);
+            assert!(kv_loads > 0, "cluster {} never loads K/V", warp.cluster);
+        }
+    }
+
+    #[test]
+    fn interleaved_variant_matches_broadcast_macs() {
+        let shape = AttentionShape::paper_default();
+        let a = build(&config(2), shape);
+        let b = build_interleaved(&config(2), shape);
+        assert_eq!(a.info.total_macs, b.info.total_macs);
     }
 
     #[test]

@@ -29,7 +29,8 @@ use std::sync::Arc;
 use virgo::GpuConfig;
 use virgo_isa::{
     AddrExpr, DeviceId, DmaCopyCmd, GridPartition, Kernel, KernelInfo, LaneAccess,
-    MatrixComputeCmd, MemLoc, MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
+    MatrixComputeCmd, MemLoc, MmioCommand, PartitionStrategy, ProgramBuilder, WarpAssignment,
+    WarpOp,
 };
 
 use crate::workload::GemmShape;
@@ -329,6 +330,314 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     )
 }
 
+/// Builds the split-K GEMM kernel with an explicit output-tile ownership
+/// strategy.
+///
+/// [`PartitionStrategy::Contiguous`] delegates to [`build`] — the historical
+/// single-consumer kernel, byte-identical programs and name, so existing
+/// fingerprints and cached reports are untouched. The `Interleaved` and
+/// `Rotated` strategies build the *distributed-reduction* variant instead:
+/// output-tile ownership is dealt across the clusters by
+/// [`GridPartition::owner`], every cluster is both producer and consumer —
+/// for each tile the non-owners `DmaRemote` their partial straight into the
+/// owner's scratchpad (or spill it through DRAM on the no-DSM path) and the
+/// owner's SIMT warps reduce it — so the reduction traffic lands on all N
+/// DSM ingress links concurrently instead of funnelling into cluster 0's
+/// single link.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`build`].
+pub fn build_with_strategy(
+    config: &GpuConfig,
+    shape: GemmShape,
+    strategy: PartitionStrategy,
+) -> Kernel {
+    if strategy == PartitionStrategy::Contiguous {
+        return build(config, shape);
+    }
+    assert!(
+        shape.m.is_multiple_of(TILE_M)
+            && shape.n.is_multiple_of(TILE_N)
+            && shape.k.is_multiple_of(TILE_K),
+        "GEMM shape {shape} not divisible by the {TILE_M}x{TILE_N}x{TILE_K} tile"
+    );
+    let clusters = config.clusters.max(1);
+    assert!(
+        clusters >= 2,
+        "split-K GEMM needs at least one producer cluster plus the consumer"
+    );
+    let kt_total = u64::from(shape.k / TILE_K);
+    assert!(
+        kt_total >= u64::from(clusters),
+        "split-K over {clusters} clusters needs at least {clusters} K-tiles, \
+         shape {shape} has {kt_total}"
+    );
+    let use_dsm = config.dsm.enabled;
+    let dtype = config.dtype;
+    let elem = u64::from(dtype.bytes());
+    let lanes = config.core.lanes;
+    let total_warps = u64::from(config.cores) * u64::from(config.core.warps);
+
+    let tiles_m = u64::from(shape.m / TILE_M);
+    let tiles_n = u64::from(shape.n / TILE_N);
+    let out_tiles = tiles_m * tiles_n;
+    let k_partition = GridPartition::new(kt_total, clusters);
+    let c_partition = GridPartition::with_strategy(out_tiles, clusters, strategy);
+
+    let a_tile_bytes = u64::from(TILE_M) * u64::from(TILE_K) * elem;
+    let b_tile_bytes = u64::from(TILE_K) * u64::from(TILE_N) * elem;
+    let c_tile_bytes = u64::from(TILE_M) * u64::from(TILE_N) * 4;
+    let partial_region = out_tiles * c_tile_bytes;
+
+    let mmio = |cmd: MmioCommand| WarpOp::MmioWrite {
+        device: match cmd {
+            MmioCommand::DmaCopy(_) | MmioCommand::DmaRemote(_) => DeviceId::DMA0,
+            MmioCommand::MatrixCompute(_) => DeviceId::MATRIX0,
+        },
+        cmd,
+    };
+
+    // Staging slot of a non-owner's partial in the owner's scratchpad: the
+    // producers of a tile are numbered by skipping the owner, which keeps
+    // the slot indices in the same 1..N ping-pong range the contiguous
+    // kernel uses (`stage_slot` folds them onto two buffers).
+    let producer_slot = |producer: u32, owner: u32| {
+        let p_idx = if producer < owner {
+            u64::from(producer)
+        } else {
+            u64::from(producer - 1)
+        };
+        stage_slot(p_idx + 1, c_tile_bytes)
+    };
+
+    let mut warps = Vec::new();
+    for cluster in 0..clusters {
+        let kt = k_partition.count(cluster);
+        let base = cluster_addr_offset(cluster);
+
+        let compute = |accumulate: bool| {
+            mmio(MmioCommand::MatrixCompute(MatrixComputeCmd {
+                a: AddrExpr::double_buffered(SMEM_A0, SMEM_A_STRIDE),
+                b: AddrExpr::double_buffered(SMEM_B0, SMEM_B_STRIDE),
+                acc_addr: 0,
+                m: TILE_M,
+                n: TILE_N,
+                k: TILE_K,
+                accumulate,
+                dtype,
+            }))
+        };
+
+        // ---- Orchestrator warp ---------------------------------------------
+        // Roles rotate per output tile, so the tile loop is unrolled into
+        // static ops instead of a `repeat` (the K pipeline inside each tile
+        // still uses one). Each static DMA executes once, so the operand
+        // streams carry explicit per-tile bases.
+        let mut orch = ProgramBuilder::new();
+        for tile in 0..out_tiles {
+            let owner = c_partition.owner(tile);
+            let a_base = GLOBAL_A + base + tile * kt * a_tile_bytes;
+            let b_base = GLOBAL_B + base + tile * kt * b_tile_bytes;
+            let dma_a = |step: u64| {
+                mmio(MmioCommand::DmaCopy(DmaCopyCmd::new(
+                    MemLoc::global(AddrExpr::streaming(
+                        a_base + step * a_tile_bytes,
+                        a_tile_bytes,
+                    )),
+                    MemLoc::shared(AddrExpr::double_buffered(SMEM_A0, SMEM_A_STRIDE)),
+                    a_tile_bytes,
+                )))
+            };
+            let dma_b = |step: u64| {
+                mmio(MmioCommand::DmaCopy(DmaCopyCmd::new(
+                    MemLoc::global(AddrExpr::streaming(
+                        b_base + step * b_tile_bytes,
+                        b_tile_bytes,
+                    )),
+                    MemLoc::shared(AddrExpr::double_buffered(SMEM_B0, SMEM_B_STRIDE)),
+                    b_tile_bytes,
+                )))
+            };
+
+            orch.op(WarpOp::Alu {
+                rf_reads: 2,
+                rf_writes: 1,
+            });
+            orch.op(dma_a(0));
+            orch.op(dma_b(0));
+            orch.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            orch.op(compute(false));
+            if kt > 1 {
+                orch.op(dma_a(1));
+                orch.op(dma_b(1));
+            }
+            if kt > 2 {
+                orch.repeat(kt - 2, |b| {
+                    b.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                    b.op(WarpOp::Barrier { id: 0 });
+                    b.op(compute(true));
+                    b.op(dma_a(2));
+                    b.op(dma_b(2));
+                });
+            }
+            if kt > 1 {
+                orch.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                orch.op(WarpOp::Barrier { id: 0 });
+                orch.op(compute(true));
+            }
+            orch.op(WarpOp::FenceAsync { max_outstanding: 0 });
+
+            if cluster != owner {
+                // Producer for this tile: ship the partial into the owner's
+                // scratchpad over the fabric, or spill it through DRAM.
+                let slot = producer_slot(cluster, owner);
+                let ship = if use_dsm {
+                    MmioCommand::DmaRemote(DmaCopyCmd::new(
+                        MemLoc::accumulator(AddrExpr::fixed(0)),
+                        MemLoc::remote_shared(owner, AddrExpr::fixed(slot)),
+                        c_tile_bytes,
+                    ))
+                } else {
+                    MmioCommand::DmaCopy(DmaCopyCmd::new(
+                        MemLoc::accumulator(AddrExpr::fixed(0)),
+                        MemLoc::global(AddrExpr::fixed(
+                            GLOBAL_PARTIAL
+                                + u64::from(cluster) * partial_region
+                                + tile * c_tile_bytes,
+                        )),
+                        c_tile_bytes,
+                    ))
+                };
+                orch.op(mmio(ship));
+                orch.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            } else {
+                // Owner of this tile: stage the local partial, gather the
+                // spills on the DRAM path, reduce, write the final tile.
+                orch.op(mmio(MmioCommand::DmaCopy(DmaCopyCmd::new(
+                    MemLoc::accumulator(AddrExpr::fixed(0)),
+                    MemLoc::shared(AddrExpr::fixed(stage_slot(0, c_tile_bytes))),
+                    c_tile_bytes,
+                ))));
+                if !use_dsm {
+                    for p in 0..clusters {
+                        if p == cluster {
+                            continue;
+                        }
+                        orch.op(mmio(MmioCommand::DmaCopy(DmaCopyCmd::new(
+                            MemLoc::global(AddrExpr::fixed(
+                                GLOBAL_PARTIAL
+                                    + u64::from(p) * partial_region
+                                    + tile * c_tile_bytes,
+                            )),
+                            MemLoc::shared(AddrExpr::fixed(producer_slot(p, owner))),
+                            c_tile_bytes,
+                        ))));
+                    }
+                }
+                orch.op(WarpOp::FenceAsync { max_outstanding: 0 });
+                orch.op(WarpOp::Barrier { id: 2 });
+                // Followers run the FPU reduction between barriers 2 and 3.
+                orch.op(WarpOp::Barrier { id: 3 });
+                orch.op(mmio(MmioCommand::DmaCopy(DmaCopyCmd::new(
+                    MemLoc::shared(AddrExpr::fixed(stage_slot(0, c_tile_bytes))),
+                    MemLoc::global(AddrExpr::fixed(GLOBAL_C + tile * c_tile_bytes)),
+                    c_tile_bytes,
+                ))));
+                orch.op(WarpOp::FenceAsync { max_outstanding: 0 });
+            }
+            orch.op(WarpOp::Barrier { id: 1 });
+        }
+        let orchestrator = Arc::new(orch.build());
+
+        // ---- Follower warps ------------------------------------------------
+        let inner_barriers = kt.saturating_sub(1);
+        let elems = u64::from(TILE_M) * u64::from(TILE_N);
+        let elems_per_warp = elems / total_warps;
+        let vector_iters = (elems_per_warp / u64::from(lanes)).max(1);
+        let owned_tiles = c_partition.items(cluster);
+        let build_follower = |warp_index: u64| {
+            let mut f = ProgramBuilder::new();
+            for tile in 0..out_tiles {
+                f.repeat(inner_barriers, |b| {
+                    b.op(WarpOp::Barrier { id: 0 });
+                });
+                if c_partition.owner(tile) == cluster {
+                    f.op(WarpOp::Barrier { id: 2 });
+                    for i in 0..vector_iters {
+                        let offset = warp_index * elems_per_warp * 4 + i * u64::from(lanes) * 4;
+                        f.op(WarpOp::LoadShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::fixed(stage_slot(0, c_tile_bytes) + offset),
+                                lanes,
+                            ),
+                        });
+                        f.op(WarpOp::WaitLoads);
+                        for p in 1..u64::from(clusters) {
+                            f.op(WarpOp::LoadShared {
+                                access: LaneAccess::contiguous_words(
+                                    AddrExpr::fixed(stage_slot(p, c_tile_bytes) + offset),
+                                    lanes,
+                                ),
+                            });
+                            f.op(WarpOp::WaitLoads);
+                            f.op(WarpOp::Fpu {
+                                rf_reads: 2,
+                                rf_writes: 1,
+                                flops_per_lane: 1,
+                            });
+                        }
+                        f.op(WarpOp::StoreShared {
+                            access: LaneAccess::contiguous_words(
+                                AddrExpr::fixed(stage_slot(0, c_tile_bytes) + offset),
+                                lanes,
+                            ),
+                        });
+                    }
+                    f.op(WarpOp::Barrier { id: 3 });
+                }
+                f.op(WarpOp::Barrier { id: 1 });
+            }
+            Arc::new(f.build())
+        };
+
+        // A cluster that owns no tiles (more clusters than output tiles)
+        // never reduces, so all its followers share one barrier-only program.
+        let shared_follower = owned_tiles.is_empty().then(|| build_follower(0));
+        for core in 0..config.cores {
+            for warp in 0..config.core.warps {
+                let warp_index = u64::from(core) * u64::from(config.core.warps) + u64::from(warp);
+                let program = if warp_index == 0 {
+                    Arc::clone(&orchestrator)
+                } else if let Some(shared) = &shared_follower {
+                    Arc::clone(shared)
+                } else {
+                    build_follower(warp_index)
+                };
+                warps.push(WarpAssignment::on_cluster(cluster, core, warp, program));
+            }
+        }
+    }
+
+    let strategy_tag = match strategy {
+        PartitionStrategy::Contiguous => unreachable!("contiguous delegates to build()"),
+        PartitionStrategy::Interleaved => "int",
+        PartitionStrategy::Rotated => "rot",
+    };
+    Kernel::new(
+        KernelInfo::new(
+            format!(
+                "gemm_splitk_{shape}{}_{}_{strategy_tag}",
+                cluster_suffix(clusters),
+                if use_dsm { "dsm" } else { "dram" }
+            ),
+            shape.mac_ops(),
+            dtype,
+        ),
+        warps,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +728,109 @@ mod tests {
         assert_ne!(stage_slot(0, c_tile_bytes), stage_slot(1, c_tile_bytes));
         assert_ne!(stage_slot(0, c_tile_bytes), stage_slot(2, c_tile_bytes));
         assert_ne!(stage_slot(1, c_tile_bytes), stage_slot(2, c_tile_bytes));
+    }
+
+    #[test]
+    fn contiguous_strategy_delegates_to_the_historical_builder() {
+        let config = GpuConfig::virgo().with_clusters(4).with_dsm_enabled();
+        let old = build(&config, shape());
+        let via = build_with_strategy(&config, shape(), PartitionStrategy::Contiguous);
+        assert_eq!(old.info.name, via.info.name);
+        assert_eq!(old.warps.len(), via.warps.len());
+        for (a, b) in old.warps.iter().zip(via.warps.iter()) {
+            assert_eq!((a.cluster, a.core, a.warp), (b.cluster, b.core, b.warp));
+            assert_eq!(a.program, b.program);
+        }
+    }
+
+    #[test]
+    fn rotated_dsm_ships_each_tile_to_its_owner() {
+        let config = GpuConfig::virgo().with_clusters(4).with_dsm_enabled();
+        let big = GemmShape {
+            m: 256,
+            n: 256,
+            k: 512,
+        };
+        let kernel = build_with_strategy(&config, big, PartitionStrategy::Rotated);
+        assert!(
+            kernel.info.name.ends_with("dsm_rot"),
+            "{}",
+            kernel.info.name
+        );
+        let out_tiles = u64::from(big.m / TILE_M) * u64::from(big.n / TILE_N);
+        let partition = GridPartition::with_strategy(out_tiles, 4, PartitionStrategy::Rotated);
+        let mut total_ships = 0u64;
+        for cluster in 0..4u32 {
+            let orch = kernel
+                .warps
+                .iter()
+                .find(|w| w.cluster == cluster && w.core == 0 && w.warp == 0)
+                .expect("orchestrator exists");
+            let mut destinations = Vec::new();
+            let mut cursor = orch.program.cursor();
+            while let Some((_, op)) = cursor.next_op() {
+                if let WarpOp::MmioWrite {
+                    cmd: MmioCommand::DmaRemote(copy),
+                    ..
+                } = op
+                {
+                    destinations.push(copy.dst.remote_cluster().expect("remote dst"));
+                }
+            }
+            // The cluster ships every tile it does not own, in tile order,
+            // each to that tile's owner.
+            let expected: Vec<u32> = (0..out_tiles)
+                .map(|t| partition.owner(t))
+                .filter(|&o| o != cluster)
+                .collect();
+            assert_eq!(destinations, expected, "cluster {cluster}");
+            total_ships += destinations.len() as u64;
+        }
+        // Conservation: (N-1) partials shipped per output tile, same as the
+        // contiguous kernel's N-1 producers x all tiles.
+        assert_eq!(total_ships, 3 * out_tiles);
+    }
+
+    #[test]
+    fn interleaved_dram_path_stays_off_the_fabric() {
+        let kernel = build_with_strategy(
+            &GpuConfig::virgo().with_clusters(4),
+            shape(),
+            PartitionStrategy::Interleaved,
+        );
+        assert!(
+            kernel.info.name.ends_with("dram_int"),
+            "{}",
+            kernel.info.name
+        );
+        for warp in &kernel.warps {
+            let mut cursor = warp.program.cursor();
+            while let Some((_, op)) = cursor.next_op() {
+                assert!(
+                    !matches!(
+                        op,
+                        WarpOp::MmioWrite {
+                            cmd: MmioCommand::DmaRemote(_),
+                            ..
+                        }
+                    ),
+                    "DRAM path must stay off the fabric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_variants_keep_the_mac_count() {
+        for strategy in [PartitionStrategy::Interleaved, PartitionStrategy::Rotated] {
+            let kernel = build_with_strategy(
+                &GpuConfig::virgo().with_clusters(2).with_dsm_enabled(),
+                shape(),
+                strategy,
+            );
+            assert_eq!(kernel.info.total_macs, shape().mac_ops());
+            assert_eq!(kernel.clusters_used(), 2);
+        }
     }
 
     #[test]

@@ -26,9 +26,11 @@ pub mod hetero;
 pub mod workload;
 
 pub use attention::broadcast::build as build_flash_attention_broadcast;
+pub use attention::broadcast::build_interleaved as build_flash_attention_interleaved;
 pub use attention::build_flash_attention;
 pub use gemm::build_gemm;
 pub use gemm::split_k::build as build_split_k_gemm;
+pub use gemm::split_k::build_with_strategy as build_split_k_gemm_with_strategy;
 pub use hetero::{build_heterogeneous_parallel, build_heterogeneous_serial};
 pub use workload::{AttentionShape, GemmShape};
 

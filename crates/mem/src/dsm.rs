@@ -395,6 +395,27 @@ impl DsmFabric {
         links
     }
 
+    /// Traffic arriving at `cluster`'s ingress port, summed over requesters
+    /// — the per-owner attribution of [`DsmFabric::per_link_stats`]. A
+    /// reduction schedule whose ingress bytes concentrate on one cluster is
+    /// serialized on that port no matter how many links the fabric has.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn ingress_stats(&self, cluster: u32) -> DsmLinkStats {
+        assert!(
+            cluster < self.clusters,
+            "cluster {cluster} outside the {}-link fabric",
+            self.clusters
+        );
+        let mut total = DsmLinkStats::default();
+        for requester in &self.per_cluster {
+            total.merge(&requester.per_link[cluster as usize]);
+        }
+        total
+    }
+
     /// Transfers accepted but not yet delivered.
     pub fn in_flight(&self) -> usize {
         self.in_flight.len()
@@ -720,6 +741,25 @@ mod tests {
         assert_eq!(per_link, submitted);
         let per_cluster: u64 = f.per_cluster_stats().iter().map(|c| c.bytes).sum();
         assert_eq!(per_cluster, submitted);
+    }
+
+    #[test]
+    fn ingress_stats_attribute_traffic_to_the_destination() {
+        let mut f = fabric(4);
+        // Two requesters target port 0, one targets port 2.
+        f.transfer(Cycle::new(0), 1, 0, 100);
+        f.transfer(Cycle::new(0), 3, 0, 200);
+        f.transfer(Cycle::new(0), 1, 2, 400);
+        let port0 = f.ingress_stats(0);
+        assert_eq!(port0.requests, 2);
+        assert_eq!(port0.bytes, 300);
+        assert_eq!(f.ingress_stats(1), DsmLinkStats::default());
+        assert_eq!(f.ingress_stats(2).bytes, 400);
+        // The per-owner view is the transpose of per_link_stats: index c of
+        // the machine-wide per-link vector is exactly ingress_stats(c).
+        for (c, link) in f.per_link_stats().iter().enumerate() {
+            assert_eq!(*link, f.ingress_stats(c as u32));
+        }
     }
 
     #[test]
