@@ -87,6 +87,18 @@ pub fn classify(path: &str, value: &JsonValue) -> Rule {
             | "dsm_events"
             | "dram_events"
             | "bailout_engagements" => Rule::HigherWorse(0.001),
+            // Serving-simulator gates (`BENCH_serve.json`): tail latency and
+            // energy-per-request regress upward, goodput regresses downward.
+            // The serving pipeline is deterministic end-to-end (seeded trace,
+            // deterministic scheduler), so the tolerance only absorbs
+            // float formatting.
+            "p50_latency_cycles"
+            | "p99_latency_cycles"
+            | "p999_latency_cycles"
+            | "energy_per_request_mj"
+            | "makespan_cycles"
+            | "timed_out" => Rule::HigherWorse(0.001),
+            "goodput_rps" | "completed" => Rule::LowerWorse(0.001),
             "mac_utilization_percent"
             | "performed_macs"
             | "dram_bytes_saved"
@@ -491,5 +503,51 @@ mod tests {
         assert_eq!(classify("link_kill.faults_injected", &num), Rule::Exact);
         assert_eq!(classify("link_kill.rerouted_transfers", &num), Rule::Exact);
         assert_eq!(classify("link_kill.elapsed_ms", &num), Rule::Info);
+    }
+
+    #[test]
+    fn serving_gate_metrics_are_classified() {
+        // The serving artifact's tail-latency/goodput/energy gates must be
+        // ratcheted in the right direction, not informational.
+        let num = JsonValue::Num(10_000.0);
+        for key in [
+            "p50_latency_cycles",
+            "p99_latency_cycles",
+            "p999_latency_cycles",
+            "energy_per_request_mj",
+            "makespan_cycles",
+            "timed_out",
+        ] {
+            assert_eq!(
+                classify(&format!("sweep[2].continuous_fifo.{key}"), &num),
+                Rule::HigherWorse(0.001),
+                "{key}"
+            );
+        }
+        for key in ["goodput_rps", "completed"] {
+            assert_eq!(
+                classify(&format!("sweep[2].continuous_fifo.{key}"), &num),
+                Rule::LowerWorse(0.001),
+                "{key}"
+            );
+        }
+        // Tail latency creeping up fails; dropping passes.
+        let (r, rows) = diff(
+            r#"{"p99_latency_cycles": 50000}"#,
+            r#"{"p99_latency_cycles": 60000}"#,
+        );
+        assert_eq!(r, 1);
+        assert_eq!(rows[0].status, "REGRESSION");
+        let (r, _) = diff(
+            r#"{"p99_latency_cycles": 50000}"#,
+            r#"{"p99_latency_cycles": 40000}"#,
+        );
+        assert_eq!(r, 0);
+        // Goodput shrinking fails; a request newly timing out fails even
+        // from a zero baseline (relative tolerance must not mask it).
+        let (r, _) = diff(r#"{"goodput_rps": 900.0}"#, r#"{"goodput_rps": 800.0}"#);
+        assert_eq!(r, 1);
+        let (r, _) = diff(r#"{"timed_out": 0}"#, r#"{"timed_out": 1}"#);
+        assert_eq!(r, 1);
     }
 }

@@ -1,0 +1,102 @@
+//! Digest-level equivalence contracts for the serving layer.
+//!
+//! The job-table refactor's promise is that multi-job residency is an
+//! *extension*, not a semantics change. Two properties pin it at full
+//! [`ReportDigest`] granularity (every counter the bench layer ever gates
+//! on, bit-for-bit):
+//!
+//! * **Sequential ≡ standalone.** N requests served one at a time on the
+//!   whole machine each produce the digest a standalone [`Gpu::run`] of the
+//!   same kernel produces — the single-job path is byte-identical through
+//!   the serving stack, with zero re-pins.
+//! * **Naive ≡ fast-forward.** A two-tenant concurrent serving run retires
+//!   every request with identical digests, admission cycles and makespan
+//!   under both time-advance modes, at N ∈ {2, 4} requests per tenant.
+
+use virgo::{Gpu, GpuConfig, SimMode};
+use virgo_bench::ReportDigest;
+use virgo_kernels::GemmShape;
+use virgo_serve::{
+    generate_trace, BatchingMode, Request, RequestClass, ServeConfig, Server, TenantSpec,
+};
+
+const BUDGET: u64 = 50_000_000;
+
+#[test]
+fn sequential_serving_is_bit_identical_to_standalone_runs() {
+    let gpu = GpuConfig::virgo().with_clusters(2);
+    let classes = [
+        RequestClass::Gemm(GemmShape::square(128)),
+        RequestClass::Gemm(GemmShape::square(256)),
+        RequestClass::Gemm(GemmShape::square(128)),
+    ];
+    let trace: Vec<Request> = classes
+        .iter()
+        .enumerate()
+        .map(|(i, &class)| Request {
+            id: i as u64,
+            tenant: "solo".to_string(),
+            class,
+            arrival: 1 + i as u64,
+            clusters: 2,
+            budget: BUDGET,
+        })
+        .collect();
+    // Serial batching: each request owns the whole machine in turn, exactly
+    // the pre-refactor "one kernel owns the GPU" execution model.
+    let report =
+        Server::new(ServeConfig::new(gpu.clone()).with_batching(BatchingMode::Serial)).run(&trace);
+    assert_eq!(report.completed(), classes.len());
+
+    for (outcome, class) in report.outcomes.iter().zip(&classes) {
+        let kernel = class.build(&gpu);
+        let standalone = Gpu::new(gpu.clone())
+            .run(&kernel, BUDGET)
+            .expect("standalone run finishes");
+        let served = outcome.report.as_ref().expect("request completed");
+        assert_eq!(
+            ReportDigest::of(served),
+            ReportDigest::of(&standalone),
+            "request {} ({}) diverged from its standalone run",
+            outcome.id,
+            outcome.label,
+        );
+    }
+}
+
+#[test]
+fn concurrent_serving_modes_agree_at_two_and_four_requests() {
+    let gpu = GpuConfig::virgo().with_clusters(2);
+    for per_tenant in [2usize, 4] {
+        let tenants = [
+            TenantSpec::new("a", 10_000),
+            TenantSpec::new("b", 10_000)
+                .with_classes(vec![RequestClass::Gemm(GemmShape::square(256))]),
+        ];
+        let trace = generate_trace(&tenants, per_tenant, 0xC0FFEE);
+        let mut digests = Vec::new();
+        for mode in [SimMode::Naive, SimMode::FastForward] {
+            let report = Server::new(ServeConfig::new(gpu.clone()).with_mode(mode)).run(&trace);
+            assert_eq!(report.completed(), trace.len(), "{mode} N={per_tenant}");
+            let mut outcomes: Vec<_> = report.outcomes.iter().collect();
+            outcomes.sort_by_key(|o| o.id);
+            digests.push((
+                report.makespan_cycles,
+                outcomes
+                    .iter()
+                    .map(|o| {
+                        (
+                            o.admitted,
+                            o.retired,
+                            ReportDigest::of(o.report.as_ref().expect("completed")),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        assert_eq!(
+            digests[0], digests[1],
+            "naive and fast-forward serving diverged at N={per_tenant}"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Digests the simulator's own source tree into `VIRGO_SOURCE_DIGEST`.
+//!
+//! A `SimKey` hashes the *inputs* of a simulation; this build script gives it
+//! the missing ingredient — the identity of the simulator itself — so the
+//! sweep engine's on-disk report cache can default on: entries written by an
+//! older build of the model miss cleanly instead of serving stale reports.
+//!
+//! The digest is 64-bit FNV-1a over every `.rs` file (relative path and
+//! contents, sorted by path) of the crates that determine simulation
+//! semantics. Crates that only *consume* reports (sweep, bench, serve) are
+//! deliberately excluded: editing a bench must not invalidate the cache.
+
+use std::path::{Path, PathBuf};
+
+/// The workspace crates whose source defines the simulated machine.
+const MODEL_CRATES: &[&str] = &[
+    "sim", "isa", "energy", "simt", "mem", "tensor", "gemmini", "core",
+];
+
+fn main() {
+    let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("manifest dir"));
+    let crates = manifest.parent().expect("crates dir").to_path_buf();
+    let mut files = Vec::new();
+    for name in MODEL_CRATES {
+        let dir = crates.join(name).join("src");
+        println!("cargo:rerun-if-changed={}", dir.display());
+        collect_sources(&dir, &mut files);
+    }
+    println!(
+        "cargo:rerun-if-changed={}",
+        manifest.join("build.rs").display()
+    );
+    files.sort();
+
+    let mut hash = FNV_OFFSET;
+    for path in &files {
+        let name = path.strip_prefix(&crates).unwrap_or(path);
+        hash = fnv1a(hash, name.to_string_lossy().replace('\\', "/").as_bytes());
+        hash = fnv1a(hash, &std::fs::read(path).unwrap_or_default());
+    }
+    println!("cargo:rustc-env=VIRGO_SOURCE_DIGEST={hash:016x}");
+}
+
+fn collect_sources(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_sources(&path, files);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}

@@ -510,6 +510,28 @@ impl Cluster {
         }
     }
 
+    /// [`Cluster::new`] with the reset window extended to at least `at`: a
+    /// cluster slot loaded mid-session (by a job admitted at cycle `at`)
+    /// holds in reset until its admission, or later if a `LateClusterStart`
+    /// fault pushes it further.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Cluster::new`].
+    pub fn new_at(config: GpuConfig, kernel: &Kernel, cluster_id: u32, at: u64) -> Self {
+        let mut cluster = Cluster::new(config, kernel, cluster_id);
+        cluster.start_at = cluster.start_at.max(at);
+        // Fence-poll rate limiting must be relative to the warp's own birth,
+        // or a job admitted at cycle T would charge its first poll of every
+        // fence one interval earlier than the same kernel run standalone.
+        // Anchoring at the admission cycle (not the fault-extended start) is
+        // a no-op at `at == 0`, keeping the single-job path bit-identical.
+        for core in &mut cluster.cores {
+            core.anchor_fence_polls(virgo_sim::Cycle::new(at));
+        }
+        cluster
+    }
+
     /// First cycle at which the cluster leaves reset (zero unless a
     /// `LateClusterStart` fault holds it back).
     pub fn start_at(&self) -> u64 {

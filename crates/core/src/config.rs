@@ -2,7 +2,7 @@
 
 use virgo_energy::AreaParams;
 use virgo_gemmini::GemminiConfig;
-use virgo_isa::DataType;
+use virgo_isa::{DataType, GridPartition, PartitionStrategy};
 use virgo_mem::{DmaConfig, DramConfig, DsmConfig, GlobalMemoryConfig, SmemConfig};
 use virgo_sim::{FaultPlan, Frequency, StableHash, StableHasher};
 use virgo_simt::CoreConfig;
@@ -167,6 +167,13 @@ pub struct GpuConfig {
     /// then behaves bit-identically to one built before the fault layer
     /// existed (pinned by the faults-off fingerprint tests).
     pub faults: FaultPlan,
+    /// Explicit cluster-id allocation kernel builders should target, or
+    /// `None` for the whole machine (`0..clusters`). The machine itself is
+    /// unaffected — all `clusters` clusters exist either way — but builders
+    /// that partition their grid via [`GpuConfig::partition`] emit warps and
+    /// per-cluster address bases only onto these ids, which is how a kernel
+    /// is built "inside" a job-table allocation.
+    pub allocation: Option<Vec<u32>>,
 }
 
 impl GpuConfig {
@@ -189,6 +196,7 @@ impl GpuConfig {
             dtype: DataType::Fp16,
             frequency: Frequency::VIRGO_SOC,
             faults: FaultPlan::default(),
+            allocation: None,
         }
     }
 
@@ -286,6 +294,64 @@ impl GpuConfig {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Restricts kernel builders to an explicit cluster-id allocation (see
+    /// the [`GpuConfig::allocation`] field). The ids must be distinct and
+    /// inside the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty, contains a duplicate, or names a cluster
+    /// outside `0..clusters`.
+    #[must_use]
+    pub fn with_allocation(mut self, ids: Vec<u32>) -> Self {
+        assert!(!ids.is_empty(), "an allocation needs at least one cluster");
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate cluster id in {ids:?}");
+        assert!(
+            sorted.last().is_none_or(|&id| id < self.clusters),
+            "allocation {ids:?} exceeds the machine's {} clusters",
+            self.clusters
+        );
+        self.allocation = Some(ids);
+        self
+    }
+
+    /// The cluster ids kernel builders should target: the explicit
+    /// allocation when one is installed, otherwise all `clusters` ids.
+    pub fn cluster_ids(&self) -> Vec<u32> {
+        match &self.allocation {
+            Some(ids) => ids.clone(),
+            None => (0..self.clusters.max(1)).collect(),
+        }
+    }
+
+    /// Number of clusters kernel builders should spread work over (the
+    /// allocation size, or the whole machine without one).
+    pub fn active_clusters(&self) -> u32 {
+        match &self.allocation {
+            Some(ids) => ids.len() as u32,
+            None => self.clusters.max(1),
+        }
+    }
+
+    /// Partitions a linear work grid contiguously over the active clusters
+    /// (see [`GpuConfig::cluster_ids`]) — the constructor kernel builders
+    /// use so they work unchanged inside an allocation.
+    pub fn partition(&self, total: u64) -> GridPartition {
+        self.partition_with(total, PartitionStrategy::Contiguous)
+    }
+
+    /// Partitions a linear work grid over the active clusters under an
+    /// explicit ownership strategy.
+    pub fn partition_with(&self, total: u64, strategy: PartitionStrategy) -> GridPartition {
+        match &self.allocation {
+            Some(ids) => GridPartition::over_with_strategy(total, ids.clone(), strategy),
+            None => GridPartition::with_strategy(total, self.clusters.max(1), strategy),
+        }
     }
 
     /// Scales the shared DRAM back-end to `channels` address-interleaved
@@ -413,6 +479,15 @@ impl StableHash for GpuConfig {
         // And the fault plan: a faulted run and its healthy twin produce
         // different reports, so they must never alias in the cache either.
         self.faults.stable_hash(h);
+        // An explicit allocation changes which clusters builders target, so
+        // it is part of the config's identity; the `None` arm writes nothing,
+        // keeping every pre-allocation config digest byte-identical.
+        if let Some(ids) = &self.allocation {
+            h.write_u64(ids.len() as u64);
+            for &id in ids {
+                h.write_u64(u64::from(id));
+            }
+        }
     }
 }
 

@@ -2,12 +2,15 @@
 //!
 //! A simulation is a pure function of `(GpuConfig, Kernel, max_cycles,
 //! SimMode)` — the driver holds no other state and the model is fully
-//! deterministic. [`SimKey`] digests exactly those four inputs with the
-//! stable structural hash (`virgo_sim::StableHash`), giving every simulation
-//! a 128-bit identity that is reproducible across processes, builds and
-//! machines. The sweep engine's report cache uses it as the memoization key
-//! (and as the on-disk file name), so two callers asking for the same design
-//! point never simulate it twice.
+//! deterministic. [`SimKey`] digests those four inputs with the stable
+//! structural hash (`virgo_sim::StableHash`) *plus* a digest of the
+//! simulator's own source tree (`VIRGO_SOURCE_DIGEST`, computed at build
+//! time over the model crates), giving every simulation a 128-bit identity
+//! that is reproducible across processes and machines but never shared
+//! between two different simulators. The sweep engine's report cache uses it
+//! as the memoization key (and as the on-disk file name), so two callers
+//! asking for the same design point never simulate it twice — and a
+//! persistent cache written by an older build misses cleanly.
 
 use std::fmt;
 
@@ -57,8 +60,13 @@ impl SimKey {
         // configuration, and reports carry DSM stats.
         // v4: the config digest absorbs the fault-injection plan, and
         // reports carry fault/degraded-mode stats.
+        // v5: the key absorbs a digest of the simulator's own source tree
+        // (`VIRGO_SOURCE_DIGEST`, computed by this crate's build script), so
+        // two builds of different simulators never share a key — the change
+        // that makes the sweep engine's disk cache safe to default on.
         h.write_str("virgo-simkey");
-        h.write_u64(4);
+        h.write_u64(5);
+        h.write_str(env!("VIRGO_SOURCE_DIGEST"));
         config.stable_hash(&mut h);
         kernel.stable_hash(&mut h);
         h.write_u64(max_cycles);
@@ -172,6 +180,16 @@ mod tests {
         let a = SimKey::digest(&config, &kernel("k", 4), 1000, SimMode::FastForward);
         let b = SimKey::digest(&config.clone(), &kernel("k", 4), 1000, SimMode::FastForward);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn key_absorbs_simulator_source_digest() {
+        // The build script must have produced a well-formed 64-bit hex
+        // digest of the model crates' sources; a malformed value here means
+        // every key silently stops discriminating simulator versions.
+        let digest = env!("VIRGO_SOURCE_DIGEST");
+        assert_eq!(digest.len(), 16, "{digest:?}");
+        assert!(digest.chars().all(|c| c.is_ascii_hexdigit()), "{digest:?}");
     }
 
     #[test]

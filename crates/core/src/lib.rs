@@ -52,13 +52,16 @@
 
 pub mod cluster;
 pub mod config;
+pub mod jobs;
 pub mod key;
+mod machine;
 pub mod report;
 pub mod run;
 pub mod snapshot;
 
 pub use cluster::{Cluster, ClusterDevices, ClusterStats, PlacedWarpSnapshot};
 pub use config::{DesignKind, GpuConfig, MatrixUnitSpec};
+pub use jobs::{JobCompletion, JobId, JobTable};
 pub use key::SimKey;
 pub use report::{ClusterReport, LoadImbalance, SchedStats, SimReport};
 pub use run::{

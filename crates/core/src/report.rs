@@ -7,10 +7,10 @@ use virgo_energy::{
 };
 use virgo_isa::KernelInfo;
 use virgo_mem::{
-    ClusterContentionStats, ClusterDsmStats, DmaStats, DramStats, DsmFabric, DsmFabricStats,
-    DsmLinkStats, GlobalMemoryStats, MemoryBackend, SmemStats,
+    BackendAttribution, ClusterContentionStats, ClusterDsmStats, DmaStats, DramStats, DsmFabric,
+    DsmFabricStats, DsmLinkStats, FabricAttribution, GlobalMemoryStats, MemoryBackend, SmemStats,
 };
-use virgo_sim::{ClusterFaultStats, Cycle, FaultStats, Frequency, Ratio};
+use virgo_sim::{ClusterFaultStats, Cycle, FaultPlan, FaultStats, Frequency, Ratio};
 use virgo_simt::CoreStats;
 
 use crate::cluster::{Cluster, ClusterStats};
@@ -179,9 +179,42 @@ pub struct SimReport {
     pub(crate) area: AreaReport,
 }
 
+/// One job's view of the machine at retirement: the cluster slots the job
+/// owned plus the shared-resource counters accumulated over its residency
+/// window (an attribution delta between retirement and admission snapshots).
+///
+/// The single-kernel drivers build the degenerate view — every cluster,
+/// zero-base attribution, `admitted = 0` — so [`SimReport::from_parts`]
+/// reproduces the pre-refactor report byte for byte.
+pub(crate) struct JobView<'a> {
+    /// The cluster slots the job ran on, in cluster-id order.
+    pub(crate) clusters: Vec<&'a Cluster>,
+    /// Shared back-end counters accumulated over the residency window.
+    pub(crate) backend: BackendAttribution,
+    /// DSM fabric counters accumulated over the residency window.
+    pub(crate) fabric: FabricAttribution,
+    /// Absolute cycle the job was admitted (0 for a standalone run).
+    pub(crate) admitted: u64,
+    /// Absolute cycle the window closed (equals the relative cycle count
+    /// for a standalone run).
+    pub(crate) end: u64,
+}
+
+/// Fault windows first activated inside `(admitted, end]` — all of them when
+/// `admitted` is zero, so the standalone path is unchanged.
+fn windows_between(count_by: impl Fn(u64) -> u64, admitted: u64, end: u64) -> u64 {
+    let before = if admitted == 0 {
+        0
+    } else {
+        count_by(admitted - 1)
+    };
+    count_by(end).saturating_sub(before)
+}
+
 impl SimReport {
     /// Builds a report from the finished machine: every cluster plus the
-    /// shared memory back-end.
+    /// shared memory back-end. The degenerate single-job view of
+    /// [`SimReport::from_parts`].
     pub(crate) fn from_machine(
         clusters: &[Cluster],
         backend: &MemoryBackend,
@@ -190,20 +223,45 @@ impl SimReport {
         cycles: Cycle,
         sched: SchedStats,
     ) -> Self {
-        let config = clusters[0].config();
+        let view = JobView {
+            clusters: clusters.iter().collect(),
+            backend: backend.attribution(),
+            fabric: fabric.attribution(),
+            admitted: 0,
+            end: cycles.get(),
+        };
+        SimReport::from_parts(&view, info, cycles, sched)
+    }
+
+    /// Builds a report from one job's view of the machine.
+    ///
+    /// `cycles` is the job's residency duration (`end - admitted`). All
+    /// plan-derived fault counters are windowed to the residency; machine
+    /// aggregates derived from the attribution deltas (`dram_stats`,
+    /// `dsm_stats`, DRAM burst energy) are exact when the job had the
+    /// machine to itself and a shared-window approximation under concurrent
+    /// residency, while per-cluster counters (contention slices, core/smem
+    /// stats, ECC) are exact always.
+    pub(crate) fn from_parts(
+        view: &JobView<'_>,
+        info: &KernelInfo,
+        cycles: Cycle,
+        sched: SchedStats,
+    ) -> Self {
+        let config = view.clusters[0].config();
         let table = EnergyTable::default_16nm();
-        let plan = &config.faults;
-        let end = cycles.get();
+        let plan: &FaultPlan = &config.faults;
+        let (admitted, end) = (view.admitted, view.end);
 
         // Per-cluster slices, each with its own energy ledger; the machine
         // ledger is their merge plus the shared back-end's DRAM traffic.
         let mut machine_ledger = EnergyLedger::new();
-        let mut per_cluster = Vec::with_capacity(clusters.len());
+        let mut per_cluster = Vec::with_capacity(view.clusters.len());
         let mut ecc_total = virgo_sim::EccStats::default();
-        for cluster in clusters {
+        for &cluster in &view.clusters {
             let id = cluster.cluster_id();
-            let contention = backend.cluster_stats(id);
-            let dsm = fabric.cluster_stats(id);
+            let contention = view.backend.per_cluster[id as usize].clone();
+            let dsm = view.fabric.per_cluster[id as usize].clone();
             let ledger = build_cluster_ledger(cluster, &contention, &dsm);
             let devices = cluster.devices();
             let ecc = devices.smem.ecc_stats();
@@ -222,10 +280,16 @@ impl SimReport {
                 performed_macs: cluster.performed_macs(),
                 energy_mj: ledger.total_energy_pj(&table) * 1e-9,
                 fault: ClusterFaultStats {
-                    injected: plan.cluster_windows_activated_by(id, end) + ecc.injected,
+                    injected: windows_between(
+                        |c| plan.cluster_windows_activated_by(id, c),
+                        admitted,
+                        end,
+                    ) + ecc.injected,
                     detected: ecc.detected,
                     corrected: ecc.corrected,
-                    degraded_cycles: plan.cluster_degraded_cycles(id, end),
+                    degraded_cycles: plan
+                        .cluster_degraded_cycles(id, end)
+                        .saturating_sub(plan.cluster_degraded_cycles(id, admitted)),
                 },
             });
             machine_ledger.merge(&ledger);
@@ -234,13 +298,16 @@ impl SimReport {
         // windows clipped to the run), while reroute/re-stripe/recovery
         // counters come from the components that actually absorbed the
         // faults — so the two simulation modes agree bit-for-bit.
-        let dsm_fault = fabric.fault_stats();
-        let dram_fault = backend.dram_fault_stats();
+        let dsm_fault = view.fabric.fault;
+        let dram_fault = view.backend.dram_fault;
         let fault = FaultStats {
-            injected: plan.windows_activated_by(end) + ecc_total.injected,
+            injected: windows_between(|c| plan.windows_activated_by(c), admitted, end)
+                + ecc_total.injected,
             detected: ecc_total.detected,
             corrected: ecc_total.corrected,
-            degraded_cycles: plan.degraded_cycles(end),
+            degraded_cycles: plan
+                .degraded_cycles(end)
+                .saturating_sub(plan.degraded_cycles(admitted)),
             dsm_rerouted_transfers: dsm_fault.rerouted_transfers,
             dsm_blocked_cycles: dsm_fault.blocked_cycles,
             dram_restriped_accesses: dram_fault.restriped_accesses,
@@ -250,17 +317,28 @@ impl SimReport {
         // and controller see only the bursts routed to it. The counts are
         // integers, so the per-channel sum is exactly the old single-channel
         // charge when `channels = 1`.
-        for channel in backend.dram_channel_stats() {
+        for channel in &view.backend.dram_channels {
             machine_ledger.record(Component::DmaOther, EnergyEvent::DramBurst, channel.bursts);
         }
 
-        // Machine-wide aggregates.
+        // Machine-wide aggregates over the job's clusters. The DSM link
+        // merge runs over the job's requesters only, which on the full
+        // machine is every requester — the pre-refactor per-link view.
         let mut core_stats = CoreStats::default();
         let mut smem_stats = SmemStats::default();
         let mut gmem_stats = GlobalMemoryStats::default();
         let mut cluster_stats = ClusterStats::default();
         let mut dma_stats: Option<DmaStats> = None;
         let mut performed_macs = 0u64;
+        let mut dram_contention_stall_cycles = 0u64;
+        let links = view
+            .fabric
+            .per_cluster
+            .iter()
+            .map(|c| c.per_link.len())
+            .max()
+            .unwrap_or(0);
+        let mut dsm_link_stats = vec![DsmLinkStats::default(); links];
         for slice in &per_cluster {
             core_stats.merge(&slice.core_stats);
             smem_stats.merge(&slice.smem_stats);
@@ -270,11 +348,14 @@ impl SimReport {
                 dma_stats.get_or_insert_with(DmaStats::default).merge(dma);
             }
             performed_macs += slice.performed_macs;
+            dram_contention_stall_cycles += slice.contention.dram_stall_cycles;
+            for (link, stats) in dsm_link_stats.iter_mut().zip(&slice.dsm.per_link) {
+                link.merge(stats);
+            }
         }
-        let backend_stats = backend.stats();
-        gmem_stats.l2_accesses = backend_stats.l2_accesses;
-        gmem_stats.l2_misses = backend_stats.l2_misses;
-        gmem_stats.dma_bytes = backend_stats.dma_bytes;
+        gmem_stats.l2_accesses = view.backend.stats.l2_accesses;
+        gmem_stats.l2_misses = view.backend.stats.l2_misses;
+        gmem_stats.dma_bytes = view.backend.stats.dma_bytes;
 
         let power = PowerReport::from_ledger(&machine_ledger, &table, cycles, config.frequency);
         let area = AreaModel::default_16nm().estimate(&config.area_params());
@@ -290,14 +371,14 @@ impl SimReport {
             core_stats,
             smem_stats,
             gmem_stats,
-            dram_stats: backend.dram_stats(),
-            dram_channel_stats: backend.dram_channel_stats(),
+            dram_stats: view.backend.dram,
+            dram_channel_stats: view.backend.dram_channels.clone(),
             dma_stats,
             cluster_stats,
             per_cluster,
-            dram_contention_stall_cycles: backend.total_dram_stall_cycles(),
-            dsm_stats: fabric.stats(),
-            dsm_link_stats: fabric.per_link_stats(),
+            dram_contention_stall_cycles,
+            dsm_stats: view.fabric.stats,
+            dsm_link_stats,
             fault,
             sched,
             power,

@@ -3,12 +3,10 @@
 use std::fmt;
 
 use virgo_isa::Kernel;
-use virgo_mem::{DsmFabric, MemoryBackend};
-use virgo_sim::{earliest, Cycle, EventQueue, NextActivity};
-use virgo_simt::BlockReason;
+use virgo_sim::{Cycle, EventQueue, NextActivity};
 
-use crate::cluster::Cluster;
 use crate::config::GpuConfig;
+use crate::machine::Machine;
 use crate::report::{SchedStats, SimReport};
 
 /// What one unfinished warp was stuck on when the cycle budget ran out.
@@ -124,6 +122,10 @@ pub struct TimeoutDiagnosis {
     pub active_fault_windows: u64,
     /// One entry per unfinished warp, in (cluster, core, warp) order.
     pub warps: Vec<WarpDiagnosis>,
+    /// The job (or tenant request) that owned the timed-out clusters, when
+    /// the timeout came from a multi-job residency session. `None` for the
+    /// single-kernel drivers, whose machine has exactly one owner.
+    pub job: Option<String>,
 }
 
 impl TimeoutDiagnosis {
@@ -149,6 +151,9 @@ impl fmt::Display for TimeoutDiagnosis {
             self.verdict,
             self.warps.len()
         )?;
+        if let Some(job) = &self.job {
+            write!(f, " in job '{job}'")?;
+        }
         if self.active_fault_windows > 0 {
             write!(
                 f,
@@ -193,6 +198,13 @@ pub enum SimError {
         /// The number of clusters the configuration provides.
         clusters: u32,
     },
+    /// A [`crate::jobs::JobTable`] admission targeted a cluster slot that is
+    /// not free for the job: either another resident job still owns it, or
+    /// the kernel assigns warps to a cluster outside the job's allocation.
+    ClusterBusy {
+        /// The contested cluster index.
+        cluster: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -213,6 +225,9 @@ impl fmt::Display for SimError {
                 f,
                 "kernel assigns warps to cluster {max_cluster} but the machine has {clusters} cluster(s)"
             ),
+            SimError::ClusterBusy { cluster } => {
+                write!(f, "cluster {cluster} is not free for the job")
+            }
         }
     }
 }
@@ -254,121 +269,6 @@ impl virgo_sim::StableHash for SimMode {
             SimMode::Naive => 0,
             SimMode::FastForward => 1,
         });
-    }
-}
-
-/// The machine under simulation: every cluster plus the shared memory
-/// back-end they contend for and the inter-cluster DSM fabric linking their
-/// scratchpads.
-struct Machine {
-    clusters: Vec<Cluster>,
-    backend: MemoryBackend,
-    fabric: DsmFabric,
-}
-
-impl Machine {
-    fn new(config: &GpuConfig, kernel: &Kernel) -> Machine {
-        let cluster_count = config.clusters.max(1);
-        let mut backend = MemoryBackend::new(config.global_memory(), cluster_count);
-        let mut fabric = DsmFabric::new(config.dsm, cluster_count);
-        if !config.faults.events.is_empty() {
-            // An empty plan must not touch the components at all: the
-            // faults-off machine stays bit-identical to the pre-fault model.
-            backend.apply_faults(&config.faults);
-            fabric.apply_faults(&config.faults);
-        }
-        let clusters = (0..cluster_count)
-            .map(|c| Cluster::new(config.clone(), kernel, c))
-            .collect();
-        Machine {
-            clusters,
-            backend,
-            fabric,
-        }
-    }
-
-    fn finished(&self) -> bool {
-        self.clusters.iter().all(Cluster::finished) && self.fabric.quiescent()
-    }
-
-    fn tick(&mut self, now: Cycle) {
-        self.fabric.tick(now);
-        for cluster in &mut self.clusters {
-            cluster.tick(now, &mut self.backend, &mut self.fabric);
-        }
-    }
-
-    /// Folds every cluster's event horizon, plus the DSM fabric's earliest
-    /// in-flight delivery. `Some(now)` short-circuits: some component can act
-    /// this cycle, so nothing may be skipped. `None` means nothing will ever
-    /// act again — a machine-wide deadlock.
-    fn next_activity(&mut self, now: Cycle) -> Option<Cycle> {
-        let mut next = self.fabric.next_activity(now);
-        if next == Some(now) {
-            return next;
-        }
-        for cluster in &mut self.clusters {
-            match cluster.next_activity(now, &mut self.backend, &mut self.fabric) {
-                Some(t) if t <= now => return Some(now),
-                event => next = earliest(next, event),
-            }
-        }
-        next
-    }
-
-    fn report(&self, info: &virgo_isa::KernelInfo, cycles: Cycle, sched: SchedStats) -> SimReport {
-        SimReport::from_machine(
-            &self.clusters,
-            &self.backend,
-            &self.fabric,
-            info,
-            cycles,
-            sched,
-        )
-    }
-
-    /// Real (non-poll) instructions retired so far, machine-wide — the
-    /// watchdog's forward-progress measure.
-    fn retired_instructions(&self) -> u64 {
-        self.clusters
-            .iter()
-            .map(|c| c.core_stats().instrs_issued)
-            .sum()
-    }
-
-    fn timeout_diagnosis(
-        &self,
-        verdict: WatchdogVerdict,
-        active_fault_windows: u64,
-    ) -> TimeoutDiagnosis {
-        let mut warps = Vec::new();
-        for cluster in &self.clusters {
-            for placed in cluster.unfinished_warps() {
-                let blocked_on = match placed.snapshot.block {
-                    Some(BlockReason::Fence { max_outstanding }) => BlockedOn::Fence {
-                        max_outstanding,
-                        outstanding: placed.async_outstanding,
-                    },
-                    Some(BlockReason::Barrier { id, .. }) => BlockedOn::Barrier { id },
-                    Some(BlockReason::WgmmaDrain) => BlockedOn::WgmmaDrain,
-                    Some(BlockReason::Loads) => BlockedOn::Loads {
-                        in_flight: placed.snapshot.loads_in_flight as u32,
-                    },
-                    None => BlockedOn::Stalled,
-                };
-                warps.push(WarpDiagnosis {
-                    cluster: placed.cluster,
-                    core: placed.core,
-                    warp: placed.snapshot.global_id,
-                    blocked_on,
-                });
-            }
-        }
-        TimeoutDiagnosis {
-            verdict,
-            active_fault_windows,
-            warps,
-        }
     }
 }
 
@@ -1051,6 +951,7 @@ mod tests {
                     blocked_on: BlockedOn::Stalled,
                 },
             ],
+            job: None,
         };
         let msg = diag.to_string();
         assert!(msg.starts_with("deadlock: 2 unfinished warp(s)"), "{msg}");
@@ -1058,6 +959,16 @@ mod tests {
         // One indented table row per warp.
         assert_eq!(msg.lines().count(), 3, "{msg}");
         assert!(msg.contains("\n  cluster 1 core 3 warp 7"), "{msg}");
+        // A session timeout names the owning job right after the headline.
+        let named = TimeoutDiagnosis {
+            job: Some("tenant-a/req3".to_string()),
+            ..diag
+        };
+        let msg = named.to_string();
+        assert!(
+            msg.starts_with("deadlock: 2 unfinished warp(s) in job 'tenant-a/req3'"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -67,7 +67,7 @@ const FORMAT: &str = "virgo-simreport";
 // cleanly.
 // v5: event-driven scheduler — the payload gained `sched` (driver event
 // attribution); v4 entries (pre-scheduler) must miss cleanly.
-const VERSION: u64 = 5;
+const VERSION: u64 = 6;
 
 // ---------------------------------------------------------------------------
 // A minimal JSON document model.
@@ -616,6 +616,8 @@ fn write_contention(s: &ClusterContentionStats) -> String {
     let per_channel: Vec<String> = s.per_channel.iter().map(write_channel_contention).collect();
     let mut w = ObjWriter::new();
     w.u64("l2_accesses", s.l2_accesses)
+        .u64("l2_misses", s.l2_misses)
+        .u64("dma_bytes", s.dma_bytes)
         .u64("dram_requests", s.dram_requests)
         .u64("dram_bytes", s.dram_bytes)
         .u64("dram_stall_cycles", s.dram_stall_cycles)
@@ -627,6 +629,8 @@ fn read_contention(v: &Json) -> Result<ClusterContentionStats> {
     let o = v.as_object()?;
     Ok(ClusterContentionStats {
         l2_accesses: get_u64(o, "l2_accesses")?,
+        l2_misses: get_u64(o, "l2_misses")?,
+        dma_bytes: get_u64(o, "dma_bytes")?,
         dram_requests: get_u64(o, "dram_requests")?,
         dram_bytes: get_u64(o, "dram_bytes")?,
         dram_stall_cycles: get_u64(o, "dram_stall_cycles")?,
@@ -1033,7 +1037,7 @@ mod tests {
     fn version_and_format_are_checked() {
         let (report, key) = sample_report(1);
         let text = report.to_cache_json(&key);
-        let bumped = text.replace("\"version\":5", "\"version\":99");
+        let bumped = text.replace("\"version\":6", "\"version\":99");
         let err = SimReport::from_cache_json(&bumped, &key).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
     }

@@ -31,6 +31,12 @@ use crate::table::EnergyTable;
 pub struct EnergyLedger {
     counts: BTreeMap<(Component, EnergyEvent), u64>,
     matrix_counts: BTreeMap<(MatrixSubcomponent, EnergyEvent), u64>,
+    /// Busy/idle cluster-cycle side-channel for static power (see
+    /// [`crate::StaticPowerModel`]). Deliberately **not** part of
+    /// [`EnergyLedger::total_energy_pj`]: the active-energy definition the
+    /// paper's figures (and the pinned fingerprints) rest on is untouched.
+    busy_cluster_cycles: u64,
+    idle_cluster_cycles: u64,
 }
 
 impl EnergyLedger {
@@ -63,6 +69,24 @@ impl EnergyLedger {
         self.record(soc_component, event, count);
     }
 
+    /// Records a busy/idle cluster-cycle split in the static-power
+    /// side-channel. Does not contribute to any active-energy total; convert
+    /// it with [`crate::StaticPowerModel::ledger_energy_pj`].
+    pub fn record_cluster_cycles(&mut self, busy: u64, idle: u64) {
+        self.busy_cluster_cycles += busy;
+        self.idle_cluster_cycles += idle;
+    }
+
+    /// Cluster-cycles recorded as busy (a job resident on the cluster).
+    pub fn busy_cluster_cycles(&self) -> u64 {
+        self.busy_cluster_cycles
+    }
+
+    /// Cluster-cycles recorded as idle (the cluster slot unallocated).
+    pub fn idle_cluster_cycles(&self) -> u64 {
+        self.idle_cluster_cycles
+    }
+
     /// Returns the recorded count for one `(component, event)` pair.
     pub fn count(&self, component: Component, event: EnergyEvent) -> u64 {
         self.counts.get(&(component, event)).copied().unwrap_or(0)
@@ -90,6 +114,8 @@ impl EnergyLedger {
         for (&key, &count) in &other.matrix_counts {
             *self.matrix_counts.entry(key).or_insert(0) += count;
         }
+        self.busy_cluster_cycles += other.busy_cluster_cycles;
+        self.idle_cluster_cycles += other.idle_cluster_cycles;
     }
 
     /// Energy attributed to `component` in picojoules under `table`.

@@ -49,6 +49,7 @@ pub mod event;
 pub mod ledger;
 pub mod power;
 pub mod scaling;
+pub mod static_power;
 pub mod table;
 
 pub use area::{AreaModel, AreaParams, AreaReport};
@@ -56,4 +57,5 @@ pub use component::{Component, CoreStage, MatrixSubcomponent};
 pub use event::EnergyEvent;
 pub use ledger::EnergyLedger;
 pub use power::PowerReport;
+pub use static_power::StaticPowerModel;
 pub use table::EnergyTable;

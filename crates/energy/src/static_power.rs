@@ -1,0 +1,119 @@
+//! Static (leakage + clock-tree) power, split per cluster into busy and
+//! idle rates.
+//!
+//! The event-proportional ledger deliberately models *active* energy only —
+//! the paper's measurement methodology subtracts idle power, and every
+//! pinned fingerprint depends on that definition staying put. A request-level
+//! serving simulator needs the part the kernel-level model excludes: a
+//! cluster that sits allocated-but-stalled (or unallocated and gated down)
+//! still burns leakage, and energy-per-request is meaningless without it.
+//!
+//! [`StaticPowerModel`] converts busy/idle *cluster-cycle* counts into
+//! picojoules at a given clock. It is a separate side-channel on purpose:
+//! [`crate::EnergyLedger::total_energy_pj`] never includes static energy, so
+//! every existing active-energy figure is bit-identical with or without this
+//! model.
+
+use virgo_sim::{Cycle, Frequency};
+
+use crate::ledger::EnergyLedger;
+
+/// Per-cluster static power rates, in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticPowerModel {
+    /// Static power of a cluster while a job is resident on it (full clock
+    /// tree toggling, all SRAM arrays powered).
+    pub busy_mw_per_cluster: f64,
+    /// Static power of an idle cluster slot (clock-gated, arrays retained).
+    pub idle_mw_per_cluster: f64,
+}
+
+impl StaticPowerModel {
+    /// Default 16 nm rates, consistent in magnitude with the active-power
+    /// scale of the paper's Joules measurements: an active cluster's static
+    /// floor is on the order of a tenth of its switching power, and clock
+    /// gating removes roughly three quarters of it.
+    pub fn default_16nm() -> Self {
+        StaticPowerModel {
+            busy_mw_per_cluster: 48.0,
+            idle_mw_per_cluster: 12.0,
+        }
+    }
+
+    /// Static energy in picojoules for the given busy and idle cluster-cycle
+    /// counts at clock `frequency`.
+    pub fn energy_pj(&self, busy_cycles: u64, idle_cycles: u64, frequency: Frequency) -> f64 {
+        let busy_s = frequency.cycles_to_seconds(Cycle::new(busy_cycles));
+        let idle_s = frequency.cycles_to_seconds(Cycle::new(idle_cycles));
+        // mW × s = mJ = 1e9 pJ.
+        (self.busy_mw_per_cluster * busy_s + self.idle_mw_per_cluster * idle_s) * 1e9
+    }
+
+    /// Static energy in picojoules for the busy/idle split a ledger carries
+    /// in its cluster-cycle side-channel.
+    pub fn ledger_energy_pj(&self, ledger: &EnergyLedger, frequency: Frequency) -> f64 {
+        self.energy_pj(
+            ledger.busy_cluster_cycles(),
+            ledger.idle_cluster_cycles(),
+            frequency,
+        )
+    }
+}
+
+impl Default for StaticPowerModel {
+    fn default() -> Self {
+        Self::default_16nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_linearly_with_cycles_and_rates() {
+        let model = StaticPowerModel {
+            busy_mw_per_cluster: 100.0,
+            idle_mw_per_cluster: 10.0,
+        };
+        let f = Frequency::VIRGO_SOC; // 400 MHz
+                                      // 400e6 busy cycles = 1 s at 100 mW = 100 mJ = 1e11 pJ.
+        let one_second_busy = model.energy_pj(400_000_000, 0, f);
+        assert!((one_second_busy - 1e11).abs() < 1.0, "{one_second_busy}");
+        // Idle is a tenth the rate.
+        let one_second_idle = model.energy_pj(0, 400_000_000, f);
+        assert!((one_second_idle - 1e10).abs() < 1.0, "{one_second_idle}");
+        // Splits add.
+        let mixed = model.energy_pj(400_000_000, 400_000_000, f);
+        assert!((mixed - (one_second_busy + one_second_idle)).abs() < 1.0);
+    }
+
+    #[test]
+    fn ledger_side_channel_feeds_static_energy_but_not_active_totals() {
+        let mut ledger = EnergyLedger::new();
+        ledger.record_cluster_cycles(1_000, 3_000);
+        ledger.record_cluster_cycles(500, 0);
+        assert_eq!(ledger.busy_cluster_cycles(), 1_500);
+        assert_eq!(ledger.idle_cluster_cycles(), 3_000);
+        // The active-energy total must not move: static power is a separate
+        // channel, keeping every pinned active-energy figure bit-identical.
+        let table = crate::EnergyTable::default_16nm();
+        assert_eq!(ledger.total_energy_pj(&table), 0.0);
+        let model = StaticPowerModel::default_16nm();
+        let pj = model.ledger_energy_pj(&ledger, Frequency::VIRGO_SOC);
+        assert!(pj > 0.0);
+        let direct = model.energy_pj(1_500, 3_000, Frequency::VIRGO_SOC);
+        assert!((pj - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_cycle_side_channels() {
+        let mut a = EnergyLedger::new();
+        a.record_cluster_cycles(10, 20);
+        let mut b = EnergyLedger::new();
+        b.record_cluster_cycles(1, 2);
+        a.merge(&b);
+        assert_eq!(a.busy_cluster_cycles(), 11);
+        assert_eq!(a.idle_cluster_cycles(), 22);
+    }
+}

@@ -184,12 +184,25 @@ impl std::fmt::Display for PartitionStrategy {
 /// assert_eq!(r.owner(0), 0);
 /// assert_eq!(r.owner(4), 1); // the second round starts one cluster over
 /// assert_eq!((0..4).map(|c| r.count(c)).sum::<u64>(), 10);
+///
+/// // A partition over an explicit cluster-id subset: logical slot k of the
+/// // ownership map is cluster ids[k], so a builder running "inside" an
+/// // allocation emits machine cluster ids without further translation.
+/// let a = GridPartition::over(10, vec![2, 5]);
+/// assert_eq!(a.owner(0), 2);
+/// assert_eq!(a.range(5), 5..10);
+/// assert_eq!(a.cluster_ids().collect::<Vec<_>>(), vec![2, 5]);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GridPartition {
     total: u64,
     clusters: u32,
     strategy: PartitionStrategy,
+    /// Explicit machine cluster ids the grid is dealt over, or `None` for
+    /// the historical `0..clusters` identity. When present the vector has
+    /// exactly `clusters` distinct entries; logical ownership slot `k` maps
+    /// to machine cluster `ids[k]`.
+    ids: Option<Vec<u32>>,
 }
 
 impl GridPartition {
@@ -216,6 +229,47 @@ impl GridPartition {
             total,
             clusters,
             strategy,
+            ids: None,
+        }
+    }
+
+    /// Creates a contiguous partition of `total` work items over an explicit
+    /// cluster-id subset — the allocation form used when a kernel runs on
+    /// some (not necessarily leading) clusters of a larger machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty or contains a duplicate id.
+    pub fn over(total: u64, ids: Vec<u32>) -> Self {
+        Self::over_with_strategy(total, ids, PartitionStrategy::Contiguous)
+    }
+
+    /// Creates a partition over an explicit cluster-id subset under an
+    /// explicit ownership strategy. `GridPartition::over_with_strategy(t,
+    /// (0..n).collect(), s)` has exactly the ownership map of
+    /// `GridPartition::with_strategy(t, n, s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty or contains a duplicate id.
+    pub fn over_with_strategy(total: u64, ids: Vec<u32>, strategy: PartitionStrategy) -> Self {
+        assert!(
+            !ids.is_empty(),
+            "cannot partition a grid over zero clusters"
+        );
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate cluster id in {ids:?}");
+        let clusters = ids.len() as u32;
+        // The identity subset is the plain partition: keeping it in the
+        // `None` form preserves `Eq` with pre-subset partitions.
+        let identity = ids.iter().enumerate().all(|(k, &id)| id == k as u32);
+        GridPartition {
+            total,
+            clusters,
+            strategy,
+            ids: (!identity).then_some(ids),
         }
     }
 
@@ -234,7 +288,51 @@ impl GridPartition {
         self.strategy
     }
 
-    /// The cluster that owns work item `item`.
+    /// The machine cluster ids the grid is dealt over, in logical-slot order
+    /// (`0..clusters` unless the partition was built [`GridPartition::over`]
+    /// an explicit subset). Kernel builders iterate this instead of
+    /// `0..clusters` so they emit correct placements inside an allocation.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.clusters).map(move |k| self.cluster_id(k))
+    }
+
+    /// True if `cluster` is one of the ids this grid is dealt over.
+    pub fn contains(&self, cluster: u32) -> bool {
+        match &self.ids {
+            None => cluster < self.clusters,
+            Some(ids) => ids.contains(&cluster),
+        }
+    }
+
+    /// The machine cluster id occupying logical ownership slot `logical`.
+    fn cluster_id(&self, logical: u32) -> u32 {
+        match &self.ids {
+            None => logical,
+            Some(ids) => ids[logical as usize],
+        }
+    }
+
+    /// The logical ownership slot of machine cluster `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is not part of the partition.
+    fn logical(&self, cluster: u32) -> u32 {
+        match &self.ids {
+            None => {
+                assert!(cluster < self.clusters, "cluster {cluster} out of range");
+                cluster
+            }
+            Some(ids) => ids
+                .iter()
+                .position(|&id| id == cluster)
+                .unwrap_or_else(|| panic!("cluster {cluster} not in partition {ids:?}"))
+                as u32,
+        }
+    }
+
+    /// The cluster that owns work item `item` — a machine cluster id when
+    /// the partition spans an explicit subset.
     ///
     /// # Panics
     ///
@@ -242,7 +340,7 @@ impl GridPartition {
     pub fn owner(&self, item: u64) -> u32 {
         assert!(item < self.total, "item {item} outside the grid");
         let n = u64::from(self.clusters);
-        match self.strategy {
+        let logical = match self.strategy {
             PartitionStrategy::Contiguous => {
                 let base = self.total / n;
                 let rem = self.total % n;
@@ -257,21 +355,24 @@ impl GridPartition {
             }
             PartitionStrategy::Interleaved => (item % n) as u32,
             PartitionStrategy::Rotated => ((item % n + item / n) % n) as u32,
-        }
+        };
+        self.cluster_id(logical)
     }
 
     /// The work items owned by `cluster`, in ascending index order.
     ///
     /// # Panics
     ///
-    /// Panics if `cluster` is out of range.
+    /// Panics if `cluster` is not part of the partition.
     pub fn items(&self, cluster: u32) -> Vec<u64> {
-        assert!(cluster < self.clusters, "cluster {cluster} out of range");
         match self.strategy {
             PartitionStrategy::Contiguous => self.range(cluster).collect(),
-            _ => (0..self.total)
-                .filter(|&item| self.owner(item) == cluster)
-                .collect(),
+            _ => {
+                let _ = self.logical(cluster); // range-check
+                (0..self.total)
+                    .filter(|&item| self.owner(item) == cluster)
+                    .collect()
+            }
         }
     }
 
@@ -281,10 +382,10 @@ impl GridPartition {
     ///
     /// # Panics
     ///
-    /// Panics if `cluster` is out of range, or if the strategy is not
-    /// [`PartitionStrategy::Contiguous`].
+    /// Panics if `cluster` is not part of the partition, or if the strategy
+    /// is not [`PartitionStrategy::Contiguous`].
     pub fn range(&self, cluster: u32) -> std::ops::Range<u64> {
-        assert!(cluster < self.clusters, "cluster {cluster} out of range");
+        let logical = self.logical(cluster);
         assert!(
             self.strategy == PartitionStrategy::Contiguous,
             "only a contiguous partition owns ranges; use items() for {}",
@@ -292,7 +393,7 @@ impl GridPartition {
         );
         let base = self.total / u64::from(self.clusters);
         let rem = self.total % u64::from(self.clusters);
-        let c = u64::from(cluster);
+        let c = u64::from(logical);
         let start = base * c + c.min(rem);
         let len = base + u64::from(c < rem);
         start..start + len
@@ -302,19 +403,19 @@ impl GridPartition {
     ///
     /// # Panics
     ///
-    /// Panics if `cluster` is out of range.
+    /// Panics if `cluster` is not part of the partition.
     pub fn count(&self, cluster: u32) -> u64 {
-        assert!(cluster < self.clusters, "cluster {cluster} out of range");
         match self.strategy {
             PartitionStrategy::Contiguous => {
                 let r = self.range(cluster);
                 r.end - r.start
             }
             _ => {
-                // Both round-robin strategies are permutations of the deal
-                // order within each round, so the counts match the
-                // contiguous split's balance exactly: every cluster gets
-                // `total / N` items plus at most one from the last round.
+                let _ = self.logical(cluster); // range-check
+                                               // Both round-robin strategies are permutations of the deal
+                                               // order within each round, so the counts match the
+                                               // contiguous split's balance exactly: every cluster gets
+                                               // `total / N` items plus at most one from the last round.
                 (0..self.total)
                     .filter(|&item| self.owner(item) == cluster)
                     .count() as u64
@@ -590,6 +691,58 @@ mod tests {
         assert_eq!(w.cluster, 2);
         assert_eq!(w.core, 1);
         assert_eq!(w.warp, 3);
+    }
+
+    #[test]
+    fn subset_partition_maps_logical_slots_to_machine_ids() {
+        for strategy in [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::Interleaved,
+            PartitionStrategy::Rotated,
+        ] {
+            let ids = vec![5u32, 1, 6];
+            let sub = GridPartition::over_with_strategy(10, ids.clone(), strategy);
+            let full = GridPartition::with_strategy(10, 3, strategy);
+            assert_eq!(sub.clusters(), 3);
+            assert_eq!(sub.cluster_ids().collect::<Vec<_>>(), ids);
+            for item in 0..10 {
+                // The subset's ownership map is the plain map composed with
+                // the logical-slot -> machine-id translation.
+                assert_eq!(
+                    sub.owner(item),
+                    ids[full.owner(item) as usize],
+                    "{strategy} item {item}"
+                );
+            }
+            for (k, &id) in ids.iter().enumerate() {
+                assert_eq!(sub.items(id), full.items(k as u32), "{strategy} id {id}");
+                assert_eq!(sub.count(id), full.count(k as u32));
+                assert!(sub.contains(id));
+            }
+            assert!(!sub.contains(0));
+            assert!(!sub.contains(7));
+        }
+    }
+
+    #[test]
+    fn identity_subset_equals_plain_partition() {
+        let sub = GridPartition::over(12, vec![0, 1, 2, 3]);
+        let full = GridPartition::new(12, 4);
+        assert_eq!(sub, full);
+        assert_eq!(sub.range(2), full.range(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in partition")]
+    fn subset_partition_rejects_foreign_cluster() {
+        let p = GridPartition::over(8, vec![2, 3]);
+        let _ = p.count(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cluster id")]
+    fn subset_partition_rejects_duplicates() {
+        let _ = GridPartition::over(8, vec![2, 2]);
     }
 
     #[test]

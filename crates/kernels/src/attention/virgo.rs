@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use virgo::GpuConfig;
 use virgo_isa::{
-    AddrExpr, DeviceId, DmaCopyCmd, GridPartition, Kernel, KernelInfo, LaneAccess,
-    MatrixComputeCmd, MemLoc, MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
+    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, LaneAccess, MatrixComputeCmd, MemLoc,
+    MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
 };
 
 use crate::workload::AttentionShape;
@@ -51,8 +51,8 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
 
     let row_blocks = u64::from(shape.seq_len / BLOCK) * u64::from(shape.heads * shape.batch);
     let col_blocks = u64::from(shape.seq_len / BLOCK);
-    let clusters = config.clusters.max(1);
-    let partition = GridPartition::new(row_blocks, clusters);
+    let clusters = config.active_clusters();
+    let partition = config.partition(row_blocks);
     let tile_bytes = u64::from(BLOCK) * u64::from(shape.head_dim) * elem;
     let score_bytes = u64::from(BLOCK) * u64::from(BLOCK) * 4;
 
@@ -76,7 +76,7 @@ pub fn build(config: &GpuConfig, shape: AttentionShape) -> Kernel {
         };
 
     let mut warps = Vec::new();
-    for cluster in 0..clusters {
+    for cluster in partition.cluster_ids().collect::<Vec<_>>() {
         let cluster_rows = partition.count(cluster);
         let gbase = crate::cluster_addr_offset(cluster);
 

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use virgo::GpuConfig;
 use virgo_isa::{
-    AddrExpr, DeviceId, DmaCopyCmd, GridPartition, Kernel, KernelInfo, LaneAccess, MemLoc,
-    MmioCommand, ProgramBuilder, WarpAssignment, WarpOp, WgmmaOp,
+    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, LaneAccess, MemLoc, MmioCommand,
+    ProgramBuilder, WarpAssignment, WarpOp, WgmmaOp,
 };
 
 use crate::workload::GemmShape;
@@ -51,8 +51,8 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     );
     let out_tiles = u64::from(shape.m / TILE_M) * u64::from(shape.n / TILE_N);
     let kt = u64::from(shape.k / TILE_K);
-    let clusters = config.clusters.max(1);
-    let partition = GridPartition::new(out_tiles, clusters);
+    let clusters = config.active_clusters();
+    let partition = config.partition(out_tiles);
     let dtype = config.dtype;
     let elem = u64::from(dtype.bytes());
     let lanes = config.core.lanes;
@@ -160,7 +160,7 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     };
 
     let mut warps = Vec::new();
-    for cluster in 0..clusters {
+    for cluster in partition.cluster_ids().collect::<Vec<_>>() {
         let cluster_tiles = partition.count(cluster);
         let base = cluster_addr_offset(cluster);
         for core in 0..config.cores {

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use virgo::GpuConfig;
 use virgo_isa::{
-    AddrExpr, DeviceId, DmaCopyCmd, GridPartition, Kernel, KernelInfo, MatrixComputeCmd, MemLoc,
-    MmioCommand, ProgramBuilder, WarpAssignment, WarpOp,
+    AddrExpr, DeviceId, DmaCopyCmd, Kernel, KernelInfo, MatrixComputeCmd, MemLoc, MmioCommand,
+    ProgramBuilder, WarpAssignment, WarpOp,
 };
 
 use crate::workload::GemmShape;
@@ -54,8 +54,8 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     let tiles_n = u64::from(shape.n / TILE_N);
     let out_tiles = tiles_m * tiles_n;
     let kt = u64::from(shape.k / TILE_K);
-    let clusters = config.clusters.max(1);
-    let partition = GridPartition::new(out_tiles, clusters);
+    let clusters = config.active_clusters();
+    let partition = config.partition(out_tiles);
     let dtype = config.dtype;
     let elem = u64::from(dtype.bytes());
 
@@ -72,7 +72,7 @@ pub fn build(config: &GpuConfig, shape: GemmShape) -> Kernel {
     };
 
     let mut warps = Vec::new();
-    for cluster in 0..clusters {
+    for cluster in partition.cluster_ids().collect::<Vec<_>>() {
         let cluster_tiles = partition.count(cluster);
         let base = cluster_addr_offset(cluster);
 

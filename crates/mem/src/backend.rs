@@ -45,6 +45,14 @@ pub struct ChannelContentionStats {
 pub struct ClusterContentionStats {
     /// L2 accesses issued by this cluster (demand misses and DMA chunks).
     pub l2_accesses: u64,
+    /// L2 misses among this cluster's accesses. Every machine-wide miss is
+    /// charged to exactly one cluster, so these sum to
+    /// [`MemoryBackendStats::l2_misses`] — the invariant per-job attribution
+    /// rests on.
+    pub l2_misses: u64,
+    /// Bytes this cluster moved by DMA through the L2 (requested bytes,
+    /// hit or miss). Sums to [`MemoryBackendStats::dma_bytes`].
+    pub dma_bytes: u64,
     /// DRAM transfers issued by this cluster, summed over channels.
     pub dram_requests: u64,
     /// Bytes this cluster moved over the DRAM channels (the requested bytes
@@ -83,6 +91,98 @@ impl ClusterContentionStats {
             per_channel: vec![ChannelContentionStats::default(); channels as usize],
             ..Default::default()
         }
+    }
+
+    /// The counters accumulated since `base` was captured (saturating, so a
+    /// mismatched base degrades to the absolute counters instead of
+    /// panicking). The per-channel vectors must have the same geometry.
+    pub fn since(&self, base: &ClusterContentionStats) -> ClusterContentionStats {
+        ClusterContentionStats {
+            l2_accesses: self.l2_accesses.saturating_sub(base.l2_accesses),
+            l2_misses: self.l2_misses.saturating_sub(base.l2_misses),
+            dma_bytes: self.dma_bytes.saturating_sub(base.dma_bytes),
+            dram_requests: self.dram_requests.saturating_sub(base.dram_requests),
+            dram_bytes: self.dram_bytes.saturating_sub(base.dram_bytes),
+            dram_stall_cycles: self
+                .dram_stall_cycles
+                .saturating_sub(base.dram_stall_cycles),
+            per_channel: self
+                .per_channel
+                .iter()
+                .zip(&base.per_channel)
+                .map(|(now, then)| now.since(then))
+                .collect(),
+        }
+    }
+}
+
+impl ChannelContentionStats {
+    /// The counters accumulated since `base` was captured (saturating).
+    pub fn since(&self, base: &ChannelContentionStats) -> ChannelContentionStats {
+        ChannelContentionStats {
+            requests: self.requests.saturating_sub(base.requests),
+            stall_cycles: self.stall_cycles.saturating_sub(base.stall_cycles),
+        }
+    }
+}
+
+impl MemoryBackendStats {
+    /// The counters accumulated since `base` was captured (saturating).
+    pub fn since(&self, base: &MemoryBackendStats) -> MemoryBackendStats {
+        MemoryBackendStats {
+            l2_accesses: self.l2_accesses.saturating_sub(base.l2_accesses),
+            l2_misses: self.l2_misses.saturating_sub(base.l2_misses),
+            dma_bytes: self.dma_bytes.saturating_sub(base.dma_bytes),
+        }
+    }
+}
+
+/// Everything the shared back-end has counted, captured at one instant: the
+/// aggregate stats, the DRAM interface and fault counters (total and
+/// per-channel) and the per-cluster contention slices. A job-residency
+/// session captures one at admission and subtracts it from the one at
+/// retirement ([`BackendAttribution::since`]) to attribute the window's
+/// traffic to the job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendAttribution {
+    /// Aggregate L2/DMA counters.
+    pub stats: MemoryBackendStats,
+    /// DRAM interface counters, summed over channels.
+    pub dram: DramStats,
+    /// Per-channel DRAM interface counters, in channel order.
+    pub dram_channels: Vec<DramStats>,
+    /// Degraded-mode DRAM counters.
+    pub dram_fault: DramFaultStats,
+    /// Per-cluster contention counters, in cluster order.
+    pub per_cluster: Vec<ClusterContentionStats>,
+}
+
+impl BackendAttribution {
+    /// The counters accumulated since `base` was captured (saturating,
+    /// element-wise; both snapshots must come from the same back-end).
+    pub fn since(&self, base: &BackendAttribution) -> BackendAttribution {
+        BackendAttribution {
+            stats: self.stats.since(&base.stats),
+            dram: self.dram.since(&base.dram),
+            dram_channels: self
+                .dram_channels
+                .iter()
+                .zip(&base.dram_channels)
+                .map(|(now, then)| now.since(then))
+                .collect(),
+            dram_fault: self.dram_fault.since(&base.dram_fault),
+            per_cluster: self
+                .per_cluster
+                .iter()
+                .zip(&base.per_cluster)
+                .map(|(now, then)| now.since(then))
+                .collect(),
+        }
+    }
+
+    /// Total DRAM queueing delay across clusters within this window.
+    pub fn total_dram_stall_cycles(&self) -> u64 {
+        self.per_cluster.iter().map(|c| c.dram_stall_cycles).sum()
     }
 }
 
@@ -207,6 +307,18 @@ impl MemoryBackend {
         self.l2.stats().hit_rate()
     }
 
+    /// Captures every counter the back-end keeps, for windowed per-job
+    /// attribution (see [`BackendAttribution`]).
+    pub fn attribution(&self) -> BackendAttribution {
+        BackendAttribution {
+            stats: self.stats,
+            dram: self.dram.stats(),
+            dram_channels: self.dram.per_channel_stats(),
+            dram_fault: self.dram.fault_stats(),
+            per_cluster: self.per_cluster.clone(),
+        }
+    }
+
     /// Serves one line-granular request from `cluster` that missed its L1,
     /// presented to the L2 at `at`; returns the completion cycle. An L2 miss
     /// is routed to the DRAM channel that owns the line's address.
@@ -225,6 +337,7 @@ impl MemoryBackend {
             return at.plus(l2_latency);
         }
         self.stats.l2_misses += 1;
+        self.per_cluster[cluster as usize].l2_misses += 1;
         let present = at.plus(l2_latency);
         let channel = self.dram.route(present, line_addr);
         let (done, stall) = self.dram_access(present, cluster, channel, bytes, write);
@@ -249,6 +362,7 @@ impl MemoryBackend {
             return now;
         }
         self.stats.dma_bytes += bytes;
+        self.per_cluster[cluster as usize].dma_bytes += bytes;
         let line = u64::from(self.config.l2.line_bytes);
         let first = addr / line;
         let last = (addr + bytes - 1) / line;
@@ -265,6 +379,7 @@ impl MemoryBackend {
             self.per_cluster[cluster as usize].l2_accesses += 1;
             if !self.l2.access(l * line).is_hit() {
                 self.stats.l2_misses += 1;
+                self.per_cluster[cluster as usize].l2_misses += 1;
                 // Only the requested bytes that fall inside this line are
                 // moved on a miss: partial head/tail lines count their
                 // overlap with the transfer, not the whole line (the DRAM

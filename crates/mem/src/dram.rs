@@ -86,6 +86,16 @@ impl DramStats {
         self.bytes += other.bytes;
         self.bursts += other.bursts;
     }
+
+    /// The counters accumulated since `base` was captured (saturating).
+    pub fn since(&self, base: &DramStats) -> DramStats {
+        DramStats {
+            reads: self.reads.saturating_sub(base.reads),
+            writes: self.writes.saturating_sub(base.writes),
+            bytes: self.bytes.saturating_sub(base.bytes),
+            bursts: self.bursts.saturating_sub(base.bursts),
+        }
+    }
 }
 
 /// The DRAM model: a single channel with fixed latency and finite bandwidth.
@@ -203,6 +213,18 @@ pub struct DramFaultStats {
     /// Cycles between a channel's fault window closing and the first access
     /// it served afterwards (recovery latency), summed over channels.
     pub recovery_cycles: u64,
+}
+
+impl DramFaultStats {
+    /// The counters accumulated since `base` was captured (saturating).
+    pub fn since(&self, base: &DramFaultStats) -> DramFaultStats {
+        DramFaultStats {
+            restriped_accesses: self
+                .restriped_accesses
+                .saturating_sub(base.restriped_accesses),
+            recovery_cycles: self.recovery_cycles.saturating_sub(base.recovery_cycles),
+        }
+    }
 }
 
 /// One DRAM channel fault window, resolved against the subsystem.

@@ -140,6 +140,15 @@ impl DsmLinkStats {
         self.bytes += other.bytes;
         self.stall_cycles += other.stall_cycles;
     }
+
+    /// The counters accumulated since `base` was captured (saturating).
+    pub fn since(&self, base: &DsmLinkStats) -> DsmLinkStats {
+        DsmLinkStats {
+            requests: self.requests.saturating_sub(base.requests),
+            bytes: self.bytes.saturating_sub(base.bytes),
+            stall_cycles: self.stall_cycles.saturating_sub(base.stall_cycles),
+        }
+    }
 }
 
 /// Per-requester-cluster DSM counters kept by the fabric.
@@ -186,6 +195,23 @@ impl ClusterDsmStats {
             mine.merge(theirs);
         }
     }
+
+    /// The counters accumulated since `base` was captured (saturating; both
+    /// sides must describe the same fabric geometry).
+    pub fn since(&self, base: &ClusterDsmStats) -> ClusterDsmStats {
+        ClusterDsmStats {
+            requests: self.requests.saturating_sub(base.requests),
+            bytes: self.bytes.saturating_sub(base.bytes),
+            stall_cycles: self.stall_cycles.saturating_sub(base.stall_cycles),
+            hop_flits: self.hop_flits.saturating_sub(base.hop_flits),
+            per_link: self
+                .per_link
+                .iter()
+                .zip(&base.per_link)
+                .map(|(now, then)| now.since(then))
+                .collect(),
+        }
+    }
 }
 
 /// Degraded-mode counters the fabric keeps while a fault plan is applied
@@ -201,6 +227,19 @@ pub struct DsmFaultStats {
     /// Summed first-use recovery latency: cycles from each finite outage's
     /// end to the first transfer that crossed the recovered link.
     pub recovery_cycles: u64,
+}
+
+impl DsmFaultStats {
+    /// The counters accumulated since `base` was captured (saturating).
+    pub fn since(&self, base: &DsmFaultStats) -> DsmFaultStats {
+        DsmFaultStats {
+            rerouted_transfers: self
+                .rerouted_transfers
+                .saturating_sub(base.rerouted_transfers),
+            blocked_cycles: self.blocked_cycles.saturating_sub(base.blocked_cycles),
+            recovery_cycles: self.recovery_cycles.saturating_sub(base.recovery_cycles),
+        }
+    }
 }
 
 /// One scheduled link fault, resolved against this fabric's geometry.
@@ -251,6 +290,67 @@ pub struct DsmFabricStats {
     pub hop_flits: u64,
     /// Exposed link-queueing cycles, summed over requesters.
     pub stall_cycles: u64,
+}
+
+impl DsmFabricStats {
+    /// The counters accumulated since `base` was captured (saturating).
+    pub fn since(&self, base: &DsmFabricStats) -> DsmFabricStats {
+        DsmFabricStats {
+            transfers: self.transfers.saturating_sub(base.transfers),
+            bytes: self.bytes.saturating_sub(base.bytes),
+            hop_flits: self.hop_flits.saturating_sub(base.hop_flits),
+            stall_cycles: self.stall_cycles.saturating_sub(base.stall_cycles),
+        }
+    }
+}
+
+/// Everything the fabric has counted, captured at one instant — the
+/// fabric-side counterpart of [`crate::BackendAttribution`], captured at job
+/// admission and diffed at retirement ([`FabricAttribution::since`]) for
+/// per-job attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricAttribution {
+    /// Machine-wide fabric aggregates.
+    pub stats: DsmFabricStats,
+    /// Per-requester-cluster counters, in cluster order.
+    pub per_cluster: Vec<ClusterDsmStats>,
+    /// Degraded-mode counters.
+    pub fault: DsmFaultStats,
+}
+
+impl FabricAttribution {
+    /// The counters accumulated since `base` was captured (saturating,
+    /// element-wise; both snapshots must come from the same fabric).
+    pub fn since(&self, base: &FabricAttribution) -> FabricAttribution {
+        FabricAttribution {
+            stats: self.stats.since(&base.stats),
+            per_cluster: self
+                .per_cluster
+                .iter()
+                .zip(&base.per_cluster)
+                .map(|(now, then)| now.since(then))
+                .collect(),
+            fault: self.fault.since(&base.fault),
+        }
+    }
+
+    /// Machine-wide per-link traffic within this window, summed over
+    /// requesters, in link order.
+    pub fn per_link_stats(&self) -> Vec<DsmLinkStats> {
+        let links = self
+            .per_cluster
+            .iter()
+            .map(|c| c.per_link.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = vec![DsmLinkStats::default(); links];
+        for requester in &self.per_cluster {
+            for (link, stats) in out.iter_mut().zip(&requester.per_link) {
+                link.merge(stats);
+            }
+        }
+        out
+    }
 }
 
 /// The inter-cluster DSM fabric: one ingress port per cluster, arbitrated
@@ -382,6 +482,16 @@ impl DsmFabric {
     /// Counters for every requester cluster, in cluster order.
     pub fn per_cluster_stats(&self) -> &[ClusterDsmStats] {
         &self.per_cluster
+    }
+
+    /// Captures every counter the fabric keeps, for windowed per-job
+    /// attribution (see [`FabricAttribution`]).
+    pub fn attribution(&self) -> FabricAttribution {
+        FabricAttribution {
+            stats: self.stats,
+            per_cluster: self.per_cluster.clone(),
+            fault: self.fault_stats,
+        }
     }
 
     /// Machine-wide per-link traffic, summed over requesters, in link order.

@@ -46,7 +46,8 @@ pub mod smem;
 
 pub use accmem::{AccumulatorMemory, AccumulatorStats};
 pub use backend::{
-    ChannelContentionStats, ClusterContentionStats, MemoryBackend, MemoryBackendStats,
+    BackendAttribution, ChannelContentionStats, ClusterContentionStats, MemoryBackend,
+    MemoryBackendStats,
 };
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalescer::{Coalescer, CoalescerStats};
@@ -54,7 +55,7 @@ pub use dma::{DmaConfig, DmaEngine, DmaStats, DmaTransfer};
 pub use dram::{DramConfig, DramFaultStats, DramModel, DramStats, MultiChannelDram};
 pub use dsm::{
     ClusterDsmStats, DsmConfig, DsmFabric, DsmFabricStats, DsmFaultStats, DsmLinkStats,
-    DsmTopology, DSM_FLIT_BYTES,
+    DsmTopology, FabricAttribution, DSM_FLIT_BYTES,
 };
 pub use global::{GlobalMemory, GlobalMemoryConfig, GlobalMemoryStats};
 pub use smem::{SharedMemory, SmemConfig, SmemStats};

@@ -1,0 +1,40 @@
+//! `virgo-serve`: a request-level, multi-tenant serving simulator on top of
+//! the Virgo job table.
+//!
+//! The kernel-level crates answer "how many cycles does this GEMM take?".
+//! This crate answers the datacenter question layered above it: given
+//! tenants issuing streams of GEMM and attention requests against one
+//! machine, what tail latency, goodput and energy-per-request does a
+//! scheduling policy deliver? The pieces:
+//!
+//! * [`TenantSpec`] / [`generate_trace`] — deterministic Poisson-like
+//!   request streams (seeded [`virgo_sim::SplitMix64`], exponential
+//!   inter-arrivals via the inverse CDF) over paper workload shapes,
+//! * [`ArbitrationPolicy`] — FIFO vs shortest-job vs tenant-fair ordering
+//!   of the pending queue, and [`BatchingMode`] — serial whole-machine
+//!   occupancy vs continuous batching onto free cluster subsets,
+//! * [`Server`] — the admission loop driving a [`virgo::JobTable`]
+//!   session, so concurrent requests contend for shared L2/DRAM exactly
+//!   like concurrent kernels do,
+//! * [`ServeReport`] — p50/p99/p999 latency, goodput,
+//!   energy-per-request (active energy plus the
+//!   [`virgo_energy::StaticPowerModel`] busy/idle split) and per-tenant
+//!   slices.
+//!
+//! Everything is deterministic: the same trace seed, machine configuration
+//! and policy reproduce the same report bit-for-bit, in either
+//! [`virgo::SimMode`], with or without a replayed
+//! [`virgo::GpuConfig::with_faults`] plan.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod policy;
+pub mod report;
+pub mod request;
+pub mod server;
+
+pub use policy::{ArbitrationPolicy, BatchingMode};
+pub use report::{RequestOutcome, ServeReport, TenantSlice};
+pub use request::{generate_trace, Request, RequestClass, TenantSpec};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,69 @@
+//! Admission arbitration: which pending request gets the next free clusters.
+
+/// How the server orders the pending queue when cluster slots free up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArbitrationPolicy {
+    /// Strict arrival order (head-of-line requests first).
+    Fifo,
+    /// Cheapest request first, by the class's MAC count — the classic
+    /// shortest-job-first latency optimization, at the cost of starving
+    /// large requests under sustained load.
+    ShortestJob,
+    /// The tenant with the fewest admissions so far goes first, so one
+    /// high-rate tenant cannot monopolize the machine.
+    TenantFair,
+}
+
+impl ArbitrationPolicy {
+    /// All policies, in report order.
+    pub fn all() -> [ArbitrationPolicy; 3] {
+        [
+            ArbitrationPolicy::Fifo,
+            ArbitrationPolicy::ShortestJob,
+            ArbitrationPolicy::TenantFair,
+        ]
+    }
+
+    /// A short identifier (`"fifo"`, `"sjf"`, `"fair"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArbitrationPolicy::Fifo => "fifo",
+            ArbitrationPolicy::ShortestJob => "sjf",
+            ArbitrationPolicy::TenantFair => "fair",
+        }
+    }
+}
+
+impl std::fmt::Display for ArbitrationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether requests share the machine or take it whole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchingMode {
+    /// One request at a time, on every cluster — the "one kernel owns the
+    /// whole GPU" baseline the job-table refactor replaces.
+    Serial,
+    /// Continuous batching: every pending request that fits in the free
+    /// cluster slots is admitted immediately, so requests from different
+    /// tenants run concurrently on disjoint subsets.
+    Continuous,
+}
+
+impl BatchingMode {
+    /// A short identifier (`"serial"`, `"continuous"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchingMode::Serial => "serial",
+            BatchingMode::Continuous => "continuous",
+        }
+    }
+}
+
+impl std::fmt::Display for BatchingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -1,0 +1,295 @@
+//! Request-level serving metrics: tail latency, goodput and
+//! energy-per-request.
+
+use virgo::SimReport;
+use virgo_energy::{EnergyLedger, StaticPowerModel};
+use virgo_sim::{Cycle, Frequency};
+
+use crate::policy::{ArbitrationPolicy, BatchingMode};
+
+/// The fate of one request: where it waited, where it ran, what it cost.
+#[derive(Debug)]
+pub struct RequestOutcome {
+    /// The request's trace id.
+    pub id: u64,
+    /// The issuing tenant.
+    pub tenant: String,
+    /// The workload label (see [`crate::RequestClass::label`]).
+    pub label: String,
+    /// Absolute cycle the request arrived.
+    pub arrival: u64,
+    /// Absolute cycle the request was admitted onto clusters.
+    pub admitted: u64,
+    /// Absolute cycle the request retired (or was evicted).
+    pub retired: u64,
+    /// Number of cluster slots the request ran on.
+    pub clusters: usize,
+    /// True when the residency budget expired before the kernel finished.
+    pub timed_out: bool,
+    /// The request's kernel-level report; `None` for timed-out requests.
+    pub report: Option<SimReport>,
+}
+
+impl RequestOutcome {
+    /// End-to-end latency: arrival to retirement, queueing included.
+    pub fn latency(&self) -> u64 {
+        self.retired - self.arrival
+    }
+
+    /// Cycles spent waiting in the pending queue.
+    pub fn queue_delay(&self) -> u64 {
+        self.admitted - self.arrival
+    }
+
+    /// Cycles spent resident on the machine.
+    pub fn service(&self) -> u64 {
+        self.retired - self.admitted
+    }
+}
+
+/// Per-tenant slice of a [`ServeReport`].
+#[derive(Debug)]
+pub struct TenantSlice {
+    /// The tenant name.
+    pub tenant: String,
+    /// Requests that finished inside their budget.
+    pub completed: usize,
+    /// Requests evicted on budget expiry.
+    pub timed_out: usize,
+    /// Median end-to-end latency over completed requests (0 when none).
+    pub p50_latency_cycles: u64,
+    /// 99th-percentile end-to-end latency (0 when none completed).
+    pub p99_latency_cycles: u64,
+    /// Active energy of the tenant's completed requests, in millijoules.
+    pub active_energy_mj: f64,
+}
+
+/// The aggregate result of one serving run.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// The arbitration policy the run used.
+    pub policy: ArbitrationPolicy,
+    /// Serial whole-machine vs continuous batching.
+    pub batching: BatchingMode,
+    /// Cluster slots of the machine.
+    pub clusters: u32,
+    /// Last retirement cycle of the run (the makespan).
+    pub makespan_cycles: u64,
+    /// Every request's fate, in retirement order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Median end-to-end latency over completed requests.
+    pub p50_latency_cycles: u64,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency_cycles: u64,
+    /// 99.9th-percentile end-to-end latency.
+    pub p999_latency_cycles: u64,
+    /// Completed requests per second of simulated time at the SoC clock.
+    pub goodput_rps: f64,
+    /// Event-proportional (active) energy over completed requests, mJ.
+    pub active_energy_mj: f64,
+    /// Static energy over the whole makespan — busy rate while a cluster is
+    /// owned by a request, idle rate otherwise — in mJ.
+    pub static_energy_mj: f64,
+    /// `(active + static) / completed`, in mJ; 0 when nothing completed.
+    pub energy_per_request_mj: f64,
+    /// Cluster-cycles spent owned by a resident request.
+    pub busy_cluster_cycles: u64,
+    /// Cluster-cycles spent with the slot free.
+    pub idle_cluster_cycles: u64,
+    /// Per-tenant slices, sorted by tenant name.
+    pub tenants: Vec<TenantSlice>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl ServeReport {
+    /// Builds the aggregate report from per-request outcomes. The static
+    /// energy split is computed through the [`EnergyLedger`] cluster-cycle
+    /// side-channel and [`StaticPowerModel::default_16nm`] at the SoC clock.
+    pub fn new(
+        policy: ArbitrationPolicy,
+        batching: BatchingMode,
+        clusters: u32,
+        outcomes: Vec<RequestOutcome>,
+        makespan_cycles: u64,
+    ) -> Self {
+        let mut latencies: Vec<u64> = outcomes
+            .iter()
+            .filter(|o| !o.timed_out)
+            .map(RequestOutcome::latency)
+            .collect();
+        latencies.sort_unstable();
+        let completed = latencies.len();
+
+        let busy_cluster_cycles: u64 = outcomes
+            .iter()
+            .map(|o| o.service() * o.clusters as u64)
+            .sum();
+        let idle_cluster_cycles =
+            (makespan_cycles * u64::from(clusters)).saturating_sub(busy_cluster_cycles);
+        let mut ledger = EnergyLedger::new();
+        ledger.record_cluster_cycles(busy_cluster_cycles, idle_cluster_cycles);
+        let static_energy_mj =
+            StaticPowerModel::default_16nm().ledger_energy_pj(&ledger, Frequency::VIRGO_SOC) * 1e-9;
+        let active_energy_mj: f64 = outcomes
+            .iter()
+            .filter_map(|o| o.report.as_ref())
+            .map(SimReport::total_energy_mj)
+            .sum();
+        let energy_per_request_mj = if completed > 0 {
+            (active_energy_mj + static_energy_mj) / completed as f64
+        } else {
+            0.0
+        };
+        let seconds = Frequency::VIRGO_SOC.cycles_to_seconds(Cycle::new(makespan_cycles));
+        let goodput_rps = if seconds > 0.0 {
+            completed as f64 / seconds
+        } else {
+            0.0
+        };
+
+        let mut names: Vec<&str> = outcomes.iter().map(|o| o.tenant.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        let tenants = names
+            .iter()
+            .map(|&name| {
+                let mut lat: Vec<u64> = outcomes
+                    .iter()
+                    .filter(|o| o.tenant == name && !o.timed_out)
+                    .map(RequestOutcome::latency)
+                    .collect();
+                lat.sort_unstable();
+                TenantSlice {
+                    tenant: name.to_string(),
+                    completed: lat.len(),
+                    timed_out: outcomes
+                        .iter()
+                        .filter(|o| o.tenant == name && o.timed_out)
+                        .count(),
+                    p50_latency_cycles: percentile(&lat, 0.50),
+                    p99_latency_cycles: percentile(&lat, 0.99),
+                    active_energy_mj: outcomes
+                        .iter()
+                        .filter(|o| o.tenant == name)
+                        .filter_map(|o| o.report.as_ref())
+                        .map(SimReport::total_energy_mj)
+                        .sum(),
+                }
+            })
+            .collect();
+
+        ServeReport {
+            policy,
+            batching,
+            clusters,
+            makespan_cycles,
+            p50_latency_cycles: percentile(&latencies, 0.50),
+            p99_latency_cycles: percentile(&latencies, 0.99),
+            p999_latency_cycles: percentile(&latencies, 0.999),
+            goodput_rps,
+            active_energy_mj,
+            static_energy_mj,
+            energy_per_request_mj,
+            busy_cluster_cycles,
+            idle_cluster_cycles,
+            tenants,
+            outcomes,
+        }
+    }
+
+    /// Requests that finished inside their budget.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.timed_out).count()
+    }
+
+    /// Requests evicted on budget expiry.
+    pub fn timed_out(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.timed_out).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, tenant: &str, arrival: u64, admitted: u64, retired: u64) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            tenant: tenant.to_string(),
+            label: "gemm:128x128x128".to_string(),
+            arrival,
+            admitted,
+            retired,
+            clusters: 1,
+            timed_out: false,
+            report: None,
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 0.999), 100);
+        assert_eq!(percentile(&[42], 0.999), 42);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn report_splits_busy_and_idle_cluster_cycles() {
+        let outcomes = vec![
+            outcome(0, "a", 0, 0, 1_000),
+            outcome(1, "b", 0, 1_000, 3_000),
+        ];
+        let report = ServeReport::new(
+            ArbitrationPolicy::Fifo,
+            BatchingMode::Serial,
+            2,
+            outcomes,
+            3_000,
+        );
+        // 1000 + 2000 busy cluster-cycles on a 2-cluster, 3000-cycle run.
+        assert_eq!(report.busy_cluster_cycles, 3_000);
+        assert_eq!(report.idle_cluster_cycles, 3_000);
+        assert!(report.static_energy_mj > 0.0);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.timed_out(), 0);
+        assert!(report.goodput_rps > 0.0);
+        // Latencies 1000 and 3000: the median picks the lower.
+        assert_eq!(report.p50_latency_cycles, 1_000);
+        assert_eq!(report.p99_latency_cycles, 3_000);
+        // No active energy (no kernel reports), so per-request energy is
+        // the static share alone.
+        assert!((report.energy_per_request_mj - report.static_energy_mj / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_out_requests_are_excluded_from_latency_and_goodput() {
+        let mut evicted = outcome(0, "a", 0, 0, 10_000);
+        evicted.timed_out = true;
+        let report = ServeReport::new(
+            ArbitrationPolicy::Fifo,
+            BatchingMode::Continuous,
+            1,
+            vec![evicted, outcome(1, "a", 0, 0, 2_000)],
+            10_000,
+        );
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.timed_out(), 1);
+        assert_eq!(report.p99_latency_cycles, 2_000);
+        // The evicted request still occupied its cluster: busy time counts.
+        assert_eq!(report.busy_cluster_cycles, 12_000);
+        let slice = &report.tenants[0];
+        assert_eq!(slice.completed, 1);
+        assert_eq!(slice.timed_out, 1);
+    }
+}

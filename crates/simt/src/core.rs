@@ -149,6 +149,15 @@ impl SimtCore {
         self.warps.len()
     }
 
+    /// Re-anchors every warp's fence-poll rate limiter at `at` (see
+    /// [`WarpContext::anchor_fence_polls`]). Called when the core is built
+    /// into a cluster slot that leaves reset at a non-zero cycle.
+    pub fn anchor_fence_polls(&mut self, at: Cycle) {
+        for warp in &mut self.warps {
+            warp.anchor_fence_polls(at);
+        }
+    }
+
     /// True once every assigned warp has finished.
     pub fn all_finished(&self) -> bool {
         self.warps.iter().all(|w| w.is_finished())

@@ -140,6 +140,17 @@ impl WarpContext {
             && self.outstanding_loads.is_empty()
     }
 
+    /// Re-anchors the fence-poll rate limiter at `at`, the warp's first
+    /// live cycle. A freshly built warp anchors at cycle zero, which is
+    /// correct for a run starting at zero but charges the first poll of a
+    /// warp born mid-session (a job admitted at cycle `T > 0`) one interval
+    /// early relative to its own start. Anchoring at birth makes the poll
+    /// cadence a pure function of warp-relative time — and is a no-op for
+    /// `at == 0`, so standalone runs are bit-identical.
+    pub fn anchor_fence_polls(&mut self, at: Cycle) {
+        self.last_fence_poll = self.last_fence_poll.max(at);
+    }
+
     /// Records a fence poll at `now`; returns true when a new poll should be
     /// charged (at most one per `interval` cycles).
     pub fn fence_poll_due(&mut self, now: Cycle, interval: u32) -> bool {

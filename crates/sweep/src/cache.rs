@@ -17,10 +17,10 @@
 //! [`CacheStats::disk_rejects`], moved into a `quarantine/` subdirectory
 //! (so the evidence survives for post-mortem instead of being destroyed;
 //! deletion is the fallback when the move fails) and treated as a **miss**,
-//! never a panic. The disk layer is *opt-in* at the service level (governed by
-//! `VIRGO_SWEEP_CACHE` — see `service::default_disk_dir`): keys digest the
-//! simulation inputs, not the simulator's own source, so a persistent cache
-//! is only sound while the simulator binary is fixed.
+//! never a panic. The disk layer is *on by default* at the service level
+//! (governed by `VIRGO_SWEEP_CACHE` — see `service::default_disk_dir`):
+//! keys digest the simulator's own source tree alongside the simulation
+//! inputs, so entries from an older build miss cleanly.
 //!
 //! Because simulations are deterministic, the only concurrency hazard is
 //! duplicated work: two threads missing the same key simultaneously both
@@ -369,6 +369,33 @@ mod tests {
             &key.to_hex()
         )
         .is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_key_entry_is_rejected_and_resimulated() {
+        // An entry whose embedded key disagrees with its file name (e.g. a
+        // file copied or renamed by hand, or a key-scheme change that
+        // re-mapped names) must be quarantined and recomputed, not served.
+        let dir = std::env::temp_dir().join(format!("virgo-sweep-mismatch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ReportCache::new(8, Some(dir.clone()));
+        let (key_a, config, kernel_a) = tiny_sim(2);
+        cache.get_or_compute(key_a, || run(&config, &kernel_a));
+        // Masquerade kernel A's entry as the entry for a different key.
+        let key_b = SimKey::digest(&config, &kernel_a, 200_000, SimMode::FastForward);
+        assert_ne!(key_a, key_b);
+        std::fs::copy(
+            dir.join(format!("{}.json", key_a.to_hex())),
+            dir.join(format!("{}.json", key_b.to_hex())),
+        )
+        .unwrap();
+        let (report, cached) = cache.get_or_compute(key_b, || run(&config, &kernel_a));
+        assert!(!cached, "a mismatched entry must be treated as a miss");
+        assert_eq!(report.instructions_retired(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.disk_rejects, 1);
+        assert_eq!(stats.disk_quarantined, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -182,8 +182,8 @@ impl SweepService {
     }
 
     /// A service with host-sized pool, default capacity and the
-    /// `VIRGO_SWEEP_CACHE`-governed disk layer (memory-only unless the env
-    /// var opts in — see [`default_disk_dir`] for why).
+    /// `VIRGO_SWEEP_CACHE`-governed disk layer (on by default — see
+    /// [`default_disk_dir`] for the soundness argument and the opt-out).
     pub fn with_defaults() -> Self {
         Self::new(
             SweepPool::with_host_parallelism(),
@@ -399,22 +399,21 @@ pub fn workspace_cache_dir() -> PathBuf {
 /// The disk directory the *default* services use, governed by
 /// `VIRGO_SWEEP_CACHE`:
 ///
-/// * unset or `off` — `None`: the disk layer is disabled,
-/// * `on` — [`workspace_cache_dir`] (`target/sweep-cache/`),
+/// * unset or `on` — [`workspace_cache_dir`] (`target/sweep-cache/`),
+/// * `off` or `0` — `None`: the disk layer is disabled,
 /// * anything else — treated as an explicit directory path.
 ///
-/// The disk layer is **opt-in** because a [`SimKey`] digests the simulation
-/// *inputs* only — it cannot see changes to the simulator's own source. A
-/// persistent cache shared by `cargo test` would keep serving reports
-/// produced by an older build and silently turn the equivalence and
-/// fingerprint tests into no-ops. Enable it deliberately for sweep
-/// campaigns and CI jobs where the simulator binary is fixed (the
-/// `sweep_smoke` bench and its CI job do exactly that, with the cache keyed
-/// on the source tree).
+/// The disk layer **defaults on**: a [`SimKey`] digests the simulator's own
+/// source tree (`VIRGO_SOURCE_DIGEST`, computed by `virgo`'s build script)
+/// alongside the simulation inputs, so entries written by an older build of
+/// the model miss cleanly instead of serving stale reports — the equivalence
+/// and fingerprint tests stay honest even under a persistent shared cache.
+/// Set `VIRGO_SWEEP_CACHE=off` for cold-cache measurements (or use
+/// [`SweepService::in_memory`], as the sweep benches do).
 pub fn default_disk_dir() -> Option<PathBuf> {
     match std::env::var("VIRGO_SWEEP_CACHE") {
-        Err(_) => None,
-        Ok(value) if value.is_empty() || value.eq_ignore_ascii_case("off") => None,
+        Err(_) => Some(workspace_cache_dir()),
+        Ok(value) if value.is_empty() || value.eq_ignore_ascii_case("off") || value == "0" => None,
         Ok(value) if value.eq_ignore_ascii_case("on") => Some(workspace_cache_dir()),
         Ok(path) => Some(PathBuf::from(path)),
     }
@@ -603,11 +602,15 @@ mod tests {
     fn disk_dir_honors_env_gate() {
         // Not a full env-var test (tests run in parallel; mutating the
         // process environment races); pin the conventional path shape and
-        // the opt-in default for the usual unset case.
+        // the on-by-default behavior for the usual unset case.
         assert!(workspace_cache_dir().ends_with("target/sweep-cache"));
         match std::env::var("VIRGO_SWEEP_CACHE") {
-            Err(_) => assert_eq!(default_disk_dir(), None, "disk layer must be opt-in"),
-            Ok(v) if v.is_empty() || v.eq_ignore_ascii_case("off") => {
+            Err(_) => assert_eq!(
+                default_disk_dir(),
+                Some(workspace_cache_dir()),
+                "disk layer must default on (SimKey digests the simulator source)"
+            ),
+            Ok(v) if v.is_empty() || v.eq_ignore_ascii_case("off") || v == "0" => {
                 assert_eq!(default_disk_dir(), None);
             }
             Ok(_) => assert!(default_disk_dir().is_some()),
