@@ -36,7 +36,7 @@
 use virgo::DesignKind;
 use virgo_bench::{print_cache_summary, print_table, sweep_service};
 use virgo_kernels::GemmShape;
-use virgo_sweep::{SweepOutcome, SweepPoint};
+use virgo_sweep::{Query, SweepOutcome};
 
 /// Cluster counts swept, per the ISSUE/Table 1 scaling study.
 const CLUSTER_COUNTS: [u32; 4] = [1, 2, 4, 8];
@@ -60,10 +60,11 @@ impl From<&SweepOutcome> for Point {
     fn from(outcome: &SweepOutcome) -> Point {
         let report = &outcome.report;
         let macs = report.performed_macs().max(1);
+        let point = outcome.point().expect("built from a design-space query");
         Point {
-            design: outcome.point.design,
-            clusters: outcome.point.clusters,
-            dram_channels: outcome.point.dram_channels,
+            design: point.design,
+            clusters: point.clusters,
+            dram_channels: point.dram_channels,
             cycles: report.cycles().get(),
             dram_stall_cycles: report.dram_contention_stall_cycles(),
             utilization_pct: report.mac_utilization().as_percent(),
@@ -138,12 +139,12 @@ fn main() {
     // axis are exactly the design grid's Virgo points, so they are not
     // re-submitted (a multi-worker pool could otherwise simulate a
     // duplicate point twice before the first fills the cache).
-    let grid: Vec<SweepPoint> = DesignKind::all()
+    let grid: Vec<Query> = DesignKind::all()
         .into_iter()
         .flat_map(|design| {
             CLUSTER_COUNTS
                 .into_iter()
-                .map(move |clusters| SweepPoint::gemm(design, shape).with_clusters(clusters))
+                .map(move |clusters| Query::new(design, shape).clusters(clusters))
         })
         .chain(
             DRAM_CHANNELS
@@ -151,17 +152,17 @@ fn main() {
                 .filter(|&channels| channels > 1)
                 .flat_map(|channels| {
                     CLUSTER_COUNTS.into_iter().map(move |clusters| {
-                        SweepPoint::gemm(DesignKind::Virgo, shape)
-                            .with_clusters(clusters)
-                            .with_dram_channels(channels)
+                        Query::new(DesignKind::Virgo, shape)
+                            .clusters(clusters)
+                            .dram_channels(channels)
                     })
                 }),
         )
         .collect();
-    let outcomes = sweep_service().sweep_streaming(&grid, |outcome| {
+    let outcomes = sweep_service().run_streaming(&grid, |outcome| {
         eprintln!(
             "  finished {} in {} cycles{}",
-            outcome.point,
+            outcome.query,
             outcome.report.cycles().get(),
             if outcome.from_cache { " (cached)" } else { "" }
         );
@@ -201,14 +202,14 @@ fn main() {
         n: 192,
         k: 256,
     };
-    let tall_grid: Vec<SweepPoint> = CLUSTER_COUNTS
+    let tall_grid: Vec<Query> = CLUSTER_COUNTS
         .into_iter()
-        .map(|clusters| SweepPoint::gemm(DesignKind::Virgo, tall).with_clusters(clusters))
+        .map(|clusters| Query::new(DesignKind::Virgo, tall).clusters(clusters))
         .collect();
-    let tall_outcomes = sweep_service().sweep_streaming(&tall_grid, |outcome| {
+    let tall_outcomes = sweep_service().run_streaming(&tall_grid, |outcome| {
         eprintln!(
             "  finished {} in {} cycles{}",
-            outcome.point,
+            outcome.query,
             outcome.report.cycles().get(),
             if outcome.from_cache { " (cached)" } else { "" }
         );

@@ -6,18 +6,21 @@ use virgo::DesignKind;
 use virgo_bench::{mw, pct, print_table, sweep_service, uj};
 use virgo_energy::Component;
 use virgo_kernels::AttentionShape;
-use virgo_sweep::SweepPoint;
+use virgo_sweep::Query;
 
 fn main() {
     let designs = [DesignKind::AmpereStyle, DesignKind::Virgo];
-    let points: Vec<SweepPoint> = designs
+    let queries: Vec<Query> = designs
         .into_iter()
-        .map(|design| SweepPoint::flash_attention(design, AttentionShape::paper_default()))
+        .map(|design| Query::new(design, AttentionShape::paper_default()))
         .collect();
     let results: Vec<_> = sweep_service()
-        .sweep(&points)
+        .run_all(&queries)
         .into_iter()
-        .map(|outcome| (outcome.point.design, outcome.report))
+        .map(|outcome| {
+            let design = outcome.point().expect("built from a point").design;
+            (design, outcome.report)
+        })
         .collect();
 
     let groups = [

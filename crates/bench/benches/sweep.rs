@@ -1,7 +1,8 @@
-//! Sweep-engine performance benchmark: worker-pool scaling and cold-vs-warm
-//! report-cache timings on the full design × shape grid.
+//! Sweep-engine performance benchmark: worker-pool scaling, cold-vs-warm
+//! report-cache timings and the shared report store's hit/degrade behavior
+//! on the full design × shape grid.
 //!
-//! Two questions, one per layer of the sweep engine:
+//! Three questions, one per layer of the sweep engine:
 //!
 //! 1. **Sharding** — how does wall-clock scale with the pool size? The same
 //!    grid is swept cold with 1, 2, 4 and 8 workers (each run on a fresh
@@ -13,6 +14,12 @@
 //!    cold and once warm on the same service; the warm pass must answer
 //!    every point from cache and be ≥ 5× faster (in practice it is orders of
 //!    magnitude faster — a map lookup versus a simulation).
+//! 3. **Sharing** — does a *fresh* service answer entirely from a warmed
+//!    `virgo-store` server? An in-process store is warmed with the cold
+//!    pass's reports, a brand-new service (empty memory, no disk) sweeps the
+//!    grid against it — zero simulator executions, bit-identical reports —
+//!    and then the store is killed and a third service must degrade to
+//!    local compute while counting every unreachable store operation.
 //!
 //! Emits `BENCH_sweep.json` at the workspace root for CI/perf tracking.
 //! `VIRGO_GEMM_SIZES` shrinks the grid for smoke runs, as with the table
@@ -21,17 +28,18 @@
 use std::time::Instant;
 
 use virgo::DesignKind;
-use virgo_bench::{gemm_sizes_from_env, print_table};
-use virgo_sweep::{host_parallelism, SweepPoint, SweepService};
+use virgo_bench::{gemm_sizes_from_env, print_table, ReportDigest};
+use virgo_store::{EntryDir, StoreServer};
+use virgo_sweep::{host_parallelism, Query, RemoteStore, ReportStore, StoreConfig, SweepService};
 
 /// Pool sizes requested by the scaling satellite of the sweep-engine issue.
 const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
 
-fn grid() -> Vec<SweepPoint> {
+fn grid() -> Vec<Query> {
     let mut points = Vec::new();
     for shape in gemm_sizes_from_env() {
         for design in DesignKind::all() {
-            points.push(SweepPoint::gemm(design, shape));
+            points.push(Query::new(design, shape));
         }
     }
     points
@@ -56,7 +64,7 @@ fn main() {
     for pool_size in POOL_SIZES {
         let service = SweepService::in_memory(pool_size);
         let start = Instant::now();
-        let outcomes = service.sweep(&points);
+        let outcomes = service.run_all(&points);
         let seconds = start.elapsed().as_secs_f64();
         assert_eq!(outcomes.len(), points.len());
         assert!(
@@ -90,10 +98,10 @@ fn main() {
     // ---- Cold vs warm cache on one service ------------------------------
     let service = SweepService::in_memory(host.max(4));
     let start = Instant::now();
-    let cold = service.sweep(&points);
+    let cold = service.run_all(&points);
     let cold_seconds = start.elapsed().as_secs_f64();
     let start = Instant::now();
-    let warm = service.sweep(&points);
+    let warm = service.run_all(&points);
     let warm_seconds = start.elapsed().as_secs_f64();
     assert!(
         warm.iter().all(|o| o.from_cache),
@@ -122,6 +130,127 @@ fn main() {
     );
     println!("warm-cache speedup: {warm_speedup:.0}x");
 
+    // ---- Shared report store: warm remote pass, then degrade ------------
+    let store_dir = std::env::temp_dir().join(format!("virgo-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut store = StoreServer::bind("127.0.0.1:0", EntryDir::new(&store_dir))
+        .expect("bind in-process report store")
+        .spawn()
+        .expect("spawn in-process report store");
+    let addr = store.addr().to_string();
+    println!("\nin-process report store serving on {addr}");
+
+    // Warm the store out-of-band from the cold pass: PUT every report under
+    // exactly the key a fresh service would derive for the same query.
+    let warm_writer = RemoteStore::new(addr.clone());
+    for outcome in &cold {
+        warm_writer.save(service.key_for(&outcome.query), &outcome.report);
+    }
+    let put_stats = warm_writer.stats();
+    assert_eq!(
+        put_stats.puts,
+        cold.len() as u64,
+        "every cold report must be PUT to the store"
+    );
+    assert_eq!(put_stats.unreachable, 0, "in-process store unreachable");
+
+    // A brand-new service (empty memory, no disk layer) backed only by the
+    // warmed store answers the whole grid with zero simulator executions.
+    let remote_service = SweepService::from_config(
+        &StoreConfig::in_memory(StoreConfig::DEFAULT_MEMORY_CAPACITY)
+            .with_remote_addr(Some(addr.clone())),
+    );
+    let start = Instant::now();
+    let via_store = remote_service.run_all(&points);
+    let store_seconds = start.elapsed().as_secs_f64();
+    assert!(
+        via_store.iter().all(|o| o.from_cache),
+        "store-warm pass must answer entirely from the store"
+    );
+    for (cold_outcome, remote_outcome) in cold.iter().zip(&via_store) {
+        assert_eq!(
+            ReportDigest::of(&cold_outcome.report),
+            ReportDigest::of(&remote_outcome.report),
+            "{}: store round-trip changed the report",
+            remote_outcome.query
+        );
+    }
+    let rstats = remote_service.cache_stats();
+    assert_eq!(rstats.remote_hits, points.len() as u64);
+    assert_eq!(rstats.misses, 0, "store-warm pass must not miss");
+    assert_eq!(rstats.store_unreachable, 0);
+    let remote_io = remote_service
+        .cache()
+        .store_stats_for(virgo_sweep::StoreTier::Remote);
+    println!(
+        "store-warm IO: {} bytes over the wire in {} us total (~{:.0} us per report)",
+        remote_io.bytes_read,
+        remote_io.read_micros,
+        remote_io.read_micros as f64 / points.len().max(1) as f64
+    );
+
+    // Kill the store: a service pointed at the dead address must degrade to
+    // local compute — same bits — while counting every unreachable op.
+    store.stop();
+    let degraded_service = SweepService::from_config(
+        &StoreConfig::in_memory(StoreConfig::DEFAULT_MEMORY_CAPACITY)
+            .with_remote_addr(Some(addr.clone())),
+    );
+    let subset: Vec<Query> = points.iter().take(4).cloned().collect();
+    let start = Instant::now();
+    let degraded = degraded_service.run_all(&subset);
+    let degraded_seconds = start.elapsed().as_secs_f64();
+    let degraded_completed =
+        degraded.len() == subset.len() && degraded.iter().all(|o| !o.from_cache);
+    assert!(
+        degraded_completed,
+        "dead store must degrade to local compute"
+    );
+    for (cold_outcome, deg) in cold.iter().zip(&degraded) {
+        assert_eq!(
+            ReportDigest::of(&cold_outcome.report),
+            ReportDigest::of(&deg.report),
+            "{}: degraded recompute changed the report",
+            deg.query
+        );
+    }
+    let dstats = degraded_service.cache_stats();
+    assert!(
+        dstats.store_unreachable > 0,
+        "unreachable store ops must be counted"
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    print_table(
+        "Shared report store: warmed remote pass vs killed store",
+        &[
+            "pass",
+            "points",
+            "seconds",
+            "remote hits",
+            "misses",
+            "unreachable",
+        ],
+        &[
+            vec![
+                "store-warm".into(),
+                points.len().to_string(),
+                format!("{store_seconds:.6}"),
+                rstats.remote_hits.to_string(),
+                rstats.misses.to_string(),
+                rstats.store_unreachable.to_string(),
+            ],
+            vec![
+                "degraded".into(),
+                subset.len().to_string(),
+                format!("{degraded_seconds:.3}"),
+                dstats.remote_hits.to_string(),
+                dstats.misses.to_string(),
+                dstats.store_unreachable.to_string(),
+            ],
+        ],
+    );
+
     // ---- Machine-readable artifact --------------------------------------
     let scaling_entries: Vec<String> = runs
         .iter()
@@ -143,7 +272,11 @@ fn main() {
             "  \"grid_points\": {},\n",
             "  \"pool_scaling\": [\n{}\n  ],\n",
             "  \"cache\": {{\"cold_seconds\": {:.6}, \"warm_seconds\": {:.6}, ",
-            "\"warm_speedup\": {:.2}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}\n",
+            "\"warm_speedup\": {:.2}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
+            "  \"store\": {{\"warm_seconds\": {:.6}, \"remote_hits\": {}, ",
+            "\"remote_misses\": {}, \"remote_hit_rate\": {:.4}, \"warm_unreachable\": {}, ",
+            "\"bytes_read\": {}, \"read_micros\": {}, ",
+            "\"degraded_completed\": {}, \"degraded_unreachable\": {}}}\n",
             "}}\n"
         ),
         host,
@@ -155,6 +288,15 @@ fn main() {
         stats.hits,
         stats.misses,
         stats.hit_rate(),
+        store_seconds,
+        rstats.remote_hits,
+        rstats.misses,
+        rstats.hit_rate(),
+        rstats.store_unreachable,
+        remote_io.bytes_read,
+        remote_io.read_micros,
+        degraded_completed,
+        dstats.store_unreachable,
     );
     // Anchor on the workspace root: cargo runs bench binaries with the
     // package directory (crates/bench) as cwd, but the artifact belongs next
@@ -183,4 +325,12 @@ fn main() {
         );
     }
     println!("warm-cache gate passed: {warm_speedup:.0}x (target >= 5x)");
+    println!(
+        "shared-store gate passed: {}/{} remote hits, degraded pass recomputed {} point(s) \
+         with {} unreachable op(s) counted",
+        rstats.remote_hits,
+        points.len(),
+        subset.len(),
+        dstats.store_unreachable
+    );
 }

@@ -28,7 +28,7 @@ use std::time::Instant;
 use virgo::DesignKind;
 use virgo_kernels::GemmShape;
 use virgo_sweep::{
-    default_disk_dir, workspace_cache_dir, ReportCache, SweepPoint, SweepPool, SweepService,
+    default_disk_dir, workspace_cache_dir, Query, ReportCache, SweepPool, SweepService,
     DEFAULT_MAX_CYCLES,
 };
 
@@ -48,18 +48,18 @@ fn main() {
     }
     // The sharded 256³ GEMM sweep: every design at N ∈ {1, 2, 4} clusters.
     let shape = GemmShape::square(256);
-    let points: Vec<SweepPoint> = DesignKind::all()
+    let points: Vec<Query> = DesignKind::all()
         .into_iter()
         .flat_map(|design| {
             [1u32, 2, 4]
                 .into_iter()
-                .map(move |n| SweepPoint::gemm(design, shape).with_clusters(n))
+                .map(move |n| Query::new(design, shape).clusters(n))
         })
         .collect();
 
     let first = invocation();
     let start = Instant::now();
-    let outcomes = first.sweep(&points);
+    let outcomes = first.run_all(&points);
     let first_seconds = start.elapsed().as_secs_f64();
     let first_hits = outcomes.iter().filter(|o| o.from_cache).count();
     println!(
@@ -71,7 +71,7 @@ fn main() {
 
     let second = invocation();
     let start = Instant::now();
-    let outcomes = second.sweep(&points);
+    let outcomes = second.run_all(&points);
     let second_seconds = start.elapsed().as_secs_f64();
     let second_hits = outcomes.iter().filter(|o| o.from_cache).count();
     println!(

@@ -25,7 +25,7 @@ pub mod microbench;
 
 use virgo::{DesignKind, SimMode, SimReport};
 use virgo_kernels::{AttentionShape, GemmShape};
-use virgo_sweep::{SweepPoint, SweepService, SweepWorkload};
+use virgo_sweep::{Query, SweepService};
 
 pub use digest::ReportDigest;
 pub use microbench::Measurement;
@@ -74,7 +74,10 @@ pub fn run_gemm_clusters(
     clusters: u32,
     mode: SimMode,
 ) -> SimReport {
-    (*sweep_service().query(design, SweepWorkload::Gemm(shape), clusters, mode)).clone()
+    (*sweep_service()
+        .run(&Query::new(design, shape).clusters(clusters).mode(mode))
+        .report)
+        .clone()
 }
 
 /// Runs the FlashAttention-3 kernel for `shape` on `clusters` clusters of a
@@ -91,21 +94,27 @@ pub fn run_flash_attention_clusters(
     clusters: u32,
     mode: SimMode,
 ) -> SimReport {
-    (*sweep_service().query(design, SweepWorkload::FlashAttention(shape), clusters, mode)).clone()
+    (*sweep_service()
+        .run(&Query::new(design, shape).clusters(clusters).mode(mode))
+        .report)
+        .clone()
 }
 
 /// Runs the GEMM kernel for `shape` on every design point, sharded across
 /// the sweep service's worker pool. Results are returned in
 /// [`DesignKind::all`] order.
 pub fn run_gemm_all_designs(shape: GemmShape) -> Vec<(DesignKind, SimReport)> {
-    let points: Vec<SweepPoint> = DesignKind::all()
+    let queries: Vec<Query> = DesignKind::all()
         .into_iter()
-        .map(|design| SweepPoint::gemm(design, shape))
+        .map(|design| Query::new(design, shape))
         .collect();
     sweep_service()
-        .sweep(&points)
+        .run_all(&queries)
         .into_iter()
-        .map(|outcome| (outcome.point.design, (*outcome.report).clone()))
+        .map(|outcome| {
+            let design = outcome.point().expect("built from a point").design;
+            (design, (*outcome.report).clone())
+        })
         .collect()
 }
 
@@ -162,12 +171,15 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 pub fn print_cache_summary() {
     let stats = sweep_service().cache_stats();
     println!(
-        "sweep cache: {} hits ({} from disk), {} misses, {} evictions, {} corrupt entries rejected ({:.0}% hit rate)",
+        "sweep cache: {} hits ({} from disk, {} from store), {} misses, {} evictions, \
+         {} corrupt entries rejected, {} store ops unreachable ({:.0}% hit rate)",
         stats.hits,
         stats.disk_hits,
+        stats.remote_hits,
         stats.misses,
         stats.evictions,
         stats.disk_rejects,
+        stats.store_unreachable,
         stats.hit_rate() * 100.0
     );
 }

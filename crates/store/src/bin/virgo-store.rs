@@ -1,0 +1,71 @@
+//! The `virgo-store` server binary.
+//!
+//! ```text
+//! virgo-store [--addr HOST:PORT] [--dir PATH] [--quarantine PATH]
+//! ```
+//!
+//! Serves a content-addressed report store (GET/PUT/STAT over TCP) from a
+//! directory of validated snapshot envelopes. Defaults: `127.0.0.1:7171`,
+//! `target/report-store/`, `<dir>/quarantine/`.
+
+use std::process::ExitCode;
+
+use virgo_store::{EntryDir, StoreServer};
+
+const USAGE: &str = "usage: virgo-store [--addr HOST:PORT] [--dir PATH] [--quarantine PATH]";
+
+struct Args {
+    addr: String,
+    dir: String,
+    quarantine: Option<String>,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    let _ = argv.next(); // program name
+    let mut args = Args {
+        addr: "127.0.0.1:7171".to_string(),
+        dir: "target/report-store".to_string(),
+        quarantine: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or(format!("{flag} needs a value\n{USAGE}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--dir" => args.dir = value("--dir")?,
+            "--quarantine" => args.quarantine = Some(value("--quarantine")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut entries = EntryDir::new(&args.dir);
+    if let Some(quarantine) = &args.quarantine {
+        entries = entries.with_quarantine(quarantine);
+    }
+    let server = match StoreServer::bind(&args.addr, entries) {
+        Ok(server) => server.verbose(true),
+        Err(e) => {
+            eprintln!("virgo-store: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("virgo-store: serving {} on {addr}", args.dir),
+        Err(e) => {
+            eprintln!("virgo-store: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    server.run();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,157 @@
+//! The store client: one blocking TCP connection with connect/IO timeouts.
+//!
+//! The client is deliberately dumb — it speaks exactly one frame per call
+//! and reports every failure as an [`std::io::Error`]. Retry, reconnection
+//! and degrade-to-local policy live in the sweep layer's `RemoteStore`,
+//! which owns the "a dead store must never fail a sweep" contract; keeping
+//! the transport free of policy makes that policy testable.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    key_field, read_response, write_request, Opcode, Response, Status, MAX_PAYLOAD,
+};
+
+/// Connection and per-request timeouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Budget for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Budget for each read/write within a request.
+    pub io_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            // A store on the local network answers in well under these; a
+            // dead one must not stall a sweep for longer than this per try.
+            connect_timeout: Duration::from_millis(250),
+            io_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A connected store client.
+#[derive(Debug)]
+pub struct StoreClient {
+    stream: TcpStream,
+    addr: SocketAddr,
+    config: ClientConfig,
+}
+
+impl StoreClient {
+    /// Connects to the store at `addr` with default timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution, connection and timeout-setup failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<StoreClient> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution, connection and timeout-setup failures.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<StoreClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
+        stream.set_read_timeout(Some(config.io_timeout))?;
+        stream.set_write_timeout(Some(config.io_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(StoreClient {
+            stream,
+            addr,
+            config,
+        })
+    }
+
+    /// The address this client is connected to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The timeouts this client was configured with.
+    pub fn config(&self) -> ClientConfig {
+        self.config
+    }
+
+    /// Fetches the envelope stored under `key_hex`. `Ok(None)` is a clean
+    /// miss; an `ERR` response or any transport/protocol failure is an
+    /// error (the caller decides whether to retry or degrade).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, malformed frames, or an `ERR` response.
+    pub fn get(&mut self, key_hex: &str) -> io::Result<Option<String>> {
+        let response = self.roundtrip(Opcode::Get, key_hex, &[])?;
+        match response.status {
+            Status::Hit => String::from_utf8(response.payload)
+                .map(Some)
+                .map_err(|_| bad_reply("HIT payload is not UTF-8")),
+            Status::Miss => Ok(None),
+            Status::Err => Err(refused(&response)),
+            other => Err(bad_reply(&format!("unexpected {other:?} to GET"))),
+        }
+    }
+
+    /// Publishes `envelope` under `key_hex`. `Ok(true)` means stored,
+    /// `Ok(false)` means the server refused it (e.g. failed validation) —
+    /// the connection remains usable either way.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or malformed frames.
+    pub fn put(&mut self, key_hex: &str, envelope: &str) -> io::Result<bool> {
+        if envelope.len() as u64 > u64::from(MAX_PAYLOAD) {
+            return Ok(false); // oversized entries are refused locally
+        }
+        let response = self.roundtrip(Opcode::Put, key_hex, envelope.as_bytes())?;
+        match response.status {
+            Status::Ok => Ok(true),
+            Status::Err => Ok(false),
+            other => Err(bad_reply(&format!("unexpected {other:?} to PUT"))),
+        }
+    }
+
+    /// Fetches the server's counters as a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, malformed frames, or an `ERR` response.
+    pub fn stat(&mut self) -> io::Result<String> {
+        let zero_key = "0".repeat(crate::protocol::KEY_LEN);
+        let response = self.roundtrip(Opcode::Stat, &zero_key, &[])?;
+        match response.status {
+            Status::Stats => String::from_utf8(response.payload)
+                .map_err(|_| bad_reply("STATS payload is not UTF-8")),
+            Status::Err => Err(refused(&response)),
+            other => Err(bad_reply(&format!("unexpected {other:?} to STAT"))),
+        }
+    }
+
+    fn roundtrip(&mut self, opcode: Opcode, key_hex: &str, payload: &[u8]) -> io::Result<Response> {
+        let key = key_field(key_hex);
+        write_request(&mut self.stream, opcode, &key, payload)?;
+        self.stream.flush()?;
+        read_response(&mut self.stream)
+    }
+}
+
+fn bad_reply(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("store client: {what}"))
+}
+
+fn refused(response: &Response) -> io::Error {
+    io::Error::other(format!(
+        "store refused request: {}",
+        String::from_utf8_lossy(&response.payload)
+    ))
+}

@@ -1,0 +1,325 @@
+//! Content-addressed entry directory: the at-rest half of the store.
+//!
+//! An [`EntryDir`] holds one file per [`SimKey`](virgo::SimKey), named
+//! `<hex>.json`, whose contents are the self-verifying snapshot envelope
+//! produced by `SimReport::to_cache_json`. Every load re-validates the
+//! envelope against the key it was requested under; an entry that fails
+//! (corrupt, truncated, stale format, misfiled) is moved into a quarantine
+//! directory — preserving the evidence for post-mortem — and reported as
+//! absent. Every store validates *before* writing and writes through a
+//! unique temp file + atomic rename, so a killed process (or two racing
+//! writers of the same key) can never leave a truncated or interleaved
+//! entry behind.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use virgo::SimReport;
+
+/// Why a [`EntryDir::store`] was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The envelope failed validation against the key it was offered under.
+    Invalid(String),
+    /// The envelope was valid but could not be persisted (I/O failure).
+    Io(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Invalid(why) => write!(f, "invalid entry: {why}"),
+            StoreError::Io(why) => write!(f, "entry write failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The outcome of a [`EntryDir::load`].
+///
+/// `Valid` carries a full report and dwarfs the marker variants; every
+/// `Loaded` is consumed immediately at the call site, so the size skew is
+/// harmless and boxing would only add an allocation to the hot hit path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum Loaded {
+    /// The entry exists and its envelope validated against the key; carries
+    /// the raw envelope text (forwardable verbatim) and the parsed report.
+    Valid(String, SimReport),
+    /// No entry under that key.
+    Absent,
+    /// An entry existed but failed validation; it has been quarantined (or
+    /// deleted when the quarantine move itself failed).
+    Quarantined {
+        /// Whether the corrupt bytes were preserved in the quarantine
+        /// directory (`false` means the move failed and the entry was
+        /// deleted instead).
+        preserved: bool,
+    },
+}
+
+/// Monotonic suffix so concurrent writers — even two threads of one process
+/// racing on the *same* key — each get a private temp file. The old
+/// pid-only suffix let same-process racers interleave into one file and
+/// rename garbage into place.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of validated, content-addressed report entries.
+#[derive(Debug, Clone)]
+pub struct EntryDir {
+    dir: PathBuf,
+    quarantine: PathBuf,
+}
+
+impl EntryDir {
+    /// Creates an entry directory rooted at `dir`, quarantining rejected
+    /// entries under `dir/quarantine/`. Directories are created lazily on
+    /// first write.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let quarantine = dir.join("quarantine");
+        EntryDir { dir, quarantine }
+    }
+
+    /// Overrides the quarantine directory (by default `<dir>/quarantine/`).
+    pub fn with_quarantine(mut self, quarantine: impl Into<PathBuf>) -> Self {
+        self.quarantine = quarantine.into();
+        self
+    }
+
+    /// The root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The quarantine directory.
+    pub fn quarantine_dir(&self) -> &Path {
+        &self.quarantine
+    }
+
+    /// Path of the entry for `key_hex`.
+    pub fn entry_path(&self, key_hex: &str) -> PathBuf {
+        self.dir.join(format!("{key_hex}.json"))
+    }
+
+    /// Loads and validates the entry for `key_hex`.
+    pub fn load(&self, key_hex: &str) -> Loaded {
+        let path = self.entry_path(key_hex);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Loaded::Absent;
+        };
+        match SimReport::from_cache_json(&text, key_hex) {
+            Ok(report) => Loaded::Valid(text, report),
+            Err(_) => Loaded::Quarantined {
+                preserved: self.quarantine_entry(&path),
+            },
+        }
+    }
+
+    /// Validates `envelope` against `key_hex` and, when valid, persists it
+    /// atomically. Returns the parsed report so callers can keep it without
+    /// a second parse.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Invalid`] when the envelope fails validation (nothing
+    /// is written), [`StoreError::Io`] when the write or rename fails.
+    pub fn store(&self, key_hex: &str, envelope: &str) -> Result<SimReport, StoreError> {
+        let report = SimReport::from_cache_json(envelope, key_hex)
+            .map_err(|e| StoreError::Invalid(e.to_string()))?;
+        self.store_unchecked(key_hex, envelope)?;
+        Ok(report)
+    }
+
+    /// Persists an envelope the caller has already validated (e.g. one it
+    /// just produced via `to_cache_json`). Same atomicity as [`store`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the write or rename fails.
+    ///
+    /// [`store`]: EntryDir::store
+    pub fn store_unchecked(&self, key_hex: &str, envelope: &str) -> Result<(), StoreError> {
+        let path = self.entry_path(key_hex);
+        std::fs::create_dir_all(&self.dir).map_err(|e| StoreError::Io(e.to_string()))?;
+        atomic_write(&path, envelope.as_bytes()).map_err(|e| StoreError::Io(e.to_string()))
+    }
+
+    /// Moves a rejected entry into the quarantine directory, preserving the
+    /// corrupt bytes for post-mortem. Returns whether the move succeeded;
+    /// deletion is the fallback, so a bad entry never keeps masquerading as
+    /// a valid one either way.
+    fn quarantine_entry(&self, path: &Path) -> bool {
+        let moved = std::fs::create_dir_all(&self.quarantine).is_ok()
+            && path
+                .file_name()
+                .is_some_and(|name| std::fs::rename(path, self.quarantine.join(name)).is_ok());
+        if !moved {
+            let _ = std::fs::remove_file(path);
+        }
+        moved
+    }
+}
+
+/// Writes `bytes` to `path` through a uniquely named temp file in the same
+/// directory plus an atomic rename: readers observe either the old entry or
+/// the complete new one, never a truncation — regardless of process kills
+/// or same-key write races.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_file_name(format!(".{name}.tmp-{}-{seq}", std::process::id()));
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use virgo::{Gpu, GpuConfig, SimKey, SimMode};
+    use virgo_isa::{DataType, Kernel, KernelInfo, ProgramBuilder, WarpAssignment, WarpOp};
+
+    fn tiny_report(ops: u32) -> (String, String) {
+        let mut b = ProgramBuilder::new();
+        b.op_n(
+            ops,
+            WarpOp::Alu {
+                rf_reads: 1,
+                rf_writes: 1,
+            },
+        );
+        let kernel = Kernel::new(
+            KernelInfo::new("store-test", 0, DataType::Fp16),
+            vec![WarpAssignment::new(0, 0, Arc::new(b.build()))],
+        );
+        let config = GpuConfig::virgo();
+        let key = SimKey::digest(&config, &kernel, 100_000, SimMode::FastForward);
+        let report = Gpu::new(config).run(&kernel, 100_000).unwrap();
+        (key.to_hex(), report.to_cache_json(&key.to_hex()))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "virgo-store-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = temp_dir("roundtrip");
+        let entries = EntryDir::new(&dir);
+        let (key, envelope) = tiny_report(5);
+        let stored = entries.store(&key, &envelope).unwrap();
+        match entries.load(&key) {
+            Loaded::Valid(text, report) => {
+                assert_eq!(text, envelope, "envelope must be forwarded verbatim");
+                assert_eq!(format!("{report:?}"), format!("{stored:?}"));
+            }
+            other => panic!("expected Valid, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absent_key_loads_as_absent() {
+        let dir = temp_dir("absent");
+        let entries = EntryDir::new(&dir);
+        assert!(matches!(entries.load(&"00".repeat(16)), Loaded::Absent));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_envelope_is_refused_and_not_written() {
+        let dir = temp_dir("invalid");
+        let entries = EntryDir::new(&dir);
+        let (key, envelope) = tiny_report(2);
+        let mut corrupt = envelope;
+        corrupt.truncate(corrupt.len() / 2);
+        assert!(matches!(
+            entries.store(&key, &corrupt),
+            Err(StoreError::Invalid(_))
+        ));
+        assert!(!entries.entry_path(&key).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_on_disk_is_quarantined_on_load() {
+        let dir = temp_dir("quarantine");
+        let entries = EntryDir::new(&dir);
+        let (key, envelope) = tiny_report(3);
+        entries.store(&key, &envelope).unwrap();
+        let path = entries.entry_path(&key);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.truncate(text.len() / 2);
+        std::fs::write(&path, text).unwrap();
+        assert!(matches!(
+            entries.load(&key),
+            Loaded::Quarantined { preserved: true }
+        ));
+        assert!(!path.exists());
+        assert!(entries
+            .quarantine_dir()
+            .join(format!("{key}.json"))
+            .exists());
+        // The slot is clean again.
+        assert!(matches!(entries.load(&key), Loaded::Absent));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn misfiled_entry_is_quarantined() {
+        let dir = temp_dir("misfiled");
+        let entries = EntryDir::new(&dir);
+        let (key, envelope) = tiny_report(4);
+        // Offer a valid envelope under the wrong key.
+        let wrong = "f".repeat(32);
+        assert_ne!(key, wrong);
+        assert!(matches!(
+            entries.store(&wrong, &envelope),
+            Err(StoreError::Invalid(_))
+        ));
+        // Plant it by hand (simulating a file renamed out-of-band).
+        std::fs::create_dir_all(entries.dir()).unwrap();
+        std::fs::write(entries.entry_path(&wrong), &envelope).unwrap();
+        assert!(matches!(
+            entries.load(&wrong),
+            Loaded::Quarantined { preserved: true }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_same_key_writes_never_corrupt_the_entry() {
+        let dir = temp_dir("race");
+        let entries = EntryDir::new(&dir);
+        let (key, envelope) = tiny_report(6);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..16 {
+                        entries.store(&key, &envelope).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(matches!(entries.load(&key), Loaded::Valid(_, _)));
+        // No stray temp files survived the races.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

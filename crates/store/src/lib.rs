@@ -1,0 +1,39 @@
+//! Networked content-addressed report store for Virgo design sweeps.
+//!
+//! `BENCH_sweep.json` shows the decisive lever for design-space exploration
+//! is the report cache (~9000x warm vs cold), and `SimKey` v5 digests the
+//! simulator's own source tree alongside the simulation inputs, which makes
+//! cache keys safe to share *across hosts*: an entry can only hit when both
+//! the inputs and the simulator build match. This crate turns that property
+//! into a shared store — one process (or one CI job) warms it, every other
+//! sweep on the fleet reuses it.
+//!
+//! Three pieces, policy-free by design:
+//!
+//! * [`protocol`] — a small length-prefixed GET/PUT/STAT frame format over
+//!   TCP, keyed by `SimKey` hex digests, with an FNV-1a payload checksum on
+//!   every frame.
+//! * [`EntryDir`] — the at-rest side: one validated snapshot envelope per
+//!   key, written via unique-temp-file + atomic rename, with corrupt-entry
+//!   quarantine.
+//! * [`StoreServer`] / [`StoreClient`] — a scoped-thread accept loop with
+//!   per-connection stats, and a one-connection blocking client with
+//!   connect/IO timeouts.
+//!
+//! Retry and degrade-to-local policy (a dead store must never fail a sweep)
+//! deliberately lives in `virgo-sweep`'s `RemoteStore`, not here: the
+//! transport stays dumb so the policy stays testable. The `virgo-store`
+//! binary serves an [`EntryDir`] forever; see the README's "Shared report
+//! store" section for the deployment sketch.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod entries;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientConfig, StoreClient};
+pub use entries::{atomic_write, EntryDir, Loaded, StoreError};
+pub use server::{ServerStats, StoreHandle, StoreServer};

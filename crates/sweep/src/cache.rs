@@ -1,47 +1,45 @@
-//! Content-addressed memoization of [`SimReport`]s.
+//! Content-addressed memoization of [`SimReport`]s over a [`ReportStore`].
 //!
 //! Simulations are pure functions of `(GpuConfig, Kernel, max_cycles,
 //! SimMode)`, digested into a [`SimKey`] by the stable structural hash. The
-//! cache memoizes finished reports under that key at two levels:
+//! cache memoizes finished reports under that key through whatever storage
+//! hierarchy its [`ReportStore`] describes — process memory, a host-local
+//! disk directory, a networked `virgo-store` server, or a tiered
+//! combination (see [`crate::store`]) — and keeps the lookup-level
+//! bookkeeping: which queries hit, which tier answered, which had to
+//! simulate.
 //!
-//! * **in memory** — an `Arc<SimReport>` map with FIFO eviction beyond a
-//!   configurable capacity, shared by every thread of the process, and
-//! * **on disk** (optional) — one plain-JSON file per key under a cache
-//!   directory (conventionally `target/sweep-cache/`), written atomically
-//!   via a temp-file rename, so repeated sweep *invocations* skip
-//!   re-simulation too.
-//!
-//! Disk entries are self-verifying (`SimReport::from_cache_json` checks a
-//! format tag, version, the embedded key and a payload checksum): a
-//! corrupted, truncated or stale-format file is counted in
-//! [`CacheStats::disk_rejects`], moved into a `quarantine/` subdirectory
-//! (so the evidence survives for post-mortem instead of being destroyed;
-//! deletion is the fallback when the move fails) and treated as a **miss**,
-//! never a panic. The disk layer is *on by default* at the service level
-//! (governed by `VIRGO_SWEEP_CACHE` — see `service::default_disk_dir`):
-//! keys digest the simulator's own source tree alongside the simulation
-//! inputs, so entries from an older build miss cleanly.
+//! Disk and remote entries are self-verifying (`SimReport::from_cache_json`
+//! checks a format tag, version, the embedded key and a payload checksum):
+//! a corrupted, truncated or stale-format entry is counted in
+//! [`CacheStats::disk_rejects`], quarantined (so the evidence survives for
+//! post-mortem) and treated as a **miss**, never a panic. Keys digest the
+//! simulator's own source tree alongside the simulation inputs, so entries
+//! from an older build miss cleanly.
 //!
 //! Because simulations are deterministic, the only concurrency hazard is
 //! duplicated work: two threads missing the same key simultaneously both
 //! simulate and both insert the *identical* report. The cache accepts that
 //! (rare) waste instead of holding a lock across a multi-second simulation.
 
-use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use virgo::{SimKey, SimReport};
 
+use crate::store::{ReportStore, StoreConfig, StoreStats, StoreTier};
+
 /// Hit/miss/eviction counters, surfaced in sweep summaries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from cache (memory or disk) without simulating.
+    /// Lookups served from cache (any tier) without simulating.
     pub hits: u64,
     /// Lookups that had to simulate.
     pub misses: u64,
-    /// The subset of `hits` that was rehydrated from the disk layer.
+    /// The subset of `hits` that was rehydrated from the disk tier.
     pub disk_hits: u64,
+    /// The subset of `hits` served by a networked report store.
+    pub remote_hits: u64,
     /// In-memory entries dropped to stay within capacity.
     pub evictions: u64,
     /// On-disk entries rejected (corrupt/stale) and removed from the cache.
@@ -50,6 +48,10 @@ pub struct CacheStats {
     /// subdirectory for post-mortem (the rest could not be moved and were
     /// deleted).
     pub disk_quarantined: u64,
+    /// Store operations that found the networked report store unreachable
+    /// (each such operation degrades to local compute and is charged
+    /// exactly once).
+    pub store_unreachable: u64,
 }
 
 impl CacheStats {
@@ -68,36 +70,34 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    map: HashMap<SimKey, Arc<SimReport>>,
-    /// Insertion order for FIFO eviction.
-    order: VecDeque<SimKey>,
-    stats: CacheStats,
+/// Lookup-level counters (which tier answered each `get_or_compute`); the
+/// per-tier operation counters live in the store itself.
+#[derive(Debug, Clone, Copy, Default)]
+struct LookupCounters {
+    hits: u64,
+    misses: u64,
+    disk_hits: u64,
+    remote_hits: u64,
 }
 
-/// A two-level (memory + optional disk) report cache. Thread-safe; lookups
-/// of different keys simulate concurrently.
+/// A content-addressed report cache over a pluggable [`ReportStore`].
+/// Thread-safe; lookups of different keys simulate concurrently.
 #[derive(Debug)]
 pub struct ReportCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
+    store: Box<dyn ReportStore>,
+    counters: Mutex<LookupCounters>,
     disk_dir: Option<PathBuf>,
 }
 
 impl ReportCache {
-    /// Default in-memory capacity: comfortably holds the full paper grid
-    /// (4 designs × 3 shapes × 4 cluster counts × 2 modes) many times over.
-    pub const DEFAULT_CAPACITY: usize = 1024;
+    /// Default in-memory capacity (see
+    /// [`StoreConfig::DEFAULT_MEMORY_CAPACITY`]).
+    pub const DEFAULT_CAPACITY: usize = StoreConfig::DEFAULT_MEMORY_CAPACITY;
 
     /// Creates a cache with an in-memory capacity and an optional disk
     /// directory (created lazily on first write).
     pub fn new(capacity: usize, disk_dir: Option<PathBuf>) -> Self {
-        ReportCache {
-            inner: Mutex::new(Inner::default()),
-            capacity: capacity.max(1),
-            disk_dir,
-        }
+        Self::from_config(&StoreConfig::in_memory(capacity).with_disk_dir(disk_dir))
     }
 
     /// Creates a memory-only cache.
@@ -105,19 +105,63 @@ impl ReportCache {
         Self::new(capacity, None)
     }
 
-    /// The disk directory, if the disk layer is enabled.
+    /// Creates the cache a [`StoreConfig`] describes (memory, and disk /
+    /// remote tiers when configured).
+    pub fn from_config(config: &StoreConfig) -> Self {
+        ReportCache {
+            store: config.build_store(),
+            counters: Mutex::new(LookupCounters::default()),
+            disk_dir: config.disk_dir.clone(),
+        }
+    }
+
+    /// Wraps an explicit store (e.g. a hand-built tiering for tests).
+    pub fn with_store(store: Box<dyn ReportStore>) -> Self {
+        ReportCache {
+            store,
+            counters: Mutex::new(LookupCounters::default()),
+            disk_dir: None,
+        }
+    }
+
+    /// The storage hierarchy behind this cache.
+    pub fn store(&self) -> &dyn ReportStore {
+        self.store.as_ref()
+    }
+
+    /// Per-tier operation counters (zeroes for tiers this cache lacks).
+    pub fn store_stats_for(&self, tier: StoreTier) -> StoreStats {
+        self.store.stats_for(tier)
+    }
+
+    /// The disk directory, if the disk tier is enabled.
     pub fn disk_dir(&self) -> Option<&Path> {
         self.disk_dir.as_deref()
     }
 
-    /// A snapshot of the hit/miss/eviction counters.
+    /// A snapshot of the hit/miss/eviction counters. Lookup-level counters
+    /// (`hits`/`misses`/`*_hits`) come from this cache; structural counters
+    /// (evictions, rejects, unreachable) from the store tiers.
     pub fn stats(&self) -> CacheStats {
-        self.lock().stats
+        let lookups = *self.lock();
+        let memory = self.store.stats_for(StoreTier::Memory);
+        let disk = self.store.stats_for(StoreTier::Disk);
+        let remote = self.store.stats_for(StoreTier::Remote);
+        CacheStats {
+            hits: lookups.hits,
+            misses: lookups.misses,
+            disk_hits: lookups.disk_hits,
+            remote_hits: lookups.remote_hits,
+            evictions: memory.evictions,
+            disk_rejects: disk.rejects,
+            disk_quarantined: disk.quarantined,
+            store_unreachable: remote.unreachable,
+        }
     }
 
     /// Number of reports currently held in memory.
     pub fn len(&self) -> usize {
-        self.lock().map.len()
+        self.store.volatile_len()
     }
 
     /// True when no reports are held in memory.
@@ -125,133 +169,41 @@ impl ReportCache {
         self.len() == 0
     }
 
-    /// Drops every in-memory entry (the disk layer is untouched) and resets
-    /// the counters. Used by benches to measure cold-vs-warm behavior.
+    /// Drops every in-memory entry (persistent tiers are untouched) and
+    /// resets the counters. Used by benches to measure cold-vs-warm
+    /// behavior; also re-arms a remote tier that had been declared offline.
     pub fn clear_memory(&self) {
-        let mut inner = self.lock();
-        inner.map.clear();
-        inner.order.clear();
-        inner.stats = CacheStats::default();
+        self.store.clear_volatile();
+        self.store.reset_stats();
+        *self.lock() = LookupCounters::default();
     }
 
-    /// Looks `key` up in memory, then on disk, and otherwise runs `compute`
-    /// to produce the report; the result is inserted into both layers.
+    /// Looks `key` up through the store tiers and otherwise runs `compute`
+    /// to produce the report; the result is written through to every tier.
     /// Returns the report and whether it was served from cache.
     pub fn get_or_compute(
         &self,
         key: SimKey,
         compute: impl FnOnce() -> SimReport,
     ) -> (Arc<SimReport>, bool) {
-        if let Some(report) = self.memory_get(key) {
-            return (report, true);
+        if let Some(hit) = self.store.load(key) {
+            let mut counters = self.lock();
+            counters.hits += 1;
+            match hit.tier {
+                StoreTier::Disk => counters.disk_hits += 1,
+                StoreTier::Remote => counters.remote_hits += 1,
+                StoreTier::Memory | StoreTier::Tiered => {}
+            }
+            return (hit.report, true);
         }
-        if let Some(report) = self.disk_get(key) {
-            let report = self.insert_memory(key, report, true);
-            return (report, true);
-        }
-        let report = compute();
-        self.disk_put(key, &report);
-        let report = self.insert_memory(key, report, false);
+        let report = Arc::new(compute());
+        self.lock().misses += 1;
+        self.store.save(key, &report);
         (report, false)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().expect("report cache lock")
-    }
-
-    fn memory_get(&self, key: SimKey) -> Option<Arc<SimReport>> {
-        let mut inner = self.lock();
-        let hit = inner.map.get(&key).cloned();
-        if hit.is_some() {
-            inner.stats.hits += 1;
-        }
-        hit
-    }
-
-    /// Inserts a freshly produced report, evicting FIFO beyond capacity.
-    /// `from_disk` picks which counter the lookup lands in; the counter is
-    /// charged here (after the compute) so a lookup is counted exactly once.
-    fn insert_memory(&self, key: SimKey, report: SimReport, from_disk: bool) -> Arc<SimReport> {
-        let report = Arc::new(report);
-        let mut inner = self.lock();
-        if from_disk {
-            inner.stats.hits += 1;
-            inner.stats.disk_hits += 1;
-        } else {
-            inner.stats.misses += 1;
-        }
-        if inner.map.insert(key, Arc::clone(&report)).is_none() {
-            inner.order.push_back(key);
-        }
-        while inner.map.len() > self.capacity {
-            let Some(victim) = inner.order.pop_front() else {
-                break;
-            };
-            if inner.map.remove(&victim).is_some() {
-                inner.stats.evictions += 1;
-            }
-        }
-        report
-    }
-
-    fn entry_path(&self, key: SimKey) -> Option<PathBuf> {
-        self.disk_dir
-            .as_ref()
-            .map(|dir| dir.join(format!("{}.json", key.to_hex())))
-    }
-
-    fn disk_get(&self, key: SimKey) -> Option<SimReport> {
-        let path = self.entry_path(key)?;
-        let text = std::fs::read_to_string(&path).ok()?;
-        match SimReport::from_cache_json(&text, &key.to_hex()) {
-            Ok(report) => Some(report),
-            Err(_) => {
-                // Corrupt or stale entry: quarantine it and report a miss.
-                // The reject counter is how corruption surfaces in summaries.
-                self.quarantine(&path);
-                None
-            }
-        }
-    }
-
-    /// Moves a rejected entry into `<disk_dir>/quarantine/`, keeping the
-    /// corrupt bytes around for post-mortem instead of destroying the only
-    /// evidence. Falls back to deletion when the move fails (e.g. the
-    /// quarantine directory cannot be created), so a bad entry never keeps
-    /// masquerading as a cache hit either way.
-    fn quarantine(&self, path: &Path) {
-        let moved = self.disk_dir.as_ref().is_some_and(|dir| {
-            let qdir = dir.join("quarantine");
-            std::fs::create_dir_all(&qdir).is_ok()
-                && path
-                    .file_name()
-                    .is_some_and(|name| std::fs::rename(path, qdir.join(name)).is_ok())
-        });
-        if !moved {
-            let _ = std::fs::remove_file(path);
-        }
-        let mut inner = self.lock();
-        inner.stats.disk_rejects += 1;
-        if moved {
-            inner.stats.disk_quarantined += 1;
-        }
-    }
-
-    fn disk_put(&self, key: SimKey, report: &SimReport) {
-        let Some(path) = self.entry_path(key) else {
-            return;
-        };
-        let Some(dir) = path.parent() else { return };
-        // Disk-layer failures (read-only FS, full disk) degrade to
-        // memory-only caching; they never fail the simulation itself.
-        if std::fs::create_dir_all(dir).is_err() {
-            return;
-        }
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        let text = report.to_cache_json(&key.to_hex());
-        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
-            let _ = std::fs::remove_file(&tmp);
-        }
+    fn lock(&self) -> std::sync::MutexGuard<'_, LookupCounters> {
+        self.counters.lock().expect("report cache lock")
     }
 }
 
@@ -295,6 +247,7 @@ mod tests {
         assert_eq!(report.instructions_retired(), 4);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.disk_hits), (1, 1, 0));
+        assert_eq!((stats.remote_hits, stats.store_unreachable), (0, 0));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -335,6 +288,11 @@ mod tests {
             format!("{:?}", *second),
             "disk round-trip must be bit-identical"
         );
+        // The disk hit was promoted back into memory: the next lookup is a
+        // pure memory hit.
+        let (_, cached) = cache.get_or_compute(key, || panic!("memory should serve this"));
+        assert!(cached);
+        assert_eq!(cache.stats().disk_hits, 1, "second hit must be memory");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -397,5 +355,24 @@ mod tests {
         assert_eq!(stats.disk_rejects, 1);
         assert_eq!(stats.disk_quarantined, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreachable_remote_tier_degrades_to_local_compute() {
+        let config = StoreConfig::in_memory(8).with_remote_addr(Some("127.0.0.1:9".to_string()));
+        let cache = ReportCache::from_config(&config);
+        let (key, gpu_config, kernel) = tiny_sim(5);
+        let (report, cached) = cache.get_or_compute(key, || run(&gpu_config, &kernel));
+        assert!(!cached, "a dead store must degrade to a local miss");
+        assert_eq!(report.instructions_retired(), 5);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(
+            stats.store_unreachable, 2,
+            "one failed load + one failed save, each charged once"
+        );
+        // The memory tier still works: the next lookup is a hit.
+        let (_, cached) = cache.get_or_compute(key, || panic!("memory must serve this"));
+        assert!(cached);
     }
 }

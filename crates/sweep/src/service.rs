@@ -1,24 +1,26 @@
-//! The `(design, shape, clusters, mode)` query API over the pool and cache.
+//! The query API over the pool and the report store.
 //!
 //! Downstream tools (benches, examples, tests, future serving layers) should
-//! not drive simulation loops by hand. They describe *points* in the design
-//! space — a [`SweepPoint`] names a design, a workload shape, a cluster
-//! count and a simulation mode — and ask the [`SweepService`] questions:
+//! not drive simulation loops by hand. They build [`Query`]s — a query names
+//! a design, a workload shape, a cluster count, a DRAM channel count and a
+//! simulation mode, or wraps an arbitrary `(GpuConfig, Kernel)` pair — and
+//! ask the [`SweepService`]:
 //!
-//! * [`SweepService::query`] — "what does this point's report look like?",
-//! * [`SweepService::sweep`] — "run this whole grid" (sharded across the
-//!   worker pool, memoized through the report cache), and
-//! * [`SweepService::cheapest_clusters_meeting`] — "what is the smallest
-//!   machine that meets this latency target?".
+//! * [`SweepService::run`] — "what does this query's report look like?",
+//! * [`SweepService::run_all`] — "run this whole grid" (sharded across the
+//!   worker pool, memoized through the report store), and
+//! * [`SweepService::cheapest_meeting`] — "what is the smallest machine
+//!   that meets this latency target?".
 //!
-//! Every answer flows through the content-addressed report cache, so asking
-//! the same question twice — in the same process or (with the disk layer) in
-//! the next one — never simulates twice, and a cached answer is bit-identical
-//! to a fresh simulation (pinned by the fingerprint tests in
-//! `tests/integration_sweep.rs`).
+//! Every answer flows through the content-addressed report store (memory,
+//! and — per [`StoreConfig`] — disk and a networked `virgo-store`), so
+//! asking the same question twice — in the same process, in the next one,
+//! or on another host sharing the store — never simulates twice, and a
+//! cached answer is bit-identical to a fresh simulation (pinned by the
+//! fingerprint tests in `tests/integration_sweep.rs` and the shared-store
+//! tests in `tests/integration_store.rs`).
 
 use std::fmt;
-use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 
 use virgo::{DesignKind, Gpu, GpuConfig, SimKey, SimMode, SimReport};
@@ -27,6 +29,7 @@ use virgo_kernels::{build_flash_attention, build_gemm, AttentionShape, GemmShape
 
 use crate::cache::{CacheStats, ReportCache};
 use crate::pool::{Completion, SweepError, SweepPool};
+use crate::store::StoreConfig;
 
 /// Cycle budget used for every simulation unless overridden; generous enough
 /// for the largest (1024³ Volta-style) run.
@@ -65,6 +68,18 @@ impl SweepWorkload {
     }
 }
 
+impl From<GemmShape> for SweepWorkload {
+    fn from(shape: GemmShape) -> Self {
+        SweepWorkload::Gemm(shape)
+    }
+}
+
+impl From<AttentionShape> for SweepWorkload {
+    fn from(shape: AttentionShape) -> Self {
+        SweepWorkload::FlashAttention(shape)
+    }
+}
+
 impl fmt::Display for SweepWorkload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -74,7 +89,8 @@ impl fmt::Display for SweepWorkload {
     }
 }
 
-/// One point of a design-space sweep.
+/// One point of a design-space sweep (the value type behind a standard
+/// [`Query`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepPoint {
     /// The matrix-unit integration style.
@@ -152,18 +168,192 @@ impl fmt::Display for SweepPoint {
     }
 }
 
-/// One finished sweep point.
+#[derive(Debug, Clone)]
+enum QueryTarget {
+    /// A standard design-space point.
+    Point(SweepPoint),
+    /// An arbitrary configuration/kernel pair (e.g. a custom matrix-unit
+    /// sweep that no [`SweepPoint`] describes), still memoized through the
+    /// report store.
+    Custom {
+        config: Box<GpuConfig>,
+        kernel: Arc<Kernel>,
+        mode: SimMode,
+    },
+}
+
+/// One question for the [`SweepService`], built fluently:
+///
+/// ```
+/// use virgo::{DesignKind, SimMode};
+/// use virgo_kernels::GemmShape;
+/// use virgo_sweep::Query;
+///
+/// let shape = GemmShape { m: 128, n: 128, k: 128 };
+/// let query = Query::new(DesignKind::Virgo, shape)
+///     .clusters(4)
+///     .dram_channels(2)
+///     .mode(SimMode::Naive);
+/// assert_eq!(query.point().unwrap().clusters, 4);
+/// ```
+///
+/// Defaults: one cluster, one DRAM channel, [`SimMode::FastForward`]. The
+/// single `Query` type replaces the former quartet of service entry points
+/// (`query`, `query_config`, `sweep`, `cheapest_clusters_meeting`) — every
+/// consumer now describes *what* to simulate the same way, whatever it asks
+/// the service to do with it.
+#[derive(Debug, Clone)]
+pub struct Query {
+    target: QueryTarget,
+}
+
+impl Query {
+    /// A standard design-space query: `design` running `workload` (a
+    /// [`GemmShape`], [`AttentionShape`] or explicit [`SweepWorkload`]).
+    pub fn new(design: DesignKind, workload: impl Into<SweepWorkload>) -> Self {
+        Query {
+            target: QueryTarget::Point(SweepPoint {
+                design,
+                workload: workload.into(),
+                clusters: 1,
+                dram_channels: 1,
+                mode: SimMode::FastForward,
+            }),
+        }
+    }
+
+    /// A query for an arbitrary configuration and kernel (defaults to
+    /// [`SimMode::FastForward`]; change it with [`Query::mode`]). The
+    /// cluster/channel builders do not apply — the configuration is already
+    /// complete.
+    pub fn custom(config: GpuConfig, kernel: Kernel) -> Self {
+        Query {
+            target: QueryTarget::Custom {
+                config: Box::new(config),
+                kernel: Arc::new(kernel),
+                mode: SimMode::FastForward,
+            },
+        }
+    }
+
+    /// Scales the machine to `clusters` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`Query::custom`] query, whose configuration is already
+    /// complete.
+    #[must_use]
+    pub fn clusters(mut self, clusters: u32) -> Self {
+        match &mut self.target {
+            QueryTarget::Point(point) => point.clusters = clusters,
+            QueryTarget::Custom { .. } => {
+                panic!("Query::clusters does not apply to a custom-config query")
+            }
+        }
+        self
+    }
+
+    /// Scales the shared DRAM back-end to `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`Query::custom`] query, whose configuration is already
+    /// complete.
+    #[must_use]
+    pub fn dram_channels(mut self, channels: u32) -> Self {
+        match &mut self.target {
+            QueryTarget::Point(point) => point.dram_channels = channels,
+            QueryTarget::Custom { .. } => {
+                panic!("Query::dram_channels does not apply to a custom-config query")
+            }
+        }
+        self
+    }
+
+    /// Switches the simulation-loop mode.
+    #[must_use]
+    pub fn mode(mut self, mode: SimMode) -> Self {
+        match &mut self.target {
+            QueryTarget::Point(point) => point.mode = mode,
+            QueryTarget::Custom { mode: m, .. } => *m = mode,
+        }
+        self
+    }
+
+    /// The design-space point this query describes (`None` for a
+    /// custom-config query).
+    pub fn point(&self) -> Option<SweepPoint> {
+        match &self.target {
+            QueryTarget::Point(point) => Some(*point),
+            QueryTarget::Custom { .. } => None,
+        }
+    }
+
+    /// The simulation-loop mode.
+    pub fn sim_mode(&self) -> SimMode {
+        match &self.target {
+            QueryTarget::Point(point) => point.mode,
+            QueryTarget::Custom { mode, .. } => *mode,
+        }
+    }
+
+    /// Resolves the query into the exact simulation inputs: the full GPU
+    /// configuration and the kernel (built on demand for standard points).
+    pub fn materialize(&self) -> (GpuConfig, Arc<Kernel>, SimMode) {
+        match &self.target {
+            QueryTarget::Point(point) => {
+                let config = point.config();
+                let kernel = Arc::new(point.workload.build(&config));
+                (config, kernel, point.mode)
+            }
+            QueryTarget::Custom {
+                config,
+                kernel,
+                mode,
+            } => ((**config).clone(), Arc::clone(kernel), *mode),
+        }
+    }
+}
+
+impl From<SweepPoint> for Query {
+    fn from(point: SweepPoint) -> Self {
+        Query {
+            target: QueryTarget::Point(point),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.target {
+            QueryTarget::Point(point) => write!(f, "{point}"),
+            QueryTarget::Custom { kernel, mode, .. } => {
+                write!(f, "custom {:?} ({mode})", kernel.info.name)
+            }
+        }
+    }
+}
+
+/// One finished query.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
-    /// The point that was simulated (or served from cache).
-    pub point: SweepPoint,
-    /// The report; shared, since the cache may hand it to several callers.
+    /// The query that was simulated (or served from the store).
+    pub query: Query,
+    /// The report; shared, since the store may hand it to several callers.
     pub report: Arc<SimReport>,
-    /// True when the report was served from the cache (memory or disk).
+    /// True when the report was served from the store (any tier).
     pub from_cache: bool,
 }
 
-/// The sweep engine: a worker pool, a report cache and the query API.
+impl SweepOutcome {
+    /// The design-space point behind the query (`None` for custom-config
+    /// queries).
+    pub fn point(&self) -> Option<SweepPoint> {
+        self.query.point()
+    }
+}
+
+/// The sweep engine: a worker pool, a report store and the query API.
 #[derive(Debug)]
 pub struct SweepService {
     pool: SweepPool,
@@ -181,13 +371,19 @@ impl SweepService {
         }
     }
 
-    /// A service with host-sized pool, default capacity and the
-    /// `VIRGO_SWEEP_CACHE`-governed disk layer (on by default — see
-    /// [`default_disk_dir`] for the soundness argument and the opt-out).
+    /// A service with a host-sized pool and the environment-governed store
+    /// ([`StoreConfig::from_env`]): memory, the `VIRGO_SWEEP_CACHE` disk
+    /// tier (on by default) and, when `VIRGO_SWEEP_STORE` names a server,
+    /// the networked report store.
     pub fn with_defaults() -> Self {
+        Self::from_config(&StoreConfig::from_env())
+    }
+
+    /// A service with a host-sized pool over the store `config` describes.
+    pub fn from_config(config: &StoreConfig) -> Self {
         Self::new(
             SweepPool::with_host_parallelism(),
-            ReportCache::new(ReportCache::DEFAULT_CAPACITY, default_disk_dir()),
+            ReportCache::from_config(config),
             DEFAULT_MAX_CYCLES,
         )
     }
@@ -203,9 +399,9 @@ impl SweepService {
     }
 
     /// The process-wide shared service. Benches, tests and examples that
-    /// just want answers should use this: the in-memory layer then dedupes
-    /// across every caller in the process, and the disk layer across
-    /// processes.
+    /// just want answers should use this: the in-memory tier then dedupes
+    /// across every caller in the process, the disk tier across processes,
+    /// and the remote tier (when configured) across hosts.
     pub fn global() -> &'static SweepService {
         static GLOBAL: OnceLock<SweepService> = OnceLock::new();
         GLOBAL.get_or_init(SweepService::with_defaults)
@@ -231,13 +427,128 @@ impl SweepService {
         self.max_cycles
     }
 
-    /// Answers one `(design, shape, clusters, mode)` question.
+    /// The content-address this service files `query`'s report under —
+    /// the [`SimKey`] of its materialized inputs at this service's cycle
+    /// budget. Two services with equal budgets (and one simulator build)
+    /// agree on every key, which is what makes a shared store coherent.
+    pub fn key_for(&self, query: &Query) -> SimKey {
+        let (config, kernel, mode) = query.materialize();
+        SimKey::digest(&config, &kernel, self.max_cycles, mode)
+    }
+
+    /// Answers one query, reporting whether the store served it.
     ///
     /// # Panics
     ///
     /// Panics if the simulation does not complete within the budget (which
     /// indicates a kernel-generation bug, not a user error) — the same
     /// contract the bench helpers have always had.
+    pub fn run(&self, query: &Query) -> SweepOutcome {
+        let (config, kernel, mode) = query.materialize();
+        let key = SimKey::digest(&config, &kernel, self.max_cycles, mode);
+        let (report, from_cache) = self.cache.get_or_compute(key, || {
+            Gpu::new(config.clone())
+                .run_with_mode(&kernel, self.max_cycles, mode)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} kernel {:?} failed: {e}",
+                        config.design, kernel.info.name
+                    )
+                })
+        });
+        SweepOutcome {
+            query: query.clone(),
+            report,
+            from_cache,
+        }
+    }
+
+    /// Runs a whole grid of queries, sharded across the worker pool.
+    /// Results come back in submission order; cached queries cost a store
+    /// lookup.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SweepService::run`].
+    pub fn run_all(&self, queries: &[Query]) -> Vec<SweepOutcome> {
+        self.run_streaming(queries, |_| {})
+    }
+
+    /// Runs a whole grid of queries, invoking `each` on the calling thread
+    /// as every query completes (in completion order — a progress stream),
+    /// and returns the outcomes in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SweepService::run`].
+    pub fn run_streaming(
+        &self,
+        queries: &[Query],
+        mut each: impl FnMut(&SweepOutcome),
+    ) -> Vec<SweepOutcome> {
+        self.pool.map_streaming(
+            queries.to_vec(),
+            |query| self.run(&query),
+            |c: Completion<'_, SweepOutcome>| each(c.result),
+        )
+    }
+
+    /// Fault-isolated [`SweepService::run_all`]: a query whose simulation
+    /// panics (after the pool's bounded retries) is quarantined as an
+    /// `Err(SweepError)` in its submission-order slot while every other
+    /// query completes normally — one bad point no longer costs the whole
+    /// campaign. Cached queries are unaffected either way.
+    pub fn try_run_all(&self, queries: &[Query]) -> Vec<Result<SweepOutcome, SweepError>> {
+        self.pool
+            .try_map(queries.to_vec(), |query| self.run(&query))
+    }
+
+    /// The smallest cluster count among `candidates` at which `base` (its
+    /// cluster count is overridden per candidate) meets the latency target
+    /// (in cycles), together with its report. All candidates are swept in
+    /// parallel (and memoized), so follow-up questions about the same
+    /// workload are free. Returns `None` when no candidate meets the
+    /// target.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base` is a custom-config query (no cluster dimension to
+    /// sweep), or as [`SweepService::run`].
+    pub fn cheapest_meeting(
+        &self,
+        base: &Query,
+        latency_target_cycles: u64,
+        candidates: &[u32],
+    ) -> Option<(u32, Arc<SimReport>)> {
+        assert!(
+            base.point().is_some(),
+            "cheapest_meeting needs a design-space query, not a custom config"
+        );
+        let mut sorted: Vec<u32> = candidates.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let queries: Vec<Query> = sorted
+            .iter()
+            .map(|&clusters| base.clone().clusters(clusters))
+            .collect();
+        self.run_all(&queries)
+            .into_iter()
+            .find(|o| o.report.cycles().get() <= latency_target_cycles)
+            .map(|o| {
+                let clusters = o.point().expect("built from a point").clusters;
+                (clusters, o.report)
+            })
+    }
+
+    // -- Deprecated pre-Query entry points ----------------------------------
+    // Thin shims kept for one release; each is exactly a Query spelling.
+
+    /// Answers one `(design, workload, clusters, mode)` question.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SweepService::run`].
+    #[deprecated(note = "build a `Query` and call `SweepService::run`")]
     pub fn query(
         &self,
         design: DesignKind,
@@ -245,114 +556,76 @@ impl SweepService {
         clusters: u32,
         mode: SimMode,
     ) -> Arc<SimReport> {
-        let point = SweepPoint {
-            design,
-            workload,
-            clusters,
-            dram_channels: 1,
-            mode,
-        };
-        self.query_point(&point).0
+        self.run(&Query::new(design, workload).clusters(clusters).mode(mode))
+            .report
     }
 
-    /// Answers one sweep point, reporting whether the cache served it.
+    /// Answers one sweep point, reporting whether the store served it.
     ///
     /// # Panics
     ///
-    /// Same as [`SweepService::query`].
+    /// Same as [`SweepService::run`].
+    #[deprecated(note = "build a `Query` and call `SweepService::run`")]
     pub fn query_point(&self, point: &SweepPoint) -> (Arc<SimReport>, bool) {
-        let config = point.config();
-        let kernel = point.workload.build(&config);
-        self.query_config(&config, &kernel, point.mode)
+        let outcome = self.run(&Query::from(*point));
+        (outcome.report, outcome.from_cache)
     }
 
-    /// The lowest-level entry point: answers for an arbitrary configuration
-    /// and kernel (e.g. a custom matrix-unit sweep that no [`SweepPoint`]
-    /// describes), still memoized through the report cache.
+    /// Answers for an arbitrary configuration and kernel.
     ///
     /// # Panics
     ///
-    /// Same as [`SweepService::query`].
+    /// Same as [`SweepService::run`].
+    #[deprecated(note = "use `Query::custom` and call `SweepService::run`")]
     pub fn query_config(
         &self,
         config: &GpuConfig,
         kernel: &Kernel,
         mode: SimMode,
     ) -> (Arc<SimReport>, bool) {
-        let key = SimKey::digest(config, kernel, self.max_cycles, mode);
-        self.cache.get_or_compute(key, || {
-            Gpu::new(config.clone())
-                .run_with_mode(kernel, self.max_cycles, mode)
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "{} kernel {:?} failed: {e}",
-                        config.design, kernel.info.name
-                    )
-                })
-        })
+        let outcome = self.run(&Query::custom(config.clone(), kernel.clone()).mode(mode));
+        (outcome.report, outcome.from_cache)
     }
 
-    /// Runs a whole grid of points, sharded across the worker pool. Results
-    /// come back in submission order; cached points cost a map lookup.
+    /// Runs a whole grid of points.
     ///
     /// # Panics
     ///
-    /// Same as [`SweepService::query`].
+    /// Same as [`SweepService::run`].
+    #[deprecated(note = "build `Query`s and call `SweepService::run_all`")]
     pub fn sweep(&self, points: &[SweepPoint]) -> Vec<SweepOutcome> {
-        self.sweep_streaming(points, |_| {})
+        let queries: Vec<Query> = points.iter().map(|&p| Query::from(p)).collect();
+        self.run_all(&queries)
     }
 
-    /// Runs a whole grid of points, invoking `each` on the calling thread as
-    /// every point completes (in completion order — a progress stream), and
-    /// returns the outcomes in submission order.
+    /// Runs a whole grid of points with a completion stream.
     ///
     /// # Panics
     ///
-    /// Same as [`SweepService::query`].
+    /// Same as [`SweepService::run`].
+    #[deprecated(note = "build `Query`s and call `SweepService::run_streaming`")]
     pub fn sweep_streaming(
         &self,
         points: &[SweepPoint],
-        mut each: impl FnMut(&SweepOutcome),
+        each: impl FnMut(&SweepOutcome),
     ) -> Vec<SweepOutcome> {
-        self.pool.map_streaming(
-            points.to_vec(),
-            |point| {
-                let (report, from_cache) = self.query_point(&point);
-                SweepOutcome {
-                    point,
-                    report,
-                    from_cache,
-                }
-            },
-            |c: Completion<'_, SweepOutcome>| each(c.result),
-        )
+        let queries: Vec<Query> = points.iter().map(|&p| Query::from(p)).collect();
+        self.run_streaming(&queries, each)
     }
 
-    /// Fault-isolated [`SweepService::sweep`]: a point whose simulation
-    /// panics (after the pool's bounded retries) is quarantined as an
-    /// `Err(SweepError)` in its submission-order slot while every other
-    /// point completes normally — one bad point no longer costs the whole
-    /// campaign. Cached points are unaffected either way.
+    /// Fault-isolated grid run.
+    #[deprecated(note = "build `Query`s and call `SweepService::try_run_all`")]
     pub fn try_sweep(&self, points: &[SweepPoint]) -> Vec<Result<SweepOutcome, SweepError>> {
-        self.pool.try_map(points.to_vec(), |point| {
-            let (report, from_cache) = self.query_point(&point);
-            SweepOutcome {
-                point,
-                report,
-                from_cache,
-            }
-        })
+        let queries: Vec<Query> = points.iter().map(|&p| Query::from(p)).collect();
+        self.try_run_all(&queries)
     }
 
-    /// The smallest cluster count among `candidates` whose report meets the
-    /// latency target (in cycles), together with its report. All candidates
-    /// are swept in parallel (and memoized), so follow-up questions about
-    /// the same workload are free. Returns `None` when no candidate meets
-    /// the target.
+    /// The smallest cluster count among `candidates` meeting the target.
     ///
     /// # Panics
     ///
-    /// Same as [`SweepService::query`].
+    /// Same as [`SweepService::run`].
+    #[deprecated(note = "build a base `Query` and call `SweepService::cheapest_meeting`")]
     pub fn cheapest_clusters_meeting(
         &self,
         design: DesignKind,
@@ -361,61 +634,17 @@ impl SweepService {
         latency_target_cycles: u64,
         candidates: &[u32],
     ) -> Option<(u32, Arc<SimReport>)> {
-        let mut sorted: Vec<u32> = candidates.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        let points: Vec<SweepPoint> = sorted
-            .iter()
-            .map(|&clusters| SweepPoint {
-                design,
-                workload,
-                clusters,
-                dram_channels: 1,
-                mode,
-            })
-            .collect();
-        self.sweep(&points)
-            .into_iter()
-            .find(|o| o.report.cycles().get() <= latency_target_cycles)
-            .map(|o| (o.point.clusters, o.report))
+        self.cheapest_meeting(
+            &Query::new(design, workload).mode(mode),
+            latency_target_cycles,
+            candidates,
+        )
     }
 }
 
 impl Default for SweepService {
     fn default() -> Self {
         Self::with_defaults()
-    }
-}
-
-/// The workspace's conventional disk-cache directory,
-/// `<workspace>/target/sweep-cache`.
-pub fn workspace_cache_dir() -> PathBuf {
-    PathBuf::from(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../target/sweep-cache"
-    ))
-}
-
-/// The disk directory the *default* services use, governed by
-/// `VIRGO_SWEEP_CACHE`:
-///
-/// * unset or `on` — [`workspace_cache_dir`] (`target/sweep-cache/`),
-/// * `off` or `0` — `None`: the disk layer is disabled,
-/// * anything else — treated as an explicit directory path.
-///
-/// The disk layer **defaults on**: a [`SimKey`] digests the simulator's own
-/// source tree (`VIRGO_SOURCE_DIGEST`, computed by `virgo`'s build script)
-/// alongside the simulation inputs, so entries written by an older build of
-/// the model miss cleanly instead of serving stale reports — the equivalence
-/// and fingerprint tests stay honest even under a persistent shared cache.
-/// Set `VIRGO_SWEEP_CACHE=off` for cold-cache measurements (or use
-/// [`SweepService::in_memory`], as the sweep benches do).
-pub fn default_disk_dir() -> Option<PathBuf> {
-    match std::env::var("VIRGO_SWEEP_CACHE") {
-        Err(_) => Some(workspace_cache_dir()),
-        Ok(value) if value.is_empty() || value.eq_ignore_ascii_case("off") || value == "0" => None,
-        Ok(value) if value.eq_ignore_ascii_case("on") => Some(workspace_cache_dir()),
-        Ok(path) => Some(PathBuf::from(path)),
     }
 }
 
@@ -442,52 +671,65 @@ mod tests {
     }
 
     #[test]
-    fn query_is_memoized() {
+    fn run_is_memoized() {
         let svc = service();
-        let a = svc.query(
-            DesignKind::Virgo,
-            SweepWorkload::Gemm(tiny_gemm()),
-            1,
-            SimMode::FastForward,
+        let query = Query::new(DesignKind::Virgo, tiny_gemm());
+        let a = svc.run(&query);
+        let b = svc.run(&query);
+        assert!(!a.from_cache);
+        assert!(b.from_cache, "second run must be a cache hit");
+        assert!(
+            Arc::ptr_eq(&a.report, &b.report),
+            "memory tier must share the Arc"
         );
-        let b = svc.query(
-            DesignKind::Virgo,
-            SweepWorkload::Gemm(tiny_gemm()),
-            1,
-            SimMode::FastForward,
-        );
-        assert!(Arc::ptr_eq(&a, &b), "second query must be a cache hit");
         let stats = svc.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]
-    fn sweep_preserves_submission_order_and_marks_cache() {
+    fn query_builder_sets_every_dimension() {
+        let query = Query::new(DesignKind::Virgo, tiny_gemm())
+            .clusters(4)
+            .dram_channels(2)
+            .mode(SimMode::Naive);
+        let point = query.point().expect("a standard query has a point");
+        assert_eq!(point.clusters, 4);
+        assert_eq!(point.dram_channels, 2);
+        assert_eq!(point.mode, SimMode::Naive);
+        assert_eq!(query.sim_mode(), SimMode::Naive);
+        let (config, _, mode) = query.materialize();
+        assert_eq!(config.clusters, 4);
+        assert_eq!(mode, SimMode::Naive);
+        assert!(format!("{query}").contains("ch2"));
+    }
+
+    #[test]
+    fn run_all_preserves_submission_order_and_marks_cache() {
         let svc = service();
-        let points: Vec<SweepPoint> = DesignKind::all()
+        let queries: Vec<Query> = DesignKind::all()
             .into_iter()
-            .map(|d| SweepPoint::gemm(d, tiny_gemm()))
+            .map(|d| Query::new(d, tiny_gemm()))
             .collect();
-        let first = svc.sweep(&points);
+        let first = svc.run_all(&queries);
         assert_eq!(first.len(), 4);
         for (outcome, design) in first.iter().zip(DesignKind::all()) {
-            assert_eq!(outcome.point.design, design);
+            assert_eq!(outcome.point().unwrap().design, design);
             assert!(!outcome.from_cache);
             assert!(outcome.report.cycles().get() > 0);
         }
-        let second = svc.sweep(&points);
+        let second = svc.run_all(&queries);
         assert!(second.iter().all(|o| o.from_cache));
     }
 
     #[test]
-    fn streaming_callback_sees_every_point() {
+    fn streaming_callback_sees_every_query() {
         let svc = service();
-        let points: Vec<SweepPoint> = [1u32, 2]
+        let queries: Vec<Query> = [1u32, 2]
             .into_iter()
-            .map(|n| SweepPoint::gemm(DesignKind::Virgo, tiny_gemm()).with_clusters(n))
+            .map(|n| Query::new(DesignKind::Virgo, tiny_gemm()).clusters(n))
             .collect();
         let mut seen = 0;
-        svc.sweep_streaming(&points, |outcome| {
+        svc.run_streaming(&queries, |outcome| {
             assert!(outcome.report.cycles().get() > 0);
             seen += 1;
         });
@@ -495,54 +737,27 @@ mod tests {
     }
 
     #[test]
-    fn cheapest_clusters_meeting_finds_smallest() {
+    fn cheapest_meeting_finds_smallest() {
         let svc = service();
+        let base = Query::new(DesignKind::Virgo, tiny_gemm());
         // N=1 cycles for the tiny GEMM; target just under it forces N>=2 on
         // Virgo (which scales), and an absurd target of 1 cycle returns None.
-        let n1 = svc
-            .query(
-                DesignKind::Virgo,
-                SweepWorkload::Gemm(tiny_gemm()),
-                1,
-                SimMode::FastForward,
-            )
-            .cycles()
-            .get();
+        let n1 = svc.run(&base).report.cycles().get();
         let (clusters, report) = svc
-            .cheapest_clusters_meeting(
-                DesignKind::Virgo,
-                SweepWorkload::Gemm(tiny_gemm()),
-                SimMode::FastForward,
-                n1, // N=1 meets its own latency
-                &[4, 1, 2],
-            )
+            .cheapest_meeting(&base, n1, &[4, 1, 2])
             .expect("n=1 meets its own latency");
         assert_eq!(clusters, 1);
         assert_eq!(report.cycles().get(), n1);
-        let tighter = svc.cheapest_clusters_meeting(
-            DesignKind::Virgo,
-            SweepWorkload::Gemm(tiny_gemm()),
-            SimMode::FastForward,
-            n1 - 1,
-            &[1, 2, 4],
-        );
+        let tighter = svc.cheapest_meeting(&base, n1 - 1, &[1, 2, 4]);
         if let Some((clusters, report)) = tighter {
             assert!(clusters > 1, "a tighter target needs a bigger machine");
             assert!(report.cycles().get() < n1);
         }
-        assert!(svc
-            .cheapest_clusters_meeting(
-                DesignKind::Virgo,
-                SweepWorkload::Gemm(tiny_gemm()),
-                SimMode::FastForward,
-                1,
-                &[1, 2],
-            )
-            .is_none());
+        assert!(svc.cheapest_meeting(&base, 1, &[1, 2]).is_none());
     }
 
     #[test]
-    fn try_sweep_quarantines_a_panicking_point_and_finishes_the_rest() {
+    fn try_run_all_quarantines_a_panicking_query_and_finishes_the_rest() {
         let svc = service();
         // FlashAttention on a Volta-style design has no paper mapping and
         // panics in kernel generation — a deterministic poison point.
@@ -552,38 +767,42 @@ mod tests {
             head_dim: 64,
             heads: 1,
         };
-        let points = vec![
-            SweepPoint::gemm(DesignKind::Virgo, tiny_gemm()),
-            SweepPoint::flash_attention(DesignKind::VoltaStyle, attention),
-            SweepPoint::gemm(DesignKind::AmpereStyle, tiny_gemm()),
+        let queries = vec![
+            Query::new(DesignKind::Virgo, tiny_gemm()),
+            Query::new(DesignKind::VoltaStyle, attention),
+            Query::new(DesignKind::AmpereStyle, tiny_gemm()),
         ];
-        let out = svc.try_sweep(&points);
+        let out = svc.try_run_all(&queries);
         assert_eq!(out.len(), 3);
         assert!(out[0].is_ok());
-        assert!(out[2].is_ok(), "points after the poison one must finish");
+        assert!(out[2].is_ok(), "queries after the poison one must finish");
         let err = out[1].as_ref().unwrap_err();
         assert_eq!(err.index, 1);
         assert_eq!(err.attempts, SweepPool::MAX_ATTEMPTS);
     }
 
     #[test]
-    fn dram_channel_points_are_distinct_cache_entries() {
+    fn dram_channel_queries_are_distinct_store_entries() {
         let svc = service();
-        let base = SweepPoint::gemm(DesignKind::Virgo, tiny_gemm()).with_clusters(2);
-        let quad = base.with_dram_channels(4);
-        let (single_report, _) = svc.query_point(&base);
-        let (quad_report, cached) = svc.query_point(&quad);
-        assert!(!cached, "a different channel count must not alias in cache");
-        assert_eq!(quad_report.dram_channels(), 4);
-        assert_eq!(single_report.dram_channels(), 1);
+        let base = Query::new(DesignKind::Virgo, tiny_gemm()).clusters(2);
+        let quad = base.clone().dram_channels(4);
+        let single = svc.run(&base);
+        let outcome = svc.run(&quad);
+        assert!(
+            !outcome.from_cache,
+            "a different channel count must not alias in the store"
+        );
+        assert_eq!(outcome.report.dram_channels(), 4);
+        assert_eq!(single.report.dram_channels(), 1);
+        assert_ne!(svc.key_for(&base), svc.key_for(&quad));
         // The per-channel slices add up to the aggregate interface stats.
-        let summed: u64 = quad_report
+        let summed: u64 = outcome
+            .report
             .dram_channel_stats()
             .iter()
             .map(|c| c.bytes)
             .sum();
-        assert_eq!(summed, quad_report.dram_stats().bytes);
-        assert!(format!("{quad}").contains("ch4"));
+        assert_eq!(summed, outcome.report.dram_stats().bytes);
     }
 
     #[test]
@@ -591,29 +810,84 @@ mod tests {
         let svc = service();
         let config = GpuConfig::virgo();
         let kernel = SweepWorkload::Gemm(tiny_gemm()).build(&config);
-        let (a, cached_a) = svc.query_config(&config, &kernel, SimMode::FastForward);
-        let (b, cached_b) = svc.query_config(&config, &kernel, SimMode::FastForward);
-        assert!(!cached_a);
-        assert!(cached_b);
-        assert!(Arc::ptr_eq(&a, &b));
+        let query = Query::custom(config, kernel);
+        let a = svc.run(&query);
+        let b = svc.run(&query);
+        assert!(!a.from_cache);
+        assert!(b.from_cache);
+        assert!(Arc::ptr_eq(&a.report, &b.report));
+        assert!(query.point().is_none());
+        assert!(format!("{query}").starts_with("custom"));
     }
 
     #[test]
-    fn disk_dir_honors_env_gate() {
-        // Not a full env-var test (tests run in parallel; mutating the
-        // process environment races); pin the conventional path shape and
-        // the on-by-default behavior for the usual unset case.
-        assert!(workspace_cache_dir().ends_with("target/sweep-cache"));
-        match std::env::var("VIRGO_SWEEP_CACHE") {
-            Err(_) => assert_eq!(
-                default_disk_dir(),
-                Some(workspace_cache_dir()),
-                "disk layer must default on (SimKey digests the simulator source)"
-            ),
-            Ok(v) if v.is_empty() || v.eq_ignore_ascii_case("off") || v == "0" => {
-                assert_eq!(default_disk_dir(), None);
-            }
-            Ok(_) => assert!(default_disk_dir().is_some()),
+    #[should_panic(expected = "does not apply to a custom-config query")]
+    fn cluster_builder_rejects_custom_queries() {
+        let config = GpuConfig::virgo();
+        let kernel = SweepWorkload::Gemm(tiny_gemm()).build(&config);
+        let _ = Query::custom(config, kernel).clusters(2);
+    }
+
+    /// The deprecated shims are exactly `Query` spellings: pin old≡new
+    /// bit-identity so the one-release migration window cannot drift.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_are_bit_identical_to_query_api() {
+        let svc = service();
+        let shape = tiny_gemm();
+        // query == run(Query)
+        let old = svc.query(
+            DesignKind::Virgo,
+            SweepWorkload::Gemm(shape),
+            2,
+            SimMode::FastForward,
+        );
+        let new = svc
+            .run(&Query::new(DesignKind::Virgo, shape).clusters(2))
+            .report;
+        assert_eq!(format!("{old:?}"), format!("{new:?}"));
+
+        // query_point == run(Query::from(point))
+        let point = SweepPoint::gemm(DesignKind::AmpereStyle, shape);
+        let (old, _) = svc.query_point(&point);
+        let new = svc.run(&Query::from(point)).report;
+        assert_eq!(format!("{old:?}"), format!("{new:?}"));
+
+        // query_config == run(Query::custom)
+        let config = GpuConfig::virgo();
+        let kernel = SweepWorkload::Gemm(shape).build(&config);
+        let (old, _) = svc.query_config(&config, &kernel, SimMode::FastForward);
+        let new = svc.run(&Query::custom(config, kernel)).report;
+        assert_eq!(format!("{old:?}"), format!("{new:?}"));
+
+        // sweep == run_all
+        let points = vec![
+            SweepPoint::gemm(DesignKind::Virgo, shape),
+            SweepPoint::gemm(DesignKind::VoltaStyle, shape),
+        ];
+        let old = svc.sweep(&points);
+        let queries: Vec<Query> = points.iter().map(|&p| Query::from(p)).collect();
+        let new = svc.run_all(&queries);
+        for (o, n) in old.iter().zip(&new) {
+            assert_eq!(format!("{:?}", o.report), format!("{:?}", n.report));
         }
+
+        // cheapest_clusters_meeting == cheapest_meeting
+        let target = svc
+            .run(&Query::new(DesignKind::Virgo, shape))
+            .report
+            .cycles()
+            .get();
+        let old = svc.cheapest_clusters_meeting(
+            DesignKind::Virgo,
+            SweepWorkload::Gemm(shape),
+            SimMode::FastForward,
+            target,
+            &[1, 2],
+        );
+        let new = svc.cheapest_meeting(&Query::new(DesignKind::Virgo, shape), target, &[1, 2]);
+        let (old, new) = (old.unwrap(), new.unwrap());
+        assert_eq!(old.0, new.0);
+        assert_eq!(format!("{:?}", old.1), format!("{:?}", new.1));
     }
 }

@@ -4,16 +4,18 @@
 //!
 //! The three array sizes are independent simulations, so the sweep runs
 //! through the sweep service: sharded across its worker pool via
-//! [`SweepService::query_config`] (the low-level entry point for custom
-//! configurations no `SweepPoint` describes) and memoized in its report
-//! cache — re-running this example answers from `target/sweep-cache/`.
+//! [`virgo_sweep::Query::custom`] (the entry point for hand-built
+//! configurations no design-space point describes) and memoized in its
+//! report store — re-running this example answers from
+//! `target/sweep-cache/`.
 //!
 //! Run with `cargo run --release --example design_space`.
 
-use virgo::{GpuConfig, MatrixUnitSpec, SimMode};
+use virgo::{GpuConfig, MatrixUnitSpec};
 use virgo_bench::{pct, print_table, sweep_service};
 use virgo_gemmini::GemminiConfig;
 use virgo_kernels::{build_gemm, GemmShape};
+use virgo_sweep::Query;
 
 fn main() {
     let shape = GemmShape::square(256);
@@ -31,7 +33,7 @@ fn main() {
         }];
         let kernel = build_gemm(&config, shape);
         let peak = config.peak_macs_per_cycle();
-        let (report, _) = service.query_config(&config, &kernel, SimMode::FastForward);
+        let report = service.run(&Query::custom(config, kernel)).report;
         vec![
             format!("{dim}x{dim}"),
             peak.to_string(),

@@ -23,7 +23,7 @@ use virgo_bench::{run_gemm_clusters, ReportDigest};
 use virgo_kernels::GemmShape;
 use virgo_mem::{DramConfig, DramModel, DramStats, MultiChannelDram};
 use virgo_sim::{Cycle, SplitMix64};
-use virgo_sweep::{SweepPoint, SweepService};
+use virgo_sweep::{Query, SweepPoint, SweepService};
 
 /// One pseudo-random DRAM request.
 #[derive(Debug, Clone, Copy)]
@@ -159,8 +159,8 @@ fn single_channel_config_matches_default_machine_reports() {
         for design in DesignKind::all() {
             let default_point = SweepPoint::gemm(design, shape).with_clusters(clusters);
             let explicit = default_point.with_dram_channels(1);
-            let (default_report, _) = service.query_point(&default_point);
-            let (explicit_report, _) = service.query_point(&explicit);
+            let default_report = service.run(&Query::from(default_point)).report;
+            let explicit_report = service.run(&Query::from(explicit)).report;
             assert_eq!(
                 ReportDigest::of(&default_report),
                 ReportDigest::of(&explicit_report),
@@ -227,11 +227,10 @@ fn run_gemm_clusters_channels(
     clusters: u32,
     channels: u32,
 ) -> virgo::SimReport {
-    let point = SweepPoint::gemm(design, shape)
-        .with_clusters(clusters)
-        .with_dram_channels(channels);
-    let (report, _) = virgo_bench::sweep_service().query_point(&point);
-    (*report).clone()
+    let query = Query::new(design, shape)
+        .clusters(clusters)
+        .dram_channels(channels);
+    (*virgo_bench::sweep_service().run(&query).report).clone()
 }
 
 /// The bench helper (which always runs single-channel points) and an

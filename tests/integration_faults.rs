@@ -26,7 +26,7 @@ use virgo_isa::Kernel;
 use virgo_kernels::{build_gemm, build_split_k_gemm, AttentionShape, GemmShape};
 use virgo_mem::DsmConfig;
 use virgo_sim::fault::PERMANENT;
-use virgo_sweep::{SweepPoint, SweepPool, SweepService};
+use virgo_sweep::{Query, SweepPool, SweepService};
 
 const MAX_CYCLES: u64 = 200_000_000;
 
@@ -393,11 +393,11 @@ fn sweep_service_survives_a_poisoned_grid_point() {
         heads: 1,
     };
     let points = vec![
-        SweepPoint::gemm(DesignKind::Virgo, small_gemm()),
-        SweepPoint::flash_attention(DesignKind::VoltaStyle, attention),
-        SweepPoint::gemm(DesignKind::AmpereStyle, small_gemm()),
+        Query::new(DesignKind::Virgo, small_gemm()),
+        Query::new(DesignKind::VoltaStyle, attention),
+        Query::new(DesignKind::AmpereStyle, small_gemm()),
     ];
-    let outcomes = svc.try_sweep(&points);
+    let outcomes = svc.try_run_all(&points);
     assert_eq!(outcomes.len(), 3);
     assert!(outcomes[0].is_ok() && outcomes[2].is_ok());
     let err = outcomes[1]

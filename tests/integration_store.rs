@@ -1,0 +1,221 @@
+//! Integration tests of the shared report store: two sweep services sharing
+//! one `virgo-store` server must answer with exactly the bits a store-less
+//! service computes — including while other clients die mid-PUT — and a
+//! killed store must degrade to local compute, not wrong answers.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use virgo::{DesignKind, SimMode};
+use virgo_bench::ReportDigest;
+use virgo_kernels::GemmShape;
+use virgo_sim::SplitMix64;
+use virgo_store::protocol::{checksum64, key_field, Opcode, MAGIC};
+use virgo_store::{EntryDir, StoreHandle, StoreServer};
+use virgo_sweep::{Query, ReportCache, StoreConfig, SweepPool, SweepService, DEFAULT_MAX_CYCLES};
+
+fn small_shape() -> GemmShape {
+    GemmShape {
+        m: 128,
+        n: 128,
+        k: 128,
+    }
+}
+
+/// An in-process store server on an ephemeral port over a fresh temp dir.
+fn spawn_store(tag: &str) -> (StoreHandle, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("virgo-store-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = StoreServer::bind("127.0.0.1:0", EntryDir::new(&dir))
+        .expect("bind ephemeral store")
+        .spawn()
+        .expect("spawn store server");
+    (handle, dir)
+}
+
+/// A process-equivalent service: empty memory layer over the remote store
+/// only, so every hit provably crossed the wire.
+fn remote_service(addr: &str) -> SweepService {
+    SweepService::new(
+        SweepPool::new(2),
+        ReportCache::from_config(
+            &StoreConfig::in_memory(256).with_remote_addr(Some(addr.to_string())),
+        ),
+        DEFAULT_MAX_CYCLES,
+    )
+}
+
+/// A store-less reference service.
+fn local_service() -> SweepService {
+    SweepService::new(
+        SweepPool::new(2),
+        ReportCache::in_memory(256),
+        DEFAULT_MAX_CYCLES,
+    )
+}
+
+/// Simulates a client killed mid-PUT: hand-writes a PUT frame header that
+/// promises `promised` payload bytes, sends half of them, and vanishes.
+fn drop_connection_mid_put(addr: std::net::SocketAddr, key_hex: &str, promised: usize) {
+    let junk = vec![b'x'; promised];
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.write_all(&MAGIC.to_le_bytes()).unwrap();
+    raw.write_all(&[Opcode::Put as u8]).unwrap();
+    raw.write_all(&key_field(key_hex)).unwrap();
+    raw.write_all(&(promised as u32).to_le_bytes()).unwrap();
+    raw.write_all(&checksum64(&junk).to_le_bytes()).unwrap();
+    raw.write_all(&junk[..promised / 2]).unwrap();
+    drop(raw);
+}
+
+/// The tentpole acceptance: a service warms the store, then a *fresh*
+/// service (empty memory, no disk) answers the whole grid from the store —
+/// zero simulator executions — with bit-identical reports.
+#[test]
+fn warmed_store_serves_a_fresh_service_with_zero_executions() {
+    let (mut store, dir) = spawn_store("warm");
+    let addr = store.addr().to_string();
+    let shape = small_shape();
+    let grid: Vec<Query> = DesignKind::all()
+        .into_iter()
+        .flat_map(|design| {
+            [1u32, 2]
+                .into_iter()
+                .map(move |n| Query::new(design, shape).clusters(n))
+        })
+        .collect();
+
+    let warmer = remote_service(&addr);
+    let cold = warmer.run_all(&grid);
+    assert!(cold.iter().all(|o| !o.from_cache), "store starts empty");
+    assert_eq!(warmer.cache_stats().store_unreachable, 0);
+
+    let fresh = remote_service(&addr);
+    let served = fresh.run_all(&grid);
+    assert!(
+        served.iter().all(|o| o.from_cache),
+        "the fresh service must answer entirely from the store"
+    );
+    let stats = fresh.cache_stats();
+    assert_eq!(stats.remote_hits, grid.len() as u64);
+    assert_eq!(stats.misses, 0, "zero simulator executions");
+    for (a, b) in cold.iter().zip(&served) {
+        assert_eq!(
+            ReportDigest::of(&a.report),
+            ReportDigest::of(&b.report),
+            "{}: store round-trip changed the report",
+            b.query
+        );
+    }
+
+    store.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Property-style test: for pseudo-random points, two services sharing one
+/// store return bit-identical digests to a store-less service — while other
+/// clients keep dying mid-PUT on the same server.
+#[test]
+fn shared_store_answers_match_a_storeless_service_under_churn() {
+    let (mut store, dir) = spawn_store("churn");
+    let addr = store.addr().to_string();
+    let writer = remote_service(&addr);
+    let reader = remote_service(&addr);
+    let reference = local_service();
+
+    let mut rng = SplitMix64::new(0x0005_704E_CAFE);
+    let designs = DesignKind::all();
+    let mut drops = 0u64;
+    let mut seen = std::collections::HashSet::new();
+    for trial in 0..6 {
+        let design = designs[rng.next_below(designs.len() as u64) as usize];
+        let clusters = [1u32, 2][rng.next_below(2) as usize];
+        let mode = if rng.next_below(2) == 0 {
+            SimMode::FastForward
+        } else {
+            SimMode::Naive
+        };
+        let query = Query::new(design, small_shape())
+            .clusters(clusters)
+            .mode(mode);
+
+        // Churn: between real operations another "client" dies mid-PUT,
+        // promising this very key so a desynced server would poison it.
+        let key_hex = writer.key_for(&query).to_hex();
+        if rng.next_below(2) == 0 {
+            drop_connection_mid_put(store.addr(), &key_hex, 64 + trial * 17);
+            drops += 1;
+        }
+
+        let fresh_point = seen.insert(key_hex);
+        let computed = writer.run(&query);
+        assert_eq!(
+            computed.from_cache, !fresh_point,
+            "trial {trial}: writer computes exactly the unseen points"
+        );
+        let shared = reader.run(&query);
+        assert!(
+            shared.from_cache,
+            "trial {trial}: reader must hit the shared store"
+        );
+        let expected = ReportDigest::of(&reference.run(&query).report);
+        assert_eq!(
+            expected,
+            ReportDigest::of(&computed.report),
+            "trial {trial}: writer diverged from the store-less reference"
+        );
+        assert_eq!(
+            expected,
+            ReportDigest::of(&shared.report),
+            "trial {trial}: reader diverged from the store-less reference"
+        );
+    }
+    assert!(drops > 0, "seed must exercise at least one mid-PUT drop");
+    assert_eq!(
+        reader.cache_stats().remote_hits,
+        seen.len() as u64,
+        "every distinct point crossed the wire into the reader exactly once"
+    );
+    store.stop();
+    assert_eq!(
+        store
+            .stats()
+            .protocol_errors
+            .load(std::sync::atomic::Ordering::Relaxed),
+        drops,
+        "every injected drop is a counted protocol error, nothing more"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing the store mid-deployment degrades to local compute: the sweep
+/// still completes with the same bits, and every unreachable store
+/// operation is counted.
+#[test]
+fn killed_store_degrades_to_local_compute_with_counted_unreachables() {
+    let (mut store, dir) = spawn_store("degrade");
+    let addr = store.addr().to_string();
+
+    let warmer = remote_service(&addr);
+    let query = Query::new(DesignKind::Virgo, small_shape()).clusters(2);
+    let warmed = warmer.run(&query);
+    store.stop(); // the store dies with entries in it
+
+    let orphan = remote_service(&addr);
+    let degraded = orphan.run(&query);
+    assert!(
+        !degraded.from_cache,
+        "a dead store must degrade to local compute"
+    );
+    assert_eq!(
+        ReportDigest::of(&warmed.report),
+        ReportDigest::of(&degraded.report),
+        "degraded recompute changed the report"
+    );
+    let stats = orphan.cache_stats();
+    assert_eq!(
+        stats.store_unreachable, 2,
+        "one failed load + one failed save, each counted exactly once"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

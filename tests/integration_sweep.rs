@@ -9,7 +9,14 @@ use virgo::{DesignKind, Gpu, SimMode, SimReport};
 use virgo_bench::ReportDigest;
 use virgo_kernels::GemmShape;
 use virgo_sim::SplitMix64;
-use virgo_sweep::{ReportCache, SweepPoint, SweepPool, SweepService, DEFAULT_MAX_CYCLES};
+use virgo_sweep::{Query, ReportCache, SweepPoint, SweepPool, SweepService, DEFAULT_MAX_CYCLES};
+
+/// Answers one design-space point through the Query API, returning the
+/// `(report, from_cache)` pair the old `query_point` entry point exposed.
+fn run_point(service: &SweepService, point: &SweepPoint) -> (Arc<SimReport>, bool) {
+    let outcome = service.run(&Query::from(*point));
+    (outcome.report, outcome.from_cache)
+}
 
 fn small_shape() -> GemmShape {
     // The smallest shape every design's tiling accepts at N up to 4.
@@ -64,10 +71,10 @@ fn cached_reports_are_bit_identical_for_all_designs_and_cluster_counts() {
         for design in DesignKind::all() {
             let point = SweepPoint::gemm(design, shape).with_clusters(clusters);
             // First query simulates and fills the cache...
-            let (first, cached_first) = service.query_point(&point);
+            let (first, cached_first) = run_point(&service, &point);
             assert!(!cached_first, "{point} unexpectedly pre-cached");
             // ...second query must be a hit...
-            let (second, cached_second) = service.query_point(&point);
+            let (second, cached_second) = run_point(&service, &point);
             assert!(cached_second, "{point} missed on the second query");
             assert!(
                 Arc::ptr_eq(&first, &second),
@@ -94,12 +101,12 @@ fn cached_reports_are_bit_identical_for_all_designs_and_cluster_counts() {
 fn disk_cache_roundtrip_is_bit_identical() {
     let (service, dir) = disk_service("roundtrip");
     let point = SweepPoint::gemm(DesignKind::Virgo, small_shape()).with_clusters(2);
-    let (first, _) = service.query_point(&point);
+    let (first, _) = run_point(&service, &point);
     let before = ReportDigest::of(&first);
     drop(first);
     // Simulate a new invocation: the memory layer is gone, only disk remains.
     service.cache().clear_memory();
-    let (second, cached) = service.query_point(&point);
+    let (second, cached) = run_point(&service, &point);
     assert!(cached, "disk layer must serve the cleared-memory query");
     assert_eq!(service.cache_stats().disk_hits, 1);
     assert_eq!(
@@ -133,8 +140,8 @@ fn random_points_hit_bit_identical() {
             .with_clusters(clusters)
             .with_dram_channels(dram_channels)
             .with_mode(mode);
-        let (first, _) = service.query_point(&point);
-        let (hit, cached) = service.query_point(&point);
+        let (first, _) = run_point(&service, &point);
+        let (hit, cached) = run_point(&service, &point);
         assert!(cached, "trial {trial}: {point} second query missed");
         assert_eq!(
             ReportDigest::of(&first),
@@ -156,7 +163,7 @@ fn random_points_hit_bit_identical() {
 fn corrupted_disk_entries_are_detected_as_misses() {
     let (service, dir) = disk_service("corrupt");
     let point = SweepPoint::gemm(DesignKind::AmpereStyle, small_shape());
-    let (original, _) = service.query_point(&point);
+    let (original, _) = run_point(&service, &point);
     let before = ReportDigest::of(&original);
     drop(original);
 
@@ -181,7 +188,7 @@ fn corrupted_disk_entries_are_detected_as_misses() {
         }
         std::fs::write(&entry, &bytes).unwrap();
         service.cache().clear_memory();
-        let (report, from_cache) = service.query_point(&point);
+        let (report, from_cache) = run_point(&service, &point);
         // Either the corruption was detected (miss + re-simulation) or the
         // flipped byte produced an equivalent document (e.g. a whitespace
         // byte); in *both* cases the answer must be bit-identical.
@@ -214,21 +221,22 @@ fn corrupted_disk_entries_are_detected_as_misses() {
 fn sweep_collects_in_submission_order_while_streaming_completions() {
     let service = memory_service();
     let shape = small_shape();
-    let grid: Vec<SweepPoint> = DesignKind::all()
+    let grid: Vec<Query> = DesignKind::all()
         .into_iter()
         .flat_map(|design| {
             [1u32, 2]
                 .into_iter()
-                .map(move |n| SweepPoint::gemm(design, shape).with_clusters(n))
+                .map(move |n| Query::new(design, shape).clusters(n))
         })
         .collect();
     let mut completions = 0;
-    let outcomes = service.sweep_streaming(&grid, |_| completions += 1);
+    let outcomes = service.run_streaming(&grid, |_| completions += 1);
     assert_eq!(completions, grid.len());
     assert_eq!(outcomes.len(), grid.len());
     for (submitted, outcome) in grid.iter().zip(&outcomes) {
         assert_eq!(
-            *submitted, outcome.point,
+            submitted.point(),
+            outcome.point(),
             "collected order diverged from submission order"
         );
     }
